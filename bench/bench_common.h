@@ -1,0 +1,56 @@
+#ifndef SEMOPT_BENCH_BENCH_COMMON_H_
+#define SEMOPT_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+
+#include "benchmark/benchmark.h"
+
+#include "eval/fixpoint.h"
+#include "semopt/optimizer.h"
+#include "storage/database.h"
+
+namespace semopt {
+namespace bench {
+
+/// Evaluates `program` over `edb`, aborting the benchmark on error;
+/// returns the collected stats.
+inline EvalStats EvaluateOrDie(::benchmark::State& state,
+                               const Program& program, const Database& edb) {
+  EvalStats stats;
+  Result<Database> idb = Evaluate(program, edb, EvalOptions(), &stats);
+  if (!idb.ok()) {
+    state.SkipWithError(idb.status().ToString().c_str());
+  }
+  return stats;
+}
+
+/// Optimizes `program`, aborting on error.
+inline Program OptimizeOrDie(::benchmark::State& state,
+                             const Program& program,
+                             OptimizerOptions options = OptimizerOptions()) {
+  SemanticOptimizer optimizer(options);
+  Result<OptimizeResult> result = optimizer.Optimize(program);
+  if (!result.ok()) {
+    state.SkipWithError(result.status().ToString().c_str());
+    return program;
+  }
+  return result->program;
+}
+
+/// Publishes the work counters of the last evaluation as benchmark
+/// counters (averaged per iteration by the framework).
+inline void PublishStats(::benchmark::State& state, const EvalStats& stats) {
+  state.counters["bindings"] = static_cast<double>(stats.bindings_explored);
+  state.counters["derived"] = static_cast<double>(stats.derived_tuples);
+  state.counters["dups"] = static_cast<double>(stats.duplicate_tuples);
+  state.counters["iters"] = static_cast<double>(stats.iterations);
+  if (stats.runtime_residue_checks > 0) {
+    state.counters["residue_checks"] =
+        static_cast<double>(stats.runtime_residue_checks);
+  }
+}
+
+}  // namespace bench
+}  // namespace semopt
+
+#endif  // SEMOPT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,113 @@
+// Experiment E5 (paper §1/§6): program transformation (one-shot at
+// compile time) versus the evaluation paradigm (residues applied to the
+// subqueries of every bottom-up iteration, after Chakravarthy et al. /
+// Lee & Han).
+//
+// Claims reproduced:
+//   * the transformation's cost is paid once (BM_E5_CompileOnce), not
+//     per evaluation;
+//   * the runtime paradigm's residue-application overhead grows with
+//     the number of fixpoint iterations (deep collaboration chains),
+//     while the transformed program carries no such overhead.
+//
+// Series: collaboration chains of growing depth (iterations ~ depth).
+
+#include "bench_common.h"
+#include "semopt/runtime_residues.h"
+#include "util/string_util.h"
+#include "workload/university.h"
+
+namespace semopt {
+namespace {
+
+/// A chain-shaped university database: prof i works with prof i+1, so
+/// semi-naive needs ~depth iterations.
+Database ChainDb(size_t depth) {
+  Database edb;
+  for (size_t i = 0; i < depth; ++i) {
+    edb.AddTuple("works_with", {Term::Sym(StrCat("p", i)),
+                                Term::Sym(StrCat("p", i + 1))});
+    edb.AddTuple("expert",
+                 {Term::Sym(StrCat("p", i)), Term::Sym("db")});
+  }
+  edb.AddTuple("expert",
+               {Term::Sym(StrCat("p", depth)), Term::Sym("db")});
+  // A few theses at the bottom of the chain.
+  for (size_t t = 0; t < 8; ++t) {
+    Term thesis = Term::Sym(StrCat("t", t));
+    edb.AddTuple("super", {Term::Sym(StrCat("p", depth)),
+                           Term::Sym(StrCat("s", t)), thesis});
+    edb.AddTuple("field", {thesis, Term::Sym("db")});
+    edb.AddTuple("pays", {Term::Int(12000), Term::Sym("g"),
+                          Term::Sym(StrCat("s", t)), thesis});
+    edb.AddTuple("doctoral", {Term::Sym(StrCat("s", t))});
+  }
+  return edb;
+}
+
+void BM_E5_Plain(::benchmark::State& state) {
+  Result<Program> program = UniversityProgram();
+  Database edb = ChainDb(static_cast<size_t>(state.range(0)));
+  EvalStats stats;
+  for (auto _ : state) {
+    stats = bench::EvaluateOrDie(state, *program, edb);
+  }
+  bench::PublishStats(state, stats);
+}
+
+void BM_E5_TransformedEvaluate(::benchmark::State& state) {
+  Result<Program> program = UniversityProgram();
+  Program optimized = bench::OptimizeOrDie(state, *program);
+  Database edb = ChainDb(static_cast<size_t>(state.range(0)));
+  EvalStats stats;
+  for (auto _ : state) {
+    stats = bench::EvaluateOrDie(state, optimized, edb);
+  }
+  bench::PublishStats(state, stats);
+}
+
+void BM_E5_RuntimeResidues(::benchmark::State& state) {
+  Result<Program> program = UniversityProgram();
+  Database edb = ChainDb(static_cast<size_t>(state.range(0)));
+  EvalStats stats;
+  for (auto _ : state) {
+    stats = EvalStats();
+    Result<Database> idb = EvaluateWithRuntimeResidues(*program, edb, &stats);
+    if (!idb.ok()) {
+      state.SkipWithError(idb.status().ToString().c_str());
+      return;
+    }
+  }
+  bench::PublishStats(state, stats);
+}
+
+void BM_E5_CompileOnce(::benchmark::State& state) {
+  // The one-shot cost of the transformation itself (independent of the
+  // database): residue generation + isolation + pushing.
+  Result<Program> program = UniversityProgram();
+  for (auto _ : state) {
+    SemanticOptimizer optimizer;
+    Result<OptimizeResult> result = optimizer.Optimize(*program);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    ::benchmark::DoNotOptimize(result);
+  }
+}
+
+void E5Args(::benchmark::internal::Benchmark* b) {
+  for (int depth : {8, 16, 32, 64}) b->Args({depth});
+  b->ArgNames({"chain_depth"});
+  b->Unit(::benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_E5_Plain)->Apply(E5Args);
+BENCHMARK(BM_E5_TransformedEvaluate)->Apply(E5Args);
+BENCHMARK(BM_E5_RuntimeResidues)->Apply(E5Args);
+BENCHMARK(BM_E5_CompileOnce)->Unit(::benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace semopt
+
+BENCHMARK_MAIN();

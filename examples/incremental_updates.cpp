@@ -1,0 +1,103 @@
+// Incremental view maintenance on the optimized program: the
+// collaboration network grows while the `eval` view stays materialized
+// — each update propagates deltas instead of recomputing the fixpoint.
+//
+// Run: ./build/examples/incremental_updates [professors]
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "eval/fixpoint.h"
+#include "eval/incremental.h"
+#include "semopt/optimizer.h"
+#include "util/string_util.h"
+#include "workload/university.h"
+
+namespace {
+
+double MillisecondsOf(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace semopt;
+
+  UniversityParams params;
+  params.num_professors = argc > 1 ? std::atoi(argv[1]) : 120;
+  params.num_students = params.num_professors * 2;
+  params.seed = 2026;
+
+  Result<Program> program = UniversityProgram();
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> optimized = optimizer.Optimize(*program);
+  if (!optimized.ok()) {
+    std::cerr << optimized.status() << "\n";
+    return 1;
+  }
+
+  Database edb = GenerateUniversityDb(params);
+  std::cout << "initial EDB: " << edb.TotalTuples() << " tuples\n";
+
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(optimized->program, edb.Clone());
+  if (!inc.ok()) {
+    std::cerr << inc.status() << "\n";
+    return 1;
+  }
+  auto eval_count = [&](const Database& idb) {
+    const Relation* rel = idb.Find(PredicateId{InternSymbol("eval"), 3});
+    return rel == nullptr ? size_t{0} : rel->size();
+  };
+  std::cout << "materialized eval view: " << eval_count(inc->idb())
+            << " tuples\n\n";
+
+  // Stream updates: visiting professors join the network, each
+  // collaborating with an existing professor — their evaluation rights
+  // ripple through the closure.
+  double incremental_total = 0, recompute_total = 0;
+  Database growing = edb.Clone();
+  for (int update = 0; update < 10; ++update) {
+    std::vector<Atom> facts;
+    Term guest = Term::Sym(StrCat("guest", update));
+    facts.push_back(Atom(
+        "works_with", {guest, Term::Sym(StrCat("prof", update * 3))}));
+    for (int f = 0; f < 10; ++f) {
+      facts.push_back(Atom("expert", {guest, Term::Sym(StrCat("field", f))}));
+    }
+
+    size_t derived = 0;
+    incremental_total += MillisecondsOf([&] {
+      Result<size_t> result = inc->AddFacts(facts);
+      if (result.ok()) derived = *result;
+    });
+
+    // The from-scratch comparison point.
+    for (const Atom& fact : facts) (void)growing.AddFact(fact);
+    recompute_total += MillisecondsOf([&] {
+      Result<Database> full = Evaluate(optimized->program, growing);
+      if (full.ok()) {
+        // consistency check
+        if (eval_count(*full) != eval_count(inc->idb())) {
+          std::cerr << "MISMATCH after update " << update << "\n";
+        }
+      }
+    });
+    std::cout << "update " << update << ": +" << derived
+              << " derived eval tuples (view now "
+              << eval_count(inc->idb()) << ")\n";
+  }
+
+  std::cout << "\n10 updates, incremental: " << incremental_total
+            << " ms total\n";
+  std::cout << "10 updates, recompute:   " << recompute_total
+            << " ms total\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace semopt {
+
+DependencyGraph DependencyGraph::Build(const Program& program) {
+  DependencyGraph g;
+  for (const Rule& rule : program.rules()) {
+    PredicateId head = rule.head().pred_id();
+    g.nodes_.insert(head);
+    g.edges_[head];  // ensure entry
+    for (const Literal& lit : rule.body()) {
+      if (!lit.IsRelational()) continue;
+      PredicateId body_pred = lit.atom().pred_id();
+      g.nodes_.insert(body_pred);
+      g.edges_[head].insert(body_pred);
+      if (lit.negated()) g.negative_edges_.insert({head, body_pred});
+    }
+  }
+  return g;
+}
+
+const std::set<PredicateId>& DependencyGraph::DependenciesOf(
+    const PredicateId& p) const {
+  static const std::set<PredicateId>& kEmpty = *new std::set<PredicateId>();
+  auto it = edges_.find(p);
+  return it == edges_.end() ? kEmpty : it->second;
+}
+
+bool DependencyGraph::HasNegativeEdge(const PredicateId& p,
+                                      const PredicateId& q) const {
+  return negative_edges_.count({p, q}) > 0;
+}
+
+std::set<PredicateId> DependencyGraph::ReachableFrom(
+    const PredicateId& p) const {
+  std::set<PredicateId> visited;
+  std::vector<PredicateId> stack = {p};
+  while (!stack.empty()) {
+    PredicateId current = stack.back();
+    stack.pop_back();
+    if (!visited.insert(current).second) continue;
+    for (const PredicateId& next : DependenciesOf(current)) {
+      if (visited.count(next) == 0) stack.push_back(next);
+    }
+  }
+  return visited;
+}
+
+bool DependencyGraph::Reaches(const PredicateId& p,
+                              const PredicateId& q) const {
+  return ReachableFrom(p).count(q) > 0;
+}
+
+std::vector<std::vector<PredicateId>> DependencyGraph::Sccs() const {
+  // Tarjan's algorithm (iterative-friendly sizes here, recursion is fine
+  // for the program sizes this library targets).
+  std::map<PredicateId, int> index, lowlink;
+  std::map<PredicateId, bool> on_stack;
+  std::vector<PredicateId> stack;
+  std::vector<std::vector<PredicateId>> sccs;
+  int next_index = 0;
+
+  std::function<void(const PredicateId&)> strongconnect =
+      [&](const PredicateId& v) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+        for (const PredicateId& w : DependenciesOf(v)) {
+          if (index.count(w) == 0) {
+            strongconnect(w);
+            lowlink[v] = std::min(lowlink[v], lowlink[w]);
+          } else if (on_stack[w]) {
+            lowlink[v] = std::min(lowlink[v], index[w]);
+          }
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<PredicateId> component;
+          PredicateId w{0, 0};
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+          } while (w != v);
+          sccs.push_back(std::move(component));
+        }
+      };
+
+  for (const PredicateId& v : nodes_) {
+    if (index.count(v) == 0) strongconnect(v);
+  }
+  return sccs;
+}
+
+bool DependencyGraph::IsRecursive(const PredicateId& p) const {
+  if (DependenciesOf(p).count(p) > 0) return true;  // self-loop
+  for (const auto& scc : Sccs()) {
+    if (scc.size() > 1 &&
+        std::find(scc.begin(), scc.end(), p) != scc.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace semopt

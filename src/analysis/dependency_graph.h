@@ -1,0 +1,55 @@
+#ifndef SEMOPT_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define SEMOPT_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace semopt {
+
+/// The predicate dependency graph of a program: an edge p -> q exists
+/// when some rule with head predicate p uses q (positively or negatively)
+/// in its body. Used for recursion detection, stratification, and the
+/// reachability analysis of intelligent query answering (§5).
+class DependencyGraph {
+ public:
+  /// Builds the graph of `program`. Evaluable literals contribute no
+  /// edges (comparison predicates are not database predicates).
+  static DependencyGraph Build(const Program& program);
+
+  /// All predicates mentioned in heads or bodies.
+  const std::set<PredicateId>& nodes() const { return nodes_; }
+
+  /// Direct dependencies of `p` (body predicates of p's rules).
+  const std::set<PredicateId>& DependenciesOf(const PredicateId& p) const;
+
+  /// True if an edge p -> q exists and it goes through a negated body
+  /// literal in some rule.
+  bool HasNegativeEdge(const PredicateId& p, const PredicateId& q) const;
+
+  /// True if `q` is reachable from `p` following edges forward
+  /// (reflexive: p is reachable from itself).
+  bool Reaches(const PredicateId& p, const PredicateId& q) const;
+
+  /// Predicates reachable from `p` (including `p`).
+  std::set<PredicateId> ReachableFrom(const PredicateId& p) const;
+
+  /// Strongly connected components in reverse topological order
+  /// (callees before callers), computed with Tarjan's algorithm.
+  std::vector<std::vector<PredicateId>> Sccs() const;
+
+  /// True if `p` is recursive: its SCC has more than one node, or it has
+  /// a self-loop.
+  bool IsRecursive(const PredicateId& p) const;
+
+ private:
+  std::set<PredicateId> nodes_;
+  std::map<PredicateId, std::set<PredicateId>> edges_;
+  std::set<std::pair<PredicateId, PredicateId>> negative_edges_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_ANALYSIS_DEPENDENCY_GRAPH_H_

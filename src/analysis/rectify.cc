@@ -1,0 +1,120 @@
+#include "analysis/rectify.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ast/rename.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+/// True if `head`'s arguments are distinct variables.
+bool HasDistinctVarHead(const Atom& head) {
+  std::unordered_set<SymbolId> seen;
+  for (const Term& t : head.args()) {
+    if (!t.IsVariable()) return false;
+    if (!seen.insert(t.symbol()).second) return false;
+  }
+  return true;
+}
+
+/// Canonical head variables for `pred`: the head of the first rule whose
+/// head is already in distinct-variable form, else X1..Xn.
+std::vector<Term> CanonicalHeadVars(const Program& program,
+                                    const PredicateId& pred) {
+  for (size_t i : program.RulesFor(pred)) {
+    const Atom& head = program.rules()[i].head();
+    if (HasDistinctVarHead(head)) return head.args();
+  }
+  std::vector<Term> vars;
+  for (uint32_t i = 1; i <= pred.arity; ++i) {
+    vars.push_back(Term::Var(StrCat("X", i)));
+  }
+  return vars;
+}
+
+/// Rectifies a single rule against the canonical head `canon`.
+Rule RectifyRule(const Rule& rule, const std::vector<Term>& canon,
+                 FreshVariableGenerator* gen) {
+  if (rule.head().args() == canon) return rule;
+
+  // Step 1: rename every rule variable to a fresh temporary so nothing
+  // in the body collides with a canonical head variable name.
+  Substitution temp_renaming = RenamingFor(rule, gen);
+  Atom head = temp_renaming.Apply(rule.head());
+  std::vector<Literal> body = temp_renaming.Apply(rule.body());
+
+  // Step 2: align head argument i with canonical variable canon[i].
+  // A first occurrence of a temp variable is renamed to the canonical
+  // variable; repeats and constants become `=` body literals.
+  Substitution align;
+  std::vector<Literal> equalities;
+  std::unordered_set<SymbolId> assigned_temp_vars;
+  for (size_t i = 0; i < canon.size(); ++i) {
+    const Term& arg = head.arg(i);
+    if (arg.IsVariable() &&
+        assigned_temp_vars.insert(arg.symbol()).second) {
+      align.Bind(arg.symbol(), canon[i]);
+    } else {
+      // Constant or repeated variable: equate (the repeated variable is
+      // already aligned to an earlier canonical variable).
+      equalities.push_back(
+          Literal::Comparison(canon[i], ComparisonOp::kEq, arg));
+    }
+  }
+  body = align.Apply(body);
+  equalities = align.Apply(equalities);
+  for (Literal& eq : equalities) body.push_back(std::move(eq));
+
+  // Step 3: restore readability — map each remaining temporary variable
+  // back to its original name when that name is free in the new rule.
+  Rule draft(rule.label(), Atom(head.predicate(), canon), std::move(body));
+  std::unordered_set<SymbolId> used;
+  for (SymbolId v : CollectVariables(draft)) used.insert(v);
+  Substitution restore;
+  for (SymbolId v : CollectVariables(draft)) {
+    const std::string& name = SymbolName(v);
+    size_t dollar = name.find('$');
+    if (dollar == std::string::npos) continue;
+    SymbolId original = InternSymbol(name.substr(0, dollar));
+    if (used.count(original) == 0) {
+      restore.Bind(v, Term::Var(original));
+      used.insert(original);
+    }
+  }
+  return restore.Apply(draft);
+}
+
+}  // namespace
+
+bool IsRectified(const Program& program) {
+  std::map<PredicateId, const Atom*> heads;
+  for (const Rule& rule : program.rules()) {
+    if (!HasDistinctVarHead(rule.head())) return false;
+    auto [it, inserted] =
+        heads.emplace(rule.head().pred_id(), &rule.head());
+    if (!inserted && !(*it->second == rule.head())) return false;
+  }
+  return true;
+}
+
+Result<Program> Rectify(const Program& program) {
+  FreshVariableGenerator gen("R");
+  Program out;
+  std::map<PredicateId, std::vector<Term>> canon;
+  for (const Rule& rule : program.rules()) {
+    PredicateId pred = rule.head().pred_id();
+    auto it = canon.find(pred);
+    if (it == canon.end()) {
+      it = canon.emplace(pred, CanonicalHeadVars(program, pred)).first;
+    }
+    out.AddRule(RectifyRule(rule, it->second, &gen));
+  }
+  for (const Constraint& ic : program.constraints()) out.AddConstraint(ic);
+  return out;
+}
+
+}  // namespace semopt

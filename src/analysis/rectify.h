@@ -1,0 +1,24 @@
+#ifndef SEMOPT_ANALYSIS_RECTIFY_H_
+#define SEMOPT_ANALYSIS_RECTIFY_H_
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// True if every IDB predicate's rules share an identical head
+/// p(X1, ..., Xn) whose arguments are distinct variables (Ullman's
+/// rectified form, which the paper assumes in §2).
+bool IsRectified(const Program& program);
+
+/// Rewrites `program` into an equivalent rectified program: each rule's
+/// head becomes p(X1, ..., Xn) with canonical distinct variables, and
+/// constants / repeated variables in the original head turn into `=`
+/// body literals. Rules already in canonical form are preserved
+/// verbatim. Constraints are copied unchanged (they have no heads to
+/// rectify in this sense).
+Result<Program> Rectify(const Program& program);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_ANALYSIS_RECTIFY_H_

@@ -1,0 +1,108 @@
+#include "analysis/recursion.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/dependency_graph.h"
+#include "analysis/safety.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+RecursionAnalysis AnalyzeRecursion(const Program& program) {
+  RecursionAnalysis out;
+  DependencyGraph graph = DependencyGraph::Build(program);
+
+  // Map each predicate to its SCC id.
+  std::map<PredicateId, int> scc_of;
+  auto sccs = graph.Sccs();
+  for (size_t i = 0; i < sccs.size(); ++i) {
+    for (const PredicateId& p : sccs[i]) scc_of[p] = static_cast<int>(i);
+    if (sccs[i].size() > 1) {
+      out.has_mutual_recursion = true;
+      out.has_recursion = true;
+      for (const PredicateId& p : sccs[i]) out.recursive_predicates.insert(p);
+    }
+  }
+  for (const PredicateId& p : graph.nodes()) {
+    if (graph.DependenciesOf(p).count(p) > 0) {
+      out.has_recursion = true;
+      out.recursive_predicates.insert(p);
+    }
+  }
+
+  // Linearity: each rule has at most one body occurrence of a predicate
+  // in its head's recursion component.
+  for (const Rule& rule : program.rules()) {
+    PredicateId head = rule.head().pred_id();
+    int in_component = 0;
+    for (const Literal& lit : rule.body()) {
+      if (!lit.IsRelational()) continue;
+      PredicateId q = lit.atom().pred_id();
+      bool same_component = scc_of.count(q) > 0 && scc_of.count(head) > 0 &&
+                            scc_of[q] == scc_of[head] &&
+                            out.recursive_predicates.count(head) > 0;
+      // Self-loop predicates form their own singleton component too.
+      if (q == head && out.recursive_predicates.count(head) > 0) {
+        same_component = true;
+      }
+      if (same_component) ++in_component;
+    }
+    if (in_component > 1) out.all_linear = false;
+  }
+  return out;
+}
+
+Status ValidatePaperAssumptions(const Program& program) {
+  // (1) Range restriction.
+  for (const Rule& rule : program.rules()) {
+    SEMOPT_RETURN_IF_ERROR(CheckRangeRestricted(rule));
+  }
+  // (2) Connectivity of rules and ICs.
+  for (const Rule& rule : program.rules()) {
+    if (!IsConnected(rule)) {
+      return Status::FailedPrecondition(
+          StrCat("rule ", rule.ToString(), " is not connected"));
+    }
+  }
+  for (const Constraint& ic : program.constraints()) {
+    if (!IsConnected(ic)) {
+      return Status::FailedPrecondition(
+          StrCat("constraint ", ic.ToString(), " is not connected"));
+    }
+  }
+  // (3) Linear recursion, no mutual recursion.
+  RecursionAnalysis rec = AnalyzeRecursion(program);
+  if (rec.has_mutual_recursion) {
+    return Status::FailedPrecondition(
+        "program contains mutual recursion, which is outside the paper's "
+        "fragment");
+  }
+  if (!rec.all_linear) {
+    return Status::FailedPrecondition(
+        "program contains a non-linear recursive rule, which is outside "
+        "the paper's fragment");
+  }
+  // (4) ICs involve only EDB predicates (and evaluable predicates).
+  auto idb = program.IdbPredicates();
+  for (const Constraint& ic : program.constraints()) {
+    auto check_atom = [&](const Atom& atom) -> Status {
+      if (idb.count(atom.pred_id()) > 0) {
+        return Status::FailedPrecondition(
+            StrCat("constraint ", ic.ToString(), " mentions IDB predicate ",
+                   atom.pred_id().ToString(),
+                   "; ICs may involve only EDB predicates"));
+      }
+      return Status::Ok();
+    };
+    for (const Literal& lit : ic.body()) {
+      if (lit.IsRelational()) SEMOPT_RETURN_IF_ERROR(check_atom(lit.atom()));
+    }
+    if (ic.head().has_value() && ic.head()->IsRelational()) {
+      SEMOPT_RETURN_IF_ERROR(check_atom(ic.head()->atom()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace semopt

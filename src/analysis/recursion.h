@@ -1,0 +1,34 @@
+#ifndef SEMOPT_ANALYSIS_RECURSION_H_
+#define SEMOPT_ANALYSIS_RECURSION_H_
+
+#include <set>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace semopt {
+
+/// Summary of a program's recursion structure.
+struct RecursionAnalysis {
+  bool has_recursion = false;
+  /// True when every recursive rule has at most one body occurrence of a
+  /// predicate from its head's recursion component (linear recursion).
+  bool all_linear = true;
+  /// True when some SCC of the dependency graph has >1 predicate.
+  bool has_mutual_recursion = false;
+  std::set<PredicateId> recursive_predicates;
+};
+
+/// Classifies `program`'s recursion (linear / non-linear / mutual).
+RecursionAnalysis AnalyzeRecursion(const Program& program);
+
+/// Checks the paper's §1 assumptions on programs submitted to the
+/// semantic optimizer: (1) all rules range restricted, (2) all rules and
+/// ICs connected, (3) only linear recursion, no mutual recursion,
+/// (4) ICs mention only EDB predicates and evaluable predicates.
+/// Returns the first violation found.
+Status ValidatePaperAssumptions(const Program& program);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_ANALYSIS_RECURSION_H_

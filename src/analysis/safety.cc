@@ -1,0 +1,111 @@
+#include "analysis/safety.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "ast/rename.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Status CheckRangeRestricted(const Rule& rule) {
+  std::unordered_set<SymbolId> body_vars;
+  for (const Literal& lit : rule.body()) {
+    for (SymbolId v : CollectVariables(lit)) body_vars.insert(v);
+  }
+  for (const Term& t : rule.head().args()) {
+    if (t.IsVariable() && body_vars.count(t.symbol()) == 0) {
+      return Status::FailedPrecondition(
+          StrCat("rule ", rule.ToString(), " is not range restricted: head ",
+                 "variable ", t.name(), " does not appear in the body"));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckSafe(const Rule& rule) {
+  // Start with variables bound by positive relational literals; then
+  // propagate through `=` literals to a fixpoint.
+  std::unordered_set<SymbolId> bound;
+  for (const Literal& lit : rule.body()) {
+    if (lit.IsRelational() && !lit.negated()) {
+      for (SymbolId v : CollectVariables(lit)) bound.insert(v);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& lit : rule.body()) {
+      if (!lit.IsComparison() || lit.negated()) continue;
+      if (lit.op() != ComparisonOp::kEq) continue;
+      const Term& a = lit.lhs();
+      const Term& b = lit.rhs();
+      bool a_bound = a.IsConstant() ||
+                     (a.IsVariable() && bound.count(a.symbol()) > 0);
+      bool b_bound = b.IsConstant() ||
+                     (b.IsVariable() && bound.count(b.symbol()) > 0);
+      if (a_bound && !b_bound && b.IsVariable()) {
+        bound.insert(b.symbol());
+        changed = true;
+      }
+      if (b_bound && !a_bound && a.IsVariable()) {
+        bound.insert(a.symbol());
+        changed = true;
+      }
+    }
+  }
+  for (SymbolId v : CollectVariables(rule)) {
+    if (bound.count(v) == 0) {
+      return Status::FailedPrecondition(
+          StrCat("rule ", rule.ToString(), " is unsafe: variable ",
+                 SymbolName(v), " is not bound by a positive literal"));
+    }
+  }
+  return Status::Ok();
+}
+
+bool IsConnected(const std::vector<Literal>& body) {
+  if (body.size() <= 1) return true;
+  // Union-find over subgoal indices, merging subgoals sharing a variable.
+  std::vector<size_t> parent(body.size());
+  for (size_t i = 0; i < body.size(); ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+  std::map<SymbolId, size_t> first_seen;
+  for (size_t i = 0; i < body.size(); ++i) {
+    for (SymbolId v : CollectVariables(body[i])) {
+      auto [it, inserted] = first_seen.emplace(v, i);
+      if (!inserted) unite(i, it->second);
+    }
+  }
+  size_t root = find(0);
+  for (size_t i = 1; i < body.size(); ++i) {
+    if (find(i) != root) return false;
+  }
+  return true;
+}
+
+bool IsConnected(const Rule& rule) { return IsConnected(rule.body()); }
+
+bool IsConnected(const Constraint& constraint) {
+  return IsConnected(constraint.body());
+}
+
+Status CheckProgramSafe(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    SEMOPT_RETURN_IF_ERROR(CheckRangeRestricted(rule));
+    SEMOPT_RETURN_IF_ERROR(CheckSafe(rule));
+  }
+  return Status::Ok();
+}
+
+}  // namespace semopt

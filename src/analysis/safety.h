@@ -1,0 +1,32 @@
+#ifndef SEMOPT_ANALYSIS_SAFETY_H_
+#define SEMOPT_ANALYSIS_SAFETY_H_
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace semopt {
+
+/// Checks range restriction (paper §1): every variable of the head
+/// appears in the body.
+Status CheckRangeRestricted(const Rule& rule);
+
+/// Checks evaluation safety: every variable of the rule is *bound* — it
+/// appears in a positive relational body literal, or is transitively
+/// equated (via `=` literals) to a constant or a bound variable. Negated
+/// literals and non-equality comparisons do not bind.
+Status CheckSafe(const Rule& rule);
+
+/// Connectivity (paper §1): any two body subgoals share a variable
+/// directly or through a chain of subgoals. Rules/ICs with <= 1 subgoal
+/// are trivially connected. Only relational subgoals and comparisons
+/// participate as graph nodes.
+bool IsConnected(const std::vector<Literal>& body);
+bool IsConnected(const Rule& rule);
+bool IsConnected(const Constraint& constraint);
+
+/// Validates every rule of `program` for range restriction and safety.
+Status CheckProgramSafe(const Program& program);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_ANALYSIS_SAFETY_H_

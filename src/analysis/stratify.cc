@@ -1,0 +1,55 @@
+#include "analysis/stratify.h"
+
+#include <algorithm>
+
+#include "analysis/dependency_graph.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<Stratification> Stratify(const Program& program) {
+  DependencyGraph graph = DependencyGraph::Build(program);
+  auto idb = program.IdbPredicates();
+
+  // Iterative stratum assignment: stratum(p) >= stratum(q) for positive
+  // edges p->q, stratum(p) >= stratum(q)+1 for negative edges, with EDB
+  // predicates pinned at stratum 0. Failure to converge within
+  // |IDB|+1 rounds means a negative cycle (unstratifiable).
+  std::map<PredicateId, int> stratum;
+  for (const PredicateId& p : graph.nodes()) stratum[p] = 0;
+
+  const size_t max_rounds = idb.size() + 2;
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed) {
+    changed = false;
+    if (++rounds > max_rounds) {
+      return Status::FailedPrecondition(
+          "program is not stratifiable (negation through recursion)");
+    }
+    for (const Rule& rule : program.rules()) {
+      PredicateId head = rule.head().pred_id();
+      for (const Literal& lit : rule.body()) {
+        if (!lit.IsRelational()) continue;
+        PredicateId q = lit.atom().pred_id();
+        int required = stratum[q] + (lit.negated() ? 1 : 0);
+        if (stratum[head] < required) {
+          stratum[head] = required;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  Stratification out;
+  int max_stratum = 0;
+  for (const PredicateId& p : idb) {
+    out.stratum_of[p] = stratum[p];
+    max_stratum = std::max(max_stratum, stratum[p]);
+  }
+  out.strata.resize(max_stratum + 1);
+  for (const PredicateId& p : idb) out.strata[stratum[p]].push_back(p);
+  return out;
+}
+
+}  // namespace semopt

@@ -1,0 +1,29 @@
+#ifndef SEMOPT_ANALYSIS_STRATIFY_H_
+#define SEMOPT_ANALYSIS_STRATIFY_H_
+
+#include <map>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// A stratification: predicates grouped into strata evaluated bottom-up;
+/// stratum i may depend negatively only on strata < i.
+struct Stratification {
+  /// Stratum index per IDB predicate.
+  std::map<PredicateId, int> stratum_of;
+  /// Predicates per stratum, lowest first.
+  std::vector<std::vector<PredicateId>> strata;
+};
+
+/// Computes a stratification of `program`, or an error if negation
+/// through recursion makes the program unstratifiable. Programs without
+/// negated relational literals always stratify. Negated *evaluable*
+/// literals don't constrain stratification.
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_ANALYSIS_STRATIFY_H_

@@ -1,0 +1,131 @@
+#include "ast/atom.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+std::string PredicateId::ToString() const {
+  return StrCat(SymbolName(name), "/", arity);
+}
+
+std::ostream& operator<<(std::ostream& os, const PredicateId& pred) {
+  return os << pred.ToString();
+}
+
+std::string Atom::ToString() const {
+  if (args_.empty()) return predicate_name();
+  return StrCat(predicate_name(), "(", JoinToString(args_, ", "), ")");
+}
+
+size_t Atom::Hash() const {
+  size_t seed = predicate_;
+  for (const Term& t : args_) HashCombine(&seed, t);
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Atom& atom) {
+  return os << atom.ToString();
+}
+
+const char* ComparisonOpName(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return "=";
+    case ComparisonOp::kNe:
+      return "!=";
+    case ComparisonOp::kLt:
+      return "<";
+    case ComparisonOp::kLe:
+      return "<=";
+    case ComparisonOp::kGt:
+      return ">";
+    case ComparisonOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ComparisonOp SwapComparison(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return ComparisonOp::kEq;
+    case ComparisonOp::kNe:
+      return ComparisonOp::kNe;
+    case ComparisonOp::kLt:
+      return ComparisonOp::kGt;
+    case ComparisonOp::kLe:
+      return ComparisonOp::kGe;
+    case ComparisonOp::kGt:
+      return ComparisonOp::kLt;
+    case ComparisonOp::kGe:
+      return ComparisonOp::kLe;
+  }
+  return op;
+}
+
+ComparisonOp NegateComparison(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return ComparisonOp::kNe;
+    case ComparisonOp::kNe:
+      return ComparisonOp::kEq;
+    case ComparisonOp::kLt:
+      return ComparisonOp::kGe;
+    case ComparisonOp::kLe:
+      return ComparisonOp::kGt;
+    case ComparisonOp::kGt:
+      return ComparisonOp::kLe;
+    case ComparisonOp::kGe:
+      return ComparisonOp::kLt;
+  }
+  return op;
+}
+
+Literal Literal::Simplify() const {
+  if (kind_ == Kind::kComparison && negated_) {
+    return Comparison(lhs_, NegateComparison(op_), rhs_);
+  }
+  return *this;
+}
+
+std::vector<Term> Literal::Terms() const {
+  if (kind_ == Kind::kRelational) return atom_.args();
+  return {lhs_, rhs_};
+}
+
+bool Literal::operator==(const Literal& other) const {
+  if (kind_ != other.kind_ || negated_ != other.negated_) return false;
+  if (kind_ == Kind::kRelational) return atom_ == other.atom_;
+  return op_ == other.op_ && lhs_ == other.lhs_ && rhs_ == other.rhs_;
+}
+
+std::string Literal::ToString() const {
+  std::string body;
+  if (kind_ == Kind::kRelational) {
+    body = atom_.ToString();
+  } else {
+    body = StrCat(lhs_, " ", ComparisonOpName(op_), " ", rhs_);
+  }
+  return negated_ ? StrCat("not ", body) : body;
+}
+
+size_t Literal::Hash() const {
+  size_t seed = static_cast<size_t>(kind_);
+  HashCombine(&seed, negated_);
+  if (kind_ == Kind::kRelational) {
+    HashCombine(&seed, atom_);
+  } else {
+    HashCombine(&seed, static_cast<int>(op_));
+    HashCombine(&seed, lhs_);
+    HashCombine(&seed, rhs_);
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Literal& literal) {
+  return os << literal.ToString();
+}
+
+}  // namespace semopt

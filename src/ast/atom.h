@@ -1,0 +1,202 @@
+#ifndef SEMOPT_AST_ATOM_H_
+#define SEMOPT_AST_ATOM_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/term.h"
+#include "util/hash_util.h"
+#include "util/interner.h"
+
+namespace semopt {
+
+/// Identifies a predicate by (interned name, arity). Two predicates with
+/// the same name but different arities are distinct.
+struct PredicateId {
+  SymbolId name;
+  uint32_t arity;
+
+  bool operator==(const PredicateId& o) const {
+    return name == o.name && arity == o.arity;
+  }
+  bool operator!=(const PredicateId& o) const { return !(*this == o); }
+  bool operator<(const PredicateId& o) const {
+    if (name != o.name) return name < o.name;
+    return arity < o.arity;
+  }
+
+  /// Renders "name/arity".
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const PredicateId& pred);
+
+/// A database/IDB atom: predicate applied to terms, e.g. `boss(U, E3, R)`.
+class Atom {
+ public:
+  Atom() = default;
+  Atom(SymbolId predicate, std::vector<Term> args)
+      : predicate_(predicate), args_(std::move(args)) {}
+  Atom(std::string_view predicate, std::vector<Term> args)
+      : predicate_(InternSymbol(predicate)), args_(std::move(args)) {}
+
+  SymbolId predicate() const { return predicate_; }
+  const std::string& predicate_name() const { return SymbolName(predicate_); }
+  uint32_t arity() const { return static_cast<uint32_t>(args_.size()); }
+  PredicateId pred_id() const { return PredicateId{predicate_, arity()}; }
+
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>& mutable_args() { return args_; }
+  const Term& arg(size_t i) const { return args_[i]; }
+
+  bool operator==(const Atom& other) const {
+    return predicate_ == other.predicate_ && args_ == other.args_;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+
+  /// Renders "pred(t1, ..., tn)"; a 0-ary atom renders as "pred".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  SymbolId predicate_ = 0;
+  std::vector<Term> args_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Atom& atom);
+
+/// Comparison operators of the evaluable (built-in) predicates supported
+/// by the engine: =, !=, <, <=, >, >=.
+enum class ComparisonOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Source spelling of `op` (e.g. ">=").
+const char* ComparisonOpName(ComparisonOp op);
+
+/// The operator with swapped operand order (e.g. `<` -> `>`).
+ComparisonOp SwapComparison(ComparisonOp op);
+
+/// The logical negation of `op` (e.g. `<` -> `>=`).
+ComparisonOp NegateComparison(ComparisonOp op);
+
+/// A body element of a rule or IC: either a *relational* literal (an Atom
+/// over an EDB/IDB predicate, possibly negated) or an *evaluable* literal
+/// (a comparison between two terms, possibly negated).
+///
+/// The paper's fragment needs negation only on evaluable literals (the
+/// `not E` guards produced by pushing); the engine enforces this at
+/// evaluation time. The AST still represents negated relational literals
+/// so the magic-sets module and future extensions can share it.
+class Literal {
+ public:
+  enum class Kind : uint8_t { kRelational, kComparison };
+
+  /// Creates a positive relational literal.
+  static Literal Relational(Atom atom) {
+    Literal l;
+    l.kind_ = Kind::kRelational;
+    l.atom_ = std::move(atom);
+    return l;
+  }
+
+  /// Creates a negated relational literal.
+  static Literal NegatedRelational(Atom atom) {
+    Literal l = Relational(std::move(atom));
+    l.negated_ = true;
+    return l;
+  }
+
+  /// Creates an evaluable comparison literal `lhs op rhs`.
+  static Literal Comparison(Term lhs, ComparisonOp op, Term rhs) {
+    Literal l;
+    l.kind_ = Kind::kComparison;
+    l.lhs_ = lhs;
+    l.op_ = op;
+    l.rhs_ = rhs;
+    return l;
+  }
+
+  /// Creates `not (lhs op rhs)`. Note this is represented as a negated
+  /// literal rather than folded into the complementary operator, so
+  /// pretty-printing round-trips; `Simplify()` can fold it.
+  static Literal NegatedComparison(Term lhs, ComparisonOp op, Term rhs) {
+    Literal l = Comparison(lhs, op, rhs);
+    l.negated_ = true;
+    return l;
+  }
+
+  Kind kind() const { return kind_; }
+  bool IsRelational() const { return kind_ == Kind::kRelational; }
+  bool IsComparison() const { return kind_ == Kind::kComparison; }
+  bool negated() const { return negated_; }
+
+  /// Returns a copy with the negation flag flipped.
+  Literal Negated() const {
+    Literal l = *this;
+    l.negated_ = !l.negated_;
+    return l;
+  }
+
+  /// For comparison literals: returns the positive literal with the
+  /// complementary operator if negated (e.g. not(X < Y) -> X >= Y);
+  /// otherwise returns *this unchanged.
+  Literal Simplify() const;
+
+  /// The relational atom; requires IsRelational().
+  const Atom& atom() const { return atom_; }
+  Atom& mutable_atom() { return atom_; }
+
+  /// Comparison accessors; require IsComparison().
+  const Term& lhs() const { return lhs_; }
+  const Term& rhs() const { return rhs_; }
+  ComparisonOp op() const { return op_; }
+
+  /// All terms of the literal, in argument order.
+  std::vector<Term> Terms() const;
+
+  bool operator==(const Literal& other) const;
+  bool operator!=(const Literal& other) const { return !(*this == other); }
+
+  /// Renders e.g. "boss(U, E3, R)", "not doctoral(S)", "M > 10000".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  Literal() : lhs_(Term::Int(0)), rhs_(Term::Int(0)) {}
+
+  Kind kind_ = Kind::kRelational;
+  bool negated_ = false;
+  Atom atom_;            // kRelational
+  Term lhs_, rhs_;       // kComparison
+  ComparisonOp op_ = ComparisonOp::kEq;
+};
+
+std::ostream& operator<<(std::ostream& os, const Literal& literal);
+
+}  // namespace semopt
+
+namespace std {
+template <>
+struct hash<semopt::PredicateId> {
+  size_t operator()(const semopt::PredicateId& p) const {
+    size_t seed = p.name;
+    semopt::HashCombine(&seed, p.arity);
+    return seed;
+  }
+};
+template <>
+struct hash<semopt::Atom> {
+  size_t operator()(const semopt::Atom& a) const { return a.Hash(); }
+};
+template <>
+struct hash<semopt::Literal> {
+  size_t operator()(const semopt::Literal& l) const { return l.Hash(); }
+};
+}  // namespace std
+
+#endif  // SEMOPT_AST_ATOM_H_

@@ -1,0 +1,73 @@
+#include "ast/program.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+std::set<PredicateId> Program::IdbPredicates() const {
+  std::set<PredicateId> idb;
+  for (const Rule& r : rules_) idb.insert(r.head().pred_id());
+  return idb;
+}
+
+std::set<PredicateId> Program::EdbPredicates() const {
+  std::set<PredicateId> idb = IdbPredicates();
+  std::set<PredicateId> edb;
+  auto consider = [&](const Literal& l) {
+    if (l.IsRelational() && idb.count(l.atom().pred_id()) == 0) {
+      edb.insert(l.atom().pred_id());
+    }
+  };
+  for (const Rule& r : rules_) {
+    for (const Literal& l : r.body()) consider(l);
+  }
+  for (const Constraint& c : constraints_) {
+    for (const Literal& l : c.body()) consider(l);
+    if (c.head().has_value()) consider(*c.head());
+  }
+  return edb;
+}
+
+std::vector<size_t> Program::RulesFor(const PredicateId& pred) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].head().pred_id() == pred) indices.push_back(i);
+  }
+  return indices;
+}
+
+const Rule* Program::FindRuleByLabel(const std::string& label) const {
+  for (const Rule& r : rules_) {
+    if (r.label() == label) return &r;
+  }
+  return nullptr;
+}
+
+void Program::AutoLabelRules() {
+  int next = 0;
+  for (Rule& r : rules_) {
+    if (r.label().empty()) {
+      // Avoid colliding with an existing label.
+      std::string candidate;
+      do {
+        candidate = StrCat("r", next++);
+      } while (FindRuleByLabel(candidate) != nullptr);
+      r.set_label(candidate);
+    }
+  }
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (const Rule& r : rules_) os << r << "\n";
+  for (const Constraint& c : constraints_) os << c << "\n";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Program& program) {
+  return os << program.ToString();
+}
+
+}  // namespace semopt

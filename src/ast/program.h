@@ -1,0 +1,60 @@
+#ifndef SEMOPT_AST_PROGRAM_H_
+#define SEMOPT_AST_PROGRAM_H_
+
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+
+namespace semopt {
+
+/// A Datalog program: an ordered list of rules. Predicates that appear in
+/// some rule head are IDB (intensional); all other predicates mentioned
+/// are EDB (extensional). Integrity constraints are carried alongside the
+/// rules (the paper restricts ICs to EDB predicates and evaluable
+/// predicates; the parser/validator enforces this).
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+  Program(std::vector<Rule> rules, std::vector<Constraint> constraints)
+      : rules_(std::move(rules)), constraints_(std::move(constraints)) {}
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& mutable_rules() { return rules_; }
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  std::vector<Constraint>& mutable_constraints() { return constraints_; }
+  void AddConstraint(Constraint c) { constraints_.push_back(std::move(c)); }
+
+  /// Predicates defined by some rule head.
+  std::set<PredicateId> IdbPredicates() const;
+
+  /// Predicates used in rule bodies or ICs but never defined by a head.
+  std::set<PredicateId> EdbPredicates() const;
+
+  /// Indices (into rules()) of the rules whose head predicate is `pred`.
+  std::vector<size_t> RulesFor(const PredicateId& pred) const;
+
+  /// The rule with the given label, or nullptr.
+  const Rule* FindRuleByLabel(const std::string& label) const;
+
+  /// Assigns labels r0, r1, ... to rules that lack one.
+  void AutoLabelRules();
+
+  /// Renders the program one rule per line, then ICs one per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::vector<Constraint> constraints_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Program& program);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_AST_PROGRAM_H_

@@ -1,0 +1,107 @@
+#include "ast/rename.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+void CollectInto(const Term& term, std::vector<SymbolId>* out,
+                 std::unordered_set<SymbolId>* seen) {
+  if (term.IsVariable() && seen->insert(term.symbol()).second) {
+    out->push_back(term.symbol());
+  }
+}
+
+void CollectInto(const Literal& literal, std::vector<SymbolId>* out,
+                 std::unordered_set<SymbolId>* seen) {
+  for (const Term& t : literal.Terms()) CollectInto(t, out, seen);
+}
+
+}  // namespace
+
+std::vector<SymbolId> CollectVariables(const Term& term) {
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  CollectInto(term, &out, &seen);
+  return out;
+}
+
+std::vector<SymbolId> CollectVariables(const Atom& atom) {
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  for (const Term& t : atom.args()) CollectInto(t, &out, &seen);
+  return out;
+}
+
+std::vector<SymbolId> CollectVariables(const Literal& literal) {
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  CollectInto(literal, &out, &seen);
+  return out;
+}
+
+std::vector<SymbolId> CollectVariables(const std::vector<Literal>& literals) {
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  for (const Literal& l : literals) CollectInto(l, &out, &seen);
+  return out;
+}
+
+std::vector<SymbolId> CollectVariables(const Rule& rule) {
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  for (const Term& t : rule.head().args()) CollectInto(t, &out, &seen);
+  for (const Literal& l : rule.body()) CollectInto(l, &out, &seen);
+  return out;
+}
+
+std::vector<SymbolId> CollectVariables(const Constraint& constraint) {
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  for (const Literal& l : constraint.body()) CollectInto(l, &out, &seen);
+  if (constraint.head().has_value()) {
+    CollectInto(*constraint.head(), &out, &seen);
+  }
+  return out;
+}
+
+Term FreshVariableGenerator::Fresh() {
+  return Term::Var(StrCat(stem_, "$", ++counter_));
+}
+
+Term FreshVariableGenerator::FreshLike(const Term& like) {
+  if (like.IsVariable()) {
+    return Term::Var(StrCat(like.name(), "$", ++counter_));
+  }
+  return Fresh();
+}
+
+Substitution RenamingFor(const std::vector<SymbolId>& vars,
+                         FreshVariableGenerator* gen) {
+  Substitution subst;
+  for (SymbolId v : vars) subst.Bind(v, gen->FreshLike(Term::Var(v)));
+  return subst;
+}
+
+Substitution RenamingFor(const Rule& rule, FreshVariableGenerator* gen) {
+  return RenamingFor(CollectVariables(rule), gen);
+}
+
+Substitution RenamingFor(const Constraint& constraint,
+                         FreshVariableGenerator* gen) {
+  return RenamingFor(CollectVariables(constraint), gen);
+}
+
+Rule RenameApart(const Rule& rule, FreshVariableGenerator* gen) {
+  return RenamingFor(rule, gen).Apply(rule);
+}
+
+Constraint RenameApart(const Constraint& constraint,
+                       FreshVariableGenerator* gen) {
+  return RenamingFor(constraint, gen).Apply(constraint);
+}
+
+}  // namespace semopt

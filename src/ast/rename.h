@@ -1,0 +1,62 @@
+#ifndef SEMOPT_AST_RENAME_H_
+#define SEMOPT_AST_RENAME_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "ast/substitution.h"
+
+namespace semopt {
+
+/// Collects the variables of the argument in first-occurrence order
+/// (duplicates removed).
+std::vector<SymbolId> CollectVariables(const Term& term);
+std::vector<SymbolId> CollectVariables(const Atom& atom);
+std::vector<SymbolId> CollectVariables(const Literal& literal);
+std::vector<SymbolId> CollectVariables(const std::vector<Literal>& literals);
+std::vector<SymbolId> CollectVariables(const Rule& rule);
+std::vector<SymbolId> CollectVariables(const Constraint& constraint);
+
+/// Generates fresh variable names guaranteed distinct from anything the
+/// parser can produce (they contain '$', which the lexer rejects) and
+/// from each other. A generator is typically scoped to one
+/// transformation pass.
+class FreshVariableGenerator {
+ public:
+  /// `stem` appears in generated names for readability, e.g. stem "G"
+  /// yields G$1, G$2, ...
+  explicit FreshVariableGenerator(std::string stem = "G")
+      : stem_(std::move(stem)) {}
+
+  /// Returns a fresh variable.
+  Term Fresh();
+
+  /// Returns a fresh variable whose name starts with the name of `like`
+  /// (useful for readable transformed programs, e.g. X -> X$3).
+  Term FreshLike(const Term& like);
+
+ private:
+  std::string stem_;
+  int counter_ = 0;
+};
+
+/// Returns a substitution renaming every variable of `rule` to a fresh
+/// variable from `gen`. Applying it yields a variant of the rule sharing
+/// no variables with anything previously generated.
+Substitution RenamingFor(const Rule& rule, FreshVariableGenerator* gen);
+Substitution RenamingFor(const Constraint& constraint,
+                         FreshVariableGenerator* gen);
+Substitution RenamingFor(const std::vector<SymbolId>& vars,
+                         FreshVariableGenerator* gen);
+
+/// Convenience: a variant of `rule` with all variables freshly renamed.
+Rule RenameApart(const Rule& rule, FreshVariableGenerator* gen);
+Constraint RenameApart(const Constraint& constraint,
+                       FreshVariableGenerator* gen);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_AST_RENAME_H_

@@ -1,0 +1,106 @@
+#include "ast/substitution.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+bool Substitution::Bind(SymbolId var, const Term& term) {
+  Term walked_value = Walk(term);
+  // Binding X to (a chain ending in) X is a no-op, not a conflict.
+  if (walked_value.IsVariable() && walked_value.symbol() == var) return true;
+  auto it = map_.find(var);
+  if (it != map_.end()) {
+    return Walk(it->second) == walked_value;
+  }
+  map_.emplace(var, walked_value);
+  return true;
+}
+
+std::optional<Term> Substitution::Lookup(SymbolId var) const {
+  auto it = map_.find(var);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+Term Substitution::Walk(const Term& term) const {
+  Term current = term;
+  // Bounded by the substitution size; Bind prevents cycles.
+  size_t steps = 0;
+  while (current.IsVariable() && steps <= map_.size()) {
+    auto it = map_.find(current.symbol());
+    if (it == map_.end()) return current;
+    current = it->second;
+    ++steps;
+  }
+  return current;
+}
+
+Term Substitution::Apply(const Term& term) const { return Walk(term); }
+
+Atom Substitution::Apply(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (const Term& t : atom.args()) args.push_back(Walk(t));
+  return Atom(atom.predicate(), std::move(args));
+}
+
+Literal Substitution::Apply(const Literal& literal) const {
+  if (literal.IsRelational()) {
+    Atom a = Apply(literal.atom());
+    return literal.negated() ? Literal::NegatedRelational(std::move(a))
+                             : Literal::Relational(std::move(a));
+  }
+  Term lhs = Walk(literal.lhs());
+  Term rhs = Walk(literal.rhs());
+  return literal.negated()
+             ? Literal::NegatedComparison(lhs, literal.op(), rhs)
+             : Literal::Comparison(lhs, literal.op(), rhs);
+}
+
+Rule Substitution::Apply(const Rule& rule) const {
+  Rule out(rule.label(), Apply(rule.head()), Apply(rule.body()));
+  return out;
+}
+
+Constraint Substitution::Apply(const Constraint& constraint) const {
+  std::optional<Literal> head;
+  if (constraint.head().has_value()) head = Apply(*constraint.head());
+  return Constraint(constraint.label(), Apply(constraint.body()),
+                    std::move(head));
+}
+
+std::vector<Literal> Substitution::Apply(
+    const std::vector<Literal>& literals) const {
+  std::vector<Literal> out;
+  out.reserve(literals.size());
+  for (const Literal& l : literals) out.push_back(Apply(l));
+  return out;
+}
+
+std::string Substitution::ToString() const {
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(map_.size());
+  for (const auto& [var, term] : map_) {
+    entries.emplace_back(SymbolName(var), Walk(term).ToString());
+  }
+  std::sort(entries.begin(), entries.end());
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [var, value] : entries) {
+    if (!first) os << ", ";
+    first = false;
+    os << var << "/" << value;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Substitution& subst) {
+  return os << subst.ToString();
+}
+
+}  // namespace semopt

@@ -1,0 +1,64 @@
+#ifndef SEMOPT_AST_SUBSTITUTION_H_
+#define SEMOPT_AST_SUBSTITUTION_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "ast/term.h"
+
+namespace semopt {
+
+/// A substitution: a finite mapping from variables (by interned name) to
+/// terms. Bindings may chain through variables (X -> Y, Y -> c);
+/// `Walk`/`Apply` follow chains to a fixpoint. Since the term language is
+/// function-free there is no occurs-check concern beyond trivial cycles,
+/// which `Bind` rejects.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds variable `var` to `term`. Returns false (and leaves the
+  /// substitution unchanged) if `var` is already bound to a different
+  /// term after walking, or if the binding would create a trivial cycle.
+  bool Bind(SymbolId var, const Term& term);
+
+  /// Direct lookup without chain-walking; nullopt when unbound.
+  std::optional<Term> Lookup(SymbolId var) const;
+
+  bool IsBound(SymbolId var) const { return map_.count(var) > 0; }
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+
+  /// Dereferences `term` through variable chains until it is a constant
+  /// or an unbound variable.
+  Term Walk(const Term& term) const;
+
+  /// Applies the substitution: every bound variable is replaced by its
+  /// walked value; unbound variables remain.
+  Term Apply(const Term& term) const;
+  Atom Apply(const Atom& atom) const;
+  Literal Apply(const Literal& literal) const;
+  Rule Apply(const Rule& rule) const;
+  Constraint Apply(const Constraint& constraint) const;
+  std::vector<Literal> Apply(const std::vector<Literal>& literals) const;
+
+  /// The underlying bindings (unwalked), for iteration/printing.
+  const std::unordered_map<SymbolId, Term>& bindings() const { return map_; }
+
+  /// Renders "{X/a, Y/Z}" with variables sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<SymbolId, Term> map_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Substitution& subst);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_AST_SUBSTITUTION_H_

@@ -1,0 +1,102 @@
+#ifndef SEMOPT_AST_TERM_H_
+#define SEMOPT_AST_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/hash_util.h"
+#include "util/interner.h"
+
+namespace semopt {
+
+/// The kind of a Datalog term. The language is function-free (pure
+/// Datalog, as in the paper), so a term is a variable or a constant.
+enum class TermKind : uint8_t {
+  kVariable,   // e.g. X, Boss, X4'
+  kIntConst,   // e.g. 42, 10000
+  kSymConst,   // e.g. 'executive', cs (interned symbol)
+};
+
+/// An immutable Datalog term: a variable, an integer constant, or a
+/// symbolic constant. Variables and symbols are interned, so Terms are
+/// two machine words and compare by value.
+class Term {
+ public:
+  /// Creates a variable term with the given (interned) name.
+  static Term Var(std::string_view name) {
+    return Term(TermKind::kVariable, InternSymbol(name));
+  }
+  static Term Var(SymbolId name_id) {
+    return Term(TermKind::kVariable, name_id);
+  }
+
+  /// Creates an integer-constant term.
+  static Term Int(int64_t value) { return Term(value); }
+
+  /// Creates a symbolic-constant term.
+  static Term Sym(std::string_view name) {
+    return Term(TermKind::kSymConst, InternSymbol(name));
+  }
+  static Term Sym(SymbolId name_id) {
+    return Term(TermKind::kSymConst, name_id);
+  }
+
+  TermKind kind() const { return kind_; }
+  bool IsVariable() const { return kind_ == TermKind::kVariable; }
+  bool IsConstant() const { return kind_ != TermKind::kVariable; }
+
+  /// The interned name id; requires IsVariable() or kind()==kSymConst.
+  SymbolId symbol() const { return static_cast<SymbolId>(payload_); }
+
+  /// The integer value; requires kind()==kIntConst.
+  int64_t int_value() const { return payload_; }
+
+  /// Variable name / symbol text; requires a symbol payload.
+  const std::string& name() const { return SymbolName(symbol()); }
+
+  bool operator==(const Term& other) const {
+    return kind_ == other.kind_ && payload_ == other.payload_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+  /// Total order (kind-major) so terms can key ordered containers.
+  bool operator<(const Term& other) const {
+    if (kind_ != other.kind_) return kind_ < other.kind_;
+    return payload_ < other.payload_;
+  }
+
+  /// Renders the term in source syntax: variables as-is, symbols as-is,
+  /// integers in decimal.
+  std::string ToString() const;
+
+  size_t Hash() const {
+    size_t seed = static_cast<size_t>(kind_);
+    HashCombine(&seed, payload_);
+    return seed;
+  }
+
+ private:
+  Term(TermKind kind, SymbolId sym)
+      : kind_(kind), payload_(static_cast<int64_t>(sym)) {}
+  explicit Term(int64_t value)
+      : kind_(TermKind::kIntConst), payload_(value) {}
+
+  TermKind kind_;
+  int64_t payload_;  // SymbolId for variables/symbols, value for ints
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& term);
+
+}  // namespace semopt
+
+namespace std {
+template <>
+struct hash<semopt::Term> {
+  size_t operator()(const semopt::Term& t) const { return t.Hash(); }
+};
+}  // namespace std
+
+#endif  // SEMOPT_AST_TERM_H_

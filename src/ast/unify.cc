@@ -1,0 +1,93 @@
+#include "ast/unify.h"
+
+namespace semopt {
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
+  Term wa = subst->Walk(a);
+  Term wb = subst->Walk(b);
+  if (wa == wb) return true;
+  if (wa.IsVariable()) return subst->Bind(wa.symbol(), wb);
+  if (wb.IsVariable()) return subst->Bind(wb.symbol(), wa);
+  return false;  // two distinct constants
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
+  if (a.predicate() != b.predicate() || a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.args().size(); ++i) {
+    if (!UnifyTerms(a.arg(i), b.arg(i), subst)) return false;
+  }
+  return true;
+}
+
+bool MatchTerm(const Term& pattern, const Term& target, Substitution* subst) {
+  // One-way matching must not walk through a binding into the target's
+  // variable namespace: a pattern variable bound to a target variable
+  // stays a *binding*, never a fresh bindable variable. So use direct
+  // lookup + syntactic comparison instead of Walk/Bind.
+  if (pattern.IsVariable()) {
+    std::optional<Term> existing = subst->Lookup(pattern.symbol());
+    if (existing.has_value()) return *existing == target;
+    return subst->Bind(pattern.symbol(), target);
+  }
+  return pattern == target;
+}
+
+bool MatchAtom(const Atom& pattern, const Atom& target, Substitution* subst) {
+  if (pattern.predicate() != target.predicate() ||
+      pattern.arity() != target.arity()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.args().size(); ++i) {
+    if (!MatchTerm(pattern.arg(i), target.arg(i), subst)) return false;
+  }
+  return true;
+}
+
+bool MatchTermFrozen(const Term& pattern, const Term& target,
+                     const std::set<SymbolId>& frozen, Substitution* subst) {
+  if (pattern.IsVariable() && frozen.count(pattern.symbol()) == 0) {
+    std::optional<Term> existing = subst->Lookup(pattern.symbol());
+    if (existing.has_value()) return *existing == target;
+    return subst->Bind(pattern.symbol(), target);
+  }
+  return pattern == target;
+}
+
+bool MatchAtomFrozen(const Atom& pattern, const Atom& target,
+                     const std::set<SymbolId>& frozen, Substitution* subst) {
+  if (pattern.predicate() != target.predicate() ||
+      pattern.arity() != target.arity()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.args().size(); ++i) {
+    if (!MatchTermFrozen(pattern.arg(i), target.arg(i), frozen, subst)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool UnifyTermsFrozen(const Term& a, const Term& b,
+                      const std::set<SymbolId>& frozen, Substitution* subst) {
+  Term wa = subst->Walk(a);
+  Term wb = subst->Walk(b);
+  if (wa == wb) return true;
+  if (wa.IsVariable() && frozen.count(wa.symbol()) == 0) {
+    return subst->Bind(wa.symbol(), wb);
+  }
+  if (wb.IsVariable() && frozen.count(wb.symbol()) == 0) {
+    return subst->Bind(wb.symbol(), wa);
+  }
+  return false;  // two distinct rigid terms
+}
+
+bool UnifyAtomsFrozen(const Atom& a, const Atom& b,
+                      const std::set<SymbolId>& frozen, Substitution* subst) {
+  if (a.predicate() != b.predicate() || a.arity() != b.arity()) return false;
+  for (size_t i = 0; i < a.args().size(); ++i) {
+    if (!UnifyTermsFrozen(a.arg(i), b.arg(i), frozen, subst)) return false;
+  }
+  return true;
+}
+
+}  // namespace semopt

@@ -1,0 +1,50 @@
+#ifndef SEMOPT_AST_UNIFY_H_
+#define SEMOPT_AST_UNIFY_H_
+
+#include <set>
+
+#include "ast/atom.h"
+#include "ast/substitution.h"
+
+namespace semopt {
+
+/// Extends `subst` to a most general unifier of `a` and `b`. Returns
+/// false (leaving `subst` in a partially-extended state — pass a copy if
+/// rollback matters) when no unifier exists. Terms are function-free, so
+/// unification is simple pairwise binding.
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst);
+
+/// Unifies two atoms (same predicate and arity required).
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst);
+
+/// One-way matching: extends `subst` so that pattern·subst == target,
+/// binding only the *pattern's* variables. Variables in `target` are
+/// treated as distinct constants (they may be bound *to*, never bound).
+/// This is the subsumption-test primitive ("C subsumes D if there is a
+/// mapping from the variables of C to the arguments of D", paper §2).
+bool MatchTerm(const Term& pattern, const Term& target, Substitution* subst);
+
+/// One-way matching of atoms.
+bool MatchAtom(const Atom& pattern, const Atom& target, Substitution* subst);
+
+/// Like MatchTerm/MatchAtom, but pattern variables in `frozen` behave as
+/// constants: they match only a syntactically identical target term.
+/// Used when extending a substitution whose range variables must stay
+/// fixed (e.g. the residue-usefulness extension of paper §3).
+bool MatchTermFrozen(const Term& pattern, const Term& target,
+                     const std::set<SymbolId>& frozen, Substitution* subst);
+bool MatchAtomFrozen(const Atom& pattern, const Atom& target,
+                     const std::set<SymbolId>& frozen, Substitution* subst);
+
+/// Two-way unification where variables in `frozen` behave as constants
+/// (they may be bound *to* but never bound). Used to identify a rule
+/// atom with a residue head modulo the rule's local existential
+/// variables and the IC's leftover variables.
+bool UnifyTermsFrozen(const Term& a, const Term& b,
+                      const std::set<SymbolId>& frozen, Substitution* subst);
+bool UnifyAtomsFrozen(const Atom& a, const Atom& b,
+                      const std::set<SymbolId>& frozen, Substitution* subst);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_AST_UNIFY_H_

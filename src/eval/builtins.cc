@@ -1,0 +1,52 @@
+#include "eval/builtins.h"
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+int CompareValues(const Term& a, const Term& b) {
+  // Integers sort before symbols; within a kind, natural order.
+  bool a_int = a.kind() == TermKind::kIntConst;
+  bool b_int = b.kind() == TermKind::kIntConst;
+  if (a_int != b_int) return a_int ? -1 : 1;
+  if (a_int) {
+    if (a.int_value() < b.int_value()) return -1;
+    if (a.int_value() > b.int_value()) return 1;
+    return 0;
+  }
+  return a.name().compare(b.name());
+}
+
+bool EvalComparisonOp(const Term& lhs, ComparisonOp op, const Term& rhs) {
+  int cmp = CompareValues(lhs, rhs);
+  switch (op) {
+    case ComparisonOp::kEq:
+      return cmp == 0;
+    case ComparisonOp::kNe:
+      return cmp != 0;
+    case ComparisonOp::kLt:
+      return cmp < 0;
+    case ComparisonOp::kLe:
+      return cmp <= 0;
+    case ComparisonOp::kGt:
+      return cmp > 0;
+    case ComparisonOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+Result<bool> EvalComparison(const Literal& literal) {
+  if (!literal.IsComparison()) {
+    return Status::InvalidArgument(
+        StrCat("not a comparison literal: ", literal.ToString()));
+  }
+  if (literal.lhs().IsVariable() || literal.rhs().IsVariable()) {
+    return Status::InvalidArgument(
+        StrCat("comparison is not ground: ", literal.ToString()));
+  }
+  bool value = EvalComparisonOp(literal.lhs(), literal.op(), literal.rhs());
+  return literal.negated() ? !value : value;
+}
+
+}  // namespace semopt

@@ -1,0 +1,23 @@
+#ifndef SEMOPT_EVAL_BUILTINS_H_
+#define SEMOPT_EVAL_BUILTINS_H_
+
+#include "ast/atom.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Total order over ground terms used by the comparison builtins:
+/// integers order numerically; symbols order lexicographically by name;
+/// across kinds, all integers precede all symbols. Returns <0, 0, >0.
+int CompareValues(const Term& a, const Term& b);
+
+/// Evaluates `lhs op rhs` over ground terms.
+bool EvalComparisonOp(const Term& lhs, ComparisonOp op, const Term& rhs);
+
+/// Evaluates a ground comparison literal (honouring its negation flag).
+/// Fails if either side is a variable.
+Result<bool> EvalComparison(const Literal& literal);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_EVAL_BUILTINS_H_

@@ -1,0 +1,17 @@
+#include "eval/eval_stats.h"
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+std::string EvalStats::ToString() const {
+  return StrCat("iterations=", iterations,
+                " rule_applications=", rule_applications,
+                " derived=", derived_tuples,
+                " duplicates=", duplicate_tuples,
+                " bindings=", bindings_explored,
+                " comparisons=", comparison_checks,
+                " runtime_residue_checks=", runtime_residue_checks);
+}
+
+}  // namespace semopt

@@ -1,0 +1,46 @@
+#ifndef SEMOPT_EVAL_EVAL_STATS_H_
+#define SEMOPT_EVAL_EVAL_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace semopt {
+
+/// Work counters collected during evaluation. All counters are
+/// best-effort and intended for benchmarks/tests, not billing.
+struct EvalStats {
+  /// Fixpoint rounds executed (semi-naive: delta rounds; naive: full
+  /// rounds), summed over all strata/components.
+  size_t iterations = 0;
+  /// Rule executions launched.
+  size_t rule_applications = 0;
+  /// Head tuples inserted for the first time.
+  size_t derived_tuples = 0;
+  /// Head tuples derived again (set semantics drops them).
+  size_t duplicate_tuples = 0;
+  /// Successful partial bindings while joining body literals (a proxy
+  /// for join work).
+  size_t bindings_explored = 0;
+  /// Evaluable-literal (comparison) evaluations.
+  size_t comparison_checks = 0;
+  /// Extra compile-style work performed *during* evaluation (used by the
+  /// runtime-residue baseline to account per-iteration residue
+  /// processing).
+  size_t runtime_residue_checks = 0;
+
+  void Add(const EvalStats& other) {
+    iterations += other.iterations;
+    rule_applications += other.rule_applications;
+    derived_tuples += other.derived_tuples;
+    duplicate_tuples += other.duplicate_tuples;
+    bindings_explored += other.bindings_explored;
+    comparison_checks += other.comparison_checks;
+    runtime_residue_checks += other.runtime_residue_checks;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_EVAL_EVAL_STATS_H_

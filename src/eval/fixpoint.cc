@@ -1,0 +1,243 @@
+#include "eval/fixpoint.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "eval/rule_executor.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+/// RelationSource over an EDB + the IDB being materialized, with
+/// optional per-predicate delta relations for the running component.
+class FixpointSource : public RelationSource {
+ public:
+  FixpointSource(const Database* edb, Database* idb,
+                 const std::set<PredicateId>* idb_preds)
+      : edb_(edb), idb_(idb), idb_preds_(idb_preds) {}
+
+  const Relation* Full(const PredicateId& pred) const override {
+    if (idb_preds_->count(pred) > 0) return idb_->Find(pred);
+    return edb_->Find(pred);
+  }
+
+  const Relation* Delta(const PredicateId& pred) const override {
+    auto it = deltas_.find(pred);
+    return it == deltas_.end() ? nullptr : it->second;
+  }
+
+  void SetDelta(const PredicateId& pred, const Relation* delta) {
+    deltas_[pred] = delta;
+  }
+  void ClearDeltas() { deltas_.clear(); }
+
+ private:
+  const Database* edb_;
+  Database* idb_;
+  const std::set<PredicateId>* idb_preds_;
+  std::map<PredicateId, const Relation*> deltas_;
+};
+
+struct PlannedRule {
+  RuleExecutor executor;
+  PredicateId head{0, 0};
+  /// Original-body indices of positive relational literals whose
+  /// predicate belongs to the rule's own recursion component.
+  std::vector<int> recursive_literals;
+};
+
+/// Runs one rule execution with the derived tuples buffered, then
+/// commits them. Rules may scan the very relation they derive into
+/// (self-joins on the recursive predicate); inserting during the scan
+/// would invalidate row iterators and index buckets.
+void ExecuteBuffered(const RuleExecutor& exec, const RelationSource& source,
+                     int delta_literal, EvalStats* stats, bool size_aware,
+                     const std::function<void(Tuple&)>& commit) {
+  std::vector<Tuple> buffer;
+  exec.Execute(source, delta_literal,
+               [&](const Tuple& t) { buffer.push_back(t); }, stats,
+               size_aware);
+  for (Tuple& t : buffer) commit(t);
+}
+
+Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
+  if (options.max_iterations > 0 && iterations > options.max_iterations) {
+    return Status::FailedPrecondition(
+        StrCat("evaluation exceeded max_iterations=",
+               options.max_iterations));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Database> Evaluate(const Program& program, const Database& edb,
+                          const EvalOptions& options, EvalStats* stats) {
+  DependencyGraph graph = DependencyGraph::Build(program);
+  std::set<PredicateId> idb_preds = program.IdbPredicates();
+
+  // Components come out of Tarjan's algorithm in reverse topological
+  // order (callees first), which is the evaluation order we need.
+  std::vector<std::vector<PredicateId>> sccs = graph.Sccs();
+  std::map<PredicateId, int> component_of;
+  for (size_t c = 0; c < sccs.size(); ++c) {
+    for (const PredicateId& p : sccs[c]) component_of[p] = static_cast<int>(c);
+  }
+
+  Database idb;
+  // Pre-create IDB relations so Find() works even for empty results.
+  for (const PredicateId& p : idb_preds) idb.GetOrCreate(p);
+
+  FixpointSource source(&edb, &idb, &idb_preds);
+
+  for (size_t c = 0; c < sccs.size(); ++c) {
+    // Gather this component's rules.
+    std::set<PredicateId> component(sccs[c].begin(), sccs[c].end());
+    std::vector<PlannedRule> planned;
+    bool component_recursive = false;
+    for (const Rule& rule : program.rules()) {
+      if (component.count(rule.head().pred_id()) == 0) continue;
+      SEMOPT_ASSIGN_OR_RETURN(RuleExecutor exec, RuleExecutor::Create(rule));
+      PlannedRule pr{std::move(exec), rule.head().pred_id(), {}};
+      for (size_t i = 0; i < rule.body().size(); ++i) {
+        const Literal& lit = rule.body()[i];
+        if (!lit.IsRelational()) continue;
+        PredicateId q = lit.atom().pred_id();
+        if (component.count(q) > 0) {
+          if (lit.negated()) {
+            return Status::FailedPrecondition(
+                StrCat("rule ", rule.ToString(),
+                       " negates predicate ", q.ToString(),
+                       " in its own recursion component "
+                       "(unstratifiable)"));
+          }
+          pr.recursive_literals.push_back(static_cast<int>(i));
+          component_recursive = true;
+        }
+      }
+      planned.push_back(std::move(pr));
+    }
+    if (planned.empty()) continue;  // EDB-only component
+
+    if (!component_recursive) {
+      // One pass suffices.
+      if (stats != nullptr) ++stats->iterations;
+      for (const PlannedRule& pr : planned) {
+        Relation& target = idb.GetOrCreate(pr.head);
+        ExecuteBuffered(pr.executor, source, -1, stats,
+                        options.cardinality_planning, [&](Tuple& t) {
+          if (target.Insert(t)) {
+            if (stats != nullptr) ++stats->derived_tuples;
+          } else if (stats != nullptr) {
+            ++stats->duplicate_tuples;
+          }
+        });
+      }
+      continue;
+    }
+
+    if (options.strategy == EvalStrategy::kNaive) {
+      // Re-run all component rules on full relations until no change.
+      size_t local_iterations = 0;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        ++local_iterations;
+        if (stats != nullptr) ++stats->iterations;
+        SEMOPT_RETURN_IF_ERROR(
+            CheckIterationBudget(local_iterations, options));
+        for (const PlannedRule& pr : planned) {
+          Relation& target = idb.GetOrCreate(pr.head);
+          ExecuteBuffered(pr.executor, source, -1, stats,
+                        options.cardinality_planning, [&](Tuple& t) {
+            if (target.Insert(t)) {
+              changed = true;
+              if (stats != nullptr) ++stats->derived_tuples;
+            } else if (stats != nullptr) {
+              ++stats->duplicate_tuples;
+            }
+          });
+        }
+      }
+      continue;
+    }
+
+    // Semi-naive. Round 0: run every rule with deltas empty (recursive
+    // literals see the still-empty component relations, so only exit
+    // rules produce tuples unless lower components feed them).
+    std::map<PredicateId, std::unique_ptr<Relation>> delta;
+    std::map<PredicateId, std::unique_ptr<Relation>> next_delta;
+    for (const PredicateId& p : component) {
+      delta[p] = std::make_unique<Relation>(p);
+      next_delta[p] = std::make_unique<Relation>(p);
+    }
+
+    if (stats != nullptr) ++stats->iterations;
+    for (const PlannedRule& pr : planned) {
+      Relation& target = idb.GetOrCreate(pr.head);
+      ExecuteBuffered(pr.executor, source, -1, stats,
+                        options.cardinality_planning, [&](Tuple& t) {
+        if (target.Insert(t)) {
+          delta[pr.head]->Insert(t);
+          if (stats != nullptr) ++stats->derived_tuples;
+        } else if (stats != nullptr) {
+          ++stats->duplicate_tuples;
+        }
+      });
+    }
+
+    size_t local_iterations = 1;
+    auto delta_nonempty = [&]() {
+      for (const auto& [p, rel] : delta) {
+        if (!rel->empty()) return true;
+      }
+      return false;
+    };
+
+    while (delta_nonempty()) {
+      ++local_iterations;
+      if (stats != nullptr) ++stats->iterations;
+      SEMOPT_RETURN_IF_ERROR(CheckIterationBudget(local_iterations, options));
+
+      for (const PlannedRule& pr : planned) {
+        if (pr.recursive_literals.empty()) continue;  // exit rule: done
+        Relation& target = idb.GetOrCreate(pr.head);
+        // One execution per recursive occurrence, reading delta there.
+        for (int lit_index : pr.recursive_literals) {
+          source.ClearDeltas();
+          // Only the chosen occurrence reads the delta; others read the
+          // full (current) relation, which is sound and complete.
+          for (const PredicateId& p : component) {
+            source.SetDelta(p, delta[p].get());
+          }
+          ExecuteBuffered(pr.executor, source, lit_index, stats,
+                          options.cardinality_planning, [&](Tuple& t) {
+                            if (target.Insert(t)) {
+                              next_delta[pr.head]->Insert(t);
+                              if (stats != nullptr) ++stats->derived_tuples;
+                            } else if (stats != nullptr) {
+                              ++stats->duplicate_tuples;
+                            }
+                          });
+        }
+      }
+      source.ClearDeltas();
+      for (const PredicateId& p : component) {
+        delta[p]->Clear();
+        std::swap(delta[p], next_delta[p]);
+      }
+    }
+    source.ClearDeltas();
+  }
+
+  return idb;
+}
+
+}  // namespace semopt

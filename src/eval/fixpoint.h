@@ -1,0 +1,40 @@
+#ifndef SEMOPT_EVAL_FIXPOINT_H_
+#define SEMOPT_EVAL_FIXPOINT_H_
+
+#include <cstddef>
+
+#include "ast/program.h"
+#include "eval/eval_stats.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Evaluation strategy for the bottom-up fixpoint.
+enum class EvalStrategy {
+  kSemiNaive,  // delta-driven (default)
+  kNaive,      // re-derive everything each round (baseline)
+};
+
+struct EvalOptions {
+  EvalStrategy strategy = EvalStrategy::kSemiNaive;
+  /// Safety valve for buggy workloads; 0 = unlimited.
+  size_t max_iterations = 0;
+  /// Plan joins with current relation cardinalities (default); false
+  /// falls back to the size-blind static order (ablation bench A1).
+  bool cardinality_planning = true;
+};
+
+/// Computes the least fixpoint of `program` over `edb` bottom-up and
+/// returns the IDB relations. Components of the predicate dependency
+/// graph are evaluated in topological order; recursion within a
+/// component uses the selected strategy. Negated relational literals
+/// must be stratified (predicates from strictly lower components);
+/// otherwise an error is returned.
+Result<Database> Evaluate(const Program& program, const Database& edb,
+                          const EvalOptions& options = EvalOptions(),
+                          EvalStats* stats = nullptr);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_EVAL_FIXPOINT_H_

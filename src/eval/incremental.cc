@@ -1,0 +1,162 @@
+#include "eval/incremental.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "eval/fixpoint.h"
+#include "eval/rule_executor.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+/// RelationSource over the evaluator's EDB + IDB with per-predicate
+/// deltas (both EDB and IDB predicates may carry deltas here).
+class IncrementalSource : public RelationSource {
+ public:
+  IncrementalSource(const Database* edb, const Database* idb,
+                    const std::set<PredicateId>* idb_preds)
+      : edb_(edb), idb_(idb), idb_preds_(idb_preds) {}
+
+  const Relation* Full(const PredicateId& pred) const override {
+    if (idb_preds_->count(pred) > 0) return idb_->Find(pred);
+    return edb_->Find(pred);
+  }
+  const Relation* Delta(const PredicateId& pred) const override {
+    auto it = deltas_->find(pred);
+    return it == deltas_->end() ? nullptr : it->second.get();
+  }
+  void SetDeltaMap(
+      const std::map<PredicateId, std::unique_ptr<Relation>>* deltas) {
+    deltas_ = deltas;
+  }
+
+ private:
+  const Database* edb_;
+  const Database* idb_;
+  const std::set<PredicateId>* idb_preds_;
+  const std::map<PredicateId, std::unique_ptr<Relation>>* deltas_ = nullptr;
+};
+
+}  // namespace
+
+Result<IncrementalEvaluator> IncrementalEvaluator::Create(
+    const Program& program, Database edb) {
+  for (const Rule& rule : program.rules()) {
+    for (const Literal& lit : rule.body()) {
+      if (lit.IsRelational() && lit.negated()) {
+        return Status::Unimplemented(
+            StrCat("incremental maintenance supports monotone programs "
+                   "only; rule ",
+                   rule.ToString(), " negates a relation"));
+      }
+    }
+  }
+  IncrementalEvaluator out;
+  out.program_ = program;
+  out.edb_ = std::move(edb);
+  SEMOPT_ASSIGN_OR_RETURN(out.idb_, Evaluate(out.program_, out.edb_));
+  return out;
+}
+
+Result<size_t> IncrementalEvaluator::AddFacts(const std::vector<Atom>& facts,
+                                              EvalStats* stats) {
+  // Stage the genuinely new EDB tuples as per-predicate deltas.
+  std::map<PredicateId, std::unique_ptr<Relation>> delta;
+  auto delta_for = [&](const PredicateId& pred) -> Relation* {
+    auto it = delta.find(pred);
+    if (it == delta.end()) {
+      it = delta.emplace(pred, std::make_unique<Relation>(pred)).first;
+    }
+    return it->second.get();
+  };
+
+  std::set<PredicateId> idb_preds = program_.IdbPredicates();
+  for (const Atom& fact : facts) {
+    if (idb_preds.count(fact.pred_id()) > 0) {
+      return Status::InvalidArgument(
+          StrCat("cannot insert into IDB predicate ",
+                 fact.pred_id().ToString()));
+    }
+    Tuple tuple;
+    for (const Term& t : fact.args()) {
+      if (!t.IsConstant()) {
+        return Status::InvalidArgument(
+            StrCat("fact is not ground: ", fact.ToString()));
+      }
+      tuple.push_back(t);
+    }
+    Relation& rel = edb_.GetOrCreate(fact.pred_id());
+    if (rel.Insert(tuple)) delta_for(fact.pred_id())->Insert(tuple);
+  }
+  if (delta.empty()) return 0;
+
+  // Plan every rule once and record its positive relational literals.
+  struct PlannedRule {
+    RuleExecutor executor;
+    PredicateId head{0, 0};
+    std::vector<int> relational_literals;
+  };
+  std::vector<PlannedRule> planned;
+  for (const Rule& rule : program_.rules()) {
+    SEMOPT_ASSIGN_OR_RETURN(RuleExecutor exec, RuleExecutor::Create(rule));
+    PlannedRule pr{std::move(exec), rule.head().pred_id(), {}};
+    for (size_t i = 0; i < rule.body().size(); ++i) {
+      const Literal& lit = rule.body()[i];
+      if (lit.IsRelational() && !lit.negated()) {
+        pr.relational_literals.push_back(static_cast<int>(i));
+      }
+    }
+    planned.push_back(std::move(pr));
+  }
+
+  IncrementalSource source(&edb_, &idb_, &idb_preds);
+
+  // Delta propagation to fixpoint: fire every rule once per body
+  // occurrence whose predicate currently has a delta (that occurrence
+  // reads the delta; the rest read the full, already-updated,
+  // relations — sound and complete for monotone programs).
+  size_t newly_derived = 0;
+  while (!delta.empty()) {
+    if (stats != nullptr) ++stats->iterations;
+    std::map<PredicateId, std::unique_ptr<Relation>> next_delta;
+    source.SetDeltaMap(&delta);
+    for (const PlannedRule& pr : planned) {
+      for (int lit_index : pr.relational_literals) {
+        const Literal& lit =
+            pr.executor.rule().body()[static_cast<size_t>(lit_index)];
+        auto it = delta.find(lit.atom().pred_id());
+        if (it == delta.end() || it->second->empty()) continue;
+
+        std::vector<Tuple> buffer;
+        pr.executor.Execute(source, lit_index,
+                            [&](const Tuple& t) { buffer.push_back(t); },
+                            stats);
+        Relation& target = idb_.GetOrCreate(pr.head);
+        for (const Tuple& t : buffer) {
+          if (target.Insert(t)) {
+            ++newly_derived;
+            auto jt = next_delta.find(pr.head);
+            if (jt == next_delta.end()) {
+              jt = next_delta
+                       .emplace(pr.head, std::make_unique<Relation>(pr.head))
+                       .first;
+            }
+            jt->second->Insert(t);
+            if (stats != nullptr) ++stats->derived_tuples;
+          } else if (stats != nullptr) {
+            ++stats->duplicate_tuples;
+          }
+        }
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return newly_derived;
+}
+
+}  // namespace semopt

@@ -1,0 +1,48 @@
+#ifndef SEMOPT_EVAL_INCREMENTAL_H_
+#define SEMOPT_EVAL_INCREMENTAL_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/eval_stats.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Insertion-only incremental maintenance of a program's materialized
+/// IDB: new EDB facts are propagated through delta rules instead of
+/// recomputing the fixpoint from scratch. Monotone (set-semantics,
+/// stratification-free) maintenance only — programs containing negated
+/// relational literals are rejected at Create (deletions and negation
+/// would require DRed-style overestimation, which is out of scope).
+class IncrementalEvaluator {
+ public:
+  /// Materializes the initial fixpoint.
+  static Result<IncrementalEvaluator> Create(const Program& program,
+                                             Database edb);
+
+  IncrementalEvaluator(IncrementalEvaluator&&) = default;
+  IncrementalEvaluator& operator=(IncrementalEvaluator&&) = default;
+
+  /// Adds ground facts and propagates their consequences. Facts already
+  /// present are ignored. Returns the number of *IDB* tuples newly
+  /// derived; `stats` (optional) accumulates the propagation work.
+  Result<size_t> AddFacts(const std::vector<Atom>& facts,
+                          EvalStats* stats = nullptr);
+
+  const Database& edb() const { return edb_; }
+  const Database& idb() const { return idb_; }
+  const Program& program() const { return program_; }
+
+ private:
+  IncrementalEvaluator() = default;
+
+  Program program_;
+  Database edb_;
+  Database idb_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_EVAL_INCREMENTAL_H_

@@ -1,0 +1,62 @@
+#include "eval/query.h"
+
+#include <sstream>
+
+#include "ast/rename.h"
+#include "parser/parser.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  for (const Tuple& row : tuples) {
+    for (size_t i = 0; i < variables.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << SymbolName(variables[i]) << "=" << row[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<QueryResult> AnswerQuery(const Program& program, const Database& edb,
+                                const std::vector<Literal>& body,
+                                const std::vector<Term>& projection,
+                                const EvalOptions& options,
+                                EvalStats* stats) {
+  QueryResult result;
+  for (const Term& t : projection) {
+    if (!t.IsVariable()) {
+      return Status::InvalidArgument(
+          StrCat("projection term ", t.ToString(), " is not a variable"));
+    }
+    result.variables.push_back(t.symbol());
+  }
+
+  // `$` keeps the answer predicate out of any parseable namespace.
+  Atom head("query$answer", projection);
+  Program extended = program;
+  extended.AddRule(Rule("query$", std::move(head), body));
+
+  SEMOPT_ASSIGN_OR_RETURN(Database idb,
+                          Evaluate(extended, edb, options, stats));
+  const Relation* answers = idb.Find(
+      PredicateId{InternSymbol("query$answer"),
+                  static_cast<uint32_t>(projection.size())});
+  if (answers != nullptr) result.tuples = answers->rows();
+  return result;
+}
+
+Result<QueryResult> AnswerQuery(const Program& program, const Database& edb,
+                                std::string_view query_text,
+                                const EvalOptions& options,
+                                EvalStats* stats) {
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<Literal> body,
+                          ParseLiteralList(query_text));
+  std::vector<Term> projection;
+  for (SymbolId v : CollectVariables(body)) projection.push_back(Term::Var(v));
+  return AnswerQuery(program, edb, body, projection, options, stats);
+}
+
+}  // namespace semopt

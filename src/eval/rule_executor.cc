@@ -1,0 +1,318 @@
+#include "eval/rule_executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ast/rename.h"
+#include "eval/builtins.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+/// True if every variable of `lit` is in `bound` (constants trivially).
+bool AllVarsBound(const Literal& lit,
+                  const std::map<SymbolId, uint32_t>& slots,
+                  const std::set<uint32_t>& bound) {
+  for (const Term& t : lit.Terms()) {
+    if (t.IsVariable() && bound.count(slots.at(t.symbol())) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<RuleExecutor> RuleExecutor::Create(const Rule& rule) {
+  RuleExecutor exec;
+  exec.rule_ = rule;
+
+  // Assign frame slots to variables in first-occurrence order.
+  for (SymbolId v : CollectVariables(rule)) {
+    uint32_t slot = static_cast<uint32_t>(exec.slots_.size());
+    exec.slots_.emplace(v, slot);
+  }
+  exec.slot_count_ = exec.slots_.size();
+
+  // Validate by building the size-blind plan once; remember its order.
+  SEMOPT_ASSIGN_OR_RETURN(Plan plan, exec.BuildPlan(nullptr));
+  for (const LiteralStep& step : plan.steps) {
+    exec.static_order_.push_back(step.original_index);
+  }
+  return exec;
+}
+
+Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
+    const std::function<size_t(size_t)>* size_of) const {
+  Plan plan;
+  const std::vector<Literal>& body = rule_.body();
+
+  auto make_spec = [&](const Term& t,
+                       const std::set<uint32_t>& bound) -> TermSpec {
+    TermSpec spec;
+    spec.is_constant = t.IsConstant();
+    if (spec.is_constant) {
+      spec.constant = t;
+      spec.bound = true;
+    } else {
+      spec.slot = slots_.at(t.symbol());
+      spec.bound = bound.count(spec.slot) > 0;
+    }
+    return spec;
+  };
+
+  std::set<uint32_t> bound;
+  std::vector<bool> scheduled(body.size(), false);
+  size_t remaining = body.size();
+
+  auto schedule = [&](size_t i) {
+    const Literal& lit = body[i];
+    LiteralStep step;
+    step.original_index = i;
+    step.negated = lit.negated();
+    step.is_comparison = lit.IsComparison();
+    if (lit.IsComparison()) {
+      step.op = lit.op();
+      step.lhs = make_spec(lit.lhs(), bound);
+      step.rhs = make_spec(lit.rhs(), bound);
+      step.eq_binds = !lit.negated() && lit.op() == ComparisonOp::kEq &&
+                      (!step.lhs.bound || !step.rhs.bound);
+      if (step.eq_binds) {
+        const TermSpec& unbound_side = step.lhs.bound ? step.rhs : step.lhs;
+        bound.insert(unbound_side.slot);
+      }
+    } else {
+      step.pred = lit.atom().pred_id();
+      // Within-atom repeats: only *pre-bound* columns participate in
+      // index probing; a repeated unbound variable binds at its first
+      // column and is runtime-checked at later ones.
+      std::set<uint32_t> bound_before = bound;
+      for (uint32_t col = 0; col < lit.atom().args().size(); ++col) {
+        TermSpec spec = make_spec(lit.atom().arg(col), bound_before);
+        if (spec.bound) step.probe_columns.push_back(col);
+        step.args.push_back(spec);
+        if (!spec.is_constant) bound.insert(spec.slot);
+      }
+    }
+    plan.steps.push_back(std::move(step));
+    scheduled[i] = true;
+    --remaining;
+  };
+
+  while (remaining > 0) {
+    int pick = -1;
+    // Priority 1: any fully-bound comparison or fully-bound negated
+    // relational literal (cheap filters).
+    for (size_t i = 0; i < body.size() && pick < 0; ++i) {
+      if (scheduled[i]) continue;
+      const Literal& lit = body[i];
+      bool filter_ready = (lit.IsComparison() || lit.negated()) &&
+                          AllVarsBound(lit, slots_, bound);
+      if (filter_ready) pick = static_cast<int>(i);
+    }
+    // Priority 2: a binding `=` literal with exactly one unbound side.
+    for (size_t i = 0; i < body.size() && pick < 0; ++i) {
+      if (scheduled[i]) continue;
+      const Literal& lit = body[i];
+      if (!lit.IsComparison() || lit.negated() ||
+          lit.op() != ComparisonOp::kEq) {
+        continue;
+      }
+      const Term& a = lit.lhs();
+      const Term& b = lit.rhs();
+      bool a_bound =
+          a.IsConstant() || bound.count(slots_.at(a.symbol())) > 0;
+      bool b_bound =
+          b.IsConstant() || bound.count(slots_.at(b.symbol())) > 0;
+      if (a_bound != b_bound) pick = static_cast<int>(i);
+    }
+    // Priority 3: the positive relational literal with the most
+    // statically-bound argument positions; ties go to the literal whose
+    // relation is currently smallest (cardinality-aware planning), then
+    // to body order.
+    if (pick < 0) {
+      int best_score = -1;
+      size_t best_size = 0;
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (scheduled[i]) continue;
+        const Literal& lit = body[i];
+        if (lit.IsComparison() || lit.negated()) continue;
+        int score = 0;
+        for (const Term& t : lit.atom().args()) {
+          if (t.IsConstant() || bound.count(slots_.at(t.symbol())) > 0) {
+            ++score;
+          }
+        }
+        size_t size = size_of != nullptr ? (*size_of)(i) : SIZE_MAX;
+        if (score > best_score ||
+            (score == best_score && size < best_size)) {
+          best_score = score;
+          best_size = size;
+          pick = static_cast<int>(i);
+        }
+      }
+    }
+    if (pick < 0) {
+      return Status::FailedPrecondition(
+          StrCat("rule ", rule_.ToString(),
+                 " is unsafe: cannot order remaining body literals"));
+    }
+    schedule(static_cast<size_t>(pick));
+  }
+
+  // Head slots must all be bound after the full body.
+  plan.head_specs.reserve(rule_.head().args().size());
+  for (const Term& t : rule_.head().args()) {
+    TermSpec spec = make_spec(t, bound);
+    if (!spec.is_constant && !spec.bound) {
+      return Status::FailedPrecondition(
+          StrCat("rule ", rule_.ToString(), " is unsafe: head variable ",
+                 t.name(), " is never bound"));
+    }
+    plan.head_specs.push_back(spec);
+  }
+  return plan;
+}
+
+void RuleExecutor::Execute(const RelationSource& source, int delta_literal,
+                           const TupleSink& sink, EvalStats* stats,
+                           bool size_aware) const {
+  if (stats != nullptr) ++stats->rule_applications;
+
+  // Cardinality oracle: the current size of each body literal's input
+  // relation (delta-aware).
+  std::function<size_t(size_t)> size_of = [&](size_t i) -> size_t {
+    const Literal& lit = rule_.body()[i];
+    if (!lit.IsRelational()) return SIZE_MAX;
+    const Relation* rel = nullptr;
+    if (delta_literal >= 0 && i == static_cast<size_t>(delta_literal)) {
+      rel = source.Delta(lit.atom().pred_id());
+    }
+    if (rel == nullptr) rel = source.Full(lit.atom().pred_id());
+    return rel == nullptr ? 0 : rel->size();
+  };
+  Result<Plan> plan = BuildPlan(size_aware ? &size_of : nullptr);
+  if (!plan.ok()) return;  // Create() validated; cannot fail here
+
+  std::vector<Value> frame(slot_count_, Term::Int(0));
+  std::vector<bool> bound(slot_count_, false);
+  ExecuteStep(*plan, source, delta_literal, 0, &frame, &bound, sink, stats);
+}
+
+void RuleExecutor::ExecuteStep(const Plan& plan,
+                               const RelationSource& source,
+                               int delta_literal, size_t step_index,
+                               std::vector<Value>* frame,
+                               std::vector<bool>* bound,
+                               const TupleSink& sink,
+                               EvalStats* stats) const {
+  if (step_index == plan.steps.size()) {
+    Tuple head;
+    head.reserve(plan.head_specs.size());
+    for (const TermSpec& spec : plan.head_specs) {
+      head.push_back(spec.is_constant ? spec.constant : (*frame)[spec.slot]);
+    }
+    sink(head);
+    return;
+  }
+
+  const LiteralStep& step = plan.steps[step_index];
+  auto value_of = [&](const TermSpec& spec) -> const Value& {
+    return spec.is_constant ? spec.constant : (*frame)[spec.slot];
+  };
+
+  if (step.is_comparison) {
+    if (step.eq_binds) {
+      const TermSpec& bound_side = step.lhs.bound ? step.lhs : step.rhs;
+      const TermSpec& free_side = step.lhs.bound ? step.rhs : step.lhs;
+      if ((*bound)[free_side.slot]) {
+        if (CompareValues((*frame)[free_side.slot], value_of(bound_side)) !=
+            0) {
+          return;
+        }
+        ExecuteStep(plan, source, delta_literal, step_index + 1, frame,
+                    bound, sink, stats);
+        return;
+      }
+      (*frame)[free_side.slot] = value_of(bound_side);
+      (*bound)[free_side.slot] = true;
+      ExecuteStep(plan, source, delta_literal, step_index + 1, frame, bound,
+                  sink, stats);
+      (*bound)[free_side.slot] = false;
+      return;
+    }
+    if (stats != nullptr) ++stats->comparison_checks;
+    bool holds =
+        EvalComparisonOp(value_of(step.lhs), step.op, value_of(step.rhs));
+    if (step.negated) holds = !holds;
+    if (holds) {
+      ExecuteStep(plan, source, delta_literal, step_index + 1, frame, bound,
+                  sink, stats);
+    }
+    return;
+  }
+
+  // Relational literal.
+  const Relation* relation = nullptr;
+  if (delta_literal >= 0 &&
+      step.original_index == static_cast<size_t>(delta_literal)) {
+    relation = source.Delta(step.pred);
+  }
+  if (relation == nullptr) relation = source.Full(step.pred);
+
+  if (step.negated) {
+    // All arguments are statically bound; membership test.
+    Tuple probe;
+    probe.reserve(step.args.size());
+    for (const TermSpec& spec : step.args) probe.push_back(value_of(spec));
+    bool present = relation != nullptr && relation->Contains(probe);
+    if (!present) {
+      ExecuteStep(plan, source, delta_literal, step_index + 1, frame, bound,
+                  sink, stats);
+    }
+    return;
+  }
+
+  if (relation == nullptr || relation->empty()) return;
+
+  auto try_row = [&](const Tuple& row) {
+    std::vector<uint32_t> bound_here;
+    bool match = true;
+    for (uint32_t col = 0; col < step.args.size() && match; ++col) {
+      const TermSpec& spec = step.args[col];
+      if (spec.is_constant) {
+        match = row[col] == spec.constant;
+      } else if ((*bound)[spec.slot]) {
+        match = row[col] == (*frame)[spec.slot];
+      } else {
+        (*frame)[spec.slot] = row[col];
+        (*bound)[spec.slot] = true;
+        bound_here.push_back(spec.slot);
+      }
+    }
+    if (match) {
+      if (stats != nullptr) ++stats->bindings_explored;
+      ExecuteStep(plan, source, delta_literal, step_index + 1, frame, bound,
+                  sink, stats);
+    }
+    for (uint32_t slot : bound_here) (*bound)[slot] = false;
+  };
+
+  if (!step.probe_columns.empty()) {
+    Tuple key;
+    key.reserve(step.probe_columns.size());
+    for (uint32_t col : step.probe_columns) {
+      key.push_back(value_of(step.args[col]));
+    }
+    for (uint32_t row_index : relation->Probe(step.probe_columns, key)) {
+      try_row(relation->row(row_index));
+    }
+  } else {
+    for (const Tuple& row : relation->rows()) try_row(row);
+  }
+}
+
+}  // namespace semopt

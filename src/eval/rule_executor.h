@@ -1,0 +1,111 @@
+#ifndef SEMOPT_EVAL_RULE_EXECUTOR_H_
+#define SEMOPT_EVAL_RULE_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <functional>
+#include <vector>
+
+#include "ast/rule.h"
+#include "eval/eval_stats.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Resolves predicate names to stored relations during evaluation.
+/// `Full` must return the current complete relation (or nullptr for an
+/// absent/empty one). `Delta` returns the per-round delta relation for
+/// predicates participating in the current semi-naive loop (nullptr when
+/// the predicate has no delta, in which case Full is used).
+class RelationSource {
+ public:
+  virtual ~RelationSource() = default;
+  virtual const Relation* Full(const PredicateId& pred) const = 0;
+  virtual const Relation* Delta(const PredicateId& pred) const = 0;
+};
+
+/// Receives each head tuple derived by a rule execution.
+using TupleSink = std::function<void(const Tuple&)>;
+
+/// A slot-compiled executor for one rule.
+///
+/// Construction validates safety (every literal can be ordered so its
+/// variables are bound when needed) and assigns dense frame slots.
+/// Execution plans the join order greedily — most-bound literals first,
+/// evaluable literals as soon as their variables are bound, `=`
+/// literals allowed to bind one side — with ties broken by the *actual
+/// current cardinality* of each literal's relation, so cheap auxiliary
+/// relations are probed before expensive fan-out joins. Joins run as
+/// index nested loops probing hash indexes on the bound columns.
+class RuleExecutor {
+ public:
+  /// Plans `rule`. Fails for unsafe rules.
+  static Result<RuleExecutor> Create(const Rule& rule);
+
+  /// Runs the rule to completion. `delta_literal` is an index into the
+  /// ORIGINAL body (not the planned order) whose relation is read from
+  /// `source.Delta(...)`; pass -1 to read everything from Full. Each
+  /// derived head tuple is passed to `sink`. `stats` may be null.
+  /// `size_aware` selects cardinality-aware planning (default); pass
+  /// false to use the size-blind static order (ablation bench A1).
+  void Execute(const RelationSource& source, int delta_literal,
+               const TupleSink& sink, EvalStats* stats,
+               bool size_aware = true) const;
+
+  const Rule& rule() const { return rule_; }
+
+  /// The size-blind (static) evaluation order as original-body indices,
+  /// for tests and plan inspection.
+  const std::vector<size_t>& plan_order() const { return static_order_; }
+
+  /// Number of variable slots in the execution frame.
+  size_t slot_count() const { return slot_count_; }
+
+ private:
+  // How one term of a literal is fetched at run time.
+  struct TermSpec {
+    bool is_constant = false;
+    Value constant = Term::Int(0);  // when is_constant
+    uint32_t slot = 0;              // when !is_constant
+    bool bound = false;  // statically known: bound before this literal
+  };
+  struct LiteralStep {
+    size_t original_index = 0;  // position in rule_.body()
+    bool is_comparison = false;
+    bool negated = false;
+    // Relational:
+    PredicateId pred{0, 0};
+    std::vector<TermSpec> args;
+    std::vector<uint32_t> probe_columns;  // columns with bound TermSpecs
+    // Comparison:
+    ComparisonOp op = ComparisonOp::kEq;
+    TermSpec lhs, rhs;
+    bool eq_binds = false;  // `=` with exactly one unbound variable side
+  };
+  struct Plan {
+    std::vector<LiteralStep> steps;
+    std::vector<TermSpec> head_specs;
+  };
+
+  RuleExecutor() : rule_("", Atom(SymbolId(0), {}), {}) {}
+
+  /// Greedy planner. `size_of` estimates a literal's input cardinality
+  /// (SIZE_MAX when unknown); pass nullptr for the size-blind plan.
+  Result<Plan> BuildPlan(
+      const std::function<size_t(size_t)>* size_of) const;
+
+  void ExecuteStep(const Plan& plan, const RelationSource& source,
+                   int delta_literal, size_t step_index,
+                   std::vector<Value>* frame, std::vector<bool>* bound,
+                   const TupleSink& sink, EvalStats* stats) const;
+
+  Rule rule_;
+  std::vector<size_t> static_order_;
+  std::map<SymbolId, uint32_t> slots_;
+  size_t slot_count_ = 0;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_EVAL_RULE_EXECUTOR_H_

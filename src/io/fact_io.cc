@@ -1,0 +1,106 @@
+#include "io/fact_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "parser/parser.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<size_t> LoadFacts(std::istream& in, Database* db) {
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  SEMOPT_ASSIGN_OR_RETURN(Program parsed, ParseProgram(buffer.str()));
+  if (!parsed.constraints().empty()) {
+    return Status::InvalidArgument(
+        "fact files may not contain integrity constraints");
+  }
+  size_t added = 0;
+  for (const Rule& rule : parsed.rules()) {
+    if (!rule.IsFact()) {
+      return Status::InvalidArgument(
+          StrCat("fact files may not contain rules: ", rule.ToString()));
+    }
+    SEMOPT_RETURN_IF_ERROR(db->AddFact(rule.head()));
+    ++added;
+  }
+  return added;
+}
+
+Result<size_t> LoadFactsFile(const std::string& path, Database* db) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open ", path));
+  }
+  return LoadFacts(in, db);
+}
+
+namespace {
+
+/// Parses `field` as an int when it is all digits (with optional sign),
+/// otherwise interns it as a symbol.
+Value ParseTsvValue(const std::string& field) {
+  if (field.empty()) return Term::Sym("");
+  size_t start = (field[0] == '-' && field.size() > 1) ? 1 : 0;
+  for (size_t i = start; i < field.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(field[i]))) {
+      return Term::Sym(field);
+    }
+  }
+  return Term::Int(std::stoll(field));
+}
+
+}  // namespace
+
+Result<size_t> LoadTsv(std::istream& in, std::string_view predicate,
+                       Database* db) {
+  size_t added = 0;
+  size_t arity = 0;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    Tuple tuple;
+    std::stringstream fields(line);
+    std::string field;
+    while (std::getline(fields, field, '\t')) {
+      tuple.push_back(ParseTsvValue(field));
+    }
+    if (tuple.empty()) continue;
+    if (arity == 0) {
+      arity = tuple.size();
+    } else if (tuple.size() != arity) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_number, ": expected ", arity,
+                 " columns, found ", tuple.size()));
+    }
+    db->AddTuple(predicate, std::move(tuple));
+    ++added;
+  }
+  return added;
+}
+
+Result<size_t> LoadTsvFile(const std::string& path,
+                           std::string_view predicate, Database* db) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open ", path));
+  }
+  return LoadTsv(in, predicate, db);
+}
+
+void SaveFacts(std::ostream& out, const Relation& relation) {
+  for (const Tuple& row : relation.rows()) {
+    out << SymbolName(relation.pred().name);
+    if (!row.empty()) {
+      out << "(" << JoinToString(row, ", ") << ")";
+    }
+    out << ".\n";
+  }
+}
+
+}  // namespace semopt

@@ -1,0 +1,34 @@
+#ifndef SEMOPT_IO_FACT_IO_H_
+#define SEMOPT_IO_FACT_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Loads facts written in program syntax ("edge(a, b)." one or more per
+/// line, '%' comments allowed) into `db`. Rules with non-empty bodies
+/// are rejected. Returns the number of facts added.
+Result<size_t> LoadFacts(std::istream& in, Database* db);
+Result<size_t> LoadFactsFile(const std::string& path, Database* db);
+
+/// Loads tab-separated values into relation `predicate`: one tuple per
+/// line, columns split on tabs; a column parsing as a decimal integer
+/// becomes an int value, anything else a symbol. Empty lines and lines
+/// starting with '#' are skipped. All rows must have the same arity.
+/// Returns the number of tuples added.
+Result<size_t> LoadTsv(std::istream& in, std::string_view predicate,
+                       Database* db);
+Result<size_t> LoadTsvFile(const std::string& path,
+                           std::string_view predicate, Database* db);
+
+/// Writes `relation` as program-syntax facts, one per line.
+void SaveFacts(std::ostream& out, const Relation& relation);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_IO_FACT_IO_H_

@@ -1,0 +1,238 @@
+#include "iqa/knowledge_query.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ast/rename.h"
+#include "ast/unify.h"
+#include "eval/query.h"
+#include "iqa/reachability.h"
+#include "semopt/subsumption.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+/// A partially expanded proof tree: remaining IDB goals to expand plus
+/// accumulated EDB/evaluable leaves.
+struct PartialTree {
+  std::vector<Atom> open_goals;   // IDB atoms awaiting expansion
+  std::vector<Literal> leaves;    // EDB atoms + comparisons
+  std::vector<std::string> rules_applied;
+  size_t depth = 0;
+};
+
+}  // namespace
+
+std::string DescriptiveAnswer::Summary() const {
+  std::ostringstream os;
+  if (!relevant_context.empty()) {
+    os << "Given: " << JoinToString(relevant_context, ", ") << "\n";
+  }
+  if (!irrelevant_context.empty()) {
+    os << "Ignored as irrelevant: " << JoinToString(irrelevant_context, ", ")
+       << "\n";
+  }
+  bool any_full = false;
+  for (const ProofTreeDescription& t : trees) {
+    if (t.fully_subsumed) {
+      os << "Via " << t.derivation
+         << ": the context alone qualifies the objects.\n";
+      any_full = true;
+    }
+  }
+  for (const ProofTreeDescription& t : trees) {
+    if (!t.fully_subsumed) {
+      os << "Via " << t.derivation << ": additionally requires "
+         << JoinToString(t.residual_conditions, ", ") << "\n";
+    }
+  }
+  if (any_full) {
+    os << "=> every object satisfying the context is an answer.\n";
+  }
+  return os.str();
+}
+
+Result<DescriptiveAnswer> AnswerKnowledgeQuery(
+    const Program& program, const KnowledgeQuery& query,
+    const KnowledgeQueryOptions& options) {
+  DescriptiveAnswer answer;
+  SplitRelevantContext(program, query.describe.pred_id(), query.context,
+                       &answer.relevant_context, &answer.irrelevant_context);
+
+  std::set<PredicateId> idb = program.IdbPredicates();
+  if (idb.count(query.describe.pred_id()) == 0) {
+    return Status::InvalidArgument(
+        StrCat("described predicate ", query.describe.pred_id().ToString(),
+               " is not defined by any rule"));
+  }
+
+  // Enumerate proof trees by expanding IDB goals breadth-first.
+  FreshVariableGenerator gen("K");
+  std::vector<PartialTree> complete;
+  std::vector<PartialTree> frontier;
+  frontier.push_back(
+      PartialTree{{query.describe}, {}, {}, 0});
+
+  while (!frontier.empty() && complete.size() < options.max_trees) {
+    PartialTree tree = std::move(frontier.back());
+    frontier.pop_back();
+    if (tree.open_goals.empty()) {
+      complete.push_back(std::move(tree));
+      continue;
+    }
+    if (tree.depth >= options.max_depth) continue;  // drop deep trees
+    Atom goal = tree.open_goals.back();
+    tree.open_goals.pop_back();
+    for (size_t rule_index : program.RulesFor(goal.pred_id())) {
+      Rule instance = RenameApart(program.rules()[rule_index], &gen);
+      Substitution mgu;
+      if (!UnifyAtoms(instance.head(), goal, &mgu)) continue;
+      instance = mgu.Apply(instance);
+      PartialTree extended = tree;
+      extended.depth += 1;
+      extended.rules_applied.push_back(
+          program.rules()[rule_index].label().empty()
+              ? StrCat("#", rule_index)
+              : program.rules()[rule_index].label());
+      // Re-apply the unifier to previously collected parts (the goal's
+      // variables may appear there).
+      for (Literal& l : extended.leaves) l = mgu.Apply(l);
+      for (Atom& a : extended.open_goals) a = mgu.Apply(a);
+      for (const Literal& lit : instance.body()) {
+        if (lit.IsRelational() && !lit.negated() &&
+            idb.count(lit.atom().pred_id()) > 0) {
+          extended.open_goals.push_back(lit.atom());
+        } else {
+          extended.leaves.push_back(lit);
+        }
+      }
+      frontier.push_back(std::move(extended));
+    }
+  }
+
+  // Subsume each tree's leaves by the relevant context.
+  std::vector<Atom> context_atoms;
+  for (const Literal& lit : answer.relevant_context) {
+    if (lit.IsRelational()) context_atoms.push_back(lit.atom());
+  }
+
+  for (const PartialTree& tree : complete) {
+    ProofTreeDescription desc;
+    desc.derivation = JoinToString(tree.rules_applied, " ");
+    desc.leaves = tree.leaves;
+
+    std::vector<Atom> leaf_atoms;
+    std::vector<size_t> leaf_atom_index;  // into tree.leaves
+    for (size_t i = 0; i < tree.leaves.size(); ++i) {
+      const Literal& l = tree.leaves[i];
+      if (l.IsRelational() && !l.negated()) {
+        leaf_atoms.push_back(l.atom());
+        leaf_atom_index.push_back(i);
+      }
+    }
+
+    // Best partial subsumption of the context into the leaves: the
+    // match covering the most leaves. (Context atoms map onto leaves;
+    // covered leaves need no further qualification.)
+    std::set<size_t> covered;  // indices into tree.leaves
+    if (!context_atoms.empty() && !leaf_atoms.empty()) {
+      std::vector<SubsumptionMatch> matches = FindSubsumptions(
+          context_atoms, leaf_atoms, /*require_all=*/false,
+          /*max_matches=*/64);
+      const SubsumptionMatch* best = nullptr;
+      for (const SubsumptionMatch& m : matches) {
+        if (best == nullptr || m.matched_count() > best->matched_count()) {
+          best = &m;
+        }
+      }
+      if (best != nullptr) {
+        for (int t : best->target_index) {
+          if (t >= 0) covered.insert(leaf_atom_index[static_cast<size_t>(t)]);
+        }
+      }
+    }
+    for (size_t i = 0; i < tree.leaves.size(); ++i) {
+      if (covered.count(i) == 0) {
+        desc.residual_conditions.push_back(tree.leaves[i]);
+      }
+    }
+    desc.fully_subsumed = desc.residual_conditions.empty();
+    answer.trees.push_back(std::move(desc));
+  }
+  return answer;
+}
+
+std::string GroundedAnswer::Summary() const {
+  std::ostringstream os;
+  os << context_matches << " object(s) match the context; "
+     << answers_in_context << " of them are answers.\n";
+  for (const GroundedTreeAnswer& t : trees) {
+    os << "  via " << t.derivation << ": " << t.qualifying
+       << " qualify";
+    if (t.fully_subsumed) os << " (the context alone suffices)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<GroundedAnswer> GroundKnowledgeAnswer(
+    const Program& program, const Database& edb,
+    const KnowledgeQuery& query, const DescriptiveAnswer& answer) {
+  GroundedAnswer grounded;
+
+  // The counted projection: the described atom's variables.
+  std::vector<Term> projection;
+  for (SymbolId v : CollectVariables(query.describe)) {
+    projection.push_back(Term::Var(v));
+  }
+  if (projection.empty()) {
+    return Status::InvalidArgument(
+        "the described atom has no variables to count over");
+  }
+
+  // Context matches.
+  if (answer.relevant_context.empty()) {
+    return Status::InvalidArgument(
+        "cannot ground an answer with an empty relevant context");
+  }
+  {
+    SEMOPT_ASSIGN_OR_RETURN(
+        QueryResult matches,
+        AnswerQuery(program, edb, answer.relevant_context, projection));
+    grounded.context_matches = matches.size();
+  }
+
+  // Answers of the described predicate inside the context.
+  {
+    std::vector<Literal> body = answer.relevant_context;
+    body.push_back(Literal::Relational(query.describe));
+    SEMOPT_ASSIGN_OR_RETURN(QueryResult in_context,
+                            AnswerQuery(program, edb, body, projection));
+    grounded.answers_in_context = in_context.size();
+  }
+
+  // Per-derivation qualification counts: context + residual conditions.
+  for (const ProofTreeDescription& tree : answer.trees) {
+    GroundedTreeAnswer out;
+    out.derivation = tree.derivation;
+    out.fully_subsumed = tree.fully_subsumed;
+    if (tree.fully_subsumed) {
+      out.qualifying = grounded.context_matches;
+    } else {
+      std::vector<Literal> body = answer.relevant_context;
+      for (const Literal& cond : tree.residual_conditions) {
+        body.push_back(cond);
+      }
+      SEMOPT_ASSIGN_OR_RETURN(QueryResult qualifying,
+                              AnswerQuery(program, edb, body, projection));
+      out.qualifying = qualifying.size();
+    }
+    grounded.trees.push_back(std::move(out));
+  }
+  return grounded;
+}
+
+}  // namespace semopt

@@ -1,0 +1,99 @@
+#ifndef SEMOPT_IQA_KNOWLEDGE_QUERY_H_
+#define SEMOPT_IQA_KNOWLEDGE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// A knowledge query (Motro & Yuan syntax, paper §5):
+///   describe φ(X) where ψ(X).
+/// `describe` is the atom being described; `context` is ψ.
+struct KnowledgeQuery {
+  Atom describe;
+  std::vector<Literal> context;
+};
+
+/// One proof tree of the described predicate, fully expanded to EDB
+/// leaves, and how the (relevant) context subsumes it.
+struct ProofTreeDescription {
+  /// The rule labels applied, root first (e.g. "r1 r2").
+  std::string derivation;
+  /// Leaf conditions of the proof tree (EDB atoms and comparisons).
+  std::vector<Literal> leaves;
+  /// Leaf conditions NOT covered by the context — the additional
+  /// qualifications an object must meet beyond the context. Empty means
+  /// the context alone qualifies objects through this derivation.
+  std::vector<Literal> residual_conditions;
+  bool fully_subsumed = false;
+};
+
+/// The intelligent answer to a knowledge query.
+struct DescriptiveAnswer {
+  std::vector<Literal> relevant_context;
+  std::vector<Literal> irrelevant_context;
+  std::vector<ProofTreeDescription> trees;
+
+  /// Renders a human-readable description (Example 5.1 style):
+  /// relevant/ignored context, then one line per derivation with its
+  /// remaining qualifications.
+  std::string Summary() const;
+};
+
+struct KnowledgeQueryOptions {
+  /// Proof trees are expanded through IDB subgoals up to this many rule
+  /// applications along any branch; deeper (recursive) derivations are
+  /// dropped from the description.
+  size_t max_depth = 4;
+  /// Cap on the number of proof trees described.
+  size_t max_trees = 32;
+};
+
+/// Answers a knowledge query using semantic-optimization machinery
+/// (paper §5): identifies the relevant context by reachability,
+/// enumerates the query predicate's proof trees, and subsumes each
+/// tree's leaves by the context; the residues become the descriptive
+/// answer.
+Result<DescriptiveAnswer> AnswerKnowledgeQuery(
+    const Program& program, const KnowledgeQuery& query,
+    const KnowledgeQueryOptions& options = KnowledgeQueryOptions());
+
+/// A descriptive answer grounded against an actual database: for each
+/// derivation, how many of the objects matching the (relevant) context
+/// additionally satisfy the residual qualifications.
+struct GroundedTreeAnswer {
+  std::string derivation;
+  /// Objects (distinct bindings of the described atom's variables)
+  /// satisfying the residual conditions in addition to the context.
+  size_t qualifying = 0;
+  bool fully_subsumed = false;
+};
+
+struct GroundedAnswer {
+  /// Objects satisfying the relevant context alone.
+  size_t context_matches = 0;
+  /// Objects that are answers of the described predicate AND match the
+  /// context.
+  size_t answers_in_context = 0;
+  std::vector<GroundedTreeAnswer> trees;
+
+  /// Renders e.g. "12 objects match the context; 12 qualify via r3
+  /// (context alone suffices); 3 additionally qualify via r0 ...".
+  std::string Summary() const;
+};
+
+/// Grounds `answer` (from AnswerKnowledgeQuery) against `edb`: counts,
+/// per derivation, the context-matching objects that also satisfy the
+/// residual conditions. The described atom's variables are the counted
+/// projection; residual-condition variables are existential.
+Result<GroundedAnswer> GroundKnowledgeAnswer(
+    const Program& program, const Database& edb,
+    const KnowledgeQuery& query, const DescriptiveAnswer& answer);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_IQA_KNOWLEDGE_QUERY_H_

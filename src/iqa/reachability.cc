@@ -1,0 +1,69 @@
+#include "iqa/reachability.h"
+
+#include <algorithm>
+
+#include "ast/rename.h"
+
+namespace semopt {
+
+std::set<PredicateId> SymmetricReachable(const Program& program,
+                                         const PredicateId& from) {
+  // Build the symmetric closure of the rule head/body adjacency and
+  // take the connected component of `from`.
+  std::set<PredicateId> component{from};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules()) {
+      PredicateId head = rule.head().pred_id();
+      std::vector<PredicateId> body_preds;
+      for (const Literal& lit : rule.body()) {
+        if (lit.IsRelational()) body_preds.push_back(lit.atom().pred_id());
+      }
+      bool touches = component.count(head) > 0;
+      for (const PredicateId& q : body_preds) {
+        if (component.count(q) > 0) touches = true;
+      }
+      if (!touches) continue;
+      if (component.insert(head).second) changed = true;
+      for (const PredicateId& q : body_preds) {
+        if (component.insert(q).second) changed = true;
+      }
+    }
+  }
+  return component;
+}
+
+void SplitRelevantContext(const Program& program,
+                          const PredicateId& query_pred,
+                          const std::vector<Literal>& context,
+                          std::vector<Literal>* relevant,
+                          std::vector<Literal>* irrelevant) {
+  std::set<PredicateId> reachable = SymmetricReachable(program, query_pred);
+  relevant->clear();
+  irrelevant->clear();
+  std::set<SymbolId> relevant_vars;
+  for (const Literal& lit : context) {
+    if (lit.IsRelational() && reachable.count(lit.atom().pred_id()) > 0) {
+      relevant->push_back(lit);
+      for (SymbolId v : CollectVariables(lit)) relevant_vars.insert(v);
+    }
+  }
+  // Evaluable context literals ride along when they share a variable
+  // with a relevant relational literal.
+  for (const Literal& lit : context) {
+    if (lit.IsRelational()) {
+      if (reachable.count(lit.atom().pred_id()) == 0) {
+        irrelevant->push_back(lit);
+      }
+      continue;
+    }
+    bool shares = false;
+    for (SymbolId v : CollectVariables(lit)) {
+      if (relevant_vars.count(v) > 0) shares = true;
+    }
+    (shares ? relevant : irrelevant)->push_back(lit);
+  }
+}
+
+}  // namespace semopt

@@ -1,0 +1,31 @@
+#ifndef SEMOPT_IQA_REACHABILITY_H_
+#define SEMOPT_IQA_REACHABILITY_H_
+
+#include <set>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace semopt {
+
+/// The symmetric reachability relation of §5: every predicate reaches
+/// itself; p reaches q if q occurs in the body of a rule for a
+/// predicate reachable from p; and reachability is symmetric. Returns
+/// the set of predicates reachable from `from`.
+std::set<PredicateId> SymmetricReachable(const Program& program,
+                                         const PredicateId& from);
+
+/// Splits `context` into the literals relevant to `query_pred` (their
+/// predicate is reachable from the query predicate, or they are
+/// evaluable literals sharing a variable with a relevant literal) and
+/// the irrelevant remainder (paper §5, "Identification of Relevant
+/// context").
+void SplitRelevantContext(const Program& program,
+                          const PredicateId& query_pred,
+                          const std::vector<Literal>& context,
+                          std::vector<Literal>* relevant,
+                          std::vector<Literal>* irrelevant);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_IQA_REACHABILITY_H_

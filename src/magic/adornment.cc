@@ -1,0 +1,58 @@
+#include "magic/adornment.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+Adornment Adornment::ForAtom(const Atom& atom,
+                             const std::vector<SymbolId>& bound_vars) {
+  std::vector<bool> bound;
+  bound.reserve(atom.args().size());
+  for (const Term& t : atom.args()) {
+    if (t.IsConstant()) {
+      bound.push_back(true);
+    } else {
+      bound.push_back(std::find(bound_vars.begin(), bound_vars.end(),
+                                t.symbol()) != bound_vars.end());
+    }
+  }
+  return Adornment(std::move(bound));
+}
+
+bool Adornment::AllFree() const {
+  for (bool b : bound_) {
+    if (b) return false;
+  }
+  return true;
+}
+
+bool Adornment::AnyBound() const { return !AllFree(); }
+
+std::vector<uint32_t> Adornment::BoundPositions() const {
+  std::vector<uint32_t> positions;
+  for (uint32_t i = 0; i < bound_.size(); ++i) {
+    if (bound_[i]) positions.push_back(i);
+  }
+  return positions;
+}
+
+std::string Adornment::ToString() const {
+  std::string s;
+  s.reserve(bound_.size());
+  for (bool b : bound_) s.push_back(b ? 'b' : 'f');
+  return s;
+}
+
+SymbolId AdornedName(SymbolId pred, const Adornment& adornment) {
+  return InternSymbol(
+      StrCat(SymbolName(pred), "$", adornment.ToString()));
+}
+
+SymbolId MagicName(SymbolId pred, const Adornment& adornment) {
+  return InternSymbol(
+      StrCat("magic$", SymbolName(pred), "$", adornment.ToString()));
+}
+
+}  // namespace semopt

@@ -1,0 +1,52 @@
+#ifndef SEMOPT_MAGIC_ADORNMENT_H_
+#define SEMOPT_MAGIC_ADORNMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+
+namespace semopt {
+
+/// An adornment: one flag per argument position, 'b' (bound) or 'f'
+/// (free), e.g. "bf" for p(X, Y) with X bound.
+class Adornment {
+ public:
+  Adornment() = default;
+  explicit Adornment(std::vector<bool> bound) : bound_(std::move(bound)) {}
+
+  /// Derives the adornment of `atom` given the currently bound
+  /// variables: an argument is bound if it is a constant or a variable
+  /// in `bound_vars`.
+  static Adornment ForAtom(const Atom& atom,
+                           const std::vector<SymbolId>& bound_vars);
+
+  size_t arity() const { return bound_.size(); }
+  bool IsBound(size_t i) const { return bound_[i]; }
+  bool AllFree() const;
+  bool AnyBound() const;
+
+  /// Indices of bound positions, ascending.
+  std::vector<uint32_t> BoundPositions() const;
+
+  /// "bf"-style string.
+  std::string ToString() const;
+
+  bool operator==(const Adornment& o) const { return bound_ == o.bound_; }
+  bool operator<(const Adornment& o) const { return bound_ < o.bound_; }
+
+ private:
+  std::vector<bool> bound_;
+};
+
+/// Name of the adorned version of `pred` under `adornment`
+/// (e.g. "p$bf"). '$' keeps generated names out of the source namespace.
+SymbolId AdornedName(SymbolId pred, const Adornment& adornment);
+
+/// Name of the magic predicate for `pred` under `adornment`
+/// (e.g. "magic$p$bf").
+SymbolId MagicName(SymbolId pred, const Adornment& adornment);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_MAGIC_ADORNMENT_H_

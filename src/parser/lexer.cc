@@ -1,0 +1,229 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kIf:
+      return "':-'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kNot:
+      return "'not'";
+    case TokenKind::kQuery:
+      return "'?-'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) { return std::islower(static_cast<unsigned char>(c)); }
+bool IsVarStart(char c) {
+  return std::isupper(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&](TokenKind kind, std::string text = "",
+                  int64_t value = 0) {
+    tokens.push_back(Token{kind, std::move(text), value, line});
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(') {
+      push(TokenKind::kLParen);
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      push(TokenKind::kRParen);
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      push(TokenKind::kComma);
+      ++i;
+      continue;
+    }
+    if (c == '.') {
+      push(TokenKind::kDot);
+      ++i;
+      continue;
+    }
+    if (c == ':') {
+      if (i + 1 < n && source[i + 1] == '-') {
+        push(TokenKind::kIf);
+        i += 2;
+      } else {
+        push(TokenKind::kColon);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '?') {
+      if (i + 1 < n && source[i + 1] == '-') {
+        push(TokenKind::kQuery);
+        i += 2;
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrCat("line ", line, ": unexpected '?'"));
+    }
+    if (c == '-') {
+      if (i + 1 < n && source[i + 1] == '>') {
+        push(TokenKind::kArrow);
+        i += 2;
+        continue;
+      }
+      // Negative integer literal.
+      if (i + 1 < n && std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        size_t start = i++;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+        std::string digits(source.substr(start, i - start));
+        push(TokenKind::kInteger, digits, std::stoll(digits));
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrCat("line ", line, ": unexpected '-'"));
+    }
+    if (c == '=') {
+      push(TokenKind::kEq);
+      ++i;
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        push(TokenKind::kNe);
+        i += 2;
+        continue;
+      }
+      return Status::InvalidArgument(
+          StrCat("line ", line, ": unexpected '!'"));
+    }
+    if (c == '<') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        push(TokenKind::kLe);
+        i += 2;
+      } else {
+        push(TokenKind::kLt);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        push(TokenKind::kGe);
+        i += 2;
+      } else {
+        push(TokenKind::kGt);
+        ++i;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      std::string digits(source.substr(start, i - start));
+      push(TokenKind::kInteger, digits, std::stoll(digits));
+      continue;
+    }
+    if (c == '\'') {  // quoted symbol
+      size_t start = ++i;
+      while (i < n && source[i] != '\'' && source[i] != '\n') ++i;
+      if (i >= n || source[i] != '\'') {
+        return Status::InvalidArgument(
+            StrCat("line ", line, ": unterminated quoted symbol"));
+      }
+      push(TokenKind::kIdent, std::string(source.substr(start, i - start)));
+      ++i;  // closing quote
+      continue;
+    }
+    if (IsIdentStart(c) || IsVarStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      std::string text(source.substr(start, i - start));
+      if (text == "not") {
+        push(TokenKind::kNot);
+      } else if (IsVarStart(c)) {
+        push(TokenKind::kVariable, std::move(text));
+      } else {
+        push(TokenKind::kIdent, std::move(text));
+      }
+      continue;
+    }
+    if (c == '$') {
+      return Status::InvalidArgument(
+          StrCat("line ", line,
+                 ": '$' is reserved for generated variable names"));
+    }
+    return Status::InvalidArgument(
+        StrCat("line ", line, ": unexpected character '", std::string(1, c),
+               "'"));
+  }
+  push(TokenKind::kEof);
+  return tokens;
+}
+
+}  // namespace semopt

@@ -1,0 +1,55 @@
+#ifndef SEMOPT_PARSER_LEXER_H_
+#define SEMOPT_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace semopt {
+
+/// Token kinds of the rule/IC surface syntax.
+enum class TokenKind : uint8_t {
+  kIdent,      // lowercase-initial identifier or 'quoted symbol'
+  kVariable,   // uppercase- or underscore-initial identifier
+  kInteger,    // decimal integer, optionally negative
+  kLParen,     // (
+  kRParen,     // )
+  kComma,      // ,
+  kDot,        // .
+  kColon,      // :   (rule/IC label separator)
+  kIf,         // :-  (rule neck)
+  kArrow,      // ->  (IC implication)
+  kEq,         // =
+  kNe,         // !=
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kNot,        // the keyword `not`
+  kQuery,      // ?-  (query prefix)
+  kEof,
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+/// A lexed token with its source text and 1-based line number.
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier/variable text or integer digits
+  int64_t int_value;  // valid for kInteger
+  int line;
+};
+
+/// Splits `source` into tokens. Comments run from '%' to end of line.
+/// Quoted symbols ('like this') lex as kIdent with the quotes stripped.
+/// Underscores are allowed inside identifiers; '$' is reserved for
+/// generated variables and rejected in source.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_PARSER_LEXER_H_

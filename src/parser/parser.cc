@@ -1,0 +1,298 @@
+#include "parser/parser.h"
+
+#include <optional>
+
+#include "parser/lexer.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+/// Recursive-descent parser over a lexed token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgramAll() {
+    Program program;
+    while (!Check(TokenKind::kEof)) {
+      SEMOPT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      if (stmt.is_constraint) {
+        program.AddConstraint(std::move(stmt.constraint));
+      } else {
+        program.AddRule(std::move(stmt.rule));
+      }
+    }
+    return program;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    SEMOPT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(
+                                                /*dot_optional=*/true));
+    if (stmt.is_constraint) {
+      return Status::InvalidArgument("expected a rule, found a constraint");
+    }
+    SEMOPT_RETURN_IF_ERROR(ExpectEof());
+    return stmt.rule;
+  }
+
+  Result<Constraint> ParseSingleConstraint() {
+    SEMOPT_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(
+                                                /*dot_optional=*/true));
+    if (!stmt.is_constraint) {
+      return Status::InvalidArgument("expected a constraint, found a rule");
+    }
+    SEMOPT_RETURN_IF_ERROR(ExpectEof());
+    return stmt.constraint;
+  }
+
+  Result<Atom> ParseSingleAtom() {
+    SEMOPT_ASSIGN_OR_RETURN(Atom atom, ParseAtomTokens());
+    Match(TokenKind::kDot);
+    SEMOPT_RETURN_IF_ERROR(ExpectEof());
+    return atom;
+  }
+
+  Result<Literal> ParseSingleLiteral() {
+    SEMOPT_ASSIGN_OR_RETURN(Literal lit, ParseLiteralTokens());
+    Match(TokenKind::kDot);
+    SEMOPT_RETURN_IF_ERROR(ExpectEof());
+    return lit;
+  }
+
+  Result<std::vector<Literal>> ParseSingleLiteralList() {
+    SEMOPT_ASSIGN_OR_RETURN(std::vector<Literal> lits, ParseLiteralListTokens());
+    Match(TokenKind::kDot);
+    SEMOPT_RETURN_IF_ERROR(ExpectEof());
+    return lits;
+  }
+
+ private:
+  struct Statement {
+    bool is_constraint = false;
+    Rule rule;
+    Constraint constraint;
+  };
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const Token& Advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Expect(TokenKind kind, const char* context) {
+    if (Match(kind)) return Status::Ok();
+    return Error(StrCat("expected ", TokenKindName(kind), " ", context,
+                        ", found ", TokenKindName(Peek().kind)));
+  }
+
+  Status ExpectEof() {
+    if (Check(TokenKind::kEof)) return Status::Ok();
+    return Error(StrCat("trailing input starting with ",
+                        TokenKindName(Peek().kind)));
+  }
+
+  Status Error(std::string message) const {
+    return Status::InvalidArgument(
+        StrCat("line ", Peek().line, ": ", std::move(message)));
+  }
+
+  static std::optional<ComparisonOp> AsComparison(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEq:
+        return ComparisonOp::kEq;
+      case TokenKind::kNe:
+        return ComparisonOp::kNe;
+      case TokenKind::kLt:
+        return ComparisonOp::kLt;
+      case TokenKind::kLe:
+        return ComparisonOp::kLe;
+      case TokenKind::kGt:
+        return ComparisonOp::kGt;
+      case TokenKind::kGe:
+        return ComparisonOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable:
+        Advance();
+        return Term::Var(t.text);
+      case TokenKind::kInteger:
+        Advance();
+        return Term::Int(t.int_value);
+      case TokenKind::kIdent:
+        Advance();
+        return Term::Sym(t.text);
+      default:
+        return Error(StrCat("expected a term, found ",
+                            TokenKindName(t.kind)));
+    }
+  }
+
+  Result<Atom> ParseAtomTokens() {
+    if (!Check(TokenKind::kIdent)) {
+      return Error(StrCat("expected a predicate name, found ",
+                          TokenKindName(Peek().kind)));
+    }
+    std::string name = Advance().text;
+    std::vector<Term> args;
+    if (Match(TokenKind::kLParen)) {
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          SEMOPT_ASSIGN_OR_RETURN(Term arg, ParseTerm());
+          args.push_back(arg);
+        } while (Match(TokenKind::kComma));
+      }
+      SEMOPT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "after arguments"));
+    }
+    return Atom(name, std::move(args));
+  }
+
+  // literal := ['not'] ( atom | term cmp term | ident cmp term )
+  // An identifier followed by '(' or by nothing-comparison parses as an
+  // atom; an identifier/variable/integer followed by a comparison
+  // operator parses as a comparison.
+  Result<Literal> ParseLiteralTokens() {
+    bool negated = Match(TokenKind::kNot);
+    // Lookahead: a variable or integer must begin a comparison.
+    if (Check(TokenKind::kVariable) || Check(TokenKind::kInteger)) {
+      SEMOPT_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+      auto op = AsComparison(Peek().kind);
+      if (!op.has_value()) {
+        return Error(StrCat("expected a comparison operator, found ",
+                            TokenKindName(Peek().kind)));
+      }
+      Advance();
+      SEMOPT_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      return negated ? Literal::NegatedComparison(lhs, *op, rhs)
+                     : Literal::Comparison(lhs, *op, rhs);
+    }
+    if (Check(TokenKind::kIdent)) {
+      // Could be an atom or a symbol-headed comparison
+      // ('executive' = R). Disambiguate on the following token.
+      if (Peek(1).kind != TokenKind::kLParen &&
+          AsComparison(Peek(1).kind).has_value()) {
+        SEMOPT_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+        ComparisonOp op = *AsComparison(Peek().kind);
+        Advance();
+        SEMOPT_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+        return negated ? Literal::NegatedComparison(lhs, op, rhs)
+                       : Literal::Comparison(lhs, op, rhs);
+      }
+      SEMOPT_ASSIGN_OR_RETURN(Atom atom, ParseAtomTokens());
+      return negated ? Literal::NegatedRelational(std::move(atom))
+                     : Literal::Relational(std::move(atom));
+    }
+    return Error(StrCat("expected a literal, found ",
+                        TokenKindName(Peek().kind)));
+  }
+
+  Result<std::vector<Literal>> ParseLiteralListTokens() {
+    std::vector<Literal> literals;
+    do {
+      SEMOPT_ASSIGN_OR_RETURN(Literal lit, ParseLiteralTokens());
+      literals.push_back(std::move(lit));
+    } while (Match(TokenKind::kComma));
+    return literals;
+  }
+
+  // statement := [label ':'] body
+  // where body resolves to a rule (head [:- literals]) or a constraint
+  // (literals -> [literal]).
+  Result<Statement> ParseStatement(bool dot_optional = false) {
+    std::string label;
+    if (Check(TokenKind::kIdent) && Peek(1).kind == TokenKind::kColon) {
+      label = Advance().text;
+      Advance();  // ':'
+    }
+
+    // Parse a literal list; then decide rule vs. constraint by the next
+    // token (':-' / '.' => rule; '->' => constraint).
+    SEMOPT_ASSIGN_OR_RETURN(std::vector<Literal> first, ParseLiteralListTokens());
+
+    Statement stmt;
+    if (Match(TokenKind::kArrow)) {
+      stmt.is_constraint = true;
+      std::optional<Literal> head;
+      if (!Check(TokenKind::kDot) && !Check(TokenKind::kEof)) {
+        SEMOPT_ASSIGN_OR_RETURN(Literal h, ParseLiteralTokens());
+        head = std::move(h);
+      }
+      stmt.constraint =
+          Constraint(std::move(label), std::move(first), std::move(head));
+    } else {
+      if (first.size() != 1 || !first[0].IsRelational() ||
+          first[0].negated()) {
+        return Error("a rule head must be a single positive atom");
+      }
+      Atom head = first[0].atom();
+      std::vector<Literal> body;
+      if (Match(TokenKind::kIf)) {
+        SEMOPT_ASSIGN_OR_RETURN(body, ParseLiteralListTokens());
+      }
+      stmt.rule = Rule(std::move(label), std::move(head), std::move(body));
+    }
+
+    if (!Match(TokenKind::kDot) && !dot_optional) {
+      return Error(StrCat("expected '.' at end of statement, found ",
+                          TokenKindName(Peek().kind)));
+    }
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).ParseProgramAll();
+}
+
+Result<Rule> ParseRule(std::string_view source) {
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).ParseSingleRule();
+}
+
+Result<Constraint> ParseConstraint(std::string_view source) {
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).ParseSingleConstraint();
+}
+
+Result<Atom> ParseAtom(std::string_view source) {
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).ParseSingleAtom();
+}
+
+Result<Literal> ParseLiteral(std::string_view source) {
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).ParseSingleLiteral();
+}
+
+Result<std::vector<Literal>> ParseLiteralList(std::string_view source) {
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).ParseSingleLiteralList();
+}
+
+}  // namespace semopt

@@ -1,0 +1,42 @@
+#ifndef SEMOPT_PARSER_PARSER_H_
+#define SEMOPT_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Parses a whole source text: a sequence of statements, each terminated
+/// by '.'. Statements are:
+///
+///   [label:] head :- lit, ..., lit.        % rule
+///   [label:] head.                         % fact rule
+///   [label:] lit, ..., lit -> lit.         % integrity constraint
+///   [label:] lit, ..., lit -> .            % denial constraint
+///
+/// Literals are relational atoms `p(t, ...)` (optionally prefixed `not`)
+/// or comparisons `t op t` with op in {=, !=, <, <=, >, >=}. Variables
+/// start uppercase or with '_'; symbols start lowercase or are quoted.
+/// Comments run from '%' to end of line.
+Result<Program> ParseProgram(std::string_view source);
+
+/// Parses a single rule (label optional, trailing '.' optional).
+Result<Rule> ParseRule(std::string_view source);
+
+/// Parses a single integrity constraint.
+Result<Constraint> ParseConstraint(std::string_view source);
+
+/// Parses a single atom, e.g. "par(adam, 930, seth, 800)".
+Result<Atom> ParseAtom(std::string_view source);
+
+/// Parses a single literal (atom, negated atom, or comparison).
+Result<Literal> ParseLiteral(std::string_view source);
+
+/// Parses a comma-separated literal list (e.g. a query body).
+Result<std::vector<Literal>> ParseLiteralList(std::string_view source);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_PARSER_PARSER_H_

@@ -1,0 +1,159 @@
+#include "semopt/ap_graph.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+std::string SubgoalRef::ToString(const Program& program) const {
+  const Rule& rule = program.rules()[rule_index];
+  const Literal& lit = rule.body()[literal_index];
+  std::string rule_name =
+      rule.label().empty() ? StrCat("#", rule_index) : rule.label();
+  return StrCat(lit.IsRelational() ? lit.atom().ToString() : lit.ToString(),
+                "@", rule_name);
+}
+
+Result<ApGraph> ApGraph::Build(const Program& program,
+                               const PredicateId& pred) {
+  ApGraph graph;
+  graph.pred_ = pred;
+  std::set<PredicateId> idb = program.IdbPredicates();
+
+  uint32_t next_dummy = 0;
+  for (size_t rule_index : program.RulesFor(pred)) {
+    const Rule& rule = program.rules()[rule_index];
+
+    // Locate the body occurrence of the recursive predicate (if any) and
+    // the output (head) variables.
+    int rec_literal = -1;
+    for (size_t i = 0; i < rule.body().size(); ++i) {
+      const Literal& lit = rule.body()[i];
+      if (lit.IsRelational() && !lit.negated() &&
+          lit.atom().pred_id() == pred) {
+        if (rec_literal >= 0) {
+          return Status::FailedPrecondition(
+              StrCat("rule ", rule.ToString(), " is not linear in ",
+                     pred.ToString()));
+        }
+        rec_literal = static_cast<int>(i);
+      }
+    }
+    std::map<SymbolId, uint32_t> head_pos_of;  // output var -> i
+    for (uint32_t i = 0; i < rule.head().args().size(); ++i) {
+      const Term& t = rule.head().arg(i);
+      if (!t.IsVariable() || head_pos_of.count(t.symbol()) > 0) {
+        return Status::FailedPrecondition(
+            StrCat("rule ", rule.ToString(),
+                   " is not rectified; rectify the program first"));
+      }
+      head_pos_of.emplace(t.symbol(), i);
+    }
+    std::map<SymbolId, std::vector<uint32_t>> rec_pos_of;  // body rec var
+    if (rec_literal >= 0) {
+      const Atom& rec_atom = rule.body()[rec_literal].atom();
+      for (uint32_t j = 0; j < rec_atom.args().size(); ++j) {
+        if (rec_atom.arg(j).IsVariable()) {
+          rec_pos_of[rec_atom.arg(j).symbol()].push_back(j);
+        }
+      }
+      // Directed <p_i, p_j> edges: output variable X_i at body position j.
+      for (const auto& [var, head_pos] : head_pos_of) {
+        auto it = rec_pos_of.find(var);
+        if (it == rec_pos_of.end()) continue;
+        for (uint32_t j : it->second) {
+          graph.pos_pos_edges_.push_back(PosPosEdge{head_pos, j, rule_index});
+        }
+      }
+    }
+
+    // EDB subgoal occurrences and their edges.
+    std::vector<std::pair<SubgoalRef, const Atom*>> edb_subgoals;
+    for (size_t i = 0; i < rule.body().size(); ++i) {
+      const Literal& lit = rule.body()[i];
+      if (!lit.IsRelational() || lit.negated()) continue;
+      if (idb.count(lit.atom().pred_id()) > 0) continue;  // IDB subgoal
+      SubgoalRef ref{rule_index, i};
+      graph.subgoals_.push_back(ref);
+      edb_subgoals.emplace_back(ref, &lit.atom());
+
+      for (uint32_t arg = 0; arg < lit.atom().args().size(); ++arg) {
+        const Term& t = lit.atom().arg(arg);
+        if (!t.IsVariable()) continue;
+        // Undirected (a, p_k): shares a variable with the body
+        // occurrence of the recursive predicate.
+        auto rp = rec_pos_of.find(t.symbol());
+        if (rp != rec_pos_of.end()) {
+          for (uint32_t k : rp->second) {
+            graph.subgoal_pos_edges_.push_back(
+                SubgoalPosEdge{ref, arg, k});
+          }
+        }
+        // Directed (p_i, a): carries the output variable X_i.
+        auto hp = head_pos_of.find(t.symbol());
+        if (hp != head_pos_of.end()) {
+          graph.pos_subgoal_edges_.push_back(
+              PosSubgoalEdge{hp->second, ref, arg});
+        }
+      }
+    }
+
+    // Dummy edges: same-rule sharing between two EDB subgoals through a
+    // variable that touches neither the head nor the body recursive
+    // atom.
+    for (size_t x = 0; x < edb_subgoals.size(); ++x) {
+      for (size_t y = x + 1; y < edb_subgoals.size(); ++y) {
+        const auto& [ref_a, atom_a] = edb_subgoals[x];
+        const auto& [ref_b, atom_b] = edb_subgoals[y];
+        for (uint32_t i = 0; i < atom_a->args().size(); ++i) {
+          const Term& t = atom_a->arg(i);
+          if (!t.IsVariable()) continue;
+          if (head_pos_of.count(t.symbol()) > 0 ||
+              rec_pos_of.count(t.symbol()) > 0) {
+            continue;
+          }
+          for (uint32_t j = 0; j < atom_b->args().size(); ++j) {
+            if (atom_b->arg(j) == t) {
+              graph.dummy_edges_.push_back(
+                  DummyEdge{ref_a, i, ref_b, j, next_dummy++});
+            }
+          }
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+const Atom& ApGraph::AtomOf(const Program& program,
+                            const SubgoalRef& ref) const {
+  return program.rules()[ref.rule_index].body()[ref.literal_index].atom();
+}
+
+std::string ApGraph::ToString(const Program& program) const {
+  std::ostringstream os;
+  os << "AP-graph for " << pred_.ToString() << "\n";
+  for (const SubgoalPosEdge& e : subgoal_pos_edges_) {
+    os << "  (" << e.subgoal.ToString(program) << ", p" << e.rec_pos + 1
+       << ") <*, " << e.arg + 1 << ">\n";
+  }
+  for (const PosSubgoalEdge& e : pos_subgoal_edges_) {
+    os << "  <p" << e.head_pos + 1 << ", " << e.subgoal.ToString(program)
+       << "> <" << program.rules()[e.subgoal.rule_index].label() << ", "
+       << e.arg + 1 << ">\n";
+  }
+  for (const PosPosEdge& e : pos_pos_edges_) {
+    os << "  <p" << e.head_pos + 1 << ", p" << e.rec_pos + 1 << "> <"
+       << program.rules()[e.rule_index].label() << ", *>\n";
+  }
+  for (const DummyEdge& e : dummy_edges_) {
+    os << "  (" << e.a.ToString(program) << ", d" << e.dummy_id << "), ("
+       << e.b.ToString(program) << ", d" << e.dummy_id << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace semopt

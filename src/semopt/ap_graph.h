@@ -1,0 +1,112 @@
+#ifndef SEMOPT_SEMOPT_AP_GRAPH_H_
+#define SEMOPT_SEMOPT_AP_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Identifies one EDB subgoal occurrence in a program: the
+/// `literal_index`-th body literal of rule `rule_index`. The paper
+/// treats subgoal occurrences in the same and different rules as
+/// distinct (§3), which this reference captures.
+struct SubgoalRef {
+  size_t rule_index;
+  size_t literal_index;
+
+  bool operator==(const SubgoalRef& o) const {
+    return rule_index == o.rule_index && literal_index == o.literal_index;
+  }
+  bool operator!=(const SubgoalRef& o) const { return !(*this == o); }
+  bool operator<(const SubgoalRef& o) const {
+    if (rule_index != o.rule_index) return rule_index < o.rule_index;
+    return literal_index < o.literal_index;
+  }
+
+  std::string ToString(const Program& program) const;
+};
+
+/// The argument/predicate graph of Definition 3.2, built per defined
+/// predicate. Vertices are (i) EDB subgoal occurrences in the
+/// predicate's rules, (ii) argument positions p_1..p_n of the recursive
+/// predicate, and (iii) dummy argument positions mediating same-rule
+/// variable sharing that bypasses the recursive predicate. The three
+/// edge families of the definition are stored explicitly.
+class ApGraph {
+ public:
+  /// Undirected edge (a, p_k) with label <*, j>: the j-th argument of
+  /// subgoal `subgoal` shares a variable with position k of the
+  /// *body* occurrence of the recursive predicate in the same rule.
+  struct SubgoalPosEdge {
+    SubgoalRef subgoal;
+    uint32_t arg;      // j
+    uint32_t rec_pos;  // k
+  };
+
+  /// Directed edge <p_i, a> with label <r, j>: subgoal `subgoal` in rule
+  /// `rule_index` has the output (head) variable X_i at position j.
+  struct PosSubgoalEdge {
+    uint32_t head_pos;  // i
+    SubgoalRef subgoal;
+    uint32_t arg;  // j
+  };
+
+  /// Directed edge <p_i, p_j> with label <r, *>: the output variable
+  /// X_i occupies position j of the body recursive atom of rule
+  /// `rule_index`.
+  struct PosPosEdge {
+    uint32_t head_pos;  // i
+    uint32_t rec_pos;   // j
+    size_t rule_index;  // r
+  };
+
+  /// Same-rule sharing via a dummy argument position d: subgoals a and b
+  /// share a variable that does not touch the recursive predicate.
+  struct DummyEdge {
+    SubgoalRef a;
+    uint32_t a_arg;
+    SubgoalRef b;
+    uint32_t b_arg;
+    uint32_t dummy_id;
+  };
+
+  /// Builds the AP-graph of `pred`'s rules. The program must be
+  /// rectified (output variables X_i must be well defined across rules).
+  /// Non-recursive predicates yield a graph with no position edges.
+  static Result<ApGraph> Build(const Program& program,
+                               const PredicateId& pred);
+
+  const PredicateId& pred() const { return pred_; }
+  const std::vector<SubgoalRef>& subgoals() const { return subgoals_; }
+  const std::vector<SubgoalPosEdge>& subgoal_pos_edges() const {
+    return subgoal_pos_edges_;
+  }
+  const std::vector<PosSubgoalEdge>& pos_subgoal_edges() const {
+    return pos_subgoal_edges_;
+  }
+  const std::vector<PosPosEdge>& pos_pos_edges() const {
+    return pos_pos_edges_;
+  }
+  const std::vector<DummyEdge>& dummy_edges() const { return dummy_edges_; }
+
+  /// The atom of a subgoal occurrence.
+  const Atom& AtomOf(const Program& program, const SubgoalRef& ref) const;
+
+  std::string ToString(const Program& program) const;
+
+ private:
+  PredicateId pred_{0, 0};
+  std::vector<SubgoalRef> subgoals_;
+  std::vector<SubgoalPosEdge> subgoal_pos_edges_;
+  std::vector<PosSubgoalEdge> pos_subgoal_edges_;
+  std::vector<PosPosEdge> pos_pos_edges_;
+  std::vector<DummyEdge> dummy_edges_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_AP_GRAPH_H_

@@ -1,0 +1,122 @@
+#include "semopt/expanded_form.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/rename.h"
+#include "eval/builtins.h"
+#include "semopt/subsumption.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Constraint ExpandConstraint(const Constraint& ic) {
+  FreshVariableGenerator gen("V");
+  std::set<SymbolId> seen;
+  std::vector<Literal> body;
+  std::vector<Literal> equalities;
+
+  for (const Literal& lit : ic.body()) {
+    if (!lit.IsRelational()) {
+      body.push_back(lit);
+      continue;
+    }
+    std::vector<Term> args;
+    args.reserve(lit.atom().args().size());
+    for (const Term& t : lit.atom().args()) {
+      if (t.IsVariable() && seen.insert(t.symbol()).second) {
+        // First occurrence stays (paper keeps a(V1,V2,V3) intact in
+        // Example 2.1 and renames only repeats).
+        args.push_back(t);
+        continue;
+      }
+      // Constant or repeated variable: displace into an equality.
+      Term fresh = gen.Fresh();
+      args.push_back(fresh);
+      equalities.push_back(
+          Literal::Comparison(fresh, ComparisonOp::kEq, t));
+    }
+    Atom expanded(lit.atom().predicate(), std::move(args));
+    body.push_back(lit.negated()
+                       ? Literal::NegatedRelational(std::move(expanded))
+                       : Literal::Relational(std::move(expanded)));
+  }
+  for (Literal& eq : equalities) body.push_back(std::move(eq));
+  return Constraint(ic.label(), std::move(body), ic.head());
+}
+
+std::vector<Constraint> ClassicalRuleResidues(const Constraint& ic,
+                                              const Rule& rule) {
+  // Rename the IC apart from the rule so that identical variable names
+  // in the two clauses do not accidentally constrain the matching.
+  FreshVariableGenerator gen("W");
+  Constraint renamed = RenameApart(ic, &gen);
+  Constraint expanded = ExpandConstraint(renamed);
+
+  std::vector<Atom> ic_atoms = expanded.DatabaseBody();
+  std::vector<Atom> targets;
+  for (const Literal& lit : rule.body()) {
+    if (lit.IsRelational() && !lit.negated()) targets.push_back(lit.atom());
+  }
+
+  std::vector<Constraint> residues;
+  for (const SubsumptionMatch& match :
+       FindSubsumptions(ic_atoms, targets, /*require_all=*/false)) {
+    // The residue is the θ-image of the IC parts that did not
+    // participate in the subsumption: unmatched database atoms, all
+    // evaluable body literals, and the head.
+    std::vector<Literal> body;
+    size_t db_index = 0;
+    for (const Literal& lit : expanded.body()) {
+      if (lit.IsRelational()) {
+        if (match.target_index[db_index] < 0) {
+          body.push_back(match.theta.Apply(lit));
+        }
+        ++db_index;
+        continue;
+      }
+      Literal mapped = match.theta.Apply(lit);
+      // Simplify: drop trivially-true equalities/comparisons.
+      if (mapped.IsComparison() && mapped.lhs().IsConstant() &&
+          mapped.rhs().IsConstant()) {
+        Result<bool> value = EvalComparison(mapped);
+        if (value.ok() && *value) continue;
+      }
+      if (mapped.IsComparison() && !mapped.negated() &&
+          mapped.op() == ComparisonOp::kEq && mapped.lhs() == mapped.rhs()) {
+        continue;
+      }
+      body.push_back(std::move(mapped));
+    }
+    std::optional<Literal> head;
+    if (expanded.head().has_value()) {
+      head = match.theta.Apply(*expanded.head());
+    }
+    Constraint residue(ic.label(), std::move(body), std::move(head));
+    if (std::find(residues.begin(), residues.end(), residue) ==
+        residues.end()) {
+      residues.push_back(std::move(residue));
+    }
+  }
+  return residues;
+}
+
+bool IsTrivialClassicalResidue(const Constraint& residue, const Rule& rule) {
+  if (!residue.head().has_value()) return false;
+  const Literal& head = *residue.head();
+  if (head.IsComparison()) {
+    if (!head.negated() && head.op() == ComparisonOp::kEq &&
+        head.lhs() == head.rhs()) {
+      return true;  // tautological head
+    }
+    return false;
+  }
+  // A database head already present as a rule subgoal contributes no
+  // optimization (paper Example 3.2).
+  for (const Literal& lit : rule.body()) {
+    if (lit == head) return true;
+  }
+  return false;
+}
+
+}  // namespace semopt

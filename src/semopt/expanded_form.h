@@ -1,0 +1,42 @@
+#ifndef SEMOPT_SEMOPT_EXPANDED_FORM_H_
+#define SEMOPT_SEMOPT_EXPANDED_FORM_H_
+
+#include <vector>
+
+#include "ast/rule.h"
+#include "semopt/residue.h"
+
+namespace semopt {
+
+/// Converts `ic` to expanded form (paper §2, after Chakravarthy et al.):
+/// every argument of every database body atom becomes a distinct fresh
+/// variable, with the displaced constant/shared-variable constraints
+/// made explicit as `=` literals appended to the body. The head and
+/// evaluable body literals keep their original terms.
+///
+/// Example (paper Example 2.1):
+///   a(V1,V2,V3), b(V2,V4), c(V4,V5,V6) -> d(V6,V7)
+/// expands to
+///   a(V1,V2,V3), b(V8,V4), c(V9,V5,V6), V8 = V2, V9 = V4 -> d(V6,V7).
+Constraint ExpandConstraint(const Constraint& ic);
+
+/// Classical (Chakravarthy-style) residues of `ic` w.r.t. a single
+/// rule's body: the IC is expanded first, partial subsumption is run on
+/// the expanded database atoms against the rule's database body atoms,
+/// and the unmatched remainder (equalities included, trivially-true ones
+/// simplified away) forms the residue. Unlike the *free* residues of
+/// Definition 2.1, classical residues may retain database atoms in
+/// their body, so they are returned as Constraints. Used for the E7
+/// ablation and by the evaluation-paradigm baseline.
+std::vector<Constraint> ClassicalRuleResidues(const Constraint& ic,
+                                              const Rule& rule);
+
+/// True when a classical residue is trivial in the context of its rule:
+/// its body is empty or only trivially-true equalities, and its head is
+/// already a body literal of the rule or a tautology (paper Example 3.2:
+/// `P = P' -> expert(P, F)` is trivial for r1).
+bool IsTrivialClassicalResidue(const Constraint& residue, const Rule& rule);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_EXPANDED_FORM_H_

@@ -1,0 +1,166 @@
+#include "semopt/expansion.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <sstream>
+
+#include "ast/unify.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+std::string ExpansionSequence::ToString(const Program& program) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < rule_indices.size(); ++i) {
+    if (i > 0) os << " ";
+    const Rule& r = program.rules()[rule_indices[i]];
+    os << (r.label().empty() ? StrCat("#", rule_indices[i]) : r.label());
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Index of the unique positive body occurrence of `pred` in `rule`, or
+/// -1 when absent. Returns -2 when there is more than one (non-linear).
+int RecursiveLiteralIndex(const Rule& rule, const PredicateId& pred) {
+  int found = -1;
+  for (size_t i = 0; i < rule.body().size(); ++i) {
+    const Literal& lit = rule.body()[i];
+    if (lit.IsRelational() && !lit.negated() &&
+        lit.atom().pred_id() == pred) {
+      if (found >= 0) return -2;
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+Result<UnfoldedSequence> Unfold(const Program& program,
+                                const ExpansionSequence& sequence) {
+  if (sequence.rule_indices.empty()) {
+    return Status::InvalidArgument("cannot unfold an empty sequence");
+  }
+  for (size_t index : sequence.rule_indices) {
+    if (index >= program.rules().size()) {
+      return Status::InvalidArgument(
+          StrCat("rule index ", index, " out of range"));
+    }
+  }
+
+  const Rule& first = program.rules()[sequence.rule_indices[0]];
+  PredicateId pred = first.head().pred_id();
+  for (size_t index : sequence.rule_indices) {
+    if (program.rules()[index].head().pred_id() != pred) {
+      return Status::InvalidArgument(
+          "expansion sequence mixes rules of different predicates");
+    }
+  }
+
+  FreshVariableGenerator gen("U");
+  UnfoldedSequence out;
+  out.rule = Rule(Atom(pred.name, first.head().args()), {});
+
+  // `pending` is the recursive atom awaiting expansion by the next step.
+  std::optional<Atom> pending;
+
+  for (size_t step = 0; step < sequence.rule_indices.size(); ++step) {
+    const Rule& original = program.rules()[sequence.rule_indices[step]];
+    Rule instance = original;
+    if (step > 0) {
+      // Inner instance: rename apart, then unify its (rectified,
+      // distinct-variable) head with the pending recursive atom.
+      instance = RenameApart(original, &gen);
+      Substitution mgu;
+      if (!UnifyAtoms(instance.head(), *pending, &mgu)) {
+        return Status::Internal(
+            StrCat("failed to unify ", instance.head().ToString(), " with ",
+                   pending->ToString()));
+      }
+      instance = mgu.Apply(instance);
+      // The pending atom's variables came from the outer instance; the
+      // head unification must not rebind them. For rectified rules the
+      // instance head is distinct fresh variables, so the MGU only binds
+      // instance-side variables — nothing to fix up here.
+    }
+
+    int rec = RecursiveLiteralIndex(instance, pred);
+    if (rec == -2) {
+      return Status::FailedPrecondition(
+          StrCat("rule ", original.ToString(),
+                 " is not linear in ", pred.ToString()));
+    }
+    bool is_last = step + 1 == sequence.rule_indices.size();
+    if (rec < 0 && !is_last) {
+      return Status::InvalidArgument(
+          StrCat("non-recursive rule ", original.ToString(),
+                 " appears before the end of the expansion sequence"));
+    }
+
+    for (size_t i = 0; i < instance.body().size(); ++i) {
+      if (static_cast<int>(i) == rec) continue;
+      out.rule.mutable_body().push_back(instance.body()[i]);
+      out.source_step.push_back(step);
+      out.source_literal.push_back(i);
+    }
+    if (rec >= 0) {
+      const Atom& rec_atom = instance.body()[rec].atom();
+      out.recursive_args.push_back(rec_atom.args());
+      if (is_last) {
+        out.rule.mutable_body().push_back(Literal::Relational(rec_atom));
+        out.source_step.push_back(step);
+        out.source_literal.push_back(rec);
+        out.ends_recursive = true;
+      } else {
+        pending = rec_atom;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ExpansionSequence> EnumerateSequences(const Program& program,
+                                                  const PredicateId& pred,
+                                                  size_t max_length) {
+  std::vector<size_t> all_rules = program.RulesFor(pred);
+  std::vector<size_t> recursive_rules;
+  for (size_t i : all_rules) {
+    if (RecursiveLiteralIndex(program.rules()[i], pred) >= 0) {
+      recursive_rules.push_back(i);
+    }
+  }
+
+  std::vector<ExpansionSequence> out;
+  // Sequences are a (possibly empty) prefix of recursive rules followed
+  // by one final rule (recursive or not).
+  std::vector<size_t> prefix;
+  std::function<void()> grow = [&]() {
+    if (prefix.size() >= max_length) return;
+    for (size_t last : all_rules) {
+      ExpansionSequence seq;
+      seq.rule_indices = prefix;
+      seq.rule_indices.push_back(last);
+      out.push_back(std::move(seq));
+    }
+    for (size_t r : recursive_rules) {
+      prefix.push_back(r);
+      grow();
+      prefix.pop_back();
+    }
+  };
+  grow();
+
+  // grow() emits length-(prefix+1) sequences; dedup final-rule overlap:
+  // a recursive rule appears both as "last" and as prefix extension, so
+  // identical sequences are produced only once — but a recursive rule
+  // used as `last` of a longer prefix equals prefix+that rule; no
+  // duplicates arise. Sort for deterministic output.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace semopt

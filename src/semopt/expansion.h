@@ -1,0 +1,75 @@
+#ifndef SEMOPT_SEMOPT_EXPANSION_H_
+#define SEMOPT_SEMOPT_EXPANSION_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "ast/rename.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// An expansion sequence (paper §2): a sequence of program rules applied
+/// top-down when expanding the recursive predicate, in 1-1
+/// correspondence with proof trees for linear programs. Stored as
+/// indices into the program's rule list.
+struct ExpansionSequence {
+  std::vector<size_t> rule_indices;
+
+  bool operator==(const ExpansionSequence& o) const {
+    return rule_indices == o.rule_indices;
+  }
+  bool operator<(const ExpansionSequence& o) const {
+    return rule_indices < o.rule_indices;
+  }
+
+  size_t length() const { return rule_indices.size(); }
+
+  /// Renders rule labels, e.g. "r0 r0 r0".
+  std::string ToString(const Program& program) const;
+};
+
+/// The unfolding of an expansion sequence into a single conjunctive
+/// rule, with provenance linking each body literal back to the sequence
+/// step and rule-body position it came from.
+struct UnfoldedSequence {
+  /// head p(X1..Xn); body = accumulated non-recursive literals of every
+  /// step, followed by the trailing recursive literal when the last rule
+  /// of the sequence is recursive.
+  Rule rule;
+  /// For each body literal of `rule`: the sequence step (0-based) that
+  /// contributed it. The trailing recursive literal carries the last
+  /// step index.
+  std::vector<size_t> source_step;
+  /// For each body literal of `rule`: its literal index within the
+  /// original rule body of that step.
+  std::vector<size_t> source_literal;
+  /// Recursive-call arguments after each step i (Z̄_i in the isolation
+  /// construction): args[i] are the arguments the step-i rule instance
+  /// passes to the next instance. Size = number of recursive steps.
+  std::vector<std::vector<Term>> recursive_args;
+  /// True when the final rule of the sequence is recursive (so `rule`
+  /// has a trailing recursive literal).
+  bool ends_recursive = false;
+};
+
+/// Unfolds `sequence` top-down (paper §2 / Example 3.1). Requirements:
+/// all rules in the sequence define the same predicate; every rule but
+/// possibly the last contains exactly one body occurrence of that
+/// predicate (linear recursion); the program is rectified. Freshly
+/// renames each inner instance so no variables collide.
+Result<UnfoldedSequence> Unfold(const Program& program,
+                                const ExpansionSequence& sequence);
+
+/// Enumerates all expansion sequences for `pred` of length in
+/// [1, max_length]: any rule of `pred` may appear last; every non-final
+/// position must be a (linearly) recursive rule. Used by the exhaustive
+/// residue-generation baseline (bench E4) and by tests.
+std::vector<ExpansionSequence> EnumerateSequences(const Program& program,
+                                                  const PredicateId& pred,
+                                                  size_t max_length);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_EXPANSION_H_

@@ -1,0 +1,229 @@
+#include "semopt/factor.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "ast/rename.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+/// The source level of variable `v` in the unfolding: the smallest step
+/// whose literals contain it (head-only variables map to 0).
+std::optional<size_t> VarSourceLevel(const UnfoldedSequence& unfolded,
+                                     SymbolId v) {
+  std::optional<size_t> best;
+  for (size_t i = 0; i < unfolded.rule.body().size(); ++i) {
+    for (SymbolId u : CollectVariables(unfolded.rule.body()[i])) {
+      if (u == v) {
+        size_t step = unfolded.source_step[i];
+        if (!best.has_value() || step < *best) best = step;
+      }
+    }
+  }
+  if (!best.has_value()) {
+    for (SymbolId u : CollectVariables(unfolded.rule.head())) {
+      if (u == v) return 0;
+    }
+  }
+  return best;
+}
+
+/// Deterministic variable ordering: first occurrence in the committed
+/// rule (head first, then body).
+std::vector<SymbolId> OrderedVars(const Rule& rule) {
+  return CollectVariables(rule);
+}
+
+}  // namespace
+
+Status FactorCommittedRules(IsolationResult* iso, int isolation_id) {
+  const size_t k = iso->k;
+  if (k <= 1 || iso->committed_rules.empty()) return Status::Ok();
+
+  struct FactoredCopy {
+    Rule consumer;
+    std::vector<Rule> chain;  // c_1 .. c_{k-1} rules actually created
+  };
+  std::vector<FactoredCopy> factored;
+
+  // Cache of shared suffixes: key -> existing chain predicate head atom.
+  std::map<std::string, Atom> suffix_cache;
+  int next_chain_id = 0;
+
+  for (size_t rule_index : iso->committed_rules) {
+    const Rule& rule = iso->program.rules()[rule_index];
+
+    // Assign every body literal to a segment (sequence step). Pass 1:
+    // literals inherited from the unfolding keep their step.
+    std::vector<std::vector<Literal>> segments(k);
+    std::vector<bool> unfolded_used(iso->unfolded.rule.body().size(), false);
+    std::vector<Literal> added;
+    for (const Literal& lit : rule.body()) {
+      int inherited = -1;
+      for (size_t u = 0; u < iso->unfolded.rule.body().size(); ++u) {
+        if (!unfolded_used[u] && iso->unfolded.rule.body()[u] == lit) {
+          inherited = static_cast<int>(u);
+          break;
+        }
+      }
+      if (inherited >= 0) {
+        unfolded_used[inherited] = true;
+        segments[iso->unfolded.source_step[inherited]].push_back(lit);
+      } else {
+        added.push_back(lit);
+      }
+    }
+    // Pass 2: literals added by the pushes (conditions, guards,
+    // introduced atoms) go to the deepest segment at which all their
+    // variables are in scope — bottom-up, the chain evaluates that
+    // segment first, so the condition filters before anything above is
+    // materialized. Variables placed at the consumer (segment 0) are
+    // carried up automatically by the interface computation below.
+    std::vector<std::set<SymbolId>> inherited_vars(k);
+    for (size_t j = 0; j < k; ++j) {
+      for (const Literal& lit : segments[j]) {
+        for (SymbolId v : CollectVariables(lit)) inherited_vars[j].insert(v);
+      }
+    }
+    for (const Literal& lit : added) {
+      size_t candidate = 0;
+      for (SymbolId v : CollectVariables(lit)) {
+        std::optional<size_t> level = VarSourceLevel(iso->unfolded, v);
+        if (level.has_value()) candidate = std::max(candidate, *level);
+      }
+      auto in_scope_at = [&](size_t j) {
+        for (SymbolId v : CollectVariables(lit)) {
+          bool found = false;
+          for (size_t j2 = j; j2 < k && !found; ++j2) {
+            if (inherited_vars[j2].count(v) > 0) found = true;
+          }
+          if (!found) return false;
+        }
+        return true;
+      };
+      if (!in_scope_at(candidate)) candidate = 0;
+      segments[candidate].push_back(lit);
+    }
+
+    // Variables used by each segment and by the head.
+    std::vector<std::set<SymbolId>> segment_vars(k);
+    for (size_t j = 0; j < k; ++j) {
+      for (const Literal& lit : segments[j]) {
+        for (SymbolId v : CollectVariables(lit)) segment_vars[j].insert(v);
+      }
+    }
+    std::set<SymbolId> head_vars;
+    for (SymbolId v : CollectVariables(rule.head())) head_vars.insert(v);
+
+    // Build the chain bottom-up (deepest segment first); skip split
+    // points whose suffix segment is empty by merging it downward.
+    std::vector<SymbolId> var_order = OrderedVars(rule);
+    FactoredCopy copy{Rule(rule.label(), rule.head(), {}), {}};
+
+    // suffix_body accumulates the literals of segments >= j while no
+    // split has been emitted yet for them.
+    std::vector<Literal> suffix_body;
+    std::optional<Atom> suffix_atom;  // chain predicate summarizing deeper
+    for (size_t j = k; j-- > 1;) {
+      for (const Literal& lit : segments[j]) suffix_body.push_back(lit);
+      if (suffix_body.empty()) continue;  // nothing to materialize yet
+
+      // Interface: variables of the suffix (segments >= j, represented
+      // by suffix_body + suffix_atom) also used by segments < j or the
+      // head.
+      std::set<SymbolId> suffix_vars;
+      for (const Literal& lit : suffix_body) {
+        for (SymbolId v : CollectVariables(lit)) suffix_vars.insert(v);
+      }
+      if (suffix_atom.has_value()) {
+        for (SymbolId v : CollectVariables(*suffix_atom)) {
+          suffix_vars.insert(v);
+        }
+      }
+      std::set<SymbolId> outside;
+      for (size_t j2 = 0; j2 < j; ++j2) {
+        for (SymbolId v : segment_vars[j2]) outside.insert(v);
+      }
+      for (SymbolId v : head_vars) outside.insert(v);
+
+      std::vector<Term> interface_args;
+      for (SymbolId v : var_order) {
+        if (suffix_vars.count(v) > 0 && outside.count(v) > 0) {
+          interface_args.push_back(Term::Var(v));
+        }
+      }
+
+      // Shared-suffix lookup key: the literals + the interface.
+      std::ostringstream key;
+      for (const Literal& lit : suffix_body) key << lit << ";";
+      if (suffix_atom.has_value()) key << "@" << *suffix_atom;
+      key << "|" << JoinToString(interface_args, ",");
+
+      auto cached = suffix_cache.find(key.str());
+      if (cached != suffix_cache.end()) {
+        suffix_atom = cached->second;
+      } else {
+        SymbolId chain_pred = InternSymbol(
+            StrCat(SymbolName(iso->pred.name), "$c", isolation_id, "_",
+                   next_chain_id++));
+        std::vector<Literal> body = suffix_body;
+        if (suffix_atom.has_value()) {
+          // Deeper chain link was already materialized into the body
+          // via suffix_body? No: deeper link is a predicate atom.
+          body.push_back(Literal::Relational(*suffix_atom));
+        }
+        Rule link(StrCat("chain$", isolation_id, "_", next_chain_id - 1),
+                  Atom(chain_pred, interface_args), std::move(body));
+        suffix_atom = link.head();
+        copy.chain.push_back(std::move(link));
+        suffix_cache.emplace(key.str(), *suffix_atom);
+      }
+      suffix_body.clear();
+    }
+
+    // Consumer: segment 0 plus the top chain link (or, if no link was
+    // created because all deeper segments were empty, just segment 0).
+    std::vector<Literal> consumer_body = segments[0];
+    if (suffix_atom.has_value()) {
+      consumer_body.push_back(Literal::Relational(*suffix_atom));
+    }
+    for (Literal& lit : suffix_body) consumer_body.push_back(lit);
+    copy.consumer.mutable_body() = std::move(consumer_body);
+    factored.push_back(std::move(copy));
+  }
+
+  // Rebuild the program: committed copies replaced by consumers; chain
+  // rules appended once each.
+  std::set<size_t> committed(iso->committed_rules.begin(),
+                             iso->committed_rules.end());
+  Program rebuilt;
+  std::vector<size_t> new_committed;
+  size_t copy_index = 0;
+  for (size_t i = 0; i < iso->program.rules().size(); ++i) {
+    if (committed.count(i) == 0) {
+      rebuilt.AddRule(iso->program.rules()[i]);
+      continue;
+    }
+    new_committed.push_back(rebuilt.rules().size());
+    rebuilt.AddRule(factored[copy_index].consumer);
+    for (const Rule& link : factored[copy_index].chain) {
+      rebuilt.AddRule(link);
+    }
+    ++copy_index;
+  }
+  for (const Constraint& ic : iso->program.constraints()) {
+    rebuilt.AddConstraint(ic);
+  }
+  iso->program = std::move(rebuilt);
+  iso->committed_rules = std::move(new_committed);
+  return Status::Ok();
+}
+
+}  // namespace semopt

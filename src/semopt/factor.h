@@ -1,0 +1,41 @@
+#ifndef SEMOPT_SEMOPT_FACTOR_H_
+#define SEMOPT_SEMOPT_FACTOR_H_
+
+#include "semopt/isolation.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Post-pass over a pushed isolation: factors each (flat) committed
+/// k-step rule into a chain of materialized intermediate predicates,
+/// one per sequence step — the committed-only version of the paper's
+/// p_i spine.
+///
+/// Why: the flat committed rule re-explores its multi-step join per
+/// delta tuple, which multiplies duplicate derivations on databases
+/// with join fan-in (R paths per step become R^k per rule); the chain
+/// deduplicates at every step boundary at the cost of materializing the
+/// intermediates. Factoring is a pure join re-association, so it
+/// preserves the program's semantics; whether it pays off depends on
+/// the workload's fan-in (see bench E3's ablation).
+///
+/// Literal placement: literals inherited from the unfolding stay with
+/// their sequence step; literals added by the pushes (conditions,
+/// guards, introduced atoms) are placed at the *earliest* step where
+/// all their variables are bound (deep-step variables flow upward
+/// through the chain interfaces automatically). Chain heads carry
+/// exactly the interface variables (shared between the suffix and the
+/// prefix/head), so e.g. Example 4.1's rank condition is evaluated at
+/// the bottom of the chain, before anything is materialized.
+///
+/// Identical chain suffixes across committed copies (guard splits)
+/// share their intermediate predicates.
+///
+/// Must run after all pushes on `iso`; committed_rules afterwards
+/// refers to the chain-consumer rules, on which further pushes are not
+/// supported.
+Status FactorCommittedRules(IsolationResult* iso, int isolation_id);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_FACTOR_H_

@@ -1,0 +1,126 @@
+#include "semopt/isolation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ast/rename.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<IsolationResult> IsolateSequence(const Program& program,
+                                        const ExpansionSequence& sequence,
+                                        int isolation_id) {
+  SEMOPT_ASSIGN_OR_RETURN(UnfoldedSequence unfolded,
+                          Unfold(program, sequence));
+  const size_t k = sequence.rule_indices.size();
+  PredicateId pred =
+      program.rules()[sequence.rule_indices[0]].head().pred_id();
+
+  IsolationResult out;
+  out.sequence = sequence;
+  out.unfolded = unfolded;
+  out.k = k;
+  out.pred = pred;
+  out.source_program = program;
+
+  if (k == 1) {
+    // No exit predicates needed: replace the rule with its
+    // unfolding-ordered reconstruction so literal positions line up
+    // with `unfolded`.
+    for (size_t i = 0; i < program.rules().size(); ++i) {
+      if (i == sequence.rule_indices[0]) {
+        Rule rebuilt(program.rules()[i].label(), unfolded.rule.head(),
+                     unfolded.rule.body());
+        out.committed_rules.push_back(out.program.rules().size());
+        out.program.AddRule(std::move(rebuilt));
+      } else {
+        out.program.AddRule(program.rules()[i]);
+      }
+    }
+    for (const Constraint& ic : program.constraints()) {
+      out.program.AddConstraint(ic);
+    }
+    return out;
+  }
+
+  // Exit predicate per distinct excluded rule: q_d routes derivations
+  // that follow the sequence's first d rules and then deviate (apply a
+  // rule other than seq[d]).
+  std::map<size_t, SymbolId> q_by_excluded_rule;
+  out.q_names.reserve(k - 1);
+  for (size_t d = 1; d < k; ++d) {
+    size_t excluded = sequence.rule_indices[d];
+    auto it = q_by_excluded_rule.find(excluded);
+    if (it == q_by_excluded_rule.end()) {
+      it = q_by_excluded_rule
+               .emplace(excluded,
+                        InternSymbol(StrCat(SymbolName(pred.name), "$q",
+                                            isolation_id, "_", d)))
+               .first;
+    }
+    out.q_names.push_back(it->second);
+  }
+
+  // Rules of other predicates are copied unchanged.
+  std::vector<size_t> pred_rules = program.RulesFor(pred);
+  std::set<size_t> pred_rule_set(pred_rules.begin(), pred_rules.end());
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    if (pred_rule_set.count(i) == 0) out.program.AddRule(program.rules()[i]);
+  }
+
+  // γ-rules for q_0 = p: the original rules except the sequence's first.
+  for (size_t l : pred_rules) {
+    if (l == sequence.rule_indices[0]) continue;
+    out.program.AddRule(program.rules()[l]);
+  }
+
+  // Deviation rules: for each first-deviation depth d, the prefix
+  // unfolding with its trailing recursive atom redirected to q_d.
+  for (size_t d = 1; d < k; ++d) {
+    ExpansionSequence prefix;
+    prefix.rule_indices.assign(sequence.rule_indices.begin(),
+                               sequence.rule_indices.begin() + d);
+    SEMOPT_ASSIGN_OR_RETURN(UnfoldedSequence prefix_unfolded,
+                            Unfold(program, prefix));
+    if (!prefix_unfolded.ends_recursive) {
+      return Status::Internal(
+          "non-recursive rule inside the sequence prefix");
+    }
+    Rule dev = prefix_unfolded.rule;
+    Literal& trailing = dev.mutable_body().back();
+    trailing = Literal::Relational(
+        Atom(out.q_names[d - 1], trailing.atom().args()));
+    dev.set_label(StrCat("dev", d, "$", isolation_id));
+    out.program.AddRule(std::move(dev));
+  }
+
+  // The committed rule: the full unfolding (its trailing recursive atom
+  // — when the sequence ends recursively — continues as plain p).
+  {
+    Rule committed = unfolded.rule;
+    committed.set_label(StrCat("committed$", isolation_id));
+    out.committed_rules.push_back(out.program.rules().size());
+    out.program.AddRule(std::move(committed));
+  }
+
+  // γ-rules for the exit predicates (once per distinct q).
+  for (const auto& [excluded, q_name] : q_by_excluded_rule) {
+    for (size_t l : pred_rules) {
+      if (l == excluded) continue;
+      const Rule& original = program.rules()[l];
+      Rule gamma(StrCat("exit$", isolation_id, "$", SymbolName(q_name), "$",
+                        original.label()),
+                 Atom(q_name, original.head().args()), original.body());
+      out.program.AddRule(std::move(gamma));
+    }
+  }
+
+  for (const Constraint& ic : program.constraints()) {
+    out.program.AddConstraint(ic);
+  }
+  return out;
+}
+
+}  // namespace semopt

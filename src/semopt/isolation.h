@@ -1,0 +1,69 @@
+#ifndef SEMOPT_SEMOPT_ISOLATION_H_
+#define SEMOPT_SEMOPT_ISOLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "semopt/expansion.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// The result of Algorithm 4.1 in *flattened* form: a program Q
+/// equivalent to P in which the given expansion sequence is isolated.
+///
+/// The paper's construction introduces auxiliary spine predicates
+/// p_1..p_{k-1} chaining one α-rule per step. Evaluated bottom-up, that
+/// chain materializes full-size intermediate relations; this
+/// implementation therefore *flattens* the spine (composing the α-rules
+/// by unfolding — Step 5's unification taken to its fixpoint):
+///
+///   * the COMMITTED rule is the sequence's complete unfolding — a
+///     k-step rule covering exactly the proof trees whose spine follows
+///     the sequence; every pushed optimization lands here, and because
+///     the rule commits to all k steps, every residue condition is
+///     evaluable in it and every matched subgoal is guaranteed, with no
+///     further soundness analysis;
+///   * one DEVIATION rule per first-deviation depth d (1..k-1): the
+///     unfolding of the sequence's first d rules, with the trailing
+///     recursive atom redirected to the exit predicate q_d defined by
+///     every original rule except the sequence's d-th (q predicates
+///     with the same excluded rule are shared);
+///   * the original rules other than the sequence's first remain as the
+///     rules of p (the paper's γ-rules for q_0 = p).
+///
+/// Proof trees partition by their first deviation from the sequence, so
+/// Q computes exactly P's relation (Theorem 4.1), while deriving no
+/// auxiliary spine tuples.
+struct IsolationResult {
+  Program program;
+  ExpansionSequence sequence;
+  UnfoldedSequence unfolded;
+  /// Sequence length k.
+  size_t k = 0;
+  /// Indices (into program.rules()) of the current copies of the
+  /// committed rule. Initially one; pushing may split it into several.
+  std::vector<size_t> committed_rules;
+  /// Exit predicates q_1..q_{k-1} (deduplicated; empty for k == 1).
+  std::vector<SymbolId> q_names;
+  /// The predicate being isolated.
+  PredicateId pred{0, 0};
+  /// The program the isolation was built from.
+  Program source_program;
+};
+
+/// Algorithm 4.1 (flattened). Transforms `program` so that `sequence`
+/// (rules of one linear recursive predicate) is isolated.
+/// `isolation_id` namespaces the exit predicates so multiple isolations
+/// coexist. Preconditions: rectified program, linear recursion, all
+/// sequence rules define the same predicate, only the last rule may be
+/// non-recursive. For k == 1 the program is returned with the single
+/// rule rebuilt in unfolding order (no exit predicates).
+Result<IsolationResult> IsolateSequence(const Program& program,
+                                        const ExpansionSequence& sequence,
+                                        int isolation_id);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_ISOLATION_H_

@@ -1,0 +1,273 @@
+#include "semopt/optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "analysis/recursion.h"
+#include "analysis/rectify.h"
+#include "semopt/factor.h"
+#include "semopt/isolation.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+const char* OptimizationKindName(AppliedOptimization::Kind kind) {
+  switch (kind) {
+    case AppliedOptimization::Kind::kElimination:
+      return "atom elimination";
+    case AppliedOptimization::Kind::kIntroduction:
+      return "atom introduction";
+    case AppliedOptimization::Kind::kPruning:
+      return "subtree pruning";
+  }
+  return "?";
+}
+
+std::string OptimizeResult::Report() const {
+  std::ostringstream os;
+  os << "residues found: " << residues.size() << "\n";
+  for (const AppliedOptimization& a : applied) {
+    os << "applied " << OptimizationKindName(a.kind) << ": " << a.description
+       << "\n";
+  }
+  for (const std::string& s : skipped) os << "skipped: " << s << "\n";
+  return os.str();
+}
+
+namespace {
+
+/// How the optimizer would use one residue on its sequence's isolation.
+enum class PlannedUse { kPruning, kElimination, kIntroduction, kNone };
+
+}  // namespace
+
+Result<OptimizeResult> SemanticOptimizer::Optimize(
+    const Program& program) const {
+  SEMOPT_RETURN_IF_ERROR(ValidatePaperAssumptions(program));
+
+  OptimizeResult out;
+  Program current = program;
+  if (!IsRectified(current)) {
+    if (!options_.auto_rectify) {
+      return Status::FailedPrecondition(
+          "program is not rectified and auto_rectify is disabled");
+    }
+    SEMOPT_ASSIGN_OR_RETURN(current, Rectify(current));
+  }
+  current.AutoLabelRules();
+
+  // Optimize the original predicates one at a time. Residues are
+  // regenerated against the current program so rule indices stay valid
+  // after earlier isolations. Additional rounds re-analyze the
+  // transformed program (each round is equivalence-preserving).
+  std::set<PredicateId> original_preds = program.IdbPredicates();
+  int isolation_id = 0;
+  size_t rounds = options_.max_rounds == 0 ? 1 : options_.max_rounds;
+
+  for (size_t round = 0; round < rounds; ++round) {
+  bool round_applied = false;
+  for (const PredicateId& pred : original_preds) {
+    std::vector<Residue> residues;
+    for (const Constraint& ic : current.constraints()) {
+      SEMOPT_ASSIGN_OR_RETURN(
+          std::vector<Residue> found,
+          GenerateResidues(current, ic, pred, options_.residue_options));
+      for (Residue& r : found) residues.push_back(std::move(r));
+    }
+    for (const Residue& r : residues) out.residues.push_back(r);
+    if (residues.empty()) continue;
+
+    // Decide the intended use of each residue and score sequences.
+    auto planned_use = [&](const Residue& r) -> PlannedUse {
+      if (r.IsNull()) {
+        return options_.enable_pruning ? PlannedUse::kPruning
+                                       : PlannedUse::kNone;
+      }
+      if (options_.enable_elimination && r.head->IsRelational()) {
+        // Elimination requires the head to occur in the sequence; the
+        // generator only kept useful residues, so a relational head
+        // occurs when require_useful was set. Verified again at push
+        // time.
+        return PlannedUse::kElimination;
+      }
+      if (options_.enable_introduction) {
+        bool profitable =
+            r.head->IsComparison() ||
+            (r.head->IsRelational() &&
+             options_.small_relations.count(r.head->atom().pred_id()) > 0);
+        if (profitable) return PlannedUse::kIntroduction;
+      }
+      return PlannedUse::kNone;
+    };
+
+    std::map<ExpansionSequence, int> sequence_score;
+    for (const Residue& r : residues) {
+      int score = 0;
+      switch (planned_use(r)) {
+        case PlannedUse::kPruning:
+          score = 4;
+          break;
+        case PlannedUse::kElimination:
+          score = 3;
+          break;
+        case PlannedUse::kIntroduction:
+          score = 1;
+          break;
+        case PlannedUse::kNone:
+          score = 0;
+          break;
+      }
+      sequence_score[r.sequence] += score;
+    }
+    // Isolation cost heuristic: each distinct q predicate whose γ-rules
+    // include a recursive rule re-derives a full copy of the recursion,
+    // so prefer sequences avoiding that (homogeneous sequences have a
+    // single, usually non-recursive, exit).
+    auto gamma_cost = [&](const ExpansionSequence& seq) {
+      std::set<size_t> excluded(seq.rule_indices.begin() + 1,
+                                seq.rule_indices.end());
+      int cost = 0;
+      for (size_t e : excluded) {
+        for (size_t l : current.RulesFor(pred)) {
+          if (l != e && current.rules()[l].BodyUses(pred)) ++cost;
+        }
+      }
+      return cost;
+    };
+    const ExpansionSequence* best = nullptr;
+    int best_score = 0;
+    int best_cost = 0;
+    for (const auto& [seq, score] : sequence_score) {
+      if (score == 0) continue;
+      int cost = gamma_cost(seq);
+      bool better =
+          best == nullptr || score > best_score ||
+          (score == best_score &&
+           (cost < best_cost ||
+            (cost == best_cost &&
+             seq.rule_indices.size() < best->rule_indices.size())));
+      if (better) {
+        best = &seq;
+        best_score = score;
+        best_cost = cost;
+      }
+    }
+    if (best == nullptr || best_score == 0) {
+      for (const Residue& r : residues) {
+        out.skipped.push_back(
+            StrCat("no applicable use for residue ", r.ToString(current)));
+      }
+      continue;
+    }
+    ExpansionSequence chosen = *best;
+
+    SEMOPT_ASSIGN_OR_RETURN(IsolationResult iso,
+                            IsolateSequence(current, chosen, isolation_id++));
+
+    bool any_applied = false;
+    for (const Residue& r : residues) {
+      if (!(r.sequence == chosen)) {
+        if (planned_use(r) != PlannedUse::kNone) {
+          out.skipped.push_back(
+              StrCat("residue ", r.ToString(current),
+                     " is on a different sequence than the isolated one"));
+        }
+        continue;
+      }
+      PlannedUse use = planned_use(r);
+      if (use == PlannedUse::kNone) continue;
+
+      const Constraint* ic = nullptr;
+      for (const Constraint& c : current.constraints()) {
+        if (c.label() == r.ic_label) {
+          ic = &c;
+          break;
+        }
+      }
+      if (ic == nullptr) {
+        out.skipped.push_back(
+            StrCat("originating IC ", r.ic_label, " not found"));
+        continue;
+      }
+
+      Result<LocalizedResidue> localized = LocalizeResidue(r, *ic, iso);
+      if (!localized.ok()) {
+        out.skipped.push_back(localized.status().ToString());
+        continue;
+      }
+      // A fact residue whose head does not occur in the sequence cannot
+      // be eliminated; fall back to introduction when profitable.
+      if (use == PlannedUse::kElimination &&
+          !localized->head_occurrence.has_value()) {
+        bool introducible =
+            options_.enable_introduction &&
+            (r.head->IsComparison() ||
+             (r.head->IsRelational() &&
+              options_.small_relations.count(r.head->atom().pred_id()) > 0));
+        if (introducible) {
+          use = PlannedUse::kIntroduction;
+        } else {
+          out.skipped.push_back(
+              StrCat("residue ", r.ToString(current),
+                     ": head does not occur in the sequence and "
+                     "introduction is not profitable"));
+          continue;
+        }
+      }
+      Status push_status = Status::Ok();
+      AppliedOptimization::Kind kind = AppliedOptimization::Kind::kPruning;
+      switch (use) {
+        case PlannedUse::kPruning:
+          kind = AppliedOptimization::Kind::kPruning;
+          push_status = PushSubtreePruning(&iso, *localized, *ic,
+                                           options_.push_options);
+          break;
+        case PlannedUse::kElimination:
+          kind = AppliedOptimization::Kind::kElimination;
+          push_status = PushAtomElimination(&iso, *localized, *ic,
+                                            options_.push_options);
+          break;
+        case PlannedUse::kIntroduction:
+          kind = AppliedOptimization::Kind::kIntroduction;
+          push_status = PushAtomIntroduction(&iso, *localized, *ic,
+                                             options_.push_options);
+          break;
+        case PlannedUse::kNone:
+          continue;
+      }
+      if (push_status.ok()) {
+        any_applied = true;
+        out.applied.push_back(AppliedOptimization{
+            kind, StrCat(r.ToString(current), " [IC ", r.ic_label, "]")});
+      } else {
+        out.skipped.push_back(StrCat(r.ToString(current), ": ",
+                                     push_status.ToString()));
+      }
+    }
+
+    if (any_applied) {
+      round_applied = true;
+      if (options_.factor_committed) {
+        Status factored = FactorCommittedRules(&iso, isolation_id - 1);
+        if (!factored.ok()) {
+          out.skipped.push_back(
+              StrCat("factoring failed: ", factored.ToString()));
+        }
+      }
+      current = iso.program;
+    } else {
+      out.skipped.push_back(
+          StrCat("isolation of ", chosen.ToString(current), " for ",
+                 pred.ToString(), " discarded: no push succeeded"));
+    }
+  }
+
+  if (!round_applied) break;  // fixpoint reached
+  }
+
+  out.program = std::move(current);
+  return out;
+}
+
+}  // namespace semopt

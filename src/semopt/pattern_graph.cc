@@ -1,0 +1,92 @@
+#include "semopt/pattern_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<PatternGraph> PatternGraph::Build(const Constraint& ic) {
+  PatternGraph graph;
+  graph.atoms = ic.DatabaseBody();
+  const size_t k = graph.atoms.size();
+  if (k == 0) {
+    return Status::FailedPrecondition(
+        StrCat("IC ", ic.ToString(), " has no database subgoals"));
+  }
+
+  // Shared variable pairs for every atom pair; used both for edge
+  // labels and to validate the chain shape.
+  auto shared_pairs = [&](size_t x, size_t y) {
+    std::vector<ArgPair> pairs;
+    const Atom& a = graph.atoms[x];
+    const Atom& b = graph.atoms[y];
+    for (uint32_t i = 0; i < a.args().size(); ++i) {
+      if (!a.arg(i).IsVariable()) continue;
+      for (uint32_t j = 0; j < b.args().size(); ++j) {
+        if (a.arg(i) == b.arg(j)) pairs.push_back(ArgPair{i, j});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  };
+
+  for (size_t x = 0; x < k; ++x) {
+    for (size_t y = x + 1; y < k; ++y) {
+      bool consecutive = (y == x + 1);
+      std::vector<ArgPair> pairs = shared_pairs(x, y);
+      if (consecutive) {
+        if (pairs.empty() && k > 1) {
+          return Status::FailedPrecondition(
+              StrCat("IC ", ic.ToString(), ": database subgoals ",
+                     graph.atoms[x].ToString(), " and ",
+                     graph.atoms[y].ToString(),
+                     " share no variables; the IC is not a chain"));
+        }
+        graph.edges.push_back(std::move(pairs));
+      } else if (!pairs.empty()) {
+        return Status::FailedPrecondition(
+            StrCat("IC ", ic.ToString(), ": non-consecutive subgoals ",
+                   graph.atoms[x].ToString(), " and ",
+                   graph.atoms[y].ToString(),
+                   " share variables; the IC is not a chain"));
+      }
+    }
+  }
+  return graph;
+}
+
+PatternGraph PatternGraph::Reversed() const {
+  PatternGraph reversed;
+  reversed.atoms.assign(atoms.rbegin(), atoms.rend());
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    std::vector<ArgPair> swapped;
+    for (const ArgPair& p : *it) {
+      swapped.push_back(ArgPair{p.to_arg, p.from_arg});
+    }
+    std::sort(swapped.begin(), swapped.end());
+    reversed.edges.push_back(std::move(swapped));
+  }
+  return reversed;
+}
+
+std::string PatternGraph::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) {
+      os << " --{";
+      for (size_t j = 0; j < edges[i - 1].size(); ++j) {
+        if (j > 0) os << " ";
+        os << "(" << edges[i - 1][j].from_arg + 1 << ","
+           << edges[i - 1][j].to_arg + 1 << ")";
+      }
+      os << "}-- ";
+    }
+    os << atoms[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace semopt

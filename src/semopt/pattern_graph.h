@@ -1,0 +1,37 @@
+#ifndef SEMOPT_SEMOPT_PATTERN_GRAPH_H_
+#define SEMOPT_SEMOPT_PATTERN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+#include "semopt/sd_graph.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// The pattern graph of an IC (paper §3): the undirected path graph over
+/// the IC's database subgoals D1..Dk, with each edge (D_i, D_{i+1})
+/// labelled by the argument-position pairs holding shared variables.
+struct PatternGraph {
+  /// The database atoms of the IC, in body order.
+  std::vector<Atom> atoms;
+  /// edges[i] labels (atoms[i], atoms[i+1]); size = atoms.size()-1.
+  std::vector<std::vector<ArgPair>> edges;
+
+  /// Builds the pattern graph and validates the paper's IC shape: each
+  /// D_i shares one or more variables with D_{i-1} and D_{i+1} and with
+  /// no other database subgoal (§3). Returns FailedPrecondition for ICs
+  /// outside this class.
+  static Result<PatternGraph> Build(const Constraint& ic);
+
+  /// The same pattern with atoms (and edge labels) reversed — used to
+  /// try the D_k -> D_1 embedding direction of Lemma 3.1.
+  PatternGraph Reversed() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_PATTERN_GRAPH_H_

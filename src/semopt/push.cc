@@ -1,0 +1,274 @@
+#include "semopt/push.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "ast/rename.h"
+#include "semopt/subsumption.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+size_t LocalizedResidue::MaxMatchedStep() const {
+  size_t m = 0;
+  for (size_t s : matched_steps) m = std::max(m, s);
+  return m;
+}
+
+namespace {
+
+/// Positive relational atoms of an unfolded rule body.
+std::vector<Atom> TargetsOf(const UnfoldedSequence& unfolded) {
+  std::vector<Atom> targets;
+  for (const Literal& lit : unfolded.rule.body()) {
+    if (lit.IsRelational() && !lit.negated()) targets.push_back(lit.atom());
+  }
+  return targets;
+}
+
+/// Maps target-atom indices (over TargetsOf) back to body indices.
+std::vector<size_t> TargetBodyIndices(const UnfoldedSequence& unfolded) {
+  std::vector<size_t> body_indices;
+  for (size_t i = 0; i < unfolded.rule.body().size(); ++i) {
+    const Literal& lit = unfolded.rule.body()[i];
+    if (lit.IsRelational() && !lit.negated()) body_indices.push_back(i);
+  }
+  return body_indices;
+}
+
+/// Builds the simplified residue of a match, or nullopt when vacuous.
+std::optional<Residue> ResidueOfMatch(const Constraint& ic,
+                                      const SubsumptionMatch& match) {
+  Residue residue;
+  for (const Literal& e : ic.EvaluableBody()) {
+    residue.conditions.push_back(match.theta.Apply(e));
+  }
+  if (ic.head().has_value()) {
+    residue.head = match.theta.Apply(*ic.head());
+  }
+  residue.theta = match.theta;
+  return SimplifyResidue(std::move(residue));
+}
+
+bool SameConditionSet(const std::vector<Literal>& a,
+                      const std::vector<Literal>& b) {
+  if (a.size() != b.size()) return false;
+  for (const Literal& x : a) {
+    if (std::find(b.begin(), b.end(), x) == b.end()) return false;
+  }
+  return true;
+}
+
+/// Replaces each committed-rule copy by its split family and rebuilds
+/// the program (committed_rules indices are remapped).
+void ReplaceCommitted(
+    IsolationResult* iso,
+    const std::function<std::vector<Rule>(const Rule&)>& family_of) {
+  std::map<size_t, std::vector<Rule>> replacements;
+  for (size_t rule_index : iso->committed_rules) {
+    replacements[rule_index] =
+        family_of(iso->program.rules()[rule_index]);
+  }
+  Program rebuilt;
+  std::vector<size_t> new_committed;
+  for (size_t i = 0; i < iso->program.rules().size(); ++i) {
+    auto it = replacements.find(i);
+    if (it == replacements.end()) {
+      rebuilt.AddRule(iso->program.rules()[i]);
+      continue;
+    }
+    for (const Rule& r : it->second) {
+      new_committed.push_back(rebuilt.rules().size());
+      rebuilt.AddRule(r);
+    }
+  }
+  for (const Constraint& ic : iso->program.constraints()) {
+    rebuilt.AddConstraint(ic);
+  }
+  iso->program = std::move(rebuilt);
+  iso->committed_rules = std::move(new_committed);
+}
+
+/// Splits every committed copy: the then-branch (`then_variant` + the
+/// conditions appended; skipped when nullopt) plus one guard copy per
+/// condition (prefix E1..E_{j-1} and ¬Ej). With no conditions only the
+/// then-branch survives (unconditional elimination/pruning).
+Status SplitCommitted(
+    IsolationResult* iso, const std::vector<Literal>& conditions,
+    const std::function<std::optional<Rule>(const Rule&)>& then_variant) {
+  ReplaceCommitted(iso, [&](const Rule& original) {
+    std::vector<Rule> copies;
+    std::optional<Rule> then_rule = then_variant(original);
+    if (then_rule.has_value()) {
+      for (const Literal& e : conditions) {
+        then_rule->mutable_body().push_back(e);
+      }
+      copies.push_back(std::move(*then_rule));
+    }
+    for (size_t j = 0; j < conditions.size(); ++j) {
+      Rule guard = original;
+      for (size_t prefix = 0; prefix < j; ++prefix) {
+        guard.mutable_body().push_back(conditions[prefix]);
+      }
+      guard.mutable_body().push_back(conditions[j].Negated().Simplify());
+      guard.set_label(StrCat(original.label(), "$not", j + 1));
+      copies.push_back(std::move(guard));
+    }
+    return copies;
+  });
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<LocalizedResidue> LocalizeResidue(const Residue& residue,
+                                         const Constraint& original_ic,
+                                         const IsolationResult& iso) {
+  // Same deterministic renaming the generator used, so the exact-match
+  // comparison below sees identical residues.
+  Constraint ic = RenameIcApart(original_ic);
+  std::vector<Atom> targets = TargetsOf(iso.unfolded);
+  std::vector<size_t> body_indices = TargetBodyIndices(iso.unfolded);
+  std::vector<SubsumptionMatch> matches =
+      FindSubsumptions(ic.DatabaseBody(), targets, /*require_all=*/true);
+
+  // Prefer the match reproducing the residue exactly (unfolding is
+  // deterministic, so this normally succeeds); fall back to any match.
+  const SubsumptionMatch* chosen = nullptr;
+  std::optional<Residue> chosen_residue;
+  for (const SubsumptionMatch& match : matches) {
+    std::optional<Residue> candidate = ResidueOfMatch(ic, match);
+    if (!candidate.has_value()) continue;
+    bool exact = SameConditionSet(candidate->conditions, residue.conditions) &&
+                 candidate->head == residue.head;
+    if (chosen == nullptr || exact) {
+      chosen = &match;
+      chosen_residue = candidate;
+      if (exact) break;
+    }
+  }
+  if (chosen == nullptr) {
+    return Status::FailedPrecondition(
+        StrCat("residue ", residue.ToString(),
+               " does not match the isolated sequence"));
+  }
+
+  LocalizedResidue out;
+  out.conditions = chosen_residue->conditions;
+  out.head = chosen_residue->head;
+  out.ic_label = original_ic.label();
+  for (size_t i = 0; i < chosen->target_index.size(); ++i) {
+    int t = chosen->target_index[i];
+    if (t >= 0) {
+      out.matched_steps.push_back(
+          iso.unfolded.source_step[body_indices[static_cast<size_t>(t)]]);
+    }
+  }
+  chosen_residue->sequence = iso.sequence;
+  out.head_occurrence = FindUsefulOccurrence(*chosen_residue, iso.unfolded);
+  return out;
+}
+
+Status PushAtomElimination(IsolationResult* iso, const LocalizedResidue& r,
+                           const Constraint& /*ic*/,
+                           const PushOptions& /*options*/) {
+  if (!r.head_occurrence.has_value()) {
+    return Status::FailedPrecondition(
+        "atom elimination requires a useful fact residue whose head "
+        "occurs in the sequence");
+  }
+  const HeadOccurrence& occ = *r.head_occurrence;
+  // The matched atom plus its companions (same-step literals whose
+  // local variables were rebound; each is witnessed elsewhere in the
+  // sequence) are removed together. The committed rule realizes the
+  // entire sequence, so all witnesses are guaranteed.
+  std::vector<Literal> eliminated{iso->unfolded.rule.body()[occ.body_index]};
+  for (size_t j : occ.companion_body_indices) {
+    eliminated.push_back(iso->unfolded.rule.body()[j]);
+  }
+
+  for (size_t rule_index : iso->committed_rules) {
+    const Rule& rule = iso->program.rules()[rule_index];
+    for (const Literal& lit : eliminated) {
+      if (std::find(rule.body().begin(), rule.body().end(), lit) ==
+          rule.body().end()) {
+        return Status::FailedPrecondition(
+            "eliminated atom already removed by a previous transformation");
+      }
+    }
+  }
+
+  return SplitCommitted(
+      iso, r.conditions,
+      [&](const Rule& original) -> std::optional<Rule> {
+        Rule modified = original;
+        for (const Literal& lit : eliminated) {
+          auto it = std::find(modified.mutable_body().begin(),
+                              modified.mutable_body().end(), lit);
+          if (it == modified.mutable_body().end()) return std::nullopt;
+          modified.mutable_body().erase(it);
+        }
+        modified.set_label(StrCat(original.label(), "$elim"));
+        return modified;
+      });
+}
+
+Status PushAtomIntroduction(IsolationResult* iso, const LocalizedResidue& r,
+                            const Constraint& /*ic*/,
+                            const PushOptions& /*options*/) {
+  if (!r.head.has_value()) {
+    return Status::FailedPrecondition(
+        "atom introduction requires a fact residue");
+  }
+  // Rename residue-head variables that are not sequence variables (the
+  // IC's existential remainder, e.g. V7 in Example 2.1) to fresh names
+  // so they cannot capture rule variables.
+  Literal introduced = *r.head;
+  {
+    std::set<SymbolId> sequence_vars;
+    for (SymbolId v : CollectVariables(iso->unfolded.rule)) {
+      sequence_vars.insert(v);
+    }
+    FreshVariableGenerator gen("I");
+    Substitution rename;
+    for (SymbolId v : CollectVariables(introduced)) {
+      if (sequence_vars.count(v) == 0) {
+        if (introduced.IsComparison()) {
+          return Status::FailedPrecondition(
+              "evaluable residue head has an unbound variable");
+        }
+        rename.Bind(v, gen.FreshLike(Term::Var(v)));
+      }
+    }
+    introduced = rename.Apply(introduced);
+  }
+
+  return SplitCommitted(
+      iso, r.conditions,
+      [&](const Rule& original) -> std::optional<Rule> {
+        Rule modified = original;
+        modified.mutable_body().push_back(introduced);
+        modified.set_label(StrCat(original.label(), "$intro"));
+        return modified;
+      });
+}
+
+Status PushSubtreePruning(IsolationResult* iso, const LocalizedResidue& r,
+                          const Constraint& /*ic*/,
+                          const PushOptions& /*options*/) {
+  if (r.head.has_value()) {
+    return Status::FailedPrecondition(
+        "subtree pruning requires a null residue");
+  }
+  // Conditional: keep only the ¬E branches (when all conditions hold,
+  // the committed derivation is dead). Unconditional: the committed
+  // rule disappears entirely — the paper's "delete the rule defining
+  // p_{k-1}", flattened.
+  return SplitCommitted(
+      iso, r.conditions,
+      [](const Rule&) -> std::optional<Rule> { return std::nullopt; });
+}
+
+}  // namespace semopt

@@ -1,0 +1,72 @@
+#ifndef SEMOPT_SEMOPT_PUSH_H_
+#define SEMOPT_SEMOPT_PUSH_H_
+
+#include <optional>
+#include <vector>
+
+#include "semopt/isolation.h"
+#include "semopt/residue.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// A residue re-expressed in the variable space of an isolation's
+/// unfolding, with the match locations needed by the pushing
+/// transformations.
+struct LocalizedResidue {
+  /// Evaluable conditions E1..Em over the unfolding's variables.
+  std::vector<Literal> conditions;
+  /// The consequent A (absent for null residues).
+  std::optional<Literal> head;
+  /// Steps (0-based) of the unfolded body atoms matched by the IC's
+  /// database subgoals.
+  std::vector<size_t> matched_steps;
+  /// For fact residues whose head matched a sequence atom: where.
+  std::optional<HeadOccurrence> head_occurrence;
+  /// Label of the originating IC (for logging).
+  std::string ic_label;
+
+  size_t MaxMatchedStep() const;
+};
+
+/// Re-derives `residue` against `iso`'s own unfolding (maximal free
+/// subsumption), returning the localized form whose variables are the
+/// committed rule's variables. Fails when the residue no longer matches
+/// (should not happen for residues generated from the same sequence).
+Result<LocalizedResidue> LocalizeResidue(const Residue& residue,
+                                         const Constraint& ic,
+                                         const IsolationResult& iso);
+
+/// Pushing options (currently none; the flattened isolation makes every
+/// push structurally sound — the committed rule realizes the whole
+/// sequence, so all matched subgoals are guaranteed and all condition
+/// variables are in scope).
+struct PushOptions {};
+
+/// Atom elimination (§4(1)): removes the matched head atom — and its
+/// witnessed companions — from the committed rule, splitting it on the
+/// residue conditions (one copy drops the atoms under E1..Em; m guard
+/// copies keep them under ¬Ej). Sound only on databases satisfying the
+/// originating IC.
+Status PushAtomElimination(IsolationResult* iso, const LocalizedResidue& r,
+                           const Constraint& ic,
+                           const PushOptions& options = PushOptions());
+
+/// Atom introduction (§4(2)): adds the residue head A as a subgoal to
+/// the committed rule (one copy gains A; m guard copies gain ¬Ej). The
+/// caller decides *whether* introduction is profitable (evaluable head,
+/// or small relation).
+Status PushAtomIntroduction(IsolationResult* iso, const LocalizedResidue& r,
+                            const Constraint& ic,
+                            const PushOptions& options = PushOptions());
+
+/// Subtree pruning (§4(3)): for a conditional null residue, guards the
+/// committed rule with ¬E (split into m copies); for an unconditional
+/// null residue, deletes the committed rule outright.
+Status PushSubtreePruning(IsolationResult* iso, const LocalizedResidue& r,
+                          const Constraint& ic,
+                          const PushOptions& options = PushOptions());
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_PUSH_H_

@@ -1,0 +1,197 @@
+#include "semopt/residue.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "ast/rename.h"
+#include "ast/unify.h"
+#include "eval/builtins.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+const char* ResidueKindName(ResidueKind kind) {
+  switch (kind) {
+    case ResidueKind::kUnconditionalFact:
+      return "unconditional fact";
+    case ResidueKind::kConditionalFact:
+      return "conditional fact";
+    case ResidueKind::kUnconditionalNull:
+      return "unconditional null";
+    case ResidueKind::kConditionalNull:
+      return "conditional null";
+  }
+  return "?";
+}
+
+ResidueKind Residue::kind() const {
+  if (IsNull()) {
+    return IsConditional() ? ResidueKind::kConditionalNull
+                           : ResidueKind::kUnconditionalNull;
+  }
+  return IsConditional() ? ResidueKind::kConditionalFact
+                         : ResidueKind::kUnconditionalFact;
+}
+
+std::string Residue::ToString() const {
+  std::ostringstream os;
+  if (!conditions.empty()) os << JoinToString(conditions, ", ") << " ";
+  os << "->";
+  if (head.has_value()) os << " " << *head;
+  return os.str();
+}
+
+std::string Residue::ToString(const Program& program) const {
+  return StrCat("(", sequence.ToString(program), ", ", ToString(), ")");
+}
+
+std::optional<HeadOccurrence> FindUsefulOccurrence(
+    const Residue& residue, const UnfoldedSequence& unfolded) {
+  if (!residue.head.has_value() || !residue.head->IsRelational()) {
+    return std::nullopt;
+  }
+  const Atom& head_atom = residue.head->atom();
+
+  // Protected variables can never be rebound: the unfolded head's and
+  // every recursive-call interface's variables (the only channels
+  // between step instances and to the outside).
+  std::set<SymbolId> protected_vars;
+  for (SymbolId v : CollectVariables(unfolded.rule.head())) {
+    protected_vars.insert(v);
+  }
+  for (const std::vector<Term>& args : unfolded.recursive_args) {
+    for (const Term& t : args) {
+      if (t.IsVariable()) protected_vars.insert(t.symbol());
+    }
+  }
+
+  // Pass 1: prefer an exact occurrence (no local rebinding), which
+  // needs no companions. Pass 2: allow local rebinding with witnessed
+  // companions.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < unfolded.rule.body().size(); ++i) {
+      const Literal& lit = unfolded.rule.body()[i];
+      if (!lit.IsRelational() || lit.negated()) continue;
+      const size_t step = unfolded.source_step[i];
+
+      std::set<SymbolId> frozen = protected_vars;
+      if (pass == 0) {
+        // Exact: every sequence variable is rigid; only IC leftovers in
+        // the head may bind.
+        for (SymbolId v : CollectVariables(unfolded.rule)) frozen.insert(v);
+      } else {
+        // Local rebinding: variables of OTHER steps stay rigid; this
+        // step's local variables may bind.
+        for (size_t j = 0; j < unfolded.rule.body().size(); ++j) {
+          if (unfolded.source_step[j] == step) continue;
+          for (SymbolId v : CollectVariables(unfolded.rule.body()[j])) {
+            frozen.insert(v);
+          }
+        }
+      }
+
+      Substitution sigma;
+      if (!UnifyAtomsFrozen(lit.atom(), head_atom, frozen, &sigma)) continue;
+
+      HeadOccurrence occurrence;
+      occurrence.body_index = i;
+      occurrence.step = step;
+      occurrence.literal_in_rule = unfolded.source_literal[i];
+      occurrence.extension = sigma;
+
+      // Companions: same-step literals containing a rebound local
+      // variable; each must be witnessed.
+      bool all_witnessed = true;
+      for (size_t j = 0; j < unfolded.rule.body().size() && all_witnessed;
+           ++j) {
+        if (j == i || unfolded.source_step[j] != step) continue;
+        const Literal& other = unfolded.rule.body()[j];
+        bool touched = false;
+        for (SymbolId v : CollectVariables(other)) {
+          if (sigma.IsBound(v)) touched = true;
+        }
+        if (!touched) continue;
+        Literal rewritten = sigma.Apply(other);
+        // Ground-true comparisons need no witness.
+        if (rewritten.IsComparison()) {
+          Result<bool> value = EvalComparison(rewritten);
+          if (value.ok() && *value) {
+            occurrence.companion_body_indices.push_back(j);
+            occurrence.witness_body_indices.push_back(SIZE_MAX);
+            continue;
+          }
+        }
+        bool witnessed = false;
+        for (size_t w = 0; w < unfolded.rule.body().size(); ++w) {
+          if (w == j) continue;
+          if (unfolded.rule.body()[w] == rewritten) {
+            occurrence.companion_body_indices.push_back(j);
+            occurrence.witness_body_indices.push_back(w);
+            occurrence.witness_steps.push_back(unfolded.source_step[w]);
+            witnessed = true;
+            break;
+          }
+        }
+        if (!witnessed) all_witnessed = false;
+      }
+      if (!all_witnessed) continue;
+      return occurrence;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsUseful(const Residue& residue, const UnfoldedSequence& unfolded) {
+  if (!residue.head.has_value() || !residue.head->IsRelational()) {
+    // Null residues and evaluable heads are trivially useful (paper §3).
+    return true;
+  }
+  return FindUsefulOccurrence(residue, unfolded).has_value();
+}
+
+std::optional<Residue> SimplifyResidue(Residue residue) {
+  std::vector<Literal> kept;
+  for (const Literal& cond : residue.conditions) {
+    if (cond.IsComparison() && cond.lhs().IsConstant() &&
+        cond.rhs().IsConstant()) {
+      Result<bool> value = EvalComparison(cond);
+      if (value.ok() && *value) continue;       // trivially true: drop
+      if (value.ok() && !*value) return std::nullopt;  // vacuous residue
+    }
+    // `X = X` is also trivially true.
+    if (cond.IsComparison() && !cond.negated() &&
+        cond.op() == ComparisonOp::kEq && cond.lhs() == cond.rhs()) {
+      continue;
+    }
+    if (std::find(kept.begin(), kept.end(), cond) == kept.end()) {
+      kept.push_back(cond);
+    }
+  }
+  residue.conditions = std::move(kept);
+
+  if (residue.head.has_value() && residue.head->IsComparison()) {
+    const Literal& h = *residue.head;
+    if (h.lhs().IsConstant() && h.rhs().IsConstant()) {
+      Result<bool> value = EvalComparison(h);
+      if (value.ok() && *value) return std::nullopt;  // tautology
+      if (value.ok() && !*value) residue.head.reset();  // null residue
+    } else if (!h.negated() && h.op() == ComparisonOp::kEq &&
+               h.lhs() == h.rhs()) {
+      return std::nullopt;  // X = X tautology (paper Example 3.2)
+    }
+  }
+  return residue;
+}
+
+Constraint RenameIcApart(const Constraint& ic) {
+  Substitution renaming;
+  int counter = 0;
+  for (SymbolId v : CollectVariables(ic)) {
+    renaming.Bind(
+        v, Term::Var(StrCat(SymbolName(v), "$ic", ++counter)));
+  }
+  return renaming.Apply(ic);
+}
+
+}  // namespace semopt

@@ -1,0 +1,117 @@
+#ifndef SEMOPT_SEMOPT_RESIDUE_H_
+#define SEMOPT_SEMOPT_RESIDUE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+#include "ast/substitution.h"
+#include "semopt/expansion.h"
+
+namespace semopt {
+
+/// Classification of residues (paper Definition 4.1). Free residues
+/// never contain database atoms in their *body*; the body is a
+/// conjunction of evaluable conditions and the head is a single
+/// database/evaluable atom (fact residue) or absent (null residue).
+enum class ResidueKind {
+  kUnconditionalFact,  //        -> A
+  kConditionalFact,    // E1..Em -> A   (m > 0)
+  kUnconditionalNull,  //        -> ⊥   (body always unsatisfiable)
+  kConditionalNull,    // E1..Em -> ⊥
+};
+
+const char* ResidueKindName(ResidueKind kind);
+
+/// A residue of an IC w.r.t. an expansion sequence: the part of the IC
+/// left over after (free, maximal) subsumption, under the subsuming
+/// substitution θ. Written (s, R) in the paper.
+struct Residue {
+  /// Evaluable conditions E1..Em (θ already applied).
+  std::vector<Literal> conditions;
+  /// The consequent A (θ applied); nullopt for a null residue.
+  std::optional<Literal> head;
+  /// The expansion sequence s that produced this residue.
+  ExpansionSequence sequence;
+  /// Label of the originating IC.
+  std::string ic_label;
+  /// The subsuming substitution (for usefulness extension).
+  Substitution theta;
+
+  bool IsNull() const { return !head.has_value(); }
+  bool IsConditional() const { return !conditions.empty(); }
+  ResidueKind kind() const;
+
+  /// Renders e.g. "(r1 r1, -> expert(P, F))" without program context, or
+  /// "R = 'executive' -> experienced(U)".
+  std::string ToString() const;
+  std::string ToString(const Program& program) const;
+};
+
+/// Where a fact residue's head atom occurs inside the unfolded sequence
+/// (needed to push atom elimination into the right α-rule).
+///
+/// The match is taken modulo (i) the IC's leftover variables (the
+/// paper's extension "θ' so that Aθ' = B") and (ii) the matched rule
+/// instance's *local existential* variables — variables occurring
+/// neither in the unfolded head nor in any recursive-call interface.
+/// Rebinding a local variable is what makes Example 3.2 work: the
+/// residue head expert(P, F') matches the rule atom expert(P, F) with
+/// F ↦ F'. Every other same-step literal containing a rebound local
+/// variable must then itself be witnessed by an existing sequence
+/// literal (field(T, F') in the example); those companions are removed
+/// together with the atom during elimination.
+struct HeadOccurrence {
+  /// Index of the matched atom in the unfolded rule's body.
+  size_t body_index = 0;
+  /// Which sequence step contributed the matched atom.
+  size_t step = 0;
+  /// Literal index inside that step's original rule body.
+  size_t literal_in_rule = 0;
+  /// The unifier realizing head == atom (binds IC leftovers and the
+  /// instance's local variables).
+  Substitution extension;
+  /// Body indices (into the unfolded rule) of same-step literals that
+  /// contained a rebound local variable; each is justified by
+  /// `witness_body_indices` and must be eliminated together with the
+  /// matched atom.
+  std::vector<size_t> companion_body_indices;
+  /// Body indices of the literals witnessing each companion (parallel
+  /// to companion_body_indices; SIZE_MAX marks a ground-true
+  /// comparison needing no witness literal).
+  std::vector<size_t> witness_body_indices;
+  /// Steps contributing the witnesses (for soundness-depth analysis).
+  std::vector<size_t> witness_steps;
+};
+
+/// Usefulness test (paper §3, generalized as documented on
+/// HeadOccurrence): a residue with a database head A is useful for its
+/// sequence iff A identifies with some atom B of the unfolded sequence
+/// modulo IC leftovers and B's instance-local variables, with all
+/// companions witnessed; returns that occurrence. Residues without a
+/// database head are trivially useful (returns nullopt but `IsUseful`
+/// is true).
+std::optional<HeadOccurrence> FindUsefulOccurrence(
+    const Residue& residue, const UnfoldedSequence& unfolded);
+
+/// Full usefulness check.
+bool IsUseful(const Residue& residue, const UnfoldedSequence& unfolded);
+
+/// Simplifies a residue: ground-true conditions drop; a ground-false
+/// condition makes the residue vacuous (returns nullopt); a ground-true
+/// evaluable head makes it trivial (nullopt); a ground-false evaluable
+/// head turns it into a null residue. Duplicate conditions collapse.
+std::optional<Residue> SimplifyResidue(Residue residue);
+
+/// Renames the IC's variables apart deterministically (suffix "$icN",
+/// which no other generator produces). The IC's variables are
+/// implicitly quantified separately from any rule's, so every
+/// subsumption test against program clauses must use the renamed form —
+/// otherwise an accidental name collision lets one clause capture the
+/// other's variables.
+Constraint RenameIcApart(const Constraint& ic);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_RESIDUE_H_

@@ -1,0 +1,316 @@
+#include "semopt/residue_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "semopt/ap_graph.h"
+#include "semopt/pattern_graph.h"
+#include "semopt/sd_graph.h"
+#include "semopt/subsumption.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+/// Extracts the residues of `ic` against one unfolded sequence.
+void ResiduesOfSequence(const Constraint& original_ic,
+                        const ExpansionSequence& sequence,
+                        const UnfoldedSequence& unfolded,
+                        const ResidueGenOptions& options,
+                        ResidueGenStats* stats, std::vector<Residue>* out) {
+  // The IC's variables quantify separately from the program's; rename
+  // apart so name collisions cannot capture sequence variables.
+  Constraint ic = RenameIcApart(original_ic);
+  std::vector<Atom> targets;
+  for (const Literal& lit : unfolded.rule.body()) {
+    if (lit.IsRelational() && !lit.negated()) targets.push_back(lit.atom());
+  }
+  if (stats != nullptr) ++stats->subsumption_calls;
+  std::vector<SubsumptionMatch> matches =
+      FindSubsumptions(ic.DatabaseBody(), targets, /*require_all=*/true,
+                       options.max_matches_per_sequence);
+  for (const SubsumptionMatch& match : matches) {
+    Residue residue;
+    residue.sequence = sequence;
+    residue.ic_label = ic.label();
+    residue.theta = match.theta;
+    for (const Literal& e : ic.EvaluableBody()) {
+      residue.conditions.push_back(match.theta.Apply(e));
+    }
+    if (ic.head().has_value()) {
+      residue.head = match.theta.Apply(*ic.head());
+    }
+    std::optional<Residue> simplified = SimplifyResidue(std::move(residue));
+    if (!simplified.has_value()) continue;
+    if (options.require_useful) {
+      // Useful (paper §3): null residues and evaluable heads trivially;
+      // a database head when it occurs in the sequence (enabling
+      // elimination). Additionally, a database head *sharing variables*
+      // with the sequence is kept: it does not occur but can be
+      // introduced as a subgoal (Example 4.2's doctoral(S) residue).
+      bool useful = IsUseful(*simplified, unfolded);
+      if (!useful && simplified->head.has_value() &&
+          simplified->head->IsRelational()) {
+        std::set<SymbolId> seq_vars;
+        for (SymbolId v : CollectVariables(unfolded.rule)) {
+          seq_vars.insert(v);
+        }
+        for (SymbolId v : CollectVariables(*simplified->head)) {
+          if (seq_vars.count(v) > 0) useful = true;
+        }
+      }
+      if (!useful) continue;
+    }
+    // Dedup by (sequence, conditions, head).
+    bool duplicate = false;
+    for (const Residue& existing : *out) {
+      if (existing.sequence == simplified->sequence &&
+          existing.head == simplified->head &&
+          existing.conditions.size() == simplified->conditions.size()) {
+        bool same = true;
+        for (const Literal& c : simplified->conditions) {
+          if (std::find(existing.conditions.begin(),
+                        existing.conditions.end(),
+                        c) == existing.conditions.end()) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          duplicate = true;
+          break;
+        }
+      }
+    }
+    if (!duplicate) {
+      if (stats != nullptr) ++stats->residues_found;
+      out->push_back(std::move(*simplified));
+    }
+  }
+}
+
+/// Stitches SD edges along the pattern chain into candidate expansion
+/// sequences (phase 1 of Algorithm 3.1). `orientation` is the pattern
+/// graph in the embedding direction being tried.
+void CollectCandidates(const Program& program, const SdGraph& sd,
+                       const PatternGraph& orientation,
+                       const ResidueGenOptions& options,
+                       std::set<ExpansionSequence>* candidates) {
+  const size_t k = orientation.atoms.size();
+
+  // Pre-index SD edges by source occurrence + destination predicate.
+  // Label containment (Lemma 3.1(ii)): the pattern edge's pairs must be
+  // a subset of the SD edge's pairs.
+  auto pairs_contained = [](const std::vector<ArgPair>& needed,
+                            const std::vector<ArgPair>& have) {
+    for (const ArgPair& p : needed) {
+      if (std::find(have.begin(), have.end(), p) == have.end()) return false;
+    }
+    return true;
+  };
+
+  struct State {
+    size_t t;                // next pattern edge to satisfy
+    SubgoalRef occurrence;   // where atom t is matched
+    std::vector<size_t> sequence;
+  };
+
+  auto atom_of = [&](const SubgoalRef& ref) -> const Atom& {
+    return program.rules()[ref.rule_index].body()[ref.literal_index].atom();
+  };
+
+  std::vector<State> stack;
+  // Seed: every occurrence of the first pattern atom's predicate.
+  std::set<SubgoalRef> seeds;
+  for (const SdEdge& e : sd.edges()) {
+    if (atom_of(e.from).pred_id() == orientation.atoms[0].pred_id()) {
+      seeds.insert(e.from);
+    }
+    if (atom_of(e.to).pred_id() == orientation.atoms[0].pred_id()) {
+      seeds.insert(e.to);
+    }
+  }
+  // For k == 1 there are no edges; handled by the caller.
+  for (const SubgoalRef& seed : seeds) {
+    stack.push_back(State{0, seed, {seed.rule_index}});
+  }
+
+  while (!stack.empty()) {
+    if (candidates->size() >= options.max_candidates) return;
+    State state = std::move(stack.back());
+    stack.pop_back();
+    if (state.t == k - 1) {
+      ExpansionSequence seq;
+      seq.rule_indices = state.sequence;
+      candidates->insert(std::move(seq));
+      continue;
+    }
+    for (const SdEdge& e : sd.edges()) {
+      if (!(e.from == state.occurrence)) continue;
+      if (atom_of(e.to).pred_id() !=
+          orientation.atoms[state.t + 1].pred_id()) {
+        continue;
+      }
+      if (!pairs_contained(orientation.edges[state.t], e.pairs)) continue;
+      State next;
+      next.t = state.t + 1;
+      next.occurrence = e.to;
+      next.sequence = state.sequence;
+      for (size_t r : e.expansion) next.sequence.push_back(r);
+      stack.push_back(std::move(next));
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Residue>> GenerateResidues(const Program& program,
+                                              const Constraint& ic,
+                                              const PredicateId& pred,
+                                              const ResidueGenOptions& options,
+                                              ResidueGenStats* stats) {
+  std::vector<Residue> out;
+
+  Result<PatternGraph> pattern = PatternGraph::Build(ic);
+  if (!pattern.ok()) {
+    if (pattern.status().code() == StatusCode::kFailedPrecondition) {
+      return out;  // IC outside the supported chain class: no residues
+    }
+    return pattern.status();
+  }
+
+  if (program.RulesFor(pred).empty()) return out;
+  SEMOPT_ASSIGN_OR_RETURN(ApGraph ap, ApGraph::Build(program, pred));
+
+  // Pattern variants to embed: the IC's database chain, and — when the
+  // IC head is a database atom sharing variables with exactly one end
+  // of the chain — the chain extended with the head atom. The extension
+  // finds the sequences on which the residue head becomes *useful*
+  // (Example 4.1: boss alone embeds anywhere, but only following the
+  // flow to the experienced(B) occurrence yields r2 r2 r2 r2).
+  std::vector<PatternGraph> variants{*pattern};
+  if (ic.head().has_value() && ic.head()->IsRelational() &&
+      !ic.head()->negated()) {
+    const Atom& head = ic.head()->atom();
+    auto shared_pairs = [](const Atom& a, const Atom& b) {
+      std::vector<ArgPair> pairs;
+      for (uint32_t i = 0; i < a.args().size(); ++i) {
+        if (!a.arg(i).IsVariable()) continue;
+        for (uint32_t j = 0; j < b.args().size(); ++j) {
+          if (a.arg(i) == b.arg(j)) pairs.push_back(ArgPair{i, j});
+        }
+      }
+      std::sort(pairs.begin(), pairs.end());
+      return pairs;
+    };
+    std::vector<ArgPair> with_first = shared_pairs(pattern->atoms.front(), head);
+    std::vector<ArgPair> with_last = shared_pairs(pattern->atoms.back(), head);
+    if (!with_last.empty() &&
+        (pattern->atoms.size() == 1 || with_first.empty())) {
+      PatternGraph extended = *pattern;
+      extended.atoms.push_back(head);
+      extended.edges.push_back(with_last);
+      variants.push_back(std::move(extended));
+    } else if (!with_first.empty() && with_last.empty()) {
+      PatternGraph extended;
+      extended.atoms.push_back(head);
+      extended.atoms.insert(extended.atoms.end(), pattern->atoms.begin(),
+                            pattern->atoms.end());
+      std::vector<ArgPair> swapped;
+      for (const ArgPair& p : with_first) {
+        swapped.push_back(ArgPair{p.to_arg, p.from_arg});
+      }
+      std::sort(swapped.begin(), swapped.end());
+      extended.edges.push_back(swapped);
+      extended.edges.insert(extended.edges.end(), pattern->edges.begin(),
+                            pattern->edges.end());
+      variants.push_back(std::move(extended));
+    }
+  }
+
+  std::set<ExpansionSequence> candidates;
+  bool need_sd = false;
+  for (const PatternGraph& variant : variants) {
+    if (variant.atoms.size() > 1) need_sd = true;
+  }
+  {
+    // Degenerate single-atom chain: any single rule containing an
+    // occurrence of the atom's predicate.
+    if (pattern->atoms.size() == 1) {
+      for (const SubgoalRef& ref : ap.subgoals()) {
+        if (ap.AtomOf(program, ref).pred_id() ==
+            pattern->atoms[0].pred_id()) {
+          ExpansionSequence seq;
+          seq.rule_indices = {ref.rule_index};
+          candidates.insert(std::move(seq));
+        }
+      }
+    }
+    if (need_sd) {
+      SdGraph sd = SdGraph::Build(program, ap, options.max_flow_depth);
+      for (const PatternGraph& variant : variants) {
+        if (variant.atoms.size() < 2) continue;
+        CollectCandidates(program, sd, variant, options, &candidates);
+        CollectCandidates(program, sd, variant.Reversed(), options,
+                          &candidates);
+      }
+    }
+  }
+  if (stats != nullptr) stats->candidate_sequences += candidates.size();
+
+  // Phase 2: verify each candidate by direct maximal subsumption on its
+  // unfolding and extract residues. Shorter sequences first so the
+  // optimizer prefers cheaper isolations.
+  std::vector<ExpansionSequence> ordered(candidates.begin(),
+                                         candidates.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ExpansionSequence& a, const ExpansionSequence& b) {
+              if (a.rule_indices.size() != b.rule_indices.size()) {
+                return a.rule_indices.size() < b.rule_indices.size();
+              }
+              return a.rule_indices < b.rule_indices;
+            });
+  for (const ExpansionSequence& seq : ordered) {
+    Result<UnfoldedSequence> unfolded = Unfold(program, seq);
+    if (!unfolded.ok()) continue;  // e.g. non-recursive rule mid-sequence
+    if (stats != nullptr) ++stats->sequences_unfolded;
+    ResiduesOfSequence(ic, seq, *unfolded, options, stats, &out);
+  }
+  return out;
+}
+
+Result<std::vector<Residue>> GenerateAllResidues(
+    const Program& program, const ResidueGenOptions& options,
+    ResidueGenStats* stats) {
+  std::vector<Residue> out;
+  for (const PredicateId& pred : program.IdbPredicates()) {
+    for (const Constraint& ic : program.constraints()) {
+      SEMOPT_ASSIGN_OR_RETURN(
+          std::vector<Residue> found,
+          GenerateResidues(program, ic, pred, options, stats));
+      for (Residue& r : found) out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Residue>> GenerateResiduesExhaustive(
+    const Program& program, const Constraint& ic, const PredicateId& pred,
+    size_t max_sequence_length, const ResidueGenOptions& options,
+    ResidueGenStats* stats) {
+  std::vector<Residue> out;
+  std::vector<ExpansionSequence> sequences =
+      EnumerateSequences(program, pred, max_sequence_length);
+  if (stats != nullptr) stats->candidate_sequences += sequences.size();
+  for (const ExpansionSequence& seq : sequences) {
+    Result<UnfoldedSequence> unfolded = Unfold(program, seq);
+    if (!unfolded.ok()) continue;
+    if (stats != nullptr) ++stats->sequences_unfolded;
+    ResiduesOfSequence(ic, seq, *unfolded, options, stats, &out);
+  }
+  return out;
+}
+
+}  // namespace semopt

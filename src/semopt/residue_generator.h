@@ -1,0 +1,69 @@
+#ifndef SEMOPT_SEMOPT_RESIDUE_GENERATOR_H_
+#define SEMOPT_SEMOPT_RESIDUE_GENERATOR_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "semopt/residue.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Tuning knobs and work counters for residue generation.
+struct ResidueGenOptions {
+  /// Maximum number of rule applications a variable flow may traverse
+  /// when deriving SD-graph edges (bounds cross-instance reach).
+  size_t max_flow_depth = 6;
+  /// Cap on candidate sequences per (IC, predicate).
+  size_t max_candidates = 64;
+  /// Drop residues that are not useful for their sequence (paper §3).
+  bool require_useful = true;
+  /// Cap on subsumption matches explored per sequence.
+  size_t max_matches_per_sequence = 16;
+};
+
+struct ResidueGenStats {
+  size_t candidate_sequences = 0;
+  size_t sequences_unfolded = 0;
+  size_t subsumption_calls = 0;
+  size_t residues_found = 0;
+
+  void Add(const ResidueGenStats& o) {
+    candidate_sequences += o.candidate_sequences;
+    sequences_unfolded += o.sequences_unfolded;
+    subsumption_calls += o.subsumption_calls;
+    residues_found += o.residues_found;
+  }
+};
+
+/// Algorithm 3.1 (generalized to return every residue found rather than
+/// the first): detects the expansion sequences of `pred` maximally
+/// (and freely) subsumed by `ic` via the AP-/SD-/pattern-graph
+/// embedding, then verifies each candidate by direct subsumption on its
+/// unfolding and extracts the residues. ICs outside the paper's chain
+/// class yield an empty result (no error). The program must be
+/// rectified.
+Result<std::vector<Residue>> GenerateResidues(
+    const Program& program, const Constraint& ic, const PredicateId& pred,
+    const ResidueGenOptions& options = ResidueGenOptions(),
+    ResidueGenStats* stats = nullptr);
+
+/// Runs GenerateResidues for every IC against every IDB predicate.
+Result<std::vector<Residue>> GenerateAllResidues(
+    const Program& program,
+    const ResidueGenOptions& options = ResidueGenOptions(),
+    ResidueGenStats* stats = nullptr);
+
+/// The exhaustive baseline the paper calls "unattractive and
+/// inefficient" (§3): enumerate every expansion sequence of `pred` up
+/// to `max_sequence_length` and subsumption-test each one. Produces the
+/// same residues as GenerateResidues for sequences within the length
+/// bound; used by bench E4 and as a test oracle.
+Result<std::vector<Residue>> GenerateResiduesExhaustive(
+    const Program& program, const Constraint& ic, const PredicateId& pred,
+    size_t max_sequence_length, const ResidueGenOptions& options,
+    ResidueGenStats* stats = nullptr);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_RESIDUE_GENERATOR_H_

@@ -1,0 +1,167 @@
+#include "semopt/sd_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+std::string SdEdge::ToString(const Program& program) const {
+  std::ostringstream os;
+  os << "<" << from.ToString(program) << ", " << to.ToString(program)
+     << "> <";
+  if (expansion.empty()) {
+    os << "same-instance";
+  } else {
+    for (size_t i = 0; i < expansion.size(); ++i) {
+      if (i > 0) os << " ";
+      os << program.rules()[expansion[i]].label();
+    }
+  }
+  os << ", {";
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) os << " ";
+    os << "(" << pairs[i].from_arg + 1 << "," << pairs[i].to_arg + 1 << ")";
+  }
+  os << "}>";
+  return os.str();
+}
+
+namespace {
+
+using EdgeKey = std::tuple<SubgoalRef, SubgoalRef, std::vector<size_t>>;
+
+void AddPair(std::map<EdgeKey, std::set<ArgPair>>* acc, const SubgoalRef& a,
+             const SubgoalRef& b, std::vector<size_t> expansion,
+             ArgPair pair) {
+  (*acc)[EdgeKey{a, b, std::move(expansion)}].insert(pair);
+}
+
+}  // namespace
+
+SdGraph SdGraph::Build(const Program& program, const ApGraph& ap_graph,
+                       size_t max_flow_depth) {
+  SdGraph graph;
+  graph.program_ = &program;
+
+  std::map<EdgeKey, std::set<ArgPair>> acc;
+
+  // --- Same-instance edges ------------------------------------------------
+  // Two EDB subgoals of the same rule sharing a variable: directly
+  // (dummy edges cover sharing that bypasses the recursive predicate),
+  // or through a head/recursive variable. We just scan atoms pairwise;
+  // this realizes the paper's undirected SD edges.
+  for (size_t x = 0; x < ap_graph.subgoals().size(); ++x) {
+    for (size_t y = 0; y < ap_graph.subgoals().size(); ++y) {
+      if (x == y) continue;
+      const SubgoalRef& a = ap_graph.subgoals()[x];
+      const SubgoalRef& b = ap_graph.subgoals()[y];
+      if (a.rule_index != b.rule_index) continue;
+      const Atom& atom_a = ap_graph.AtomOf(program, a);
+      const Atom& atom_b = ap_graph.AtomOf(program, b);
+      for (uint32_t i = 0; i < atom_a.args().size(); ++i) {
+        if (!atom_a.arg(i).IsVariable()) continue;
+        for (uint32_t j = 0; j < atom_b.args().size(); ++j) {
+          if (atom_a.arg(i) == atom_b.arg(j)) {
+            AddPair(&acc, a, b, {}, ArgPair{i, j});
+          }
+        }
+      }
+    }
+  }
+
+  // --- Cross-instance edges -----------------------------------------------
+  // Index the AP-graph's directed edges for traversal.
+  std::map<uint32_t, std::vector<ApGraph::PosSubgoalEdge>> pos_to_subgoal;
+  for (const auto& e : ap_graph.pos_subgoal_edges()) {
+    pos_to_subgoal[e.head_pos].push_back(e);
+  }
+  std::map<uint32_t, std::vector<ApGraph::PosPosEdge>> pos_to_pos;
+  for (const auto& e : ap_graph.pos_pos_edges()) {
+    pos_to_pos[e.head_pos].push_back(e);
+  }
+
+  // DFS over (recursive position, rule path). From subgoal `a` arg `i`
+  // entering body-recursive position k, each further rule application
+  // maps head position k of the inner instance either into a subgoal
+  // (emit an edge) or onto a deeper recursive position (continue).
+  struct FlowStart {
+    SubgoalRef subgoal;
+    uint32_t arg;
+    uint32_t rec_pos;
+  };
+  std::vector<FlowStart> starts;
+  for (const auto& e : ap_graph.subgoal_pos_edges()) {
+    starts.push_back(FlowStart{e.subgoal, e.arg, e.rec_pos});
+  }
+
+  for (const FlowStart& start : starts) {
+    // Depth-first over expansion paths; each path is a sequence of rule
+    // indices applied below start.subgoal's instance.
+    struct Frame {
+      uint32_t pos;
+      std::vector<size_t> path;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{start.rec_pos, {}});
+    while (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      if (frame.path.size() >= max_flow_depth) continue;
+      // Apply one more rule: the inner instance's head position
+      // frame.pos may feed subgoals of that rule or its own recursive
+      // call.
+      for (const auto& e : pos_to_subgoal[frame.pos]) {
+        std::vector<size_t> expansion = frame.path;
+        expansion.push_back(e.subgoal.rule_index);
+        AddPair(&acc, start.subgoal, e.subgoal, std::move(expansion),
+                ArgPair{start.arg, e.arg});
+      }
+      for (const auto& e : pos_to_pos[frame.pos]) {
+        // Avoid revisiting the same position through the same rule more
+        // than the depth bound allows; the depth bound alone keeps the
+        // search finite.
+        Frame next;
+        next.pos = e.rec_pos;
+        next.path = frame.path;
+        next.path.push_back(e.rule_index);
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+
+  for (auto& [key, pairs] : acc) {
+    SdEdge edge;
+    edge.from = std::get<0>(key);
+    edge.to = std::get<1>(key);
+    edge.expansion = std::get<2>(key);
+    edge.pairs.assign(pairs.begin(), pairs.end());
+    graph.edges_.push_back(std::move(edge));
+  }
+  return graph;
+}
+
+std::vector<const SdEdge*> SdGraph::EdgesBetween(
+    const Program& program, const PredicateId& from,
+    const PredicateId& to) const {
+  std::vector<const SdEdge*> out;
+  for (const SdEdge& e : edges_) {
+    const Atom& a =
+        program.rules()[e.from.rule_index].body()[e.from.literal_index].atom();
+    const Atom& b =
+        program.rules()[e.to.rule_index].body()[e.to.literal_index].atom();
+    if (a.pred_id() == from && b.pred_id() == to) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string SdGraph::ToString(const Program& program) const {
+  std::ostringstream os;
+  for (const SdEdge& e : edges_) os << "  " << e.ToString(program) << "\n";
+  return os.str();
+}
+
+}  // namespace semopt

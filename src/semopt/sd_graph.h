@@ -1,0 +1,73 @@
+#ifndef SEMOPT_SEMOPT_SD_GRAPH_H_
+#define SEMOPT_SEMOPT_SD_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "semopt/ap_graph.h"
+
+namespace semopt {
+
+/// A pair of argument positions (i, j): argument i of the source
+/// subgoal holds the same value as argument j of the destination
+/// subgoal across the edge's expansion.
+struct ArgPair {
+  uint32_t from_arg;
+  uint32_t to_arg;
+
+  bool operator==(const ArgPair& o) const {
+    return from_arg == o.from_arg && to_arg == o.to_arg;
+  }
+  bool operator<(const ArgPair& o) const {
+    if (from_arg != o.from_arg) return from_arg < o.from_arg;
+    return to_arg < o.to_arg;
+  }
+};
+
+/// A subgoal dependency edge: within the proof trees of the program,
+/// subgoal `from` (in its rule instance) shares values with subgoal
+/// `to`, whose instance is reached by applying the rules of `expansion`
+/// below `from`'s instance. An empty expansion means both subgoals sit
+/// in the same rule instance (the paper's undirected SD edges); a
+/// non-empty expansion corresponds to a directed path through the
+/// AP-graph's position nodes.
+struct SdEdge {
+  SubgoalRef from;
+  SubgoalRef to;
+  std::vector<size_t> expansion;  // rule indices applied below `from`
+  std::vector<ArgPair> pairs;     // sorted, deduplicated
+
+  std::string ToString(const Program& program) const;
+};
+
+/// The subgoal dependency graph derived from an AP-graph (paper §3).
+/// Edges are computed by following variable flow: a subgoal argument
+/// that coincides with a position of the body recursive atom reaches,
+/// one expansion step later, the corresponding head position of the
+/// next instance, from which it may enter a subgoal (PosSubgoal edge)
+/// or continue to a deeper instance (PosPos edge). Flow paths are
+/// explored up to `max_flow_depth` rule applications.
+class SdGraph {
+ public:
+  static SdGraph Build(const Program& program, const ApGraph& ap_graph,
+                       size_t max_flow_depth);
+
+  const std::vector<SdEdge>& edges() const { return edges_; }
+
+  /// Edges whose endpoints have the given predicates (either may match
+  /// several occurrences).
+  std::vector<const SdEdge*> EdgesBetween(const Program& program,
+                                          const PredicateId& from,
+                                          const PredicateId& to) const;
+
+  std::string ToString(const Program& program) const;
+
+ private:
+  const Program* program_ = nullptr;
+  std::vector<SdEdge> edges_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_SD_GRAPH_H_

@@ -1,0 +1,80 @@
+#include "semopt/subsumption.h"
+
+#include "ast/unify.h"
+
+namespace semopt {
+
+namespace {
+
+/// Backtracking search mapping IC atoms (in order) onto target atoms.
+class SubsumptionSearch {
+ public:
+  SubsumptionSearch(const std::vector<Atom>& ic_atoms,
+                    const std::vector<Atom>& target_atoms, bool require_all,
+                    size_t max_matches)
+      : ic_atoms_(ic_atoms),
+        target_atoms_(target_atoms),
+        require_all_(require_all),
+        max_matches_(max_matches) {}
+
+  std::vector<SubsumptionMatch> Run() {
+    assignment_.assign(ic_atoms_.size(), -1);
+    Explore(0, Substitution());
+    return std::move(results_);
+  }
+
+ private:
+  bool Full() const {
+    return max_matches_ > 0 && results_.size() >= max_matches_;
+  }
+
+  void Explore(size_t ic_index, const Substitution& theta) {
+    if (Full()) return;
+    if (ic_index == ic_atoms_.size()) {
+      SubsumptionMatch match;
+      match.theta = theta;
+      match.target_index = assignment_;
+      if (match.matched_count() > 0) results_.push_back(std::move(match));
+      return;
+    }
+    for (size_t t = 0; t < target_atoms_.size(); ++t) {
+      Substitution extended = theta;
+      if (MatchAtom(ic_atoms_[ic_index], target_atoms_[t], &extended)) {
+        assignment_[ic_index] = static_cast<int>(t);
+        Explore(ic_index + 1, extended);
+        assignment_[ic_index] = -1;
+        if (Full()) return;
+      }
+    }
+    if (!require_all_) {
+      // Leave this IC atom unmatched (partial subsumption).
+      Explore(ic_index + 1, theta);
+    }
+  }
+
+  const std::vector<Atom>& ic_atoms_;
+  const std::vector<Atom>& target_atoms_;
+  bool require_all_;
+  size_t max_matches_;
+  std::vector<int> assignment_;
+  std::vector<SubsumptionMatch> results_;
+};
+
+}  // namespace
+
+std::vector<SubsumptionMatch> FindSubsumptions(
+    const std::vector<Atom>& ic_atoms,
+    const std::vector<Atom>& target_atoms, bool require_all,
+    size_t max_matches) {
+  if (ic_atoms.empty()) return {};
+  return SubsumptionSearch(ic_atoms, target_atoms, require_all, max_matches)
+      .Run();
+}
+
+bool Subsumes(const std::vector<Atom>& c, const std::vector<Atom>& d) {
+  if (c.empty()) return true;
+  return !FindSubsumptions(c, d, /*require_all=*/true, /*max_matches=*/1)
+              .empty();
+}
+
+}  // namespace semopt

@@ -1,0 +1,50 @@
+#ifndef SEMOPT_SEMOPT_SUBSUMPTION_H_
+#define SEMOPT_SEMOPT_SUBSUMPTION_H_
+
+#include <vector>
+
+#include "ast/rule.h"
+#include "ast/substitution.h"
+
+namespace semopt {
+
+/// One way of mapping IC body atoms into target atoms.
+struct SubsumptionMatch {
+  /// The subsuming substitution θ (maps IC variables to target terms).
+  Substitution theta;
+  /// For each IC database atom (in IC body order): the index of the
+  /// target atom it maps onto, or -1 when unmatched (partial
+  /// subsumption only).
+  std::vector<int> target_index;
+
+  /// Number of matched IC atoms.
+  size_t matched_count() const {
+    size_t n = 0;
+    for (int t : target_index) {
+      if (t >= 0) ++n;
+    }
+    return n;
+  }
+};
+
+/// Enumerates the ways the atoms `ic_atoms` map into `target_atoms`
+/// under one-way matching ("free" subsumption: clauses are taken as they
+/// appear, no expansion, per Definition 2.1).
+///
+/// When `require_all` is true only complete matches are returned
+/// (maximal subsumption of Definition 3.1); otherwise all partial
+/// matches with at least one matched atom are returned (each unmatched
+/// atom marked -1). Two IC atoms may map onto the same target atom.
+/// At most `max_matches` matches are collected (0 = unlimited).
+std::vector<SubsumptionMatch> FindSubsumptions(
+    const std::vector<Atom>& ic_atoms,
+    const std::vector<Atom>& target_atoms, bool require_all,
+    size_t max_matches = 0);
+
+/// Classical clause subsumption: true if some substitution maps every
+/// atom of `c` onto an atom of `d`.
+bool Subsumes(const std::vector<Atom>& c, const std::vector<Atom>& d);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SEMOPT_SUBSUMPTION_H_

@@ -1,0 +1,300 @@
+#include "shell/shell.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "eval/constraint_check.h"
+#include "eval/explain.h"
+#include "eval/fixpoint.h"
+#include "eval/query.h"
+#include "io/fact_io.h"
+#include "magic/magic_sets.h"
+#include "parser/parser.h"
+#include "semopt/optimizer.h"
+#include "semopt/residue_generator.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string> SplitWords(std::string_view s) {
+  std::vector<std::string> words;
+  std::stringstream stream{std::string(s)};
+  std::string word;
+  while (stream >> word) words.push_back(word);
+  return words;
+}
+
+}  // namespace
+
+std::string Shell::Execute(std::string_view raw) {
+  std::string_view line = Trim(raw);
+  if (line.empty() || line.front() == '%') return "";
+  if (line.front() == '.') return HandleCommand(line);
+  if (StartsWith(line, "?-")) return HandleQuery(line.substr(2));
+  return HandleStatements(line);
+}
+
+std::string Shell::HandleStatements(std::string_view text) {
+  std::string source{Trim(text)};
+  if (!source.empty() && source.back() != '.') source += '.';
+  Result<Program> parsed = ParseProgram(source);
+  if (!parsed.ok()) return parsed.status().ToString();
+
+  size_t rules = 0, facts = 0, constraints = 0;
+  for (const Rule& rule : parsed->rules()) {
+    bool ground_fact = rule.IsFact();
+    for (const Term& t : rule.head().args()) {
+      if (t.IsVariable()) ground_fact = false;
+    }
+    if (ground_fact) {
+      Status st = edb_.AddFact(rule.head());
+      if (!st.ok()) return st.ToString();
+      ++facts;
+    } else {
+      program_.AddRule(rule);
+      ++rules;
+    }
+  }
+  for (const Constraint& ic : parsed->constraints()) {
+    program_.AddConstraint(ic);
+    ++constraints;
+  }
+  program_.AutoLabelRules();
+  std::ostringstream os;
+  os << "added";
+  if (rules > 0) os << " " << rules << " rule(s)";
+  if (constraints > 0) os << " " << constraints << " constraint(s)";
+  if (facts > 0) os << " " << facts << " fact(s)";
+  return os.str();
+}
+
+std::string Shell::HandleQuery(std::string_view body_text) {
+  std::string source{Trim(body_text)};
+  if (!source.empty() && source.back() == '.') source.pop_back();
+  EvalStats stats;
+  Result<QueryResult> result =
+      AnswerQuery(program_, edb_, source, EvalOptions(), &stats);
+  if (!result.ok()) return result.status().ToString();
+  std::ostringstream os;
+  if (result->empty()) {
+    os << "no answers";
+  } else {
+    os << result->ToString() << result->size() << " answer(s)";
+  }
+  if (show_stats_) os << "\n[" << stats.ToString() << "]";
+  return os.str();
+}
+
+std::string Shell::HandleCommand(std::string_view line) {
+  std::vector<std::string> words = SplitWords(line);
+  const std::string& cmd = words[0];
+  std::vector<std::string> args(words.begin() + 1, words.end());
+
+  if (cmd == ".help") return CmdHelp();
+  if (cmd == ".quit" || cmd == ".exit") {
+    done_ = true;
+    return "bye";
+  }
+  if (cmd == ".program") return CmdProgram();
+  if (cmd == ".db") return CmdDb(args);
+  if (cmd == ".optimize") return CmdOptimize(args);
+  if (cmd == ".residues") return CmdResidues();
+  if (cmd == ".check") return CmdCheck();
+  if (cmd == ".explain") {
+    size_t offset = line.find(' ');
+    if (offset == std::string_view::npos) {
+      return "usage: .explain pred(consts)";
+    }
+    return CmdExplain(line.substr(offset + 1));
+  }
+  if (cmd == ".magic") {
+    size_t offset = line.find(' ');
+    if (offset == std::string_view::npos) {
+      return "usage: .magic pred(arg, ...)";
+    }
+    return CmdMagic(line.substr(offset + 1));
+  }
+  if (cmd == ".load") return CmdLoad(args);
+  if (cmd == ".loadtsv") return CmdLoadTsv(args);
+  if (cmd == ".stats") {
+    show_stats_ = args.empty() || args[0] != "off";
+    return StrCat("stats ", show_stats_ ? "on" : "off");
+  }
+  if (cmd == ".reset") {
+    program_ = Program();
+    edb_ = Database();
+    return "reset";
+  }
+  return StrCat("unknown command ", cmd, " (try .help)");
+}
+
+std::string Shell::CmdHelp() const {
+  return R"(statements:
+  head :- body.            add a rule
+  body -> head.            add an integrity constraint ("-> ." = denial)
+  pred(consts).            add a fact
+  ?- literals.             run a query
+commands:
+  .program                 show rules and constraints
+  .db [pred/arity]         list relations / dump one
+  .optimize [flat]         run the semantic optimizer (flat: no chain factoring)
+  .residues                show the residues of all constraints
+  .check                   check the facts against the constraints
+  .magic pred(args)        answer a (possibly bound) query via magic sets
+  .explain pred(consts)    show a proof tree for a derived fact
+  .load FILE               load a program/fact file
+  .loadtsv PRED FILE       load tab-separated tuples into PRED
+  .stats [on|off]          show evaluation statistics with query answers
+  .reset                   clear everything
+  .quit                    leave)";
+}
+
+std::string Shell::CmdProgram() const {
+  if (program_.rules().empty() && program_.constraints().empty()) {
+    return "(empty program)";
+  }
+  std::string out = program_.ToString();
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string Shell::CmdDb(const std::vector<std::string>& args) const {
+  std::ostringstream os;
+  if (args.empty()) {
+    for (const PredicateId& pred : edb_.Predicates()) {
+      const Relation* rel = edb_.Find(pred);
+      os << pred.ToString() << ": " << rel->size() << " tuple(s)\n";
+    }
+    os << edb_.TotalTuples() << " tuple(s) total";
+    return os.str();
+  }
+  // "pred/arity" or "pred".
+  std::string name = args[0];
+  int arity = -1;
+  size_t slash = name.find('/');
+  if (slash != std::string::npos) {
+    arity = std::atoi(name.c_str() + slash + 1);
+    name = name.substr(0, slash);
+  }
+  for (const PredicateId& pred : edb_.Predicates()) {
+    if (SymbolName(pred.name) != name) continue;
+    if (arity >= 0 && pred.arity != static_cast<uint32_t>(arity)) continue;
+    SaveFacts(os, *edb_.Find(pred));
+  }
+  std::string out = os.str();
+  if (out.empty()) return StrCat("no relation ", args[0]);
+  if (out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string Shell::CmdOptimize(const std::vector<std::string>& args) {
+  OptimizerOptions options;
+  for (const std::string& arg : args) {
+    if (arg == "flat") options.factor_committed = false;
+  }
+  // Every EDB relation present in the database counts as "small" only
+  // if the user says so; default: introduction for evaluable heads only.
+  SemanticOptimizer optimizer(options);
+  Result<OptimizeResult> result = optimizer.Optimize(program_);
+  if (!result.ok()) return result.status().ToString();
+  std::ostringstream os;
+  os << result->Report();
+  if (!result->applied.empty()) {
+    program_ = result->program;
+    os << "program replaced; see .program";
+  } else {
+    os << "no transformation applied; program unchanged";
+  }
+  return os.str();
+}
+
+std::string Shell::CmdResidues() const {
+  Result<std::vector<Residue>> residues = GenerateAllResidues(program_);
+  if (!residues.ok()) return residues.status().ToString();
+  if (residues->empty()) return "no residues";
+  std::ostringstream os;
+  for (const Residue& r : *residues) {
+    os << r.ToString(program_) << "   [" << ResidueKindName(r.kind())
+       << ", IC " << r.ic_label << "]\n";
+  }
+  std::string out = os.str();
+  out.pop_back();
+  return out;
+}
+
+std::string Shell::CmdCheck() const {
+  Result<std::vector<ConstraintViolation>> violations =
+      CheckConstraints(edb_, program_.constraints(), 10);
+  if (!violations.ok()) return violations.status().ToString();
+  if (violations->empty()) return "all constraints satisfied";
+  std::ostringstream os;
+  for (const ConstraintViolation& v : *violations) {
+    os << "IC " << v.constraint_label << " " << v.description << "\n";
+  }
+  std::string out = os.str();
+  out.pop_back();
+  return out;
+}
+
+std::string Shell::CmdMagic(std::string_view rest) {
+  std::string source{Trim(rest)};
+  if (!source.empty() && source.back() == '.') source.pop_back();
+  Result<Atom> query = ParseAtom(source);
+  if (!query.ok()) return query.status().ToString();
+  EvalStats stats;
+  Result<std::vector<Tuple>> answers =
+      AnswerWithMagic(program_, edb_, *query, &stats);
+  if (!answers.ok()) return answers.status().ToString();
+  std::ostringstream os;
+  for (const Tuple& t : *answers) {
+    os << query->predicate_name() << TupleToString(t) << "\n";
+  }
+  os << answers->size() << " answer(s)";
+  if (show_stats_) os << "\n[" << stats.ToString() << "]";
+  return os.str();
+}
+
+std::string Shell::CmdExplain(std::string_view rest) {
+  std::string source{Trim(rest)};
+  if (!source.empty() && source.back() == '.') source.pop_back();
+  Result<Atom> goal = ParseAtom(source);
+  if (!goal.ok()) return goal.status().ToString();
+  Result<ProofNode> proof = ExplainFromScratch(program_, edb_, *goal);
+  if (!proof.ok()) return proof.status().ToString();
+  std::string out = proof->ToString();
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string Shell::CmdLoad(const std::vector<std::string>& args) {
+  if (args.size() != 1) return "usage: .load FILE";
+  std::ifstream in(args[0]);
+  if (!in) return StrCat("cannot open ", args[0]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return HandleStatements(buffer.str());
+}
+
+std::string Shell::CmdLoadTsv(const std::vector<std::string>& args) {
+  if (args.size() != 2) return "usage: .loadtsv PRED FILE";
+  Result<size_t> added = LoadTsvFile(args[1], args[0], &edb_);
+  if (!added.ok()) return added.status().ToString();
+  return StrCat("loaded ", *added, " tuple(s) into ", args[0]);
+}
+
+}  // namespace semopt

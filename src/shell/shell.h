@@ -1,0 +1,60 @@
+#ifndef SEMOPT_SHELL_SHELL_H_
+#define SEMOPT_SHELL_SHELL_H_
+
+#include <string>
+#include <string_view>
+
+#include "ast/program.h"
+#include "storage/database.h"
+
+namespace semopt {
+
+/// An interactive session over the library: accumulate rules, ICs and
+/// facts, query, optimize, and inspect. The REPL binary
+/// (`tools/semopt_shell`) is a thin loop over this class, which keeps
+/// every behaviour unit-testable.
+///
+/// Input forms:
+///   p(X) :- q(X).            add a rule
+///   a(X), X > 3 -> b(X).     add an integrity constraint
+///   edge(a, b).              add a fact (ground, empty body)
+///   ?- p(X), X != a.         run a query
+///   .command [args]          session commands (see `.help`)
+class Shell {
+ public:
+  Shell() = default;
+
+  /// Executes one input line and returns the text to display.
+  std::string Execute(std::string_view line);
+
+  /// True once `.quit` has been executed.
+  bool done() const { return done_; }
+
+  const Program& program() const { return program_; }
+  const Database& database() const { return edb_; }
+
+ private:
+  std::string HandleCommand(std::string_view line);
+  std::string HandleQuery(std::string_view body_text);
+  std::string HandleStatements(std::string_view text);
+
+  std::string CmdHelp() const;
+  std::string CmdProgram() const;
+  std::string CmdDb(const std::vector<std::string>& args) const;
+  std::string CmdOptimize(const std::vector<std::string>& args);
+  std::string CmdResidues() const;
+  std::string CmdCheck() const;
+  std::string CmdMagic(std::string_view rest);
+  std::string CmdExplain(std::string_view rest);
+  std::string CmdLoad(const std::vector<std::string>& args);
+  std::string CmdLoadTsv(const std::vector<std::string>& args);
+
+  Program program_;
+  Database edb_;
+  bool show_stats_ = false;
+  bool done_ = false;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SHELL_SHELL_H_

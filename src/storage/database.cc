@@ -1,0 +1,99 @@
+#include "storage/database.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+Relation& Database::GetOrCreate(const PredicateId& pred) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) {
+    it = relations_.emplace(pred, Relation(pred)).first;
+  }
+  return it->second;
+}
+
+const Relation* Database::Find(const PredicateId& pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(const PredicateId& pred) {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Status Database::AddFact(const Atom& fact) {
+  Tuple tuple;
+  tuple.reserve(fact.args().size());
+  for (const Term& t : fact.args()) {
+    if (!t.IsConstant()) {
+      return Status::InvalidArgument(
+          StrCat("fact ", fact.ToString(), " is not ground"));
+    }
+    tuple.push_back(t);
+  }
+  GetOrCreate(fact.pred_id()).Insert(tuple);
+  return Status::Ok();
+}
+
+void Database::AddTuple(std::string_view predicate, Tuple tuple) {
+  PredicateId pred{InternSymbol(predicate),
+                   static_cast<uint32_t>(tuple.size())};
+  GetOrCreate(pred).Insert(tuple);
+}
+
+std::vector<PredicateId> Database::Predicates() const {
+  std::vector<PredicateId> preds;
+  preds.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) preds.push_back(pred);
+  return preds;
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel.size();
+  return total;
+}
+
+Database Database::Clone() const {
+  Database copy;
+  for (const auto& [pred, rel] : relations_) {
+    Relation& target = copy.GetOrCreate(pred);
+    for (const Tuple& t : rel.rows()) target.Insert(t);
+  }
+  return copy;
+}
+
+bool Database::SameFactsAs(const Database& other) const {
+  auto nonempty_count = [](const std::map<PredicateId, Relation>& rels) {
+    size_t n = 0;
+    for (const auto& [pred, rel] : rels) {
+      if (!rel.empty()) ++n;
+    }
+    return n;
+  };
+  if (nonempty_count(relations_) != nonempty_count(other.relations_)) {
+    return false;
+  }
+  for (const auto& [pred, rel] : relations_) {
+    if (rel.empty()) continue;
+    const Relation* other_rel = other.Find(pred);
+    if (other_rel == nullptr || other_rel->size() != rel.size()) return false;
+    for (const Tuple& t : rel.rows()) {
+      if (!other_rel->Contains(t)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Database::ToString() const {
+  std::ostringstream os;
+  for (const auto& [pred, rel] : relations_) {
+    os << rel.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace semopt

@@ -1,0 +1,64 @@
+#ifndef SEMOPT_STORAGE_DATABASE_H_
+#define SEMOPT_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/atom.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// A database instance: a set of named relations (typically the EDB; the
+/// evaluation engine materializes IDB relations into a separate Database).
+/// Relations are created on first reference.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// The relation for `pred`, creating an empty one if absent.
+  Relation& GetOrCreate(const PredicateId& pred);
+
+  /// The relation for `pred`, or nullptr when absent.
+  const Relation* Find(const PredicateId& pred) const;
+  Relation* FindMutable(const PredicateId& pred);
+
+  /// Inserts a fact given as a ground atom. Fails on non-ground args.
+  Status AddFact(const Atom& fact);
+
+  /// Convenience: `AddFact` on "pred(v1, ..., vn)" built from values.
+  void AddTuple(std::string_view predicate, Tuple tuple);
+
+  /// All predicates with a (possibly empty) relation.
+  std::vector<PredicateId> Predicates() const;
+
+  /// Total number of stored tuples across relations.
+  size_t TotalTuples() const;
+
+  /// Deep copy (for differential testing: evaluate two programs on the
+  /// same EDB without sharing index state).
+  Database Clone() const;
+
+  /// True if both databases contain exactly the same facts (index and
+  /// insertion-order insensitive).
+  bool SameFactsAs(const Database& other) const;
+
+  /// Renders every relation on its own line, predicates sorted.
+  std::string ToString() const;
+
+ private:
+  std::map<PredicateId, Relation> relations_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_STORAGE_DATABASE_H_

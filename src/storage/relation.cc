@@ -1,0 +1,72 @@
+#include "storage/relation.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+std::string TupleToString(const Tuple& tuple) {
+  return StrCat("(", JoinToString(tuple, ", "), ")");
+}
+
+bool Relation::Insert(const Tuple& tuple) {
+  assert(tuple.size() == arity());
+  auto [it, inserted] = dedup_.insert(tuple);
+  if (!inserted) return false;
+  uint32_t row_index = static_cast<uint32_t>(rows_.size());
+  rows_.push_back(tuple);
+  for (auto& [cols, index] : indexes_) {
+    index.buckets[Project(tuple, cols)].push_back(row_index);
+  }
+  return true;
+}
+
+Tuple Relation::Project(const Tuple& row, const std::vector<uint32_t>& cols) {
+  Tuple key;
+  key.reserve(cols.size());
+  for (uint32_t c : cols) key.push_back(row[c]);
+  return key;
+}
+
+void Relation::EnsureIndex(const std::vector<uint32_t>& columns) {
+  if (indexes_.count(columns) > 0) return;
+  Index& index = indexes_[columns];
+  for (uint32_t i = 0; i < rows_.size(); ++i) {
+    index.buckets[Project(rows_[i], columns)].push_back(i);
+  }
+}
+
+const std::vector<uint32_t>& Relation::Probe(
+    const std::vector<uint32_t>& columns, const Tuple& key) const {
+  static const std::vector<uint32_t>& kEmpty = *new std::vector<uint32_t>();
+  auto it = indexes_.find(columns);
+  if (it == indexes_.end()) {
+    // Build the index lazily; Probe is logically const.
+    const_cast<Relation*>(this)->EnsureIndex(columns);
+    it = indexes_.find(columns);
+  }
+  auto bucket = it->second.buckets.find(key);
+  if (bucket == it->second.buckets.end()) return kEmpty;
+  return bucket->second;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  dedup_.clear();
+  indexes_.clear();
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream os;
+  os << pred_.ToString() << " {";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << TupleToString(rows_[i]);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace semopt

@@ -1,0 +1,77 @@
+#ifndef SEMOPT_STORAGE_RELATION_H_
+#define SEMOPT_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/atom.h"
+#include "storage/tuple.h"
+
+namespace semopt {
+
+/// A set-semantics relation: a deduplicated collection of fixed-arity
+/// tuples in insertion order, with on-demand hash indexes over column
+/// subsets for join probing.
+///
+/// Rows are addressed by dense index (0..size-1); rows are never removed,
+/// so row indices are stable. Indexes are maintained incrementally on
+/// insert.
+class Relation {
+ public:
+  Relation(PredicateId pred) : pred_(pred) {}  // NOLINT(runtime/explicit)
+
+  PredicateId pred() const { return pred_; }
+  uint32_t arity() const { return pred_.arity; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts `tuple` (arity must match). Returns true if it was new.
+  bool Insert(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return dedup_.count(tuple) > 0;
+  }
+
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Ensures a hash index exists over `columns` (sorted, distinct,
+  /// in-range). Subsequent `Probe` calls with the same column set are
+  /// O(1) expected.
+  void EnsureIndex(const std::vector<uint32_t>& columns);
+
+  /// Row indices whose projection onto `columns` equals `key`. Builds
+  /// the index on first use. `key` values are given in the same order
+  /// as `columns`.
+  const std::vector<uint32_t>& Probe(const std::vector<uint32_t>& columns,
+                                     const Tuple& key) const;
+
+  /// Removes all tuples and indexes.
+  void Clear();
+
+  /// Number of secondary indexes currently materialized.
+  size_t index_count() const { return indexes_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  struct Index {
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
+  };
+
+  static Tuple Project(const Tuple& row, const std::vector<uint32_t>& cols);
+
+  PredicateId pred_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> dedup_;
+  // Keyed by the (sorted) column list. mutable: Probe is logically const.
+  mutable std::map<std::vector<uint32_t>, Index> indexes_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_STORAGE_RELATION_H_

@@ -1,0 +1,31 @@
+#ifndef SEMOPT_STORAGE_TUPLE_H_
+#define SEMOPT_STORAGE_TUPLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ast/term.h"
+#include "util/hash_util.h"
+
+namespace semopt {
+
+/// A stored value is a ground (constant) Term: an int64 or an interned
+/// symbol. Reusing Term keeps the evaluation layer conversion-free.
+using Value = Term;
+
+/// A database tuple: a fixed-arity row of ground values.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    return HashRange(t.begin(), t.end());
+  }
+};
+
+/// Renders "(v1, v2, ...)".
+std::string TupleToString(const Tuple& tuple);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_STORAGE_TUPLE_H_

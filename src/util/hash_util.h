@@ -1,0 +1,54 @@
+#ifndef SEMOPT_UTIL_HASH_UTIL_H_
+#define SEMOPT_UTIL_HASH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace semopt {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  *seed ^= std::hash<T>()(value) + 0x9e3779b97f4a7c15ULL + (*seed << 6) +
+           (*seed >> 2);
+}
+
+/// Hashes a range of hashable elements.
+template <typename It>
+size_t HashRange(It begin, It end) {
+  size_t seed = 0;
+  for (It it = begin; it != end; ++it) HashCombine(&seed, *it);
+  return seed;
+}
+
+/// A deterministic 64-bit linear-congruential PRNG used by workload
+/// generators and property tests so runs are reproducible across
+/// platforms (std::mt19937 would also do, but this keeps seeds tiny and
+/// the sequence spec'd by this library).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_UTIL_HASH_UTIL_H_

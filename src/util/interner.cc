@@ -1,0 +1,36 @@
+#include "util/interner.h"
+
+#include <cassert>
+
+namespace semopt {
+
+SymbolId Interner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+const std::string& Interner::Lookup(SymbolId id) const {
+  assert(id < strings_.size());
+  return strings_[id];
+}
+
+Interner& GlobalInterner() {
+  // Function-local static reference: never destroyed, avoiding
+  // static-destruction-order issues (style guide pattern).
+  static Interner& interner = *new Interner();
+  return interner;
+}
+
+SymbolId InternSymbol(std::string_view s) {
+  return GlobalInterner().Intern(s);
+}
+
+const std::string& SymbolName(SymbolId id) {
+  return GlobalInterner().Lookup(id);
+}
+
+}  // namespace semopt

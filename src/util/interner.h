@@ -1,0 +1,51 @@
+#ifndef SEMOPT_UTIL_INTERNER_H_
+#define SEMOPT_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace semopt {
+
+/// A stable integer id for an interned string. Ids are dense, starting at
+/// 0, and valid for the lifetime of the owning `Interner`.
+using SymbolId = uint32_t;
+
+/// Maps strings to dense integer ids and back. Used for predicate names
+/// and string constants so the engine compares symbols as integers.
+///
+/// Not thread-safe; the library is single-threaded by design.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the id for `s`, interning it on first use.
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the string for `id`. `id` must have been returned by
+  /// `Intern` on this instance.
+  const std::string& Lookup(SymbolId id) const;
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> strings_;
+};
+
+/// Process-wide interner used by the AST layer. A single global table
+/// keeps symbol ids comparable across programs, databases, and tests.
+Interner& GlobalInterner();
+
+/// Convenience wrappers over `GlobalInterner()`.
+SymbolId InternSymbol(std::string_view s);
+const std::string& SymbolName(SymbolId id);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_UTIL_INTERNER_H_

@@ -1,0 +1,75 @@
+#ifndef SEMOPT_UTIL_RESULT_H_
+#define SEMOPT_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace semopt {
+
+/// Holds either a value of type `T` or an error `Status`, in the spirit of
+/// `absl::StatusOr` / C++23 `std::expected` (neither of which is available
+/// here). The error status of a `Result` is never OK.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` must be
+  /// false; constructing a Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Accessors require `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+}  // namespace semopt
+
+/// Propagates the error of a Result-yielding expression, otherwise binds
+/// its value to `lhs`. Usage: SEMOPT_ASSIGN_OR_RETURN(auto x, Foo());
+#define SEMOPT_ASSIGN_OR_RETURN(lhs, expr)                     \
+  SEMOPT_ASSIGN_OR_RETURN_IMPL_(                               \
+      SEMOPT_RESULT_CONCAT_(_semopt_result, __LINE__), lhs, expr)
+
+#define SEMOPT_RESULT_CONCAT_INNER_(a, b) a##b
+#define SEMOPT_RESULT_CONCAT_(a, b) SEMOPT_RESULT_CONCAT_INNER_(a, b)
+
+#define SEMOPT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // SEMOPT_UTIL_RESULT_H_

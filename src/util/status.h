@@ -1,0 +1,77 @@
+#ifndef SEMOPT_UTIL_STATUS_H_
+#define SEMOPT_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace semopt {
+
+/// Error categories used across the library. Kept deliberately small: the
+/// engine distinguishes caller errors (bad input programs) from internal
+/// invariant violations and from unsupported-feature rejections.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed program, IC, or query supplied by caller
+  kNotFound,          // missing predicate/relation/rule
+  kFailedPrecondition,// program does not satisfy a required assumption
+  kUnimplemented,     // feature outside the supported fragment
+  kInternal,          // invariant violation; indicates a library bug
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, used instead of exceptions
+/// (which the style guide forbids). A `Status` is cheap to copy on the
+/// success path (no allocation) and carries a message on the error path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace semopt
+
+/// Propagates a non-OK Status from an expression that yields a Status.
+#define SEMOPT_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::semopt::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // SEMOPT_UTIL_STATUS_H_

@@ -1,0 +1,9 @@
+#include "util/string_util.h"
+
+namespace semopt {
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace semopt

@@ -1,0 +1,51 @@
+#ifndef SEMOPT_UTIL_STRING_UTIL_H_
+#define SEMOPT_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace semopt {
+
+/// Joins the elements of `parts`, separated by `sep`, using each element's
+/// `operator<<`.
+template <typename Container>
+std::string JoinToString(const Container& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << p;
+  }
+  return os.str();
+}
+
+/// Joins after applying `fn` to each element.
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& parts, std::string_view sep, Fn fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << fn(p);
+  }
+  return os.str();
+}
+
+/// Concatenates the stream renderings of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_UTIL_STRING_UTIL_H_

@@ -1,0 +1,65 @@
+#include "workload/genealogy.h"
+
+#include <vector>
+
+#include "parser/parser.h"
+#include "util/hash_util.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<Program> GenealogyProgram() {
+  return ParseProgram(R"(
+    r0: anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+    r1: anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+    ic1: Ya <= 50, par(Z, Za, Y, Ya), par(Z2, Z2a, Z, Za),
+         par(Z3, Z3a, Z2, Z2a) -> .
+  )");
+}
+
+Database GenerateGenealogyDb(const GenealogyParams& params) {
+  SplitMix64 rng(params.seed);
+  Database db;
+
+  size_t next_person = 0;
+  auto person = [&](size_t id) { return Term::Sym(StrCat("pers", id)); };
+
+  // par(Person, PersonAge, Parent, ParentAge): grow each family from a
+  // root (oldest) downward. Ages are a function of the generation plus
+  // a small per-person jitter that is NOT inherited, so the age gap can
+  // never accumulate below the generation gap: anyone with 3
+  // generations of descendants is at least youngest_age_min +
+  // 3*generation_age_gap (= 61 by default) > 50, making ic1 hold for
+  // every choice of depth.
+  for (size_t fam = 0; fam < params.num_families; ++fam) {
+    struct Node {
+      size_t id;
+      int64_t age;
+      size_t generation;
+    };
+    auto age_of_generation = [&](size_t g) {
+      int64_t span = params.youngest_age_max - params.youngest_age_min;
+      if (span <= 0) span = 1;
+      return params.youngest_age_min +
+             static_cast<int64_t>(rng.Below(static_cast<uint64_t>(span))) +
+             params.generation_age_gap *
+                 static_cast<int64_t>(params.generations - 1 - g);
+    };
+    std::vector<Node> frontier{{next_person++, age_of_generation(0), 0}};
+    while (!frontier.empty()) {
+      Node parent = frontier.back();
+      frontier.pop_back();
+      if (parent.generation + 1 >= params.generations) continue;
+      for (size_t c = 0; c < params.children_per_person; ++c) {
+        Node child{next_person++, age_of_generation(parent.generation + 1),
+                   parent.generation + 1};
+        db.AddTuple("par", {person(child.id), Term::Int(child.age),
+                            person(parent.id), Term::Int(parent.age)});
+        frontier.push_back(child);
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace semopt

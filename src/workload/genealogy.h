@@ -1,0 +1,42 @@
+#ifndef SEMOPT_WORKLOAD_GENEALOGY_H_
+#define SEMOPT_WORKLOAD_GENEALOGY_H_
+
+#include <cstdint>
+
+#include "ast/program.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Parameters of the genealogy workload (paper Example 4.3).
+struct GenealogyParams {
+  /// Number of family trees.
+  size_t num_families = 30;
+  /// Generations per family (chain depth).
+  size_t generations = 6;
+  /// Children per person (1 = chains; >1 = trees).
+  size_t children_per_person = 2;
+  /// Age gap between parent and child; with the default bottom ages,
+  /// a gap >= 17 makes anyone with 3 generations of descendants older
+  /// than 50, so ic1 holds by construction.
+  int64_t generation_age_gap = 20;
+  /// Age of the youngest generation (randomized in [min, max)).
+  int64_t youngest_age_min = 1;
+  int64_t youngest_age_max = 15;
+  uint64_t seed = 1;
+};
+
+/// The program of Example 4.3: the `anc` ancestor predicate with ages
+/// carried through, and the denial
+///   ic1: Ya <= 50, par(Z, Za, Y, Ya), par(Z2, Z2a, Z, Za),
+///        par(Z3, Z3a, Z2, Z2a) -> .
+/// ("people under 50 do not have 3 generations of descendants").
+Result<Program> GenealogyProgram();
+
+/// Generates family forests whose ages satisfy ic1 by construction.
+Database GenerateGenealogyDb(const GenealogyParams& params);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_WORKLOAD_GENEALOGY_H_

@@ -1,0 +1,64 @@
+#include "workload/honors.h"
+
+#include "parser/parser.h"
+#include "util/hash_util.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<Program> HonorsProgram() {
+  return ParseProgram(R"(
+    r0: honors(Stud) :- transcript(Stud, Major, Cred, Gpa),
+                        Cred >= 30, Gpa >= 38.
+    r1: honors(Stud) :- transcript(Stud, Major, Cred, Gpa),
+                        Gpa >= 38, exceptional(Stud).
+    r2: exceptional(Stud) :- publication(Stud, P), appears(P, Jl),
+                             reputed(Jl).
+    r3: honors(Stud) :- graduated(Stud, College), topten(College).
+  )");
+}
+
+Database GenerateHonorsDb(const HonorsParams& params) {
+  SplitMix64 rng(params.seed);
+  Database db;
+
+  auto student = [](size_t i) { return Term::Sym(StrCat("stud", i)); };
+  auto college = [](size_t i) { return Term::Sym(StrCat("college", i)); };
+  auto journal = [](size_t i) { return Term::Sym(StrCat("journal", i)); };
+  auto paper = [](size_t i) { return Term::Sym(StrCat("paper", i)); };
+
+  static const char* kMajors[] = {"cs", "math", "physics", "history"};
+
+  for (size_t j = 0; j < params.num_journals; ++j) {
+    if (rng.NextDouble() < params.reputed_fraction) {
+      db.AddTuple("reputed", {journal(j)});
+    }
+  }
+  for (size_t c = 0; c < params.num_colleges; ++c) {
+    if (rng.NextDouble() < params.topten_fraction) {
+      db.AddTuple("topten", {college(c)});
+    }
+  }
+
+  size_t next_paper = 0;
+  for (size_t i = 0; i < params.num_students; ++i) {
+    int64_t credits = 10 + static_cast<int64_t>(rng.Below(40));
+    int64_t gpa = 20 + static_cast<int64_t>(rng.Below(21));  // 2.0 - 4.0
+    db.AddTuple("transcript",
+                {student(i), Term::Sym(kMajors[rng.Below(4)]),
+                 Term::Int(credits), Term::Int(gpa)});
+    db.AddTuple("graduated",
+                {student(i), college(rng.Below(params.num_colleges))});
+    db.AddTuple("hobby", {student(i), Term::Sym(rng.NextDouble() < 0.2
+                                                    ? "chess"
+                                                    : "soccer")});
+    if (rng.NextDouble() < params.publication_fraction) {
+      Term p = paper(next_paper++);
+      db.AddTuple("publication", {student(i), p});
+      db.AddTuple("appears", {p, journal(rng.Below(params.num_journals))});
+    }
+  }
+  return db;
+}
+
+}  // namespace semopt

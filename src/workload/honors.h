@@ -1,0 +1,37 @@
+#ifndef SEMOPT_WORKLOAD_HONORS_H_
+#define SEMOPT_WORKLOAD_HONORS_H_
+
+#include <cstdint>
+
+#include "ast/program.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Parameters of the honors-students workload (paper Example 5.1,
+/// adapted from Motro & Yuan).
+struct HonorsParams {
+  size_t num_students = 200;
+  size_t num_colleges = 20;
+  size_t num_journals = 15;
+  double topten_fraction = 0.5;
+  double reputed_fraction = 0.4;
+  double publication_fraction = 0.3;
+  uint64_t seed = 1;
+};
+
+/// The deductive database of Example 5.1:
+///   r0: honors(S) :- transcript(S, M, C, G), C >= 30, G >= 38.
+///   r1: honors(S) :- transcript(S, M, C, G), G >= 38, exceptional(S).
+///   r2: exceptional(S) :- publication(S, P), appears(P, J), reputed(J).
+///   r3: honors(S) :- graduated(S, College), topten(College).
+/// (GPAs are stored as integers scaled by 10: 3.8 -> 38.)
+Result<Program> HonorsProgram();
+
+/// Generates the corresponding EDB.
+Database GenerateHonorsDb(const HonorsParams& params);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_WORKLOAD_HONORS_H_

@@ -1,0 +1,86 @@
+#include "workload/organization.h"
+
+#include <vector>
+
+#include "parser/parser.h"
+#include "util/hash_util.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<Program> OrganizationProgram() {
+  return ParseProgram(R"(
+    r1: triple(E1, E2, E3) :- same_level(E1, E2, E3).
+    r2: triple(E1, E2, E3) :- boss(U, E3, R), experienced(U),
+                              triple(U, E1, E2).
+    ic1: boss(E, B, R), R = 'executive' -> experienced(B).
+  )");
+}
+
+Database GenerateOrganizationDb(const OrganizationParams& params) {
+  SplitMix64 rng(params.seed);
+  Database db;
+
+  auto emp = [](size_t i) { return Term::Sym(StrCat("emp", i)); };
+
+  const size_t n = params.num_employees;
+  const size_t levels = params.num_levels == 0 ? 1 : params.num_levels;
+
+  // Assign employees to levels (level 0 = top).
+  std::vector<std::vector<size_t>> by_level(levels);
+  for (size_t i = 0; i < n; ++i) {
+    // Widen lower levels: weight level l by (l+1).
+    size_t total_weight = levels * (levels + 1) / 2;
+    size_t pick = rng.Below(total_weight);
+    size_t level = 0;
+    size_t acc = 0;
+    for (size_t l = 0; l < levels; ++l) {
+      acc += l + 1;
+      if (pick < acc) {
+        level = l;
+        break;
+      }
+    }
+    by_level[level].push_back(i);
+  }
+  for (size_t l = 0; l < levels; ++l) {
+    if (by_level[l].empty()) by_level[l].push_back(rng.Below(n));
+  }
+
+  std::vector<bool> experienced(n, false);
+  // Non-executive experience.
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < params.experienced_fraction) experienced[i] = true;
+  }
+
+  // boss(E, B, R): B (one level up) is a boss of E with rank R. Every
+  // executive boss must be experienced (ic1) — enforced by construction.
+  for (size_t l = 1; l < levels; ++l) {
+    for (size_t e : by_level[l]) {
+      const std::vector<size_t>& above = by_level[l - 1];
+      size_t b = above[rng.Below(above.size())];
+      bool executive = rng.NextDouble() < params.executive_fraction;
+      if (executive) experienced[b] = true;
+      db.AddTuple("boss", {emp(e), emp(b),
+                           Term::Sym(executive ? "executive" : "manager")});
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (experienced[i]) db.AddTuple("experienced", {emp(i)});
+  }
+
+  // same_level triples seed the recursion.
+  for (size_t l = 0; l < levels; ++l) {
+    const std::vector<size_t>& pool = by_level[l];
+    if (pool.size() < 3) continue;
+    for (size_t t = 0; t < params.triples_per_level; ++t) {
+      size_t a = pool[rng.Below(pool.size())];
+      size_t b = pool[rng.Below(pool.size())];
+      size_t c = pool[rng.Below(pool.size())];
+      db.AddTuple("same_level", {emp(a), emp(b), emp(c)});
+    }
+  }
+  return db;
+}
+
+}  // namespace semopt

@@ -1,0 +1,36 @@
+#ifndef SEMOPT_WORKLOAD_ORGANIZATION_H_
+#define SEMOPT_WORKLOAD_ORGANIZATION_H_
+
+#include <cstdint>
+
+#include "ast/program.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Parameters of the organizational workload (paper Example 4.1).
+struct OrganizationParams {
+  size_t num_employees = 300;
+  /// Number of levels in the hierarchy.
+  size_t num_levels = 6;
+  /// Fraction of bosses holding rank 'executive'.
+  double executive_fraction = 0.3;
+  /// Fraction of non-executive employees that are experienced anyway.
+  double experienced_fraction = 0.5;
+  /// Number of same_level triples to emit per level.
+  size_t triples_per_level = 40;
+  uint64_t seed = 1;
+};
+
+/// The program of Example 4.1: the recursive `triple` predicate and
+///   ic1: boss(E, B, R), R = 'executive' -> experienced(B).
+Result<Program> OrganizationProgram();
+
+/// Generates an EDB satisfying ic1 by construction (every executive
+/// boss is experienced).
+Database GenerateOrganizationDb(const OrganizationParams& params);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_WORKLOAD_ORGANIZATION_H_

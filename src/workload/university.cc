@@ -1,0 +1,157 @@
+#include "workload/university.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "parser/parser.h"
+#include "util/hash_util.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<Program> UniversityProgram() {
+  return ParseProgram(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    r2: eval_support(P, S, T, M) :- eval(P, S, T), pays(M, G, S, T).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+    ic2: pays(M, G, S, T), M > 10000 -> doctoral(S).
+  )");
+}
+
+Database GenerateUniversityDb(const UniversityParams& params) {
+  SplitMix64 rng(params.seed);
+  Database db;
+
+  auto prof = [](size_t i) { return Term::Sym(StrCat("prof", i)); };
+  auto student = [](size_t i) { return Term::Sym(StrCat("stud", i)); };
+  auto field_sym = [](size_t i) { return Term::Sym(StrCat("field", i)); };
+  auto thesis = [](size_t s, size_t t) {
+    return Term::Sym(StrCat("thesis", s, "_", t));
+  };
+  auto grant = [](size_t i) { return Term::Sym(StrCat("grant", i)); };
+
+  const size_t p = params.num_professors;
+  const size_t s = params.num_students;
+  const size_t f = params.num_fields == 0 ? 1 : params.num_fields;
+
+  // Directed collaboration edges.
+  std::vector<std::vector<size_t>> works_with(p);
+  for (size_t i = 0; i < p; ++i) {
+    size_t degree = static_cast<size_t>(params.collaborations_per_professor);
+    if (rng.NextDouble() <
+        params.collaborations_per_professor - static_cast<double>(degree)) {
+      ++degree;
+    }
+    std::set<size_t> partners;
+    size_t departments =
+        params.num_departments == 0 ? 1 : params.num_departments;
+    size_t dept_size = (p + departments - 1) / departments;
+    size_t dept_begin = (i / dept_size) * dept_size;
+    size_t dept_end = std::min(dept_begin + dept_size, p);
+    for (size_t d = 0; d < degree && dept_end - dept_begin > 1; ++d) {
+      size_t j = dept_begin + rng.Below(dept_end - dept_begin);
+      if (j != i) partners.insert(j);
+    }
+    for (size_t j : partners) {
+      works_with[i].push_back(j);
+      db.AddTuple("works_with", {prof(i), prof(j)});
+    }
+  }
+
+  // Base expertise: one or two fields per professor.
+  std::vector<std::set<size_t>> expertise(p);
+  for (size_t i = 0; i < p; ++i) {
+    expertise[i].insert(rng.Below(f));
+    if (rng.NextDouble() < 0.5) expertise[i].insert(rng.Below(f));
+  }
+  // Close expertise under ic1: works_with(P2, P1), expert(P1, F) ->
+  // expert(P2, F). (The generated EDB must satisfy the IC.)
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < p; ++i) {
+      for (size_t j : works_with[i]) {
+        for (size_t fld : expertise[j]) {
+          if (expertise[i].insert(fld).second) changed = true;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t fld : expertise[i]) {
+      db.AddTuple("expert", {prof(i), field_sym(fld)});
+    }
+  }
+
+  // Doctoral students.
+  std::vector<bool> doctoral(s, false);
+  for (size_t i = 0; i < s; ++i) {
+    if (rng.NextDouble() < params.doctoral_fraction) {
+      doctoral[i] = true;
+      db.AddTuple("doctoral", {student(i)});
+    }
+  }
+
+  // Theses, supervision, fields, payments.
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t t = 0; t < params.num_theses_per_student; ++t) {
+      Term th = thesis(i, t);
+      size_t supervisor = p == 0 ? 0 : rng.Below(p);
+      std::set<size_t> thesis_fields;
+      thesis_fields.insert(rng.Below(f));
+      while (thesis_fields.size() <
+             std::min(params.fields_per_thesis, static_cast<size_t>(f))) {
+        thesis_fields.insert(rng.Below(f));
+      }
+      size_t thesis_field = *thesis_fields.begin();
+      if (p > 0) {
+        db.AddTuple("super", {prof(supervisor), student(i), th});
+        // Make the supervisor an expert in the thesis field too, and
+        // re-close (one supervisor at a time keeps this cheap).
+        if (expertise[supervisor].insert(thesis_field).second) {
+          db.AddTuple("expert", {prof(supervisor), field_sym(thesis_field)});
+          // Propagate to professors that work with the supervisor
+          // (transitively).
+          std::vector<size_t> queue{supervisor};
+          while (!queue.empty()) {
+            size_t current = queue.back();
+            queue.pop_back();
+            for (size_t other = 0; other < p; ++other) {
+              bool collaborates = false;
+              for (size_t partner : works_with[other]) {
+                if (partner == current) collaborates = true;
+              }
+              if (collaborates &&
+                  expertise[other].insert(thesis_field).second) {
+                db.AddTuple("expert", {prof(other), field_sym(thesis_field)});
+                queue.push_back(other);
+              }
+            }
+          }
+        }
+      }
+      for (size_t extra_field : thesis_fields) {
+        db.AddTuple("field", {th, field_sym(extra_field)});
+      }
+
+      // Payments: high payments only to doctoral students (ic2).
+      bool high = doctoral[i] && rng.NextDouble() <
+                                     params.high_payment_fraction /
+                                         (params.doctoral_fraction > 0
+                                              ? params.doctoral_fraction
+                                              : 1.0);
+      int64_t amount = high
+                           ? 10001 + static_cast<int64_t>(rng.Below(20000))
+                           : 1000 + static_cast<int64_t>(rng.Below(9000));
+      db.AddTuple("pays",
+                  {Term::Int(amount), grant(rng.Below(p + 1)), student(i), th});
+    }
+  }
+  return db;
+}
+
+}  // namespace semopt

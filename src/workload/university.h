@@ -1,0 +1,48 @@
+#ifndef SEMOPT_WORKLOAD_UNIVERSITY_H_
+#define SEMOPT_WORKLOAD_UNIVERSITY_H_
+
+#include <cstdint>
+
+#include "ast/program.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Parameters of the university workload (paper Examples 3.2 / 4.2).
+struct UniversityParams {
+  size_t num_professors = 100;
+  size_t num_students = 200;
+  size_t num_fields = 10;
+  size_t num_theses_per_student = 1;
+  /// Fields per thesis (interdisciplinary theses raise the fan-out of
+  /// the expert/field join the optimizer can eliminate).
+  size_t fields_per_thesis = 1;
+  /// Expected number of works_with collaborators per professor.
+  double collaborations_per_professor = 3.0;
+  /// Professors are partitioned into this many departments;
+  /// collaboration edges stay within a department, so bound queries
+  /// touch only one partition (exercises magic sets, bench E6).
+  size_t num_departments = 1;
+  /// Fraction of students that are doctoral.
+  double doctoral_fraction = 0.3;
+  /// Fraction of payments above the 10,000 threshold of ic2 (all such
+  /// payments go to doctoral students so the IC holds).
+  double high_payment_fraction = 0.4;
+  uint64_t seed = 1;
+};
+
+/// The program of Examples 3.2 / 4.2: the recursive `eval` predicate,
+/// the `eval_support` query rule, and the two ICs
+///   ic1: works_with(P2,P1), expert(P1,F1) -> expert(P2,F1).
+///   ic2: pays(M,G,S,T), M > 10000 -> doctoral(S).
+Result<Program> UniversityProgram();
+
+/// Generates an EDB satisfying the ICs by construction: `expert` is
+/// closed under works_with propagation (ic1), and every payment above
+/// 10,000 goes to a doctoral student (ic2).
+Database GenerateUniversityDb(const UniversityParams& params);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_WORKLOAD_UNIVERSITY_H_

@@ -1,0 +1,235 @@
+#include "analysis/dependency_graph.h"
+#include "analysis/recursion.h"
+#include "analysis/rectify.h"
+#include "analysis/safety.h"
+#include "analysis/stratify.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParse;
+using testing_util::MustParseRule;
+
+PredicateId Pred(const char* name, uint32_t arity) {
+  return PredicateId{InternSymbol(name), arity};
+}
+
+TEST(DependencyGraphTest, EdgesAndReachability) {
+  Program p = MustParse(R"(
+    a(X) :- b(X), c(X).
+    b(X) :- d(X).
+  )");
+  DependencyGraph g = DependencyGraph::Build(p);
+  EXPECT_TRUE(g.Reaches(Pred("a", 1), Pred("d", 1)));
+  EXPECT_TRUE(g.Reaches(Pred("a", 1), Pred("a", 1)));  // reflexive
+  EXPECT_FALSE(g.Reaches(Pred("d", 1), Pred("a", 1)));
+  EXPECT_EQ(g.ReachableFrom(Pred("a", 1)).size(), 4u);
+}
+
+TEST(DependencyGraphTest, SccsInEvaluationOrder) {
+  Program p = MustParse(R"(
+    p(X) :- e(X).
+    p(X) :- p(Y), f(Y, X).
+    q(X) :- p(X).
+  )");
+  DependencyGraph g = DependencyGraph::Build(p);
+  auto sccs = g.Sccs();
+  // Callees must appear before callers.
+  std::map<PredicateId, size_t> position;
+  for (size_t i = 0; i < sccs.size(); ++i) {
+    for (const PredicateId& pred : sccs[i]) position[pred] = i;
+  }
+  EXPECT_LT(position[Pred("p", 1)], position[Pred("q", 1)]);
+  EXPECT_LT(position[Pred("e", 1)], position[Pred("p", 1)]);
+  EXPECT_TRUE(g.IsRecursive(Pred("p", 1)));
+  EXPECT_FALSE(g.IsRecursive(Pred("q", 1)));
+}
+
+TEST(DependencyGraphTest, MutualRecursionSingleScc) {
+  Program p = MustParse(R"(
+    even(X) :- zero(X).
+    even(X) :- succ(Y, X), odd(Y).
+    odd(X) :- succ(Y, X), even(X).
+  )");
+  DependencyGraph g = DependencyGraph::Build(p);
+  EXPECT_TRUE(g.IsRecursive(Pred("even", 1)));
+  EXPECT_TRUE(g.IsRecursive(Pred("odd", 1)));
+  for (const auto& scc : g.Sccs()) {
+    if (scc.size() > 1) {
+      EXPECT_EQ(scc.size(), 2u);
+      return;
+    }
+  }
+  FAIL() << "expected a 2-element SCC";
+}
+
+TEST(RecursionTest, ClassifiesLinearAndNonLinear) {
+  Program linear = MustParse(R"(
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), par(Z, Y).
+  )");
+  RecursionAnalysis a = AnalyzeRecursion(linear);
+  EXPECT_TRUE(a.has_recursion);
+  EXPECT_TRUE(a.all_linear);
+  EXPECT_FALSE(a.has_mutual_recursion);
+  EXPECT_EQ(a.recursive_predicates.count(Pred("anc", 2)), 1u);
+
+  Program nonlinear = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), t(Z, Y).
+  )");
+  EXPECT_FALSE(AnalyzeRecursion(nonlinear).all_linear);
+}
+
+TEST(RecursionTest, ValidatePaperAssumptions) {
+  Program good = MustParse(R"(
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), par(Z, Y).
+    ic: par(X, Y), par(Y, Z) -> grand(X, Z).
+  )");
+  EXPECT_TRUE(ValidatePaperAssumptions(good).ok());
+
+  // Not range restricted.
+  Program bad_range = MustParse("p(X, Y) :- q(X).");
+  EXPECT_FALSE(ValidatePaperAssumptions(bad_range).ok());
+
+  // Disconnected rule body.
+  Program disconnected = MustParse("p(X, Y) :- q(X), r(Y).");
+  EXPECT_FALSE(ValidatePaperAssumptions(disconnected).ok());
+
+  // Non-linear.
+  Program nonlinear = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), t(Z, Y).
+  )");
+  EXPECT_FALSE(ValidatePaperAssumptions(nonlinear).ok());
+
+  // IC over IDB predicate.
+  Program idb_ic = MustParse(R"(
+    p(X) :- q(X).
+    ic: p(X) -> q(X).
+  )");
+  EXPECT_FALSE(ValidatePaperAssumptions(idb_ic).ok());
+}
+
+TEST(SafetyTest, RangeRestriction) {
+  EXPECT_TRUE(CheckRangeRestricted(MustParseRule("p(X) :- q(X)")).ok());
+  EXPECT_FALSE(CheckRangeRestricted(MustParseRule("p(X, Y) :- q(X)")).ok());
+  // Constants in heads are fine.
+  EXPECT_TRUE(CheckRangeRestricted(MustParseRule("p(a, X) :- q(X)")).ok());
+}
+
+TEST(SafetyTest, BoundednessThroughEqualities) {
+  EXPECT_TRUE(CheckSafe(MustParseRule("p(X, Y) :- q(X), Y = X")).ok());
+  EXPECT_TRUE(CheckSafe(MustParseRule("p(X, Y) :- q(X), Y = 5")).ok());
+  // A chain of equalities.
+  EXPECT_TRUE(
+      CheckSafe(MustParseRule("p(X, Y) :- q(X), Z = X, Y = Z")).ok());
+  // Unbound via inequality only.
+  EXPECT_FALSE(CheckSafe(MustParseRule("p(X, Y) :- q(X), Y > X")).ok());
+  // Negation does not bind.
+  EXPECT_FALSE(CheckSafe(MustParseRule("p(X) :- not q(X), r(a)")).ok());
+}
+
+TEST(SafetyTest, Connectivity) {
+  EXPECT_TRUE(IsConnected(MustParseRule("p(X) :- q(X)")));
+  EXPECT_TRUE(IsConnected(MustParseRule("p(X) :- q(X, Y), r(Y, Z), s(Z)")));
+  EXPECT_FALSE(IsConnected(MustParseRule("p(X, Y) :- q(X), r(Y)")));
+  // Connected through a comparison literal.
+  EXPECT_TRUE(IsConnected(MustParseRule("p(X, Y) :- q(X), X < Y, r(Y)")));
+  // Single subgoal is trivially connected.
+  EXPECT_TRUE(IsConnected(MustParseRule("p(X) :- q(X, X)")));
+}
+
+TEST(RectifyTest, DetectsRectifiedPrograms) {
+  EXPECT_TRUE(IsRectified(MustParse(R"(
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), par(Z, Y).
+  )")));
+  // Heads differ across rules of the same predicate.
+  EXPECT_FALSE(IsRectified(MustParse(R"(
+    p(X, Y) :- q(X, Y).
+    p(A, B) :- r(A, B).
+  )")));
+  // Constant in head.
+  EXPECT_FALSE(IsRectified(MustParse("p(a, X) :- q(X).")));
+  // Repeated head variable.
+  EXPECT_FALSE(IsRectified(MustParse("p(X, X) :- q(X).")));
+}
+
+TEST(RectifyTest, RewritesToCanonicalHeads) {
+  Program p = MustParse(R"(
+    p(X, Y) :- q(X, Y).
+    p(A, B) :- r(A, B).
+    p(c, W) :- s(W).
+    p(U, U) :- t(U).
+  )");
+  Result<Program> rect = Rectify(p);
+  ASSERT_TRUE(rect.ok()) << rect.status();
+  EXPECT_TRUE(IsRectified(*rect));
+  EXPECT_EQ(rect->rules().size(), 4u);
+  // All heads identical.
+  for (const Rule& r : rect->rules()) {
+    EXPECT_EQ(r.head(), rect->rules()[0].head());
+  }
+  // Equivalence: same fixpoint on a sample EDB.
+  Database edb = testing_util::MustParseFacts(R"(
+    q(1, 2). r(3, 4). s(5). t(6).
+  )");
+  Database original = testing_util::MustEvaluate(p, edb);
+  Database rectified = testing_util::MustEvaluate(*rect, edb);
+  EXPECT_TRUE(original.SameFactsAs(rectified))
+      << "original:\n" << original.ToString()
+      << "rectified:\n" << rectified.ToString();
+}
+
+TEST(RectifyTest, PreservesRecursiveEquivalence) {
+  Program p = MustParse(R"(
+    t(X, X) :- n(X).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Result<Program> rect = Rectify(p);
+  ASSERT_TRUE(rect.ok());
+  EXPECT_TRUE(IsRectified(*rect));
+  Database edb = testing_util::MustParseFacts(R"(
+    n(a). n(b). e(a, b). e(b, c). e(c, a).
+  )");
+  Database original = testing_util::MustEvaluate(p, edb);
+  Database rectified = testing_util::MustEvaluate(*rect, edb);
+  EXPECT_TRUE(original.SameFactsAs(rectified));
+}
+
+TEST(StratifyTest, PositiveProgramsSingleStratum) {
+  Program p = MustParse(R"(
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- anc(X, Z), par(Z, Y).
+  )");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->strata.size(), 1u);
+}
+
+TEST(StratifyTest, NegationRaisesStratum) {
+  Program p = MustParse(R"(
+    reach(X) :- source(X).
+    reach(Y) :- reach(X), e(X, Y).
+    unreached(X) :- node(X), not reach(X).
+  )");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->stratum_of[Pred("reach", 1)], 0);
+  EXPECT_EQ(s->stratum_of[Pred("unreached", 1)], 1);
+}
+
+TEST(StratifyTest, RejectsNegationThroughRecursion) {
+  Program p = MustParse(R"(
+    win(X) :- move(X, Y), not win(Y).
+  )");
+  EXPECT_FALSE(Stratify(p).ok());
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,285 @@
+#include "ast/atom.h"
+#include "ast/program.h"
+#include "ast/rename.h"
+#include "ast/rule.h"
+#include "ast/substitution.h"
+#include "ast/term.h"
+#include "ast/unify.h"
+#include "parser/parser.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParse;
+using testing_util::MustParseRule;
+
+TEST(TermTest, KindsAndAccessors) {
+  Term v = Term::Var("X");
+  Term i = Term::Int(-7);
+  Term s = Term::Sym("alice");
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_FALSE(v.IsConstant());
+  EXPECT_TRUE(i.IsConstant());
+  EXPECT_EQ(i.int_value(), -7);
+  EXPECT_TRUE(s.IsConstant());
+  EXPECT_EQ(s.name(), "alice");
+  EXPECT_EQ(v.ToString(), "X");
+  EXPECT_EQ(i.ToString(), "-7");
+  EXPECT_EQ(s.ToString(), "alice");
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  // A variable and a symbol with the same interned name are different.
+  EXPECT_NE(Term::Var("x"), Term::Sym("x"));
+  EXPECT_EQ(Term::Var("X"), Term::Var("X"));
+  EXPECT_NE(Term::Int(1), Term::Sym("1"));
+  EXPECT_NE(Term::Var("X").Hash(), Term::Sym("X").Hash());
+}
+
+
+TEST(TermTest, NonIdentifierSymbolsPrintQuoted) {
+  EXPECT_EQ(Term::Sym("hello world").ToString(), "'hello world'");
+  EXPECT_EQ(Term::Sym("Upper").ToString(), "'Upper'");
+  EXPECT_EQ(Term::Sym("").ToString(), "''");
+  EXPECT_EQ(Term::Sym("plain_sym9").ToString(), "plain_sym9");
+  // Round trip through the parser.
+  Result<Atom> atom = ParseAtom(Atom("p", {Term::Sym("hello world")}).ToString());
+  ASSERT_TRUE(atom.ok()) << atom.status();
+  EXPECT_EQ(atom->arg(0), Term::Sym("hello world"));
+}
+
+TEST(TermTest, TotalOrder) {
+  Term a = Term::Var("A");
+  Term b = Term::Int(5);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(AtomTest, BasicsAndPrinting) {
+  Atom atom("edge", {Term::Var("X"), Term::Sym("a")});
+  EXPECT_EQ(atom.arity(), 2u);
+  EXPECT_EQ(atom.ToString(), "edge(X, a)");
+  EXPECT_EQ(atom.pred_id().ToString(), "edge/2");
+  Atom zero("flag", {});
+  EXPECT_EQ(zero.ToString(), "flag");
+}
+
+TEST(AtomTest, PredicatesDifferByArity) {
+  Atom unary("p", {Term::Int(1)});
+  Atom binary("p", {Term::Int(1), Term::Int(2)});
+  EXPECT_NE(unary.pred_id(), binary.pred_id());
+}
+
+TEST(LiteralTest, ComparisonPrintingAndNegation) {
+  Literal cmp = Literal::Comparison(Term::Var("X"), ComparisonOp::kGt,
+                                    Term::Int(100));
+  EXPECT_EQ(cmp.ToString(), "X > 100");
+  Literal neg = cmp.Negated();
+  EXPECT_EQ(neg.ToString(), "not X > 100");
+  EXPECT_EQ(neg.Simplify().ToString(), "X <= 100");
+  EXPECT_EQ(neg.Negated(), cmp);
+}
+
+TEST(LiteralTest, NegatedRelational) {
+  Literal lit = Literal::NegatedRelational(Atom("doctoral", {Term::Var("S")}));
+  EXPECT_TRUE(lit.negated());
+  EXPECT_EQ(lit.ToString(), "not doctoral(S)");
+  // Simplify only folds comparisons.
+  EXPECT_EQ(lit.Simplify(), lit);
+}
+
+TEST(ComparisonOpTest, SwapAndNegateAreInvolutionsWhereExpected) {
+  for (ComparisonOp op :
+       {ComparisonOp::kEq, ComparisonOp::kNe, ComparisonOp::kLt,
+        ComparisonOp::kLe, ComparisonOp::kGt, ComparisonOp::kGe}) {
+    EXPECT_EQ(SwapComparison(SwapComparison(op)), op);
+    EXPECT_EQ(NegateComparison(NegateComparison(op)), op);
+  }
+  EXPECT_EQ(SwapComparison(ComparisonOp::kLt), ComparisonOp::kGt);
+  EXPECT_EQ(NegateComparison(ComparisonOp::kLe), ComparisonOp::kGt);
+}
+
+TEST(RuleTest, PrintingAndBodyQueries) {
+  Rule rule = MustParseRule(
+      "r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T)");
+  EXPECT_EQ(rule.label(), "r1");
+  EXPECT_TRUE(rule.BodyUses(PredicateId{InternSymbol("eval"), 3}));
+  EXPECT_EQ(rule.CountBodyUses(PredicateId{InternSymbol("eval"), 3}), 1);
+  EXPECT_FALSE(rule.BodyUses(PredicateId{InternSymbol("expert"), 2}));
+  EXPECT_EQ(rule.RelationalBodyAtoms().size(), 2u);
+  EXPECT_EQ(rule.ToString(),
+            "r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T).");
+}
+
+TEST(RuleTest, FactRule) {
+  Rule fact = MustParseRule("par(adam, 930, seth, 800).");
+  EXPECT_TRUE(fact.IsFact());
+  EXPECT_EQ(fact.ToString(), "par(adam, 930, seth, 800).");
+}
+
+TEST(ConstraintTest, DatabaseAndEvaluableBodySplit) {
+  Constraint ic = testing_util::MustParseConstraint(
+      "ic2: pays(M, G, S, T), M > 10000 -> doctoral(S)");
+  EXPECT_EQ(ic.DatabaseBody().size(), 1u);
+  EXPECT_EQ(ic.EvaluableBody().size(), 1u);
+  ASSERT_TRUE(ic.head().has_value());
+  EXPECT_EQ(ic.head()->ToString(), "doctoral(S)");
+}
+
+TEST(ConstraintTest, DenialHasNoHead) {
+  Constraint ic = testing_util::MustParseConstraint(
+      "Ya <= 50, par(Z, Za, Y, Ya) -> .");
+  EXPECT_FALSE(ic.head().has_value());
+  EXPECT_EQ(ic.DatabaseBody().size(), 1u);
+}
+
+TEST(ProgramTest, IdbEdbPartition) {
+  Program p = MustParse(R"(
+    r0: anc(X, Y) :- par(X, Y).
+    r1: anc(X, Y) :- anc(X, Z), par(Z, Y).
+  )");
+  auto idb = p.IdbPredicates();
+  auto edb = p.EdbPredicates();
+  EXPECT_EQ(idb.size(), 1u);
+  EXPECT_EQ(edb.size(), 1u);
+  EXPECT_EQ(idb.begin()->ToString(), "anc/2");
+  EXPECT_EQ(edb.begin()->ToString(), "par/2");
+}
+
+TEST(ProgramTest, RulesForAndLabels) {
+  Program p = MustParse(R"(
+    a: p(X) :- e(X).
+    p(X) :- p(Y), f(Y, X).
+    q(X) :- p(X).
+  )");
+  p.AutoLabelRules();
+  EXPECT_EQ(p.RulesFor(PredicateId{InternSymbol("p"), 1}).size(), 2u);
+  EXPECT_NE(p.FindRuleByLabel("a"), nullptr);
+  // Auto labels do not collide with existing ones.
+  EXPECT_FALSE(p.rules()[1].label().empty());
+  EXPECT_NE(p.rules()[1].label(), "a");
+  EXPECT_NE(p.rules()[1].label(), p.rules()[2].label());
+}
+
+TEST(SubstitutionTest, BindWalkApply) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind(InternSymbol("X"), Term::Var("Y")));
+  EXPECT_TRUE(s.Bind(InternSymbol("Y"), Term::Sym("a")));
+  EXPECT_EQ(s.Walk(Term::Var("X")), Term::Sym("a"));
+  EXPECT_EQ(s.Apply(Term::Var("Z")), Term::Var("Z"));
+  // Rebinding to a consistent value is fine; conflicting value is not.
+  EXPECT_TRUE(s.Bind(InternSymbol("X"), Term::Sym("a")));
+  EXPECT_FALSE(s.Bind(InternSymbol("X"), Term::Sym("b")));
+}
+
+TEST(SubstitutionTest, SelfBindingIsNoop) {
+  Substitution s;
+  EXPECT_TRUE(s.Bind(InternSymbol("X"), Term::Var("X")));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SubstitutionTest, ApplyToRule) {
+  Substitution s;
+  s.Bind(InternSymbol("X"), Term::Sym("a"));
+  Rule r = MustParseRule("p(X, Y) :- q(X, Y), X != Y");
+  Rule applied = s.Apply(r);
+  EXPECT_EQ(applied.ToString(), "p(a, Y) :- q(a, Y), a != Y.");
+}
+
+TEST(SubstitutionTest, ToStringSorted) {
+  Substitution s;
+  s.Bind(InternSymbol("B"), Term::Int(2));
+  s.Bind(InternSymbol("A"), Term::Int(1));
+  EXPECT_EQ(s.ToString(), "{A/1, B/2}");
+}
+
+TEST(UnifyTest, BasicUnification) {
+  Substitution s;
+  Atom a("p", {Term::Var("X"), Term::Sym("a")});
+  Atom b("p", {Term::Sym("b"), Term::Var("Y")});
+  ASSERT_TRUE(UnifyAtoms(a, b, &s));
+  EXPECT_EQ(s.Walk(Term::Var("X")), Term::Sym("b"));
+  EXPECT_EQ(s.Walk(Term::Var("Y")), Term::Sym("a"));
+}
+
+TEST(UnifyTest, FailsOnConstantClash) {
+  Substitution s;
+  EXPECT_FALSE(UnifyAtoms(Atom("p", {Term::Sym("a")}),
+                          Atom("p", {Term::Sym("b")}), &s));
+  EXPECT_FALSE(UnifyAtoms(Atom("p", {Term::Var("X")}),
+                          Atom("q", {Term::Var("X")}), &s));
+}
+
+TEST(UnifyTest, SharedVariableChains) {
+  Substitution s;
+  Atom a("p", {Term::Var("X"), Term::Var("X")});
+  Atom b("p", {Term::Var("Y"), Term::Sym("c")});
+  ASSERT_TRUE(UnifyAtoms(a, b, &s));
+  EXPECT_EQ(s.Walk(Term::Var("X")), Term::Sym("c"));
+  EXPECT_EQ(s.Walk(Term::Var("Y")), Term::Sym("c"));
+}
+
+TEST(MatchTest, OneWayMatchingDoesNotBindTarget) {
+  // Pattern variables bind; target variables act as constants.
+  Substitution s;
+  Atom pattern("p", {Term::Var("V"), Term::Var("V")});
+  Atom target("p", {Term::Var("X"), Term::Var("Y")});
+  // V cannot equal both X and Y.
+  EXPECT_FALSE(MatchAtom(pattern, target, &s));
+  Substitution s2;
+  Atom target2("p", {Term::Var("X"), Term::Var("X")});
+  EXPECT_TRUE(MatchAtom(pattern, target2, &s2));
+  EXPECT_EQ(s2.Walk(Term::Var("V")), Term::Var("X"));
+}
+
+TEST(MatchTest, FrozenVariablesActAsConstants) {
+  std::set<SymbolId> frozen{InternSymbol("X")};
+  Substitution s;
+  // X is frozen: it cannot be bound to a different term.
+  EXPECT_FALSE(MatchAtomFrozen(Atom("p", {Term::Var("X")}),
+                               Atom("p", {Term::Sym("a")}), frozen, &s));
+  Substitution s2;
+  EXPECT_TRUE(MatchAtomFrozen(Atom("p", {Term::Var("X")}),
+                              Atom("p", {Term::Var("X")}), frozen, &s2));
+  Substitution s3;
+  EXPECT_TRUE(MatchAtomFrozen(Atom("p", {Term::Var("V")}),
+                              Atom("p", {Term::Sym("a")}), frozen, &s3));
+}
+
+TEST(RenameTest, CollectVariablesInOrder) {
+  Rule r = MustParseRule("p(X, Y) :- q(Y, Z), r(X, W)");
+  std::vector<SymbolId> vars = CollectVariables(r);
+  ASSERT_EQ(vars.size(), 4u);
+  EXPECT_EQ(SymbolName(vars[0]), "X");
+  EXPECT_EQ(SymbolName(vars[1]), "Y");
+  EXPECT_EQ(SymbolName(vars[2]), "Z");
+  EXPECT_EQ(SymbolName(vars[3]), "W");
+}
+
+TEST(RenameTest, RenameApartProducesVariant) {
+  FreshVariableGenerator gen;
+  Rule r = MustParseRule("p(X) :- q(X, Y)");
+  Rule renamed = RenameApart(r, &gen);
+  EXPECT_NE(r, renamed);
+  // Same structure: unifiable heads, same predicates.
+  Substitution s;
+  EXPECT_TRUE(UnifyAtoms(r.head(), renamed.head(), &s));
+  // Fresh names contain '$'.
+  for (SymbolId v : CollectVariables(renamed)) {
+    EXPECT_NE(SymbolName(v).find('$'), std::string::npos);
+  }
+}
+
+TEST(RenameTest, GeneratorNeverRepeats) {
+  FreshVariableGenerator gen("T");
+  std::set<Term> seen;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(seen.insert(gen.Fresh()).second);
+  }
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,387 @@
+#include "eval/builtins.h"
+#include "eval/constraint_check.h"
+#include "eval/fixpoint.h"
+#include "eval/query.h"
+#include "eval/rule_executor.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+#include "util/hash_util.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustEvaluate;
+using testing_util::MustParse;
+using testing_util::MustParseConstraint;
+using testing_util::MustParseFacts;
+using testing_util::MustParseRule;
+using testing_util::RelationRows;
+using testing_util::RelationSize;
+
+TEST(BuiltinsTest, CompareValues) {
+  EXPECT_LT(CompareValues(Term::Int(1), Term::Int(2)), 0);
+  EXPECT_EQ(CompareValues(Term::Int(5), Term::Int(5)), 0);
+  EXPECT_LT(CompareValues(Term::Sym("abc"), Term::Sym("abd")), 0);
+  // Integers sort before symbols.
+  EXPECT_LT(CompareValues(Term::Int(999), Term::Sym("a")), 0);
+}
+
+TEST(BuiltinsTest, EvalComparisonAllOps) {
+  EXPECT_TRUE(EvalComparisonOp(Term::Int(1), ComparisonOp::kLt, Term::Int(2)));
+  EXPECT_TRUE(EvalComparisonOp(Term::Int(2), ComparisonOp::kLe, Term::Int(2)));
+  EXPECT_TRUE(EvalComparisonOp(Term::Int(3), ComparisonOp::kGt, Term::Int(2)));
+  EXPECT_TRUE(EvalComparisonOp(Term::Int(2), ComparisonOp::kGe, Term::Int(2)));
+  EXPECT_TRUE(EvalComparisonOp(Term::Sym("a"), ComparisonOp::kEq, Term::Sym("a")));
+  EXPECT_TRUE(EvalComparisonOp(Term::Sym("a"), ComparisonOp::kNe, Term::Sym("b")));
+}
+
+TEST(BuiltinsTest, EvalComparisonLiteral) {
+  Result<bool> t = EvalComparison(
+      Literal::Comparison(Term::Int(3), ComparisonOp::kGt, Term::Int(1)));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t);
+  Result<bool> negated = EvalComparison(
+      Literal::NegatedComparison(Term::Int(3), ComparisonOp::kGt, Term::Int(1)));
+  ASSERT_TRUE(negated.ok());
+  EXPECT_FALSE(*negated);
+  EXPECT_FALSE(EvalComparison(Literal::Comparison(Term::Var("X"),
+                                                  ComparisonOp::kEq,
+                                                  Term::Int(1)))
+                   .ok());
+  EXPECT_FALSE(
+      EvalComparison(Literal::Relational(Atom("p", {}))).ok());
+}
+
+// A RelationSource over a single database, for executor tests.
+class DbSource : public RelationSource {
+ public:
+  explicit DbSource(const Database* db) : db_(db) {}
+  const Relation* Full(const PredicateId& pred) const override {
+    return db_->Find(pred);
+  }
+  const Relation* Delta(const PredicateId&) const override { return nullptr; }
+
+ private:
+  const Database* db_;
+};
+
+std::vector<std::string> RunRule(const Rule& rule, const Database& db) {
+  Result<RuleExecutor> exec = RuleExecutor::Create(rule);
+  EXPECT_TRUE(exec.ok()) << exec.status();
+  std::vector<std::string> out;
+  if (!exec.ok()) return out;
+  DbSource source(&db);
+  exec->Execute(source, -1,
+                [&](const Tuple& t) { out.push_back(TupleToString(t)); },
+                nullptr);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TEST(RuleExecutorTest, SimpleJoin) {
+  Database db = MustParseFacts("e(a, b). e(b, c). e(c, d).");
+  Rule rule = MustParseRule("path2(X, Z) :- e(X, Y), e(Y, Z)");
+  EXPECT_EQ(RunRule(rule, db),
+            (std::vector<std::string>{"(a, c)", "(b, d)"}));
+}
+
+TEST(RuleExecutorTest, ComparisonsFilterAndBind) {
+  Database db = MustParseFacts("n(1). n(2). n(3). n(4).");
+  EXPECT_EQ(RunRule(MustParseRule("big(X) :- n(X), X > 2"), db),
+            (std::vector<std::string>{"(3)", "(4)"}));
+  EXPECT_EQ(RunRule(MustParseRule("pair(X, Y) :- n(X), Y = X, Y < 2"), db),
+            (std::vector<std::string>{"(1, 1)"}));
+}
+
+TEST(RuleExecutorTest, ConstantsInBodyProbe) {
+  Database db = MustParseFacts("e(a, b). e(a, c). e(b, c).");
+  EXPECT_EQ(RunRule(MustParseRule("from_a(Y) :- e(a, Y)"), db),
+            (std::vector<std::string>{"(b)", "(c)"}));
+}
+
+TEST(RuleExecutorTest, RepeatedVariablesInAtom) {
+  Database db = MustParseFacts("e(a, a). e(a, b). e(b, b).");
+  EXPECT_EQ(RunRule(MustParseRule("loop(X) :- e(X, X)"), db),
+            (std::vector<std::string>{"(a)", "(b)"}));
+}
+
+TEST(RuleExecutorTest, NegatedRelationalLiteral) {
+  Database db = MustParseFacts("n(a). n(b). n(c). bad(b).");
+  EXPECT_EQ(RunRule(MustParseRule("good(X) :- n(X), not bad(X)"), db),
+            (std::vector<std::string>{"(a)", "(c)"}));
+}
+
+TEST(RuleExecutorTest, NegationOnMissingRelationMeansEmpty) {
+  Database db = MustParseFacts("n(a).");
+  EXPECT_EQ(RunRule(MustParseRule("good(X) :- n(X), not absent(X)"), db),
+            (std::vector<std::string>{"(a)"}));
+}
+
+TEST(RuleExecutorTest, FactRuleEmitsOnce) {
+  Database db;
+  EXPECT_EQ(RunRule(MustParseRule("unit(a, 1)."), db),
+            (std::vector<std::string>{"(a, 1)"}));
+}
+
+TEST(RuleExecutorTest, HeadConstants) {
+  Database db = MustParseFacts("n(x).");
+  EXPECT_EQ(RunRule(MustParseRule("tagged(k, X) :- n(X)"), db),
+            (std::vector<std::string>{"(k, x)"}));
+}
+
+TEST(RuleExecutorTest, RejectsUnsafeRules) {
+  EXPECT_FALSE(RuleExecutor::Create(MustParseRule("p(X) :- X > 3")).ok());
+  EXPECT_FALSE(
+      RuleExecutor::Create(MustParseRule("p(X) :- not q(X)")).ok());
+  EXPECT_FALSE(
+      RuleExecutor::Create(MustParseRule("p(X, Y) :- q(X)")).ok());
+}
+
+TEST(RuleExecutorTest, PlanPutsFiltersEarly) {
+  // The comparison on X should be evaluated before joining e, i.e. the
+  // plan is [n, X>1 or similar ordering that keeps filters adjacent].
+  Rule rule = MustParseRule("p(X, Y) :- n(X), e(X, Y), X > 1");
+  Result<RuleExecutor> exec = RuleExecutor::Create(rule);
+  ASSERT_TRUE(exec.ok());
+  const std::vector<size_t>& order = exec->plan_order();
+  // X > 1 (index 2) must come right after n(X) (index 0), before e.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(FixpointTest, TransitiveClosure) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Database edb = MustParseFacts("e(a, b). e(b, c). e(c, d).");
+  Database idb = MustEvaluate(p, edb);
+  EXPECT_EQ(RelationSize(idb, "t", 2), 6u);
+  EXPECT_EQ(RelationRows(idb, "t", 2),
+            (std::vector<std::string>{"(a, b)", "(a, c)", "(a, d)", "(b, c)",
+                                      "(b, d)", "(c, d)"}));
+}
+
+TEST(FixpointTest, CyclicGraphTerminates) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Database edb = MustParseFacts("e(a, b). e(b, c). e(c, a).");
+  Database idb = MustEvaluate(p, edb);
+  EXPECT_EQ(RelationSize(idb, "t", 2), 9u);  // complete on {a,b,c}
+}
+
+TEST(FixpointTest, NaiveMatchesSemiNaive) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Database edb = MustParseFacts("e(a, b). e(b, c). e(c, a). e(c, d).");
+  Database naive = MustEvaluate(p, edb, EvalStrategy::kNaive);
+  Database semi = MustEvaluate(p, edb, EvalStrategy::kSemiNaive);
+  EXPECT_TRUE(naive.SameFactsAs(semi));
+}
+
+TEST(FixpointTest, SemiNaiveDoesLessRederivation) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  // A long chain maximizes the naive/semi-naive gap.
+  Database edb;
+  for (int i = 0; i < 30; ++i) {
+    edb.AddTuple("e", {Term::Sym("n" + std::to_string(i)),
+                       Term::Sym("n" + std::to_string(i + 1))});
+  }
+  EvalStats naive_stats, semi_stats;
+  MustEvaluate(p, edb, EvalStrategy::kNaive, &naive_stats);
+  MustEvaluate(p, edb, EvalStrategy::kSemiNaive, &semi_stats);
+  EXPECT_EQ(naive_stats.derived_tuples, semi_stats.derived_tuples);
+  EXPECT_GT(naive_stats.duplicate_tuples, semi_stats.duplicate_tuples);
+}
+
+TEST(FixpointTest, MultiPredicateStrata) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+    reach_d(X) :- t(X, d).
+  )");
+  Database edb = MustParseFacts("e(a, b). e(b, c). e(c, d).");
+  Database idb = MustEvaluate(p, edb);
+  EXPECT_EQ(RelationRows(idb, "reach_d", 1),
+            (std::vector<std::string>{"(a)", "(b)", "(c)"}));
+}
+
+TEST(FixpointTest, StratifiedNegation) {
+  Program p = MustParse(R"(
+    reach(X) :- start(X).
+    reach(Y) :- reach(X), e(X, Y).
+    node(X) :- e(X, Y).
+    node(Y) :- e(X, Y).
+    unreached(X) :- node(X), not reach(X).
+  )");
+  Database edb = MustParseFacts("start(a). e(a, b). e(b, c). e(x, y).");
+  Database idb = MustEvaluate(p, edb);
+  EXPECT_EQ(RelationRows(idb, "unreached", 1),
+            (std::vector<std::string>{"(x)", "(y)"}));
+}
+
+TEST(FixpointTest, RejectsUnstratifiableNegation) {
+  Program p = MustParse("win(X) :- move(X, Y), not win(Y).");
+  Database edb = MustParseFacts("move(a, b).");
+  EXPECT_FALSE(Evaluate(p, edb).ok());
+}
+
+TEST(FixpointTest, MaxIterationsGuard) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Database edb;
+  for (int i = 0; i < 50; ++i) {
+    edb.AddTuple("e", {Term::Sym("n" + std::to_string(i)),
+                       Term::Sym("n" + std::to_string(i + 1))});
+  }
+  EvalOptions options;
+  options.max_iterations = 3;
+  EXPECT_FALSE(Evaluate(p, edb, options).ok());
+}
+
+TEST(FixpointTest, EmptyEdbYieldsEmptyIdb) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Database edb;
+  Database idb = MustEvaluate(p, edb);
+  EXPECT_EQ(RelationSize(idb, "t", 2), 0u);
+}
+
+// Property: naive and semi-naive agree on random graphs.
+class FixpointRandomGraph : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixpointRandomGraph, NaiveEqualsSemiNaive) {
+  SplitMix64 rng(GetParam());
+  Database edb;
+  const int n = 12;
+  for (int i = 0; i < 30; ++i) {
+    edb.AddTuple("e", {Term::Sym("v" + std::to_string(rng.Below(n))),
+                       Term::Sym("v" + std::to_string(rng.Below(n)))});
+  }
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+    s(X, Y) :- e(X, Y).
+    s(X, Y) :- e(X, Z), s(Z, Y).
+  )");
+  Database naive = MustEvaluate(p, edb, EvalStrategy::kNaive);
+  Database semi = MustEvaluate(p, edb, EvalStrategy::kSemiNaive);
+  EXPECT_TRUE(naive.SameFactsAs(semi));
+  // Left- and right-linear transitive closure must agree.
+  EXPECT_EQ(RelationRows(naive, "t", 2), RelationRows(naive, "s", 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixpointRandomGraph,
+                         ::testing::Range(1, 13));
+
+TEST(QueryTest, ProjectionAndFilters) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Database edb = MustParseFacts("e(a, b). e(b, c).");
+  Result<QueryResult> r = AnswerQuery(p, edb, "t(a, Y)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // b and c
+
+  Result<QueryResult> filtered = AnswerQuery(p, edb, "t(X, Y), X != a");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->size(), 1u);  // (b, c)
+}
+
+TEST(QueryTest, ExplicitProjection) {
+  Program p = MustParse("q(X, Y) :- e(X, Y).");
+  Database edb = MustParseFacts("e(a, b). e(a, c).");
+  auto body = ParseLiteralList("q(X, Y)");
+  ASSERT_TRUE(body.ok());
+  Result<QueryResult> r =
+      AnswerQuery(p, edb, *body, {Term::Var("X")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);  // deduplicated projection onto X
+  EXPECT_EQ(r->tuples[0][0], Term::Sym("a"));
+}
+
+TEST(QueryTest, RejectsNonVariableProjection) {
+  Program p = MustParse("q(X) :- e(X).");
+  Database edb;
+  auto body = ParseLiteralList("q(X)");
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(AnswerQuery(p, edb, *body, {Term::Sym("a")}).ok());
+}
+
+TEST(ConstraintCheckTest, SatisfactionWithHead) {
+  Constraint ic = MustParseConstraint(
+      "boss(E, B, R), R = 'executive' -> experienced(B).");
+  Database good = MustParseFacts(
+      "boss(e1, b1, executive). boss(e2, b2, manager). experienced(b1).");
+  Result<bool> sat = Satisfies(good, ic);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+
+  Database bad = MustParseFacts("boss(e1, b1, executive).");
+  Result<bool> unsat = Satisfies(bad, ic);
+  ASSERT_TRUE(unsat.ok());
+  EXPECT_FALSE(*unsat);
+}
+
+TEST(ConstraintCheckTest, DenialConstraint) {
+  Constraint ic = MustParseConstraint("n(X), X > 10 -> .");
+  Database good = MustParseFacts("n(5). n(10).");
+  EXPECT_TRUE(*Satisfies(good, ic));
+  Database bad = MustParseFacts("n(5). n(11).");
+  EXPECT_FALSE(*Satisfies(bad, ic));
+}
+
+TEST(ConstraintCheckTest, ExistentialHeadVariables) {
+  // a(X) -> b(X, Y) means: for every a(X) there exists some b(X, _).
+  Constraint ic = MustParseConstraint("a(X) -> b(X, Y).");
+  Database good = MustParseFacts("a(1). b(1, 7).");
+  EXPECT_TRUE(*Satisfies(good, ic));
+  Database bad = MustParseFacts("a(1). b(2, 7).");
+  EXPECT_FALSE(*Satisfies(bad, ic));
+}
+
+TEST(ConstraintCheckTest, CheckConstraintsCollectsViolations) {
+  std::vector<Constraint> ics{MustParseConstraint("n(X), X > 10 -> ."),
+                              MustParseConstraint("n(X) -> m(X).")};
+  Database db = MustParseFacts("n(11). n(12).");
+  Result<std::vector<ConstraintViolation>> v =
+      CheckConstraints(db, ics, /*max_violations=*/10);
+  ASSERT_TRUE(v.ok());
+  EXPECT_GE(v->size(), 2u);
+}
+
+TEST(ConstraintCheckTest, RepairByDeletionReachesConsistency) {
+  std::vector<Constraint> ics{
+      MustParseConstraint("n(X), X > 10 -> ."),
+      MustParseConstraint("m(X) -> n(X).")};
+  Database db = MustParseFacts("n(5). n(11). m(11). m(5).");
+  Result<size_t> deleted = RepairByDeletion(&db, ics);
+  ASSERT_TRUE(deleted.ok());
+  // n(11) violates the denial; deleting it makes m(11) dangling, which
+  // the second pass removes.
+  EXPECT_EQ(*deleted, 2u);
+  for (const Constraint& ic : ics) {
+    EXPECT_TRUE(*Satisfies(db, ic));
+  }
+  EXPECT_EQ(RelationRows(db, "n", 1), (std::vector<std::string>{"(5)"}));
+  EXPECT_EQ(RelationRows(db, "m", 1), (std::vector<std::string>{"(5)"}));
+}
+
+}  // namespace
+}  // namespace semopt

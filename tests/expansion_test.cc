@@ -1,0 +1,145 @@
+#include "semopt/expansion.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParse;
+
+PredicateId Pred(const char* name, uint32_t arity) {
+  return PredicateId{InternSymbol(name), arity};
+}
+
+Program AncProgram() {
+  return MustParse(R"(
+    r0: anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+    r1: anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+  )");
+}
+
+TEST(ExpansionTest, SingleRuleUnfoldIsTheRuleItself) {
+  Program p = AncProgram();
+  ExpansionSequence seq{{1}};  // r1
+  Result<UnfoldedSequence> u = Unfold(p, seq);
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->rule.body().size(), 2u);
+  EXPECT_TRUE(u->ends_recursive);
+  EXPECT_EQ(u->recursive_args.size(), 1u);
+  // Step/source bookkeeping.
+  EXPECT_EQ(u->source_step, (std::vector<size_t>{0, 0}));
+}
+
+TEST(ExpansionTest, TwoStepUnfoldChainsVariables) {
+  Program p = AncProgram();
+  ExpansionSequence seq{{1, 1}};  // r1 r1
+  Result<UnfoldedSequence> u = Unfold(p, seq);
+  ASSERT_TRUE(u.ok()) << u.status();
+  // body: par(Z,Za,Y,Ya) [step0], par(Z',Za',Z,Za) [step1], anc(...) [step1]
+  ASSERT_EQ(u->rule.body().size(), 3u);
+  EXPECT_EQ(u->source_step, (std::vector<size_t>{0, 1, 1}));
+  EXPECT_TRUE(u->ends_recursive);
+  // The inner par's 3rd/4th args must be the outer recursive call's
+  // Z, Za (variable chaining).
+  const Atom& outer_par = u->rule.body()[0].atom();
+  const Atom& inner_par = u->rule.body()[1].atom();
+  EXPECT_EQ(inner_par.arg(2), Term::Var("Z"));
+  EXPECT_EQ(inner_par.arg(3), Term::Var("Za"));
+  EXPECT_EQ(outer_par.arg(2), Term::Var("Y"));
+  // Head unchanged.
+  EXPECT_EQ(u->rule.head().ToString(), "anc(X, Xa, Y, Ya)");
+}
+
+TEST(ExpansionTest, EndsWithNonRecursiveRule) {
+  Program p = AncProgram();
+  ExpansionSequence seq{{1, 1, 0}};  // r1 r1 r0
+  Result<UnfoldedSequence> u = Unfold(p, seq);
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_FALSE(u->ends_recursive);
+  // Three par atoms, no trailing anc.
+  EXPECT_EQ(u->rule.body().size(), 3u);
+  for (const Literal& lit : u->rule.body()) {
+    EXPECT_EQ(lit.atom().predicate_name(), "par");
+  }
+}
+
+TEST(ExpansionTest, DeterministicUnfolding) {
+  Program p = AncProgram();
+  ExpansionSequence seq{{1, 1, 1}};
+  Result<UnfoldedSequence> a = Unfold(p, seq);
+  Result<UnfoldedSequence> b = Unfold(p, seq);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rule, b->rule);
+}
+
+TEST(ExpansionTest, RejectsNonRecursiveMidSequence) {
+  Program p = AncProgram();
+  ExpansionSequence seq{{0, 1}};  // r0 cannot be expanded further
+  EXPECT_FALSE(Unfold(p, seq).ok());
+}
+
+TEST(ExpansionTest, RejectsEmptyAndMixedSequences) {
+  Program p = MustParse(R"(
+    a(X) :- e(X).
+    b(X) :- f(X).
+  )");
+  EXPECT_FALSE(Unfold(p, ExpansionSequence{{}}).ok());
+  EXPECT_FALSE(Unfold(p, ExpansionSequence{{0, 1}}).ok());
+  EXPECT_FALSE(Unfold(p, ExpansionSequence{{7}}).ok());
+}
+
+TEST(ExpansionTest, RejectsNonLinearRules) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), t(Z, Y).
+  )");
+  EXPECT_FALSE(Unfold(p, ExpansionSequence{{1}}).ok());
+}
+
+TEST(ExpansionTest, PaperExample31Shape) {
+  // Example 3.1: unfolding r0 r0 r0 of the 6-ary program contains three
+  // copies of each of a, b, c, d plus the trailing recursive atom.
+  Program p = MustParse(R"(
+    r0: p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), b(V2, X3),
+        c(V3, V4, X5), d(V5, X6), p(X1, V2, V3, V4, V5, V6).
+    r1: p(X1, X2, X3, X4, X5, X6) :- e(X1, X2, X3, X4, X5, X6).
+  )");
+  Result<UnfoldedSequence> u = Unfold(p, ExpansionSequence{{0, 0, 0}});
+  ASSERT_TRUE(u.ok()) << u.status();
+  std::map<std::string, int> count;
+  for (const Literal& lit : u->rule.body()) {
+    count[lit.atom().predicate_name()]++;
+  }
+  EXPECT_EQ(count["a"], 3);
+  EXPECT_EQ(count["b"], 3);
+  EXPECT_EQ(count["c"], 3);
+  EXPECT_EQ(count["d"], 3);
+  EXPECT_EQ(count["p"], 1);
+  // The first instance is verbatim.
+  EXPECT_EQ(u->rule.body()[0].atom().ToString(), "a(X1, X2, X4)");
+}
+
+TEST(ExpansionTest, EnumerateSequencesCountsAndValidity) {
+  Program p = AncProgram();
+  PredicateId anc = Pred("anc", 4);
+  // Length <= 1: {r0}, {r1}; length 2: r1 r0, r1 r1; length 3: r1 r1 r0,
+  // r1 r1 r1.
+  auto len1 = EnumerateSequences(p, anc, 1);
+  EXPECT_EQ(len1.size(), 2u);
+  auto len3 = EnumerateSequences(p, anc, 3);
+  EXPECT_EQ(len3.size(), 6u);
+  for (const ExpansionSequence& seq : len3) {
+    EXPECT_TRUE(Unfold(p, seq).ok()) << seq.ToString(p);
+  }
+}
+
+TEST(ExpansionTest, SequenceToString) {
+  Program p = AncProgram();
+  ExpansionSequence seq{{1, 1, 0}};
+  EXPECT_EQ(seq.ToString(p), "r1 r1 r0");
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,156 @@
+#include "eval/explain.h"
+
+#include "semopt/optimizer.h"
+#include "shell/shell.h"
+
+#include "eval/fixpoint.h"
+#include "util/string_util.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustEvaluate;
+using testing_util::MustParse;
+using testing_util::MustParseFacts;
+
+Result<Atom> Goal(const char* text) { return ParseAtom(text); }
+
+TEST(ExplainTest, EdbFactIsALeaf) {
+  Program p = MustParse("t(X, Y) :- e(X, Y).");
+  Database edb = MustParseFacts("e(a, b).");
+  Result<ProofNode> proof = ExplainFromScratch(p, edb, *Goal("e(a, b)"));
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_TRUE(proof->rule_label.empty());
+  EXPECT_TRUE(proof->children.empty());
+  EXPECT_EQ(proof->fact.ToString(), "e(a, b)");
+}
+
+TEST(ExplainTest, RecursiveChainProof) {
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Database edb = MustParseFacts("e(a, b). e(b, c). e(c, d).");
+  Result<ProofNode> proof = ExplainFromScratch(p, edb, *Goal("t(a, d)"));
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_EQ(proof->rule_label, "r1");
+  ASSERT_EQ(proof->children.size(), 2u);
+  // Each leaf of the rendered tree is an EDB fact.
+  std::string rendered = proof->ToString();
+  EXPECT_NE(rendered.find("e(a, b)"), std::string::npos);
+  EXPECT_NE(rendered.find("e(b, c)"), std::string::npos);
+  EXPECT_NE(rendered.find("e(c, d)"), std::string::npos);
+  EXPECT_NE(rendered.find("[r0]"), std::string::npos);
+}
+
+TEST(ExplainTest, CyclicDataStillTerminates) {
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  Database edb = MustParseFacts("e(a, b). e(b, a).");
+  // t(a, a) is derivable via the cycle; the path loop-check must not
+  // spin.
+  Result<ProofNode> proof = ExplainFromScratch(p, edb, *Goal("t(a, a)"));
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_EQ(proof->fact.ToString(), "t(a, a)");
+}
+
+TEST(ExplainTest, ComparisonAndNegationLeaves) {
+  Program p = MustParse(R"(
+    ok(X) :- n(X, V), V > 10, not banned(X).
+  )");
+  Database edb = MustParseFacts("n(a, 20). n(b, 5). banned(c). n(c, 30).");
+  Result<ProofNode> proof = ExplainFromScratch(p, edb, *Goal("ok(a)"));
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  ASSERT_EQ(proof->children.size(), 3u);
+  EXPECT_EQ(proof->children[1].fact.ToString(), "20 > 10");
+  EXPECT_EQ(proof->children[2].fact.ToString(), "not banned(a)");
+  // b fails the comparison, c fails the negation.
+  EXPECT_FALSE(ExplainFromScratch(p, edb, *Goal("ok(b)")).ok());
+  EXPECT_FALSE(ExplainFromScratch(p, edb, *Goal("ok(c)")).ok());
+}
+
+TEST(ExplainTest, NotDerivableReportsNotFound) {
+  Program p = MustParse("t(X, Y) :- e(X, Y).");
+  Database edb = MustParseFacts("e(a, b).");
+  Result<ProofNode> missing = ExplainFromScratch(p, edb, *Goal("t(b, a)"));
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  Result<ProofNode> unknown_pred =
+      ExplainFromScratch(p, edb, *Goal("zzz(a)"));
+  EXPECT_FALSE(unknown_pred.ok());
+}
+
+TEST(ExplainTest, RejectsNonGroundGoals) {
+  Program p = MustParse("t(X, Y) :- e(X, Y).");
+  Database edb;
+  Result<Atom> goal = ParseAtom("t(a, Y)");
+  ASSERT_TRUE(goal.ok());
+  EXPECT_EQ(ExplainFromScratch(p, edb, *goal).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExplainTest, ProofsExistForEveryDerivedTuple) {
+  // Property: every tuple the engine derives has a findable proof.
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  SplitMix64 rng(23);
+  Database edb;
+  for (int i = 0; i < 18; ++i) {
+    edb.AddTuple("e", {Term::Sym(StrCat("v", rng.Below(7))),
+                       Term::Sym(StrCat("v", rng.Below(7)))});
+  }
+  Database idb = MustEvaluate(p, edb);
+  const Relation* t = idb.Find(PredicateId{InternSymbol("t"), 2});
+  ASSERT_NE(t, nullptr);
+  for (const Tuple& row : t->rows()) {
+    Atom goal("t", {row[0], row[1]});
+    Result<ProofNode> proof = Explain(p, edb, idb, goal);
+    EXPECT_TRUE(proof.ok()) << goal.ToString() << ": " << proof.status();
+  }
+}
+
+TEST(ExplainTest, ExplainsThroughOptimizedPrograms) {
+  // The transformed program's proofs route through the committed /
+  // chain predicates but still bottom out in EDB facts.
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+  )");
+  Database edb = MustParseFacts(R"(
+    works_with(ann, bob). works_with(bob, carol).
+    expert(ann, db). expert(bob, db). expert(carol, db).
+    field(t1, db). super(carol, dave, t1).
+  )");
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> optimized = optimizer.Optimize(p);
+  ASSERT_TRUE(optimized.ok());
+  Result<ProofNode> proof =
+      ExplainFromScratch(optimized->program, edb, *Goal("eval(ann, dave, t1)"));
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  std::string rendered = proof->ToString();
+  EXPECT_NE(rendered.find("super(carol, dave, t1)"), std::string::npos);
+}
+
+TEST(ShellExplainTest, CommandRendersTree) {
+  Shell shell;
+  shell.Execute("t(X, Y) :- e(X, Y).");
+  shell.Execute("t(X, Y) :- t(X, Z), e(Z, Y).");
+  shell.Execute("e(a, b). e(b, c).");
+  std::string out = shell.Execute(".explain t(a, c)");
+  EXPECT_NE(out.find("t(a, c)"), std::string::npos);
+  EXPECT_NE(out.find("└─"), std::string::npos);
+  EXPECT_NE(shell.Execute(".explain t(zz, zz)").find("NotFound"),
+            std::string::npos);
+  EXPECT_NE(shell.Execute(".explain").find("usage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,136 @@
+// Golden regression tests: the exact transformed programs the
+// optimizer produces for the paper's examples. If a change to the
+// pipeline alters these shapes, the diff shows up here first — update
+// deliberately.
+
+#include "semopt/optimizer.h"
+
+#include "magic/magic_sets.h"
+
+#include "workload/genealogy.h"
+#include "workload/organization.h"
+#include "workload/university.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParse;
+
+std::string OptimizedText(const Program& p, OptimizerOptions options = {}) {
+  SemanticOptimizer optimizer(options);
+  Result<OptimizeResult> result = optimizer.Optimize(p);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? result->program.ToString() : "";
+}
+
+TEST(GoldenTest, Example32UniversityElimination) {
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+  )");
+  EXPECT_EQ(OptimizedText(p),
+            "r0: eval(P, S, T) :- super(P, S, T).\n"
+            "dev1$0: eval(P, S, T) :- works_with(P, P2), expert(P, F), "
+            "field(T, F), eval$q0_1(P2, S, T).\n"
+            "committed$0$elim: eval(P, S, T) :- works_with(P, P2), "
+            "eval$c0_0(S, T, P2).\n"
+            "chain$0_0: eval$c0_0(S, T, P2) :- works_with(P2, P2$4), "
+            "expert(P2, F$5), field(T, F$5), eval(P2$4, S, T).\n"
+            "exit$0$eval$q0_1$r0: eval$q0_1(P, S, T) :- super(P, S, T).\n"
+            "ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).\n");
+}
+
+TEST(GoldenTest, Example32FlatVariant) {
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+  )");
+  OptimizerOptions options;
+  options.factor_committed = false;
+  EXPECT_EQ(OptimizedText(p, options),
+            "r0: eval(P, S, T) :- super(P, S, T).\n"
+            "dev1$0: eval(P, S, T) :- works_with(P, P2), expert(P, F), "
+            "field(T, F), eval$q0_1(P2, S, T).\n"
+            "committed$0$elim: eval(P, S, T) :- works_with(P, P2), "
+            "works_with(P2, P2$4), expert(P2, F$5), field(T, F$5), "
+            "eval(P2$4, S, T).\n"
+            "exit$0$eval$q0_1$r0: eval$q0_1(P, S, T) :- super(P, S, T).\n"
+            "ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).\n");
+}
+
+TEST(GoldenTest, Example43GenealogyPruning) {
+  Result<Program> p = GenealogyProgram();
+  ASSERT_TRUE(p.ok());
+  OptimizerOptions options;
+  options.factor_committed = false;
+  std::string text = OptimizedText(*p, options);
+  // The committed 3-step rule survives only under the negated guard.
+  EXPECT_NE(text.find("committed$0$not1"), std::string::npos) << text;
+  EXPECT_NE(text.find("Ya > 50"), std::string::npos) << text;
+  // Homogeneous sequence: exactly one exit predicate, defined by r0.
+  EXPECT_NE(text.find("anc$q0_1(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya)"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("anc$q0_2"), std::string::npos) << text;
+  // Two deviation depths.
+  EXPECT_NE(text.find("dev1$0"), std::string::npos);
+  EXPECT_NE(text.find("dev2$0"), std::string::npos);
+}
+
+TEST(GoldenTest, Example41OrganizationConditionalElimination) {
+  Result<Program> p = OrganizationProgram();
+  ASSERT_TRUE(p.ok());
+  OptimizerOptions options;
+  options.factor_committed = false;
+  std::string text = OptimizedText(*p, options);
+  // Conditional split: the elimination copy carries R$15 = executive;
+  // the guard copy carries the negation.
+  EXPECT_NE(text.find("committed$0$elim"), std::string::npos) << text;
+  EXPECT_NE(text.find("committed$0$not1"), std::string::npos) << text;
+  EXPECT_NE(text.find("= executive"), std::string::npos) << text;
+  EXPECT_NE(text.find("!= executive"), std::string::npos) << text;
+  // The elimination copy has one fewer `experienced` than the guard
+  // copy (3 vs 4 across the 4-step unfolding).
+  size_t elim_pos = text.find("committed$0$elim");
+  size_t not_pos = text.find("committed$0$not1");
+  ASSERT_NE(elim_pos, std::string::npos);
+  ASSERT_NE(not_pos, std::string::npos);
+  auto count_in_line = [&](size_t from) {
+    size_t end = text.find('\n', from);
+    size_t count = 0;
+    for (size_t at = text.find("experienced", from);
+         at != std::string::npos && at < end;
+         at = text.find("experienced", at + 1)) {
+      ++count;
+    }
+    return count;
+  };
+  EXPECT_EQ(count_in_line(elim_pos), 3u);
+  EXPECT_EQ(count_in_line(not_pos), 4u);
+}
+
+TEST(GoldenTest, MagicRewriteShape) {
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- e(X, Z), t(Z, Y).
+  )");
+  Result<MagicRewrite> rewrite =
+      MagicSets(p, Atom("t", {Term::Sym("a"), Term::Var("Y")}));
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_EQ(rewrite->program.ToString(),
+            "magic_seed: magic$t$bf(a).\n"
+            "r0$bf: t$bf(X, Y) :- magic$t$bf(X), e(X, Y).\n"
+            "magic0: magic$t$bf(Z) :- magic$t$bf(X), e(X, Z).\n"
+            "r1$bf: t$bf(X, Y) :- magic$t$bf(X), e(X, Z), t$bf(Z, Y).\n");
+  EXPECT_EQ(rewrite->answer_pred.ToString(), "t$bf/2");
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,159 @@
+#include "eval/incremental.h"
+
+#include "semopt/optimizer.h"
+
+#include "eval/fixpoint.h"
+#include "util/hash_util.h"
+#include "util/string_util.h"
+#include "workload/university.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustEvaluate;
+using testing_util::MustParse;
+using testing_util::MustParseFacts;
+using testing_util::RelationRows;
+using testing_util::RelationSize;
+
+Program TcProgram() {
+  return MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+}
+
+Atom Edge(const char* a, const char* b) {
+  return Atom("e", {Term::Sym(a), Term::Sym(b)});
+}
+
+TEST(IncrementalTest, PropagatesNewEdgeThroughClosure) {
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(TcProgram(),
+                                   MustParseFacts("e(a, b). e(c, d)."));
+  ASSERT_TRUE(inc.ok()) << inc.status();
+  EXPECT_EQ(RelationSize(inc->idb(), "t", 2), 2u);
+
+  // Connecting b -> c creates four new closure tuples:
+  // (b,c), (a,c), (b,d), (a,d).
+  Result<size_t> added = inc->AddFacts({Edge("b", "c")});
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(*added, 4u);
+  EXPECT_EQ(RelationRows(inc->idb(), "t", 2),
+            (std::vector<std::string>{"(a, b)", "(a, c)", "(a, d)", "(b, c)",
+                                      "(b, d)", "(c, d)"}));
+}
+
+TEST(IncrementalTest, DuplicateAndRedundantFactsAreNoOps) {
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(TcProgram(), MustParseFacts("e(a, b)."));
+  ASSERT_TRUE(inc.ok());
+  Result<size_t> again = inc->AddFacts({Edge("a", "b")});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+  EXPECT_EQ(RelationSize(inc->idb(), "t", 2), 1u);
+}
+
+TEST(IncrementalTest, MultiStrataPropagation) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), e(Z, Y).
+    reach_d(X) :- t(X, d).
+  )");
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(p, MustParseFacts("e(a, b). e(c, d)."));
+  ASSERT_TRUE(inc.ok());
+  EXPECT_EQ(RelationSize(inc->idb(), "reach_d", 1), 1u);  // c
+  ASSERT_TRUE(inc->AddFacts({Edge("b", "c")}).ok());
+  // Now a and b also reach d.
+  EXPECT_EQ(RelationRows(inc->idb(), "reach_d", 1),
+            (std::vector<std::string>{"(a)", "(b)", "(c)"}));
+}
+
+TEST(IncrementalTest, RejectsNegationAndIdbInsertions) {
+  Program negated = MustParse(R"(
+    ok(X) :- n(X), not banned(X).
+  )");
+  EXPECT_EQ(IncrementalEvaluator::Create(negated, Database())
+                .status()
+                .code(),
+            StatusCode::kUnimplemented);
+
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(TcProgram(), Database());
+  ASSERT_TRUE(inc.ok());
+  EXPECT_FALSE(
+      inc->AddFacts({Atom("t", {Term::Sym("a"), Term::Sym("b")})}).ok());
+  EXPECT_FALSE(inc->AddFacts({Atom("e", {Term::Var("X"), Term::Sym("b")})})
+                   .ok());
+}
+
+// Property: incremental maintenance matches recomputation from scratch
+// for random insertion sequences.
+class IncrementalRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalRandom, MatchesRecomputation) {
+  SplitMix64 rng(GetParam() * 811 + 5);
+  Program p = TcProgram();
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(p, Database());
+  ASSERT_TRUE(inc.ok());
+
+  Database reference_edb;
+  for (int batch = 0; batch < 6; ++batch) {
+    std::vector<Atom> facts;
+    size_t batch_size = 1 + rng.Below(4);
+    for (size_t i = 0; i < batch_size; ++i) {
+      Atom fact("e", {Term::Sym(StrCat("v", rng.Below(8))),
+                      Term::Sym(StrCat("v", rng.Below(8)))});
+      facts.push_back(fact);
+      Status st = reference_edb.AddFact(fact);
+      ASSERT_TRUE(st.ok());
+    }
+    ASSERT_TRUE(inc->AddFacts(facts).ok());
+    Database recomputed = MustEvaluate(p, reference_edb);
+    EXPECT_EQ(RelationRows(inc->idb(), "t", 2),
+              RelationRows(recomputed, "t", 2))
+        << "batch " << batch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalRandom, ::testing::Range(1, 13));
+
+TEST(IncrementalTest, WorksWithOptimizedPrograms) {
+  // Incremental maintenance composes with the semantic transformation.
+  Result<Program> p = UniversityProgram();
+  ASSERT_TRUE(p.ok());
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> optimized = optimizer.Optimize(*p);
+  ASSERT_TRUE(optimized.ok());
+
+  UniversityParams params;
+  params.num_professors = 10;
+  params.num_students = 15;
+  params.seed = 31;
+  Database edb = GenerateUniversityDb(params);
+
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(optimized->program, edb.Clone());
+  ASSERT_TRUE(inc.ok()) << inc.status();
+
+  // A new supervision fact ripples through the collaboration closure.
+  Atom super("super", {Term::Sym("prof0"), Term::Sym("new_student"),
+                       Term::Sym("new_thesis")});
+  Atom field("field", {Term::Sym("new_thesis"), Term::Sym("field0")});
+  ASSERT_TRUE(inc->AddFacts({super, field}).ok());
+
+  Database reference_edb = edb.Clone();
+  ASSERT_TRUE(reference_edb.AddFact(super).ok());
+  ASSERT_TRUE(reference_edb.AddFact(field).ok());
+  Database recomputed = MustEvaluate(optimized->program, reference_edb);
+  EXPECT_EQ(RelationRows(inc->idb(), "eval", 3),
+            RelationRows(recomputed, "eval", 3));
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,218 @@
+#include "iqa/knowledge_query.h"
+#include "iqa/reachability.h"
+
+#include "workload/honors.h"
+
+#include "eval/fixpoint.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParse;
+
+PredicateId Pred(const char* name, uint32_t arity) {
+  return PredicateId{InternSymbol(name), arity};
+}
+
+TEST(ReachabilityTest, SymmetricClosure) {
+  Program p = MustParse(R"(
+    honors(S) :- transcript(S, M, C, G).
+    honors(S) :- graduated(S, College), topten(College).
+  )");
+  std::set<PredicateId> reachable =
+      SymmetricReachable(p, Pred("honors", 1));
+  EXPECT_EQ(reachable.count(Pred("graduated", 2)), 1u);
+  EXPECT_EQ(reachable.count(Pred("topten", 1)), 1u);
+  EXPECT_EQ(reachable.count(Pred("transcript", 4)), 1u);
+  EXPECT_EQ(reachable.count(Pred("hobby", 2)), 0u);
+}
+
+TEST(ReachabilityTest, RelevantContextSplit) {
+  Result<Program> p = HonorsProgram();
+  ASSERT_TRUE(p.ok());
+  auto context = ParseLiteralList(
+      "major(Stud, cs), graduated(Stud, College), topten(College), "
+      "hobby(Stud, chess)");
+  ASSERT_TRUE(context.ok());
+  std::vector<Literal> relevant, irrelevant;
+  SplitRelevantContext(*p, Pred("honors", 1), *context, &relevant,
+                       &irrelevant);
+  // graduated and topten are reachable from honors; major and hobby are
+  // not part of the honors definition (paper §5: "the hobby of a
+  // student might have little to do with academic achievement").
+  std::set<std::string> relevant_names, irrelevant_names;
+  for (const Literal& l : relevant) {
+    relevant_names.insert(l.atom().predicate_name());
+  }
+  for (const Literal& l : irrelevant) {
+    irrelevant_names.insert(l.atom().predicate_name());
+  }
+  EXPECT_EQ(relevant_names,
+            (std::set<std::string>{"graduated", "topten"}));
+  EXPECT_EQ(irrelevant_names, (std::set<std::string>{"major", "hobby"}));
+}
+
+TEST(KnowledgeQueryTest, PaperExample51) {
+  Result<Program> p = HonorsProgram();
+  ASSERT_TRUE(p.ok());
+  KnowledgeQuery query;
+  query.describe = Atom("honors", {Term::Var("Stud")});
+  auto context = ParseLiteralList(
+      "major(Stud, cs), graduated(Stud, College), topten(College), "
+      "hobby(Stud, chess)");
+  ASSERT_TRUE(context.ok());
+  query.context = *context;
+
+  Result<DescriptiveAnswer> answer = AnswerKnowledgeQuery(*p, query);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+
+  // Three proof trees: r0, r1 r2, r3.
+  ASSERT_EQ(answer->trees.size(), 3u);
+
+  // Exactly one tree (the graduated/topten one) is fully subsumed by
+  // the context: its residue is the empty conjunction, meaning every
+  // individual matching the context qualifies (paper Example 5.1).
+  int fully = 0;
+  for (const ProofTreeDescription& t : answer->trees) {
+    if (t.fully_subsumed) {
+      ++fully;
+      EXPECT_TRUE(t.residual_conditions.empty());
+    } else {
+      // The other trees' residues are their entire leaf sets.
+      EXPECT_EQ(t.residual_conditions.size(), t.leaves.size());
+    }
+  }
+  EXPECT_EQ(fully, 1);
+
+  std::string summary = answer->Summary();
+  EXPECT_NE(summary.find("every object satisfying the context"),
+            std::string::npos);
+  EXPECT_NE(summary.find("hobby"), std::string::npos);  // ignored context
+}
+
+TEST(KnowledgeQueryTest, PartialSubsumptionLeavesQualifications) {
+  Program p = MustParse(R"(
+    r0: good(S) :- enrolled(S, C), hard(C), passed(S, C).
+  )");
+  KnowledgeQuery query;
+  query.describe = Atom("good", {Term::Var("S")});
+  auto context = ParseLiteralList("enrolled(S, C), hard(C)");
+  ASSERT_TRUE(context.ok());
+  query.context = *context;
+
+  Result<DescriptiveAnswer> answer = AnswerKnowledgeQuery(p, query);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->trees.size(), 1u);
+  const ProofTreeDescription& tree = answer->trees[0];
+  EXPECT_FALSE(tree.fully_subsumed);
+  // Only the passed(...) qualification remains.
+  ASSERT_EQ(tree.residual_conditions.size(), 1u);
+  EXPECT_EQ(tree.residual_conditions[0].atom().predicate_name(), "passed");
+}
+
+TEST(KnowledgeQueryTest, RecursiveDefinitionsAreDepthBounded) {
+  Program p = MustParse(R"(
+    r0: anc(X, Y) :- par(X, Y).
+    r1: anc(X, Y) :- anc(X, Z), par(Z, Y).
+  )");
+  KnowledgeQuery query;
+  query.describe = Atom("anc", {Term::Var("X"), Term::Var("Y")});
+  auto context = ParseLiteralList("par(X, Y)");
+  ASSERT_TRUE(context.ok());
+  query.context = *context;
+  KnowledgeQueryOptions options;
+  options.max_depth = 3;
+  Result<DescriptiveAnswer> answer = AnswerKnowledgeQuery(p, query, options);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->trees.empty());
+  // The single-par tree is fully covered by the context.
+  bool some_full = false;
+  for (const ProofTreeDescription& t : answer->trees) {
+    if (t.fully_subsumed) some_full = true;
+  }
+  EXPECT_TRUE(some_full);
+}
+
+TEST(KnowledgeQueryTest, RejectsUndefinedPredicate) {
+  Program p = MustParse("good(S) :- enrolled(S).");
+  KnowledgeQuery query;
+  query.describe = Atom("unknown", {Term::Var("S")});
+  EXPECT_FALSE(AnswerKnowledgeQuery(p, query).ok());
+}
+
+TEST(KnowledgeQueryTest, EmptyContextDescribesAllDerivations) {
+  Result<Program> p = HonorsProgram();
+  ASSERT_TRUE(p.ok());
+  KnowledgeQuery query;
+  query.describe = Atom("honors", {Term::Var("S")});
+  Result<DescriptiveAnswer> answer = AnswerKnowledgeQuery(*p, query);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->trees.size(), 3u);
+  for (const ProofTreeDescription& t : answer->trees) {
+    EXPECT_FALSE(t.fully_subsumed);
+  }
+}
+
+
+TEST(GroundedAnswerTest, CountsContextAndQualifications) {
+  Result<Program> p = HonorsProgram();
+  ASSERT_TRUE(p.ok());
+  HonorsParams params;
+  params.num_students = 150;
+  params.seed = 21;
+  Database edb = GenerateHonorsDb(params);
+
+  KnowledgeQuery query;
+  query.describe = Atom("honors", {Term::Var("Stud")});
+  auto context = ParseLiteralList(
+      "graduated(Stud, College), topten(College)");
+  ASSERT_TRUE(context.ok());
+  query.context = *context;
+
+  Result<DescriptiveAnswer> answer = AnswerKnowledgeQuery(*p, query);
+  ASSERT_TRUE(answer.ok());
+  Result<GroundedAnswer> grounded =
+      GroundKnowledgeAnswer(*p, edb, query, *answer);
+  ASSERT_TRUE(grounded.ok()) << grounded.status();
+
+  EXPECT_GT(grounded->context_matches, 0u);
+  // The context coincides with rule r3's body, so every
+  // context-matching student is an honors answer.
+  EXPECT_EQ(grounded->answers_in_context, grounded->context_matches);
+  ASSERT_EQ(grounded->trees.size(), 3u);
+  size_t max_qualifying = 0;
+  for (const GroundedTreeAnswer& t : grounded->trees) {
+    EXPECT_LE(t.qualifying, grounded->context_matches);
+    max_qualifying = std::max(max_qualifying, t.qualifying);
+    if (t.fully_subsumed) {
+      EXPECT_EQ(t.qualifying, grounded->context_matches);
+    }
+  }
+  EXPECT_EQ(max_qualifying, grounded->context_matches);
+  std::string summary = grounded->Summary();
+  EXPECT_NE(summary.find("match the context"), std::string::npos);
+}
+
+TEST(GroundedAnswerTest, RejectsDegenerateInputs) {
+  Result<Program> p = HonorsProgram();
+  ASSERT_TRUE(p.ok());
+  Database edb;
+  KnowledgeQuery query;
+  query.describe = Atom("honors", {Term::Sym("alice")});  // no variables
+  DescriptiveAnswer answer;
+  answer.relevant_context.push_back(
+      testing_util::MustParseLiteral("topten(C)"));
+  EXPECT_FALSE(GroundKnowledgeAnswer(*p, edb, query, answer).ok());
+
+  KnowledgeQuery ok_query;
+  ok_query.describe = Atom("honors", {Term::Var("S")});
+  DescriptiveAnswer empty_context;
+  EXPECT_FALSE(
+      GroundKnowledgeAnswer(*p, edb, ok_query, empty_context).ok());
+}
+
+}  // namespace
+}  // namespace semopt

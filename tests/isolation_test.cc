@@ -1,0 +1,217 @@
+#include "semopt/isolation.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+#include "util/hash_util.h"
+#include "util/string_util.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustEvaluate;
+using testing_util::MustParse;
+using testing_util::RelationRows;
+
+Program AncProgram() {
+  return MustParse(R"(
+    r0: anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+    r1: anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+  )");
+}
+
+/// Compares the `pred` relation computed by two programs on `edb`.
+void ExpectSameAnswers(const Program& a, const Program& b,
+                       const Database& edb, const char* pred,
+                       uint32_t arity) {
+  Database ia = MustEvaluate(a, edb);
+  Database ib = MustEvaluate(b, edb);
+  EXPECT_EQ(RelationRows(ia, pred, arity), RelationRows(ib, pred, arity))
+      << "program A:\n" << a.ToString() << "program B:\n" << b.ToString();
+}
+
+Database RandomParDb(uint64_t seed, int people) {
+  SplitMix64 rng(seed);
+  Database edb;
+  for (int i = 1; i < people; ++i) {
+    // Random forest: everyone except the root has one parent with a
+    // smaller id; ages arbitrary.
+    int parent = static_cast<int>(rng.Below(static_cast<uint64_t>(i)));
+    edb.AddTuple("par", {Term::Sym(StrCat("n", i)),
+                         Term::Int(static_cast<int64_t>(rng.Below(100))),
+                         Term::Sym(StrCat("n", parent)),
+                         Term::Int(static_cast<int64_t>(rng.Below(100)))});
+  }
+  return edb;
+}
+
+TEST(IsolationTest, SingleRuleSequenceKeepsProgramShape) {
+  Program p = AncProgram();
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1}}, 0);
+  ASSERT_TRUE(iso.ok()) << iso.status();
+  EXPECT_EQ(iso->k, 1u);
+  EXPECT_EQ(iso->program.rules().size(), p.rules().size());
+  EXPECT_TRUE(iso->q_names.empty());
+  ExpectSameAnswers(p, iso->program, RandomParDb(5, 20), "anc", 4);
+}
+
+TEST(IsolationTest, StructureOfTwoStepIsolation) {
+  Program p = AncProgram();
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1}}, 0);
+  ASSERT_TRUE(iso.ok()) << iso.status();
+  EXPECT_EQ(iso->k, 2u);
+  ASSERT_EQ(iso->q_names.size(), 1u);
+  // Expected rules: r0 (the exit for q_0 = p), the deviation rule for
+  // first-deviation depth 1, the committed 2-step rule, and the exit
+  // rule for q_1 (r0 only, since r1 is the sequence rule at step 1).
+  EXPECT_EQ(iso->program.rules().size(), 4u);
+  ASSERT_EQ(iso->committed_rules.size(), 1u);
+  const Rule& committed =
+      iso->program.rules()[iso->committed_rules[0]];
+  // The committed rule is the full 2-step unfolding: two par atoms and
+  // a trailing recursive anc atom.
+  EXPECT_EQ(committed.body().size(), 3u);
+  EXPECT_EQ(committed.body().back().atom().predicate_name(), "anc");
+  // The deviation rule routes its continuation to q_1.
+  bool deviation_found = false;
+  for (const Rule& rule : iso->program.rules()) {
+    for (const Literal& lit : rule.body()) {
+      if (lit.IsRelational() &&
+          lit.atom().predicate() == iso->q_names[0]) {
+        deviation_found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(deviation_found);
+}
+
+TEST(IsolationTest, HomogeneousSequencesShareOneExit) {
+  Program p = AncProgram();
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  ASSERT_EQ(iso->q_names.size(), 2u);
+  EXPECT_EQ(iso->q_names[0], iso->q_names[1])
+      << "both deviations exclude r1, so they share one exit predicate";
+}
+
+TEST(IsolationTest, Theorem41EquivalenceTwoStep) {
+  Program p = AncProgram();
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  for (uint64_t seed : {1, 2, 3}) {
+    ExpectSameAnswers(p, iso->program, RandomParDb(seed, 25), "anc", 4);
+  }
+}
+
+TEST(IsolationTest, Theorem41EquivalenceThreeStep) {
+  Program p = AncProgram();
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  for (uint64_t seed : {4, 5, 6}) {
+    ExpectSameAnswers(p, iso->program, RandomParDb(seed, 25), "anc", 4);
+  }
+}
+
+TEST(IsolationTest, Theorem41EquivalenceEndingNonRecursive) {
+  Program p = AncProgram();
+  // Sequence r1 r1 r0 ends with the non-recursive exit rule.
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1, 0}}, 0);
+  ASSERT_TRUE(iso.ok()) << iso.status();
+  for (uint64_t seed : {7, 8}) {
+    ExpectSameAnswers(p, iso->program, RandomParDb(seed, 25), "anc", 4);
+  }
+}
+
+TEST(IsolationTest, MultipleRecursiveRules) {
+  // Two distinct recursive rules; isolating a mixed sequence must
+  // preserve equivalence.
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+    r2: t(X, Y) :- t(X, Z), f(Z, Y).
+  )");
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 2}}, 0);
+  ASSERT_TRUE(iso.ok()) << iso.status();
+  SplitMix64 rng(11);
+  Database edb;
+  for (int i = 0; i < 20; ++i) {
+    edb.AddTuple("e", {Term::Sym(StrCat("v", rng.Below(8))),
+                       Term::Sym(StrCat("v", rng.Below(8)))});
+    edb.AddTuple("f", {Term::Sym(StrCat("v", rng.Below(8))),
+                       Term::Sym(StrCat("v", rng.Below(8)))});
+  }
+  ExpectSameAnswers(p, iso->program, edb, "t", 2);
+}
+
+TEST(IsolationTest, EvalProgramExample32Sequence) {
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+  )");
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1}}, 3);
+  ASSERT_TRUE(iso.ok()) << iso.status();
+  SplitMix64 rng(13);
+  Database edb;
+  for (int i = 0; i < 12; ++i) {
+    edb.AddTuple("works_with", {Term::Sym(StrCat("p", rng.Below(6))),
+                                Term::Sym(StrCat("p", rng.Below(6)))});
+    edb.AddTuple("expert", {Term::Sym(StrCat("p", rng.Below(6))),
+                            Term::Sym(StrCat("f", rng.Below(3)))});
+    edb.AddTuple("super", {Term::Sym(StrCat("p", rng.Below(6))),
+                           Term::Sym(StrCat("s", rng.Below(5))),
+                           Term::Sym(StrCat("t", rng.Below(5)))});
+    edb.AddTuple("field", {Term::Sym(StrCat("t", rng.Below(5))),
+                           Term::Sym(StrCat("f", rng.Below(3)))});
+  }
+  ExpectSameAnswers(p, iso->program, edb, "eval", 3);
+}
+
+// Property: isolation preserves equivalence for random sequences over
+// the two-recursive-rule program on random graphs.
+class IsolationRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsolationRandom, EquivalentOnRandomInputs) {
+  SplitMix64 rng(GetParam() * 131 + 7);
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+    r2: t(X, Y) :- t(X, Z), f(Z, Y).
+  )");
+  // Random sequence of length 2..4 over recursive rules {1, 2}, with a
+  // random final rule from {0, 1, 2}.
+  ExpansionSequence seq;
+  size_t len = 2 + rng.Below(3);
+  for (size_t i = 0; i + 1 < len; ++i) {
+    seq.rule_indices.push_back(1 + rng.Below(2));
+  }
+  seq.rule_indices.push_back(rng.Below(3));
+
+  Result<IsolationResult> iso = IsolateSequence(p, seq, GetParam());
+  ASSERT_TRUE(iso.ok()) << iso.status() << " seq " << seq.ToString(p);
+
+  Database edb;
+  for (int i = 0; i < 15; ++i) {
+    edb.AddTuple("e", {Term::Sym(StrCat("v", rng.Below(7))),
+                       Term::Sym(StrCat("v", rng.Below(7)))});
+    edb.AddTuple("f", {Term::Sym(StrCat("v", rng.Below(7))),
+                       Term::Sym(StrCat("v", rng.Below(7)))});
+  }
+  Database original = MustEvaluate(p, edb);
+  Database isolated = MustEvaluate(iso->program, edb);
+  EXPECT_EQ(RelationRows(original, "t", 2), RelationRows(isolated, "t", 2))
+      << "sequence: " << seq.ToString(p) << "\nisolated program:\n"
+      << iso->program.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsolationRandom, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace semopt

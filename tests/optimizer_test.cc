@@ -1,0 +1,371 @@
+#include "semopt/optimizer.h"
+
+#include "util/hash_util.h"
+#include "util/string_util.h"
+
+#include "eval/constraint_check.h"
+#include "workload/genealogy.h"
+#include "workload/organization.h"
+#include "workload/university.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustEvaluate;
+using testing_util::MustParse;
+using testing_util::RelationRows;
+
+/// Optimizes, checks at least one transformation of `kind` was applied,
+/// and verifies equivalence of `pred` on `edb` (which must satisfy the ICs).
+OptimizeResult OptimizeAndCheck(const Program& p, const Database& edb,
+                                const char* pred, uint32_t arity,
+                                AppliedOptimization::Kind kind,
+                                OptimizerOptions options = OptimizerOptions()) {
+  SemanticOptimizer optimizer(options);
+  Result<OptimizeResult> result = optimizer.Optimize(p);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (!result.ok()) return OptimizeResult();
+
+  bool kind_applied = false;
+  for (const AppliedOptimization& a : result->applied) {
+    if (a.kind == kind) kind_applied = true;
+  }
+  EXPECT_TRUE(kind_applied) << result->Report();
+
+  for (const Constraint& ic : p.constraints()) {
+    Result<bool> sat = Satisfies(edb, ic);
+    EXPECT_TRUE(sat.ok() && *sat) << "EDB violates " << ic.ToString();
+  }
+  Database original = MustEvaluate(p, edb);
+  Database optimized = MustEvaluate(result->program, edb);
+  EXPECT_EQ(RelationRows(original, pred, arity),
+            RelationRows(optimized, pred, arity))
+      << "optimized program:\n"
+      << result->program.ToString();
+  return std::move(*result);
+}
+
+TEST(OptimizerTest, UniversityEliminationEndToEnd) {
+  Result<Program> p = UniversityProgram();
+  ASSERT_TRUE(p.ok());
+  UniversityParams params;
+  params.num_professors = 30;
+  params.num_students = 50;
+  params.seed = 21;
+  Database edb = GenerateUniversityDb(params);
+  OptimizeResult result =
+      OptimizeAndCheck(*p, edb, "eval", 3,
+                       AppliedOptimization::Kind::kElimination);
+
+  // The optimization pays off: strictly less join work.
+  EvalStats before, after;
+  MustEvaluate(*p, edb, EvalStrategy::kSemiNaive, &before);
+  MustEvaluate(result.program, edb, EvalStrategy::kSemiNaive, &after);
+  EXPECT_LT(after.bindings_explored, before.bindings_explored);
+}
+
+TEST(OptimizerTest, GenealogyPruningEndToEnd) {
+  Result<Program> p = GenealogyProgram();
+  ASSERT_TRUE(p.ok());
+  GenealogyParams params;
+  params.num_families = 10;
+  params.generations = 6;
+  params.seed = 22;
+  Database edb = GenerateGenealogyDb(params);
+  OptimizeAndCheck(*p, edb, "anc", 4, AppliedOptimization::Kind::kPruning);
+}
+
+TEST(OptimizerTest, OrganizationEliminationEndToEnd) {
+  Result<Program> p = OrganizationProgram();
+  ASSERT_TRUE(p.ok());
+  OrganizationParams params;
+  params.num_employees = 60;
+  params.num_levels = 6;
+  params.seed = 23;
+  Database edb = GenerateOrganizationDb(params);
+  OptimizeAndCheck(*p, edb, "triple", 3,
+                   AppliedOptimization::Kind::kElimination);
+}
+
+TEST(OptimizerTest, IntroductionWithSmallRelation) {
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    r2: eval_support(P, S, T, M) :- eval(P, S, T), pays(M, G, S, T).
+    ic2: pays(M, G, S, T), M > 10000 -> doctoral(S).
+  )");
+  OptimizerOptions options;
+  options.small_relations.insert(PredicateId{InternSymbol("doctoral"), 1});
+  UniversityParams params;
+  params.num_professors = 20;
+  params.num_students = 40;
+  params.seed = 24;
+  Database edb = GenerateUniversityDb(params);
+  OptimizeAndCheck(p, edb, "eval_support", 4,
+                   AppliedOptimization::Kind::kIntroduction, options);
+}
+
+TEST(OptimizerTest, IntroductionSkippedWithoutSmallRelation) {
+  Program p = MustParse(R"(
+    r2: eval_support(S, M) :- pays(M, G, S, T), grant_ok(G).
+    ic2: pays(M, G, S, T), M > 10000 -> doctoral(S).
+  )");
+  SemanticOptimizer optimizer;  // doctoral not declared small
+  Result<OptimizeResult> result = optimizer.Optimize(p);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->applied.empty()) << result->Report();
+  EXPECT_FALSE(result->residues.empty());
+}
+
+TEST(OptimizerTest, DisabledKindsAreSkipped) {
+  Result<Program> p = GenealogyProgram();
+  ASSERT_TRUE(p.ok());
+  OptimizerOptions options;
+  options.enable_pruning = false;
+  SemanticOptimizer optimizer(options);
+  Result<OptimizeResult> result = optimizer.Optimize(*p);
+  ASSERT_TRUE(result.ok());
+  for (const AppliedOptimization& a : result->applied) {
+    EXPECT_NE(a.kind, AppliedOptimization::Kind::kPruning);
+  }
+}
+
+TEST(OptimizerTest, NoConstraintsMeansNoChanges) {
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+  )");
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> result = optimizer.Optimize(p);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->applied.empty());
+  EXPECT_EQ(result->program.rules().size(), p.rules().size());
+}
+
+TEST(OptimizerTest, RejectsNonLinearPrograms) {
+  Program p = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- t(X, Z), t(Z, Y).
+    ic: e(X, Y), e(Y, Z) -> f(X, Z).
+  )");
+  SemanticOptimizer optimizer;
+  EXPECT_FALSE(optimizer.Optimize(p).ok());
+}
+
+TEST(OptimizerTest, AutoRectifiesInput) {
+  // Non-rectified heads (different variable names per rule) are
+  // rectified transparently.
+  Program p = MustParse(R"(
+    r0: t(A, B) :- e(A, B).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+    ic: e(X, Y), e(Y, Z) -> .
+  )");
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> result = optimizer.Optimize(p);
+  ASSERT_TRUE(result.ok()) << result.status();
+  Database edb = testing_util::MustParseFacts("e(a, b). e(c, d).");
+  Database original = MustEvaluate(p, edb);
+  Database optimized = MustEvaluate(result->program, edb);
+  EXPECT_EQ(RelationRows(original, "t", 2), RelationRows(optimized, "t", 2));
+}
+
+TEST(OptimizerTest, ReportMentionsResiduesAndActions) {
+  Result<Program> p = UniversityProgram();
+  ASSERT_TRUE(p.ok());
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> result = optimizer.Optimize(*p);
+  ASSERT_TRUE(result.ok());
+  std::string report = result->Report();
+  EXPECT_NE(report.find("residues found"), std::string::npos);
+  EXPECT_NE(report.find("atom elimination"), std::string::npos);
+}
+
+
+TEST(OptimizerTest, MultiRoundOptimizationStaysEquivalent) {
+  Result<Program> p = UniversityProgram();
+  ASSERT_TRUE(p.ok());
+  OptimizerOptions options;
+  options.max_rounds = 3;
+  SemanticOptimizer optimizer(options);
+  Result<OptimizeResult> result = optimizer.Optimize(*p);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Later rounds may or may not find more; whatever they do must stay
+  // equivalent.
+  UniversityParams params;
+  params.num_professors = 15;
+  params.num_students = 25;
+  params.seed = 91;
+  Database edb = GenerateUniversityDb(params);
+  Database original = MustEvaluate(*p, edb);
+  Database optimized = MustEvaluate(result->program, edb);
+  EXPECT_EQ(RelationRows(original, "eval", 3),
+            RelationRows(optimized, "eval", 3))
+      << result->program.ToString();
+}
+
+TEST(OptimizerTest, ToleratesStratifiedNegationOutsideTheRecursion) {
+  // Negation elsewhere in the program must not derail optimization of
+  // the positive recursive part.
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    r2: uncovered(S, T) :- field(T, F), candidate(S, T),
+                           not eval_any(S, T).
+    r3: eval_any(S, T) :- eval(P, S, T).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+  )");
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> result = optimizer.Optimize(p);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->applied.empty());
+
+  UniversityParams params;
+  params.num_professors = 12;
+  params.num_students = 20;
+  params.seed = 77;
+  Database edb = GenerateUniversityDb(params);
+  // Add candidates so the negated rule has work to do.
+  edb.AddTuple("candidate", {Term::Sym("stud0"), Term::Sym("thesis0_0")});
+  edb.AddTuple("candidate", {Term::Sym("nobody"), Term::Sym("nothesis")});
+  Database original = MustEvaluate(p, edb);
+  Database optimized = MustEvaluate(result->program, edb);
+  EXPECT_EQ(RelationRows(original, "eval", 3),
+            RelationRows(optimized, "eval", 3));
+  EXPECT_EQ(RelationRows(original, "uncovered", 2),
+            RelationRows(optimized, "uncovered", 2));
+}
+
+
+TEST(OptimizerTest, PaperExample21EndToEnd) {
+  // The 6-ary program of Examples 2.1/3.1: the IC maximally subsumes
+  // r0 r0 r0 and the residue -> d(X5'', V7) (with V7 extendable onto
+  // X6'') eliminates a d occurrence from the committed 3-step rule.
+  Program p = MustParse(R"(
+    r0: p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), b(V2, X3),
+        c(V3, V4, X5), d(V5, X6), p(X1, V2, V3, V4, V5, V6).
+    r1: p(X1, X2, X3, X4, X5, X6) :- e(X1, X2, X3, X4, X5, X6).
+    ic: a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).
+  )");
+  // V6 of r0 is a pure input to the inner call; ground it for safety by
+  // replacing with a constant? The rule as written is range-restricted
+  // in the head but V6 appears only in the recursive call, making it
+  // unsafe to evaluate. Use a safe variant binding V6 via d.
+  Program safe = MustParse(R"(
+    r0: p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), b(V2, X3),
+        c(V3, V4, X5), d(V5, X6), p(X1, V2, V3, V4, V5, X6).
+    r1: p(X1, X2, X3, X4, X5, X6) :- e(X1, X2, X3, X4, X5, X6).
+    ic: a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).
+  )");
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> result = optimizer.Optimize(safe);
+  ASSERT_TRUE(result.ok()) << result.status();
+  bool eliminated = false;
+  for (const AppliedOptimization& applied : result->applied) {
+    if (applied.kind == AppliedOptimization::Kind::kElimination) {
+      eliminated = true;
+    }
+  }
+  EXPECT_TRUE(eliminated) << result->Report();
+
+  // Equivalence on a random database satisfying the IC (by closure:
+  // whenever a,b,c chain, add a d fact).
+  SplitMix64 rng(9);
+  Database edb;
+  auto sym = [&](const char* prefix, uint64_t i) {
+    return Term::Sym(StrCat(prefix, i));
+  };
+  for (int i = 0; i < 12; ++i) {
+    edb.AddTuple("a", {sym("x", rng.Below(4)), sym("y", rng.Below(4)),
+                       sym("z", rng.Below(4))});
+    edb.AddTuple("b", {sym("y", rng.Below(4)), sym("w", rng.Below(4))});
+    edb.AddTuple("c", {sym("w", rng.Below(4)), sym("u", rng.Below(4)),
+                       sym("v", rng.Below(4))});
+    edb.AddTuple("e", {sym("x", rng.Below(4)), sym("y", rng.Below(4)),
+                       sym("z", rng.Below(4)), sym("w", rng.Below(4)),
+                       sym("u", rng.Below(4)), sym("v", rng.Below(4))});
+  }
+  // Close under the IC: a(_,Y,_) & b(Y,W) & c(W,_,V) => d(V, d0).
+  const Relation* ra = edb.Find(PredicateId{InternSymbol("a"), 3});
+  const Relation* rb = edb.Find(PredicateId{InternSymbol("b"), 2});
+  const Relation* rc = edb.Find(PredicateId{InternSymbol("c"), 3});
+  for (const Tuple& ta : ra->rows()) {
+    for (const Tuple& tb : rb->rows()) {
+      if (!(ta[1] == tb[0])) continue;
+      for (const Tuple& tc : rc->rows()) {
+        if (!(tb[1] == tc[0])) continue;
+        edb.AddTuple("d", {tc[2], Term::Sym("d0")});
+      }
+    }
+  }
+  ASSERT_TRUE(*Satisfies(edb, safe.constraints()[0]));
+  Database original = MustEvaluate(safe, edb);
+  Database optimized = MustEvaluate(result->program, edb);
+  EXPECT_EQ(RelationRows(original, "p", 6), RelationRows(optimized, "p", 6))
+      << result->program.ToString();
+}
+
+// Property: on randomized IC-satisfying databases, the optimized
+// programs agree with the originals across all three workloads.
+class OptimizerEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerEquivalence, University) {
+  Result<Program> p = UniversityProgram();
+  ASSERT_TRUE(p.ok());
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> result = optimizer.Optimize(*p);
+  ASSERT_TRUE(result.ok());
+  UniversityParams params;
+  params.num_professors = 15;
+  params.num_students = 25;
+  params.seed = static_cast<uint64_t>(GetParam()) * 101 + 1;
+  Database edb = GenerateUniversityDb(params);
+  Database original = MustEvaluate(*p, edb);
+  Database optimized = MustEvaluate(result->program, edb);
+  EXPECT_EQ(RelationRows(original, "eval", 3),
+            RelationRows(optimized, "eval", 3));
+}
+
+TEST_P(OptimizerEquivalence, Genealogy) {
+  Result<Program> p = GenealogyProgram();
+  ASSERT_TRUE(p.ok());
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> result = optimizer.Optimize(*p);
+  ASSERT_TRUE(result.ok());
+  GenealogyParams params;
+  params.num_families = 6;
+  params.generations = 3 + GetParam() % 4;
+  params.seed = static_cast<uint64_t>(GetParam()) * 77 + 3;
+  Database edb = GenerateGenealogyDb(params);
+  Database original = MustEvaluate(*p, edb);
+  Database optimized = MustEvaluate(result->program, edb);
+  EXPECT_EQ(RelationRows(original, "anc", 4),
+            RelationRows(optimized, "anc", 4));
+}
+
+TEST_P(OptimizerEquivalence, Organization) {
+  Result<Program> p = OrganizationProgram();
+  ASSERT_TRUE(p.ok());
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> result = optimizer.Optimize(*p);
+  ASSERT_TRUE(result.ok());
+  OrganizationParams params;
+  params.num_employees = 40;
+  params.num_levels = 3 + GetParam() % 4;
+  params.seed = static_cast<uint64_t>(GetParam()) * 13 + 5;
+  Database edb = GenerateOrganizationDb(params);
+  Database original = MustEvaluate(*p, edb);
+  Database optimized = MustEvaluate(result->program, edb);
+  EXPECT_EQ(RelationRows(original, "triple", 3),
+            RelationRows(optimized, "triple", 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalence,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace semopt

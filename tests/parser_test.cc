@@ -1,0 +1,166 @@
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParse;
+using testing_util::MustParseConstraint;
+using testing_util::MustParseLiteral;
+using testing_util::MustParseRule;
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex("p(X, 42) :- q, X >= -3. % comment\nic -> .");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kVariable,
+                TokenKind::kComma, TokenKind::kInteger, TokenKind::kRParen,
+                TokenKind::kIf, TokenKind::kIdent, TokenKind::kComma,
+                TokenKind::kVariable, TokenKind::kGe, TokenKind::kInteger,
+                TokenKind::kDot, TokenKind::kIdent, TokenKind::kArrow,
+                TokenKind::kDot, TokenKind::kEof}));
+}
+
+TEST(LexerTest, QuotedSymbolsAndLineNumbers) {
+  auto tokens = Lex("a\n'hello world'\nb");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "hello world");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 3);
+}
+
+TEST(LexerTest, NegativeIntegers) {
+  auto tokens = Lex("-42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[0].int_value, -42);
+}
+
+TEST(LexerTest, RejectsReservedAndUnknownChars) {
+  EXPECT_FALSE(Lex("p($X)").ok());
+  EXPECT_FALSE(Lex("p(#)").ok());
+  EXPECT_FALSE(Lex("'unterminated").ok());
+  EXPECT_FALSE(Lex("!x").ok());
+  EXPECT_FALSE(Lex("?x").ok());
+}
+
+TEST(ParserTest, RuleWithLabelAndComparisons) {
+  Rule r = MustParseRule(
+      "r0: honors(S) :- transcript(S, M, C, G), C >= 30, G >= 38.");
+  EXPECT_EQ(r.label(), "r0");
+  EXPECT_EQ(r.body().size(), 3u);
+  EXPECT_TRUE(r.body()[1].IsComparison());
+  EXPECT_EQ(r.body()[1].op(), ComparisonOp::kGe);
+}
+
+TEST(ParserTest, SymbolComparisonDisambiguation) {
+  // An identifier followed by a comparison operator is a term, not an
+  // 0-ary atom.
+  Rule r = MustParseRule("p(R) :- q(R), R = 'executive'");
+  EXPECT_TRUE(r.body()[1].IsComparison());
+  EXPECT_EQ(r.body()[1].rhs(), Term::Sym("executive"));
+}
+
+TEST(ParserTest, ZeroAryAtom) {
+  Rule r = MustParseRule("p(X) :- q(X), flag");
+  EXPECT_TRUE(r.body()[1].IsRelational());
+  EXPECT_EQ(r.body()[1].atom().arity(), 0u);
+}
+
+TEST(ParserTest, NegatedLiterals) {
+  Rule r = MustParseRule("p(X) :- q(X), not r(X), not X < 3");
+  EXPECT_TRUE(r.body()[1].negated());
+  EXPECT_TRUE(r.body()[1].IsRelational());
+  EXPECT_TRUE(r.body()[2].negated());
+  EXPECT_TRUE(r.body()[2].IsComparison());
+}
+
+TEST(ParserTest, ConstraintForms) {
+  Constraint with_head = MustParseConstraint(
+      "ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).");
+  EXPECT_EQ(with_head.label(), "ic1");
+  ASSERT_TRUE(with_head.head().has_value());
+
+  Constraint denial = MustParseConstraint("a(X), X > 3 -> .");
+  EXPECT_FALSE(denial.head().has_value());
+
+  Constraint evaluable_head = MustParseConstraint("b(X, Y) -> X <= Y.");
+  ASSERT_TRUE(evaluable_head.head().has_value());
+  EXPECT_TRUE(evaluable_head.head()->IsComparison());
+}
+
+TEST(ParserTest, ProgramMixesRulesAndConstraints) {
+  Program p = MustParse(R"(
+    % the eval program of Example 3.2
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+  )");
+  EXPECT_EQ(p.rules().size(), 2u);
+  EXPECT_EQ(p.constraints().size(), 1u);
+}
+
+TEST(ParserTest, Facts) {
+  Program p = MustParse("par(adam, 930, seth, 800). par(seth, 800, enos, 700).");
+  EXPECT_EQ(p.rules().size(), 2u);
+  EXPECT_TRUE(p.rules()[0].IsFact());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseProgram("p(X) :- q(X)").ok());        // missing dot
+  EXPECT_FALSE(ParseProgram("p(X, :- q(X).").ok());       // bad args
+  EXPECT_FALSE(ParseProgram("not p(X) :- q(X).").ok());   // negated head
+  EXPECT_FALSE(ParseProgram("p(X), q(X) :- r(X).").ok()); // conjunctive head
+  EXPECT_FALSE(ParseProgram("X > 3 :- q(X).").ok());      // comparison head
+  EXPECT_FALSE(ParseRule("a(X) -> b(X).").ok());          // constraint, not rule
+  EXPECT_FALSE(ParseConstraint("a(X) :- b(X).").ok());    // rule, not constraint
+  EXPECT_FALSE(ParseAtom("p(X) q").ok());                 // trailing input
+}
+
+TEST(ParserTest, LiteralListForQueries) {
+  auto lits = ParseLiteralList("anc(X, Xa, Y, Ya), Ya > 50");
+  ASSERT_TRUE(lits.ok());
+  EXPECT_EQ(lits->size(), 2u);
+}
+
+// Round-trip property: parse(print(parse(s))) == parse(s) for a corpus
+// of statements covering the grammar.
+class ParserRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTrip, PrintThenReparseIsIdentity) {
+  std::string source = GetParam();
+  Result<Program> first = ParseProgram(source);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = first->ToString();
+  Result<Program> second = ParseProgram(printed);
+  ASSERT_TRUE(second.ok()) << second.status() << "\nprinted:\n" << printed;
+  EXPECT_EQ(first->rules(), second->rules());
+  EXPECT_EQ(first->constraints(), second->constraints());
+  EXPECT_EQ(printed, second->ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserRoundTrip,
+    ::testing::Values(
+        "p(X) :- q(X).",
+        "r0: anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).",
+        "r1: anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).",
+        "p(X, 3) :- q(X), X > -2, X != 5, not r(X, X).",
+        "flag :- other_flag.",
+        "e(a, b). e(b, c). e(c, a).",
+        "ic: a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).",
+        "Ya <= 50, par(Z, Za, Y, Ya) -> .",
+        "boss(E, B, R), R = 'executive' -> experienced(B).",
+        "p(X) :- q(X), not X >= 10."));
+
+}  // namespace
+}  // namespace semopt

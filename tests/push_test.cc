@@ -1,0 +1,356 @@
+#include "semopt/push.h"
+
+#include "eval/constraint_check.h"
+#include "semopt/residue_generator.h"
+#include "util/string_util.h"
+#include "workload/genealogy.h"
+#include "workload/organization.h"
+#include "workload/university.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustEvaluate;
+using testing_util::MustParse;
+using testing_util::RelationRows;
+
+PredicateId Pred(const char* name, uint32_t arity) {
+  return PredicateId{InternSymbol(name), arity};
+}
+
+/// Fetches the unique residue matching `kind` on `sequence` from the
+/// generator's output.
+Residue FindResidue(const Program& p, const Constraint& ic,
+                    const PredicateId& pred,
+                    const std::vector<size_t>& sequence, ResidueKind kind) {
+  Result<std::vector<Residue>> residues =
+      GenerateResidues(p, ic, pred, ResidueGenOptions());
+  EXPECT_TRUE(residues.ok()) << residues.status();
+  for (const Residue& r : *residues) {
+    if (r.sequence.rule_indices == sequence && r.kind() == kind) return r;
+  }
+  ADD_FAILURE() << "residue not found on sequence; got:\n"
+                << JoinMapped(*residues, "\n", [&](const Residue& r) {
+                     return r.ToString(p);
+                   });
+  return Residue();
+}
+
+void ExpectEquivalentOn(const Program& a, const Program& b,
+                        const Database& edb, const char* pred,
+                        uint32_t arity) {
+  Database ia = MustEvaluate(a, edb);
+  Database ib = MustEvaluate(b, edb);
+  EXPECT_EQ(RelationRows(ia, pred, arity), RelationRows(ib, pred, arity))
+      << "transformed:\n" << b.ToString();
+}
+
+/// Counts, over the committed copies, how many contain a positive
+/// relational literal with the given predicate name.
+int CommittedCopiesWith(const IsolationResult& iso, const char* pred) {
+  int count = 0;
+  for (size_t rule_index : iso.committed_rules) {
+    for (const Literal& lit : iso.program.rules()[rule_index].body()) {
+      if (lit.IsRelational() && lit.atom().predicate_name() == pred) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(PushEliminationTest, Example32RemovesExpertAndFieldFromCommitted) {
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+  )");
+  Residue residue = FindResidue(p, p.constraints()[0], Pred("eval", 3),
+                                {1, 1}, ResidueKind::kUnconditionalFact);
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  Result<LocalizedResidue> localized =
+      LocalizeResidue(residue, p.constraints()[0], *iso);
+  ASSERT_TRUE(localized.ok()) << localized.status();
+  ASSERT_TRUE(localized->head_occurrence.has_value());
+  EXPECT_EQ(localized->head_occurrence->step, 0u);
+  // The outer field(T, F) shares the rebound F and is witnessed by the
+  // inner field atom: it is a companion.
+  EXPECT_EQ(localized->head_occurrence->companion_body_indices.size(), 1u);
+
+  Status push = PushAtomElimination(&*iso, *localized, p.constraints()[0]);
+  ASSERT_TRUE(push.ok()) << push;
+  // Unconditional elimination: single committed copy with the outer
+  // expert AND field gone (inner ones remain — one occurrence each).
+  ASSERT_EQ(iso->committed_rules.size(), 1u);
+  const Rule& committed = iso->program.rules()[iso->committed_rules[0]];
+  int expert_count = 0, field_count = 0;
+  for (const Literal& lit : committed.body()) {
+    if (!lit.IsRelational()) continue;
+    if (lit.atom().predicate_name() == "expert") ++expert_count;
+    if (lit.atom().predicate_name() == "field") ++field_count;
+  }
+  EXPECT_EQ(expert_count, 1) << committed;
+  EXPECT_EQ(field_count, 1) << committed;
+
+  // Equivalence on an IC-satisfying EDB.
+  UniversityParams params;
+  params.num_professors = 25;
+  params.num_students = 40;
+  params.seed = 3;
+  Database edb = GenerateUniversityDb(params);
+  ASSERT_TRUE(*Satisfies(edb, p.constraints()[0]));
+  ExpectEquivalentOn(p, iso->program, edb, "eval", 3);
+}
+
+TEST(PushEliminationTest, UnsoundOnViolatingDatabase) {
+  // On a database violating ic1 the transformed program may (and here
+  // does) produce extra tuples — optimizations are only guaranteed on
+  // consistent databases.
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+  )");
+  Residue residue = FindResidue(p, p.constraints()[0], Pred("eval", 3),
+                                {1, 1}, ResidueKind::kUnconditionalFact);
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  Result<LocalizedResidue> localized =
+      LocalizeResidue(residue, p.constraints()[0], *iso);
+  ASSERT_TRUE(localized.ok());
+  ASSERT_TRUE(
+      PushAtomElimination(&*iso, *localized, p.constraints()[0]).ok());
+
+  // p1 works with p2 works with p3; p2/p3 are experts in f, p1 is NOT
+  // (violating ic1). Thesis t of student s in field f, supervised by p3.
+  Database edb = testing_util::MustParseFacts(R"(
+    works_with(p1, p2). works_with(p2, p3).
+    expert(p2, f). expert(p3, f).
+    field(t, f).
+    super(p3, s, t).
+  )");
+  ASSERT_FALSE(*Satisfies(edb, p.constraints()[0]));
+  Database original = MustEvaluate(p, edb);
+  Database transformed = MustEvaluate(iso->program, edb);
+  // The transformed program derives eval(p1, s, t) without checking
+  // expert(p1, f); the original does not.
+  EXPECT_NE(RelationRows(original, "eval", 3),
+            RelationRows(transformed, "eval", 3));
+}
+
+TEST(PushEliminationTest, Example41ConditionSpansLevels) {
+  // The rank R is bound three recursion steps below the eliminated
+  // experienced(U) atom; the flattened committed rule has all steps in
+  // scope, so the conditional split applies directly.
+  Program p = MustParse(R"(
+    r1: triple(E1, E2, E3) :- same_level(E1, E2, E3).
+    r2: triple(E1, E2, E3) :- boss(U, E3, R), experienced(U),
+                              triple(U, E1, E2).
+    ic1: boss(E, B, R), R = 'executive' -> experienced(B).
+  )");
+  Result<std::vector<Residue>> residues = GenerateResidues(
+      p, p.constraints()[0], Pred("triple", 3), ResidueGenOptions());
+  ASSERT_TRUE(residues.ok());
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1, 1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  bool pushed = false;
+  for (const Residue& residue : *residues) {
+    if (!(residue.sequence.rule_indices == std::vector<size_t>{1, 1, 1, 1}) ||
+        residue.kind() != ResidueKind::kConditionalFact) {
+      continue;
+    }
+    Result<LocalizedResidue> localized =
+        LocalizeResidue(residue, p.constraints()[0], *iso);
+    if (!localized.ok() || !localized->head_occurrence.has_value()) continue;
+    Status push =
+        PushAtomElimination(&*iso, *localized, p.constraints()[0]);
+    ASSERT_TRUE(push.ok()) << push;
+    pushed = true;
+    break;
+  }
+  ASSERT_TRUE(pushed) << "no residue with a useful occurrence";
+
+  // Two committed copies: elimination + condition, and the ¬condition
+  // guard; the elimination copy has one fewer experienced occurrence.
+  ASSERT_EQ(iso->committed_rules.size(), 2u);
+  std::set<int> experienced_counts;
+  for (size_t rule_index : iso->committed_rules) {
+    int count = 0;
+    for (const Literal& lit : iso->program.rules()[rule_index].body()) {
+      if (lit.IsRelational() &&
+          lit.atom().predicate_name() == "experienced") {
+        ++count;
+      }
+    }
+    experienced_counts.insert(count);
+  }
+  EXPECT_EQ(experienced_counts, (std::set<int>{3, 4}));
+
+  OrganizationParams params;
+  params.num_employees = 60;
+  params.num_levels = 6;
+  params.seed = 5;
+  Database edb = GenerateOrganizationDb(params);
+  ASSERT_TRUE(*Satisfies(edb, p.constraints()[0]));
+  ExpectEquivalentOn(p, iso->program, edb, "triple", 3);
+}
+
+TEST(PushPruningTest, Example43GuardsTheCommittedRule) {
+  Program p = MustParse(R"(
+    r0: anc(X, Xa, Y, Ya) :- par(X, Xa, Y, Ya).
+    r1: anc(X, Xa, Y, Ya) :- anc(X, Xa, Z, Za), par(Z, Za, Y, Ya).
+    ic1: Ya <= 50, par(Z, Za, Y, Ya), par(Z2, Z2a, Z, Za),
+         par(Z3, Z3a, Z2, Z2a) -> .
+  )");
+  Residue residue = FindResidue(p, p.constraints()[0], Pred("anc", 4),
+                                {1, 1, 1}, ResidueKind::kConditionalNull);
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  Result<LocalizedResidue> localized =
+      LocalizeResidue(residue, p.constraints()[0], *iso);
+  ASSERT_TRUE(localized.ok());
+
+  Status push = PushSubtreePruning(&*iso, *localized, p.constraints()[0]);
+  ASSERT_TRUE(push.ok()) << push;
+
+  // Only the guard copy survives, carrying "Ya > 50" (the negated
+  // condition).
+  ASSERT_EQ(iso->committed_rules.size(), 1u);
+  bool guard_found = false;
+  for (const Literal& lit :
+       iso->program.rules()[iso->committed_rules[0]].body()) {
+    if (lit.IsComparison() && lit.op() == ComparisonOp::kGt) {
+      guard_found = true;
+    }
+  }
+  EXPECT_TRUE(guard_found) << iso->program.ToString();
+
+  GenealogyParams params;
+  params.num_families = 8;
+  params.generations = 5;
+  params.seed = 9;
+  Database edb = GenerateGenealogyDb(params);
+  ASSERT_TRUE(*Satisfies(edb, p.constraints()[0]));
+  ExpectEquivalentOn(p, iso->program, edb, "anc", 4);
+}
+
+TEST(PushPruningTest, UnconditionalNullDeletesCommittedRule) {
+  // A denial with no evaluable conditions: the sequence never yields
+  // tuples, so the committed rule disappears.
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+    ic: e(X, Y), e(Y, Z) -> .
+  )");
+  Residue residue = FindResidue(p, p.constraints()[0], Pred("t", 2),
+                                {1, 1}, ResidueKind::kUnconditionalNull);
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  Result<LocalizedResidue> localized =
+      LocalizeResidue(residue, p.constraints()[0], *iso);
+  ASSERT_TRUE(localized.ok());
+  ASSERT_TRUE(
+      PushSubtreePruning(&*iso, *localized, p.constraints()[0]).ok());
+  EXPECT_TRUE(iso->committed_rules.empty());
+
+  // On a DB satisfying the IC (no 2-paths), results agree.
+  Database edb = testing_util::MustParseFacts("e(a, b). e(c, d).");
+  ASSERT_TRUE(*Satisfies(edb, p.constraints()[0]));
+  ExpectEquivalentOn(p, iso->program, edb, "t", 2);
+}
+
+TEST(PushIntroductionTest, Example42AddsDoctoralGuarded) {
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    r2: eval_support(P, S, T, M) :- eval(P, S, T), pays(M, G, S, T).
+    ic2: pays(M, G, S, T), M > 10000 -> doctoral(S).
+  )");
+  Residue residue =
+      FindResidue(p, p.constraints()[0], Pred("eval_support", 4), {2},
+                  ResidueKind::kConditionalFact);
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{2}}, 0);
+  ASSERT_TRUE(iso.ok());
+  Result<LocalizedResidue> localized =
+      LocalizeResidue(residue, p.constraints()[0], *iso);
+  ASSERT_TRUE(localized.ok());
+
+  Status push = PushAtomIntroduction(&*iso, *localized, p.constraints()[0]);
+  ASSERT_TRUE(push.ok()) << push;
+  // Two copies: one with doctoral(S) and the condition, one with the
+  // negated condition.
+  ASSERT_EQ(iso->committed_rules.size(), 2u);
+  EXPECT_EQ(CommittedCopiesWith(*iso, "doctoral"), 1);
+  bool with_guard = false;
+  for (size_t rule_index : iso->committed_rules) {
+    for (const Literal& lit : iso->program.rules()[rule_index].body()) {
+      if (lit.IsComparison() && lit.op() == ComparisonOp::kLe) {
+        with_guard = true;  // not (M > 10000) simplifies to M <= 10000
+      }
+    }
+  }
+  EXPECT_TRUE(with_guard);
+
+  UniversityParams params;
+  params.num_professors = 20;
+  params.num_students = 30;
+  params.seed = 11;
+  Database edb = GenerateUniversityDb(params);
+  ASSERT_TRUE(*Satisfies(edb, p.constraints()[0]));
+  ExpectEquivalentOn(p, iso->program, edb, "eval_support", 4);
+}
+
+TEST(PushTest, EliminationRequiresOccurrence) {
+  // A fact residue whose head never occurs in the sequence cannot be
+  // eliminated.
+  Program p = MustParse(R"(
+    r2: eval_support(S, M) :- pays(M, G, S, T), grant_ok(G).
+    ic2: pays(M, G, S, T), M > 10000 -> doctoral(S).
+  )");
+  Residue residue =
+      FindResidue(p, p.constraints()[0], Pred("eval_support", 2), {0},
+                  ResidueKind::kConditionalFact);
+  Result<IsolationResult> iso = IsolateSequence(p, ExpansionSequence{{0}}, 0);
+  ASSERT_TRUE(iso.ok());
+  Result<LocalizedResidue> localized =
+      LocalizeResidue(residue, p.constraints()[0], *iso);
+  ASSERT_TRUE(localized.ok());
+  Status push = PushAtomElimination(&*iso, *localized, p.constraints()[0]);
+  EXPECT_FALSE(push.ok());
+  EXPECT_EQ(push.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PushTest, PruningRejectsFactResidues) {
+  Program p = MustParse(R"(
+    r0: t(X, Y) :- e(X, Y).
+    r1: t(X, Y) :- t(X, Z), e(Z, Y).
+    ic: e(X, Y), e(Y, Z) -> f(X, Z).
+  )");
+  Residue residue = FindResidue(p, p.constraints()[0], Pred("t", 2),
+                                {1, 1}, ResidueKind::kUnconditionalFact);
+  Result<IsolationResult> iso =
+      IsolateSequence(p, ExpansionSequence{{1, 1}}, 0);
+  ASSERT_TRUE(iso.ok());
+  Result<LocalizedResidue> localized =
+      LocalizeResidue(residue, p.constraints()[0], *iso);
+  ASSERT_TRUE(localized.ok());
+  EXPECT_FALSE(
+      PushSubtreePruning(&*iso, *localized, p.constraints()[0]).ok());
+}
+
+}  // namespace
+}  // namespace semopt

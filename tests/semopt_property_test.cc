@@ -1,0 +1,209 @@
+// Property sweeps over the core semantic-optimization machinery:
+// unfolding laws, subsumption/residue invariants, and SD-graph flow
+// bounds, parameterized over random seeds.
+
+#include "semopt/ap_graph.h"
+#include "semopt/expansion.h"
+#include "semopt/residue_generator.h"
+#include "semopt/sd_graph.h"
+#include "semopt/subsumption.h"
+#include "util/hash_util.h"
+#include "util/string_util.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustEvaluate;
+using testing_util::MustParse;
+using testing_util::RelationRows;
+
+PredicateId Pred(const char* name, uint32_t arity) {
+  return PredicateId{InternSymbol(name), arity};
+}
+
+Program TwoRuleProgram() {
+  return MustParse(R"(
+    r0: t(X, Y) :- base(X, Y).
+    r1: t(X, Y) :- e(X, Z), t(Z, Y).
+    r2: t(X, Y) :- f(X, Z), t(Z, Y).
+  )");
+}
+
+// Law: evaluating an unfolded sequence as an extra rule adds no new
+// tuples — the unfolding is subsumed by the program (soundness of
+// Unfold).
+class UnfoldSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnfoldSoundness, UnfoldedRuleDerivesNoNewTuples) {
+  SplitMix64 rng(GetParam() * 37 + 1);
+  Program p = TwoRuleProgram();
+
+  // Random valid sequence.
+  ExpansionSequence seq;
+  size_t len = 1 + rng.Below(4);
+  for (size_t i = 0; i + 1 < len; ++i) {
+    seq.rule_indices.push_back(1 + rng.Below(2));
+  }
+  seq.rule_indices.push_back(rng.Below(3));
+  Result<UnfoldedSequence> unfolded = Unfold(p, seq);
+  if (!unfolded.ok()) {
+    // Only possible for the length-1 sequence over a non-recursive
+    // rule? No — all our sequences are valid; fail loudly.
+    FAIL() << unfolded.status() << " for " << seq.ToString(p);
+  }
+
+  Database edb;
+  for (int i = 0; i < 20; ++i) {
+    edb.AddTuple("base", {Term::Sym(StrCat("v", rng.Below(6))),
+                          Term::Sym(StrCat("v", rng.Below(6)))});
+    edb.AddTuple("e", {Term::Sym(StrCat("v", rng.Below(6))),
+                       Term::Sym(StrCat("v", rng.Below(6)))});
+    edb.AddTuple("f", {Term::Sym(StrCat("v", rng.Below(6))),
+                       Term::Sym(StrCat("v", rng.Below(6)))});
+  }
+  Database without = MustEvaluate(p, edb);
+  Program with_unfolded = p;
+  Rule extra = unfolded->rule;
+  extra.set_label("unfolded");
+  with_unfolded.AddRule(extra);
+  Database with = MustEvaluate(with_unfolded, edb);
+  EXPECT_EQ(RelationRows(without, "t", 2), RelationRows(with, "t", 2))
+      << "sequence " << seq.ToString(p) << " unfolds to "
+      << unfolded->rule.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnfoldSoundness, ::testing::Range(1, 16));
+
+// Law: every subsumption match found with require_all also appears
+// among the partial matches, and θ really maps each IC atom onto its
+// assigned target.
+class SubsumptionLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsumptionLaws, MatchesAreConsistent) {
+  SplitMix64 rng(GetParam() * 59 + 11);
+  // Random IC chain over {e, f} and random target conjunction.
+  auto rand_var = [&](const char* stem, int width) {
+    return Term::Var(StrCat(stem, rng.Below(width)));
+  };
+  std::vector<Atom> ic;
+  size_t k = 1 + rng.Below(3);
+  for (size_t i = 0; i < k; ++i) {
+    ic.push_back(Atom(rng.Below(2) == 0 ? "e" : "f",
+                      {Term::Var(StrCat("V", i)), Term::Var(StrCat("V", i + 1))}));
+  }
+  std::vector<Atom> target;
+  for (int i = 0; i < 5; ++i) {
+    target.push_back(Atom(rng.Below(2) == 0 ? "e" : "f",
+                          {rand_var("X", 4), rand_var("X", 4)}));
+  }
+
+  auto complete = FindSubsumptions(ic, target, /*require_all=*/true);
+  auto partial = FindSubsumptions(ic, target, /*require_all=*/false);
+  EXPECT_GE(partial.size(), complete.size());
+
+  for (const SubsumptionMatch& m : complete) {
+    EXPECT_EQ(m.matched_count(), ic.size());
+    for (size_t i = 0; i < ic.size(); ++i) {
+      ASSERT_GE(m.target_index[i], 0);
+      const Atom& t = target[static_cast<size_t>(m.target_index[i])];
+      EXPECT_EQ(m.theta.Apply(ic[i]), t)
+          << "θ = " << m.theta.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsumptionLaws, ::testing::Range(1, 16));
+
+TEST(SdGraphFlowTest, DepthBoundLimitsExpansions) {
+  // The key K is carried through every recursive call (a position
+  // self-loop in the AP-graph), so e-to-e flows exist at every depth;
+  // the depth bound caps how many the SD-graph derives.
+  Program p = MustParse(R"(
+    r0: t(K, X, Y) :- base(K, X, Y).
+    r1: t(K, X, Y) :- e(K, X, Z), t(K, Z, Y).
+  )");
+  Result<ApGraph> ap = ApGraph::Build(p, Pred("t", 3));
+  ASSERT_TRUE(ap.ok());
+  SdGraph shallow = SdGraph::Build(p, *ap, /*max_flow_depth=*/1);
+  SdGraph deep = SdGraph::Build(p, *ap, /*max_flow_depth=*/4);
+  auto cross_edges = [&](const SdGraph& g) {
+    size_t n = 0;
+    for (const SdEdge& e : g.edges()) {
+      if (!e.expansion.empty()) ++n;
+    }
+    return n;
+  };
+  EXPECT_LT(cross_edges(shallow), cross_edges(deep));
+  for (const SdEdge& e : shallow.edges()) {
+    EXPECT_LE(e.expansion.size(), 1u);
+  }
+  for (const SdEdge& e : deep.edges()) {
+    EXPECT_LE(e.expansion.size(), 4u);
+  }
+}
+
+TEST(SdGraphFlowTest, MixedRuleFlows) {
+  // Flows may pass through different recursive rules; the expansion
+  // labels must record the actual rule path.
+  Program p = TwoRuleProgram();
+  Result<ApGraph> ap = ApGraph::Build(p, Pred("t", 2));
+  ASSERT_TRUE(ap.ok());
+  SdGraph sd = SdGraph::Build(p, *ap, 3);
+  bool e_to_f = false, f_to_e = false;
+  for (const SdEdge& edge : sd.edges()) {
+    const Atom& from = ap->AtomOf(p, edge.from);
+    const Atom& to = ap->AtomOf(p, edge.to);
+    if (from.predicate_name() == "e" && to.predicate_name() == "f" &&
+        edge.expansion == std::vector<size_t>{2}) {
+      e_to_f = true;
+    }
+    if (from.predicate_name() == "f" && to.predicate_name() == "e" &&
+        edge.expansion == std::vector<size_t>{1}) {
+      f_to_e = true;
+    }
+  }
+  EXPECT_TRUE(e_to_f) << sd.ToString(p);
+  EXPECT_TRUE(f_to_e) << sd.ToString(p);
+}
+
+// Law: residues survive simplification idempotently.
+TEST(ResidueLawTest, SimplifyIsIdempotent) {
+  Residue r;
+  r.conditions = {testing_util::MustParseLiteral("X > 2"),
+                  testing_util::MustParseLiteral("3 > 1")};
+  r.head = testing_util::MustParseLiteral("q(X)");
+  auto once = SimplifyResidue(r);
+  ASSERT_TRUE(once.has_value());
+  auto twice = SimplifyResidue(*once);
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_EQ(once->conditions, twice->conditions);
+  EXPECT_EQ(once->head, twice->head);
+}
+
+// Law: GenerateResidues output is deterministic.
+TEST(ResidueLawTest, GenerationIsDeterministic) {
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+    ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).
+  )");
+  auto render = [&](const std::vector<Residue>& residues) {
+    std::string out;
+    for (const Residue& r : residues) out += r.ToString(p) + "\n";
+    return out;
+  };
+  Result<std::vector<Residue>> a =
+      GenerateResidues(p, p.constraints()[0], Pred("eval", 3));
+  Result<std::vector<Residue>> b =
+      GenerateResidues(p, p.constraints()[0], Pred("eval", 3));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(render(*a), render(*b));
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,206 @@
+#include "shell/shell.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/fact_io.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+TEST(FactIoTest, LoadFactsFromStream) {
+  Database db;
+  std::istringstream in("e(a, b). e(b, c).\n% comment\nn(1).\n");
+  Result<size_t> added = LoadFacts(in, &db);
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(*added, 3u);
+  EXPECT_EQ(testing_util::RelationSize(db, "e", 2), 2u);
+  EXPECT_EQ(testing_util::RelationSize(db, "n", 1), 1u);
+}
+
+TEST(FactIoTest, RejectsRulesAndConstraints) {
+  Database db;
+  std::istringstream rules("p(X) :- q(X).");
+  EXPECT_FALSE(LoadFacts(rules, &db).ok());
+  std::istringstream ics("a(X) -> b(X).");
+  EXPECT_FALSE(LoadFacts(ics, &db).ok());
+  std::istringstream nonground("p(X).");
+  EXPECT_FALSE(LoadFacts(nonground, &db).ok());
+}
+
+TEST(FactIoTest, LoadTsvTypesColumns) {
+  Database db;
+  std::istringstream in("alice\t42\n# comment\nbob\t-7\n\n");
+  Result<size_t> added = LoadTsv(in, "age", &db);
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(*added, 2u);
+  const Relation* rel = db.Find(PredicateId{InternSymbol("age"), 2});
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->row(0)[0], Term::Sym("alice"));
+  EXPECT_EQ(rel->row(0)[1], Term::Int(42));
+  EXPECT_EQ(rel->row(1)[1], Term::Int(-7));
+}
+
+TEST(FactIoTest, LoadTsvRejectsRaggedRows) {
+  Database db;
+  std::istringstream in("a\tb\nc\n");
+  EXPECT_FALSE(LoadTsv(in, "p", &db).ok());
+}
+
+TEST(FactIoTest, SaveFactsRoundTrips) {
+  Database db;
+  db.AddTuple("e", {Term::Sym("a"), Term::Int(3)});
+  db.AddTuple("e", {Term::Sym("b"), Term::Int(4)});
+  std::ostringstream out;
+  SaveFacts(out, *db.Find(PredicateId{InternSymbol("e"), 2}));
+  Database reloaded;
+  std::istringstream in(out.str());
+  Result<size_t> added = LoadFacts(in, &reloaded);
+  ASSERT_TRUE(added.ok()) << added.status() << "\n" << out.str();
+  EXPECT_TRUE(db.SameFactsAs(reloaded));
+}
+
+TEST(FactIoTest, MissingFileReported) {
+  Database db;
+  EXPECT_EQ(LoadFactsFile("/nonexistent/x.dl", &db).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadTsvFile("/nonexistent/x.tsv", "p", &db).status().code(),
+            StatusCode::kNotFound);
+}
+
+class ShellTest : public ::testing::Test {
+ protected:
+  Shell shell_;
+};
+
+TEST_F(ShellTest, RulesFactsAndQueries) {
+  EXPECT_EQ(shell_.Execute("t(X, Y) :- e(X, Y)."), "added 1 rule(s)");
+  EXPECT_EQ(shell_.Execute("t(X, Y) :- t(X, Z), e(Z, Y)."),
+            "added 1 rule(s)");
+  EXPECT_EQ(shell_.Execute("e(a, b). e(b, c)."), "added 2 fact(s)");
+  std::string answer = shell_.Execute("?- t(a, Y).");
+  EXPECT_NE(answer.find("Y=b"), std::string::npos);
+  EXPECT_NE(answer.find("Y=c"), std::string::npos);
+  EXPECT_NE(answer.find("2 answer(s)"), std::string::npos);
+  EXPECT_EQ(shell_.Execute("?- t(z, Y)."), "no answers");
+}
+
+TEST_F(ShellTest, EmptyAndCommentLines) {
+  EXPECT_EQ(shell_.Execute(""), "");
+  EXPECT_EQ(shell_.Execute("   "), "");
+  EXPECT_EQ(shell_.Execute("% just a comment"), "");
+}
+
+TEST_F(ShellTest, ParseErrorsAreReported) {
+  std::string out = shell_.Execute("t(X :- e(X).");
+  EXPECT_NE(out.find("InvalidArgument"), std::string::npos);
+}
+
+TEST_F(ShellTest, ProgramAndDbListing) {
+  EXPECT_EQ(shell_.Execute(".program"), "(empty program)");
+  shell_.Execute("t(X, Y) :- e(X, Y).");
+  shell_.Execute("e(a, b).");
+  EXPECT_NE(shell_.Execute(".program").find("t(X, Y) :- e(X, Y)."),
+            std::string::npos);
+  std::string db = shell_.Execute(".db");
+  EXPECT_NE(db.find("e/2: 1 tuple(s)"), std::string::npos);
+  EXPECT_EQ(shell_.Execute(".db e/2"), "e(a, b).");
+  EXPECT_EQ(shell_.Execute(".db nothere"), "no relation nothere");
+}
+
+TEST_F(ShellTest, ConstraintsResiduesAndOptimize) {
+  shell_.Execute("r0: eval(P, S, T) :- super(P, S, T).");
+  shell_.Execute(
+      "r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T), "
+      "expert(P, F), field(T, F).");
+  EXPECT_EQ(shell_.Execute(
+                "ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1)."),
+            "added 1 constraint(s)");
+  std::string residues = shell_.Execute(".residues");
+  EXPECT_NE(residues.find("expert"), std::string::npos);
+  EXPECT_NE(residues.find("r1 r1"), std::string::npos);
+  std::string optimize = shell_.Execute(".optimize");
+  EXPECT_NE(optimize.find("atom elimination"), std::string::npos);
+  EXPECT_NE(optimize.find("program replaced"), std::string::npos);
+  EXPECT_NE(shell_.Execute(".program").find("committed"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, CheckReportsViolations) {
+  shell_.Execute("p(X) :- n(X).");
+  shell_.Execute("n(X), X > 10 -> .");
+  shell_.Execute("n(5).");
+  EXPECT_EQ(shell_.Execute(".check"), "all constraints satisfied");
+  shell_.Execute("n(11).");
+  EXPECT_NE(shell_.Execute(".check").find("violated"), std::string::npos);
+}
+
+TEST_F(ShellTest, MagicQuery) {
+  shell_.Execute("t(X, Y) :- e(X, Y).");
+  shell_.Execute("t(X, Y) :- t(X, Z), e(Z, Y).");
+  shell_.Execute("e(a, b). e(b, c). e(x, y).");
+  std::string out = shell_.Execute(".magic t(a, Y)");
+  EXPECT_NE(out.find("t(a, b)"), std::string::npos);
+  EXPECT_NE(out.find("t(a, c)"), std::string::npos);
+  EXPECT_NE(out.find("2 answer(s)"), std::string::npos);
+  EXPECT_EQ(out.find("t(x, y)"), std::string::npos);
+}
+
+TEST_F(ShellTest, StatsToggle) {
+  shell_.Execute("t(X) :- e(X).");
+  shell_.Execute("e(a).");
+  EXPECT_EQ(shell_.Execute(".stats").find("stats on"), 0u);
+  EXPECT_NE(shell_.Execute("?- t(X).").find("iterations="),
+            std::string::npos);
+  shell_.Execute(".stats off");
+  EXPECT_EQ(shell_.Execute("?- t(X).").find("iterations="),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, ResetAndQuit) {
+  shell_.Execute("t(X) :- e(X).");
+  shell_.Execute("e(a).");
+  EXPECT_EQ(shell_.Execute(".reset"), "reset");
+  EXPECT_EQ(shell_.Execute(".program"), "(empty program)");
+  EXPECT_FALSE(shell_.done());
+  EXPECT_EQ(shell_.Execute(".quit"), "bye");
+  EXPECT_TRUE(shell_.done());
+}
+
+TEST_F(ShellTest, UnknownCommand) {
+  EXPECT_NE(shell_.Execute(".frobnicate").find("unknown command"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, LoadProgramFile) {
+  std::string path = ::testing::TempDir() + "/shell_load_test.dl";
+  {
+    std::ofstream out(path);
+    out << "t(X, Y) :- e(X, Y).\n";
+    out << "e(a, b).\n";
+  }
+  std::string loaded = shell_.Execute(".load " + path);
+  EXPECT_NE(loaded.find("1 rule(s)"), std::string::npos);
+  EXPECT_NE(loaded.find("1 fact(s)"), std::string::npos);
+  EXPECT_NE(shell_.Execute("?- t(X, Y).").find("1 answer(s)"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ShellTest, LoadTsvFileCommand) {
+  std::string path = ::testing::TempDir() + "/shell_load_test.tsv";
+  {
+    std::ofstream out(path);
+    out << "a\t1\nb\t2\n";
+  }
+  EXPECT_EQ(shell_.Execute(".loadtsv score " + path),
+            "loaded 2 tuple(s) into score");
+  EXPECT_EQ(shell_.Execute(".db score/2"), "score(a, 1).\nscore(b, 2).");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,121 @@
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+PredicateId Pred(const char* name, uint32_t arity) {
+  return PredicateId{InternSymbol(name), arity};
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(Pred("edge", 2));
+  EXPECT_TRUE(rel.Insert({Term::Sym("a"), Term::Sym("b")}));
+  EXPECT_FALSE(rel.Insert({Term::Sym("a"), Term::Sym("b")}));
+  EXPECT_TRUE(rel.Insert({Term::Sym("b"), Term::Sym("a")}));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(rel.Contains({Term::Sym("a"), Term::Sym("b")}));
+  EXPECT_FALSE(rel.Contains({Term::Sym("a"), Term::Sym("a")}));
+}
+
+TEST(RelationTest, RowsKeepInsertionOrder) {
+  Relation rel(Pred("n", 1));
+  for (int i = 0; i < 10; ++i) rel.Insert({Term::Int(i)});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rel.row(i)[0].int_value(), i);
+}
+
+TEST(RelationTest, ProbeSingleColumn) {
+  Relation rel(Pred("edge", 2));
+  rel.Insert({Term::Sym("a"), Term::Sym("b")});
+  rel.Insert({Term::Sym("a"), Term::Sym("c")});
+  rel.Insert({Term::Sym("b"), Term::Sym("c")});
+  const auto& hits = rel.Probe({0}, {Term::Sym("a")});
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(rel.Probe({0}, {Term::Sym("z")}).empty());
+  const auto& second = rel.Probe({1}, {Term::Sym("c")});
+  EXPECT_EQ(second.size(), 2u);
+}
+
+TEST(RelationTest, ProbeMultiColumnAndIncrementalMaintenance) {
+  Relation rel(Pred("t", 3));
+  rel.Insert({Term::Int(1), Term::Int(2), Term::Int(3)});
+  rel.EnsureIndex({0, 2});
+  // Insert after the index exists; the index must be maintained.
+  rel.Insert({Term::Int(1), Term::Int(9), Term::Int(3)});
+  const auto& hits = rel.Probe({0, 2}, {Term::Int(1), Term::Int(3)});
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_GE(rel.index_count(), 1u);
+}
+
+TEST(RelationTest, ClearResetsEverything) {
+  Relation rel(Pred("x", 1));
+  rel.Insert({Term::Int(1)});
+  rel.EnsureIndex({0});
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+  EXPECT_FALSE(rel.Contains({Term::Int(1)}));
+  EXPECT_TRUE(rel.Probe({0}, {Term::Int(1)}).empty());
+  EXPECT_TRUE(rel.Insert({Term::Int(1)}));
+}
+
+TEST(RelationTest, ZeroArity) {
+  Relation rel(Pred("flag", 0));
+  EXPECT_TRUE(rel.Insert({}));
+  EXPECT_FALSE(rel.Insert({}));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains({}));
+}
+
+TEST(DatabaseTest, AddFactAndFind) {
+  Database db;
+  Atom fact("edge", {Term::Sym("a"), Term::Sym("b")});
+  ASSERT_TRUE(db.AddFact(fact).ok());
+  const Relation* rel = db.Find(Pred("edge", 2));
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 1u);
+  EXPECT_EQ(db.Find(Pred("edge", 3)), nullptr);
+  EXPECT_EQ(db.TotalTuples(), 1u);
+}
+
+TEST(DatabaseTest, AddFactRejectsNonGround) {
+  Database db;
+  EXPECT_FALSE(db.AddFact(Atom("edge", {Term::Var("X")})).ok());
+}
+
+TEST(DatabaseTest, CloneIsDeepAndEqual) {
+  Database db = testing_util::MustParseFacts("e(a, b). e(b, c). f(1).");
+  Database copy = db.Clone();
+  EXPECT_TRUE(db.SameFactsAs(copy));
+  copy.AddTuple("e", {Term::Sym("x"), Term::Sym("y")});
+  EXPECT_FALSE(db.SameFactsAs(copy));
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+TEST(DatabaseTest, SameFactsIgnoresEmptyRelations) {
+  Database a = testing_util::MustParseFacts("e(a, b).");
+  Database b = testing_util::MustParseFacts("e(a, b).");
+  b.GetOrCreate(Pred("unused", 1));  // empty relation should not matter
+  EXPECT_TRUE(a.SameFactsAs(b));
+  EXPECT_TRUE(b.SameFactsAs(a));
+}
+
+TEST(DatabaseTest, SameFactsDetectsDifferences) {
+  Database a = testing_util::MustParseFacts("e(a, b). e(b, c).");
+  Database b = testing_util::MustParseFacts("e(a, b). e(c, b).");
+  EXPECT_FALSE(a.SameFactsAs(b));
+  Database c = testing_util::MustParseFacts("e(a, b).");
+  EXPECT_FALSE(a.SameFactsAs(c));
+  EXPECT_FALSE(c.SameFactsAs(a));
+}
+
+TEST(TupleTest, Printing) {
+  EXPECT_EQ(TupleToString({Term::Sym("a"), Term::Int(3)}), "(a, 3)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,262 @@
+#include "semopt/expanded_form.h"
+
+#include "util/string_util.h"
+#include "semopt/residue.h"
+#include "semopt/subsumption.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParse;
+using testing_util::MustParseConstraint;
+using testing_util::MustParseRule;
+
+std::vector<Atom> Atoms(std::initializer_list<const char*> sources) {
+  std::vector<Atom> atoms;
+  for (const char* s : sources) {
+    Result<Atom> a = ParseAtom(s);
+    EXPECT_TRUE(a.ok()) << a.status();
+    atoms.push_back(*a);
+  }
+  return atoms;
+}
+
+TEST(SubsumptionTest, CompleteMatchBindsTheta) {
+  auto ic = Atoms({"works_with(P2, P1)", "expert(P1, F1)"});
+  auto target = Atoms({"works_with(P, Q)", "expert(Q, F)", "field(T, F)"});
+  auto matches = FindSubsumptions(ic, target, /*require_all=*/true);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].matched_count(), 2u);
+  EXPECT_EQ(matches[0].theta.Walk(Term::Var("P2")), Term::Var("P"));
+  EXPECT_EQ(matches[0].theta.Walk(Term::Var("P1")), Term::Var("Q"));
+  EXPECT_EQ(matches[0].theta.Walk(Term::Var("F1")), Term::Var("F"));
+}
+
+TEST(SubsumptionTest, SharedVariableConstrainsMatch) {
+  // The shared P1 forbids matching expert against an atom with an
+  // unrelated first argument.
+  auto ic = Atoms({"works_with(P2, P1)", "expert(P1, F1)"});
+  auto target = Atoms({"works_with(P, Q)", "expert(Z, F)"});
+  EXPECT_TRUE(FindSubsumptions(ic, target, true).empty());
+}
+
+TEST(SubsumptionTest, ConstantsMustMatchExactly) {
+  auto ic = Atoms({"boss(E, B, executive)"});
+  EXPECT_FALSE(
+      FindSubsumptions(ic, Atoms({"boss(X, Y, executive)"}), true).empty());
+  EXPECT_TRUE(
+      FindSubsumptions(ic, Atoms({"boss(X, Y, manager)"}), true).empty());
+  EXPECT_TRUE(
+      FindSubsumptions(ic, Atoms({"boss(X, Y, R)"}), true).empty())
+      << "an IC constant must not match a rule variable under free "
+         "subsumption";
+}
+
+TEST(SubsumptionTest, PartialMatchesMarkUnmatched) {
+  auto ic = Atoms({"a(X)", "b(X)"});
+  auto target = Atoms({"a(U)"});
+  auto matches = FindSubsumptions(ic, target, /*require_all=*/false);
+  ASSERT_FALSE(matches.empty());
+  bool found_partial = false;
+  for (const auto& m : matches) {
+    if (m.target_index[0] == 0 && m.target_index[1] == -1) {
+      found_partial = true;
+    }
+  }
+  EXPECT_TRUE(found_partial);
+}
+
+TEST(SubsumptionTest, TwoIcAtomsMayShareOneTargetAtom) {
+  auto ic = Atoms({"e(X, Y)", "e(Y, Z)"});
+  auto target = Atoms({"e(U, U)"});
+  // X=Y=Z=U maps both atoms onto the single target atom.
+  EXPECT_FALSE(FindSubsumptions(ic, target, true).empty());
+}
+
+TEST(SubsumptionTest, MaxMatchesCap) {
+  auto ic = Atoms({"e(X, Y)"});
+  auto target = Atoms({"e(A, B)", "e(C, D)", "e(E, F)"});
+  EXPECT_EQ(FindSubsumptions(ic, target, true, 2).size(), 2u);
+  EXPECT_EQ(FindSubsumptions(ic, target, true).size(), 3u);
+}
+
+TEST(SubsumptionTest, SubsumesClassic) {
+  EXPECT_TRUE(Subsumes(Atoms({"e(X, Y)"}), Atoms({"e(a, b)", "f(c)"})));
+  EXPECT_FALSE(Subsumes(Atoms({"e(X, X)"}), Atoms({"e(a, b)"})));
+  EXPECT_TRUE(Subsumes({}, Atoms({"e(a, b)"})));
+}
+
+TEST(ExpandedFormTest, PaperExample21) {
+  // ic: a(V1,V2,V3), b(V2,V4), c(V4,V5,V6) -> d(V6,V7) expands so the
+  // repeated V2 and V4 become fresh variables with equalities.
+  Constraint ic = MustParseConstraint(
+      "a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).");
+  Constraint expanded = ExpandConstraint(ic);
+  auto atoms = expanded.DatabaseBody();
+  ASSERT_EQ(atoms.size(), 3u);
+  // First occurrences keep their variables.
+  EXPECT_EQ(atoms[0].ToString(), "a(V1, V2, V3)");
+  // b's first argument was a repeat of V2: now fresh.
+  EXPECT_NE(atoms[1].arg(0), Term::Var("V2"));
+  EXPECT_EQ(atoms[1].arg(1), Term::Var("V4"));
+  // c's first argument was a repeat of V4: now fresh.
+  EXPECT_NE(atoms[2].arg(0), Term::Var("V4"));
+  // Two displacement equalities.
+  EXPECT_EQ(expanded.EvaluableBody().size(), 2u);
+  // Head untouched.
+  EXPECT_EQ(expanded.head()->ToString(), "d(V6, V7)");
+}
+
+TEST(ExpandedFormTest, ConstantsAreDisplaced) {
+  Constraint ic = MustParseConstraint("boss(E, B, executive) -> exp(B).");
+  Constraint expanded = ExpandConstraint(ic);
+  std::vector<Atom> atoms = expanded.DatabaseBody();
+  const Atom& boss = atoms[0];
+  EXPECT_TRUE(boss.arg(2).IsVariable());
+  ASSERT_EQ(expanded.EvaluableBody().size(), 1u);
+  const Literal& eq = expanded.EvaluableBody()[0];
+  EXPECT_EQ(eq.op(), ComparisonOp::kEq);
+  EXPECT_EQ(eq.rhs(), Term::Sym("executive"));
+}
+
+TEST(ExpandedFormTest, RepeatedVariableInsideOneAtom) {
+  Constraint ic = MustParseConstraint("e(X, X) -> .");
+  Constraint expanded = ExpandConstraint(ic);
+  std::vector<Atom> atoms = expanded.DatabaseBody();
+  const Atom& e = atoms[0];
+  EXPECT_NE(e.arg(0), e.arg(1));
+  EXPECT_EQ(expanded.EvaluableBody().size(), 1u);
+}
+
+TEST(ClassicalResidueTest, PaperExample21ResidueOnRule) {
+  // The classical residue of the Example 2.1 IC against r0 retains the
+  // decoupling equalities: X2' = X2, X3' = X3 -> d(X5, X6) (modulo
+  // variable renaming of the IC).
+  Constraint ic = MustParseConstraint(
+      "ic: a(V1, V2, V3), b(V2, V4), c(V4, V5, V6) -> d(V6, V7).");
+  Rule r0 = MustParseRule(
+      "r0: p(X1, X2, X3, X4, X5, X6) :- a(X1, X2, X4), b(W2, X3), "
+      "c(W3, W4, X5), d(W5, X6), p(X1, W2, W3, W4, W5, W6)");
+  std::vector<Constraint> residues = ClassicalRuleResidues(ic, r0);
+  ASSERT_FALSE(residues.empty());
+  // Find a residue with a d(...) head and two equality conditions.
+  bool found = false;
+  for (const Constraint& res : residues) {
+    if (!res.head().has_value() || !res.head()->IsRelational()) continue;
+    if (res.head()->atom().predicate_name() != "d") continue;
+    size_t equalities = 0;
+    bool only_equalities = true;
+    for (const Literal& lit : res.body()) {
+      if (lit.IsComparison() && lit.op() == ComparisonOp::kEq) {
+        ++equalities;
+      } else {
+        only_equalities = false;
+      }
+    }
+    if (only_equalities && equalities == 2) found = true;
+  }
+  EXPECT_TRUE(found) << "residues found:\n"
+                     << JoinMapped(residues, "\n",
+                                   [](const Constraint& c) {
+                                     return c.ToString();
+                                   });
+}
+
+TEST(ClassicalResidueTest, PaperExample32TrivialResidue) {
+  // ic1 against r1 yields the residue P = P' -> expert(P, F), which is
+  // trivial in the context of the rule (its head is a body subgoal).
+  Constraint ic = MustParseConstraint(
+      "ic1: works_with(P2, P1), expert(P1, F1) -> expert(P2, F1).");
+  Rule r1 = MustParseRule(
+      "r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T), "
+      "expert(P, F), field(T, F)");
+  std::vector<Constraint> residues = ClassicalRuleResidues(ic, r1);
+  bool found_trivial = false;
+  for (const Constraint& res : residues) {
+    if (IsTrivialClassicalResidue(res, r1)) found_trivial = true;
+  }
+  EXPECT_TRUE(found_trivial);
+}
+
+TEST(ResidueTest, KindClassification) {
+  Residue unconditional_fact;
+  unconditional_fact.head = testing_util::MustParseLiteral("expert(P, F)");
+  EXPECT_EQ(unconditional_fact.kind(), ResidueKind::kUnconditionalFact);
+
+  Residue conditional_fact = unconditional_fact;
+  conditional_fact.conditions.push_back(
+      testing_util::MustParseLiteral("R = 'executive'"));
+  EXPECT_EQ(conditional_fact.kind(), ResidueKind::kConditionalFact);
+
+  Residue unconditional_null;
+  EXPECT_EQ(unconditional_null.kind(), ResidueKind::kUnconditionalNull);
+
+  Residue conditional_null;
+  conditional_null.conditions.push_back(
+      testing_util::MustParseLiteral("Ya <= 50"));
+  EXPECT_EQ(conditional_null.kind(), ResidueKind::kConditionalNull);
+  EXPECT_EQ(conditional_null.ToString(), "Ya <= 50 ->");
+}
+
+TEST(ResidueTest, SimplifyDropsTrueConditionsAndDuplicates) {
+  Residue r;
+  r.conditions = {testing_util::MustParseLiteral("3 > 1"),
+                  testing_util::MustParseLiteral("X = X"),
+                  testing_util::MustParseLiteral("X > 2"),
+                  testing_util::MustParseLiteral("X > 2")};
+  r.head = testing_util::MustParseLiteral("q(X)");
+  auto simplified = SimplifyResidue(r);
+  ASSERT_TRUE(simplified.has_value());
+  EXPECT_EQ(simplified->conditions.size(), 1u);
+}
+
+TEST(ResidueTest, SimplifyVacuousAndTrivial) {
+  Residue vacuous;
+  vacuous.conditions = {testing_util::MustParseLiteral("1 > 2")};
+  vacuous.head = testing_util::MustParseLiteral("q(X)");
+  EXPECT_FALSE(SimplifyResidue(vacuous).has_value());
+
+  Residue tautology;
+  tautology.head = testing_util::MustParseLiteral("X = X");
+  EXPECT_FALSE(SimplifyResidue(tautology).has_value());
+
+  Residue false_head;
+  false_head.conditions = {testing_util::MustParseLiteral("X > 2")};
+  false_head.head = testing_util::MustParseLiteral("1 = 2");
+  auto simplified = SimplifyResidue(false_head);
+  ASSERT_TRUE(simplified.has_value());
+  EXPECT_TRUE(simplified->IsNull()) << "false head becomes a null residue";
+}
+
+TEST(ResidueTest, UsefulnessViaOccurrence) {
+  Program p = MustParse(R"(
+    r0: eval(P, S, T) :- super(P, S, T).
+    r1: eval(P, S, T) :- works_with(P, P2), eval(P2, S, T),
+                         expert(P, F), field(T, F).
+  )");
+  Result<UnfoldedSequence> u = Unfold(p, ExpansionSequence{{1, 1}});
+  ASSERT_TRUE(u.ok());
+
+  Residue useful;
+  useful.head = Literal::Relational(
+      Atom("expert", {Term::Var("P"), Term::Var("F")}));
+  auto occ = FindUsefulOccurrence(useful, *u);
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ->step, 0u);
+  EXPECT_TRUE(IsUseful(useful, *u));
+
+  Residue useless;
+  useless.head = Literal::Relational(Atom("unrelated", {Term::Var("P")}));
+  EXPECT_FALSE(FindUsefulOccurrence(useless, *u).has_value());
+  EXPECT_FALSE(IsUseful(useless, *u));
+
+  // Null residues and evaluable heads are trivially useful.
+  Residue null_residue;
+  EXPECT_TRUE(IsUseful(null_residue, *u));
+}
+
+}  // namespace
+}  // namespace semopt

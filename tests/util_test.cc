@@ -1,0 +1,119 @@
+#include "util/hash_util.h"
+#include "util/interner.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace semopt {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rule");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rule");
+}
+
+TEST(StatusTest, AllCodeNamesDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SEMOPT_ASSIGN_OR_RETURN(int half, Half(x));
+  SEMOPT_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> err = Quarter(6);  // 6/2=3, 3 is odd
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InternerTest, SameStringSameId) {
+  Interner interner;
+  SymbolId a = interner.Intern("edge");
+  SymbolId b = interner.Intern("edge");
+  SymbolId c = interner.Intern("node");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(interner.Lookup(a), "edge");
+  EXPECT_EQ(interner.Lookup(c), "node");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, GlobalInternerIsStable) {
+  SymbolId a = InternSymbol("global$test$symbol");
+  SymbolId b = InternSymbol("global$test$symbol");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(SymbolName(a), "global$test$symbol");
+}
+
+TEST(StringUtilTest, JoinAndStrCat) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(JoinToString(v, ", "), "1, 2, 3");
+  EXPECT_EQ(JoinToString(std::vector<int>{}, ","), "");
+  EXPECT_EQ(StrCat("a", 1, "b", 2), "a1b2");
+  EXPECT_TRUE(StartsWith("magic$p", "magic$"));
+  EXPECT_FALSE(StartsWith("p", "magic$"));
+}
+
+TEST(SplitMix64Test, DeterministicAndBounded) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  SplitMix64 c(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(c.Below(17), 17u);
+    double d = c.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HashUtilTest, HashRangeSensitiveToOrder) {
+  std::vector<int> a{1, 2, 3};
+  std::vector<int> b{3, 2, 1};
+  EXPECT_NE(HashRange(a.begin(), a.end()), HashRange(b.begin(), b.end()));
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,150 @@
+#include "workload/genealogy.h"
+#include "workload/honors.h"
+#include "workload/organization.h"
+#include "workload/university.h"
+
+#include "eval/constraint_check.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustEvaluate;
+using testing_util::RelationSize;
+
+TEST(UniversityWorkloadTest, ProgramParsesAndHasExpectedShape) {
+  Result<Program> p = UniversityProgram();
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->rules().size(), 3u);
+  EXPECT_EQ(p->constraints().size(), 2u);
+}
+
+TEST(UniversityWorkloadTest, GeneratedDbSatisfiesIcs) {
+  Result<Program> p = UniversityProgram();
+  ASSERT_TRUE(p.ok());
+  for (uint64_t seed : {1, 7, 42}) {
+    UniversityParams params;
+    params.num_professors = 25;
+    params.num_students = 40;
+    params.seed = seed;
+    Database edb = GenerateUniversityDb(params);
+    for (const Constraint& ic : p->constraints()) {
+      Result<bool> sat = Satisfies(edb, ic);
+      ASSERT_TRUE(sat.ok());
+      EXPECT_TRUE(*sat) << "seed " << seed << " violates " << ic.ToString();
+    }
+  }
+}
+
+TEST(UniversityWorkloadTest, ProducesRecursiveDerivations) {
+  Result<Program> p = UniversityProgram();
+  ASSERT_TRUE(p.ok());
+  UniversityParams params;
+  params.num_professors = 30;
+  params.num_students = 40;
+  params.seed = 5;
+  Database edb = GenerateUniversityDb(params);
+  Database idb = MustEvaluate(*p, edb);
+  size_t eval_tuples = RelationSize(idb, "eval", 3);
+  size_t super_tuples = RelationSize(edb, "super", 3);
+  // The recursion adds derivations beyond direct supervision.
+  EXPECT_GT(eval_tuples, super_tuples);
+}
+
+TEST(UniversityWorkloadTest, SizeScalesWithParameters) {
+  UniversityParams small;
+  small.num_professors = 10;
+  small.num_students = 10;
+  UniversityParams large = small;
+  large.num_professors = 50;
+  large.num_students = 80;
+  EXPECT_LT(GenerateUniversityDb(small).TotalTuples(),
+            GenerateUniversityDb(large).TotalTuples());
+}
+
+TEST(OrganizationWorkloadTest, GeneratedDbSatisfiesIc) {
+  Result<Program> p = OrganizationProgram();
+  ASSERT_TRUE(p.ok());
+  for (uint64_t seed : {2, 9}) {
+    OrganizationParams params;
+    params.num_employees = 80;
+    params.seed = seed;
+    Database edb = GenerateOrganizationDb(params);
+    Result<bool> sat = Satisfies(edb, p->constraints()[0]);
+    ASSERT_TRUE(sat.ok());
+    EXPECT_TRUE(*sat);
+    EXPECT_GT(RelationSize(edb, "boss", 3), 0u);
+    EXPECT_GT(RelationSize(edb, "same_level", 3), 0u);
+  }
+}
+
+TEST(OrganizationWorkloadTest, TriplesDerive) {
+  Result<Program> p = OrganizationProgram();
+  ASSERT_TRUE(p.ok());
+  OrganizationParams params;
+  params.num_employees = 60;
+  params.seed = 3;
+  Database edb = GenerateOrganizationDb(params);
+  Database idb = MustEvaluate(*p, edb);
+  EXPECT_GT(RelationSize(idb, "triple", 3),
+            RelationSize(edb, "same_level", 3));
+}
+
+TEST(GenealogyWorkloadTest, GeneratedDbSatisfiesIc) {
+  Result<Program> p = GenealogyProgram();
+  ASSERT_TRUE(p.ok());
+  for (size_t generations : {4u, 6u, 9u}) {
+    GenealogyParams params;
+    params.num_families = 5;
+    params.generations = generations;
+    params.seed = generations;
+    Database edb = GenerateGenealogyDb(params);
+    Result<bool> sat = Satisfies(edb, p->constraints()[0]);
+    ASSERT_TRUE(sat.ok());
+    EXPECT_TRUE(*sat) << "generations=" << generations;
+  }
+}
+
+TEST(GenealogyWorkloadTest, AncestorDepthMatchesGenerations) {
+  Result<Program> p = GenealogyProgram();
+  ASSERT_TRUE(p.ok());
+  GenealogyParams params;
+  params.num_families = 1;
+  params.generations = 5;
+  params.children_per_person = 1;  // single chain
+  params.seed = 4;
+  Database edb = GenerateGenealogyDb(params);
+  EXPECT_EQ(RelationSize(edb, "par", 4), 4u);
+  Database idb = MustEvaluate(*p, edb);
+  // A 5-person chain has C(5,2) = 10 ancestor pairs.
+  EXPECT_EQ(RelationSize(idb, "anc", 4), 10u);
+}
+
+TEST(HonorsWorkloadTest, ProgramAndDataProduceHonors) {
+  Result<Program> p = HonorsProgram();
+  ASSERT_TRUE(p.ok()) << p.status();
+  HonorsParams params;
+  params.num_students = 300;
+  params.seed = 8;
+  Database edb = GenerateHonorsDb(params);
+  Database idb = MustEvaluate(*p, edb);
+  // With 300 students and generous fractions, every rule should fire.
+  EXPECT_GT(RelationSize(idb, "honors", 1), 0u);
+  EXPECT_GT(RelationSize(idb, "exceptional", 1), 0u);
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministic) {
+  UniversityParams params;
+  params.seed = 77;
+  Database a = GenerateUniversityDb(params);
+  Database b = GenerateUniversityDb(params);
+  EXPECT_TRUE(a.SameFactsAs(b));
+  params.seed = 78;
+  Database c = GenerateUniversityDb(params);
+  EXPECT_FALSE(a.SameFactsAs(c));
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,131 @@
+// Batch analysis of a program file: recursion classification, strata,
+// the residues of its integrity constraints, and a preview of what the
+// semantic optimizer would do. The non-interactive companion to
+// semopt_shell, suitable for CI pipelines.
+//
+//   $ ./build/tools/semopt_analyze program.dl
+//   $ ./build/tools/semopt_analyze --optimize program.dl   # also print
+//                                                          # the result
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/recursion.h"
+#include "analysis/rectify.h"
+#include "analysis/stratify.h"
+#include "parser/parser.h"
+#include "semopt/optimizer.h"
+#include "semopt/residue_generator.h"
+
+using namespace semopt;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool print_optimized = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--optimize") {
+      print_optimized = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: semopt_analyze [--optimize] PROGRAM.dl\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<Program> parsed = ParseProgram(buffer.str());
+  if (!parsed.ok()) return Fail(parsed.status());
+  Program program = std::move(*parsed);
+  program.AutoLabelRules();
+
+  std::cout << "== program ==\n"
+            << program.rules().size() << " rule(s), "
+            << program.constraints().size() << " constraint(s), "
+            << program.IdbPredicates().size() << " IDB / "
+            << program.EdbPredicates().size() << " EDB predicate(s)\n";
+
+  RecursionAnalysis recursion = AnalyzeRecursion(program);
+  std::cout << "recursion: "
+            << (recursion.has_recursion ? "yes" : "no");
+  if (recursion.has_recursion) {
+    std::cout << (recursion.all_linear ? ", linear" : ", NON-linear")
+              << (recursion.has_mutual_recursion ? ", mutual" : "");
+    std::cout << "; recursive predicates:";
+    for (const PredicateId& pred : recursion.recursive_predicates) {
+      std::cout << " " << pred.ToString();
+    }
+  }
+  std::cout << "\n";
+  std::cout << "rectified: " << (IsRectified(program) ? "yes" : "no")
+            << "\n";
+
+  Result<Stratification> strata = Stratify(program);
+  if (strata.ok()) {
+    std::cout << "strata: " << strata->strata.size() << "\n";
+  } else {
+    std::cout << "strata: " << strata.status() << "\n";
+  }
+
+  Status assumptions = ValidatePaperAssumptions(program);
+  std::cout << "paper assumptions (§1): "
+            << (assumptions.ok() ? "satisfied" : assumptions.ToString())
+            << "\n";
+
+  if (!program.constraints().empty() && assumptions.ok()) {
+    Program rectified = program;
+    if (!IsRectified(rectified)) {
+      Result<Program> r = Rectify(rectified);
+      if (r.ok()) rectified = std::move(*r);
+    }
+    Result<std::vector<Residue>> residues = GenerateAllResidues(rectified);
+    std::cout << "\n== residues (Algorithm 3.1) ==\n";
+    if (!residues.ok()) {
+      std::cout << residues.status() << "\n";
+    } else if (residues->empty()) {
+      std::cout << "none\n";
+    } else {
+      for (const Residue& r : *residues) {
+        std::cout << r.ToString(rectified) << "   ["
+                  << ResidueKindName(r.kind()) << ", IC " << r.ic_label
+                  << "]\n";
+      }
+    }
+
+    SemanticOptimizer optimizer;
+    Result<OptimizeResult> optimized = optimizer.Optimize(program);
+    std::cout << "\n== optimizer ==\n";
+    if (!optimized.ok()) {
+      std::cout << optimized.status() << "\n";
+    } else {
+      std::cout << optimized->Report();
+      if (print_optimized && !optimized->applied.empty()) {
+        std::cout << "\n== transformed program ==\n"
+                  << optimized->program.ToString();
+      }
+    }
+  }
+  return 0;
+}

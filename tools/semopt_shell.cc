@@ -1,0 +1,27 @@
+// Interactive shell over the semopt library.
+//
+//   $ ./build/tools/semopt_shell
+//   semopt> t(X, Y) :- e(X, Y).
+//   semopt> t(X, Y) :- t(X, Z), e(Z, Y).
+//   semopt> e(a, b). e(b, c).
+//   semopt> ?- t(a, Y).
+//
+// See `.help` for session commands (optimize, residues, magic, ...).
+
+#include <iostream>
+#include <string>
+
+#include "shell/shell.h"
+
+int main() {
+  semopt::Shell shell;
+  std::string line;
+  std::cout << "semopt shell — .help for commands, .quit to leave\n";
+  while (!shell.done()) {
+    std::cout << "semopt> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string output = shell.Execute(line);
+    if (!output.empty()) std::cout << output << "\n";
+  }
+  return 0;
+}
