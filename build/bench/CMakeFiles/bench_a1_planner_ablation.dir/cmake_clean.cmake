@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_planner_ablation.dir/bench_a1_planner_ablation.cc.o"
+  "CMakeFiles/bench_a1_planner_ablation.dir/bench_a1_planner_ablation.cc.o.d"
+  "bench_a1_planner_ablation"
+  "bench_a1_planner_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_planner_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

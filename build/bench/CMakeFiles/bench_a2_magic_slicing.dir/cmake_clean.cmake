@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_magic_slicing.dir/bench_a2_magic_slicing.cc.o"
+  "CMakeFiles/bench_a2_magic_slicing.dir/bench_a2_magic_slicing.cc.o.d"
+  "bench_a2_magic_slicing"
+  "bench_a2_magic_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_magic_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

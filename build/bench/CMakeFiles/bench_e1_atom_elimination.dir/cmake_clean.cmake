@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_atom_elimination.dir/bench_e1_atom_elimination.cc.o"
+  "CMakeFiles/bench_e1_atom_elimination.dir/bench_e1_atom_elimination.cc.o.d"
+  "bench_e1_atom_elimination"
+  "bench_e1_atom_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_atom_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

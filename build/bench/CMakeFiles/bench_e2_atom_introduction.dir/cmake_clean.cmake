@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_atom_introduction.dir/bench_e2_atom_introduction.cc.o"
+  "CMakeFiles/bench_e2_atom_introduction.dir/bench_e2_atom_introduction.cc.o.d"
+  "bench_e2_atom_introduction"
+  "bench_e2_atom_introduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_atom_introduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

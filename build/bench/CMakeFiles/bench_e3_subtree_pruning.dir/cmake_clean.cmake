@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_subtree_pruning.dir/bench_e3_subtree_pruning.cc.o"
+  "CMakeFiles/bench_e3_subtree_pruning.dir/bench_e3_subtree_pruning.cc.o.d"
+  "bench_e3_subtree_pruning"
+  "bench_e3_subtree_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_subtree_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

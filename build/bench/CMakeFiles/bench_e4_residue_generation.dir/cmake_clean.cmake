@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_residue_generation.dir/bench_e4_residue_generation.cc.o"
+  "CMakeFiles/bench_e4_residue_generation.dir/bench_e4_residue_generation.cc.o.d"
+  "bench_e4_residue_generation"
+  "bench_e4_residue_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_residue_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

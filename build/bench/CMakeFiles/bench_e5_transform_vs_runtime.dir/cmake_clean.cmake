@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_transform_vs_runtime.dir/bench_e5_transform_vs_runtime.cc.o"
+  "CMakeFiles/bench_e5_transform_vs_runtime.dir/bench_e5_transform_vs_runtime.cc.o.d"
+  "bench_e5_transform_vs_runtime"
+  "bench_e5_transform_vs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_transform_vs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_vs_magic_sets.dir/bench_e6_vs_magic_sets.cc.o"
+  "CMakeFiles/bench_e6_vs_magic_sets.dir/bench_e6_vs_magic_sets.cc.o.d"
+  "bench_e6_vs_magic_sets"
+  "bench_e6_vs_magic_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_vs_magic_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

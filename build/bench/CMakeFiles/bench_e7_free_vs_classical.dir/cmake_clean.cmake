@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_free_vs_classical.dir/bench_e7_free_vs_classical.cc.o"
+  "CMakeFiles/bench_e7_free_vs_classical.dir/bench_e7_free_vs_classical.cc.o.d"
+  "bench_e7_free_vs_classical"
+  "bench_e7_free_vs_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_free_vs_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

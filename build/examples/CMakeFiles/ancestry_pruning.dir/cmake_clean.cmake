@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ancestry_pruning.dir/ancestry_pruning.cpp.o"
+  "CMakeFiles/ancestry_pruning.dir/ancestry_pruning.cpp.o.d"
+  "ancestry_pruning"
+  "ancestry_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ancestry_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ancestry_pruning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intelligent_answers.dir/intelligent_answers.cpp.o"
+  "CMakeFiles/intelligent_answers.dir/intelligent_answers.cpp.o.d"
+  "intelligent_answers"
+  "intelligent_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intelligent_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

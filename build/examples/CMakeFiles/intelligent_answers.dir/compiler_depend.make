@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for intelligent_answers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for intelligent_answers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/org_triples.dir/org_triples.cpp.o"
+  "CMakeFiles/org_triples.dir/org_triples.cpp.o.d"
+  "org_triples"
+  "org_triples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/org_triples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

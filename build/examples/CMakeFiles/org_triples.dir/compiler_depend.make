@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for org_triples.
+# This may be replaced when dependencies are built.

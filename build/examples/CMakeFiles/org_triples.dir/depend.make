@@ -1,0 +1,2 @@
+# Empty dependencies file for org_triples.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_eval.dir/university_eval.cpp.o"
+  "CMakeFiles/university_eval.dir/university_eval.cpp.o.d"
+  "university_eval"
+  "university_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ast")
+subdirs("parser")
+subdirs("analysis")
+subdirs("storage")
+subdirs("eval")
+subdirs("magic")
+subdirs("semopt")
+subdirs("iqa")
+subdirs("workload")
+subdirs("io")
+subdirs("shell")

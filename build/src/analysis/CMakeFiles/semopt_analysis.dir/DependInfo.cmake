@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependency_graph.cc" "src/analysis/CMakeFiles/semopt_analysis.dir/dependency_graph.cc.o" "gcc" "src/analysis/CMakeFiles/semopt_analysis.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/analysis/rectify.cc" "src/analysis/CMakeFiles/semopt_analysis.dir/rectify.cc.o" "gcc" "src/analysis/CMakeFiles/semopt_analysis.dir/rectify.cc.o.d"
+  "/root/repo/src/analysis/recursion.cc" "src/analysis/CMakeFiles/semopt_analysis.dir/recursion.cc.o" "gcc" "src/analysis/CMakeFiles/semopt_analysis.dir/recursion.cc.o.d"
+  "/root/repo/src/analysis/safety.cc" "src/analysis/CMakeFiles/semopt_analysis.dir/safety.cc.o" "gcc" "src/analysis/CMakeFiles/semopt_analysis.dir/safety.cc.o.d"
+  "/root/repo/src/analysis/stratify.cc" "src/analysis/CMakeFiles/semopt_analysis.dir/stratify.cc.o" "gcc" "src/analysis/CMakeFiles/semopt_analysis.dir/stratify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/semopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

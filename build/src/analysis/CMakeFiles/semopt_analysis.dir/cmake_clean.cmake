@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_analysis.dir/dependency_graph.cc.o"
+  "CMakeFiles/semopt_analysis.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/semopt_analysis.dir/rectify.cc.o"
+  "CMakeFiles/semopt_analysis.dir/rectify.cc.o.d"
+  "CMakeFiles/semopt_analysis.dir/recursion.cc.o"
+  "CMakeFiles/semopt_analysis.dir/recursion.cc.o.d"
+  "CMakeFiles/semopt_analysis.dir/safety.cc.o"
+  "CMakeFiles/semopt_analysis.dir/safety.cc.o.d"
+  "CMakeFiles/semopt_analysis.dir/stratify.cc.o"
+  "CMakeFiles/semopt_analysis.dir/stratify.cc.o.d"
+  "libsemopt_analysis.a"
+  "libsemopt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/atom.cc" "src/ast/CMakeFiles/semopt_ast.dir/atom.cc.o" "gcc" "src/ast/CMakeFiles/semopt_ast.dir/atom.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/ast/CMakeFiles/semopt_ast.dir/program.cc.o" "gcc" "src/ast/CMakeFiles/semopt_ast.dir/program.cc.o.d"
+  "/root/repo/src/ast/rename.cc" "src/ast/CMakeFiles/semopt_ast.dir/rename.cc.o" "gcc" "src/ast/CMakeFiles/semopt_ast.dir/rename.cc.o.d"
+  "/root/repo/src/ast/rule.cc" "src/ast/CMakeFiles/semopt_ast.dir/rule.cc.o" "gcc" "src/ast/CMakeFiles/semopt_ast.dir/rule.cc.o.d"
+  "/root/repo/src/ast/substitution.cc" "src/ast/CMakeFiles/semopt_ast.dir/substitution.cc.o" "gcc" "src/ast/CMakeFiles/semopt_ast.dir/substitution.cc.o.d"
+  "/root/repo/src/ast/term.cc" "src/ast/CMakeFiles/semopt_ast.dir/term.cc.o" "gcc" "src/ast/CMakeFiles/semopt_ast.dir/term.cc.o.d"
+  "/root/repo/src/ast/unify.cc" "src/ast/CMakeFiles/semopt_ast.dir/unify.cc.o" "gcc" "src/ast/CMakeFiles/semopt_ast.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/semopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

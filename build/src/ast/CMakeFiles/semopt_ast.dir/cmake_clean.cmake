@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_ast.dir/atom.cc.o"
+  "CMakeFiles/semopt_ast.dir/atom.cc.o.d"
+  "CMakeFiles/semopt_ast.dir/program.cc.o"
+  "CMakeFiles/semopt_ast.dir/program.cc.o.d"
+  "CMakeFiles/semopt_ast.dir/rename.cc.o"
+  "CMakeFiles/semopt_ast.dir/rename.cc.o.d"
+  "CMakeFiles/semopt_ast.dir/rule.cc.o"
+  "CMakeFiles/semopt_ast.dir/rule.cc.o.d"
+  "CMakeFiles/semopt_ast.dir/substitution.cc.o"
+  "CMakeFiles/semopt_ast.dir/substitution.cc.o.d"
+  "CMakeFiles/semopt_ast.dir/term.cc.o"
+  "CMakeFiles/semopt_ast.dir/term.cc.o.d"
+  "CMakeFiles/semopt_ast.dir/unify.cc.o"
+  "CMakeFiles/semopt_ast.dir/unify.cc.o.d"
+  "libsemopt_ast.a"
+  "libsemopt_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

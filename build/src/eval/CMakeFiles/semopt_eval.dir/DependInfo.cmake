@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/builtins.cc" "src/eval/CMakeFiles/semopt_eval.dir/builtins.cc.o" "gcc" "src/eval/CMakeFiles/semopt_eval.dir/builtins.cc.o.d"
+  "/root/repo/src/eval/constraint_check.cc" "src/eval/CMakeFiles/semopt_eval.dir/constraint_check.cc.o" "gcc" "src/eval/CMakeFiles/semopt_eval.dir/constraint_check.cc.o.d"
+  "/root/repo/src/eval/eval_stats.cc" "src/eval/CMakeFiles/semopt_eval.dir/eval_stats.cc.o" "gcc" "src/eval/CMakeFiles/semopt_eval.dir/eval_stats.cc.o.d"
+  "/root/repo/src/eval/explain.cc" "src/eval/CMakeFiles/semopt_eval.dir/explain.cc.o" "gcc" "src/eval/CMakeFiles/semopt_eval.dir/explain.cc.o.d"
+  "/root/repo/src/eval/fixpoint.cc" "src/eval/CMakeFiles/semopt_eval.dir/fixpoint.cc.o" "gcc" "src/eval/CMakeFiles/semopt_eval.dir/fixpoint.cc.o.d"
+  "/root/repo/src/eval/incremental.cc" "src/eval/CMakeFiles/semopt_eval.dir/incremental.cc.o" "gcc" "src/eval/CMakeFiles/semopt_eval.dir/incremental.cc.o.d"
+  "/root/repo/src/eval/query.cc" "src/eval/CMakeFiles/semopt_eval.dir/query.cc.o" "gcc" "src/eval/CMakeFiles/semopt_eval.dir/query.cc.o.d"
+  "/root/repo/src/eval/rule_executor.cc" "src/eval/CMakeFiles/semopt_eval.dir/rule_executor.cc.o" "gcc" "src/eval/CMakeFiles/semopt_eval.dir/rule_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/semopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/semopt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/semopt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

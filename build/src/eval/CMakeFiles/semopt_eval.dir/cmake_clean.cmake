@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_eval.dir/builtins.cc.o"
+  "CMakeFiles/semopt_eval.dir/builtins.cc.o.d"
+  "CMakeFiles/semopt_eval.dir/constraint_check.cc.o"
+  "CMakeFiles/semopt_eval.dir/constraint_check.cc.o.d"
+  "CMakeFiles/semopt_eval.dir/eval_stats.cc.o"
+  "CMakeFiles/semopt_eval.dir/eval_stats.cc.o.d"
+  "CMakeFiles/semopt_eval.dir/explain.cc.o"
+  "CMakeFiles/semopt_eval.dir/explain.cc.o.d"
+  "CMakeFiles/semopt_eval.dir/fixpoint.cc.o"
+  "CMakeFiles/semopt_eval.dir/fixpoint.cc.o.d"
+  "CMakeFiles/semopt_eval.dir/incremental.cc.o"
+  "CMakeFiles/semopt_eval.dir/incremental.cc.o.d"
+  "CMakeFiles/semopt_eval.dir/query.cc.o"
+  "CMakeFiles/semopt_eval.dir/query.cc.o.d"
+  "CMakeFiles/semopt_eval.dir/rule_executor.cc.o"
+  "CMakeFiles/semopt_eval.dir/rule_executor.cc.o.d"
+  "libsemopt_eval.a"
+  "libsemopt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_io.dir/fact_io.cc.o"
+  "CMakeFiles/semopt_io.dir/fact_io.cc.o.d"
+  "libsemopt_io.a"
+  "libsemopt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_iqa.dir/knowledge_query.cc.o"
+  "CMakeFiles/semopt_iqa.dir/knowledge_query.cc.o.d"
+  "CMakeFiles/semopt_iqa.dir/reachability.cc.o"
+  "CMakeFiles/semopt_iqa.dir/reachability.cc.o.d"
+  "libsemopt_iqa.a"
+  "libsemopt_iqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_iqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

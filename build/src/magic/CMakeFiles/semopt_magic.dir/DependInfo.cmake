@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/magic/adornment.cc" "src/magic/CMakeFiles/semopt_magic.dir/adornment.cc.o" "gcc" "src/magic/CMakeFiles/semopt_magic.dir/adornment.cc.o.d"
+  "/root/repo/src/magic/magic_sets.cc" "src/magic/CMakeFiles/semopt_magic.dir/magic_sets.cc.o" "gcc" "src/magic/CMakeFiles/semopt_magic.dir/magic_sets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/semopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/semopt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semopt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/semopt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/semopt_parser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_magic.dir/adornment.cc.o"
+  "CMakeFiles/semopt_magic.dir/adornment.cc.o.d"
+  "CMakeFiles/semopt_magic.dir/magic_sets.cc.o"
+  "CMakeFiles/semopt_magic.dir/magic_sets.cc.o.d"
+  "libsemopt_magic.a"
+  "libsemopt_magic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

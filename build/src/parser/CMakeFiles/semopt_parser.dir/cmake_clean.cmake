@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_parser.dir/lexer.cc.o"
+  "CMakeFiles/semopt_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/semopt_parser.dir/parser.cc.o"
+  "CMakeFiles/semopt_parser.dir/parser.cc.o.d"
+  "libsemopt_parser.a"
+  "libsemopt_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

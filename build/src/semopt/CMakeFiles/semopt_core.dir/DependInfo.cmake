@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semopt/ap_graph.cc" "src/semopt/CMakeFiles/semopt_core.dir/ap_graph.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/ap_graph.cc.o.d"
+  "/root/repo/src/semopt/expanded_form.cc" "src/semopt/CMakeFiles/semopt_core.dir/expanded_form.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/expanded_form.cc.o.d"
+  "/root/repo/src/semopt/expansion.cc" "src/semopt/CMakeFiles/semopt_core.dir/expansion.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/expansion.cc.o.d"
+  "/root/repo/src/semopt/factor.cc" "src/semopt/CMakeFiles/semopt_core.dir/factor.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/factor.cc.o.d"
+  "/root/repo/src/semopt/isolation.cc" "src/semopt/CMakeFiles/semopt_core.dir/isolation.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/isolation.cc.o.d"
+  "/root/repo/src/semopt/optimizer.cc" "src/semopt/CMakeFiles/semopt_core.dir/optimizer.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/semopt/pattern_graph.cc" "src/semopt/CMakeFiles/semopt_core.dir/pattern_graph.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/pattern_graph.cc.o.d"
+  "/root/repo/src/semopt/push.cc" "src/semopt/CMakeFiles/semopt_core.dir/push.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/push.cc.o.d"
+  "/root/repo/src/semopt/residue.cc" "src/semopt/CMakeFiles/semopt_core.dir/residue.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/residue.cc.o.d"
+  "/root/repo/src/semopt/residue_generator.cc" "src/semopt/CMakeFiles/semopt_core.dir/residue_generator.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/residue_generator.cc.o.d"
+  "/root/repo/src/semopt/runtime_residues.cc" "src/semopt/CMakeFiles/semopt_core.dir/runtime_residues.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/runtime_residues.cc.o.d"
+  "/root/repo/src/semopt/sd_graph.cc" "src/semopt/CMakeFiles/semopt_core.dir/sd_graph.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/sd_graph.cc.o.d"
+  "/root/repo/src/semopt/subsumption.cc" "src/semopt/CMakeFiles/semopt_core.dir/subsumption.cc.o" "gcc" "src/semopt/CMakeFiles/semopt_core.dir/subsumption.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/semopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/semopt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/semopt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semopt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/semopt_parser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

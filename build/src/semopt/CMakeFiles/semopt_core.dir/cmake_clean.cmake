@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_core.dir/ap_graph.cc.o"
+  "CMakeFiles/semopt_core.dir/ap_graph.cc.o.d"
+  "CMakeFiles/semopt_core.dir/expanded_form.cc.o"
+  "CMakeFiles/semopt_core.dir/expanded_form.cc.o.d"
+  "CMakeFiles/semopt_core.dir/expansion.cc.o"
+  "CMakeFiles/semopt_core.dir/expansion.cc.o.d"
+  "CMakeFiles/semopt_core.dir/factor.cc.o"
+  "CMakeFiles/semopt_core.dir/factor.cc.o.d"
+  "CMakeFiles/semopt_core.dir/isolation.cc.o"
+  "CMakeFiles/semopt_core.dir/isolation.cc.o.d"
+  "CMakeFiles/semopt_core.dir/optimizer.cc.o"
+  "CMakeFiles/semopt_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/semopt_core.dir/pattern_graph.cc.o"
+  "CMakeFiles/semopt_core.dir/pattern_graph.cc.o.d"
+  "CMakeFiles/semopt_core.dir/push.cc.o"
+  "CMakeFiles/semopt_core.dir/push.cc.o.d"
+  "CMakeFiles/semopt_core.dir/residue.cc.o"
+  "CMakeFiles/semopt_core.dir/residue.cc.o.d"
+  "CMakeFiles/semopt_core.dir/residue_generator.cc.o"
+  "CMakeFiles/semopt_core.dir/residue_generator.cc.o.d"
+  "CMakeFiles/semopt_core.dir/runtime_residues.cc.o"
+  "CMakeFiles/semopt_core.dir/runtime_residues.cc.o.d"
+  "CMakeFiles/semopt_core.dir/sd_graph.cc.o"
+  "CMakeFiles/semopt_core.dir/sd_graph.cc.o.d"
+  "CMakeFiles/semopt_core.dir/subsumption.cc.o"
+  "CMakeFiles/semopt_core.dir/subsumption.cc.o.d"
+  "libsemopt_core.a"
+  "libsemopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

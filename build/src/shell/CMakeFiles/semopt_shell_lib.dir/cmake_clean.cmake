@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_shell_lib.dir/shell.cc.o"
+  "CMakeFiles/semopt_shell_lib.dir/shell.cc.o.d"
+  "libsemopt_shell_lib.a"
+  "libsemopt_shell_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_shell_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_storage.dir/database.cc.o"
+  "CMakeFiles/semopt_storage.dir/database.cc.o.d"
+  "CMakeFiles/semopt_storage.dir/relation.cc.o"
+  "CMakeFiles/semopt_storage.dir/relation.cc.o.d"
+  "libsemopt_storage.a"
+  "libsemopt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_util.dir/interner.cc.o"
+  "CMakeFiles/semopt_util.dir/interner.cc.o.d"
+  "CMakeFiles/semopt_util.dir/status.cc.o"
+  "CMakeFiles/semopt_util.dir/status.cc.o.d"
+  "CMakeFiles/semopt_util.dir/string_util.cc.o"
+  "CMakeFiles/semopt_util.dir/string_util.cc.o.d"
+  "libsemopt_util.a"
+  "libsemopt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

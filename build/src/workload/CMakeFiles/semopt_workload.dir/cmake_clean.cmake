@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_workload.dir/genealogy.cc.o"
+  "CMakeFiles/semopt_workload.dir/genealogy.cc.o.d"
+  "CMakeFiles/semopt_workload.dir/honors.cc.o"
+  "CMakeFiles/semopt_workload.dir/honors.cc.o.d"
+  "CMakeFiles/semopt_workload.dir/organization.cc.o"
+  "CMakeFiles/semopt_workload.dir/organization.cc.o.d"
+  "CMakeFiles/semopt_workload.dir/university.cc.o"
+  "CMakeFiles/semopt_workload.dir/university.cc.o.d"
+  "libsemopt_workload.a"
+  "libsemopt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsemopt_workload.a"
+)

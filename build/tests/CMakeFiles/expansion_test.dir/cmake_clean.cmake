@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expansion_test.dir/expansion_test.cc.o"
+  "CMakeFiles/expansion_test.dir/expansion_test.cc.o.d"
+  "expansion_test"
+  "expansion_test.pdb"
+  "expansion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expansion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/explain_test.cc" "tests/CMakeFiles/explain_test.dir/explain_test.cc.o" "gcc" "tests/CMakeFiles/explain_test.dir/explain_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iqa/CMakeFiles/semopt_iqa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/semopt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/shell/CMakeFiles/semopt_shell_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/magic/CMakeFiles/semopt_magic.dir/DependInfo.cmake"
+  "/root/repo/build/src/semopt/CMakeFiles/semopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/semopt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/semopt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/semopt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/semopt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/semopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/semopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/semopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_test.dir/factor_test.cc.o"
+  "CMakeFiles/factor_test.dir/factor_test.cc.o.d"
+  "factor_test"
+  "factor_test.pdb"
+  "factor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

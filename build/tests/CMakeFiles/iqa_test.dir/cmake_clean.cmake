@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iqa_test.dir/iqa_test.cc.o"
+  "CMakeFiles/iqa_test.dir/iqa_test.cc.o.d"
+  "iqa_test"
+  "iqa_test.pdb"
+  "iqa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iqa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_test.dir/isolation_test.cc.o"
+  "CMakeFiles/isolation_test.dir/isolation_test.cc.o.d"
+  "isolation_test"
+  "isolation_test.pdb"
+  "isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

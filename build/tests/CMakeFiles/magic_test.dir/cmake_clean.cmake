@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_test.dir/magic_test.cc.o"
+  "CMakeFiles/magic_test.dir/magic_test.cc.o.d"
+  "magic_test"
+  "magic_test.pdb"
+  "magic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

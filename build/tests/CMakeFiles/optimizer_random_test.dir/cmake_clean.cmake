@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_random_test.dir/optimizer_random_test.cc.o"
+  "CMakeFiles/optimizer_random_test.dir/optimizer_random_test.cc.o.d"
+  "optimizer_random_test"
+  "optimizer_random_test.pdb"
+  "optimizer_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_test.dir/push_test.cc.o"
+  "CMakeFiles/push_test.dir/push_test.cc.o.d"
+  "push_test"
+  "push_test.pdb"
+  "push_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residue_generator_test.dir/residue_generator_test.cc.o"
+  "CMakeFiles/residue_generator_test.dir/residue_generator_test.cc.o.d"
+  "residue_generator_test"
+  "residue_generator_test.pdb"
+  "residue_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residue_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

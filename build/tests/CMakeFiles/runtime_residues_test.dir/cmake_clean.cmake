@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_residues_test.dir/runtime_residues_test.cc.o"
+  "CMakeFiles/runtime_residues_test.dir/runtime_residues_test.cc.o.d"
+  "runtime_residues_test"
+  "runtime_residues_test.pdb"
+  "runtime_residues_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_residues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_property_test.dir/semopt_property_test.cc.o"
+  "CMakeFiles/semopt_property_test.dir/semopt_property_test.cc.o.d"
+  "semopt_property_test"
+  "semopt_property_test.pdb"
+  "semopt_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

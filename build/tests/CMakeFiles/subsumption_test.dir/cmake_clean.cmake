@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsumption_test.dir/subsumption_test.cc.o"
+  "CMakeFiles/subsumption_test.dir/subsumption_test.cc.o.d"
+  "subsumption_test"
+  "subsumption_test.pdb"
+  "subsumption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsumption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/magic_test[1]_include.cmake")
+include("/root/repo/build/tests/expansion_test[1]_include.cmake")
+include("/root/repo/build/tests/subsumption_test[1]_include.cmake")
+include("/root/repo/build/tests/residue_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/isolation_test[1]_include.cmake")
+include("/root/repo/build/tests/push_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_residues_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/iqa_test[1]_include.cmake")
+include("/root/repo/build/tests/factor_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_random_test[1]_include.cmake")
+include("/root/repo/build/tests/shell_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/semopt_property_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")

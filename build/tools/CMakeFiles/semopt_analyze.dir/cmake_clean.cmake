@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_analyze.dir/semopt_analyze.cc.o"
+  "CMakeFiles/semopt_analyze.dir/semopt_analyze.cc.o.d"
+  "semopt_analyze"
+  "semopt_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semopt_shell.dir/semopt_shell.cc.o"
+  "CMakeFiles/semopt_shell.dir/semopt_shell.cc.o.d"
+  "semopt_shell"
+  "semopt_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semopt_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
