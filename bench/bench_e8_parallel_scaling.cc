@@ -1,0 +1,125 @@
+// Experiment E8: parallel fixpoint scaling.
+//
+// Measures the hash-partitioned parallel semi-naive evaluator
+// (src/exec/) against the serial baseline at 1/2/4/8 worker threads,
+// on the genealogy and organization workloads, for both the original
+// and the semantically optimized program. Thread count 1 runs the
+// serial evaluator untouched, so the 1-thread rows ARE the baseline.
+//
+// Results are set-equal across thread counts (tests/exec_test.cc);
+// this benchmark quantifies the wall-clock effect only. Speedup is
+// bounded by the machine's core count — on a single-core container
+// every thread count collapses to serial-plus-overhead.
+
+#include "bench_common.h"
+#include "workload/genealogy.h"
+#include "workload/organization.h"
+
+namespace semopt {
+namespace {
+
+EvalStats EvaluateThreadedOrDie(::benchmark::State& state,
+                                const Program& program, const Database& edb,
+                                size_t num_threads) {
+  EvalOptions options;
+  options.num_threads = num_threads;
+  EvalStats stats;
+  Result<Database> idb = Evaluate(program, edb, options, &stats);
+  if (!idb.ok()) {
+    state.SkipWithError(idb.status().ToString().c_str());
+  }
+  return stats;
+}
+
+GenealogyParams GenealogyParamsFor(const ::benchmark::State& state) {
+  GenealogyParams params;
+  params.num_families = static_cast<size_t>(state.range(1));
+  params.generations = 7;
+  params.children_per_person = 2;
+  params.seed = 99;
+  return params;
+}
+
+OrganizationParams OrganizationParamsFor(const ::benchmark::State& state) {
+  OrganizationParams params;
+  params.num_employees = static_cast<size_t>(state.range(1));
+  params.num_levels = 7;
+  params.seed = 99;
+  return params;
+}
+
+void BM_E8_Genealogy(::benchmark::State& state) {
+  Result<Program> program = GenealogyProgram();
+  Database edb = GenerateGenealogyDb(GenealogyParamsFor(state));
+  size_t threads = static_cast<size_t>(state.range(0));
+  EvalStats stats;
+  for (auto _ : state) {
+    stats = EvaluateThreadedOrDie(state, *program, edb, threads);
+  }
+  bench::PublishStats(state, stats);
+}
+
+void BM_E8_GenealogyOptimized(::benchmark::State& state) {
+  Result<Program> program = GenealogyProgram();
+  Program optimized = bench::OptimizeOrDie(state, *program);
+  Database edb = GenerateGenealogyDb(GenealogyParamsFor(state));
+  size_t threads = static_cast<size_t>(state.range(0));
+  EvalStats stats;
+  for (auto _ : state) {
+    stats = EvaluateThreadedOrDie(state, optimized, edb, threads);
+  }
+  bench::PublishStats(state, stats);
+}
+
+void BM_E8_Organization(::benchmark::State& state) {
+  Result<Program> program = OrganizationProgram();
+  Database edb = GenerateOrganizationDb(OrganizationParamsFor(state));
+  size_t threads = static_cast<size_t>(state.range(0));
+  EvalStats stats;
+  for (auto _ : state) {
+    stats = EvaluateThreadedOrDie(state, *program, edb, threads);
+  }
+  bench::PublishStats(state, stats);
+}
+
+void BM_E8_OrganizationOptimized(::benchmark::State& state) {
+  Result<Program> program = OrganizationProgram();
+  Program optimized = bench::OptimizeOrDie(state, *program);
+  Database edb = GenerateOrganizationDb(OrganizationParamsFor(state));
+  size_t threads = static_cast<size_t>(state.range(0));
+  EvalStats stats;
+  for (auto _ : state) {
+    stats = EvaluateThreadedOrDie(state, optimized, edb, threads);
+  }
+  bench::PublishStats(state, stats);
+}
+
+void E8GenealogyArgs(::benchmark::internal::Benchmark* b) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (int families : {40, 80}) {
+      b->Args({threads, families});
+    }
+  }
+  b->ArgNames({"threads", "families"});
+  b->Unit(::benchmark::kMillisecond);
+}
+
+void E8OrganizationArgs(::benchmark::internal::Benchmark* b) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (int employees : {400, 800}) {
+      b->Args({threads, employees});
+    }
+  }
+  b->ArgNames({"threads", "employees"});
+  b->Unit(::benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_E8_Genealogy)->Apply(E8GenealogyArgs);
+BENCHMARK(BM_E8_GenealogyOptimized)->Apply(E8GenealogyArgs);
+BENCHMARK(BM_E8_Organization)->Apply(E8OrganizationArgs);
+BENCHMARK(BM_E8_OrganizationOptimized)->Apply(E8OrganizationArgs);
+
+}  // namespace
+}  // namespace semopt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+#include "eval/component_plan.h"
+
+#include <utility>
+
+#include "analysis/dependency_graph.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+Result<std::vector<EvalComponent>> PlanComponents(const Program& program) {
+  DependencyGraph graph = DependencyGraph::Build(program);
+  // Components come out of Tarjan's algorithm in reverse topological
+  // order (callees first), which is the evaluation order we need.
+  std::vector<std::vector<PredicateId>> sccs = graph.Sccs();
+
+  std::vector<EvalComponent> components;
+  components.reserve(sccs.size());
+  for (const std::vector<PredicateId>& scc : sccs) {
+    EvalComponent component;
+    component.preds.insert(scc.begin(), scc.end());
+    for (const Rule& rule : program.rules()) {
+      if (component.preds.count(rule.head().pred_id()) == 0) continue;
+      SEMOPT_ASSIGN_OR_RETURN(RuleExecutor exec, RuleExecutor::Create(rule));
+      PlannedRule pr{std::move(exec), rule.head().pred_id(), {}};
+      for (size_t i = 0; i < rule.body().size(); ++i) {
+        const Literal& lit = rule.body()[i];
+        if (!lit.IsRelational()) continue;
+        PredicateId q = lit.atom().pred_id();
+        if (component.preds.count(q) > 0) {
+          if (lit.negated()) {
+            return Status::FailedPrecondition(
+                StrCat("rule ", rule.ToString(), " negates predicate ",
+                       q.ToString(),
+                       " in its own recursion component (unstratifiable)"));
+          }
+          pr.recursive_literals.push_back(static_cast<int>(i));
+          component.recursive = true;
+        }
+      }
+      component.rules.push_back(std::move(pr));
+    }
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+}  // namespace semopt

@@ -90,6 +90,9 @@ Result<bool> HeadHolds(const Database& edb, const Literal& head,
   } else if (bound_cols.size() == head.atom().args().size()) {
     exists = rel->Contains(key);
   } else {
+    // Probe requires a pre-declared index; constraint checking is a
+    // single-threaded entry point, so building it here is safe.
+    const_cast<Relation*>(rel)->EnsureIndex(bound_cols);
     exists = !rel->Probe(bound_cols, key).empty();
   }
   return head.negated() ? !exists : exists;

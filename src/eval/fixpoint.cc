@@ -7,8 +7,9 @@
 #include <set>
 #include <vector>
 
-#include "analysis/dependency_graph.h"
+#include "eval/component_plan.h"
 #include "eval/rule_executor.h"
+#include "exec/parallel_fixpoint.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -45,14 +46,6 @@ class FixpointSource : public RelationSource {
   std::map<PredicateId, const Relation*> deltas_;
 };
 
-struct PlannedRule {
-  RuleExecutor executor;
-  PredicateId head{0, 0};
-  /// Original-body indices of positive relational literals whose
-  /// predicate belongs to the rule's own recursion component.
-  std::vector<int> recursive_literals;
-};
-
 /// Runs one rule execution with the derived tuples buffered, then
 /// commits them. Rules may scan the very relation they derive into
 /// (self-joins on the recursive predicate); inserting during the scan
@@ -80,16 +73,15 @@ Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
 
 Result<Database> Evaluate(const Program& program, const Database& edb,
                           const EvalOptions& options, EvalStats* stats) {
-  DependencyGraph graph = DependencyGraph::Build(program);
-  std::set<PredicateId> idb_preds = program.IdbPredicates();
-
-  // Components come out of Tarjan's algorithm in reverse topological
-  // order (callees first), which is the evaluation order we need.
-  std::vector<std::vector<PredicateId>> sccs = graph.Sccs();
-  std::map<PredicateId, int> component_of;
-  for (size_t c = 0; c < sccs.size(); ++c) {
-    for (const PredicateId& p : sccs[c]) component_of[p] = static_cast<int>(c);
+  // num_threads == 1 is the serial path below; anything else (including
+  // 0 = auto-detect) goes through the partitioned parallel evaluator.
+  if (options.num_threads != 1) {
+    return EvaluateParallel(program, edb, options, stats);
   }
+
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<EvalComponent> components,
+                          PlanComponents(program));
+  std::set<PredicateId> idb_preds = program.IdbPredicates();
 
   Database idb;
   // Pre-create IDB relations so Find() works even for empty results.
@@ -97,36 +89,11 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
 
   FixpointSource source(&edb, &idb, &idb_preds);
 
-  for (size_t c = 0; c < sccs.size(); ++c) {
-    // Gather this component's rules.
-    std::set<PredicateId> component(sccs[c].begin(), sccs[c].end());
-    std::vector<PlannedRule> planned;
-    bool component_recursive = false;
-    for (const Rule& rule : program.rules()) {
-      if (component.count(rule.head().pred_id()) == 0) continue;
-      SEMOPT_ASSIGN_OR_RETURN(RuleExecutor exec, RuleExecutor::Create(rule));
-      PlannedRule pr{std::move(exec), rule.head().pred_id(), {}};
-      for (size_t i = 0; i < rule.body().size(); ++i) {
-        const Literal& lit = rule.body()[i];
-        if (!lit.IsRelational()) continue;
-        PredicateId q = lit.atom().pred_id();
-        if (component.count(q) > 0) {
-          if (lit.negated()) {
-            return Status::FailedPrecondition(
-                StrCat("rule ", rule.ToString(),
-                       " negates predicate ", q.ToString(),
-                       " in its own recursion component "
-                       "(unstratifiable)"));
-          }
-          pr.recursive_literals.push_back(static_cast<int>(i));
-          component_recursive = true;
-        }
-      }
-      planned.push_back(std::move(pr));
-    }
+  for (const EvalComponent& component : components) {
+    const std::vector<PlannedRule>& planned = component.rules;
     if (planned.empty()) continue;  // EDB-only component
 
-    if (!component_recursive) {
+    if (!component.recursive) {
       // One pass suffices.
       if (stats != nullptr) ++stats->iterations;
       for (const PlannedRule& pr : planned) {
@@ -174,7 +141,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
     // rules produce tuples unless lower components feed them).
     std::map<PredicateId, std::unique_ptr<Relation>> delta;
     std::map<PredicateId, std::unique_ptr<Relation>> next_delta;
-    for (const PredicateId& p : component) {
+    for (const PredicateId& p : component.preds) {
       delta[p] = std::make_unique<Relation>(p);
       next_delta[p] = std::make_unique<Relation>(p);
     }
@@ -214,7 +181,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
           source.ClearDeltas();
           // Only the chosen occurrence reads the delta; others read the
           // full (current) relation, which is sound and complete.
-          for (const PredicateId& p : component) {
+          for (const PredicateId& p : component.preds) {
             source.SetDelta(p, delta[p].get());
           }
           ExecuteBuffered(pr.executor, source, lit_index, stats,
@@ -229,7 +196,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
         }
       }
       source.ClearDeltas();
-      for (const PredicateId& p : component) {
+      for (const PredicateId& p : component.preds) {
         delta[p]->Clear();
         std::swap(delta[p], next_delta[p]);
       }

@@ -23,6 +23,10 @@ struct EvalOptions {
   /// Plan joins with current relation cardinalities (default); false
   /// falls back to the size-blind static order (ablation bench A1).
   bool cardinality_planning = true;
+  /// Worker threads for evaluation. 1 (default) = the serial path;
+  /// 0 = one per hardware thread; N > 1 = partitioned parallel
+  /// fixpoint (src/exec/), whose results are set-equal to serial.
+  size_t num_threads = 1;
 };
 
 /// Computes the least fixpoint of `program` over `edb` bottom-up and

@@ -177,11 +177,9 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
   return plan;
 }
 
-void RuleExecutor::Execute(const RelationSource& source, int delta_literal,
-                           const TupleSink& sink, EvalStats* stats,
-                           bool size_aware) const {
-  if (stats != nullptr) ++stats->rule_applications;
-
+Result<RuleExecutor::PreparedPlan> RuleExecutor::Prepare(
+    const RelationSource& source, int delta_literal, bool size_aware,
+    bool skip_delta_index) const {
   // Cardinality oracle: the current size of each body literal's input
   // relation (delta-aware).
   std::function<size_t(size_t)> size_of = [&](size_t i) -> size_t {
@@ -194,12 +192,74 @@ void RuleExecutor::Execute(const RelationSource& source, int delta_literal,
     if (rel == nullptr) rel = source.Full(lit.atom().pred_id());
     return rel == nullptr ? 0 : rel->size();
   };
-  Result<Plan> plan = BuildPlan(size_aware ? &size_of : nullptr);
-  if (!plan.ok()) return;  // Create() validated; cannot fail here
+  SEMOPT_ASSIGN_OR_RETURN(Plan plan,
+                          BuildPlan(size_aware ? &size_of : nullptr));
+  EnsureProbeIndexes(plan, source, delta_literal, skip_delta_index);
+  PreparedPlan prepared;
+  prepared.plan_ = std::make_shared<const Plan>(std::move(plan));
+  return prepared;
+}
 
+void RuleExecutor::EnsureProbeIndexes(const Plan& plan,
+                                      const RelationSource& source,
+                                      int delta_literal,
+                                      bool skip_delta_index) const {
+  for (const LiteralStep& step : plan.steps) {
+    if (step.is_comparison || step.negated) continue;
+    if (step.probe_columns.empty()) continue;
+    bool is_delta_step =
+        delta_literal >= 0 &&
+        step.original_index == static_cast<size_t>(delta_literal);
+    if (is_delta_step && skip_delta_index) continue;
+    const Relation* rel = nullptr;
+    if (is_delta_step) rel = source.Delta(step.pred);
+    if (rel == nullptr) rel = source.Full(step.pred);
+    if (rel == nullptr) continue;
+    // RelationSource exposes relations as const because execution only
+    // reads them; index pre-building is the one sanctioned mutation,
+    // confined to this single-threaded planning moment.
+    const_cast<Relation*>(rel)->EnsureIndex(step.probe_columns);
+  }
+}
+
+int RuleExecutor::FirstPositiveStep(const PreparedPlan& plan) const {
+  for (const LiteralStep& step : plan.plan_->steps) {
+    if (!step.is_comparison && !step.negated) {
+      return static_cast<int>(step.original_index);
+    }
+  }
+  return -1;
+}
+
+std::vector<uint32_t> RuleExecutor::ProbeColumnsFor(
+    const PreparedPlan& plan, int literal_index) const {
+  for (const LiteralStep& step : plan.plan_->steps) {
+    if (step.is_comparison || step.negated) continue;
+    if (literal_index >= 0 &&
+        step.original_index == static_cast<size_t>(literal_index)) {
+      return step.probe_columns;
+    }
+  }
+  return {};
+}
+
+void RuleExecutor::ExecutePlan(const PreparedPlan& plan,
+                               const RelationSource& source,
+                               int delta_literal, const TupleSink& sink,
+                               EvalStats* stats) const {
+  if (stats != nullptr) ++stats->rule_applications;
   std::vector<Value> frame(slot_count_, Term::Int(0));
   std::vector<bool> bound(slot_count_, false);
-  ExecuteStep(*plan, source, delta_literal, 0, &frame, &bound, sink, stats);
+  ExecuteStep(*plan.plan_, source, delta_literal, 0, &frame, &bound, sink,
+              stats);
+}
+
+void RuleExecutor::Execute(const RelationSource& source, int delta_literal,
+                           const TupleSink& sink, EvalStats* stats,
+                           bool size_aware) const {
+  Result<PreparedPlan> plan = Prepare(source, delta_literal, size_aware);
+  if (!plan.ok()) return;  // Create() validated; cannot fail here
+  ExecutePlan(*plan, source, delta_literal, sink, stats);
 }
 
 void RuleExecutor::ExecuteStep(const Plan& plan,

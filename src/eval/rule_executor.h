@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "ast/rule.h"
@@ -39,7 +40,23 @@ using TupleSink = std::function<void(const Tuple&)>;
 /// relations are probed before expensive fan-out joins. Joins run as
 /// index nested loops probing hash indexes on the bound columns.
 class RuleExecutor {
+ private:
+  struct Plan;  // defined privately below; PreparedPlan keeps it opaque
+
  public:
+  /// A plan bound to the relation-cardinality snapshot it was built
+  /// against, produced by `Prepare` and consumed by `ExecutePlan`.
+  /// Cheap to copy (shared immutable state), safe to share across
+  /// threads.
+  class PreparedPlan {
+   public:
+    PreparedPlan() = default;
+
+   private:
+    friend class RuleExecutor;
+    std::shared_ptr<const Plan> plan_;
+  };
+
   /// Plans `rule`. Fails for unsafe rules.
   static Result<RuleExecutor> Create(const Rule& rule);
 
@@ -49,9 +66,41 @@ class RuleExecutor {
   /// derived head tuple is passed to `sink`. `stats` may be null.
   /// `size_aware` selects cardinality-aware planning (default); pass
   /// false to use the size-blind static order (ablation bench A1).
+  /// Equivalent to Prepare + ExecutePlan.
   void Execute(const RelationSource& source, int delta_literal,
                const TupleSink& sink, EvalStats* stats,
                bool size_aware = true) const;
+
+  /// Plans against the current relation cardinalities of `source` and
+  /// pre-builds (EnsureIndex) every hash index the plan will probe.
+  /// This is the single point where evaluation mutates shared index
+  /// state, so it must not run concurrently with ExecutePlan on the
+  /// same relations; call it from the coordinator between rounds.
+  /// When `skip_delta_index` is true the `delta_literal` step's index
+  /// is left to the caller (the parallel evaluator indexes each
+  /// worker's private delta partition instead).
+  Result<PreparedPlan> Prepare(const RelationSource& source,
+                               int delta_literal, bool size_aware = true,
+                               bool skip_delta_index = false) const;
+
+  /// Executes a prepared plan. Strictly read-only on the relations of
+  /// `source` (all probed indexes exist by the Prepare contract), so
+  /// concurrent calls with distinct sinks/stats are thread-safe.
+  void ExecutePlan(const PreparedPlan& plan, const RelationSource& source,
+                   int delta_literal, const TupleSink& sink,
+                   EvalStats* stats) const;
+
+  /// The original-body index of the first positive relational step in
+  /// `plan`'s order, or -1 if the body has none. The parallel evaluator
+  /// partitions this (outermost-scanned) literal's relation when there
+  /// is no delta to partition.
+  int FirstPositiveStep(const PreparedPlan& plan) const;
+
+  /// The columns `plan` probes at the step for original-body literal
+  /// `literal_index` (empty = full scan there). Workers use this to
+  /// index private delta partitions before ExecutePlan.
+  std::vector<uint32_t> ProbeColumnsFor(const PreparedPlan& plan,
+                                        int literal_index) const;
 
   const Rule& rule() const { return rule_; }
 
@@ -94,6 +143,12 @@ class RuleExecutor {
   /// (SIZE_MAX when unknown); pass nullptr for the size-blind plan.
   Result<Plan> BuildPlan(
       const std::function<size_t(size_t)>* size_of) const;
+
+  /// Materializes every index `plan` will probe on the relations it
+  /// will read (delta-aware). The one mutation point of shared storage
+  /// during evaluation; see Prepare.
+  void EnsureProbeIndexes(const Plan& plan, const RelationSource& source,
+                          int delta_literal, bool skip_delta_index) const;
 
   void ExecuteStep(const Plan& plan, const RelationSource& source,
                    int delta_literal, size_t step_index,

@@ -1,0 +1,361 @@
+#include "exec/parallel_fixpoint.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "eval/component_plan.h"
+#include "eval/rule_executor.h"
+#include "exec/thread_pool.h"
+#include "util/interner.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+size_t ResolveNumThreads(const EvalOptions& options) {
+  if (options.num_threads != 0) return options.num_threads;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+/// Read-only view over the frozen EDB + IDB with at most one delta
+/// binding: the partition (or full delta) a single execution reads at
+/// its delta literal. One instance per task; Full/Delta only read
+/// shared state.
+class SnapshotSource : public RelationSource {
+ public:
+  SnapshotSource(const Database* edb, const Database* idb,
+                 const std::set<PredicateId>* idb_preds)
+      : edb_(edb), idb_(idb), idb_preds_(idb_preds) {}
+
+  const Relation* Full(const PredicateId& pred) const override {
+    if (idb_preds_->count(pred) > 0) return idb_->Find(pred);
+    return edb_->Find(pred);
+  }
+
+  const Relation* Delta(const PredicateId& pred) const override {
+    if (delta_rel_ != nullptr && pred == delta_pred_) return delta_rel_;
+    return nullptr;
+  }
+
+  void SetDelta(const PredicateId& pred, const Relation* rel) {
+    delta_pred_ = pred;
+    delta_rel_ = rel;
+  }
+
+ private:
+  const Database* edb_;
+  const Database* idb_;
+  const std::set<PredicateId>* idb_preds_;
+  PredicateId delta_pred_{0, 0};
+  const Relation* delta_rel_ = nullptr;
+};
+
+/// One rule application of a round: the rule, the original-body literal
+/// whose relation is split across workers (-1 = run as a single task),
+/// and the relation being split.
+struct Execution {
+  const PlannedRule* rule = nullptr;
+  int delta_literal = -1;
+  const Relation* partition_src = nullptr;
+  RuleExecutor::PreparedPlan plan;
+  PredicateId delta_pred{0, 0};
+  std::vector<uint32_t> partition_probe_cols;
+  /// Hash partitions of partition_src (possibly shared between
+  /// executions reading the same delta relation).
+  const std::vector<std::unique_ptr<Relation>>* partitions = nullptr;
+};
+
+/// Hash-splits `rel`'s rows into `parts` relations.
+std::vector<std::unique_ptr<Relation>> PartitionRelation(const Relation& rel,
+                                                         size_t parts) {
+  std::vector<std::unique_ptr<Relation>> out;
+  out.reserve(parts);
+  for (size_t w = 0; w < parts; ++w) {
+    out.push_back(std::make_unique<Relation>(rel.pred()));
+  }
+  TupleHash hash;
+  for (const Tuple& t : rel.rows()) {
+    out[hash(t) % parts]->Insert(t);
+  }
+  return out;
+}
+
+struct Task {
+  size_t exec_index = 0;
+  /// The delta slice this task reads; null for unpartitioned tasks.
+  const Relation* partition = nullptr;
+};
+
+/// Executes one round: plans every execution against the frozen state,
+/// partitions, fans the tasks out over `pool`, and merges the buffered
+/// derivations into `idb` (and `next_delta` if given) with one owner
+/// per head relation. Returns true when any new tuple was inserted.
+Result<bool> RunRound(
+    ThreadPool& pool, const Database& edb, Database& idb,
+    const std::set<PredicateId>& idb_preds,
+    std::vector<Execution>& execs,
+    std::map<PredicateId, std::unique_ptr<Relation>>* next_delta,
+    const EvalOptions& options, EvalStats* stats) {
+  const size_t parts = pool.num_threads();
+  SnapshotSource planning_source(&edb, &idb, &idb_preds);
+
+  // Plan and pre-build indexes, single-threaded. Partitions of the same
+  // delta relation are shared between executions.
+  std::map<const Relation*, std::vector<std::unique_ptr<Relation>>>
+      partition_cache;
+  std::vector<Task> tasks;
+  for (size_t e = 0; e < execs.size(); ++e) {
+    Execution& exec = execs[e];
+    const RuleExecutor& executor = exec.rule->executor;
+    bool partitioned = exec.partition_src != nullptr;
+    if (partitioned) {
+      exec.delta_pred = exec.partition_src->pred();
+      planning_source.SetDelta(exec.delta_pred, exec.partition_src);
+    } else {
+      planning_source.SetDelta(PredicateId{0, 0}, nullptr);
+    }
+    SEMOPT_ASSIGN_OR_RETURN(
+        exec.plan,
+        executor.Prepare(planning_source, exec.delta_literal,
+                         options.cardinality_planning,
+                         /*skip_delta_index=*/partitioned));
+    if (!partitioned) {
+      // No delta to split: split the plan's outermost positive literal
+      // so one-pass components and naive rounds scale too.
+      int split = executor.FirstPositiveStep(exec.plan);
+      if (split >= 0) {
+        const Literal& lit = exec.rule->executor.rule().body()[split];
+        const Relation* rel = planning_source.Full(lit.atom().pred_id());
+        if (rel != nullptr) {
+          exec.delta_literal = split;
+          exec.partition_src = rel;
+          exec.delta_pred = rel->pred();
+          partitioned = true;
+        }
+      }
+    }
+    if (!partitioned) {
+      tasks.push_back(Task{e, nullptr});
+      continue;
+    }
+    if (exec.partition_src->empty()) continue;  // derives nothing
+    exec.partition_probe_cols =
+        executor.ProbeColumnsFor(exec.plan, exec.delta_literal);
+    auto it = partition_cache.find(exec.partition_src);
+    if (it == partition_cache.end()) {
+      it = partition_cache
+               .emplace(exec.partition_src,
+                        PartitionRelation(*exec.partition_src, parts))
+               .first;
+    }
+    exec.partitions = &it->second;
+    // Index the slices now, while single-threaded: workers must never
+    // build indexes (Relation::Probe requires them pre-declared).
+    for (const std::unique_ptr<Relation>& slice : it->second) {
+      if (slice->empty()) continue;
+      if (!exec.partition_probe_cols.empty()) {
+        slice->EnsureIndex(exec.partition_probe_cols);
+      }
+      tasks.push_back(Task{e, slice.get()});
+    }
+  }
+  if (tasks.empty()) return false;
+
+  // Fan out. Workers read the frozen EDB/IDB and their private delta
+  // slice, buffering derivations per task; no shared mutable state.
+  std::vector<std::vector<Tuple>> buffers(tasks.size());
+  std::vector<EvalStats> task_stats(tasks.size());
+  {
+    InternerFreezeGuard freeze;
+    SEMOPT_RETURN_IF_ERROR(pool.ParallelFor(
+        tasks.size(), [&](size_t i) -> Status {
+          const Task& task = tasks[i];
+          const Execution& exec = execs[task.exec_index];
+          SnapshotSource source(&edb, &idb, &idb_preds);
+          if (task.partition != nullptr) {
+            source.SetDelta(exec.delta_pred, task.partition);
+          }
+          std::vector<Tuple>& buffer = buffers[i];
+          exec.rule->executor.ExecutePlan(
+              exec.plan, source, exec.delta_literal,
+              [&buffer](const Tuple& t) { buffer.push_back(t); },
+              &task_stats[i]);
+          return Status::Ok();
+        }));
+
+    // Merge with a single owner per head relation: tasks are grouped by
+    // head predicate and replayed in task order, so the result (and the
+    // idb row order) is deterministic for a fixed thread count.
+    std::map<PredicateId, std::vector<size_t>> by_head;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      by_head[execs[tasks[i].exec_index].rule->head].push_back(i);
+    }
+    std::vector<std::pair<PredicateId, std::vector<size_t>*>> owners;
+    owners.reserve(by_head.size());
+    for (auto& [pred, task_ids] : by_head) {
+      owners.emplace_back(pred, &task_ids);
+    }
+    std::vector<EvalStats> merge_stats(owners.size());
+    std::vector<char> owner_changed(owners.size(), 0);
+    SEMOPT_RETURN_IF_ERROR(pool.ParallelFor(
+        owners.size(), [&](size_t j) -> Status {
+          const PredicateId& pred = owners[j].first;
+          Relation* target = idb.FindMutable(pred);
+          // at(): the component pre-created every delta relation, and
+          // operator[] would mutate the (shared) map on a miss.
+          Relation* delta_target =
+              next_delta != nullptr ? next_delta->at(pred).get() : nullptr;
+          for (size_t i : *owners[j].second) {
+            for (Tuple& t : buffers[i]) {
+              if (target->Insert(t)) {
+                owner_changed[j] = 1;
+                if (delta_target != nullptr) delta_target->Insert(t);
+                ++merge_stats[j].derived_tuples;
+              } else {
+                ++merge_stats[j].duplicate_tuples;
+              }
+            }
+          }
+          return Status::Ok();
+        }));
+    if (stats != nullptr) {
+      for (const EvalStats& s : task_stats) stats->Add(s);
+      for (const EvalStats& s : merge_stats) stats->Add(s);
+    }
+    for (char c : owner_changed) {
+      if (c) return true;
+    }
+  }
+  return false;
+}
+
+Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
+  if (options.max_iterations > 0 && iterations > options.max_iterations) {
+    return Status::FailedPrecondition(
+        StrCat("evaluation exceeded max_iterations=",
+               options.max_iterations));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Database> EvaluateParallel(const Program& program, const Database& edb,
+                                  const EvalOptions& options,
+                                  EvalStats* stats) {
+  ThreadPool pool(ResolveNumThreads(options));
+  SEMOPT_ASSIGN_OR_RETURN(std::vector<EvalComponent> components,
+                          PlanComponents(program));
+  std::set<PredicateId> idb_preds = program.IdbPredicates();
+
+  Database idb;
+  // Pre-create IDB relations so concurrent Find() never mutates.
+  for (const PredicateId& p : idb_preds) idb.GetOrCreate(p);
+
+  for (EvalComponent& component : components) {
+    if (component.rules.empty()) continue;  // EDB-only component
+
+    auto all_rules = [&]() {
+      std::vector<Execution> execs;
+      execs.reserve(component.rules.size());
+      for (const PlannedRule& pr : component.rules) {
+        Execution e;
+        e.rule = &pr;
+        execs.push_back(std::move(e));
+      }
+      return execs;
+    };
+
+    if (!component.recursive) {
+      // One (parallel) pass suffices.
+      if (stats != nullptr) ++stats->iterations;
+      std::vector<Execution> execs = all_rules();
+      Result<bool> pass = RunRound(pool, edb, idb, idb_preds, execs,
+                                   /*next_delta=*/nullptr, options, stats);
+      if (!pass.ok()) return pass.status();
+      continue;
+    }
+
+    if (options.strategy == EvalStrategy::kNaive) {
+      // Jacobi-style naive rounds: every rule re-runs against the state
+      // frozen at the top of the round, until nothing new appears.
+      size_t local_iterations = 0;
+      bool changed = true;
+      while (changed) {
+        ++local_iterations;
+        if (stats != nullptr) ++stats->iterations;
+        SEMOPT_RETURN_IF_ERROR(
+            CheckIterationBudget(local_iterations, options));
+        std::vector<Execution> execs = all_rules();
+        SEMOPT_ASSIGN_OR_RETURN(
+            changed, RunRound(pool, edb, idb, idb_preds, execs,
+                              /*next_delta=*/nullptr, options, stats));
+      }
+      continue;
+    }
+
+    // Semi-naive with synchronous rounds: round 0 runs every rule on
+    // the frozen state (recursive literals see empty component
+    // relations; anything they miss is caught via the delta in later
+    // rounds), then each round partitions the delta across workers.
+    std::map<PredicateId, std::unique_ptr<Relation>> delta;
+    std::map<PredicateId, std::unique_ptr<Relation>> next_delta;
+    for (const PredicateId& p : component.preds) {
+      delta[p] = std::make_unique<Relation>(p);
+      next_delta[p] = std::make_unique<Relation>(p);
+    }
+
+    if (stats != nullptr) ++stats->iterations;
+    {
+      std::vector<Execution> execs = all_rules();
+      Result<bool> seeded =
+          RunRound(pool, edb, idb, idb_preds, execs, &delta, options, stats);
+      if (!seeded.ok()) return seeded.status();
+    }
+
+    size_t local_iterations = 1;
+    auto delta_nonempty = [&]() {
+      for (const auto& [p, rel] : delta) {
+        if (!rel->empty()) return true;
+      }
+      return false;
+    };
+
+    while (delta_nonempty()) {
+      ++local_iterations;
+      if (stats != nullptr) ++stats->iterations;
+      SEMOPT_RETURN_IF_ERROR(CheckIterationBudget(local_iterations, options));
+
+      std::vector<Execution> execs;
+      for (const PlannedRule& pr : component.rules) {
+        for (int lit_index : pr.recursive_literals) {
+          const Literal& lit = pr.executor.rule().body()[lit_index];
+          const Relation* d = delta[lit.atom().pred_id()].get();
+          if (d->empty()) continue;  // nothing new through this literal
+          Execution e;
+          e.rule = &pr;
+          e.delta_literal = lit_index;
+          e.partition_src = d;
+          execs.push_back(std::move(e));
+        }
+      }
+      Result<bool> round = RunRound(pool, edb, idb, idb_preds, execs,
+                                    &next_delta, options, stats);
+      if (!round.ok()) return round.status();
+      for (const PredicateId& p : component.preds) {
+        delta[p]->Clear();
+        std::swap(delta[p], next_delta[p]);
+      }
+    }
+  }
+
+  return idb;
+}
+
+}  // namespace semopt

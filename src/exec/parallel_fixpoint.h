@@ -1,0 +1,37 @@
+#ifndef SEMOPT_EXEC_PARALLEL_FIXPOINT_H_
+#define SEMOPT_EXEC_PARALLEL_FIXPOINT_H_
+
+#include <cstddef>
+
+#include "ast/program.h"
+#include "eval/eval_stats.h"
+#include "eval/fixpoint.h"
+#include "storage/database.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// `options.num_threads`, with 0 resolved to the hardware thread count
+/// (at least 1).
+size_t ResolveNumThreads(const EvalOptions& options);
+
+/// Parallel bottom-up evaluation: components in topological order, each
+/// evaluated with rounds of rule executions fanned out over a fixed
+/// thread pool. Each round freezes the database state, hash-partitions
+/// the round's delta (semi-naive) or the outermost-scanned relation of
+/// each rule's plan (naive / one-pass components) across workers, runs
+/// the executions concurrently on read-only snapshots into per-worker
+/// sinks, and then merges the derived tuples into the IDB and next
+/// delta with a single-owner-per-relation dedup pass.
+///
+/// The result is set-equal to the serial `Evaluate` (rows may be
+/// derived in a different order and per-round visibility differs, but
+/// the fixpoint is the same; tests assert this property). Normally
+/// reached through `Evaluate` with `options.num_threads != 1`.
+Result<Database> EvaluateParallel(const Program& program, const Database& edb,
+                                  const EvalOptions& options,
+                                  EvalStats* stats);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_EXEC_PARALLEL_FIXPOINT_H_

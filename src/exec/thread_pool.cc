@@ -1,0 +1,111 @@
+#include "exec/thread_pool.h"
+
+#include <exception>
+
+#include "util/string_util.h"
+
+namespace semopt {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t background = num_threads > 0 ? num_threads - 1 : 0;
+  workers_.reserve(background);
+  for (size_t i = 0; i < background; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Job* job = job_;
+    ++active_workers_;
+    lock.unlock();
+    RunTasks(job);
+    lock.lock();
+    --active_workers_;
+    if (active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunTasks(Job* job) {
+  while (true) {
+    size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) return;
+    Status status;
+    try {
+      status = (*job->fn)(i);
+    } catch (const std::exception& e) {
+      status = Status::Internal(StrCat("task threw: ", e.what()));
+    } catch (...) {
+      status = Status::Internal("task threw a non-std exception");
+    }
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job->failed || i < job->error_index) {
+        job->failed = true;
+        job->error_index = i;
+        job->error = std::move(status);
+      }
+      // Cancel the unclaimed tail; in-flight tasks run to completion.
+      size_t expected = job->next.load(std::memory_order_relaxed);
+      while (expected < job->n &&
+             !job->next.compare_exchange_weak(expected, job->n)) {
+      }
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::Ok();
+  if (workers_.empty() || n == 1) {
+    // Inline fast path: no synchronization.
+    for (size_t i = 0; i < n; ++i) {
+      Status status;
+      try {
+        status = fn(i);
+      } catch (const std::exception& e) {
+        status = Status::Internal(StrCat("task threw: ", e.what()));
+      } catch (...) {
+        status = Status::Internal("task threw a non-std exception");
+      }
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
+  }
+
+  Job job;
+  job.n = n;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunTasks(&job);  // the calling thread participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return active_workers_ == 0 &&
+           job.next.load(std::memory_order_relaxed) >= job.n;
+  });
+  job_ = nullptr;
+  return job.failed ? job.error : Status::Ok();
+}
+
+}  // namespace semopt

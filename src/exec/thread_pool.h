@@ -1,0 +1,79 @@
+#ifndef SEMOPT_EXEC_THREAD_POOL_H_
+#define SEMOPT_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace semopt {
+
+/// A fixed-size pool of worker threads with a fork-join ParallelFor
+/// primitive. The pool is created once and reused across fixpoint
+/// rounds; workers sleep on a condition variable between jobs.
+///
+/// `ThreadPool(n)` provides total parallelism `n`: it spawns `n - 1`
+/// background threads and the thread calling `ParallelFor` executes
+/// tasks too. `ThreadPool(1)` therefore spawns no threads and runs
+/// every task inline, which keeps single-threaded callers allocation-
+/// and synchronization-free on the task path.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (background workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `fn(i)` for every i in [0, n), distributing tasks across the
+  /// pool and the calling thread, and blocks until all have finished.
+  /// Tasks are claimed dynamically (an atomic counter), so uneven task
+  /// costs balance automatically.
+  ///
+  /// On the first non-ok Status (lowest task index wins for
+  /// determinism) remaining unclaimed tasks are cancelled; tasks
+  /// already running are allowed to finish. A task that throws is
+  /// converted to an Internal status the same way (the library is
+  /// exception-free by style, but third-party code reached from a task
+  /// might throw).
+  ///
+  /// Must not be called concurrently from multiple threads, and tasks
+  /// must not themselves call ParallelFor on this pool.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+ private:
+  struct Job {
+    size_t n = 0;
+    const std::function<Status(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    // Guarded by the pool mutex.
+    bool failed = false;
+    size_t error_index = 0;
+    Status error;
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks of `job` until none remain.
+  void RunTasks(Job* job);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new job or stop
+  std::condition_variable done_cv_;  // coordinator: job finished
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;        // guarded by mu_
+  uint64_t generation_ = 0;   // guarded by mu_; bumped per job
+  size_t active_workers_ = 0; // guarded by mu_; workers inside RunTasks
+  bool stop_ = false;         // guarded by mu_
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_EXEC_THREAD_POOL_H_

@@ -9,6 +9,7 @@
 #include "eval/constraint_check.h"
 #include "eval/explain.h"
 #include "eval/fixpoint.h"
+#include "exec/parallel_fixpoint.h"
 #include "eval/query.h"
 #include "io/fact_io.h"
 #include "magic/magic_sets.h"
@@ -44,7 +45,7 @@ std::vector<std::string> SplitWords(std::string_view s) {
 std::string Shell::Execute(std::string_view raw) {
   std::string_view line = Trim(raw);
   if (line.empty() || line.front() == '%') return "";
-  if (line.front() == '.') return HandleCommand(line);
+  if (line.front() == '.' || line.front() == ':') return HandleCommand(line);
   if (StartsWith(line, "?-")) return HandleQuery(line.substr(2));
   return HandleStatements(line);
 }
@@ -88,7 +89,7 @@ std::string Shell::HandleQuery(std::string_view body_text) {
   if (!source.empty() && source.back() == '.') source.pop_back();
   EvalStats stats;
   Result<QueryResult> result =
-      AnswerQuery(program_, edb_, source, EvalOptions(), &stats);
+      AnswerQuery(program_, edb_, source, eval_options_, &stats);
   if (!result.ok()) return result.status().ToString();
   std::ostringstream os;
   if (result->empty()) {
@@ -129,6 +130,7 @@ std::string Shell::HandleCommand(std::string_view line) {
     }
     return CmdMagic(line.substr(offset + 1));
   }
+  if (cmd == ".threads" || cmd == ":threads") return CmdThreads(args);
   if (cmd == ".load") return CmdLoad(args);
   if (cmd == ".loadtsv") return CmdLoadTsv(args);
   if (cmd == ".stats") {
@@ -160,6 +162,7 @@ commands:
   .load FILE               load a program/fact file
   .loadtsv PRED FILE       load tab-separated tuples into PRED
   .stats [on|off]          show evaluation statistics with query answers
+  :threads [N]             evaluate with N threads (1 = serial, 0 = auto)
   .reset                   clear everything
   .quit                    leave)";
 }
@@ -279,6 +282,25 @@ std::string Shell::CmdExplain(std::string_view rest) {
   std::string out = proof->ToString();
   if (!out.empty() && out.back() == '\n') out.pop_back();
   return out;
+}
+
+std::string Shell::CmdThreads(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return StrCat("threads ", eval_options_.num_threads,
+                  eval_options_.num_threads == 1 ? " (serial)" : "");
+  }
+  char* end = nullptr;
+  long n = std::strtol(args[0].c_str(), &end, 10);
+  if (end == args[0].c_str() || *end != '\0' || n < 0 || n > 256) {
+    return "usage: :threads N  (0 = auto-detect, 1 = serial, max 256)";
+  }
+  eval_options_.num_threads = static_cast<size_t>(n);
+  if (n == 0) {
+    EvalOptions resolved = eval_options_;
+    return StrCat("threads auto (", ResolveNumThreads(resolved), " detected)");
+  }
+  return StrCat("threads ", eval_options_.num_threads,
+                eval_options_.num_threads == 1 ? " (serial)" : "");
 }
 
 std::string Shell::CmdLoad(const std::vector<std::string>& args) {

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "ast/program.h"
+#include "eval/fixpoint.h"
 #include "storage/database.h"
 
 namespace semopt {
@@ -20,6 +21,7 @@ namespace semopt {
 ///   edge(a, b).              add a fact (ground, empty body)
 ///   ?- p(X), X != a.         run a query
 ///   .command [args]          session commands (see `.help`)
+///   :threads N               evaluate queries with N worker threads
 class Shell {
  public:
   Shell() = default;
@@ -49,8 +51,12 @@ class Shell {
   std::string CmdLoad(const std::vector<std::string>& args);
   std::string CmdLoadTsv(const std::vector<std::string>& args);
 
+  std::string CmdThreads(const std::vector<std::string>& args);
+
   Program program_;
   Database edb_;
+  /// Options applied to every query evaluation (`:threads` edits it).
+  EvalOptions eval_options_;
   bool show_stats_ = false;
   bool done_ = false;
 };

@@ -40,13 +40,15 @@ void Relation::EnsureIndex(const std::vector<uint32_t>& columns) {
 
 const std::vector<uint32_t>& Relation::Probe(
     const std::vector<uint32_t>& columns, const Tuple& key) const {
-  static const std::vector<uint32_t>& kEmpty = *new std::vector<uint32_t>();
+  static const std::vector<uint32_t> kEmpty;
   auto it = indexes_.find(columns);
-  if (it == indexes_.end()) {
-    // Build the index lazily; Probe is logically const.
-    const_cast<Relation*>(this)->EnsureIndex(columns);
-    it = indexes_.find(columns);
-  }
+  // Callers must EnsureIndex during (single-threaded) planning; Probe
+  // itself is read-only so concurrent probes never race. A missing
+  // index is a caller bug: assert in debug, report no matches in
+  // release (fail-safe, never mutates).
+  assert(it != indexes_.end() &&
+         "Relation::Probe without a prior EnsureIndex for this column set");
+  if (it == indexes_.end()) return kEmpty;
   auto bucket = it->second.buckets.find(key);
   if (bucket == it->second.buckets.end()) return kEmpty;
   return bucket->second;

@@ -41,12 +41,15 @@ class Relation {
 
   /// Ensures a hash index exists over `columns` (sorted, distinct,
   /// in-range). Subsequent `Probe` calls with the same column set are
-  /// O(1) expected.
+  /// O(1) expected. Mutates index state: must not run concurrently with
+  /// any other access to this relation.
   void EnsureIndex(const std::vector<uint32_t>& columns);
 
-  /// Row indices whose projection onto `columns` equals `key`. Builds
-  /// the index on first use. `key` values are given in the same order
-  /// as `columns`.
+  /// Row indices whose projection onto `columns` equals `key` (`key`
+  /// values in the same order as `columns`). The index must already
+  /// exist (`EnsureIndex` at plan time); a missing index debug-asserts
+  /// and yields no matches in release. Probe is strictly read-only, so
+  /// concurrent probes of an unchanging relation are thread-safe.
   const std::vector<uint32_t>& Probe(const std::vector<uint32_t>& columns,
                                      const Tuple& key) const;
 
@@ -68,8 +71,8 @@ class Relation {
   PredicateId pred_;
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> dedup_;
-  // Keyed by the (sorted) column list. mutable: Probe is logically const.
-  mutable std::map<std::vector<uint32_t>, Index> indexes_;
+  // Keyed by the (sorted) column list.
+  std::map<std::vector<uint32_t>, Index> indexes_;
 };
 
 }  // namespace semopt

@@ -7,6 +7,9 @@ namespace semopt {
 SymbolId Interner::Intern(std::string_view s) {
   auto it = ids_.find(std::string(s));
   if (it != ids_.end()) return it->second;
+  // Mutating the table while frozen would race with concurrent readers
+  // (parallel evaluation only ever reads pre-interned symbols).
+  assert(!frozen() && "interning a new symbol while the interner is frozen");
   SymbolId id = static_cast<SymbolId>(strings_.size());
   strings_.emplace_back(s);
   ids_.emplace(strings_.back(), id);
@@ -32,5 +35,8 @@ SymbolId InternSymbol(std::string_view s) {
 const std::string& SymbolName(SymbolId id) {
   return GlobalInterner().Lookup(id);
 }
+
+InternerFreezeGuard::InternerFreezeGuard() { GlobalInterner().Freeze(); }
+InternerFreezeGuard::~InternerFreezeGuard() { GlobalInterner().Unfreeze(); }
 
 }  // namespace semopt

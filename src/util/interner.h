@@ -1,6 +1,7 @@
 #ifndef SEMOPT_UTIL_INTERNER_H_
 #define SEMOPT_UTIL_INTERNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -16,14 +17,20 @@ using SymbolId = uint32_t;
 /// Maps strings to dense integer ids and back. Used for predicate names
 /// and string constants so the engine compares symbols as integers.
 ///
-/// Not thread-safe; the library is single-threaded by design.
+/// Mutation (interning a *new* symbol) is single-threaded; concurrent
+/// `Lookup` and re-`Intern` of existing symbols are safe as long as no
+/// thread mutates. The parallel evaluator relies on this: everything it
+/// touches is pre-interned at parse/plan time, and it freezes the
+/// interner (debug-checked) while worker threads run.
 class Interner {
  public:
   Interner() = default;
   Interner(const Interner&) = delete;
   Interner& operator=(const Interner&) = delete;
 
-  /// Returns the id for `s`, interning it on first use.
+  /// Returns the id for `s`, interning it on first use. Interning a new
+  /// symbol while the interner is frozen is a caller bug (asserts in
+  /// debug builds); returning an existing id is always allowed.
   SymbolId Intern(std::string_view s);
 
   /// Returns the string for `id`. `id` must have been returned by
@@ -33,9 +40,30 @@ class Interner {
   /// Number of distinct interned strings.
   size_t size() const { return strings_.size(); }
 
+  /// Freeze/unfreeze nesting: while frozen, `Intern` of a not-yet-known
+  /// symbol debug-asserts instead of mutating the table. Used to keep
+  /// concurrent evaluation honest (see InternerFreezeGuard).
+  void Freeze() { freeze_depth_.fetch_add(1, std::memory_order_relaxed); }
+  void Unfreeze() { freeze_depth_.fetch_sub(1, std::memory_order_relaxed); }
+  bool frozen() const {
+    return freeze_depth_.load(std::memory_order_relaxed) > 0;
+  }
+
  private:
   std::unordered_map<std::string, SymbolId> ids_;
   std::vector<std::string> strings_;
+  std::atomic<int> freeze_depth_{0};
+};
+
+/// RAII region during which the global interner must stay read-only
+/// (e.g. while fixpoint worker threads are running). New-symbol interns
+/// inside the region assert in debug builds.
+class InternerFreezeGuard {
+ public:
+  InternerFreezeGuard();
+  ~InternerFreezeGuard();
+  InternerFreezeGuard(const InternerFreezeGuard&) = delete;
+  InternerFreezeGuard& operator=(const InternerFreezeGuard&) = delete;
 };
 
 /// Process-wide interner used by the AST layer. A single global table

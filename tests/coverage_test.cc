@@ -282,6 +282,7 @@ TEST(RelationPropertyTest, ProbeEqualsLinearScan) {
                 Term::Int(static_cast<int64_t>(rng.Below(6))),
                 Term::Int(static_cast<int64_t>(rng.Below(6)))});
   }
+  rel.EnsureIndex({0, 2});
   for (uint64_t key0 = 0; key0 < 6; ++key0) {
     for (uint64_t key2 = 0; key2 < 6; ++key2) {
       Tuple key{Term::Int(static_cast<int64_t>(key0)),

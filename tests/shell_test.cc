@@ -190,6 +190,23 @@ TEST_F(ShellTest, LoadProgramFile) {
   std::remove(path.c_str());
 }
 
+TEST_F(ShellTest, ThreadsCommand) {
+  EXPECT_EQ(shell_.Execute(":threads"), "threads 1 (serial)");
+  EXPECT_EQ(shell_.Execute(":threads 4"), "threads 4");
+  // Queries still answer correctly with the parallel evaluator active.
+  shell_.Execute("t(X, Y) :- e(X, Y).");
+  shell_.Execute("t(X, Z) :- t(X, Y), e(Y, Z).");
+  shell_.Execute("e(a, b). e(b, c). e(c, d).");
+  EXPECT_NE(shell_.Execute("?- t(a, X).").find("3 answer(s)"),
+            std::string::npos);
+  EXPECT_EQ(shell_.Execute(".threads 1"), "threads 1 (serial)");
+  EXPECT_NE(shell_.Execute(":threads 0").find("threads auto"),
+            std::string::npos);
+  EXPECT_NE(shell_.Execute(":threads bogus").find("usage:"),
+            std::string::npos);
+  EXPECT_NE(shell_.Execute(":threads 999").find("usage:"), std::string::npos);
+}
+
 TEST_F(ShellTest, LoadTsvFileCommand) {
   std::string path = ::testing::TempDir() + "/shell_load_test.tsv";
   {

@@ -33,6 +33,8 @@ TEST(RelationTest, ProbeSingleColumn) {
   rel.Insert({Term::Sym("a"), Term::Sym("b")});
   rel.Insert({Term::Sym("a"), Term::Sym("c")});
   rel.Insert({Term::Sym("b"), Term::Sym("c")});
+  rel.EnsureIndex({0});
+  rel.EnsureIndex({1});
   const auto& hits = rel.Probe({0}, {Term::Sym("a")});
   EXPECT_EQ(hits.size(), 2u);
   EXPECT_TRUE(rel.Probe({0}, {Term::Sym("z")}).empty());
@@ -58,6 +60,7 @@ TEST(RelationTest, ClearResetsEverything) {
   rel.Clear();
   EXPECT_TRUE(rel.empty());
   EXPECT_FALSE(rel.Contains({Term::Int(1)}));
+  rel.EnsureIndex({0});
   EXPECT_TRUE(rel.Probe({0}, {Term::Int(1)}).empty());
   EXPECT_TRUE(rel.Insert({Term::Int(1)}));
 }
