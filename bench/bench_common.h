@@ -2,20 +2,54 @@
 #define SEMOPT_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <set>
+#include <string>
 
 #include "benchmark/benchmark.h"
 
 #include "eval/fixpoint.h"
+#include "obs/trace.h"
 #include "semopt/optimizer.h"
 #include "storage/database.h"
 
 namespace semopt {
 namespace bench {
 
+/// Overhead-measurement hook: when SEMOPT_BENCH_TRACING is set in the
+/// environment, a trace session is started once for the whole process
+/// (events are buffered, never written), so timed iterations measure
+/// the tracing-enabled hot path. See EXPERIMENTS.md "Tracing overhead".
+inline void MaybeEnableTracingFromEnv() {
+  static const bool enabled = [] {
+    if (std::getenv("SEMOPT_BENCH_TRACING") != nullptr) {
+      obs::StartTracing();
+      return true;
+    }
+    return false;
+  }();
+  (void)enabled;
+}
+
+/// Trace-artifact hook: when SEMOPT_BENCH_TRACE_DIR is set, runs one
+/// extra traced evaluation and writes <dir>/<tag>.json (once per tag
+/// per process), so benches emit Perfetto-loadable traces alongside
+/// their timings.
+inline void MaybeWriteBenchTrace(const char* tag, const Program& program,
+                                 const Database& edb,
+                                 EvalOptions options = EvalOptions()) {
+  const char* dir = std::getenv("SEMOPT_BENCH_TRACE_DIR");
+  if (dir == nullptr || tag == nullptr) return;
+  static std::set<std::string>* written = new std::set<std::string>();
+  if (!written->insert(tag).second) return;
+  options.trace_path = std::string(dir) + "/" + tag + ".json";
+  Evaluate(program, edb, options, nullptr);
+}
+
 /// Evaluates `program` over `edb`, aborting the benchmark on error;
 /// returns the collected stats.
 inline EvalStats EvaluateOrDie(::benchmark::State& state,
                                const Program& program, const Database& edb) {
+  MaybeEnableTracingFromEnv();
   EvalStats stats;
   Result<Database> idb = Evaluate(program, edb, EvalOptions(), &stats);
   if (!idb.ok()) {

@@ -28,6 +28,7 @@ UniversityParams ParamsFor(const ::benchmark::State& state) {
 void BM_E1_Original(::benchmark::State& state) {
   Result<Program> program = UniversityProgram();
   Database edb = GenerateUniversityDb(ParamsFor(state));
+  bench::MaybeWriteBenchTrace("e1_original", *program, edb);
   EvalStats stats;
   for (auto _ : state) {
     stats = bench::EvaluateOrDie(state, *program, edb);
@@ -39,6 +40,7 @@ void BM_E1_Optimized(::benchmark::State& state) {
   Result<Program> program = UniversityProgram();
   Program optimized = bench::OptimizeOrDie(state, *program);
   Database edb = GenerateUniversityDb(ParamsFor(state));
+  bench::MaybeWriteBenchTrace("e1_optimized", optimized, edb);
   EvalStats stats;
   for (auto _ : state) {
     stats = bench::EvaluateOrDie(state, optimized, edb);

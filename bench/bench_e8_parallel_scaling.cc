@@ -21,6 +21,7 @@ namespace {
 EvalStats EvaluateThreadedOrDie(::benchmark::State& state,
                                 const Program& program, const Database& edb,
                                 size_t num_threads) {
+  bench::MaybeEnableTracingFromEnv();
   EvalOptions options;
   options.num_threads = num_threads;
   EvalStats stats;
@@ -52,6 +53,12 @@ void BM_E8_Genealogy(::benchmark::State& state) {
   Result<Program> program = GenealogyProgram();
   Database edb = GenerateGenealogyDb(GenealogyParamsFor(state));
   size_t threads = static_cast<size_t>(state.range(0));
+  {
+    EvalOptions options;
+    options.num_threads = threads;
+    bench::MaybeWriteBenchTrace(threads == 4 ? "e8_genealogy_t4" : nullptr,
+                                *program, edb, options);
+  }
   EvalStats stats;
   for (auto _ : state) {
     stats = EvaluateThreadedOrDie(state, *program, edb, threads);

@@ -1,5 +1,8 @@
 #include "eval/eval_stats.h"
 
+#include <cstdio>
+#include <sstream>
+
 #include "util/string_util.h"
 
 namespace semopt {
@@ -12,6 +15,61 @@ std::string EvalStats::ToString() const {
                 " bindings=", bindings_explored,
                 " comparisons=", comparison_checks,
                 " runtime_residue_checks=", runtime_residue_checks);
+}
+
+std::string EvalStats::Report() const {
+  std::ostringstream os;
+  os << "totals: " << ToString() << "\n";
+  if (!per_rule.empty()) {
+    os << "per-rule:\n";
+    for (const auto& [label, rs] : per_rule) {
+      os << "  " << label << ": applications=" << rs.applications
+         << " derived=" << rs.derived << " duplicates=" << rs.duplicates
+         << "\n";
+    }
+  }
+  if (!round_balance.empty()) {
+    os << "worker balance (tuples/worker):\n";
+    char mean[32];
+    for (const RoundBalance& rb : round_balance) {
+      std::snprintf(mean, sizeof(mean), "%.1f", rb.MeanTuples());
+      os << "  round " << rb.round << ": workers=" << rb.workers
+         << " min=" << rb.min_tuples << " max=" << rb.max_tuples
+         << " mean=" << mean << "\n";
+    }
+  }
+  std::string out = os.str();
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+void EvalStats::PublishTo(obs::MetricsRegistry& registry,
+                          std::string_view prefix) const {
+  std::string p(prefix);
+  registry.GetCounter(p + ".iterations").Add(iterations);
+  registry.GetCounter(p + ".rule_applications").Add(rule_applications);
+  registry.GetCounter(p + ".derived_tuples").Add(derived_tuples);
+  registry.GetCounter(p + ".duplicate_tuples").Add(duplicate_tuples);
+  registry.GetCounter(p + ".bindings_explored").Add(bindings_explored);
+  registry.GetCounter(p + ".comparison_checks").Add(comparison_checks);
+  registry.GetCounter(p + ".runtime_residue_checks")
+      .Add(runtime_residue_checks);
+  for (const auto& [label, rs] : per_rule) {
+    std::string rule_prefix = StrCat(p, ".rule.", label);
+    registry.GetCounter(rule_prefix + ".applications").Add(rs.applications);
+    registry.GetCounter(rule_prefix + ".derived").Add(rs.derived);
+    registry.GetCounter(rule_prefix + ".duplicates").Add(rs.duplicates);
+  }
+  if (!round_balance.empty()) {
+    obs::Histogram& min_hist =
+        registry.GetHistogram(p + ".round_tuples_per_worker_min");
+    obs::Histogram& max_hist =
+        registry.GetHistogram(p + ".round_tuples_per_worker_max");
+    for (const RoundBalance& rb : round_balance) {
+      min_hist.Observe(rb.min_tuples);
+      max_hist.Observe(rb.max_tuples);
+    }
+  }
 }
 
 }  // namespace semopt

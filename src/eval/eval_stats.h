@@ -2,12 +2,57 @@
 #define SEMOPT_EVAL_EVAL_STATS_H_
 
 #include <cstddef>
+#include <map>
 #include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace semopt {
 
+/// Per-rule work counters, keyed by rule label (head predicate when a
+/// rule is unlabeled). Collected only when
+/// `EvalOptions::collect_metrics` is set, so the default evaluation
+/// path never touches the map.
+struct RuleStats {
+  size_t applications = 0;
+  size_t derived = 0;
+  size_t duplicates = 0;
+
+  void Add(const RuleStats& o) {
+    applications += o.applications;
+    derived += o.derived;
+    duplicates += o.duplicates;
+  }
+};
+
+/// Tuples produced per worker slot in one parallel round — the
+/// imbalance the merged totals hide: a round where one worker derives
+/// everything scales like the serial engine no matter the thread
+/// count.
+struct RoundBalance {
+  size_t round = 0;   ///< 1-based global round index within the evaluation
+  size_t workers = 0; ///< partition slots in the round (pool width)
+  size_t min_tuples = 0;
+  size_t max_tuples = 0;
+  size_t total_tuples = 0;
+
+  double MeanTuples() const {
+    return workers == 0
+               ? 0.0
+               : static_cast<double>(total_tuples) /
+                     static_cast<double>(workers);
+  }
+};
+
 /// Work counters collected during evaluation. All counters are
 /// best-effort and intended for benchmarks/tests, not billing.
+///
+/// This struct is the stable façade over the obs metrics layer: hot
+/// loops bump these plain fields (or thread-private copies later
+/// summed with Add), and `PublishTo` folds the totals into a
+/// `obs::MetricsRegistry` for any pluggable sink.
 struct EvalStats {
   /// Fixpoint rounds executed (semi-naive: delta rounds; naive: full
   /// rounds), summed over all strata/components.
@@ -28,6 +73,12 @@ struct EvalStats {
   /// processing).
   size_t runtime_residue_checks = 0;
 
+  /// Per-rule breakdown; empty unless EvalOptions::collect_metrics.
+  std::map<std::string, RuleStats> per_rule;
+  /// Per-round worker balance; filled by the parallel evaluator when
+  /// collect_metrics is set.
+  std::vector<RoundBalance> round_balance;
+
   void Add(const EvalStats& other) {
     iterations += other.iterations;
     rule_applications += other.rule_applications;
@@ -36,9 +87,23 @@ struct EvalStats {
     bindings_explored += other.bindings_explored;
     comparison_checks += other.comparison_checks;
     runtime_residue_checks += other.runtime_residue_checks;
+    for (const auto& [label, rs] : other.per_rule) per_rule[label].Add(rs);
+    round_balance.insert(round_balance.end(), other.round_balance.begin(),
+                         other.round_balance.end());
   }
 
+  /// One-line summary of the scalar totals (unchanged legacy format).
   std::string ToString() const;
+
+  /// Multi-line structured report: totals, per-rule derived/duplicate
+  /// counts, and per-round worker balance when present.
+  std::string Report() const;
+
+  /// Folds the counters into `registry` under `prefix` ("eval" ->
+  /// "eval.derived_tuples", "eval.rule.r0.derived", ...). Histograms
+  /// "eval.round_tuples_per_worker_{min,max}" capture balance.
+  void PublishTo(obs::MetricsRegistry& registry,
+                 std::string_view prefix = "eval") const;
 };
 
 }  // namespace semopt

@@ -10,6 +10,7 @@
 #include "eval/component_plan.h"
 #include "eval/rule_executor.h"
 #include "exec/parallel_fixpoint.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -60,6 +61,57 @@ void ExecuteBuffered(const RuleExecutor& exec, const RelationSource& source,
   for (Tuple& t : buffer) commit(t);
 }
 
+/// Span name for one rule execution: the rule label when set (spans of
+/// the same rule then aggregate by name in the trace viewer).
+std::string_view RuleSpanName(const PlannedRule& pr) {
+  const std::string& label = pr.executor.rule().label();
+  return label.empty() ? std::string_view("rule") : std::string_view(label);
+}
+
+/// Key for EvalStats::per_rule.
+std::string RuleKey(const PlannedRule& pr) {
+  const std::string& label = pr.executor.rule().label();
+  return label.empty() ? pr.head.ToString() : label;
+}
+
+struct RuleRunResult {
+  size_t derived = 0;
+  size_t duplicates = 0;
+};
+
+/// One traced rule execution: inserts into `target` (and `delta_target`
+/// for new tuples, when given), updates stats, and records a per-rule
+/// span carrying derived/duplicate counts.
+RuleRunResult RunRule(const PlannedRule& pr, const RelationSource& source,
+                      int delta_literal, const EvalOptions& options,
+                      EvalStats* stats, Relation& target,
+                      Relation* delta_target) {
+  obs::TraceSpan span(RuleSpanName(pr));
+  RuleRunResult result;
+  ExecuteBuffered(pr.executor, source, delta_literal, stats,
+                  options.cardinality_planning, [&](Tuple& t) {
+                    if (target.Insert(t)) {
+                      ++result.derived;
+                      if (delta_target != nullptr) delta_target->Insert(t);
+                    } else {
+                      ++result.duplicates;
+                    }
+                  });
+  span.AddArg("derived", static_cast<int64_t>(result.derived));
+  span.AddArg("duplicates", static_cast<int64_t>(result.duplicates));
+  if (stats != nullptr) {
+    stats->derived_tuples += result.derived;
+    stats->duplicate_tuples += result.duplicates;
+    if (options.collect_metrics) {
+      RuleStats& rs = stats->per_rule[RuleKey(pr)];
+      ++rs.applications;
+      rs.derived += result.derived;
+      rs.duplicates += result.duplicates;
+    }
+  }
+  return result;
+}
+
 Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
   if (options.max_iterations > 0 && iterations > options.max_iterations) {
     return Status::FailedPrecondition(
@@ -69,15 +121,9 @@ Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
   return Status::Ok();
 }
 
-}  // namespace
-
-Result<Database> Evaluate(const Program& program, const Database& edb,
-                          const EvalOptions& options, EvalStats* stats) {
-  // num_threads == 1 is the serial path below; anything else (including
-  // 0 = auto-detect) goes through the partitioned parallel evaluator.
-  if (options.num_threads != 1) {
-    return EvaluateParallel(program, edb, options, stats);
-  }
+Result<Database> EvaluateSerial(const Program& program, const Database& edb,
+                                const EvalOptions& options, EvalStats* stats) {
+  obs::TraceSpan eval_span("eval.serial");
 
   SEMOPT_ASSIGN_OR_RETURN(std::vector<EvalComponent> components,
                           PlanComponents(program));
@@ -89,23 +135,25 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
 
   FixpointSource source(&edb, &idb, &idb_preds);
 
+  int64_t component_index = -1;
   for (const EvalComponent& component : components) {
+    ++component_index;
     const std::vector<PlannedRule>& planned = component.rules;
     if (planned.empty()) continue;  // EDB-only component
+
+    obs::TraceSpan stratum_span("stratum");
+    stratum_span.AddArg("index", component_index);
+    stratum_span.AddArg("rules", static_cast<int64_t>(planned.size()));
+    stratum_span.AddArg("recursive", component.recursive ? 1 : 0);
 
     if (!component.recursive) {
       // One pass suffices.
       if (stats != nullptr) ++stats->iterations;
+      obs::TraceSpan round_span("round");
+      round_span.AddArg("round", 1);
       for (const PlannedRule& pr : planned) {
-        Relation& target = idb.GetOrCreate(pr.head);
-        ExecuteBuffered(pr.executor, source, -1, stats,
-                        options.cardinality_planning, [&](Tuple& t) {
-          if (target.Insert(t)) {
-            if (stats != nullptr) ++stats->derived_tuples;
-          } else if (stats != nullptr) {
-            ++stats->duplicate_tuples;
-          }
-        });
+        RunRule(pr, source, -1, options, stats, idb.GetOrCreate(pr.head),
+                /*delta_target=*/nullptr);
       }
       continue;
     }
@@ -120,18 +168,17 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
         if (stats != nullptr) ++stats->iterations;
         SEMOPT_RETURN_IF_ERROR(
             CheckIterationBudget(local_iterations, options));
+        obs::TraceSpan round_span("round");
+        round_span.AddArg("round", static_cast<int64_t>(local_iterations));
+        size_t round_derived = 0;
         for (const PlannedRule& pr : planned) {
-          Relation& target = idb.GetOrCreate(pr.head);
-          ExecuteBuffered(pr.executor, source, -1, stats,
-                        options.cardinality_planning, [&](Tuple& t) {
-            if (target.Insert(t)) {
-              changed = true;
-              if (stats != nullptr) ++stats->derived_tuples;
-            } else if (stats != nullptr) {
-              ++stats->duplicate_tuples;
-            }
-          });
+          RuleRunResult run =
+              RunRule(pr, source, -1, options, stats,
+                      idb.GetOrCreate(pr.head), /*delta_target=*/nullptr);
+          round_derived += run.derived;
         }
+        changed = round_derived > 0;
+        round_span.AddArg("derived", static_cast<int64_t>(round_derived));
       }
       continue;
     }
@@ -147,31 +194,31 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
     }
 
     if (stats != nullptr) ++stats->iterations;
-    for (const PlannedRule& pr : planned) {
-      Relation& target = idb.GetOrCreate(pr.head);
-      ExecuteBuffered(pr.executor, source, -1, stats,
-                        options.cardinality_planning, [&](Tuple& t) {
-        if (target.Insert(t)) {
-          delta[pr.head]->Insert(t);
-          if (stats != nullptr) ++stats->derived_tuples;
-        } else if (stats != nullptr) {
-          ++stats->duplicate_tuples;
-        }
-      });
+    {
+      obs::TraceSpan round_span("round");
+      round_span.AddArg("round", 1);
+      for (const PlannedRule& pr : planned) {
+        RunRule(pr, source, -1, options, stats, idb.GetOrCreate(pr.head),
+                delta[pr.head].get());
+      }
     }
 
     size_t local_iterations = 1;
-    auto delta_nonempty = [&]() {
-      for (const auto& [p, rel] : delta) {
-        if (!rel->empty()) return true;
-      }
-      return false;
+    auto delta_total = [&]() {
+      size_t total = 0;
+      for (const auto& [p, rel] : delta) total += rel->size();
+      return total;
     };
 
-    while (delta_nonempty()) {
+    size_t pending = delta_total();
+    while (pending > 0) {
       ++local_iterations;
       if (stats != nullptr) ++stats->iterations;
       SEMOPT_RETURN_IF_ERROR(CheckIterationBudget(local_iterations, options));
+
+      obs::TraceSpan round_span("round");
+      round_span.AddArg("round", static_cast<int64_t>(local_iterations));
+      round_span.AddArg("delta_in", static_cast<int64_t>(pending));
 
       for (const PlannedRule& pr : planned) {
         if (pr.recursive_literals.empty()) continue;  // exit rule: done
@@ -184,15 +231,8 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
           for (const PredicateId& p : component.preds) {
             source.SetDelta(p, delta[p].get());
           }
-          ExecuteBuffered(pr.executor, source, lit_index, stats,
-                          options.cardinality_planning, [&](Tuple& t) {
-                            if (target.Insert(t)) {
-                              next_delta[pr.head]->Insert(t);
-                              if (stats != nullptr) ++stats->derived_tuples;
-                            } else if (stats != nullptr) {
-                              ++stats->duplicate_tuples;
-                            }
-                          });
+          RunRule(pr, source, lit_index, options, stats, target,
+                  next_delta[pr.head].get());
         }
       }
       source.ClearDeltas();
@@ -200,11 +240,29 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
         delta[p]->Clear();
         std::swap(delta[p], next_delta[p]);
       }
+      pending = delta_total();
+      round_span.AddArg("delta_out", static_cast<int64_t>(pending));
     }
     source.ClearDeltas();
   }
 
   return idb;
+}
+
+}  // namespace
+
+Result<Database> Evaluate(const Program& program, const Database& edb,
+                          const EvalOptions& options, EvalStats* stats) {
+  // Honors EvalOptions::trace_path for both engines; when a session is
+  // already running (shell `:trace`) this is a no-op passthrough.
+  obs::ScopedTraceFile trace_file(options.trace_path);
+
+  // num_threads == 1 is the serial path; anything else (including
+  // 0 = auto-detect) goes through the partitioned parallel evaluator.
+  if (options.num_threads != 1) {
+    return EvaluateParallel(program, edb, options, stats);
+  }
+  return EvaluateSerial(program, edb, options, stats);
 }
 
 }  // namespace semopt

@@ -2,6 +2,7 @@
 #define SEMOPT_EVAL_FIXPOINT_H_
 
 #include <cstddef>
+#include <string>
 
 #include "ast/program.h"
 #include "eval/eval_stats.h"
@@ -27,6 +28,16 @@ struct EvalOptions {
   /// 0 = one per hardware thread; N > 1 = partitioned parallel
   /// fixpoint (src/exec/), whose results are set-equal to serial.
   size_t num_threads = 1;
+  /// When non-empty, this evaluation runs inside a trace session and
+  /// writes a Chrome trace_event JSON file here on completion (open in
+  /// chrome://tracing or Perfetto). If a session is already active
+  /// (shell `:trace`), the outer session keeps ownership and no file
+  /// is written here. No-op when built with -DSEMOPT_DISABLE_TRACING.
+  std::string trace_path;
+  /// Collect the structured extras in EvalStats (per-rule counters,
+  /// per-round worker balance). Off by default: the fast path only
+  /// bumps the scalar totals.
+  bool collect_metrics = false;
 };
 
 /// Computes the least fixpoint of `program` over `edb` bottom-up and

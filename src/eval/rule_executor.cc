@@ -6,6 +6,7 @@
 
 #include "ast/rename.h"
 #include "eval/builtins.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -180,6 +181,11 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
 Result<RuleExecutor::PreparedPlan> RuleExecutor::Prepare(
     const RelationSource& source, int delta_literal, bool size_aware,
     bool skip_delta_index) const {
+  // Separates plan/index time from join time in traces: "plan" spans
+  // are coordinator work, rule-label spans are execution work.
+  obs::TraceSpan span("plan");
+  span.AddArg("body_literals", static_cast<int64_t>(rule_.body().size()));
+  span.AddArg("delta_literal", delta_literal);
   // Cardinality oracle: the current size of each body literal's input
   // relation (delta-aware).
   std::function<size_t(size_t)> size_of = [&](size_t i) -> size_t {

@@ -1,5 +1,6 @@
 #include "exec/parallel_fixpoint.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -10,6 +11,8 @@
 #include "eval/component_plan.h"
 #include "eval/rule_executor.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/interner.h"
 #include "util/string_util.h"
 
@@ -71,6 +74,19 @@ struct Execution {
   const std::vector<std::unique_ptr<Relation>>* partitions = nullptr;
 };
 
+/// Span name for one task: the rule's label when set, so per-rule
+/// lanes aggregate by name in the trace viewer.
+std::string_view TaskSpanName(const Execution& exec) {
+  const std::string& label = exec.rule->executor.rule().label();
+  return label.empty() ? std::string_view("task") : std::string_view(label);
+}
+
+/// Key for EvalStats::per_rule.
+std::string TaskRuleKey(const Execution& exec) {
+  const std::string& label = exec.rule->executor.rule().label();
+  return label.empty() ? exec.rule->head.ToString() : label;
+}
+
 /// Hash-splits `rel`'s rows into `parts` relations.
 std::vector<std::unique_ptr<Relation>> PartitionRelation(const Relation& rel,
                                                          size_t parts) {
@@ -90,102 +106,134 @@ struct Task {
   size_t exec_index = 0;
   /// The delta slice this task reads; null for unpartitioned tasks.
   const Relation* partition = nullptr;
+  /// Partition slot ("worker lane") the slice came from; 0 for
+  /// unpartitioned tasks. Feeds the per-round balance stats.
+  size_t slot = 0;
 };
 
 /// Executes one round: plans every execution against the frozen state,
 /// partitions, fans the tasks out over `pool`, and merges the buffered
 /// derivations into `idb` (and `next_delta` if given) with one owner
 /// per head relation. Returns true when any new tuple was inserted.
+/// `round` is the 1-based global round index (trace/stats labeling).
 Result<bool> RunRound(
     ThreadPool& pool, const Database& edb, Database& idb,
     const std::set<PredicateId>& idb_preds,
     std::vector<Execution>& execs,
     std::map<PredicateId, std::unique_ptr<Relation>>* next_delta,
-    const EvalOptions& options, EvalStats* stats) {
+    const EvalOptions& options, EvalStats* stats, size_t round) {
   const size_t parts = pool.num_threads();
   SnapshotSource planning_source(&edb, &idb, &idb_preds);
+
+  obs::TraceSpan round_span("parallel.round");
+  round_span.AddArg("round", static_cast<int64_t>(round));
+  round_span.AddArg("workers", static_cast<int64_t>(parts));
 
   // Plan and pre-build indexes, single-threaded. Partitions of the same
   // delta relation are shared between executions.
   std::map<const Relation*, std::vector<std::unique_ptr<Relation>>>
       partition_cache;
   std::vector<Task> tasks;
-  for (size_t e = 0; e < execs.size(); ++e) {
-    Execution& exec = execs[e];
-    const RuleExecutor& executor = exec.rule->executor;
-    bool partitioned = exec.partition_src != nullptr;
-    if (partitioned) {
-      exec.delta_pred = exec.partition_src->pred();
-      planning_source.SetDelta(exec.delta_pred, exec.partition_src);
-    } else {
-      planning_source.SetDelta(PredicateId{0, 0}, nullptr);
-    }
-    SEMOPT_ASSIGN_OR_RETURN(
-        exec.plan,
-        executor.Prepare(planning_source, exec.delta_literal,
-                         options.cardinality_planning,
-                         /*skip_delta_index=*/partitioned));
-    if (!partitioned) {
-      // No delta to split: split the plan's outermost positive literal
-      // so one-pass components and naive rounds scale too.
-      int split = executor.FirstPositiveStep(exec.plan);
-      if (split >= 0) {
-        const Literal& lit = exec.rule->executor.rule().body()[split];
-        const Relation* rel = planning_source.Full(lit.atom().pred_id());
-        if (rel != nullptr) {
-          exec.delta_literal = split;
-          exec.partition_src = rel;
-          exec.delta_pred = rel->pred();
-          partitioned = true;
+  {
+    obs::TraceSpan plan_span("parallel.plan");
+    plan_span.AddArg("executions", static_cast<int64_t>(execs.size()));
+    for (size_t e = 0; e < execs.size(); ++e) {
+      Execution& exec = execs[e];
+      const RuleExecutor& executor = exec.rule->executor;
+      bool partitioned = exec.partition_src != nullptr;
+      if (partitioned) {
+        exec.delta_pred = exec.partition_src->pred();
+        planning_source.SetDelta(exec.delta_pred, exec.partition_src);
+      } else {
+        planning_source.SetDelta(PredicateId{0, 0}, nullptr);
+      }
+      SEMOPT_ASSIGN_OR_RETURN(
+          exec.plan,
+          executor.Prepare(planning_source, exec.delta_literal,
+                           options.cardinality_planning,
+                           /*skip_delta_index=*/partitioned));
+      if (!partitioned) {
+        // No delta to split: split the plan's outermost positive literal
+        // so one-pass components and naive rounds scale too.
+        int split = executor.FirstPositiveStep(exec.plan);
+        if (split >= 0) {
+          const Literal& lit = exec.rule->executor.rule().body()[split];
+          const Relation* rel = planning_source.Full(lit.atom().pred_id());
+          if (rel != nullptr) {
+            exec.delta_literal = split;
+            exec.partition_src = rel;
+            exec.delta_pred = rel->pred();
+            partitioned = true;
+          }
         }
       }
-    }
-    if (!partitioned) {
-      tasks.push_back(Task{e, nullptr});
-      continue;
-    }
-    if (exec.partition_src->empty()) continue;  // derives nothing
-    exec.partition_probe_cols =
-        executor.ProbeColumnsFor(exec.plan, exec.delta_literal);
-    auto it = partition_cache.find(exec.partition_src);
-    if (it == partition_cache.end()) {
-      it = partition_cache
-               .emplace(exec.partition_src,
-                        PartitionRelation(*exec.partition_src, parts))
-               .first;
-    }
-    exec.partitions = &it->second;
-    // Index the slices now, while single-threaded: workers must never
-    // build indexes (Relation::Probe requires them pre-declared).
-    for (const std::unique_ptr<Relation>& slice : it->second) {
-      if (slice->empty()) continue;
-      if (!exec.partition_probe_cols.empty()) {
-        slice->EnsureIndex(exec.partition_probe_cols);
+      if (!partitioned) {
+        tasks.push_back(Task{e, nullptr, 0});
+        continue;
       }
-      tasks.push_back(Task{e, slice.get()});
+      if (exec.partition_src->empty()) continue;  // derives nothing
+      exec.partition_probe_cols =
+          executor.ProbeColumnsFor(exec.plan, exec.delta_literal);
+      auto it = partition_cache.find(exec.partition_src);
+      if (it == partition_cache.end()) {
+        it = partition_cache
+                 .emplace(exec.partition_src,
+                          PartitionRelation(*exec.partition_src, parts))
+                 .first;
+      }
+      exec.partitions = &it->second;
+      // Index the slices now, while single-threaded: workers must never
+      // build indexes (Relation::Probe requires them pre-declared).
+      for (size_t w = 0; w < it->second.size(); ++w) {
+        const std::unique_ptr<Relation>& slice = it->second[w];
+        if (slice->empty()) continue;
+        if (!exec.partition_probe_cols.empty()) {
+          slice->EnsureIndex(exec.partition_probe_cols);
+        }
+        tasks.push_back(Task{e, slice.get(), w});
+      }
     }
+    plan_span.AddArg("tasks", static_cast<int64_t>(tasks.size()));
+    plan_span.AddArg("partitioned_relations",
+                     static_cast<int64_t>(partition_cache.size()));
   }
+  round_span.AddArg("tasks", static_cast<int64_t>(tasks.size()));
   if (tasks.empty()) return false;
+
+  if (options.collect_metrics) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("exec.rounds").Add(1);
+    registry.GetCounter("exec.tasks").Add(tasks.size());
+    registry.GetGauge("exec.queue_depth")
+        .Set(static_cast<int64_t>(tasks.size()));
+  }
 
   // Fan out. Workers read the frozen EDB/IDB and their private delta
   // slice, buffering derivations per task; no shared mutable state.
   std::vector<std::vector<Tuple>> buffers(tasks.size());
   std::vector<EvalStats> task_stats(tasks.size());
+  bool changed = false;
   {
     InternerFreezeGuard freeze;
     SEMOPT_RETURN_IF_ERROR(pool.ParallelFor(
         tasks.size(), [&](size_t i) -> Status {
           const Task& task = tasks[i];
           const Execution& exec = execs[task.exec_index];
+          obs::TraceSpan task_span(TaskSpanName(exec));
+          task_span.AddArg("slot", static_cast<int64_t>(task.slot));
           SnapshotSource source(&edb, &idb, &idb_preds);
           if (task.partition != nullptr) {
             source.SetDelta(exec.delta_pred, task.partition);
+            task_span.AddArg(
+                "partition_rows",
+                static_cast<int64_t>(task.partition->size()));
           }
           std::vector<Tuple>& buffer = buffers[i];
           exec.rule->executor.ExecutePlan(
               exec.plan, source, exec.delta_literal,
               [&buffer](const Tuple& t) { buffer.push_back(t); },
               &task_stats[i]);
+          task_span.AddArg("produced", static_cast<int64_t>(buffer.size()));
           return Status::Ok();
         }));
 
@@ -201,38 +249,78 @@ Result<bool> RunRound(
     for (auto& [pred, task_ids] : by_head) {
       owners.emplace_back(pred, &task_ids);
     }
-    std::vector<EvalStats> merge_stats(owners.size());
+    // Inserted/duplicate counts per task (filled by the owning merge
+    // worker), folded into totals and per-rule stats afterwards.
+    std::vector<size_t> task_inserted(tasks.size(), 0);
+    std::vector<size_t> task_duplicate(tasks.size(), 0);
     std::vector<char> owner_changed(owners.size(), 0);
+    obs::TraceSpan merge_span("parallel.merge");
+    merge_span.AddArg("owners", static_cast<int64_t>(owners.size()));
     SEMOPT_RETURN_IF_ERROR(pool.ParallelFor(
         owners.size(), [&](size_t j) -> Status {
+          obs::TraceSpan owner_span("merge");
           const PredicateId& pred = owners[j].first;
           Relation* target = idb.FindMutable(pred);
           // at(): the component pre-created every delta relation, and
           // operator[] would mutate the (shared) map on a miss.
           Relation* delta_target =
               next_delta != nullptr ? next_delta->at(pred).get() : nullptr;
+          size_t inserted = 0;
           for (size_t i : *owners[j].second) {
             for (Tuple& t : buffers[i]) {
               if (target->Insert(t)) {
                 owner_changed[j] = 1;
                 if (delta_target != nullptr) delta_target->Insert(t);
-                ++merge_stats[j].derived_tuples;
+                ++task_inserted[i];
               } else {
-                ++merge_stats[j].duplicate_tuples;
+                ++task_duplicate[i];
               }
             }
+            inserted += task_inserted[i];
           }
+          owner_span.AddArg("tasks",
+                            static_cast<int64_t>(owners[j].second->size()));
+          owner_span.AddArg("inserted", static_cast<int64_t>(inserted));
           return Status::Ok();
         }));
     if (stats != nullptr) {
       for (const EvalStats& s : task_stats) stats->Add(s);
-      for (const EvalStats& s : merge_stats) stats->Add(s);
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        stats->derived_tuples += task_inserted[i];
+        stats->duplicate_tuples += task_duplicate[i];
+      }
+      if (options.collect_metrics) {
+        // Per-rule attribution: every task belongs to exactly one rule.
+        for (size_t i = 0; i < tasks.size(); ++i) {
+          RuleStats& rs = stats->per_rule[TaskRuleKey(execs[tasks[i].exec_index])];
+          ++rs.applications;
+          rs.derived += task_inserted[i];
+          rs.duplicates += task_duplicate[i];
+        }
+        // Tuples produced per partition slot: the balance the merged
+        // totals hide. Unpartitioned single tasks land in slot 0.
+        std::vector<size_t> slot_tuples(parts, 0);
+        for (size_t i = 0; i < tasks.size(); ++i) {
+          slot_tuples[tasks[i].slot] += buffers[i].size();
+        }
+        RoundBalance balance;
+        balance.round = round;
+        balance.workers = parts;
+        balance.min_tuples = slot_tuples[0];
+        for (size_t tuples : slot_tuples) {
+          balance.min_tuples = std::min(balance.min_tuples, tuples);
+          balance.max_tuples = std::max(balance.max_tuples, tuples);
+          balance.total_tuples += tuples;
+        }
+        stats->round_balance.push_back(balance);
+      }
     }
     for (char c : owner_changed) {
-      if (c) return true;
+      if (c) changed = true;
     }
   }
-  return false;
+  round_span.AddArg("changed", changed ? 1 : 0);
+  return changed;
 }
 
 Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
@@ -249,7 +337,13 @@ Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
 Result<Database> EvaluateParallel(const Program& program, const Database& edb,
                                   const EvalOptions& options,
                                   EvalStats* stats) {
+  // Direct callers (not routed through Evaluate) still honor
+  // EvalOptions::trace_path; no-op when a session is already active.
+  obs::ScopedTraceFile trace_file(options.trace_path);
+  obs::TraceSpan eval_span("eval.parallel");
+
   ThreadPool pool(ResolveNumThreads(options));
+  eval_span.AddArg("threads", static_cast<int64_t>(pool.num_threads()));
   SEMOPT_ASSIGN_OR_RETURN(std::vector<EvalComponent> components,
                           PlanComponents(program));
   std::set<PredicateId> idb_preds = program.IdbPredicates();
@@ -258,8 +352,16 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
   // Pre-create IDB relations so concurrent Find() never mutates.
   for (const PredicateId& p : idb_preds) idb.GetOrCreate(p);
 
+  size_t global_round = 0;
+  int64_t component_index = -1;
   for (EvalComponent& component : components) {
+    ++component_index;
     if (component.rules.empty()) continue;  // EDB-only component
+
+    obs::TraceSpan stratum_span("stratum");
+    stratum_span.AddArg("index", component_index);
+    stratum_span.AddArg("rules", static_cast<int64_t>(component.rules.size()));
+    stratum_span.AddArg("recursive", component.recursive ? 1 : 0);
 
     auto all_rules = [&]() {
       std::vector<Execution> execs;
@@ -275,9 +377,11 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
     if (!component.recursive) {
       // One (parallel) pass suffices.
       if (stats != nullptr) ++stats->iterations;
+      ++global_round;
       std::vector<Execution> execs = all_rules();
       Result<bool> pass = RunRound(pool, edb, idb, idb_preds, execs,
-                                   /*next_delta=*/nullptr, options, stats);
+                                   /*next_delta=*/nullptr, options, stats,
+                                   global_round);
       if (!pass.ok()) return pass.status();
       continue;
     }
@@ -290,12 +394,14 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
       while (changed) {
         ++local_iterations;
         if (stats != nullptr) ++stats->iterations;
+        ++global_round;
         SEMOPT_RETURN_IF_ERROR(
             CheckIterationBudget(local_iterations, options));
         std::vector<Execution> execs = all_rules();
         SEMOPT_ASSIGN_OR_RETURN(
             changed, RunRound(pool, edb, idb, idb_preds, execs,
-                              /*next_delta=*/nullptr, options, stats));
+                              /*next_delta=*/nullptr, options, stats,
+                              global_round));
       }
       continue;
     }
@@ -312,10 +418,11 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
     }
 
     if (stats != nullptr) ++stats->iterations;
+    ++global_round;
     {
       std::vector<Execution> execs = all_rules();
-      Result<bool> seeded =
-          RunRound(pool, edb, idb, idb_preds, execs, &delta, options, stats);
+      Result<bool> seeded = RunRound(pool, edb, idb, idb_preds, execs,
+                                     &delta, options, stats, global_round);
       if (!seeded.ok()) return seeded.status();
     }
 
@@ -330,6 +437,7 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
     while (delta_nonempty()) {
       ++local_iterations;
       if (stats != nullptr) ++stats->iterations;
+      ++global_round;
       SEMOPT_RETURN_IF_ERROR(CheckIterationBudget(local_iterations, options));
 
       std::vector<Execution> execs;
@@ -346,7 +454,8 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
         }
       }
       Result<bool> round = RunRound(pool, edb, idb, idb_preds, execs,
-                                    &next_delta, options, stats);
+                                    &next_delta, options, stats,
+                                    global_round);
       if (!round.ok()) return round.status();
       for (const PredicateId& p : component.preds) {
         delta[p]->Clear();

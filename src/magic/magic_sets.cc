@@ -8,6 +8,7 @@
 #include "ast/rename.h"
 #include "eval/fixpoint.h"
 #include "eval/rule_executor.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -99,6 +100,7 @@ std::vector<Literal> SliceMagicBody(const std::vector<Literal>& body,
 
 Result<MagicRewrite> MagicSets(const Program& program, const Atom& query,
                                const MagicOptions& options) {
+  obs::TraceSpan span("magic.rewrite");
   std::set<PredicateId> idb = program.IdbPredicates();
   PredicateId query_pred = query.pred_id();
   if (idb.count(query_pred) == 0) {
@@ -213,11 +215,13 @@ Result<std::vector<Tuple>> AnswerWithMagic(const Program& program,
                                            const Database& edb,
                                            const Atom& query,
                                            EvalStats* stats,
-                                           const MagicOptions& options) {
+                                           const MagicOptions& options,
+                                           const EvalOptions& eval_options) {
+  obs::TraceSpan span("magic.answer");
   SEMOPT_ASSIGN_OR_RETURN(MagicRewrite rewrite,
                           MagicSets(program, query, options));
   SEMOPT_ASSIGN_OR_RETURN(
-      Database idb, Evaluate(rewrite.program, edb, EvalOptions(), stats));
+      Database idb, Evaluate(rewrite.program, edb, eval_options, stats));
   std::vector<Tuple> answers;
   const Relation* rel = idb.Find(rewrite.answer_pred);
   if (rel == nullptr) return answers;

@@ -3,6 +3,7 @@
 
 #include "ast/program.h"
 #include "eval/eval_stats.h"
+#include "eval/fixpoint.h"
 #include "magic/adornment.h"
 #include "storage/database.h"
 #include "util/result.h"
@@ -42,10 +43,13 @@ Result<MagicRewrite> MagicSets(const Program& program, const Atom& query,
                                const MagicOptions& options = MagicOptions());
 
 /// Convenience: rewrites, evaluates over `edb`, and returns the answer
-/// tuples matching `query`'s constants.
+/// tuples matching `query`'s constants. `eval_options` selects the
+/// evaluation engine (threads, tracing, metrics) for the rewritten
+/// program.
 Result<std::vector<Tuple>> AnswerWithMagic(
     const Program& program, const Database& edb, const Atom& query,
-    EvalStats* stats = nullptr, const MagicOptions& options = MagicOptions());
+    EvalStats* stats = nullptr, const MagicOptions& options = MagicOptions(),
+    const EvalOptions& eval_options = EvalOptions());
 
 }  // namespace semopt
 

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace semopt {
+namespace obs {
+
+size_t Histogram::BucketFor(uint64_t v) {
+  if (v == 0) return 0;
+  size_t bucket = 1;
+  while (v > 1 && bucket + 1 < HistogramSnapshot::kBuckets) {
+    v >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void Histogram::Observe(uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = (snap.count == 0 || min == UINT64_MAX) ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void TextSink::OnCounter(std::string_view name, uint64_t value) {
+  os_ << name << " " << value << "\n";
+}
+
+void TextSink::OnGauge(std::string_view name, int64_t value) {
+  os_ << name << " " << value << "\n";
+}
+
+void TextSink::OnHistogram(std::string_view name,
+                           const HistogramSnapshot& snapshot) {
+  os_ << name << " count=" << snapshot.count << " sum=" << snapshot.sum
+      << " min=" << snapshot.min << " max=" << snapshot.max
+      << " mean=" << snapshot.Mean() << "\n";
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Emit(MetricsSink& sink) const {
+  // Snapshot name->kind pairs under the lock, emit merged in name
+  // order. Values are read lock-free after registration.
+  struct Entry {
+    const std::string* name;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  std::vector<Entry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, c] : counters_) {
+      entries.push_back(Entry{&name, c.get(), nullptr, nullptr});
+    }
+    for (const auto& [name, g] : gauges_) {
+      entries.push_back(Entry{&name, nullptr, g.get(), nullptr});
+    }
+    for (const auto& [name, h] : histograms_) {
+      entries.push_back(Entry{&name, nullptr, nullptr, h.get()});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return *a.name < *b.name; });
+  for (const Entry& e : entries) {
+    if (e.counter != nullptr) {
+      sink.OnCounter(*e.name, e.counter->value());
+    } else if (e.gauge != nullptr) {
+      sink.OnGauge(*e.name, e.gauge->value());
+    } else {
+      sink.OnHistogram(*e.name, e.histogram->Snapshot());
+    }
+  }
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::ostringstream os;
+  TextSink sink(os);
+  Emit(sink);
+  return os.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace obs
+}  // namespace semopt

@@ -1,0 +1,141 @@
+#ifndef SEMOPT_OBS_METRICS_H_
+#define SEMOPT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace semopt {
+namespace obs {
+
+/// Monotonic counter. Updates are lock-free relaxed atomics; callers
+/// cache the pointer returned by MetricsRegistry::GetCounter outside
+/// hot loops so updating costs one fetch_add.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value (queue depth, thread count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of a Histogram.
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 32;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // meaningful only when count > 0
+  uint64_t max = 0;
+  /// bucket[0] holds value 0; bucket[i>0] holds [2^(i-1), 2^i).
+  uint64_t buckets[kBuckets] = {};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Power-of-two-bucketed distribution of non-negative samples
+/// (latencies in us, tuples per task, partition sizes). Observe is
+/// lock-free; min/max use CAS loops, everything else relaxed adds.
+class Histogram {
+ public:
+  void Observe(uint64_t v);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  /// Bucket index for `v`: 0 for 0, else 1 + floor(log2(v)), capped.
+  static size_t BucketFor(uint64_t v);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[HistogramSnapshot::kBuckets] = {};
+};
+
+/// Receives one callback per metric from MetricsRegistry::Emit, in
+/// name order. Implement to ship metrics wherever you like (text,
+/// JSON, statsd, ...).
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void OnCounter(std::string_view name, uint64_t value) = 0;
+  virtual void OnGauge(std::string_view name, int64_t value) = 0;
+  virtual void OnHistogram(std::string_view name,
+                           const HistogramSnapshot& snapshot) = 0;
+};
+
+/// Writes "name value" / "name count=N sum=S min=M max=X mean=E"
+/// lines to a stream.
+class TextSink : public MetricsSink {
+ public:
+  explicit TextSink(std::ostream& os) : os_(os) {}
+  void OnCounter(std::string_view name, uint64_t value) override;
+  void OnGauge(std::string_view name, int64_t value) override;
+  void OnHistogram(std::string_view name,
+                   const HistogramSnapshot& snapshot) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Named metrics, created on first use and stable-addressed for the
+/// registry's lifetime. Registration takes a mutex; the returned
+/// references update lock-free. Use Global() for process-wide metrics
+/// or construct private registries in tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Streams every metric to `sink` in name order (kind-mixed).
+  void Emit(MetricsSink& sink) const;
+
+  /// Renders the registry through a TextSink.
+  std::string ToText() const;
+
+  /// Zeroes every metric (names stay registered).
+  void ResetAll();
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: values never move once created.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace semopt
+
+#endif  // SEMOPT_OBS_METRICS_H_

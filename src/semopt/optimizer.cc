@@ -6,6 +6,7 @@
 
 #include "analysis/recursion.h"
 #include "analysis/rectify.h"
+#include "obs/trace.h"
 #include "semopt/factor.h"
 #include "semopt/isolation.h"
 #include "util/string_util.h"
@@ -27,6 +28,10 @@ const char* OptimizationKindName(AppliedOptimization::Kind kind) {
 std::string OptimizeResult::Report() const {
   std::ostringstream os;
   os << "residues found: " << residues.size() << "\n";
+  os << "residue generation: candidates=" << residue_stats.candidate_sequences
+     << " unfolded=" << residue_stats.sequences_unfolded
+     << " subsumption_calls=" << residue_stats.subsumption_calls
+     << " residues=" << residue_stats.residues_found << "\n";
   for (const AppliedOptimization& a : applied) {
     os << "applied " << OptimizationKindName(a.kind) << ": " << a.description
        << "\n";
@@ -44,7 +49,11 @@ enum class PlannedUse { kPruning, kElimination, kIntroduction, kNone };
 
 Result<OptimizeResult> SemanticOptimizer::Optimize(
     const Program& program) const {
-  SEMOPT_RETURN_IF_ERROR(ValidatePaperAssumptions(program));
+  obs::TraceSpan optimize_span("semopt.optimize");
+  {
+    obs::TraceSpan validate_span("semopt.validate");
+    SEMOPT_RETURN_IF_ERROR(ValidatePaperAssumptions(program));
+  }
 
   OptimizeResult out;
   Program current = program;
@@ -53,6 +62,7 @@ Result<OptimizeResult> SemanticOptimizer::Optimize(
       return Status::FailedPrecondition(
           "program is not rectified and auto_rectify is disabled");
     }
+    obs::TraceSpan rectify_span("semopt.rectify");
     SEMOPT_ASSIGN_OR_RETURN(current, Rectify(current));
   }
   current.AutoLabelRules();
@@ -69,11 +79,16 @@ Result<OptimizeResult> SemanticOptimizer::Optimize(
   bool round_applied = false;
   for (const PredicateId& pred : original_preds) {
     std::vector<Residue> residues;
-    for (const Constraint& ic : current.constraints()) {
-      SEMOPT_ASSIGN_OR_RETURN(
-          std::vector<Residue> found,
-          GenerateResidues(current, ic, pred, options_.residue_options));
-      for (Residue& r : found) residues.push_back(std::move(r));
+    {
+      obs::TraceSpan residues_span("semopt.residues");
+      for (const Constraint& ic : current.constraints()) {
+        SEMOPT_ASSIGN_OR_RETURN(
+            std::vector<Residue> found,
+            GenerateResidues(current, ic, pred, options_.residue_options,
+                             &out.residue_stats));
+        for (Residue& r : found) residues.push_back(std::move(r));
+      }
+      residues_span.AddArg("found", static_cast<int64_t>(residues.size()));
     }
     for (const Residue& r : residues) out.residues.push_back(r);
     if (residues.empty()) continue;
@@ -163,7 +178,11 @@ Result<OptimizeResult> SemanticOptimizer::Optimize(
     ExpansionSequence chosen = *best;
 
     SEMOPT_ASSIGN_OR_RETURN(IsolationResult iso,
-                            IsolateSequence(current, chosen, isolation_id++));
+                            [&]() -> Result<IsolationResult> {
+                              obs::TraceSpan isolate_span("semopt.isolate");
+                              return IsolateSequence(current, chosen,
+                                                     isolation_id++);
+                            }());
 
     bool any_applied = false;
     for (const Residue& r : residues) {
@@ -215,6 +234,7 @@ Result<OptimizeResult> SemanticOptimizer::Optimize(
           continue;
         }
       }
+      obs::TraceSpan push_span("semopt.push");
       Status push_status = Status::Ok();
       AppliedOptimization::Kind kind = AppliedOptimization::Kind::kPruning;
       switch (use) {
@@ -249,6 +269,7 @@ Result<OptimizeResult> SemanticOptimizer::Optimize(
     if (any_applied) {
       round_applied = true;
       if (options_.factor_committed) {
+        obs::TraceSpan factor_span("semopt.factor");
         Status factored = FactorCommittedRules(&iso, isolation_id - 1);
         if (!factored.ok()) {
           out.skipped.push_back(

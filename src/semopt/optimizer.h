@@ -59,6 +59,10 @@ struct OptimizeResult {
   /// Residues (or pushes) that were found but not applied, with the
   /// reason.
   std::vector<std::string> skipped;
+  /// Aggregated residue-generation work counters across all rounds,
+  /// predicates, and ICs — the compile-time side of the paper's "no
+  /// run-time overhead" claim, reported next to run-time stats.
+  ResidueGenStats residue_stats;
 
   std::string Report() const;
 };

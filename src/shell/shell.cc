@@ -13,6 +13,7 @@
 #include "eval/query.h"
 #include "io/fact_io.h"
 #include "magic/magic_sets.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "semopt/optimizer.h"
 #include "semopt/residue_generator.h"
@@ -91,6 +92,8 @@ std::string Shell::HandleQuery(std::string_view body_text) {
   Result<QueryResult> result =
       AnswerQuery(program_, edb_, source, eval_options_, &stats);
   if (!result.ok()) return result.status().ToString();
+  last_stats_ = stats;
+  have_last_stats_ = true;
   std::ostringstream os;
   if (result->empty()) {
     os << "no answers";
@@ -131,6 +134,8 @@ std::string Shell::HandleCommand(std::string_view line) {
     return CmdMagic(line.substr(offset + 1));
   }
   if (cmd == ".threads" || cmd == ":threads") return CmdThreads(args);
+  if (cmd == ".trace" || cmd == ":trace") return CmdTrace(args);
+  if (cmd == ".metrics" || cmd == ":metrics") return CmdMetrics(args);
   if (cmd == ".load") return CmdLoad(args);
   if (cmd == ".loadtsv") return CmdLoadTsv(args);
   if (cmd == ".stats") {
@@ -163,6 +168,10 @@ commands:
   .loadtsv PRED FILE       load tab-separated tuples into PRED
   .stats [on|off]          show evaluation statistics with query answers
   :threads [N]             evaluate with N threads (1 = serial, 0 = auto)
+  :trace FILE|on|off       record spans; on stop, write Chrome trace JSON
+                           (open in chrome://tracing or ui.perfetto.dev)
+  :metrics [on|off]        collect per-rule/per-round metrics; no args:
+                           print the report for the last evaluation
   .reset                   clear everything
   .quit                    leave)";
 }
@@ -260,9 +269,11 @@ std::string Shell::CmdMagic(std::string_view rest) {
   Result<Atom> query = ParseAtom(source);
   if (!query.ok()) return query.status().ToString();
   EvalStats stats;
-  Result<std::vector<Tuple>> answers =
-      AnswerWithMagic(program_, edb_, *query, &stats);
+  Result<std::vector<Tuple>> answers = AnswerWithMagic(
+      program_, edb_, *query, &stats, MagicOptions(), eval_options_);
   if (!answers.ok()) return answers.status().ToString();
+  last_stats_ = stats;
+  have_last_stats_ = true;
   std::ostringstream os;
   for (const Tuple& t : *answers) {
     os << query->predicate_name() << TupleToString(t) << "\n";
@@ -301,6 +312,55 @@ std::string Shell::CmdThreads(const std::vector<std::string>& args) {
   }
   return StrCat("threads ", eval_options_.num_threads,
                 eval_options_.num_threads == 1 ? " (serial)" : "");
+}
+
+std::string Shell::CmdTrace(const std::vector<std::string>& args) {
+  if (!obs::kTracingCompiledIn) {
+    return "tracing was compiled out (-DSEMOPT_DISABLE_TRACING)";
+  }
+  if (args.empty()) {
+    if (obs::TracingEnabled()) {
+      return StrCat("tracing on (will write ", trace_path_,
+                    "; stop with :trace off)");
+    }
+    return "tracing off (start with :trace FILE)";
+  }
+  if (args[0] == "off") {
+    if (!obs::TracingEnabled() || trace_path_.empty()) {
+      return "tracing is not on";
+    }
+    Result<size_t> events = obs::StopTracing(trace_path_);
+    std::string path = std::move(trace_path_);
+    trace_path_.clear();
+    if (!events.ok()) return events.status().ToString();
+    return StrCat("trace written to ", path, " (", *events,
+                  " event(s); open in chrome://tracing or Perfetto)");
+  }
+  trace_path_ = args[0] == "on" ? "trace.json" : args[0];
+  obs::StartTracing();
+  return StrCat("tracing on (will write ", trace_path_,
+                "; stop with :trace off)");
+}
+
+std::string Shell::CmdMetrics(const std::vector<std::string>& args) {
+  if (!args.empty()) {
+    if (args[0] == "on") {
+      eval_options_.collect_metrics = true;
+      return "metrics on (per-rule/per-round collection)";
+    }
+    if (args[0] == "off") {
+      eval_options_.collect_metrics = false;
+      return "metrics off";
+    }
+    return "usage: :metrics [on|off]";
+  }
+  if (!eval_options_.collect_metrics) {
+    return "metrics collection is off (enable with :metrics on)";
+  }
+  if (!have_last_stats_) {
+    return "no evaluation yet (run a query first)";
+  }
+  return last_stats_.Report();
 }
 
 std::string Shell::CmdLoad(const std::vector<std::string>& args) {

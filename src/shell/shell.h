@@ -22,6 +22,8 @@ namespace semopt {
 ///   ?- p(X), X != a.         run a query
 ///   .command [args]          session commands (see `.help`)
 ///   :threads N               evaluate queries with N worker threads
+///   :trace FILE / :trace off start/stop a Chrome trace_event session
+///   :metrics [on|off]        per-rule metrics collection + report
 class Shell {
  public:
   Shell() = default;
@@ -52,11 +54,19 @@ class Shell {
   std::string CmdLoadTsv(const std::vector<std::string>& args);
 
   std::string CmdThreads(const std::vector<std::string>& args);
+  std::string CmdTrace(const std::vector<std::string>& args);
+  std::string CmdMetrics(const std::vector<std::string>& args);
 
   Program program_;
   Database edb_;
-  /// Options applied to every query evaluation (`:threads` edits it).
+  /// Options applied to every query evaluation (`:threads`, `:metrics`
+  /// edit it).
   EvalOptions eval_options_;
+  /// Destination of the running `:trace` session ("" = no session).
+  std::string trace_path_;
+  /// Stats of the most recent evaluation, shown by `:metrics`.
+  EvalStats last_stats_;
+  bool have_last_stats_ = false;
   bool show_stats_ = false;
   bool done_ = false;
 };

@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "io/fact_io.h"
+#include "obs/trace.h"
 
 #include "gtest/gtest.h"
 #include "test_helpers.h"
@@ -205,6 +207,57 @@ TEST_F(ShellTest, ThreadsCommand) {
   EXPECT_NE(shell_.Execute(":threads bogus").find("usage:"),
             std::string::npos);
   EXPECT_NE(shell_.Execute(":threads 999").find("usage:"), std::string::npos);
+}
+
+TEST_F(ShellTest, TraceCommand) {
+  if (!obs::kTracingCompiledIn) {
+    EXPECT_NE(shell_.Execute(":trace").find("compiled out"),
+              std::string::npos);
+    return;
+  }
+  EXPECT_EQ(shell_.Execute(":trace"), "tracing off (start with :trace FILE)");
+  EXPECT_NE(shell_.Execute(":trace off").find("not on"), std::string::npos);
+
+  std::string path = ::testing::TempDir() + "/shell_trace_test.json";
+  EXPECT_NE(shell_.Execute(":trace " + path).find("tracing on"),
+            std::string::npos);
+  EXPECT_NE(shell_.Execute(":trace").find(path), std::string::npos);
+  shell_.Execute("t(X, Y) :- e(X, Y).");
+  shell_.Execute("t(X, Z) :- t(X, Y), e(Y, Z).");
+  shell_.Execute("e(a, b). e(b, c). e(c, d).");
+  shell_.Execute("?- t(a, X).");
+  std::string stopped = shell_.Execute(":trace off");
+  EXPECT_NE(stopped.find("trace written to " + path), std::string::npos);
+  EXPECT_FALSE(obs::TracingEnabled());
+
+  // The file exists and holds trace events from the query evaluation.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("eval.serial"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ShellTest, MetricsCommand) {
+  EXPECT_NE(shell_.Execute(":metrics").find("collection is off"),
+            std::string::npos);
+  EXPECT_EQ(shell_.Execute(":metrics on"),
+            "metrics on (per-rule/per-round collection)");
+  EXPECT_NE(shell_.Execute(":metrics").find("no evaluation yet"),
+            std::string::npos);
+  shell_.Execute("t(X, Y) :- e(X, Y).");
+  shell_.Execute("t(X, Z) :- t(X, Y), e(Y, Z).");
+  shell_.Execute("e(a, b). e(b, c). e(c, d).");
+  shell_.Execute("?- t(a, X).");
+  std::string report = shell_.Execute(":metrics");
+  EXPECT_NE(report.find("totals:"), std::string::npos);
+  EXPECT_NE(report.find("per-rule:"), std::string::npos);
+  EXPECT_NE(report.find("derived="), std::string::npos);
+  EXPECT_EQ(shell_.Execute(":metrics off"), "metrics off");
+  EXPECT_NE(shell_.Execute(":metrics bogus").find("usage:"),
+            std::string::npos);
 }
 
 TEST_F(ShellTest, LoadTsvFileCommand) {
