@@ -1,0 +1,286 @@
+// E9: flat tuple storage microbenchmarks.
+//
+// Compares the arena-backed Relation (TupleStore + RowId-only indexes)
+// against `LegacyRelation`, a faithful re-implementation of the storage
+// layer this PR replaced: std::vector<Tuple> rows, an
+// std::unordered_set<Tuple> dedup copy, and std::map-keyed indexes over
+// materialized key tuples. Workloads are deterministic (SplitMix64) so
+// before/after numbers are comparable across runs; see EXPERIMENTS.md
+// E9 and BENCH_e9.json.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "benchmark/benchmark.h"
+
+#include "ast/atom.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+#include "util/hash_util.h"
+
+namespace semopt {
+namespace {
+
+PredicateId BenchPred(const char* name, uint32_t arity) {
+  return PredicateId{InternSymbol(name), arity};
+}
+
+/// The pre-flat-storage relation design, kept here as the benchmark
+/// baseline: every insert copies the tuple into both the row vector and
+/// the dedup set, and every probe materializes a projected key tuple.
+class LegacyRelation {
+ public:
+  explicit LegacyRelation(uint32_t arity) : arity_(arity) {}
+
+  bool Insert(const Tuple& tuple) {
+    if (!dedup_.insert(tuple).second) return false;
+    size_t row = rows_.size();
+    rows_.push_back(tuple);
+    for (auto& [columns, index] : indexes_) {
+      index[Project(tuple, columns)].push_back(row);
+    }
+    return true;
+  }
+
+  bool Contains(const Tuple& tuple) const { return dedup_.count(tuple) > 0; }
+
+  size_t size() const { return rows_.size(); }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  void EnsureIndex(const std::vector<uint32_t>& columns) {
+    if (indexes_.count(columns) > 0) return;
+    auto& index = indexes_[columns];
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      index[Project(rows_[i], columns)].push_back(i);
+    }
+  }
+
+  const std::vector<size_t>& Probe(const std::vector<uint32_t>& columns,
+                                   const Tuple& key) const {
+    static const std::vector<size_t> kEmpty;
+    auto it = indexes_.find(columns);
+    if (it == indexes_.end()) return kEmpty;
+    auto hit = it->second.find(key);
+    return hit == it->second.end() ? kEmpty : hit->second;
+  }
+
+ private:
+  struct TupleHasher {
+    size_t operator()(const Tuple& t) const {
+      return HashValues(t.data(), t.size());
+    }
+  };
+
+  static Tuple Project(const Tuple& tuple,
+                       const std::vector<uint32_t>& columns) {
+    Tuple key;
+    key.reserve(columns.size());
+    for (uint32_t c : columns) key.push_back(tuple[c]);
+    return key;
+  }
+
+  uint32_t arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHasher> dedup_;
+  std::map<std::vector<uint32_t>,
+           std::unordered_map<Tuple, std::vector<size_t>, TupleHasher>>
+      indexes_;
+};
+
+/// Deterministic binary workload of `n` tuples. `dense == 0`: each
+/// coordinate spans [0, 2n) — inserts are near-unique and probe keys
+/// near-distinct (EDB load shape). `dense == 1`: the pair domain is
+/// ~1.7n, so ~25% of inserts are duplicates and probe keys repeat —
+/// the re-derivation churn semi-naive deltas see (E1 reports dups ≈
+/// derived). Values are near-sequential small ints, like interned
+/// SymbolIds.
+std::vector<Tuple> MakeWorkload(int64_t n, int64_t dense) {
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  SplitMix64 rng(0xe9u);
+  const uint64_t side =
+      dense != 0 ? static_cast<uint64_t>(
+                       std::sqrt(1.7 * static_cast<double>(n)) + 1.0)
+                 : static_cast<uint64_t>(n) * 2;
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back(Tuple{Term::Int(static_cast<int64_t>(rng.Below(side))),
+                         Term::Int(static_cast<int64_t>(rng.Below(side)))});
+  }
+  return rows;
+}
+
+void BM_FlatInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  for (auto _ : state) {
+    Relation rel(BenchPred("e9_flat_insert", 2));
+    for (const Tuple& t : rows) benchmark::DoNotOptimize(rel.Insert(t));
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatInsert)->Args({100000, 0})
+    ->Args({400000, 0})
+    ->Args({100000, 1})
+    ->Args({400000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LegacyInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  for (auto _ : state) {
+    LegacyRelation rel(2);
+    for (const Tuple& t : rows) benchmark::DoNotOptimize(rel.Insert(t));
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LegacyInsert)->Args({100000, 0})
+    ->Args({400000, 0})
+    ->Args({100000, 1})
+    ->Args({400000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FlatInsertIndexed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  for (auto _ : state) {
+    Relation rel(BenchPred("e9_flat_insert_idx", 2));
+    rel.EnsureIndex({0});
+    for (const Tuple& t : rows) benchmark::DoNotOptimize(rel.Insert(t));
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatInsertIndexed)
+    ->Args({100000, 0})
+    ->Args({400000, 0})
+    ->Args({100000, 1})
+    ->Args({400000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LegacyInsertIndexed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  for (auto _ : state) {
+    LegacyRelation rel(2);
+    rel.EnsureIndex({0});
+    for (const Tuple& t : rows) benchmark::DoNotOptimize(rel.Insert(t));
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LegacyInsertIndexed)
+    ->Args({100000, 0})
+    ->Args({400000, 0})
+    ->Args({100000, 1})
+    ->Args({400000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FlatProbe(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  Relation rel(BenchPred("e9_flat_probe", 2));
+  rel.EnsureIndex({0});
+  for (const Tuple& t : rows) rel.Insert(t);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const Tuple& t : rows) {
+      // The allocation-free path: key values read straight from `t`.
+      hits += rel.Probe({0}, t.data()).size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatProbe)->Args({100000, 0})
+    ->Args({400000, 0})
+    ->Args({100000, 1})
+    ->Args({400000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LegacyProbe(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  LegacyRelation rel(2);
+  rel.EnsureIndex({0});
+  for (const Tuple& t : rows) rel.Insert(t);
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const Tuple& t : rows) {
+      Tuple key{t[0]};  // the per-probe allocation the flat path removed
+      hits += rel.Probe({0}, key).size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LegacyProbe)->Args({100000, 0})
+    ->Args({400000, 0})
+    ->Args({100000, 1})
+    ->Args({400000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FlatClearRefill(benchmark::State& state) {
+  // Delta double-buffer pattern: Clear() keeps capacity, so refills are
+  // allocation-free in steady state.
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  Relation rel(BenchPred("e9_flat_refill", 2));
+  for (const Tuple& t : rows) rel.Insert(t);
+  for (auto _ : state) {
+    rel.Clear();
+    for (const Tuple& t : rows) benchmark::DoNotOptimize(rel.Insert(t));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatClearRefill)->Args({100000, 0})->Args({100000, 1})->Unit(benchmark::kMillisecond);
+
+void BM_LegacyClearRefill(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  for (auto _ : state) {
+    // Legacy deltas were rebuilt from scratch each round.
+    LegacyRelation rel(2);
+    for (const Tuple& t : rows) benchmark::DoNotOptimize(rel.Insert(t));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LegacyClearRefill)->Args({100000, 0})->Args({100000, 1})->Unit(benchmark::kMillisecond);
+
+void BM_FlatScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  Relation rel(BenchPred("e9_flat_scan", 2));
+  for (const Tuple& t : rows) rel.Insert(t);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (RowRef row : rel.rows()) sum += row[0].int_value();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_FlatScan)->Args({400000, 0})->Args({400000, 1})->Unit(benchmark::kMillisecond);
+
+void BM_LegacyScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Tuple> rows = MakeWorkload(n, state.range(1));
+  LegacyRelation rel(2);
+  for (const Tuple& t : rows) rel.Insert(t);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (size_t i = 0; i < rel.size(); ++i) sum += rel.row(i)[0].int_value();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_LegacyScan)->Args({400000, 0})->Args({400000, 1})->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semopt
+
+BENCHMARK_MAIN();

@@ -39,7 +39,7 @@ Status ForEachBodyBinding(
   SEMOPT_ASSIGN_OR_RETURN(RuleExecutor exec, RuleExecutor::Create(probe_rule));
   EdbSource source(&edb);
   exec.Execute(source, -1,
-               [&](const Tuple& t) {
+               [&](RowRef t) {
                  std::map<SymbolId, Value> binding;
                  for (size_t i = 0; i < vars.size(); ++i) {
                    binding.emplace(vars[i], t[i]);
@@ -205,8 +205,9 @@ Result<size_t> RepairByDeletion(Database* edb,
       if (rel == nullptr) continue;
       std::vector<Tuple> keep;
       keep.reserve(rel->size());
-      for (const Tuple& t : rel->rows()) {
-        if (to_delete.count(t) == 0) keep.push_back(t);
+      for (RowRef t : rel->rows()) {
+        Tuple owned(t.begin(), t.end());
+        if (to_delete.count(owned) == 0) keep.push_back(std::move(owned));
       }
       total_deleted += rel->size() - keep.size();
       rel->Clear();

@@ -124,7 +124,7 @@ class ProofSearch {
         idb_preds_.count(lit.atom().pred_id()) > 0 ? idb_ : edb_;
     const Relation* rel = source.Find(lit.atom().pred_id());
     if (rel == nullptr) return false;
-    for (const Tuple& row : rel->rows()) {
+    for (RowRef row : rel->rows()) {
       Substitution binding;
       Atom ground(lit.atom().predicate(),
                   std::vector<Term>(row.begin(), row.end()));

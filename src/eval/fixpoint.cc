@@ -50,15 +50,17 @@ class FixpointSource : public RelationSource {
 /// Runs one rule execution with the derived tuples buffered, then
 /// commits them. Rules may scan the very relation they derive into
 /// (self-joins on the recursive predicate); inserting during the scan
-/// would invalidate row iterators and index buckets.
+/// would invalidate row iterators and index buckets. The buffer is a
+/// flat TupleBuffer: one value arena, no per-tuple heap allocation.
 void ExecuteBuffered(const RuleExecutor& exec, const RelationSource& source,
                      int delta_literal, EvalStats* stats, bool size_aware,
-                     const std::function<void(Tuple&)>& commit) {
-  std::vector<Tuple> buffer;
+                     const std::function<void(RowRef)>& commit) {
+  TupleBuffer buffer(
+      static_cast<uint32_t>(exec.rule().head().args().size()));
   exec.Execute(source, delta_literal,
-               [&](const Tuple& t) { buffer.push_back(t); }, stats,
-               size_aware);
-  for (Tuple& t : buffer) commit(t);
+               [&buffer](RowRef t) { buffer.Append(t); }, stats, size_aware);
+  const size_t n = buffer.size();
+  for (size_t i = 0; i < n; ++i) commit(buffer.row(i));
 }
 
 /// Span name for one rule execution: the rule label when set (spans of
@@ -89,7 +91,7 @@ RuleRunResult RunRule(const PlannedRule& pr, const RelationSource& source,
   obs::TraceSpan span(RuleSpanName(pr));
   RuleRunResult result;
   ExecuteBuffered(pr.executor, source, delta_literal, stats,
-                  options.cardinality_planning, [&](Tuple& t) {
+                  options.cardinality_planning, [&](RowRef t) {
                     if (target.Insert(t)) {
                       ++result.derived;
                       if (delta_target != nullptr) delta_target->Insert(t);
@@ -236,6 +238,9 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
         }
       }
       source.ClearDeltas();
+      // Arena double-buffer: Clear retains the old delta's arena and
+      // table capacity, and the swap moves pointers, so steady-state
+      // rounds recycle storage instead of reallocating it.
       for (const PredicateId& p : component.preds) {
         delta[p]->Clear();
         std::swap(delta[p], next_delta[p]);

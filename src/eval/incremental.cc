@@ -132,12 +132,12 @@ Result<size_t> IncrementalEvaluator::AddFacts(const std::vector<Atom>& facts,
         auto it = delta.find(lit.atom().pred_id());
         if (it == delta.end() || it->second->empty()) continue;
 
-        std::vector<Tuple> buffer;
+        TupleBuffer buffer(pr.head.arity);
         pr.executor.Execute(source, lit_index,
-                            [&](const Tuple& t) { buffer.push_back(t); },
-                            stats);
+                            [&](RowRef t) { buffer.Append(t); }, stats);
         Relation& target = idb_.GetOrCreate(pr.head);
-        for (const Tuple& t : buffer) {
+        for (size_t bi = 0; bi < buffer.size(); ++bi) {
+          RowRef t = buffer.row(bi);
           if (target.Insert(t)) {
             ++newly_derived;
             auto jt = next_delta.find(pr.head);

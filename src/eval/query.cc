@@ -44,7 +44,7 @@ Result<QueryResult> AnswerQuery(const Program& program, const Database& edb,
   const Relation* answers = idb.Find(
       PredicateId{InternSymbol("query$answer"),
                   static_cast<uint32_t>(projection.size())});
-  if (answers != nullptr) result.tuples = answers->rows();
+  if (answers != nullptr) result.tuples = answers->CopyRows();
   return result;
 }
 

@@ -175,6 +175,16 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
     }
     plan.head_specs.push_back(spec);
   }
+
+  // Lay out the per-step scratch slices and size the shared scratch
+  // row so ExecutePlan can allocate every buffer up front.
+  plan.scratch_offsets.reserve(plan.steps.size());
+  plan.max_row_width = plan.head_specs.size();
+  for (const LiteralStep& step : plan.steps) {
+    plan.scratch_offsets.push_back(plan.scratch_size);
+    plan.scratch_size += step.args.size();
+    plan.max_row_width = std::max(plan.max_row_width, step.args.size());
+  }
   return plan;
 }
 
@@ -254,10 +264,15 @@ void RuleExecutor::ExecutePlan(const PreparedPlan& plan,
                                int delta_literal, const TupleSink& sink,
                                EvalStats* stats) const {
   if (stats != nullptr) ++stats->rule_applications;
-  std::vector<Value> frame(slot_count_, Term::Int(0));
-  std::vector<bool> bound(slot_count_, false);
-  ExecuteStep(*plan.plan_, source, delta_literal, 0, &frame, &bound, sink,
-              stats);
+  const Plan& p = *plan.plan_;
+  // All working state for the whole scan, allocated once: the inner
+  // join loops never touch the allocator.
+  ExecContext ctx;
+  ctx.frame.assign(slot_count_, Term::Int(0));
+  ctx.bound.assign(slot_count_, 0);
+  ctx.newly_bound.resize(p.scratch_size);
+  ctx.scratch_row.reserve(p.max_row_width);
+  ExecuteStep(p, source, delta_literal, 0, &ctx, sink, stats);
 }
 
 void RuleExecutor::Execute(const RelationSource& source, int delta_literal,
@@ -271,43 +286,43 @@ void RuleExecutor::Execute(const RelationSource& source, int delta_literal,
 void RuleExecutor::ExecuteStep(const Plan& plan,
                                const RelationSource& source,
                                int delta_literal, size_t step_index,
-                               std::vector<Value>* frame,
-                               std::vector<bool>* bound,
-                               const TupleSink& sink,
+                               ExecContext* ctx, const TupleSink& sink,
                                EvalStats* stats) const {
   if (step_index == plan.steps.size()) {
-    Tuple head;
-    head.reserve(plan.head_specs.size());
+    // Emit the head through the shared scratch row (capacity reserved
+    // in ExecutePlan, so this never allocates).
+    ctx->scratch_row.clear();
     for (const TermSpec& spec : plan.head_specs) {
-      head.push_back(spec.is_constant ? spec.constant : (*frame)[spec.slot]);
+      ctx->scratch_row.push_back(spec.is_constant ? spec.constant
+                                                  : ctx->frame[spec.slot]);
     }
-    sink(head);
+    sink(RowRef(ctx->scratch_row));
     return;
   }
 
   const LiteralStep& step = plan.steps[step_index];
   auto value_of = [&](const TermSpec& spec) -> const Value& {
-    return spec.is_constant ? spec.constant : (*frame)[spec.slot];
+    return spec.is_constant ? spec.constant : ctx->frame[spec.slot];
   };
 
   if (step.is_comparison) {
     if (step.eq_binds) {
       const TermSpec& bound_side = step.lhs.bound ? step.lhs : step.rhs;
       const TermSpec& free_side = step.lhs.bound ? step.rhs : step.lhs;
-      if ((*bound)[free_side.slot]) {
-        if (CompareValues((*frame)[free_side.slot], value_of(bound_side)) !=
-            0) {
+      if (ctx->bound[free_side.slot]) {
+        if (CompareValues(ctx->frame[free_side.slot],
+                          value_of(bound_side)) != 0) {
           return;
         }
-        ExecuteStep(plan, source, delta_literal, step_index + 1, frame,
-                    bound, sink, stats);
+        ExecuteStep(plan, source, delta_literal, step_index + 1, ctx, sink,
+                    stats);
         return;
       }
-      (*frame)[free_side.slot] = value_of(bound_side);
-      (*bound)[free_side.slot] = true;
-      ExecuteStep(plan, source, delta_literal, step_index + 1, frame, bound,
-                  sink, stats);
-      (*bound)[free_side.slot] = false;
+      ctx->frame[free_side.slot] = value_of(bound_side);
+      ctx->bound[free_side.slot] = 1;
+      ExecuteStep(plan, source, delta_literal, step_index + 1, ctx, sink,
+                  stats);
+      ctx->bound[free_side.slot] = 0;
       return;
     }
     if (stats != nullptr) ++stats->comparison_checks;
@@ -315,8 +330,8 @@ void RuleExecutor::ExecuteStep(const Plan& plan,
         EvalComparisonOp(value_of(step.lhs), step.op, value_of(step.rhs));
     if (step.negated) holds = !holds;
     if (holds) {
-      ExecuteStep(plan, source, delta_literal, step_index + 1, frame, bound,
-                  sink, stats);
+      ExecuteStep(plan, source, delta_literal, step_index + 1, ctx, sink,
+                  stats);
     }
     return;
   }
@@ -330,54 +345,66 @@ void RuleExecutor::ExecuteStep(const Plan& plan,
   if (relation == nullptr) relation = source.Full(step.pred);
 
   if (step.negated) {
-    // All arguments are statically bound; membership test.
-    Tuple probe;
-    probe.reserve(step.args.size());
-    for (const TermSpec& spec : step.args) probe.push_back(value_of(spec));
-    bool present = relation != nullptr && relation->Contains(probe);
+    // All arguments are statically bound; membership test through the
+    // scratch row (done with it before any recursion).
+    ctx->scratch_row.clear();
+    for (const TermSpec& spec : step.args) {
+      ctx->scratch_row.push_back(value_of(spec));
+    }
+    bool present =
+        relation != nullptr && relation->Contains(RowRef(ctx->scratch_row));
     if (!present) {
-      ExecuteStep(plan, source, delta_literal, step_index + 1, frame, bound,
-                  sink, stats);
+      ExecuteStep(plan, source, delta_literal, step_index + 1, ctx, sink,
+                  stats);
     }
     return;
   }
 
   if (relation == nullptr || relation->empty()) return;
 
-  auto try_row = [&](const Tuple& row) {
-    std::vector<uint32_t> bound_here;
+  // Slots freshly bound at this step, restored after each recursion.
+  // Slices of the shared scratch land each step its own window, so the
+  // recursion never allocates.
+  uint32_t* newly = ctx->newly_bound.data() + plan.scratch_offsets[step_index];
+
+  auto try_row = [&](RowRef row) {
+    size_t n_newly = 0;
     bool match = true;
     for (uint32_t col = 0; col < step.args.size() && match; ++col) {
       const TermSpec& spec = step.args[col];
       if (spec.is_constant) {
         match = row[col] == spec.constant;
-      } else if ((*bound)[spec.slot]) {
-        match = row[col] == (*frame)[spec.slot];
+      } else if (ctx->bound[spec.slot]) {
+        match = row[col] == ctx->frame[spec.slot];
       } else {
-        (*frame)[spec.slot] = row[col];
-        (*bound)[spec.slot] = true;
-        bound_here.push_back(spec.slot);
+        ctx->frame[spec.slot] = row[col];
+        ctx->bound[spec.slot] = 1;
+        newly[n_newly++] = spec.slot;
       }
     }
     if (match) {
       if (stats != nullptr) ++stats->bindings_explored;
-      ExecuteStep(plan, source, delta_literal, step_index + 1, frame, bound,
-                  sink, stats);
+      ExecuteStep(plan, source, delta_literal, step_index + 1, ctx, sink,
+                  stats);
     }
-    for (uint32_t slot : bound_here) (*bound)[slot] = false;
+    for (size_t k = 0; k < n_newly; ++k) ctx->bound[newly[k]] = 0;
   };
 
   if (!step.probe_columns.empty()) {
-    Tuple key;
-    key.reserve(step.probe_columns.size());
+    // Gather the probe key into the scratch row; Probe hashes it in
+    // place (hash-first, no key tuple is ever materialized).
+    ctx->scratch_row.clear();
     for (uint32_t col : step.probe_columns) {
-      key.push_back(value_of(step.args[col]));
+      ctx->scratch_row.push_back(value_of(step.args[col]));
     }
-    for (uint32_t row_index : relation->Probe(step.probe_columns, key)) {
+    const std::vector<RowId>& hits =
+        relation->Probe(step.probe_columns, ctx->scratch_row.data());
+    for (RowId row_index : hits) {
       try_row(relation->row(row_index));
     }
   } else {
-    for (const Tuple& row : relation->rows()) try_row(row);
+    const size_t n = relation->size();
+    for (size_t i = 0; i < n; ++i) try_row(relation->row(i));
   }
 }
 

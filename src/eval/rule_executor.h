@@ -26,8 +26,11 @@ class RelationSource {
   virtual const Relation* Delta(const PredicateId& pred) const = 0;
 };
 
-/// Receives each head tuple derived by a rule execution.
-using TupleSink = std::function<void(const Tuple&)>;
+/// Receives each head tuple derived by a rule execution as a zero-copy
+/// view. The view is only valid for the duration of the call: sinks
+/// that keep tuples must copy them out (TupleBuffer::Append or
+/// Relation::Insert both do).
+using TupleSink = std::function<void(RowRef)>;
 
 /// A slot-compiled executor for one rule.
 ///
@@ -135,6 +138,23 @@ class RuleExecutor {
   struct Plan {
     std::vector<LiteralStep> steps;
     std::vector<TermSpec> head_specs;
+    /// Per-step offsets into ExecContext::newly_bound (each step may
+    /// bind at most its own arity of fresh slots).
+    std::vector<size_t> scratch_offsets;
+    size_t scratch_size = 0;
+    /// Widest probe key / negated membership row / head tuple the plan
+    /// ever materializes into the shared scratch row.
+    size_t max_row_width = 0;
+  };
+
+  /// Per-execution working state, allocated once in ExecutePlan and
+  /// reused across the whole scan: no per-binding or per-derivation
+  /// vectors on the join path.
+  struct ExecContext {
+    std::vector<Value> frame;          // slot values
+    std::vector<char> bound;           // slot bound flags
+    std::vector<uint32_t> newly_bound; // per-step slices (scratch_offsets)
+    std::vector<Value> scratch_row;    // probe keys, negation rows, heads
   };
 
   RuleExecutor() : rule_("", Atom(SymbolId(0), {}), {}) {}
@@ -151,8 +171,7 @@ class RuleExecutor {
                           int delta_literal, bool skip_delta_index) const;
 
   void ExecuteStep(const Plan& plan, const RelationSource& source,
-                   int delta_literal, size_t step_index,
-                   std::vector<Value>* frame, std::vector<bool>* bound,
+                   int delta_literal, size_t step_index, ExecContext* ctx,
                    const TupleSink& sink, EvalStats* stats) const;
 
   Rule rule_;

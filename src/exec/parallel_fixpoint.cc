@@ -87,7 +87,8 @@ std::string TaskRuleKey(const Execution& exec) {
   return label.empty() ? exec.rule->head.ToString() : label;
 }
 
-/// Hash-splits `rel`'s rows into `parts` relations.
+/// Hash-splits `rel`'s rows into `parts` relations, reusing the hash
+/// each row's store already cached at insert time.
 std::vector<std::unique_ptr<Relation>> PartitionRelation(const Relation& rel,
                                                          size_t parts) {
   std::vector<std::unique_ptr<Relation>> out;
@@ -95,9 +96,9 @@ std::vector<std::unique_ptr<Relation>> PartitionRelation(const Relation& rel,
   for (size_t w = 0; w < parts; ++w) {
     out.push_back(std::make_unique<Relation>(rel.pred()));
   }
-  TupleHash hash;
-  for (const Tuple& t : rel.rows()) {
-    out[hash(t) % parts]->Insert(t);
+  const size_t n = rel.size();
+  for (size_t i = 0; i < n; ++i) {
+    out[rel.row_hash(i) % parts]->Insert(rel.row(i));
   }
   return out;
 }
@@ -209,8 +210,13 @@ Result<bool> RunRound(
   }
 
   // Fan out. Workers read the frozen EDB/IDB and their private delta
-  // slice, buffering derivations per task; no shared mutable state.
-  std::vector<std::vector<Tuple>> buffers(tasks.size());
+  // slice, buffering derivations per task into flat arenas; no shared
+  // mutable state and no per-tuple heap allocation.
+  std::vector<TupleBuffer> buffers;
+  buffers.reserve(tasks.size());
+  for (const Task& task : tasks) {
+    buffers.emplace_back(execs[task.exec_index].rule->head.arity);
+  }
   std::vector<EvalStats> task_stats(tasks.size());
   bool changed = false;
   {
@@ -228,11 +234,10 @@ Result<bool> RunRound(
                 "partition_rows",
                 static_cast<int64_t>(task.partition->size()));
           }
-          std::vector<Tuple>& buffer = buffers[i];
+          TupleBuffer& buffer = buffers[i];
           exec.rule->executor.ExecutePlan(
               exec.plan, source, exec.delta_literal,
-              [&buffer](const Tuple& t) { buffer.push_back(t); },
-              &task_stats[i]);
+              [&buffer](RowRef t) { buffer.Append(t); }, &task_stats[i]);
           task_span.AddArg("produced", static_cast<int64_t>(buffer.size()));
           return Status::Ok();
         }));
@@ -267,7 +272,9 @@ Result<bool> RunRound(
               next_delta != nullptr ? next_delta->at(pred).get() : nullptr;
           size_t inserted = 0;
           for (size_t i : *owners[j].second) {
-            for (Tuple& t : buffers[i]) {
+            const size_t rows = buffers[i].size();
+            for (size_t k = 0; k < rows; ++k) {
+              RowRef t = buffers[i].row(k);
               if (target->Insert(t)) {
                 owner_changed[j] = 1;
                 if (delta_target != nullptr) delta_target->Insert(t);
@@ -457,6 +464,8 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
                                     &next_delta, options, stats,
                                     global_round);
       if (!round.ok()) return round.status();
+      // Arena double-buffer: Clear keeps capacity, swap moves pointers;
+      // steady-state rounds recycle delta storage without reallocating.
       for (const PredicateId& p : component.preds) {
         delta[p]->Clear();
         std::swap(delta[p], next_delta[p]);

@@ -94,7 +94,7 @@ Result<size_t> LoadTsvFile(const std::string& path,
 }
 
 void SaveFacts(std::ostream& out, const Relation& relation) {
-  for (const Tuple& row : relation.rows()) {
+  for (RowRef row : relation.rows()) {
     out << SymbolName(relation.pred().name);
     if (!row.empty()) {
       out << "(" << JoinToString(row, ", ") << ")";

@@ -225,7 +225,7 @@ Result<std::vector<Tuple>> AnswerWithMagic(const Program& program,
   std::vector<Tuple> answers;
   const Relation* rel = idb.Find(rewrite.answer_pred);
   if (rel == nullptr) return answers;
-  for (const Tuple& row : rel->rows()) {
+  for (RowRef row : rel->rows()) {
     bool match = true;
     for (size_t i = 0; i < query.args().size() && match; ++i) {
       if (query.arg(i).IsConstant()) match = row[i] == query.arg(i);
@@ -239,7 +239,7 @@ Result<std::vector<Tuple>> AnswerWithMagic(const Program& program,
         if (!inserted) match = it->second == row[i];
       }
     }
-    if (match) answers.push_back(row);
+    if (match) answers.emplace_back(row.begin(), row.end());
   }
   return answers;
 }

@@ -194,10 +194,10 @@ Result<Database> EvaluateWithRuntimeResidues(const Program& input,
       }
       Relation& target = idb.GetOrCreate(variant->head().pred_id());
       // Buffer derivations: the rule may scan its own target relation.
-      std::vector<Tuple> buffer;
-      exec->Execute(source, -1,
-                    [&](const Tuple& t) { buffer.push_back(t); }, stats);
-      for (const Tuple& t : buffer) {
+      TupleBuffer buffer(variant->head().pred_id().arity);
+      exec->Execute(source, -1, [&](RowRef t) { buffer.Append(t); }, stats);
+      for (size_t bi = 0; bi < buffer.size(); ++bi) {
+        RowRef t = buffer.row(bi);
         if (target.Insert(t)) {
           rule_delta[i]->Insert(t);
           if (stats != nullptr) ++stats->derived_tuples;
@@ -265,10 +265,11 @@ Result<Database> EvaluateWithRuntimeResidues(const Program& input,
           source.ClearDeltas();
           source.SetDelta(rec_pred, rule_delta[producer].get());
           Relation& target = idb.GetOrCreate(variant->head().pred_id());
-          std::vector<Tuple> buffer;
+          TupleBuffer buffer(variant->head().pred_id().arity);
           exec->Execute(source, delta_literal,
-                        [&](const Tuple& t) { buffer.push_back(t); }, stats);
-          for (const Tuple& t : buffer) {
+                        [&](RowRef t) { buffer.Append(t); }, stats);
+          for (size_t bi = 0; bi < buffer.size(); ++bi) {
+            RowRef t = buffer.row(bi);
             if (target.Insert(t)) {
               next_delta[r]->Insert(t);
               if (stats != nullptr) ++stats->derived_tuples;

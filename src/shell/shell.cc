@@ -13,10 +13,12 @@
 #include "eval/query.h"
 #include "io/fact_io.h"
 #include "magic/magic_sets.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
 #include "semopt/optimizer.h"
 #include "semopt/residue_generator.h"
+#include "storage/storage_metrics.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -360,7 +362,10 @@ std::string Shell::CmdMetrics(const std::vector<std::string>& args) {
   if (!have_last_stats_) {
     return "no evaluation yet (run a query first)";
   }
-  return last_stats_.Report();
+  storage_metrics::PublishTo(obs::MetricsRegistry::Global());
+  return StrCat(last_stats_.Report(),
+                "\nstorage: tuples_bytes=", storage_metrics::LiveTupleBytes(),
+                " rehashes=", storage_metrics::TotalRehashes());
 }
 
 std::string Shell::CmdLoad(const std::vector<std::string>& args) {

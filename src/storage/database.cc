@@ -58,11 +58,10 @@ size_t Database::TotalTuples() const {
 }
 
 Database Database::Clone() const {
+  // Relation's copy constructor copies the flat arena, dedup table and
+  // indexes wholesale — no per-tuple rehash/re-insert.
   Database copy;
-  for (const auto& [pred, rel] : relations_) {
-    Relation& target = copy.GetOrCreate(pred);
-    for (const Tuple& t : rel.rows()) target.Insert(t);
-  }
+  copy.relations_ = relations_;
   return copy;
 }
 
@@ -81,7 +80,7 @@ bool Database::SameFactsAs(const Database& other) const {
     if (rel.empty()) continue;
     const Relation* other_rel = other.Find(pred);
     if (other_rel == nullptr || other_rel->size() != rel.size()) return false;
-    for (const Tuple& t : rel.rows()) {
+    for (RowRef t : rel.rows()) {
       if (!other_rel->Contains(t)) return false;
     }
   }

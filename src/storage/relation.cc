@@ -1,71 +1,177 @@
 #include "storage/relation.h"
 
-#include <cassert>
+#include <algorithm>
 #include <sstream>
 
+#include "storage/storage_metrics.h"
 #include "util/string_util.h"
 
 namespace semopt {
 
-std::string TupleToString(const Tuple& tuple) {
-  return StrCat("(", JoinToString(tuple, ", "), ")");
+namespace {
+constexpr size_t kMinIndexSlots = 16;
+
+bool NeedsGrowth(size_t buckets, size_t slots) {
+  return slots == 0 || (buckets + 1) * 4 > slots * 3;
 }
 
-bool Relation::Insert(const Tuple& tuple) {
-  assert(tuple.size() == arity());
-  auto [it, inserted] = dedup_.insert(tuple);
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = kMinIndexSlots;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+std::string TupleToString(RowRef row) {
+  return StrCat("(", JoinToString(row, ", "), ")");
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  return TupleToString(RowRef(tuple));
+}
+
+bool Relation::Insert(RowRef row) {
+  assert(row.size() == arity());
+  auto [id, inserted] = store_.InsertIfAbsent(row.data());
   if (!inserted) return false;
-  uint32_t row_index = static_cast<uint32_t>(rows_.size());
-  rows_.push_back(tuple);
-  for (auto& [cols, index] : indexes_) {
-    index.buckets[Project(tuple, cols)].push_back(row_index);
+  for (Index& index : indexes_) IndexInsert(index, id);
+  return true;
+}
+
+size_t Relation::ProjectionHash(RowId r,
+                                const std::vector<uint32_t>& columns) const {
+  const Value* vals = store_.row_data(r);
+  size_t seed = 0;
+  for (uint32_t c : columns) HashCombine(&seed, vals[c]);
+  // Must match the hash Probe computes over caller-supplied keys
+  // (HashValues), including its final avalanche.
+  return static_cast<size_t>(MixBits(seed));
+}
+
+bool Relation::ProjectionEquals(RowId r, const std::vector<uint32_t>& columns,
+                                const Value* key) const {
+  const Value* vals = store_.row_data(r);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (!(vals[columns[i]] == key[i])) return false;
   }
   return true;
 }
 
-Tuple Relation::Project(const Tuple& row, const std::vector<uint32_t>& cols) {
-  Tuple key;
-  key.reserve(cols.size());
-  for (uint32_t c : cols) key.push_back(row[c]);
-  return key;
+bool Relation::ProjectionsEqual(RowId a, RowId b,
+                                const std::vector<uint32_t>& columns) const {
+  const Value* va = store_.row_data(a);
+  const Value* vb = store_.row_data(b);
+  for (uint32_t c : columns) {
+    if (!(va[c] == vb[c])) return false;
+  }
+  return true;
+}
+
+void Relation::IndexInsert(Index& index, RowId r) {
+  if (NeedsGrowth(index.buckets.size(), index.slots.size())) {
+    IndexRehash(index, NextPowerOfTwo((index.buckets.size() + 1) * 2));
+  }
+  const size_t h = ProjectionHash(r, index.columns);
+  size_t idx = h & index.slot_mask;
+  while (true) {
+    const uint32_t b = index.slots[idx];
+    if (b == kEmptySlot) break;
+    Bucket& bucket = index.buckets[b];
+    if (bucket.hash == h &&
+        ProjectionsEqual(bucket.rows.front(), r, index.columns)) {
+      bucket.rows.push_back(r);
+      return;
+    }
+    idx = (idx + 1) & index.slot_mask;
+  }
+  index.slots[idx] = static_cast<uint32_t>(index.buckets.size());
+  Bucket bucket;
+  bucket.hash = h;
+  bucket.rows.push_back(r);
+  index.buckets.push_back(std::move(bucket));
+}
+
+void Relation::IndexRehash(Index& index, size_t new_slots) {
+  const bool initial = index.slots.empty();
+  index.slots.assign(new_slots, kEmptySlot);
+  index.slot_mask = new_slots - 1;
+  for (uint32_t b = 0; b < index.buckets.size(); ++b) {
+    size_t idx = index.buckets[b].hash & index.slot_mask;
+    while (index.slots[idx] != kEmptySlot) {
+      idx = (idx + 1) & index.slot_mask;
+    }
+    index.slots[idx] = b;
+  }
+  if (!initial) storage_metrics::AddRehash();
+}
+
+const Relation::Index* Relation::FindIndex(
+    const std::vector<uint32_t>& columns) const {
+  for (const Index& index : indexes_) {
+    if (index.columns == columns) return &index;
+  }
+  return nullptr;
 }
 
 void Relation::EnsureIndex(const std::vector<uint32_t>& columns) {
-  if (indexes_.count(columns) > 0) return;
-  Index& index = indexes_[columns];
-  for (uint32_t i = 0; i < rows_.size(); ++i) {
-    index.buckets[Project(rows_[i], columns)].push_back(i);
+  if (FindIndex(columns) != nullptr) return;
+  indexes_.emplace_back();
+  Index& index = indexes_.back();
+  index.columns = columns;
+  const size_t n = store_.size();
+  for (size_t r = 0; r < n; ++r) {
+    IndexInsert(index, static_cast<RowId>(r));
   }
 }
 
-const std::vector<uint32_t>& Relation::Probe(
-    const std::vector<uint32_t>& columns, const Tuple& key) const {
-  static const std::vector<uint32_t> kEmpty;
-  auto it = indexes_.find(columns);
+const std::vector<RowId>& Relation::Probe(
+    const std::vector<uint32_t>& columns, const Value* key) const {
+  static const std::vector<RowId> kEmpty;
+  const Index* index = FindIndex(columns);
   // Callers must EnsureIndex during (single-threaded) planning; Probe
   // itself is read-only so concurrent probes never race. A missing
   // index is a caller bug: assert in debug, report no matches in
   // release (fail-safe, never mutates).
-  assert(it != indexes_.end() &&
+  assert(index != nullptr &&
          "Relation::Probe without a prior EnsureIndex for this column set");
-  if (it == indexes_.end()) return kEmpty;
-  auto bucket = it->second.buckets.find(key);
-  if (bucket == it->second.buckets.end()) return kEmpty;
-  return bucket->second;
+  if (index == nullptr || index->slots.empty()) return kEmpty;
+  const size_t h = HashValues(key, columns.size());
+  size_t idx = h & index->slot_mask;
+  while (true) {
+    const uint32_t b = index->slots[idx];
+    if (b == kEmptySlot) return kEmpty;
+    const Bucket& bucket = index->buckets[b];
+    if (bucket.hash == h &&
+        ProjectionEquals(bucket.rows.front(), columns, key)) {
+      return bucket.rows;
+    }
+    idx = (idx + 1) & index->slot_mask;
+  }
+}
+
+std::vector<Tuple> Relation::CopyRows() const {
+  std::vector<Tuple> out;
+  out.reserve(store_.size());
+  for (RowRef row : rows()) out.emplace_back(row.begin(), row.end());
+  return out;
 }
 
 void Relation::Clear() {
-  rows_.clear();
-  dedup_.clear();
-  indexes_.clear();
+  store_.Clear();
+  for (Index& index : indexes_) {
+    std::fill(index.slots.begin(), index.slots.end(), kEmptySlot);
+    index.buckets.clear();
+  }
 }
 
 std::string Relation::ToString() const {
   std::ostringstream os;
   os << pred_.ToString() << " {";
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (i > 0) os << ", ";
-    os << TupleToString(rows_[i]);
+  bool first = true;
+  for (RowRef row : rows()) {
+    if (!first) os << ", ";
+    first = false;
+    os << TupleToString(row);
   }
   os << "}";
   return os.str();

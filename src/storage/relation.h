@@ -1,15 +1,14 @@
 #ifndef SEMOPT_STORAGE_RELATION_H_
 #define SEMOPT_STORAGE_RELATION_H_
 
+#include <cassert>
 #include <cstdint>
-#include <map>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "ast/atom.h"
 #include "storage/tuple.h"
+#include "storage/tuple_store.h"
 
 namespace semopt {
 
@@ -17,27 +16,57 @@ namespace semopt {
 /// tuples in insertion order, with on-demand hash indexes over column
 /// subsets for join probing.
 ///
-/// Rows are addressed by dense index (0..size-1); rows are never removed,
-/// so row indices are stable. Indexes are maintained incrementally on
-/// insert.
+/// Rows live flat in an arena-backed TupleStore and are addressed by
+/// dense RowId (0..size-1); rows are never removed, so row ids stay
+/// stable across inserts. Dedup and every index store only RowIds —
+/// the arena holds the single copy of each tuple, and index keys are
+/// hashed/compared by projecting stored rows in place (no materialized
+/// key tuples). Indexes are maintained incrementally on insert.
 class Relation {
  public:
-  Relation(PredicateId pred) : pred_(pred) {}  // NOLINT(runtime/explicit)
+  Relation(PredicateId pred)  // NOLINT(runtime/explicit)
+      : pred_(pred), store_(pred.arity) {}
 
   PredicateId pred() const { return pred_; }
   uint32_t arity() const { return pred_.arity; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return store_.size(); }
+  bool empty() const { return store_.empty(); }
 
-  /// Inserts `tuple` (arity must match). Returns true if it was new.
-  bool Insert(const Tuple& tuple);
+  /// Inserts a row (arity must match). Returns true if it was new.
+  /// The Tuple overload keeps brace-literal call sites working; both
+  /// funnel into the same flat insert.
+  bool Insert(RowRef row);
+  bool Insert(const Tuple& tuple) { return Insert(RowRef(tuple)); }
 
+  bool Contains(RowRef row) const {
+    assert(row.size() == arity());
+    return store_.Contains(row.data());
+  }
   bool Contains(const Tuple& tuple) const {
-    return dedup_.count(tuple) > 0;
+    return Contains(RowRef(tuple));
   }
 
-  const Tuple& row(size_t i) const { return rows_[i]; }
-  const std::vector<Tuple>& rows() const { return rows_; }
+  /// Zero-copy view of row `i`; valid until the next insert (the arena
+  /// may move when it grows) — hold RowIds, not RowRefs, across
+  /// mutations.
+  RowRef row(size_t i) const { return store_.row(static_cast<RowId>(i)); }
+
+  /// Cached hash of row `i` (the HashValues recipe).
+  size_t row_hash(size_t i) const {
+    return store_.row_hash(static_cast<RowId>(i));
+  }
+
+  /// Iterable RowRef view in insertion order.
+  RowRange rows() const { return RowRange(&store_); }
+
+  /// Materializes owning Tuples (result extraction, tests).
+  std::vector<Tuple> CopyRows() const;
+
+  /// The flat backing store (benchmarks, diagnostics).
+  const TupleStore& store() const { return store_; }
+
+  /// Pre-sizes the arena and dedup table for `rows` rows.
+  void Reserve(size_t rows) { store_.Reserve(rows); }
 
   /// Ensures a hash index exists over `columns` (sorted, distinct,
   /// in-range). Subsequent `Probe` calls with the same column set are
@@ -45,15 +74,24 @@ class Relation {
   /// any other access to this relation.
   void EnsureIndex(const std::vector<uint32_t>& columns);
 
-  /// Row indices whose projection onto `columns` equals `key` (`key`
-  /// values in the same order as `columns`). The index must already
-  /// exist (`EnsureIndex` at plan time); a missing index debug-asserts
-  /// and yields no matches in release. Probe is strictly read-only, so
-  /// concurrent probes of an unchanging relation are thread-safe.
-  const std::vector<uint32_t>& Probe(const std::vector<uint32_t>& columns,
-                                     const Tuple& key) const;
+  /// Row ids whose projection onto `columns` equals `key` (`key`
+  /// values in the same order as `columns`; the pointer form reads
+  /// exactly `columns.size()` values — the hash-first, allocation-free
+  /// path). The index must already exist (`EnsureIndex` at plan time);
+  /// a missing index debug-asserts and yields no matches in release.
+  /// Probe is strictly read-only, so concurrent probes of an unchanging
+  /// relation are thread-safe.
+  const std::vector<RowId>& Probe(const std::vector<uint32_t>& columns,
+                                  const Value* key) const;
+  const std::vector<RowId>& Probe(const std::vector<uint32_t>& columns,
+                                  const Tuple& key) const {
+    assert(key.size() == columns.size());
+    return Probe(columns, key.data());
+  }
 
-  /// Removes all tuples and indexes.
+  /// Removes all tuples. Arena, dedup table and index capacity are
+  /// retained (and indexes stay registered), so a cleared relation
+  /// refills without reallocating.
   void Clear();
 
   /// Number of secondary indexes currently materialized.
@@ -62,17 +100,36 @@ class Relation {
   std::string ToString() const;
 
  private:
-  struct Index {
-    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> buckets;
+  /// One index bucket: every row whose projection onto the index
+  /// columns is equal. `hash` caches the projection hash; the rows of
+  /// the bucket's first entry serve as the in-place comparison key.
+  struct Bucket {
+    size_t hash = 0;
+    std::vector<RowId> rows;
   };
 
-  static Tuple Project(const Tuple& row, const std::vector<uint32_t>& cols);
+  /// Open-addressing hash index over a column subset. Slots map a
+  /// projection hash to a bucket id; keys are never materialized.
+  struct Index {
+    std::vector<uint32_t> columns;
+    std::vector<uint32_t> slots;  // bucket id; kEmptySlot = empty
+    std::vector<Bucket> buckets;
+    size_t slot_mask = 0;
+  };
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+  size_t ProjectionHash(RowId r, const std::vector<uint32_t>& columns) const;
+  bool ProjectionEquals(RowId r, const std::vector<uint32_t>& columns,
+                        const Value* key) const;
+  bool ProjectionsEqual(RowId a, RowId b,
+                        const std::vector<uint32_t>& columns) const;
+  void IndexInsert(Index& index, RowId r);
+  void IndexRehash(Index& index, size_t new_slots);
+  const Index* FindIndex(const std::vector<uint32_t>& columns) const;
 
   PredicateId pred_;
-  std::vector<Tuple> rows_;
-  std::unordered_set<Tuple, TupleHash> dedup_;
-  // Keyed by the (sorted) column list.
-  std::map<std::vector<uint32_t>, Index> indexes_;
+  TupleStore store_;
+  std::vector<Index> indexes_;
 };
 
 }  // namespace semopt

@@ -1,0 +1,45 @@
+#include "storage/storage_metrics.h"
+
+#include <atomic>
+
+#include "obs/metrics.h"
+
+namespace semopt {
+namespace storage_metrics {
+
+namespace {
+std::atomic<int64_t> g_tuple_bytes{0};
+std::atomic<uint64_t> g_rehashes{0};
+// Rehash count already folded into a registry counter; PublishTo adds
+// only the delta so the registry counter stays monotonic.
+std::atomic<uint64_t> g_rehashes_published{0};
+}  // namespace
+
+void AddTupleBytes(int64_t delta) {
+  g_tuple_bytes.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void AddRehash(uint64_t n) {
+  g_rehashes.fetch_add(n, std::memory_order_relaxed);
+}
+
+int64_t LiveTupleBytes() {
+  return g_tuple_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t TotalRehashes() {
+  return g_rehashes.load(std::memory_order_relaxed);
+}
+
+void PublishTo(obs::MetricsRegistry& registry) {
+  registry.GetGauge("storage.tuples_bytes").Set(LiveTupleBytes());
+  uint64_t total = TotalRehashes();
+  uint64_t prev = g_rehashes_published.exchange(total,
+                                                std::memory_order_relaxed);
+  if (total > prev) {
+    registry.GetCounter("storage.rehash").Add(total - prev);
+  }
+}
+
+}  // namespace storage_metrics
+}  // namespace semopt

@@ -1,0 +1,39 @@
+#ifndef SEMOPT_STORAGE_STORAGE_METRICS_H_
+#define SEMOPT_STORAGE_STORAGE_METRICS_H_
+
+#include <cstdint>
+
+namespace semopt {
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+/// Process-wide storage instrumentation. TupleStore instances report
+/// arena growth/shrink and dedup/index rehashes here through relaxed
+/// atomics (no locks on the insert path); `PublishTo` folds the totals
+/// into a metrics registry as `storage.tuples_bytes` (gauge: live
+/// arena bytes across all relations) and `storage.rehash` (counter).
+namespace storage_metrics {
+
+/// Adjusts the live tuple-arena byte total (may be negative).
+void AddTupleBytes(int64_t delta);
+
+/// Records `n` hash-table rehashes (dedup table or index growth).
+void AddRehash(uint64_t n = 1);
+
+/// Current live arena bytes across all TupleStores.
+int64_t LiveTupleBytes();
+
+/// Total rehashes since process start.
+uint64_t TotalRehashes();
+
+/// Publishes into `registry`: sets the `storage.tuples_bytes` gauge to
+/// the live total and adds the rehashes accumulated since the previous
+/// publish to the `storage.rehash` counter. Intended for the global
+/// registry (the delta tracking is process-wide, not per-registry).
+void PublishTo(obs::MetricsRegistry& registry);
+
+}  // namespace storage_metrics
+}  // namespace semopt
+
+#endif  // SEMOPT_STORAGE_STORAGE_METRICS_H_

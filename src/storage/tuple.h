@@ -1,7 +1,10 @@
 #ifndef SEMOPT_STORAGE_TUPLE_H_
 #define SEMOPT_STORAGE_TUPLE_H_
 
+#include <cassert>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -14,17 +17,85 @@ namespace semopt {
 /// symbol. Reusing Term keeps the evaluation layer conversion-free.
 using Value = Term;
 
-/// A database tuple: a fixed-arity row of ground values.
+/// A materialized database tuple: a fixed-arity row of ground values.
+/// Storage keeps rows flat (see TupleStore); Tuple remains the owning
+/// representation for construction-time APIs (parser, AddFact, tests).
 using Tuple = std::vector<Value>;
+
+/// Dense, stable address of a row within one relation: rows are never
+/// removed, so a RowId handed out by Insert stays valid (and keeps
+/// addressing the same tuple) for the relation's lifetime.
+using RowId = uint32_t;
+inline constexpr RowId kInvalidRowId = UINT32_MAX;
+
+/// Zero-copy view of one stored row (or any contiguous run of values).
+/// Two machine words; pass by value.
+using RowRef = std::span<const Value>;
+
+/// Hash of a contiguous value run — the single tuple-hash recipe every
+/// storage structure (dedup table, hash indexes, the parallel
+/// partitioner) agrees on.
+inline size_t HashValues(const Value* vals, size_t n) {
+  size_t seed = 0;
+  for (size_t i = 0; i < n; ++i) HashCombine(&seed, vals[i]);
+  // The consumers mask with a power of two, so finish with a full
+  // avalanche — see MixBits.
+  return static_cast<size_t>(MixBits(seed));
+}
+inline size_t HashValues(RowRef row) {
+  return HashValues(row.data(), row.size());
+}
+
+inline bool ValuesEqual(const Value* a, const Value* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
 
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
-    return HashRange(t.begin(), t.end());
+    return HashValues(t.data(), t.size());
   }
+};
+
+/// A flat, fixed-arity append buffer: rows live back to back in one
+/// vector, so buffering a derivation costs a bulk value copy instead of
+/// a heap-allocated Tuple. `clear()` retains capacity, making reuse
+/// across fixpoint rounds allocation-free in steady state.
+class TupleBuffer {
+ public:
+  explicit TupleBuffer(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Append(RowRef row) {
+    assert(row.size() == arity_);
+    data_.insert(data_.end(), row.begin(), row.end());
+    ++size_;
+  }
+
+  RowRef row(size_t i) const {
+    assert(i < size_);
+    return RowRef(data_.data() + i * arity_, arity_);
+  }
+
+  void clear() {
+    data_.clear();
+    size_ = 0;
+  }
+
+ private:
+  uint32_t arity_;
+  size_t size_ = 0;
+  std::vector<Value> data_;
 };
 
 /// Renders "(v1, v2, ...)".
 std::string TupleToString(const Tuple& tuple);
+std::string TupleToString(RowRef row);
 
 }  // namespace semopt
 

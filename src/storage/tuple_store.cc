@@ -1,0 +1,157 @@
+#include "storage/tuple_store.h"
+
+#include <algorithm>
+
+#include "storage/storage_metrics.h"
+
+namespace semopt {
+
+namespace {
+constexpr size_t kMinSlots = 16;
+
+/// Grow when the table would exceed 3/4 occupancy.
+bool NeedsGrowth(size_t rows, size_t slots) {
+  return slots == 0 || (rows + 1) * 4 > slots * 3;
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = kMinSlots;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TupleStore::~TupleStore() {
+  storage_metrics::AddTupleBytes(-accounted_bytes_);
+}
+
+TupleStore::TupleStore(const TupleStore& other)
+    : arity_(other.arity_),
+      size_(other.size_),
+      data_(other.data_),
+      hashes_(other.hashes_),
+      slots_(other.slots_),
+      slot_mask_(other.slot_mask_) {
+  SyncByteMetric();
+}
+
+TupleStore& TupleStore::operator=(const TupleStore& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  size_ = other.size_;
+  data_ = other.data_;
+  hashes_ = other.hashes_;
+  slots_ = other.slots_;
+  slot_mask_ = other.slot_mask_;
+  SyncByteMetric();
+  return *this;
+}
+
+TupleStore::TupleStore(TupleStore&& other) noexcept
+    : arity_(other.arity_),
+      size_(other.size_),
+      data_(std::move(other.data_)),
+      hashes_(std::move(other.hashes_)),
+      slots_(std::move(other.slots_)),
+      slot_mask_(other.slot_mask_),
+      accounted_bytes_(other.accounted_bytes_) {
+  other.size_ = 0;
+  other.slot_mask_ = 0;
+  other.accounted_bytes_ = 0;
+}
+
+TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
+  if (this == &other) return *this;
+  storage_metrics::AddTupleBytes(-accounted_bytes_);
+  arity_ = other.arity_;
+  size_ = other.size_;
+  data_ = std::move(other.data_);
+  hashes_ = std::move(other.hashes_);
+  slots_ = std::move(other.slots_);
+  slot_mask_ = other.slot_mask_;
+  accounted_bytes_ = other.accounted_bytes_;
+  other.size_ = 0;
+  other.slot_mask_ = 0;
+  other.accounted_bytes_ = 0;
+  return *this;
+}
+
+RowId TupleStore::Find(const Value* vals) const {
+  if (slots_.empty()) return kInvalidRowId;
+  const size_t h = HashValues(vals, arity_);
+  size_t idx = h & slot_mask_;
+  while (true) {
+    const RowId r = slots_[idx];
+    if (r == kInvalidRowId) return kInvalidRowId;
+    if (hashes_[r] == h && ValuesEqual(row_data(r), vals, arity_)) return r;
+    idx = (idx + 1) & slot_mask_;
+  }
+}
+
+std::pair<RowId, bool> TupleStore::InsertIfAbsent(const Value* vals) {
+  if (NeedsGrowth(size_, slots_.size())) {
+    Rehash(NextPowerOfTwo((size_ + 1) * 2));
+  }
+  const size_t h = HashValues(vals, arity_);
+  size_t idx = h & slot_mask_;
+  while (true) {
+    const RowId r = slots_[idx];
+    if (r == kInvalidRowId) break;
+    if (hashes_[r] == h && ValuesEqual(row_data(r), vals, arity_)) {
+      return {r, false};
+    }
+    idx = (idx + 1) & slot_mask_;
+  }
+  const RowId id = static_cast<RowId>(size_);
+  data_.insert(data_.end(), vals, vals + arity_);
+  hashes_.push_back(h);
+  slots_[idx] = id;
+  ++size_;
+  SyncByteMetric();
+  return {id, true};
+}
+
+void TupleStore::Rehash(size_t new_slots) {
+  const bool initial = slots_.empty();
+  slots_.assign(new_slots, kInvalidRowId);
+  slot_mask_ = new_slots - 1;
+  for (RowId r = 0; r < size_; ++r) {
+    size_t idx = hashes_[r] & slot_mask_;
+    while (slots_[idx] != kInvalidRowId) idx = (idx + 1) & slot_mask_;
+    slots_[idx] = r;
+  }
+  if (!initial) storage_metrics::AddRehash();
+  SyncByteMetric();
+}
+
+void TupleStore::Reserve(size_t rows) {
+  data_.reserve(rows * arity_);
+  hashes_.reserve(rows);
+  const size_t want = NextPowerOfTwo(rows * 2);
+  if (want > slots_.size()) Rehash(want);
+  SyncByteMetric();
+}
+
+void TupleStore::Clear() {
+  size_ = 0;
+  data_.clear();
+  hashes_.clear();
+  std::fill(slots_.begin(), slots_.end(), kInvalidRowId);
+  SyncByteMetric();
+}
+
+int64_t TupleStore::ByteSize() const {
+  return static_cast<int64_t>(data_.capacity() * sizeof(Value) +
+                              hashes_.capacity() * sizeof(size_t) +
+                              slots_.capacity() * sizeof(RowId));
+}
+
+void TupleStore::SyncByteMetric() {
+  const int64_t now = ByteSize();
+  if (now != accounted_bytes_) {
+    storage_metrics::AddTupleBytes(now - accounted_bytes_);
+    accounted_bytes_ = now;
+  }
+}
+
+}  // namespace semopt

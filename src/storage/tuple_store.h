@@ -1,0 +1,116 @@
+#ifndef SEMOPT_STORAGE_TUPLE_STORE_H_
+#define SEMOPT_STORAGE_TUPLE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace semopt {
+
+/// Flat, arena-backed tuple set with fixed arity.
+///
+/// Rows live contiguously in one row-major value arena and are
+/// addressed by dense RowId (0..size-1, insertion order). Rows are
+/// never removed, so RowIds — and the row data they point at between
+/// inserts — are stable for the store's lifetime. Deduplication is an
+/// open-addressing (linear probing) hash table that stores only
+/// RowIds: the arena holds the single copy of every tuple, and lookups
+/// compare candidate rows in place against a cached per-row hash.
+///
+/// `Clear()` keeps all capacity, so a store used as a fixpoint delta
+/// double-buffer is allocation-free in steady state.
+class TupleStore {
+ public:
+  explicit TupleStore(uint32_t arity) : arity_(arity) {}
+  ~TupleStore();
+
+  TupleStore(const TupleStore& other);
+  TupleStore& operator=(const TupleStore& other);
+  TupleStore(TupleStore&& other) noexcept;
+  TupleStore& operator=(TupleStore&& other) noexcept;
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to row `id`'s first value (rows are `arity()` wide).
+  const Value* row_data(RowId id) const {
+    return data_.data() + static_cast<size_t>(id) * arity_;
+  }
+  RowRef row(RowId id) const { return RowRef(row_data(id), arity_); }
+
+  /// The cached hash of row `id` (HashValues recipe).
+  size_t row_hash(RowId id) const { return hashes_[id]; }
+
+  /// Inserts the `arity()`-wide row at `vals` unless an equal row is
+  /// already stored. Returns {row id, inserted?}.
+  std::pair<RowId, bool> InsertIfAbsent(const Value* vals);
+
+  /// RowId of the equal stored row, or kInvalidRowId.
+  RowId Find(const Value* vals) const;
+  bool Contains(const Value* vals) const {
+    return Find(vals) != kInvalidRowId;
+  }
+
+  /// Pre-sizes the arena and dedup table for `rows` rows.
+  void Reserve(size_t rows);
+
+  /// Removes all rows but keeps arena and table capacity.
+  void Clear();
+
+  /// Bytes currently reserved by the arena, hash cache and dedup table.
+  int64_t ByteSize() const;
+
+ private:
+  /// Grows the slot table to `new_slots` (a power of two) and
+  /// reinserts every row by its cached hash.
+  void Rehash(size_t new_slots);
+
+  /// Re-syncs the process-wide byte gauge after any capacity change.
+  void SyncByteMetric();
+
+  uint32_t arity_;
+  size_t size_ = 0;
+  std::vector<Value> data_;     // row-major arena, size_ * arity_ values
+  std::vector<size_t> hashes_;  // per-row cached hash
+  std::vector<RowId> slots_;    // open addressing; kInvalidRowId = empty
+  size_t slot_mask_ = 0;
+  int64_t accounted_bytes_ = 0;
+};
+
+/// Iterable view over a store's rows yielding RowRef, so callers write
+/// `for (RowRef row : relation.rows())`.
+class RowRange {
+ public:
+  class Iterator {
+   public:
+    Iterator(const TupleStore* store, size_t i) : store_(store), i_(i) {}
+    RowRef operator*() const { return store_->row(static_cast<RowId>(i_)); }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const TupleStore* store_;
+    size_t i_;
+  };
+
+  explicit RowRange(const TupleStore* store) : store_(store) {}
+  Iterator begin() const { return Iterator(store_, 0); }
+  Iterator end() const { return Iterator(store_, store_->size()); }
+  size_t size() const { return store_->size(); }
+  bool empty() const { return store_->empty(); }
+
+ private:
+  const TupleStore* store_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_STORAGE_TUPLE_STORE_H_

@@ -22,6 +22,19 @@ size_t HashRange(It begin, It end) {
   return seed;
 }
 
+/// SplitMix64 finalizer: a full-avalanche bit mixer. Open-addressing
+/// tables mask the hash with a power of two, so every table that does
+/// must mix first — std::hash of an integer is the identity on
+/// gcc/clang, and HashCombine of near-sequential payloads leaves the
+/// low bits near-sequential, which makes linear probing cluster
+/// catastrophically (prime-modulo chaining tables mask the weakness;
+/// masked tables do not).
+inline uint64_t MixBits(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// A deterministic 64-bit linear-congruential PRNG used by workload
 /// generators and property tests so runs are reproducible across
 /// platforms (std::mt19937 would also do, but this keeps seeds tiny and

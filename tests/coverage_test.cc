@@ -61,7 +61,7 @@ TEST(PlannerTest, ProbesSmallerRelationFirstOnTies) {
   DbSource source(&db);
   EvalStats stats;
   size_t results = 0;
-  exec->Execute(source, -1, [&](const Tuple&) { ++results; }, &stats);
+  exec->Execute(source, -1, [&](RowRef) { ++results; }, &stats);
   EXPECT_EQ(results, 1u);
   // small scan (1) + probe into big on X (1 match) = 2 bindings. A
   // big-first plan would explore 201.
@@ -87,7 +87,7 @@ TEST(PlannerTest, DeltaRelationSizeInformsThePlan) {
   EvalStats stats;
   size_t results = 0;
   exec->Execute(source, /*delta_literal=*/0,
-                [&](const Tuple&) { ++results; }, &stats);
+                [&](RowRef) { ++results; }, &stats);
   EXPECT_EQ(results, 1u);
   EXPECT_LE(stats.bindings_explored, 2u);
 }
@@ -106,7 +106,7 @@ TEST(ExecutorDeltaTest, DeltaLiteralReadsDeltaOthersReadFull) {
   source.SetDelta(Pred("p", 1), &delta);
   std::vector<std::string> rows;
   exec->Execute(source, /*delta_literal=*/0,
-                [&](const Tuple& t) { rows.push_back(TupleToString(t)); },
+                [&](RowRef t) { rows.push_back(TupleToString(t)); },
                 nullptr);
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0], "(delta_only, full_only)");
@@ -188,7 +188,7 @@ TEST(WorkloadKnobsTest, DepartmentsPartitionCollaboration) {
   const Relation* works_with = db.Find(Pred("works_with", 2));
   ASSERT_NE(works_with, nullptr);
   // Every edge stays within a 10-professor block.
-  for (const Tuple& row : works_with->rows()) {
+  for (RowRef row : works_with->rows()) {
     int a = std::atoi(row[0].name().c_str() + 4);  // "profN"
     int b = std::atoi(row[1].name().c_str() + 4);
     EXPECT_EQ(a / 10, b / 10) << row[0] << " " << row[1];

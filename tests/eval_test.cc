@@ -73,7 +73,7 @@ std::vector<std::string> RunRule(const Rule& rule, const Database& db) {
   if (!exec.ok()) return out;
   DbSource source(&db);
   exec->Execute(source, -1,
-                [&](const Tuple& t) { out.push_back(TupleToString(t)); },
+                [&](RowRef t) { out.push_back(TupleToString(t)); },
                 nullptr);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

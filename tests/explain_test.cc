@@ -108,7 +108,7 @@ TEST(ExplainTest, ProofsExistForEveryDerivedTuple) {
   Database idb = MustEvaluate(p, edb);
   const Relation* t = idb.Find(PredicateId{InternSymbol("t"), 2});
   ASSERT_NE(t, nullptr);
-  for (const Tuple& row : t->rows()) {
+  for (RowRef row : t->rows()) {
     Atom goal("t", {row[0], row[1]});
     Result<ProofNode> proof = Explain(p, edb, idb, goal);
     EXPECT_TRUE(proof.ok()) << goal.ToString() << ": " << proof.status();

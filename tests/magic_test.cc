@@ -153,7 +153,7 @@ TEST_P(MagicRandom, AgreesWithPlainEvaluation) {
   std::vector<std::string> expected;
   const Relation* t = idb.Find(PredicateId{InternSymbol("t"), 2});
   ASSERT_NE(t, nullptr);
-  for (const Tuple& row : t->rows()) {
+  for (RowRef row : t->rows()) {
     if (row[0] == bound) expected.push_back(TupleToString(row));
   }
   std::sort(expected.begin(), expected.end());

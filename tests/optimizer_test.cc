@@ -293,10 +293,10 @@ TEST(OptimizerTest, PaperExample21EndToEnd) {
   const Relation* ra = edb.Find(PredicateId{InternSymbol("a"), 3});
   const Relation* rb = edb.Find(PredicateId{InternSymbol("b"), 2});
   const Relation* rc = edb.Find(PredicateId{InternSymbol("c"), 3});
-  for (const Tuple& ta : ra->rows()) {
-    for (const Tuple& tb : rb->rows()) {
+  for (RowRef ta : ra->rows()) {
+    for (RowRef tb : rb->rows()) {
       if (!(ta[1] == tb[0])) continue;
-      for (const Tuple& tc : rc->rows()) {
+      for (RowRef tc : rc->rows()) {
         if (!(tb[1] == tc[0])) continue;
         edb.AddTuple("d", {tc[2], Term::Sym("d0")});
       }

@@ -134,7 +134,7 @@ TEST_P(RuntimeResidueRandom, EquivalentOnRandomGraphs) {
   {
     const Relation* e = edb.Find(PredicateId{InternSymbol("e"), 2});
     ASSERT_NE(e, nullptr);
-    std::vector<Tuple> rows = e->rows();
+    std::vector<Tuple> rows = e->CopyRows();
     for (const Tuple& t1 : rows) {
       for (const Tuple& t2 : rows) {
         if (!(t1[1] == t2[0])) continue;

@@ -255,6 +255,8 @@ TEST_F(ShellTest, MetricsCommand) {
   EXPECT_NE(report.find("totals:"), std::string::npos);
   EXPECT_NE(report.find("per-rule:"), std::string::npos);
   EXPECT_NE(report.find("derived="), std::string::npos);
+  EXPECT_NE(report.find("storage: tuples_bytes="), std::string::npos);
+  EXPECT_NE(report.find("rehashes="), std::string::npos);
   EXPECT_EQ(shell_.Execute(":metrics off"), "metrics off");
   EXPECT_NE(shell_.Execute(":metrics bogus").find("usage:"),
             std::string::npos);

@@ -1,6 +1,13 @@
 #include "storage/database.h"
 #include "storage/relation.h"
+#include "storage/storage_metrics.h"
 #include "storage/tuple.h"
+#include "storage/tuple_store.h"
+#include "util/hash_util.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "test_helpers.h"
@@ -67,10 +74,10 @@ TEST(RelationTest, ClearResetsEverything) {
 
 TEST(RelationTest, ZeroArity) {
   Relation rel(Pred("flag", 0));
-  EXPECT_TRUE(rel.Insert({}));
-  EXPECT_FALSE(rel.Insert({}));
+  EXPECT_TRUE(rel.Insert(Tuple{}));
+  EXPECT_FALSE(rel.Insert(Tuple{}));
   EXPECT_EQ(rel.size(), 1u);
-  EXPECT_TRUE(rel.Contains({}));
+  EXPECT_TRUE(rel.Contains(Tuple{}));
 }
 
 TEST(DatabaseTest, AddFactAndFind) {
@@ -117,7 +124,238 @@ TEST(DatabaseTest, SameFactsDetectsDifferences) {
 
 TEST(TupleTest, Printing) {
   EXPECT_EQ(TupleToString({Term::Sym("a"), Term::Int(3)}), "(a, 3)");
-  EXPECT_EQ(TupleToString({}), "()");
+  EXPECT_EQ(TupleToString(Tuple{}), "()");
+}
+
+
+// --- TupleStore (flat arena) -------------------------------------------
+
+TEST(TupleStoreTest, InsertFindAndDedup) {
+  TupleStore store(2);
+  Tuple ab{Term::Sym("a"), Term::Sym("b")};
+  Tuple ba{Term::Sym("b"), Term::Sym("a")};
+  auto [id0, fresh0] = store.InsertIfAbsent(ab.data());
+  EXPECT_TRUE(fresh0);
+  EXPECT_EQ(id0, 0u);
+  auto [id1, fresh1] = store.InsertIfAbsent(ba.data());
+  EXPECT_TRUE(fresh1);
+  EXPECT_EQ(id1, 1u);
+  auto [id2, fresh2] = store.InsertIfAbsent(ab.data());
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(id2, 0u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Find(ab.data()), 0u);
+  EXPECT_EQ(store.Find(ba.data()), 1u);
+  Tuple aa{Term::Sym("a"), Term::Sym("a")};
+  EXPECT_EQ(store.Find(aa.data()), kInvalidRowId);
+  EXPECT_EQ(store.row(0)[1], Term::Sym("b"));
+  EXPECT_EQ(store.row_hash(0), HashValues(store.row(0)));
+}
+
+TEST(TupleStoreTest, ZeroArityHoldsAtMostOneRow) {
+  TupleStore store(0);
+  EXPECT_FALSE(store.Contains(nullptr));
+  auto [id, fresh] = store.InsertIfAbsent(nullptr);
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(id, 0u);
+  auto [id2, fresh2] = store.InsertIfAbsent(nullptr);
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(id2, 0u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Contains(nullptr));
+  EXPECT_EQ(store.row(0).size(), 0u);
+}
+
+TEST(TupleStoreTest, RehashKeepsRowIdsAndIterationOrder) {
+  // Push far past the initial 16-slot table so several rehashes happen;
+  // RowIds must stay dense in insertion order throughout.
+  TupleStore store(1);
+  constexpr int kRows = 5000;
+  for (int i = 0; i < kRows; ++i) {
+    Tuple t{Term::Int(i * 7)};
+    auto [id, fresh] = store.InsertIfAbsent(t.data());
+    ASSERT_TRUE(fresh);
+    ASSERT_EQ(id, static_cast<RowId>(i));
+  }
+  ASSERT_EQ(store.size(), static_cast<size_t>(kRows));
+  for (int i = 0; i < kRows; ++i) {
+    EXPECT_EQ(store.row(static_cast<RowId>(i))[0].int_value(), i * 7);
+    Tuple t{Term::Int(i * 7)};
+    EXPECT_EQ(store.Find(t.data()), static_cast<RowId>(i));
+  }
+}
+
+TEST(TupleStoreTest, ClearRetainsCapacityAndStaysCorrect) {
+  TupleStore store(2);
+  for (int i = 0; i < 1000; ++i) {
+    Tuple t{Term::Int(i), Term::Int(-i)};
+    store.InsertIfAbsent(t.data());
+  }
+  const int64_t bytes_full = store.ByteSize();
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.empty());
+  // Capacity (and thus the byte accounting) survives the clear.
+  EXPECT_EQ(store.ByteSize(), bytes_full);
+  Tuple probe{Term::Int(3), Term::Int(-3)};
+  EXPECT_FALSE(store.Contains(probe.data()));
+  for (int i = 0; i < 1000; ++i) {
+    Tuple t{Term::Int(i), Term::Int(-i)};
+    auto [id, fresh] = store.InsertIfAbsent(t.data());
+    ASSERT_TRUE(fresh);
+    ASSERT_EQ(id, static_cast<RowId>(i));
+  }
+  EXPECT_TRUE(store.Contains(probe.data()));
+  EXPECT_EQ(store.ByteSize(), bytes_full);
+}
+
+TEST(TupleStoreTest, MillionRowInsertIsDeterministic) {
+  // Two stores fed the same SplitMix64 stream (with duplicates) must
+  // agree on size, RowId assignment, and iteration order.
+  auto build = [] {
+    TupleStore store(2);
+    SplitMix64 rng(0x5eedu);
+    for (int i = 0; i < 1000000; ++i) {
+      Tuple t{Term::Int(static_cast<int64_t>(rng.Below(1 << 18))),
+              Term::Int(static_cast<int64_t>(rng.Below(1 << 18)))};
+      store.InsertIfAbsent(t.data());
+    }
+    return store;
+  };
+  TupleStore a = build();
+  TupleStore b = build();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 900000u);  // collisions exist but are rare
+  for (size_t i = 0; i < a.size(); i += 997) {
+    RowId id = static_cast<RowId>(i);
+    EXPECT_TRUE(ValuesEqual(a.row_data(id), b.row_data(id), 2));
+    EXPECT_EQ(a.row_hash(id), b.row_hash(id));
+  }
+}
+
+TEST(TupleStoreTest, CopyAndMovePreserveContentAndMetrics) {
+  TupleStore store(1);
+  for (int i = 0; i < 64; ++i) {
+    Tuple t{Term::Int(i)};
+    store.InsertIfAbsent(t.data());
+  }
+  TupleStore copy = store;
+  EXPECT_EQ(copy.size(), 64u);
+  Tuple probe{Term::Int(7)};
+  EXPECT_TRUE(copy.Contains(probe.data()));
+  int64_t before = storage_metrics::LiveTupleBytes();
+  {
+    TupleStore moved = std::move(copy);
+    EXPECT_EQ(moved.size(), 64u);
+    EXPECT_TRUE(moved.Contains(probe.data()));
+    // A move transfers the byte accounting instead of double-counting.
+    EXPECT_EQ(storage_metrics::LiveTupleBytes(), before);
+  }
+  EXPECT_LT(storage_metrics::LiveTupleBytes(), before);
+}
+
+// --- Probe regression & index invariants --------------------------------
+
+TEST(RelationTest, ProbeWithoutIndexDebugAsserts) {
+  Relation rel(Pred("edge_np", 2));
+  rel.Insert({Term::Sym("a"), Term::Sym("b")});
+  Tuple key{Term::Sym("a")};
+#ifdef NDEBUG
+  // Release builds degrade to "no matches" instead of crashing.
+  EXPECT_TRUE(rel.Probe({0}, key).empty());
+#else
+  EXPECT_DEATH(rel.Probe({0}, key), "EnsureIndex");
+#endif
+}
+
+TEST(RelationTest, ClearRetainsIndexesAndRefills) {
+  Relation rel(Pred("edge_cl", 2));
+  rel.EnsureIndex({0});
+  for (int i = 0; i < 100; ++i) {
+    rel.Insert({Term::Int(i % 10), Term::Int(i)});
+  }
+  EXPECT_EQ(rel.Probe({0}, Tuple{Term::Int(3)}).size(), 10u);
+  rel.Clear();
+  EXPECT_EQ(rel.size(), 0u);
+  EXPECT_EQ(rel.index_count(), 1u);
+  EXPECT_TRUE(rel.Probe({0}, Tuple{Term::Int(3)}).empty());
+  for (int i = 0; i < 100; ++i) {
+    rel.Insert({Term::Int(i % 10), Term::Int(i)});
+  }
+  const std::vector<RowId>& hits = rel.Probe({0}, Tuple{Term::Int(3)});
+  EXPECT_EQ(hits.size(), 10u);
+  for (RowId r : hits) EXPECT_EQ(rel.row(r)[0].int_value(), 3);
+}
+
+// --- Model-based property test ------------------------------------------
+
+TEST(RelationPropertyTest, MatchesSetModelUnderRandomWorkload) {
+  SplitMix64 rng(20260806u);
+  Relation rel(Pred("prop", 3));
+  rel.EnsureIndex({0});
+  rel.EnsureIndex({0, 2});
+  std::set<Tuple> model;
+  for (int step = 0; step < 20000; ++step) {
+    Tuple t{Term::Int(static_cast<int64_t>(rng.Below(40))),
+            Term::Int(static_cast<int64_t>(rng.Below(40))),
+            Term::Int(static_cast<int64_t>(rng.Below(40)))};
+    bool fresh = rel.Insert(t);
+    EXPECT_EQ(fresh, model.insert(t).second);
+    if (step % 100 != 0) continue;
+    // Membership agrees with the model on present and absent rows.
+    Tuple probe{Term::Int(static_cast<int64_t>(rng.Below(40))),
+                Term::Int(static_cast<int64_t>(rng.Below(40))),
+                Term::Int(static_cast<int64_t>(rng.Below(40)))};
+    EXPECT_EQ(rel.Contains(probe), model.count(probe) > 0);
+    // Probe hits match a linear scan of the model.
+    Tuple key{Term::Int(static_cast<int64_t>(rng.Below(40)))};
+    std::vector<Tuple> expected;
+    for (const Tuple& m : model) {
+      if (m[0] == key[0]) expected.push_back(m);
+    }
+    std::vector<Tuple> actual;
+    for (RowId r : rel.Probe({0}, key)) {
+      RowRef row = rel.row(r);
+      actual.emplace_back(row.begin(), row.end());
+    }
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+  ASSERT_EQ(rel.size(), model.size());
+  size_t i = 0;
+  std::set<Tuple> seen;
+  for (RowRef row : rel.rows()) {
+    EXPECT_EQ(rel.row_hash(i), HashValues(row));
+    seen.emplace(row.begin(), row.end());
+    ++i;
+  }
+  EXPECT_EQ(seen, model);
+}
+
+// --- Storage metrics -----------------------------------------------------
+
+TEST(StorageMetricsTest, TupleBytesTrackRelationLifetime) {
+  int64_t before = storage_metrics::LiveTupleBytes();
+  {
+    Relation rel(Pred("metric_rel", 2));
+    for (int i = 0; i < 4096; ++i) {
+      rel.Insert({Term::Int(i), Term::Int(i + 1)});
+    }
+    EXPECT_GE(storage_metrics::LiveTupleBytes(),
+              before + static_cast<int64_t>(4096 * 2 * sizeof(Value)));
+    EXPECT_EQ(storage_metrics::LiveTupleBytes() - before,
+              rel.store().ByteSize());
+  }
+  EXPECT_EQ(storage_metrics::LiveTupleBytes(), before);
+}
+
+TEST(StorageMetricsTest, RehashCounterIsMonotonic) {
+  uint64_t before = storage_metrics::TotalRehashes();
+  Relation rel(Pred("metric_rehash", 1));
+  rel.EnsureIndex({0});
+  for (int i = 0; i < 10000; ++i) rel.Insert({Term::Int(i)});
+  // Both the dedup table and the index grew several times.
+  EXPECT_GE(storage_metrics::TotalRehashes(), before + 2);
 }
 
 }  // namespace

@@ -78,7 +78,7 @@ inline std::vector<std::string> RelationRows(const Database& db,
   const Relation* rel =
       db.Find(PredicateId{InternSymbol(pred), arity});
   if (rel != nullptr) {
-    for (const Tuple& t : rel->rows()) rows.push_back(TupleToString(t));
+    for (RowRef t : rel->rows()) rows.push_back(TupleToString(t));
   }
   std::sort(rows.begin(), rows.end());
   return rows;
