@@ -20,6 +20,13 @@ std::string EvalStats::ToString() const {
 std::string EvalStats::Report() const {
   std::ostringstream os;
   os << "totals: " << ToString() << "\n";
+  if (plan_cache_hits + plan_cache_misses + batches > 0) {
+    // Keyed by the registry counter names PublishTo uses, so the shell
+    // report and any metrics sink agree on vocabulary.
+    os << "batched executor: eval.plan_cache.hit=" << plan_cache_hits
+       << " eval.plan_cache.miss=" << plan_cache_misses
+       << " eval.batches=" << batches << "\n";
+  }
   if (!per_rule.empty()) {
     os << "per-rule:\n";
     for (const auto& [label, rs] : per_rule) {
@@ -54,6 +61,9 @@ void EvalStats::PublishTo(obs::MetricsRegistry& registry,
   registry.GetCounter(p + ".comparison_checks").Add(comparison_checks);
   registry.GetCounter(p + ".runtime_residue_checks")
       .Add(runtime_residue_checks);
+  registry.GetCounter(p + ".plan_cache.hit").Add(plan_cache_hits);
+  registry.GetCounter(p + ".plan_cache.miss").Add(plan_cache_misses);
+  registry.GetCounter(p + ".batches").Add(batches);
   for (const auto& [label, rs] : per_rule) {
     std::string rule_prefix = StrCat(p, ".rule.", label);
     registry.GetCounter(rule_prefix + ".applications").Add(rs.applications);

@@ -72,6 +72,13 @@ struct EvalStats {
   /// runtime-residue baseline to account per-iteration residue
   /// processing).
   size_t runtime_residue_checks = 0;
+  /// Plan-cache lookups that reused a cached (rule, delta) plan.
+  size_t plan_cache_hits = 0;
+  /// Plan-cache lookups that had to run the planner (cold or the input
+  /// cardinalities crossed a log2 band since the cached plan was built).
+  size_t plan_cache_misses = 0;
+  /// Head blocks flushed by the batched executor (ExecutePlanBatched).
+  size_t batches = 0;
 
   /// Per-rule breakdown; empty unless EvalOptions::collect_metrics.
   std::map<std::string, RuleStats> per_rule;
@@ -87,6 +94,9 @@ struct EvalStats {
     bindings_explored += other.bindings_explored;
     comparison_checks += other.comparison_checks;
     runtime_residue_checks += other.runtime_residue_checks;
+    plan_cache_hits += other.plan_cache_hits;
+    plan_cache_misses += other.plan_cache_misses;
+    batches += other.batches;
     for (const auto& [label, rs] : other.per_rule) per_rule[label].Add(rs);
     round_balance.insert(round_balance.end(), other.round_balance.begin(),
                          other.round_balance.end());

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "eval/component_plan.h"
+#include "eval/plan_cache.h"
 #include "eval/rule_executor.h"
 #include "exec/parallel_fixpoint.h"
 #include "obs/trace.h"
@@ -47,20 +48,69 @@ class FixpointSource : public RelationSource {
   std::map<PredicateId, const Relation*> deltas_;
 };
 
-/// Runs one rule execution with the derived tuples buffered, then
-/// commits them. Rules may scan the very relation they derive into
-/// (self-joins on the recursive predicate); inserting during the scan
-/// would invalidate row iterators and index buckets. The buffer is a
-/// flat TupleBuffer: one value arena, no per-tuple heap allocation.
-void ExecuteBuffered(const RuleExecutor& exec, const RelationSource& source,
-                     int delta_literal, EvalStats* stats, bool size_aware,
-                     const std::function<void(RowRef)>& commit) {
-  TupleBuffer buffer(
-      static_cast<uint32_t>(exec.rule().head().args().size()));
-  exec.Execute(source, delta_literal,
-               [&buffer](RowRef t) { buffer.Append(t); }, stats, size_aware);
+struct RuleRunResult {
+  size_t derived = 0;
+  size_t duplicates = 0;
+};
+
+/// Runs one rule execution with the derived tuples buffered into
+/// `buffer` (cleared first). Rules may scan the very relation they
+/// derive into (self-joins on the recursive predicate); inserting
+/// during the scan would invalidate row iterators and index buckets.
+/// The buffer is a flat TupleBuffer: one value arena, no per-tuple heap
+/// allocation. Plans come from `cache` (memoized per band signature),
+/// so rounds in an already-seen cardinality regime skip the planner;
+/// batch_size > 1 streams the join through the block-at-a-time
+/// executor, 1 is the legacy tuple-at-a-time path.
+void ExecuteBuffered(const PlannedRule& pr, PlanCache& cache,
+                     const RelationSource& source, int delta_literal,
+                     const EvalOptions& options, EvalStats* stats,
+                     TupleBuffer* buffer) {
+  const RuleExecutor& exec = pr.executor;
+  buffer->clear();
+  Result<RuleExecutor::PreparedPlan> plan =
+      cache.Get(exec, source, delta_literal, stats,
+                options.cardinality_planning);
+  if (!plan.ok()) return;  // Create() validated the rule; cannot fail
+  if (options.batch_size <= 1) {
+    exec.ExecutePlan(*plan, source, delta_literal,
+                     [buffer](RowRef t) { buffer->Append(t); }, stats);
+  } else {
+    exec.ExecutePlanBatched(
+        *plan, source, delta_literal,
+        [buffer](const TupleBuffer& block) { buffer->AppendAll(block); },
+        stats, options.batch_size);
+  }
+}
+
+/// Commits a buffered derivation block into `target` (and `delta_target`
+/// for the new tuples, when given). Rows are hashed in short runs ahead
+/// of their inserts — the hash pass streams the flat buffer while
+/// prefetching the dedup slot each row will probe, and every row's hash
+/// is computed once and reused across the full and delta inserts.
+RuleRunResult CommitBuffer(const TupleBuffer& buffer, Relation& target,
+                           Relation* delta_target) {
+  RuleRunResult result;
+  constexpr size_t kChunk = 128;
+  size_t hashes[kChunk];
   const size_t n = buffer.size();
-  for (size_t i = 0; i < n; ++i) commit(buffer.row(i));
+  for (size_t start = 0; start < n; start += kChunk) {
+    const size_t m = std::min(kChunk, n - start);
+    for (size_t j = 0; j < m; ++j) {
+      hashes[j] = HashValues(buffer.row(start + j));
+      target.PrefetchInsert(hashes[j]);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      RowRef t = buffer.row(start + j);
+      if (target.Insert(t, hashes[j])) {
+        ++result.derived;
+        if (delta_target != nullptr) delta_target->Insert(t, hashes[j]);
+      } else {
+        ++result.duplicates;
+      }
+    }
+  }
+  return result;
 }
 
 /// Span name for one rule execution: the rule label when set (spans of
@@ -76,29 +126,20 @@ std::string RuleKey(const PlannedRule& pr) {
   return label.empty() ? pr.head.ToString() : label;
 }
 
-struct RuleRunResult {
-  size_t derived = 0;
-  size_t duplicates = 0;
-};
-
 /// One traced rule execution: inserts into `target` (and `delta_target`
 /// for new tuples, when given), updates stats, and records a per-rule
-/// span carrying derived/duplicate counts.
-RuleRunResult RunRule(const PlannedRule& pr, const RelationSource& source,
-                      int delta_literal, const EvalOptions& options,
-                      EvalStats* stats, Relation& target,
-                      Relation* delta_target) {
+/// span carrying derived/duplicate counts. `buffer` is reusable
+/// caller-owned scratch (reset to the rule's head arity here).
+RuleRunResult RunRule(const PlannedRule& pr, PlanCache& cache,
+                      const RelationSource& source, int delta_literal,
+                      const EvalOptions& options, EvalStats* stats,
+                      Relation& target, Relation* delta_target,
+                      TupleBuffer* buffer) {
   obs::TraceSpan span(RuleSpanName(pr));
-  RuleRunResult result;
-  ExecuteBuffered(pr.executor, source, delta_literal, stats,
-                  options.cardinality_planning, [&](RowRef t) {
-                    if (target.Insert(t)) {
-                      ++result.derived;
-                      if (delta_target != nullptr) delta_target->Insert(t);
-                    } else {
-                      ++result.duplicates;
-                    }
-                  });
+  buffer->Reset(
+      static_cast<uint32_t>(pr.executor.rule().head().args().size()));
+  ExecuteBuffered(pr, cache, source, delta_literal, options, stats, buffer);
+  RuleRunResult result = CommitBuffer(*buffer, target, delta_target);
   span.AddArg("derived", static_cast<int64_t>(result.derived));
   span.AddArg("duplicates", static_cast<int64_t>(result.duplicates));
   if (stats != nullptr) {
@@ -136,6 +177,16 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
   for (const PredicateId& p : idb_preds) idb.GetOrCreate(p);
 
   FixpointSource source(&edb, &idb, &idb_preds);
+  // Plans persist across rounds (and across the per-delta-occurrence
+  // executions within a round), memoized per log2 cardinality-band
+  // signature. A caller-owned session cache additionally persists them
+  // across evaluations; otherwise the cache lives for this one.
+  PlanCache local_plan_cache;
+  PlanCache& plan_cache =
+      options.plan_cache != nullptr ? *options.plan_cache : local_plan_cache;
+  // One derivation buffer for the whole evaluation: each rule run
+  // resets it, so steady-state rounds recycle its arena.
+  TupleBuffer rule_buffer(0);
 
   int64_t component_index = -1;
   for (const EvalComponent& component : components) {
@@ -154,8 +205,9 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
       obs::TraceSpan round_span("round");
       round_span.AddArg("round", 1);
       for (const PlannedRule& pr : planned) {
-        RunRule(pr, source, -1, options, stats, idb.GetOrCreate(pr.head),
-                /*delta_target=*/nullptr);
+        RunRule(pr, plan_cache, source, -1, options, stats,
+                idb.GetOrCreate(pr.head), /*delta_target=*/nullptr,
+                &rule_buffer);
       }
       continue;
     }
@@ -175,8 +227,9 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
         size_t round_derived = 0;
         for (const PlannedRule& pr : planned) {
           RuleRunResult run =
-              RunRule(pr, source, -1, options, stats,
-                      idb.GetOrCreate(pr.head), /*delta_target=*/nullptr);
+              RunRule(pr, plan_cache, source, -1, options, stats,
+                      idb.GetOrCreate(pr.head), /*delta_target=*/nullptr,
+                      &rule_buffer);
           round_derived += run.derived;
         }
         changed = round_derived > 0;
@@ -200,8 +253,9 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
       obs::TraceSpan round_span("round");
       round_span.AddArg("round", 1);
       for (const PlannedRule& pr : planned) {
-        RunRule(pr, source, -1, options, stats, idb.GetOrCreate(pr.head),
-                delta[pr.head].get());
+        RunRule(pr, plan_cache, source, -1, options, stats,
+                idb.GetOrCreate(pr.head), delta[pr.head].get(),
+                &rule_buffer);
       }
     }
 
@@ -233,8 +287,8 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
           for (const PredicateId& p : component.preds) {
             source.SetDelta(p, delta[p].get());
           }
-          RunRule(pr, source, lit_index, options, stats, target,
-                  next_delta[pr.head].get());
+          RunRule(pr, plan_cache, source, lit_index, options, stats, target,
+                  next_delta[pr.head].get(), &rule_buffer);
         }
       }
       source.ClearDeltas();

@@ -11,6 +11,8 @@
 
 namespace semopt {
 
+class PlanCache;
+
 /// Evaluation strategy for the bottom-up fixpoint.
 enum class EvalStrategy {
   kSemiNaive,  // delta-driven (default)
@@ -24,6 +26,13 @@ struct EvalOptions {
   /// Plan joins with current relation cardinalities (default); false
   /// falls back to the size-blind static order (ablation bench A1).
   bool cardinality_planning = true;
+  /// Frame/head block size for the batched (block-at-a-time) rule
+  /// executor used by the fixpoint engines. 1 selects the legacy
+  /// tuple-at-a-time path (identical results, per-tuple dispatch);
+  /// larger values amortize sink dispatch and keep probe keys, filter
+  /// checks and negation membership tests in tight loops over
+  /// contiguous frames. The derived relations are identical either way.
+  size_t batch_size = 1024;
   /// Worker threads for evaluation. 1 (default) = the serial path;
   /// 0 = one per hardware thread; N > 1 = partitioned parallel
   /// fixpoint (src/exec/), whose results are set-equal to serial.
@@ -38,6 +47,16 @@ struct EvalOptions {
   /// per-round worker balance). Off by default: the fast path only
   /// bumps the scalar totals.
   bool collect_metrics = false;
+  /// Caller-owned session plan cache (see eval/plan_cache.h), borrowed
+  /// for the evaluation; null = a private per-evaluation cache. A cache
+  /// held across Evaluate calls memoizes one plan per (rule, delta,
+  /// cardinality-band signature), so a repeated evaluation — the shell
+  /// re-running a query — re-traverses an already-seen band trajectory
+  /// and skips the planner every round. Entries are content-addressed
+  /// by rule text: sharing one cache across different or extended
+  /// programs is safe. Not thread-safe; the evaluation uses it only
+  /// from its coordinator thread.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// Computes the least fixpoint of `program` over `edb` bottom-up and

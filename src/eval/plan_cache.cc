@@ -1,0 +1,72 @@
+#include "eval/plan_cache.h"
+
+#include <bit>
+#include <utility>
+
+namespace semopt {
+
+namespace {
+// Non-relational literals (comparisons) have no cardinality; keep a
+// band value no relation size can produce.
+constexpr uint8_t kNoBand = 0xFF;
+
+uint8_t Log2Band(size_t size) {
+  // 0 → band 0, [2^k, 2^(k+1)) → band k+1; 64 bands cover any size_t.
+  return static_cast<uint8_t>(std::bit_width(size));
+}
+}  // namespace
+
+std::vector<uint8_t> PlanCache::Signature(const RuleExecutor& exec,
+                                          const RelationSource& source,
+                                          int delta_literal) {
+  const std::vector<Literal>& body = exec.rule().body();
+  std::vector<uint8_t> bands;
+  bands.reserve(body.size());
+  for (size_t i = 0; i < body.size(); ++i) {
+    const Literal& lit = body[i];
+    if (!lit.IsRelational()) {
+      bands.push_back(kNoBand);
+      continue;
+    }
+    const Relation* rel = nullptr;
+    if (delta_literal >= 0 && i == static_cast<size_t>(delta_literal)) {
+      rel = source.Delta(lit.atom().pred_id());
+    }
+    if (rel == nullptr) rel = source.Full(lit.atom().pred_id());
+    bands.push_back(Log2Band(rel == nullptr ? 0 : rel->size()));
+  }
+  return bands;
+}
+
+Result<RuleExecutor::PreparedPlan> PlanCache::Get(const RuleExecutor& exec,
+                                                  const RelationSource& source,
+                                                  int delta_literal,
+                                                  EvalStats* stats,
+                                                  bool size_aware,
+                                                  bool skip_delta_index) {
+  Key key{exec.rule().ToString(), delta_literal,
+          static_cast<uint8_t>((size_aware ? 1 : 0) |
+                               (skip_delta_index ? 2 : 0)),
+          Signature(exec, source, delta_literal)};
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    if (stats != nullptr) ++stats->plan_cache_hits;
+    // The plan itself stays valid, but the semi-naive delta
+    // double-buffers swap relation objects between rounds (and a
+    // repeated evaluation starts from fresh relations entirely):
+    // repair any index the current source's relations are missing.
+    exec.EnsurePlanIndexes(it->second, source, delta_literal,
+                           skip_delta_index);
+    return it->second;
+  }
+  ++misses_;
+  if (stats != nullptr) ++stats->plan_cache_misses;
+  SEMOPT_ASSIGN_OR_RETURN(
+      RuleExecutor::PreparedPlan plan,
+      exec.Prepare(source, delta_literal, size_aware, skip_delta_index));
+  entries_.emplace(std::move(key), plan);
+  return plan;
+}
+
+}  // namespace semopt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "ast/rename.h"
 #include "eval/builtins.h"
@@ -11,32 +12,33 @@
 
 namespace semopt {
 
-namespace {
-
-/// True if every variable of `lit` is in `bound` (constants trivially).
-bool AllVarsBound(const Literal& lit,
-                  const std::map<SymbolId, uint32_t>& slots,
-                  const std::set<uint32_t>& bound) {
-  for (const Term& t : lit.Terms()) {
-    if (t.IsVariable() && bound.count(slots.at(t.symbol())) == 0) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
 Result<RuleExecutor> RuleExecutor::Create(const Rule& rule) {
   RuleExecutor exec;
   exec.rule_ = rule;
 
-  // Assign frame slots to variables in first-occurrence order.
+  // Assign frame slots to variables in first-occurrence order
+  // (CollectVariables deduplicates), then sort the table by symbol for
+  // binary-search lookup.
   for (SymbolId v : CollectVariables(rule)) {
-    uint32_t slot = static_cast<uint32_t>(exec.slots_.size());
-    exec.slots_.emplace(v, slot);
+    exec.slots_.emplace_back(v, static_cast<uint32_t>(exec.slots_.size()));
   }
   exec.slot_count_ = exec.slots_.size();
+  std::sort(exec.slots_.begin(), exec.slots_.end());
+#ifndef NDEBUG
+  // Micro-assert slot density: slots must be a permutation of
+  // 0..slot_count-1 under strictly increasing symbols — frame blocks
+  // index by slot, so a gap or collision would silently read another
+  // variable's binding.
+  {
+    std::vector<bool> seen(exec.slot_count_, false);
+    for (size_t i = 0; i < exec.slots_.size(); ++i) {
+      if (i > 0) assert(exec.slots_[i - 1].first < exec.slots_[i].first);
+      const uint32_t slot = exec.slots_[i].second;
+      assert(slot < exec.slot_count_ && !seen[slot]);
+      seen[slot] = true;
+    }
+  }
+#endif
 
   // Validate by building the size-blind plan once; remember its order.
   SEMOPT_ASSIGN_OR_RETURN(Plan plan, exec.BuildPlan(nullptr));
@@ -44,6 +46,16 @@ Result<RuleExecutor> RuleExecutor::Create(const Rule& rule) {
     exec.static_order_.push_back(step.original_index);
   }
   return exec;
+}
+
+uint32_t RuleExecutor::SlotFor(SymbolId v) const {
+  auto it = std::lower_bound(
+      slots_.begin(), slots_.end(), v,
+      [](const std::pair<SymbolId, uint32_t>& entry, SymbolId sym) {
+        return entry.first < sym;
+      });
+  assert(it != slots_.end() && it->first == v);
+  return it->second;
 }
 
 Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
@@ -59,7 +71,7 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
       spec.constant = t;
       spec.bound = true;
     } else {
-      spec.slot = slots_.at(t.symbol());
+      spec.slot = SlotFor(t.symbol());
       spec.bound = bound.count(spec.slot) > 0;
     }
     return spec;
@@ -68,6 +80,16 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
   std::set<uint32_t> bound;
   std::vector<bool> scheduled(body.size(), false);
   size_t remaining = body.size();
+
+  // True if every variable of `lit` is in `bound` (constants trivially).
+  auto all_vars_bound = [&](const Literal& lit) {
+    for (const Term& t : lit.Terms()) {
+      if (t.IsVariable() && bound.count(SlotFor(t.symbol())) == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
 
   auto schedule = [&](size_t i) {
     const Literal& lit = body[i];
@@ -89,11 +111,38 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
       step.pred = lit.atom().pred_id();
       // Within-atom repeats: only *pre-bound* columns participate in
       // index probing; a repeated unbound variable binds at its first
-      // column and is runtime-checked at later ones.
+      // column and is runtime-checked at later ones. The same
+      // classification, frozen as ColumnActions, drives the batched
+      // join kernel.
       std::set<uint32_t> bound_before = bound;
+      // slot -> column of its first (binding) occurrence in this literal
+      std::map<uint32_t, uint32_t> bound_in_literal;
       for (uint32_t col = 0; col < lit.atom().args().size(); ++col) {
         TermSpec spec = make_spec(lit.atom().arg(col), bound_before);
         if (spec.bound) step.probe_columns.push_back(col);
+        ColumnAction action;
+        action.col = col;
+        if (spec.is_constant) {
+          action.kind = ColumnAction::kCheckConst;
+          action.constant = spec.constant;
+          step.scan_checks.push_back(action);
+        } else if (spec.bound) {
+          action.kind = ColumnAction::kCheckSlot;
+          action.slot = spec.slot;
+          step.scan_checks.push_back(action);
+        } else if (auto it = bound_in_literal.find(spec.slot);
+                   it != bound_in_literal.end()) {
+          action.kind = ColumnAction::kCheckRepeat;
+          action.slot = spec.slot;
+          action.other_col = it->second;
+          step.scan_checks.push_back(action);
+          step.probe_checks.push_back(action);
+        } else {
+          action.kind = ColumnAction::kBind;
+          action.slot = spec.slot;
+          bound_in_literal.emplace(spec.slot, col);
+          step.bind_actions.push_back(action);
+        }
         step.args.push_back(spec);
         if (!spec.is_constant) bound.insert(spec.slot);
       }
@@ -110,8 +159,8 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
     for (size_t i = 0; i < body.size() && pick < 0; ++i) {
       if (scheduled[i]) continue;
       const Literal& lit = body[i];
-      bool filter_ready = (lit.IsComparison() || lit.negated()) &&
-                          AllVarsBound(lit, slots_, bound);
+      bool filter_ready =
+          (lit.IsComparison() || lit.negated()) && all_vars_bound(lit);
       if (filter_ready) pick = static_cast<int>(i);
     }
     // Priority 2: a binding `=` literal with exactly one unbound side.
@@ -125,9 +174,9 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
       const Term& a = lit.lhs();
       const Term& b = lit.rhs();
       bool a_bound =
-          a.IsConstant() || bound.count(slots_.at(a.symbol())) > 0;
+          a.IsConstant() || bound.count(SlotFor(a.symbol())) > 0;
       bool b_bound =
-          b.IsConstant() || bound.count(slots_.at(b.symbol())) > 0;
+          b.IsConstant() || bound.count(SlotFor(b.symbol())) > 0;
       if (a_bound != b_bound) pick = static_cast<int>(i);
     }
     // Priority 3: the positive relational literal with the most
@@ -143,7 +192,7 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
         if (lit.IsComparison() || lit.negated()) continue;
         int score = 0;
         for (const Term& t : lit.atom().args()) {
-          if (t.IsConstant() || bound.count(slots_.at(t.symbol())) > 0) {
+          if (t.IsConstant() || bound.count(SlotFor(t.symbol())) > 0) {
             ++score;
           }
         }
@@ -185,7 +234,93 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
     plan.scratch_size += step.args.size();
     plan.max_row_width = std::max(plan.max_row_width, step.args.size());
   }
+  // Identity batch order by default; Prepare's FuseBatchChecks pass
+  // rewrites it once the delta occurrence is known.
+  plan.batch_steps.resize(plan.steps.size());
+  for (size_t i = 0; i < plan.steps.size(); ++i) plan.batch_steps[i] = i;
   return plan;
+}
+
+void RuleExecutor::FuseBatchChecks(Plan* plan, int delta_literal) {
+  plan->batch_steps.clear();
+  // Index into plan->steps of the positive relational step that can
+  // currently absorb checks; -1 while blocked (before any positive
+  // step, or after a comparison/negated survivor broke the run).
+  int host = -1;
+  for (size_t i = 0; i < plan->steps.size(); ++i) {
+    LiteralStep& step = plan->steps[i];
+    const bool relational = !step.is_comparison;
+    const bool is_delta =
+        relational && delta_literal >= 0 &&
+        step.original_index == static_cast<size_t>(delta_literal);
+    const bool pure_check =
+        relational && !is_delta &&
+        std::all_of(step.args.begin(), step.args.end(),
+                    [](const TermSpec& s) { return s.is_constant || s.bound; });
+    if (pure_check && host >= 0) {
+      LiteralStep& h = plan->steps[static_cast<size_t>(host)];
+      FusedCheck fc;
+      fc.pred = step.pred;
+      fc.negated = step.negated;
+      fc.sources.reserve(step.args.size());
+      for (const TermSpec& spec : step.args) {
+        FusedCheck::Source src;
+        if (spec.is_constant) {
+          src.kind = FusedCheck::Source::kConst;
+          src.constant = spec.constant;
+        } else {
+          src.kind = FusedCheck::Source::kFrame;
+          src.idx = spec.slot;
+          for (const ColumnAction& a : h.bind_actions) {
+            if (a.slot == spec.slot) {
+              src.kind = FusedCheck::Source::kRow;
+              src.idx = a.col;
+              break;
+            }
+          }
+        }
+        fc.sources.push_back(std::move(src));
+      }
+      h.fused.push_back(std::move(fc));
+      continue;  // fused away: not part of the batch order
+    }
+    plan->batch_steps.push_back(i);
+    host = (relational && !step.negated) ? static_cast<int>(i) : -1;
+  }
+
+  // Tail emission: when the last batch step extends frames (positive
+  // relational), project head rows straight out of its match loop —
+  // every head column is a constant, a slot already in the input
+  // frame, or a column that step binds from its matched row. The
+  // final frame stream (the widest in the pipeline) is then never
+  // materialized into a block at all.
+  plan->tail_emit = false;
+  plan->tail_head_sources.clear();
+  if (!plan->batch_steps.empty()) {
+    const LiteralStep& last = plan->steps[plan->batch_steps.back()];
+    if (!last.is_comparison && !last.negated) {
+      plan->tail_emit = true;
+      plan->tail_head_sources.reserve(plan->head_specs.size());
+      for (const TermSpec& spec : plan->head_specs) {
+        FusedCheck::Source src;
+        if (spec.is_constant) {
+          src.kind = FusedCheck::Source::kConst;
+          src.constant = spec.constant;
+        } else {
+          src.kind = FusedCheck::Source::kFrame;
+          src.idx = spec.slot;
+          for (const ColumnAction& a : last.bind_actions) {
+            if (a.slot == spec.slot) {
+              src.kind = FusedCheck::Source::kRow;
+              src.idx = a.col;
+              break;
+            }
+          }
+        }
+        plan->tail_head_sources.push_back(std::move(src));
+      }
+    }
+  }
 }
 
 Result<RuleExecutor::PreparedPlan> RuleExecutor::Prepare(
@@ -210,10 +345,18 @@ Result<RuleExecutor::PreparedPlan> RuleExecutor::Prepare(
   };
   SEMOPT_ASSIGN_OR_RETURN(Plan plan,
                           BuildPlan(size_aware ? &size_of : nullptr));
+  FuseBatchChecks(&plan, delta_literal);
   EnsureProbeIndexes(plan, source, delta_literal, skip_delta_index);
   PreparedPlan prepared;
   prepared.plan_ = std::make_shared<const Plan>(std::move(plan));
   return prepared;
+}
+
+void RuleExecutor::EnsurePlanIndexes(const PreparedPlan& plan,
+                                     const RelationSource& source,
+                                     int delta_literal,
+                                     bool skip_delta_index) const {
+  EnsureProbeIndexes(*plan.plan_, source, delta_literal, skip_delta_index);
 }
 
 void RuleExecutor::EnsureProbeIndexes(const Plan& plan,
@@ -231,6 +374,7 @@ void RuleExecutor::EnsureProbeIndexes(const Plan& plan,
     if (is_delta_step) rel = source.Delta(step.pred);
     if (rel == nullptr) rel = source.Full(step.pred);
     if (rel == nullptr) continue;
+    if (rel->HasIndex(step.probe_columns)) continue;
     // RelationSource exposes relations as const because execution only
     // reads them; index pre-building is the one sanctioned mutation,
     // confined to this single-threaded planning moment.
@@ -257,6 +401,45 @@ std::vector<uint32_t> RuleExecutor::ProbeColumnsFor(
     }
   }
   return {};
+}
+
+std::string RuleExecutor::DescribePlan(const PreparedPlan& plan,
+                                       int delta_literal) const {
+  assert(plan.plan_ != nullptr);
+  const Plan& p = *plan.plan_;
+  // Steps absent from the batch order were fused into an earlier host
+  // by the batch lowering; surface that in the description.
+  std::vector<bool> in_batch(p.steps.size(), false);
+  for (size_t i : p.batch_steps) in_batch[i] = true;
+  std::ostringstream os;
+  os << rule_.ToString() << "\n";
+  size_t n = 0;
+  for (size_t i = 0; i < p.steps.size(); ++i) {
+    const LiteralStep& step = p.steps[i];
+    const Literal& lit = rule_.body()[step.original_index];
+    os << "  " << ++n << ". " << lit.ToString() << "  ";
+    if (step.is_comparison) {
+      os << (step.eq_binds ? "[bind]" : "[filter]");
+    } else if (step.negated) {
+      os << "[negation check]";
+    } else if (step.probe_columns.empty()) {
+      os << "[scan]";
+    } else {
+      os << "[probe cols";
+      for (uint32_t c : step.probe_columns) os << " " << c;
+      os << "]";
+    }
+    if (!step.is_comparison && delta_literal >= 0 &&
+        step.original_index == static_cast<size_t>(delta_literal)) {
+      os << " (delta)";
+    }
+    if (!in_batch[i]) os << " (batch: fused into prior step)";
+    os << "\n";
+  }
+  if (p.steps.empty()) os << "  (empty body: emit head once)\n";
+  std::string out = os.str();
+  out.pop_back();
+  return out;
 }
 
 void RuleExecutor::ExecutePlan(const PreparedPlan& plan,
@@ -406,6 +589,301 @@ void RuleExecutor::ExecuteStep(const Plan& plan,
     const size_t n = relation->size();
     for (size_t i = 0; i < n; ++i) try_row(relation->row(i));
   }
+}
+
+void RuleExecutor::ExecutePlanBatched(const PreparedPlan& plan,
+                                      const RelationSource& source,
+                                      int delta_literal,
+                                      const BatchSink& sink,
+                                      EvalStats* stats,
+                                      size_t batch_size) const {
+  if (stats != nullptr) ++stats->rule_applications;
+  const Plan& p = *plan.plan_;
+  BatchContext ctx;
+  ctx.batch_size = std::max<size_t>(1, batch_size);
+  ctx.steps.resize(p.batch_steps.size() + 1);
+  ctx.row_scratch.reserve(p.max_row_width);
+  ctx.heads = TupleBuffer(static_cast<uint32_t>(p.head_specs.size()));
+  // Seed the pipeline with a single all-unbound frame; the planner's
+  // static bound set decides which slots each step may read.
+  StepScratch& seed = ctx.steps[0];
+  seed.input.data.assign(slot_count_, Term::Int(0));
+  seed.input.rows = 1;
+  RunBatchFrom(p, source, delta_literal, 0, &ctx, sink);
+  if (ctx.heads.size() > 0) {
+    sink(ctx.heads);
+    ++ctx.batches;
+  }
+  if (stats != nullptr) {
+    stats->bindings_explored += ctx.bindings;
+    stats->comparison_checks += ctx.comparisons;
+    stats->batches += ctx.batches;
+  }
+}
+
+void RuleExecutor::RunBatchFrom(const Plan& plan,
+                                const RelationSource& source,
+                                int delta_literal, size_t step_index,
+                                BatchContext* ctx,
+                                const BatchSink& sink) const {
+  const FrameBlock& in = ctx->steps[step_index].input;
+  const size_t width = slot_count_;
+  const size_t n_in = in.rows;
+  if (n_in == 0) return;
+  const Value* in_data = in.data.data();
+
+  if (step_index == plan.batch_steps.size()) {
+    // Emit one head row per surviving frame, flushing full blocks to
+    // the sink as they fill: one type-erased dispatch per block, not
+    // per tuple.
+    const Value* row = in_data;
+    for (size_t f = 0; f < n_in; ++f, row += width) {
+      ctx->row_scratch.clear();
+      for (const TermSpec& spec : plan.head_specs) {
+        ctx->row_scratch.push_back(spec.is_constant ? spec.constant
+                                                    : row[spec.slot]);
+      }
+      ctx->heads.Append(RowRef(ctx->row_scratch));
+      if (ctx->heads.size() >= ctx->batch_size) {
+        sink(ctx->heads);
+        ++ctx->batches;
+        ctx->heads.clear();
+      }
+    }
+    return;
+  }
+
+  const LiteralStep& step = plan.steps[plan.batch_steps[step_index]];
+  const bool is_tail =
+      plan.tail_emit && step_index + 1 == plan.batch_steps.size();
+  FrameBlock* out = &ctx->steps[step_index + 1].input;
+  if (!is_tail) out->data.reserve(ctx->batch_size * width);
+  // Invariant: `out` is empty here; whenever it fills to batch_size it
+  // is drained through the remaining steps and cleared, and the tail
+  // is drained before returning.
+  auto flush_out = [&]() {
+    RunBatchFrom(plan, source, delta_literal, step_index + 1, ctx, sink);
+    out->Clear();
+  };
+  auto copy_frame = [&](const Value* row) {
+    out->data.insert(out->data.end(), row, row + width);
+  };
+
+  if (step.is_comparison) {
+    if (step.eq_binds) {
+      // At every step boundary the dynamically-bound slots are exactly
+      // the planner's static bound set (each step's binding effect is
+      // static), so the free side is always unbound here: copy the
+      // frame and write the bound side's value into its slot.
+      const TermSpec& bound_side = step.lhs.bound ? step.lhs : step.rhs;
+      const TermSpec& free_side = step.lhs.bound ? step.rhs : step.lhs;
+      const Value* row = in_data;
+      for (size_t f = 0; f < n_in; ++f, row += width) {
+        const size_t base = out->data.size();
+        copy_frame(row);
+        out->data[base + free_side.slot] =
+            bound_side.is_constant ? bound_side.constant
+                                   : row[bound_side.slot];
+        if (++out->rows == ctx->batch_size) flush_out();
+      }
+    } else {
+      const Value* row = in_data;
+      for (size_t f = 0; f < n_in; ++f, row += width) {
+        ++ctx->comparisons;
+        const Value& lhs =
+            step.lhs.is_constant ? step.lhs.constant : row[step.lhs.slot];
+        const Value& rhs =
+            step.rhs.is_constant ? step.rhs.constant : row[step.rhs.slot];
+        bool holds = EvalComparisonOp(lhs, step.op, rhs);
+        if (step.negated) holds = !holds;
+        if (holds) {
+          copy_frame(row);
+          if (++out->rows == ctx->batch_size) flush_out();
+        }
+      }
+    }
+    if (out->rows > 0) flush_out();
+    return;
+  }
+
+  // Relational literal.
+  const Relation* relation = nullptr;
+  if (delta_literal >= 0 &&
+      step.original_index == static_cast<size_t>(delta_literal)) {
+    relation = source.Delta(step.pred);
+  }
+  if (relation == nullptr) relation = source.Full(step.pred);
+
+  if (step.negated) {
+    // All arguments statically bound: per-frame membership test over
+    // the gathered row (no recursion between gather and use).
+    const bool can_match = relation != nullptr && !relation->empty();
+    const Value* row = in_data;
+    for (size_t f = 0; f < n_in; ++f, row += width) {
+      bool present = false;
+      if (can_match) {
+        ctx->row_scratch.clear();
+        for (const TermSpec& spec : step.args) {
+          ctx->row_scratch.push_back(spec.is_constant ? spec.constant
+                                                      : row[spec.slot]);
+        }
+        present = relation->Contains(RowRef(ctx->row_scratch));
+      }
+      if (!present) {
+        copy_frame(row);
+        if (++out->rows == ctx->batch_size) flush_out();
+      }
+    }
+    if (out->rows > 0) flush_out();
+    return;
+  }
+
+  if (relation == nullptr || relation->empty()) return;
+
+  // Fused checks (non-binding steps folded into this step's emit
+  // filter) always read the full relation: the delta occurrence is
+  // never fused. Resolved once per block, probed per candidate.
+  StepScratch& scratch = ctx->steps[step_index];
+  const bool has_fused = !step.fused.empty();
+  if (has_fused) {
+    scratch.fused_rels.clear();
+    for (const FusedCheck& fc : step.fused) {
+      scratch.fused_rels.push_back(source.Full(fc.pred));
+    }
+  }
+  auto fused_pass = [&](const Value* frame, const Value* row_vals) -> bool {
+    for (size_t fi = 0; fi < step.fused.size(); ++fi) {
+      const FusedCheck& fc = step.fused[fi];
+      const Relation* rel = scratch.fused_rels[fi];
+      bool present = false;
+      if (rel != nullptr && !rel->empty()) {
+        ctx->row_scratch.clear();
+        for (const FusedCheck::Source& s : fc.sources) {
+          ctx->row_scratch.push_back(
+              s.kind == FusedCheck::Source::kConst   ? s.constant
+              : s.kind == FusedCheck::Source::kFrame ? frame[s.idx]
+                                                     : row_vals[s.idx]);
+        }
+        present = rel->Contains(RowRef(ctx->row_scratch));
+      }
+      if (fc.negated) {
+        if (present) return false;
+      } else {
+        if (!present) return false;
+        // Mirrors the per-tuple executor: an all-bound positive literal
+        // contributes one explored binding when its (unique) match
+        // exists.
+        ++ctx->bindings;
+      }
+    }
+    return true;
+  };
+
+  // Validate-then-copy: `passes` reads only the candidate row and the
+  // input frame (no writes), so mismatching rows cost zero frame
+  // traffic; `emit` then copies the surviving frame once and writes the
+  // fresh bindings in a loop of pure kBind actions.
+  auto passes = [&](const Value* frame, const Value* row_vals,
+                    const std::vector<ColumnAction>& checks) -> bool {
+    for (const ColumnAction& a : checks) {
+      const Value& v = row_vals[a.col];
+      switch (a.kind) {
+        case ColumnAction::kCheckConst:
+          if (!(v == a.constant)) return false;
+          break;
+        case ColumnAction::kCheckSlot:
+          if (!(v == frame[a.slot])) return false;
+          break;
+        case ColumnAction::kCheckRepeat:
+          if (!(v == row_vals[a.other_col])) return false;
+          break;
+        case ColumnAction::kBind:
+          break;  // never in a check list
+      }
+    }
+    return true;
+  };
+  auto emit = [&](const Value* frame, const Value* row_vals) {
+    if (is_tail) {
+      // Last step: project the head row directly — no frame block, no
+      // terminal pass over it.
+      ctx->row_scratch.clear();
+      for (const FusedCheck::Source& s : plan.tail_head_sources) {
+        ctx->row_scratch.push_back(
+            s.kind == FusedCheck::Source::kConst   ? s.constant
+            : s.kind == FusedCheck::Source::kFrame ? frame[s.idx]
+                                                   : row_vals[s.idx]);
+      }
+      ctx->heads.Append(RowRef(ctx->row_scratch));
+      if (ctx->heads.size() >= ctx->batch_size) {
+        sink(ctx->heads);
+        ++ctx->batches;
+        ctx->heads.clear();
+      }
+      return;
+    }
+    const size_t base = out->data.size();
+    copy_frame(frame);
+    Value* out_row = out->data.data() + base;
+    for (const ColumnAction& a : step.bind_actions) {
+      out_row[a.slot] = row_vals[a.col];
+    }
+    if (++out->rows == ctx->batch_size) flush_out();
+  };
+
+  if (!step.probe_columns.empty()) {
+    // Phase 1: gather every frame's probe key into one flat buffer and
+    // look them all up in a single ProbeBatch pass (contiguous hashing,
+    // prefetched slot/bucket walks, one index resolution). Phase 2:
+    // extend frames with their hits.
+    const size_t key_width = step.probe_columns.size();
+    scratch.keys.clear();
+    scratch.keys.reserve(n_in * key_width);
+    const Value* row = in_data;
+    for (size_t f = 0; f < n_in; ++f, row += width) {
+      for (uint32_t col : step.probe_columns) {
+        const TermSpec& spec = step.args[col];
+        scratch.keys.push_back(spec.is_constant ? spec.constant
+                                                : row[spec.slot]);
+      }
+    }
+    relation->ProbeBatch(step.probe_columns, scratch.keys.data(), n_in,
+                         &scratch.key_hashes, &scratch.hit_spans);
+    row = in_data;
+    const bool no_checks = step.probe_checks.empty();
+    for (size_t f = 0; f < n_in; ++f, row += width) {
+      const std::span<const RowId> hits = scratch.hit_spans[f];
+      const size_t n_hits = hits.size();
+      for (size_t i = 0; i < n_hits; ++i) {
+        // Hit rows beyond the first are random ids the batch probe's
+        // lookahead never touched; keep a short in-span prefetch ahead
+        // of the validate/emit work.
+        if (i + 2 < n_hits) {
+          __builtin_prefetch(relation->row(hits[i + 2]).data(),
+                             /*rw=*/0, /*locality=*/1);
+        }
+        const Value* row_vals = relation->row(hits[i]).data();
+        if (no_checks || passes(row, row_vals, step.probe_checks)) {
+          ++ctx->bindings;
+          if (!has_fused || fused_pass(row, row_vals)) emit(row, row_vals);
+        }
+      }
+    }
+  } else {
+    // Full scan: every check runs (no index guarantees).
+    const size_t n_rows = relation->size();
+    const Value* row = in_data;
+    for (size_t f = 0; f < n_in; ++f, row += width) {
+      for (size_t i = 0; i < n_rows; ++i) {
+        const Value* row_vals = relation->row(i).data();
+        if (passes(row, row_vals, step.scan_checks)) {
+          ++ctx->bindings;
+          if (!has_fused || fused_pass(row, row_vals)) emit(row, row_vals);
+        }
+      }
+    }
+  }
+  if (out->rows > 0) flush_out();
 }
 
 }  // namespace semopt

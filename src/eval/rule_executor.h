@@ -2,9 +2,9 @@
 #define SEMOPT_EVAL_RULE_EXECUTOR_H_
 
 #include <cstdint>
-#include <map>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "ast/rule.h"
@@ -32,6 +32,13 @@ class RelationSource {
 /// Relation::Insert both do).
 using TupleSink = std::function<void(RowRef)>;
 
+/// Receives derived head tuples a block at a time: a flat TupleBuffer
+/// of up to the configured batch size, valid only for the duration of
+/// the call (the executor recycles it for the next block). The batched
+/// executor pays one sink dispatch per ~batch_size tuples instead of
+/// one type-erased call per tuple.
+using BatchSink = std::function<void(const TupleBuffer&)>;
+
 /// A slot-compiled executor for one rule.
 ///
 /// Construction validates safety (every literal can be ordered so its
@@ -41,12 +48,21 @@ using TupleSink = std::function<void(RowRef)>;
 /// literals allowed to bind one side — with ties broken by the *actual
 /// current cardinality* of each literal's relation, so cheap auxiliary
 /// relations are probed before expensive fan-out joins. Joins run as
-/// index nested loops probing hash indexes on the bound columns.
+/// index nested loops probing hash indexes on the bound columns —
+/// tuple-at-a-time through `ExecutePlan`, or block-at-a-time through
+/// `ExecutePlanBatched`, which streams flat frame blocks through the
+/// step pipeline so hashing, filtering and negation membership tests
+/// run in tight loops over contiguous data.
 class RuleExecutor {
  private:
   struct Plan;  // defined privately below; PreparedPlan keeps it opaque
 
  public:
+  /// Default frame/head block size for the batched executor: large
+  /// enough to amortize per-block dispatch, small enough that a block
+  /// of widest frames stays cache-resident (see DESIGN.md §10).
+  static constexpr size_t kDefaultBatchSize = 1024;
+
   /// A plan bound to the relation-cardinality snapshot it was built
   /// against, produced by `Prepare` and consumed by `ExecutePlan`.
   /// Cheap to copy (shared immutable state), safe to share across
@@ -69,7 +85,10 @@ class RuleExecutor {
   /// derived head tuple is passed to `sink`. `stats` may be null.
   /// `size_aware` selects cardinality-aware planning (default); pass
   /// false to use the size-blind static order (ablation bench A1).
-  /// Equivalent to Prepare + ExecutePlan.
+  /// Equivalent to Prepare + ExecutePlan. This per-tuple entry point is
+  /// the compatibility surface for explain/incremental/constraint-check
+  /// callers; the fixpoint engines go through Prepare +
+  /// ExecutePlanBatched.
   void Execute(const RelationSource& source, int delta_literal,
                const TupleSink& sink, EvalStats* stats,
                bool size_aware = true) const;
@@ -86,12 +105,38 @@ class RuleExecutor {
                                int delta_literal, bool size_aware = true,
                                bool skip_delta_index = false) const;
 
-  /// Executes a prepared plan. Strictly read-only on the relations of
-  /// `source` (all probed indexes exist by the Prepare contract), so
-  /// concurrent calls with distinct sinks/stats are thread-safe.
+  /// Re-ensures every index `plan` probes still exists — a cheap no-op
+  /// when they all do. The plan cache calls this on a hit: a cached
+  /// plan's relations keep their indexes across rounds, but the
+  /// semi-naive delta double-buffers swap relation objects, so a hit
+  /// must still patch up an index missing on the freshly-swapped
+  /// buffer. Same single-threaded coordinator contract as Prepare.
+  void EnsurePlanIndexes(const PreparedPlan& plan,
+                         const RelationSource& source, int delta_literal,
+                         bool skip_delta_index = false) const;
+
+  /// Executes a prepared plan tuple-at-a-time. Strictly read-only on
+  /// the relations of `source` (all probed indexes exist by the Prepare
+  /// contract), so concurrent calls with distinct sinks/stats are
+  /// thread-safe.
   void ExecutePlan(const PreparedPlan& plan, const RelationSource& source,
                    int delta_literal, const TupleSink& sink,
                    EvalStats* stats) const;
+
+  /// Executes a prepared plan block-at-a-time: every LiteralStep
+  /// consumes a flat block of up to `batch_size` frames and emits the
+  /// next block, and head tuples reach `sink` in TupleBuffer blocks.
+  /// Derives exactly the same tuple multiset as ExecutePlan with
+  /// identical logical counters (bindings/comparisons), in a different
+  /// (breadth-first) order. Same thread-safety contract as ExecutePlan.
+  /// `delta_literal` must be the value the plan was prepared with, or —
+  /// when it was prepared with -1 — the plan's FirstPositiveStep (the
+  /// parallel partitioner's split), which the batch lowering never
+  /// fuses away.
+  void ExecutePlanBatched(const PreparedPlan& plan,
+                          const RelationSource& source, int delta_literal,
+                          const BatchSink& sink, EvalStats* stats,
+                          size_t batch_size = kDefaultBatchSize) const;
 
   /// The original-body index of the first positive relational step in
   /// `plan`'s order, or -1 if the body has none. The parallel evaluator
@@ -104,6 +149,12 @@ class RuleExecutor {
   /// index private delta partitions before ExecutePlan.
   std::vector<uint32_t> ProbeColumnsFor(const PreparedPlan& plan,
                                         int literal_index) const;
+
+  /// Human-readable description of `plan`: one line per step in
+  /// execution order showing the literal, its access path (scan or
+  /// probe[columns]) and the delta marker. Backs the shell's `:plan`.
+  std::string DescribePlan(const PreparedPlan& plan,
+                           int delta_literal = -1) const;
 
   const Rule& rule() const { return rule_; }
 
@@ -122,6 +173,46 @@ class RuleExecutor {
     uint32_t slot = 0;              // when !is_constant
     bool bound = false;  // statically known: bound before this literal
   };
+  /// How one column of a positive relational step extends or filters a
+  /// frame when a matching row comes back, precomputed at plan time so
+  /// the batched join kernel is branch-light:
+  ///  - kCheckConst: column must equal `constant` (scan path only;
+  ///    probed columns are guaranteed equal by the index lookup)
+  ///  - kCheckSlot:  column must equal the already-bound frame slot
+  ///    (scan path only, same reason)
+  ///  - kBind:       first occurrence of an unbound variable; writes
+  ///    the row value into `slot`
+  ///  - kCheckRepeat: later occurrence of a variable bound by a kBind
+  ///    earlier in this same literal; compares the column against
+  ///    `other_col`, the first occurrence's column in the same row
+  struct ColumnAction {
+    enum Kind : uint8_t { kCheckConst, kCheckSlot, kBind, kCheckRepeat };
+    Kind kind = kBind;
+    uint32_t col = 0;
+    uint32_t slot = 0;
+    uint32_t other_col = 0;  // kCheckRepeat: first occurrence's column
+    Value constant = Term::Int(0);
+  };
+  /// A later non-binding relational step folded into a producing step's
+  /// emit filter by the batch lowering (see Prepare). By the time the
+  /// host step extends a frame, every argument of the fused literal is
+  /// a constant, an already-bound frame slot, or a column the host
+  /// binds from its matched row — so the whole step collapses to one
+  /// membership test, and frames it rejects are never materialized into
+  /// the next block. The per-tuple executor needs no such lowering: its
+  /// depth-first recursion never materializes doomed frames to begin
+  /// with.
+  struct FusedCheck {
+    struct Source {
+      enum Kind : uint8_t { kConst, kFrame, kRow };
+      Kind kind = kConst;
+      uint32_t idx = 0;               // frame slot (kFrame) / row column (kRow)
+      Value constant = Term::Int(0);  // kConst
+    };
+    PredicateId pred{0, 0};
+    bool negated = false;
+    std::vector<Source> sources;  // one per column of the fused literal
+  };
   struct LiteralStep {
     size_t original_index = 0;  // position in rule_.body()
     bool is_comparison = false;
@@ -130,6 +221,20 @@ class RuleExecutor {
     PredicateId pred{0, 0};
     std::vector<TermSpec> args;
     std::vector<uint32_t> probe_columns;  // columns with bound TermSpecs
+    /// Frame-extension recipe for the batched kernel, split so each
+    /// inner loop runs without dead branches: a candidate row is first
+    /// validated (reading only the row and the input frame — nothing is
+    /// written until it matches), then the surviving frame is copied
+    /// once and `bind_actions` writes the fresh bindings.
+    /// `probe_checks` holds only within-literal repeat checks (the
+    /// probe guarantees every bound column); `scan_checks` holds every
+    /// check (full-scan path has no index guarantees).
+    std::vector<ColumnAction> bind_actions;
+    std::vector<ColumnAction> probe_checks;
+    std::vector<ColumnAction> scan_checks;
+    /// Batch-only: membership checks fused into this step's emit filter
+    /// from immediately-following non-binding relational steps.
+    std::vector<FusedCheck> fused;
     // Comparison:
     ComparisonOp op = ComparisonOp::kEq;
     TermSpec lhs, rhs;
@@ -137,7 +242,24 @@ class RuleExecutor {
   };
   struct Plan {
     std::vector<LiteralStep> steps;
+    /// Steps the batched executor runs, as indices into `steps`: the
+    /// per-tuple order minus the pure-check steps fused into earlier
+    /// hosts by FuseBatchChecks. The per-tuple executor always walks
+    /// `steps` unchanged. The first positive relational step is never
+    /// fused away (a fused check needs an earlier positive host), so a
+    /// plan prepared with delta_literal = -1 may still be executed with
+    /// the partitioner's FirstPositiveStep as the delta.
+    std::vector<size_t> batch_steps;
     std::vector<TermSpec> head_specs;
+    /// Batch-only tail emission: when the last batch step is a positive
+    /// relational step, its extend loop projects head rows directly
+    /// from (input frame, matched row) — the final (and largest) frame
+    /// stream is never materialized into a block. One Source per head
+    /// column, mirroring head_specs; `tail_emit` is false when the
+    /// plan's shape disqualifies it (no batch steps, or a comparison /
+    /// negated tail, which copy frames rather than extend them).
+    std::vector<FusedCheck::Source> tail_head_sources;
+    bool tail_emit = false;
     /// Per-step offsets into ExecContext::newly_bound (each step may
     /// bind at most its own arity of fresh slots).
     std::vector<size_t> scratch_offsets;
@@ -157,7 +279,47 @@ class RuleExecutor {
     std::vector<Value> scratch_row;    // probe keys, negation rows, heads
   };
 
+  /// A flat row-major block of execution frames (`rows * slot_count_`
+  /// values). At every step boundary the set of bound slots is
+  /// statically known (the planner's running bound set), so blocks
+  /// carry no per-frame bound flags — unbound slots simply hold
+  /// whatever the previous occupant left.
+  struct FrameBlock {
+    std::vector<Value> data;
+    size_t rows = 0;
+
+    void Clear() {
+      data.clear();
+      rows = 0;
+    }
+  };
+  /// Per-step working state for one batched execution: the step's input
+  /// block plus its probe scratch. Each step owns its scratch because a
+  /// block flush recurses into deeper steps mid-iteration.
+  struct StepScratch {
+    FrameBlock input;
+    std::vector<Value> keys;            // gathered probe keys, flat
+    std::vector<size_t> key_hashes;     // ProbeBatch hash scratch
+    std::vector<std::span<const RowId>> hit_spans;  // per-key matches
+    std::vector<const Relation*> fused_rels;  // resolved per execution
+  };
+  struct BatchContext {
+    size_t batch_size = kDefaultBatchSize;
+    std::vector<StepScratch> steps;
+    std::vector<Value> row_scratch;  // negation rows, head rows
+    TupleBuffer heads{0};
+    size_t batches = 0;  // head blocks flushed to the sink
+    // Logical counters, folded into EvalStats once at the end.
+    size_t bindings = 0;
+    size_t comparisons = 0;
+  };
+
   RuleExecutor() : rule_("", Atom(SymbolId(0), {}), {}) {}
+
+  /// Frame slot of variable `v`; binary search over the flat sorted
+  /// slot table (rule bodies are small, so this beats a node-based map
+  /// on the plan-construction path).
+  uint32_t SlotFor(SymbolId v) const;
 
   /// Greedy planner. `size_of` estimates a literal's input cardinality
   /// (SIZE_MAX when unknown); pass nullptr for the size-blind plan.
@@ -170,13 +332,29 @@ class RuleExecutor {
   void EnsureProbeIndexes(const Plan& plan, const RelationSource& source,
                           int delta_literal, bool skip_delta_index) const;
 
+  /// Batch lowering pass (Prepare): folds each contiguous run of
+  /// non-binding, non-delta relational steps into the closest preceding
+  /// positive relational step's `fused` list and drops them from
+  /// `batch_steps`. Runs break at comparisons, negated survivors and
+  /// binding steps so the logical counters (bindings/comparisons) stay
+  /// bit-identical to the per-tuple order.
+  static void FuseBatchChecks(Plan* plan, int delta_literal);
+
   void ExecuteStep(const Plan& plan, const RelationSource& source,
                    int delta_literal, size_t step_index, ExecContext* ctx,
                    const TupleSink& sink, EvalStats* stats) const;
 
+  /// Batched engine: drains `ctx->steps[step_index].input` through the
+  /// remaining steps, flushing intermediate blocks whenever they fill.
+  void RunBatchFrom(const Plan& plan, const RelationSource& source,
+                    int delta_literal, size_t step_index, BatchContext* ctx,
+                    const BatchSink& sink) const;
+
   Rule rule_;
   std::vector<size_t> static_order_;
-  std::map<SymbolId, uint32_t> slots_;
+  /// Variable→slot table, sorted by symbol id. Slots are dense
+  /// 0..slot_count_-1 (asserted in Create): frame blocks index by slot.
+  std::vector<std::pair<SymbolId, uint32_t>> slots_;
   size_t slot_count_ = 0;
 };
 

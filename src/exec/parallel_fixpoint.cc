@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "eval/component_plan.h"
+#include "eval/plan_cache.h"
 #include "eval/rule_executor.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
@@ -118,8 +119,8 @@ struct Task {
 /// per head relation. Returns true when any new tuple was inserted.
 /// `round` is the 1-based global round index (trace/stats labeling).
 Result<bool> RunRound(
-    ThreadPool& pool, const Database& edb, Database& idb,
-    const std::set<PredicateId>& idb_preds,
+    ThreadPool& pool, PlanCache& plan_cache, const Database& edb,
+    Database& idb, const std::set<PredicateId>& idb_preds,
     std::vector<Execution>& execs,
     std::map<PredicateId, std::unique_ptr<Relation>>* next_delta,
     const EvalOptions& options, EvalStats* stats, size_t round) {
@@ -148,11 +149,15 @@ Result<bool> RunRound(
       } else {
         planning_source.SetDelta(PredicateId{0, 0}, nullptr);
       }
+      // Plans are memoized per (rule, delta literal, cardinality-band
+      // signature): rounds in an already-seen regime reuse the plan
+      // (indexes re-verified). Partitioned executions skip the delta
+      // index; each fresh slice is indexed below.
       SEMOPT_ASSIGN_OR_RETURN(
           exec.plan,
-          executor.Prepare(planning_source, exec.delta_literal,
-                           options.cardinality_planning,
-                           /*skip_delta_index=*/partitioned));
+          plan_cache.Get(executor, planning_source, exec.delta_literal,
+                         stats, options.cardinality_planning,
+                         /*skip_delta_index=*/partitioned));
       if (!partitioned) {
         // No delta to split: split the plan's outermost positive literal
         // so one-pass components and naive rounds scale too.
@@ -235,9 +240,18 @@ Result<bool> RunRound(
                 static_cast<int64_t>(task.partition->size()));
           }
           TupleBuffer& buffer = buffers[i];
-          exec.rule->executor.ExecutePlan(
-              exec.plan, source, exec.delta_literal,
-              [&buffer](RowRef t) { buffer.Append(t); }, &task_stats[i]);
+          if (options.batch_size <= 1) {
+            exec.rule->executor.ExecutePlan(
+                exec.plan, source, exec.delta_literal,
+                [&buffer](RowRef t) { buffer.Append(t); }, &task_stats[i]);
+          } else {
+            exec.rule->executor.ExecutePlanBatched(
+                exec.plan, source, exec.delta_literal,
+                [&buffer](const TupleBuffer& block) {
+                  buffer.AppendAll(block);
+                },
+                &task_stats[i], options.batch_size);
+          }
           task_span.AddArg("produced", static_cast<int64_t>(buffer.size()));
           return Status::Ok();
         }));
@@ -272,15 +286,30 @@ Result<bool> RunRound(
               next_delta != nullptr ? next_delta->at(pred).get() : nullptr;
           size_t inserted = 0;
           for (size_t i : *owners[j].second) {
-            const size_t rows = buffers[i].size();
-            for (size_t k = 0; k < rows; ++k) {
-              RowRef t = buffers[i].row(k);
-              if (target->Insert(t)) {
-                owner_changed[j] = 1;
-                if (delta_target != nullptr) delta_target->Insert(t);
-                ++task_inserted[i];
-              } else {
-                ++task_duplicate[i];
+            // Chunked commit: hash a short run of rows (prefetching the
+            // dedup slot each will probe), then insert reusing every
+            // row's hash for both the full and delta relations.
+            const TupleBuffer& buffer = buffers[i];
+            const size_t rows = buffer.size();
+            constexpr size_t kChunk = 128;
+            size_t hashes[kChunk];
+            for (size_t start = 0; start < rows; start += kChunk) {
+              const size_t m = std::min(kChunk, rows - start);
+              for (size_t k = 0; k < m; ++k) {
+                hashes[k] = HashValues(buffer.row(start + k));
+                target->PrefetchInsert(hashes[k]);
+              }
+              for (size_t k = 0; k < m; ++k) {
+                RowRef t = buffer.row(start + k);
+                if (target->Insert(t, hashes[k])) {
+                  owner_changed[j] = 1;
+                  if (delta_target != nullptr) {
+                    delta_target->Insert(t, hashes[k]);
+                  }
+                  ++task_inserted[i];
+                } else {
+                  ++task_duplicate[i];
+                }
               }
             }
             inserted += task_inserted[i];
@@ -351,6 +380,12 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
 
   ThreadPool pool(ResolveNumThreads(options));
   eval_span.AddArg("threads", static_cast<int64_t>(pool.num_threads()));
+  // Shared across every round of the evaluation (and, when the caller
+  // supplied a session cache, across evaluations); only the coordinator
+  // (RunRound's single-threaded planning block) touches it.
+  PlanCache local_plan_cache;
+  PlanCache& plan_cache =
+      options.plan_cache != nullptr ? *options.plan_cache : local_plan_cache;
   SEMOPT_ASSIGN_OR_RETURN(std::vector<EvalComponent> components,
                           PlanComponents(program));
   std::set<PredicateId> idb_preds = program.IdbPredicates();
@@ -386,9 +421,9 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
       if (stats != nullptr) ++stats->iterations;
       ++global_round;
       std::vector<Execution> execs = all_rules();
-      Result<bool> pass = RunRound(pool, edb, idb, idb_preds, execs,
-                                   /*next_delta=*/nullptr, options, stats,
-                                   global_round);
+      Result<bool> pass = RunRound(pool, plan_cache, edb, idb, idb_preds,
+                                   execs, /*next_delta=*/nullptr, options,
+                                   stats, global_round);
       if (!pass.ok()) return pass.status();
       continue;
     }
@@ -406,7 +441,7 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
             CheckIterationBudget(local_iterations, options));
         std::vector<Execution> execs = all_rules();
         SEMOPT_ASSIGN_OR_RETURN(
-            changed, RunRound(pool, edb, idb, idb_preds, execs,
+            changed, RunRound(pool, plan_cache, edb, idb, idb_preds, execs,
                               /*next_delta=*/nullptr, options, stats,
                               global_round));
       }
@@ -428,8 +463,9 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
     ++global_round;
     {
       std::vector<Execution> execs = all_rules();
-      Result<bool> seeded = RunRound(pool, edb, idb, idb_preds, execs,
-                                     &delta, options, stats, global_round);
+      Result<bool> seeded =
+          RunRound(pool, plan_cache, edb, idb, idb_preds, execs, &delta,
+                   options, stats, global_round);
       if (!seeded.ok()) return seeded.status();
     }
 
@@ -460,8 +496,8 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
           execs.push_back(std::move(e));
         }
       }
-      Result<bool> round = RunRound(pool, edb, idb, idb_preds, execs,
-                                    &next_delta, options, stats,
+      Result<bool> round = RunRound(pool, plan_cache, edb, idb, idb_preds,
+                                    execs, &next_delta, options, stats,
                                     global_round);
       if (!round.ok()) return round.status();
       // Arena double-buffer: Clear keeps capacity, swap moves pointers;

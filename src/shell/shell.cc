@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "eval/component_plan.h"
 #include "eval/constraint_check.h"
 #include "eval/explain.h"
 #include "eval/fixpoint.h"
@@ -136,6 +137,8 @@ std::string Shell::HandleCommand(std::string_view line) {
     return CmdMagic(line.substr(offset + 1));
   }
   if (cmd == ".threads" || cmd == ":threads") return CmdThreads(args);
+  if (cmd == ".batch" || cmd == ":batch") return CmdBatch(args);
+  if (cmd == ".plan" || cmd == ":plan") return CmdPlan(args);
   if (cmd == ".trace" || cmd == ":trace") return CmdTrace(args);
   if (cmd == ".metrics" || cmd == ":metrics") return CmdMetrics(args);
   if (cmd == ".load") return CmdLoad(args);
@@ -170,6 +173,8 @@ commands:
   .loadtsv PRED FILE       load tab-separated tuples into PRED
   .stats [on|off]          show evaluation statistics with query answers
   :threads [N]             evaluate with N threads (1 = serial, 0 = auto)
+  :batch [N]               batched executor block size (1 = per-tuple)
+  :plan PRED[/ARITY]       show the join plan of every rule deriving PRED
   :trace FILE|on|off       record spans; on stop, write Chrome trace JSON
                            (open in chrome://tracing or ui.perfetto.dev)
   :metrics [on|off]        collect per-rule/per-round metrics; no args:
@@ -314,6 +319,81 @@ std::string Shell::CmdThreads(const std::vector<std::string>& args) {
   }
   return StrCat("threads ", eval_options_.num_threads,
                 eval_options_.num_threads == 1 ? " (serial)" : "");
+}
+
+std::string Shell::CmdBatch(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return StrCat("batch ", eval_options_.batch_size,
+                  eval_options_.batch_size <= 1 ? " (per-tuple)" : "");
+  }
+  char* end = nullptr;
+  long n = std::strtol(args[0].c_str(), &end, 10);
+  if (end == args[0].c_str() || *end != '\0' || n < 1 || n > 1048576) {
+    return "usage: :batch N  (1 = per-tuple, default 1024, max 1048576)";
+  }
+  eval_options_.batch_size = static_cast<size_t>(n);
+  return StrCat("batch ", eval_options_.batch_size,
+                eval_options_.batch_size <= 1 ? " (per-tuple)" : "");
+}
+
+std::string Shell::CmdPlan(const std::vector<std::string>& args) {
+  if (args.size() != 1) return "usage: :plan PRED[/ARITY]";
+  std::string name = args[0];
+  int arity = -1;
+  size_t slash = name.find('/');
+  if (slash != std::string::npos) {
+    arity = std::atoi(name.c_str() + slash + 1);
+    name = name.substr(0, slash);
+  }
+  Result<std::vector<EvalComponent>> components = PlanComponents(program_);
+  if (!components.ok()) return components.status().ToString();
+
+  // Plan against the current EDB cardinalities; IDB relations are not
+  // materialized here, so they count as empty (the order shown for a
+  // fresh evaluation's first rounds).
+  class EdbSource : public RelationSource {
+   public:
+    explicit EdbSource(const Database* edb) : edb_(edb) {}
+    const Relation* Full(const PredicateId& pred) const override {
+      return edb_->Find(pred);
+    }
+    const Relation* Delta(const PredicateId&) const override {
+      return nullptr;
+    }
+
+   private:
+    const Database* edb_;
+  } source(&edb_);
+
+  std::ostringstream os;
+  size_t shown = 0;
+  for (const EvalComponent& component : *components) {
+    for (const PlannedRule& pr : component.rules) {
+      if (SymbolName(pr.head.name) != name) continue;
+      if (arity >= 0 && pr.head.arity != static_cast<uint32_t>(arity)) {
+        continue;
+      }
+      ++shown;
+      Result<RuleExecutor::PreparedPlan> plan = pr.executor.Prepare(
+          source, -1, eval_options_.cardinality_planning);
+      if (!plan.ok()) {
+        os << plan.status().ToString() << "\n";
+        continue;
+      }
+      os << pr.executor.DescribePlan(*plan) << "\n";
+      for (int lit_index : pr.recursive_literals) {
+        Result<RuleExecutor::PreparedPlan> delta_plan = pr.executor.Prepare(
+            source, lit_index, eval_options_.cardinality_planning);
+        if (!delta_plan.ok()) continue;
+        os << "with delta on body literal " << lit_index << ":\n"
+           << pr.executor.DescribePlan(*delta_plan, lit_index) << "\n";
+      }
+    }
+  }
+  if (shown == 0) return StrCat("no rules with head ", args[0]);
+  std::string out = os.str();
+  out.pop_back();
+  return out;
 }
 
 std::string Shell::CmdTrace(const std::vector<std::string>& args) {

@@ -6,6 +6,7 @@
 
 #include "ast/program.h"
 #include "eval/fixpoint.h"
+#include "eval/plan_cache.h"
 #include "storage/database.h"
 
 namespace semopt {
@@ -22,11 +23,13 @@ namespace semopt {
 ///   ?- p(X), X != a.         run a query
 ///   .command [args]          session commands (see `.help`)
 ///   :threads N               evaluate queries with N worker threads
+///   :batch N                 batched executor block size (1 = per-tuple)
 ///   :trace FILE / :trace off start/stop a Chrome trace_event session
 ///   :metrics [on|off]        per-rule metrics collection + report
+///   :plan PRED               show each PRED rule's join plan
 class Shell {
  public:
-  Shell() = default;
+  Shell() { eval_options_.plan_cache = &plan_cache_; }
 
   /// Executes one input line and returns the text to display.
   std::string Execute(std::string_view line);
@@ -54,14 +57,22 @@ class Shell {
   std::string CmdLoadTsv(const std::vector<std::string>& args);
 
   std::string CmdThreads(const std::vector<std::string>& args);
+  std::string CmdBatch(const std::vector<std::string>& args);
   std::string CmdTrace(const std::vector<std::string>& args);
   std::string CmdMetrics(const std::vector<std::string>& args);
+  std::string CmdPlan(const std::vector<std::string>& args);
 
   Program program_;
   Database edb_;
   /// Options applied to every query evaluation (`:threads`, `:metrics`
   /// edit it).
   EvalOptions eval_options_;
+  /// Session plan cache, borrowed by every evaluation through
+  /// eval_options_: re-running a query re-traverses an already-seen
+  /// cardinality-band trajectory, so steady-state runs hit every round
+  /// (`:metrics` shows eval.plan_cache.hit/miss). Entries are keyed by
+  /// rule text, so program edits simply stop matching old entries.
+  PlanCache plan_cache_;
   /// Destination of the running `:trace` session ("" = no session).
   std::string trace_path_;
   /// Stats of the most recent evaluation, shown by `:metrics`.

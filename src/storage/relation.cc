@@ -31,8 +31,12 @@ std::string TupleToString(const Tuple& tuple) {
 }
 
 bool Relation::Insert(RowRef row) {
+  return Insert(row, HashValues(row.data(), arity()));
+}
+
+bool Relation::Insert(RowRef row, size_t hash) {
   assert(row.size() == arity());
-  auto [id, inserted] = store_.InsertIfAbsent(row.data());
+  auto [id, inserted] = store_.InsertIfAbsent(row.data(), hash);
   if (!inserted) return false;
   for (Index& index : indexes_) IndexInsert(index, id);
   return true;
@@ -78,7 +82,7 @@ void Relation::IndexInsert(Index& index, RowId r) {
     if (b == kEmptySlot) break;
     Bucket& bucket = index.buckets[b];
     if (bucket.hash == h &&
-        ProjectionsEqual(bucket.rows.front(), r, index.columns)) {
+        ProjectionsEqual(bucket.first, r, index.columns)) {
       bucket.rows.push_back(r);
       return;
     }
@@ -87,6 +91,7 @@ void Relation::IndexInsert(Index& index, RowId r) {
   index.slots[idx] = static_cast<uint32_t>(index.buckets.size());
   Bucket bucket;
   bucket.hash = h;
+  bucket.first = r;
   bucket.rows.push_back(r);
   index.buckets.push_back(std::move(bucket));
 }
@@ -141,11 +146,115 @@ const std::vector<RowId>& Relation::Probe(
     const uint32_t b = index->slots[idx];
     if (b == kEmptySlot) return kEmpty;
     const Bucket& bucket = index->buckets[b];
-    if (bucket.hash == h &&
-        ProjectionEquals(bucket.rows.front(), columns, key)) {
+    if (bucket.hash == h && ProjectionEquals(bucket.first, columns, key)) {
       return bucket.rows;
     }
     idx = (idx + 1) & index->slot_mask;
+  }
+}
+
+void Relation::ProbeBatch(const std::vector<uint32_t>& columns,
+                          const Value* keys, size_t count,
+                          std::vector<size_t>* hash_scratch,
+                          std::vector<std::span<const RowId>>* out) const {
+  // Below this slot count the whole index (slots, buckets, probed row
+  // prefixes) is effectively cache-resident, so software prefetch is
+  // pure overhead and the lean one-pass loop wins.
+  constexpr size_t kPrefetchSlotThreshold = 16384;
+
+  out->assign(count, std::span<const RowId>());
+  if (count == 0) return;
+  const Index* index = FindIndex(columns);
+  assert(index != nullptr &&
+         "Relation::ProbeBatch without a prior EnsureIndex");
+  if (index == nullptr || index->slots.empty()) return;
+  const size_t width = columns.size();
+  const uint32_t* cols = columns.data();
+  const size_t mask = index->slot_mask;
+  const uint32_t* slots = index->slots.data();
+  const Bucket* buckets = index->buckets.data();
+
+  // ProjectionEquals, manually inlined: probing is the hottest loop in
+  // the batched executor and the out-of-line call (plus the vector
+  // indirection for the columns) is measurable at tens of millions of
+  // keys.
+  auto proj_eq = [&](RowId r, const Value* key) -> bool {
+    const Value* vals = store_.row_data(r);
+    for (size_t i = 0; i < width; ++i) {
+      if (!(vals[cols[i]] == key[i])) return false;
+    }
+    return true;
+  };
+  auto walk = [&](size_t h, const Value* key) -> std::span<const RowId> {
+    size_t idx = h & mask;
+    while (true) {
+      const uint32_t b = slots[idx];
+      if (b == kEmptySlot) return {};
+      const Bucket& bucket = buckets[b];
+      if (bucket.hash == h && proj_eq(bucket.first, key)) {
+        return std::span<const RowId>(bucket.rows);
+      }
+      idx = (idx + 1) & mask;
+    }
+  };
+
+  if (index->slots.size() < kPrefetchSlotThreshold) {
+    // One pass, no scratch. Consecutive equal keys are common (frames
+    // fanned out from one delta row probe with the same binding):
+    // reuse the previous walk.
+    const Value* key = keys;
+    size_t prev_h = 0;
+    for (size_t k = 0; k < count; ++k, key += width) {
+      const size_t h = HashValues(key, width);
+      if (k > 0 && h == prev_h && ValuesEqual(key, key - width, width)) {
+        (*out)[k] = (*out)[k - 1];
+      } else {
+        (*out)[k] = walk(h, key);
+      }
+      prev_h = h;
+    }
+    return;
+  }
+
+  // Large index: random slot/bucket/row reads miss cache, so overlap
+  // them. Pass 1 hashes every key while the key block streams through
+  // the cache, issuing a prefetch for the slot word each hash lands on.
+  hash_scratch->resize(count);
+  size_t* hashes = hash_scratch->data();
+  const Value* key = keys;
+  for (size_t k = 0; k < count; ++k, key += width) {
+    const size_t h = HashValues(key, width);
+    hashes[k] = h;
+    __builtin_prefetch(slots + (h & mask), /*rw=*/0, /*locality=*/1);
+  }
+
+  // Pass 2: walk the slots. A far lookahead prefetches the bucket
+  // header a future key resolves to; a near lookahead — by which point
+  // that header is usually cached — reads its inline first-row id and
+  // prefetches the row data the key comparison will touch.
+  constexpr size_t kFarLookahead = 8;
+  constexpr size_t kNearLookahead = 3;
+  key = keys;
+  for (size_t k = 0; k < count; ++k, key += width) {
+    if (k + kFarLookahead < count) {
+      const uint32_t ahead = slots[hashes[k + kFarLookahead] & mask];
+      if (ahead != kEmptySlot) {
+        __builtin_prefetch(buckets + ahead, /*rw=*/0, /*locality=*/1);
+      }
+    }
+    if (k + kNearLookahead < count) {
+      const uint32_t near = slots[hashes[k + kNearLookahead] & mask];
+      if (near != kEmptySlot && buckets[near].first != kInvalidRowId) {
+        __builtin_prefetch(store_.row_data(buckets[near].first),
+                           /*rw=*/0, /*locality=*/1);
+      }
+    }
+    if (k > 0 && hashes[k] == hashes[k - 1] &&
+        ValuesEqual(key, key - width, width)) {
+      (*out)[k] = (*out)[k - 1];
+      continue;
+    }
+    (*out)[k] = walk(hashes[k], key);
   }
 }
 

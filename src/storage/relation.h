@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,14 @@ class Relation {
   /// funnel into the same flat insert.
   bool Insert(RowRef row);
   bool Insert(const Tuple& tuple) { return Insert(RowRef(tuple)); }
+
+  /// Insert with the row's HashValues hash precomputed (see
+  /// TupleStore::InsertIfAbsent); the batched commit path hashes each
+  /// derived row once and reuses it across the full and delta inserts.
+  bool Insert(RowRef row, size_t hash);
+
+  /// Prefetch hint for the dedup slot a row with `hash` will probe.
+  void PrefetchInsert(size_t hash) const { store_.PrefetchSlot(hash); }
 
   bool Contains(RowRef row) const {
     assert(row.size() == arity());
@@ -74,6 +83,14 @@ class Relation {
   /// any other access to this relation.
   void EnsureIndex(const std::vector<uint32_t>& columns);
 
+  /// True when a hash index over exactly `columns` is materialized.
+  /// The plan cache uses this on a hit to skip re-running EnsureIndex
+  /// over every probed relation (and to rebuild only genuinely missing
+  /// indexes, e.g. after a delta double-buffer swap).
+  bool HasIndex(const std::vector<uint32_t>& columns) const {
+    return FindIndex(columns) != nullptr;
+  }
+
   /// Row ids whose projection onto `columns` equals `key` (`key`
   /// values in the same order as `columns`; the pointer form reads
   /// exactly `columns.size()` values — the hash-first, allocation-free
@@ -83,6 +100,21 @@ class Relation {
   /// relation are thread-safe.
   const std::vector<RowId>& Probe(const std::vector<uint32_t>& columns,
                                   const Value* key) const;
+
+  /// Probes `count` keys against one index in a single pass: key k
+  /// occupies `keys[k*columns.size() .. (k+1)*columns.size())`.
+  /// `(*out)[k]` becomes a zero-copy view of key k's matching RowIds
+  /// (empty when none), valid until the next mutation of this relation.
+  /// The pass is split in two so the work pipelines: all keys are
+  /// hashed first over the contiguous key block (prefetching each
+  /// landing slot), then the slot walks run with bucket lookahead —
+  /// hiding the cache misses a one-key-at-a-time Probe chain exposes.
+  /// `hash_scratch` is caller-owned reusable scratch (overwritten).
+  /// Both outputs reuse capacity. Same index/readonly contract as
+  /// Probe.
+  void ProbeBatch(const std::vector<uint32_t>& columns, const Value* keys,
+                  size_t count, std::vector<size_t>* hash_scratch,
+                  std::vector<std::span<const RowId>>* out) const;
   const std::vector<RowId>& Probe(const std::vector<uint32_t>& columns,
                                   const Tuple& key) const {
     assert(key.size() == columns.size());
@@ -105,6 +137,10 @@ class Relation {
   /// the bucket's first entry serve as the in-place comparison key.
   struct Bucket {
     size_t hash = 0;
+    // First row of the bucket, duplicated out of `rows` so key
+    // comparisons (and ProbeBatch's row prefetch) reach row data with
+    // one cached load instead of chasing the vector's heap pointer.
+    RowId first = kInvalidRowId;
     std::vector<RowId> rows;
   };
 

@@ -77,6 +77,14 @@ class TupleBuffer {
     ++size_;
   }
 
+  /// Bulk-appends every row of `other` (same arity) in one value copy —
+  /// how batch sinks drain a head block into an accumulating buffer.
+  void AppendAll(const TupleBuffer& other) {
+    assert(other.arity_ == arity_);
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    size_ += other.size_;
+  }
+
   RowRef row(size_t i) const {
     assert(i < size_);
     return RowRef(data_.data() + i * arity_, arity_);
@@ -85,6 +93,14 @@ class TupleBuffer {
   void clear() {
     data_.clear();
     size_ = 0;
+  }
+
+  /// Clears and re-targets the buffer to a (possibly different) arity,
+  /// keeping the arena's capacity — one buffer can serve rules of
+  /// different head arities across a fixpoint without reallocating.
+  void Reset(uint32_t arity) {
+    clear();
+    arity_ = arity;
   }
 
  private:

@@ -88,11 +88,13 @@ RowId TupleStore::Find(const Value* vals) const {
   }
 }
 
-std::pair<RowId, bool> TupleStore::InsertIfAbsent(const Value* vals) {
+std::pair<RowId, bool> TupleStore::InsertIfAbsent(const Value* vals,
+                                                  size_t hash) {
+  assert(hash == HashValues(vals, arity_));
   if (NeedsGrowth(size_, slots_.size())) {
     Rehash(NextPowerOfTwo((size_ + 1) * 2));
   }
-  const size_t h = HashValues(vals, arity_);
+  const size_t h = hash;
   size_t idx = h & slot_mask_;
   while (true) {
     const RowId r = slots_[idx];

@@ -47,7 +47,24 @@ class TupleStore {
 
   /// Inserts the `arity()`-wide row at `vals` unless an equal row is
   /// already stored. Returns {row id, inserted?}.
-  std::pair<RowId, bool> InsertIfAbsent(const Value* vals);
+  std::pair<RowId, bool> InsertIfAbsent(const Value* vals) {
+    return InsertIfAbsent(vals, HashValues(vals, arity_));
+  }
+
+  /// Same, with the row's HashValues hash precomputed by the caller —
+  /// the batched commit path hashes each derived block once and reuses
+  /// the hash for the full-relation and delta inserts.
+  std::pair<RowId, bool> InsertIfAbsent(const Value* vals, size_t hash);
+
+  /// Prefetches the dedup slot `hash` lands on, so a commit loop can
+  /// issue the (random) table read a few rows ahead of the insert that
+  /// needs it. Purely a hint; never mutates.
+  void PrefetchSlot(size_t hash) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(slots_.data() + (hash & slot_mask_), /*rw=*/0,
+                         /*locality=*/1);
+    }
+  }
 
   /// RowId of the equal stored row, or kInvalidRowId.
   RowId Find(const Value* vals) const;

@@ -1,6 +1,9 @@
+#include <random>
+
 #include "eval/builtins.h"
 #include "eval/constraint_check.h"
 #include "eval/fixpoint.h"
+#include "eval/plan_cache.h"
 #include "eval/query.h"
 #include "eval/rule_executor.h"
 
@@ -151,6 +154,500 @@ TEST(RuleExecutorTest, PlanPutsFiltersEarly) {
   EXPECT_EQ(order[0], 0u);
   EXPECT_EQ(order[1], 2u);
   EXPECT_EQ(order[2], 1u);
+}
+
+// ---------------------------------------------------- batched execution
+
+/// Per-tuple reference: every derived head tuple (duplicates kept),
+/// sorted for order-insensitive multiset comparison.
+std::vector<std::string> RunRulePerTuple(const RuleExecutor& exec,
+                                         const RelationSource& source,
+                                         int delta_literal,
+                                         EvalStats* stats = nullptr) {
+  std::vector<std::string> out;
+  exec.Execute(source, delta_literal,
+               [&](RowRef t) { out.push_back(TupleToString(t)); }, stats);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Batched run at `batch_size`, same multiset convention.
+std::vector<std::string> RunRuleBatched(const RuleExecutor& exec,
+                                        const RelationSource& source,
+                                        int delta_literal, size_t batch_size,
+                                        EvalStats* stats = nullptr) {
+  Result<RuleExecutor::PreparedPlan> plan =
+      exec.Prepare(source, delta_literal);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  std::vector<std::string> out;
+  if (!plan.ok()) return out;
+  exec.ExecutePlanBatched(
+      *plan, source, delta_literal,
+      [&](const TupleBuffer& block) {
+        EXPECT_LE(block.size(), batch_size);
+        for (size_t i = 0; i < block.size(); ++i) {
+          out.push_back(TupleToString(block.row(i)));
+        }
+      },
+      stats, batch_size);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Asserts the batched executor derives the per-tuple multiset with
+/// identical logical counters, across block sizes that force mid-scan
+/// flushes (1, 2, 3) and one that never flushes early (1024).
+void ExpectBatchedMatchesPerTuple(const Rule& rule, const Database& db,
+                                  int delta_literal = -1,
+                                  const RelationSource* custom = nullptr) {
+  Result<RuleExecutor> exec = RuleExecutor::Create(rule);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  DbSource db_source(&db);
+  const RelationSource& source = custom != nullptr ? *custom : db_source;
+  EvalStats reference_stats;
+  std::vector<std::string> reference =
+      RunRulePerTuple(*exec, source, delta_literal, &reference_stats);
+  for (size_t batch_size : {size_t{1}, size_t{2}, size_t{3}, size_t{1024}}) {
+    EvalStats stats;
+    EXPECT_EQ(RunRuleBatched(*exec, source, delta_literal, batch_size, &stats),
+              reference)
+        << rule << " batch_size=" << batch_size;
+    EXPECT_EQ(stats.bindings_explored, reference_stats.bindings_explored)
+        << rule << " batch_size=" << batch_size;
+    EXPECT_EQ(stats.comparison_checks, reference_stats.comparison_checks)
+        << rule << " batch_size=" << batch_size;
+  }
+}
+
+TEST(BatchedExecutorTest, MatchesPerTupleAcrossLiteralShapes) {
+  Database db = MustParseFacts(R"(
+    e(a, b). e(a, c). e(b, c). e(c, d). e(d, d).
+    n(1). n(2). n(3). n(4).
+    bad(b). bad(d).
+  )");
+  for (const char* rule : {
+           "p(X, Z) :- e(X, Y), e(Y, Z)",
+           "p(X, Z) :- e(X, Y), e(Y, Z), not bad(Z)",
+           "p(X) :- e(X, X)",
+           "p(Y) :- e(a, Y)",
+           "p(X, Y) :- n(X), n(Y), X < Y",
+           "p(X, Y) :- n(X), Y = X, Y < 3",
+           "p(k, X) :- n(X), X != 2",
+           "p(X, Z) :- e(X, Y), e(Y, Z), e(X, Z)",
+       }) {
+    ExpectBatchedMatchesPerTuple(MustParseRule(rule), db);
+  }
+}
+
+TEST(BatchedExecutorTest, ArityZeroHeadEmitsOncePerBinding) {
+  Database db = MustParseFacts("n(1). n(2). n(3).");
+  // Per-tuple derives ok() once per surviving binding; the batched path
+  // must produce the same multiset (set semantics dedups later).
+  ExpectBatchedMatchesPerTuple(MustParseRule("ok() :- n(X), X > 1"), db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("ok() :- n(X), X > 1"));
+  ASSERT_TRUE(exec.ok());
+  DbSource source(&db);
+  EXPECT_EQ(RunRuleBatched(*exec, source, -1, 2),
+            (std::vector<std::string>{"()", "()"}));
+}
+
+TEST(BatchedExecutorTest, ConstantOnlyAndFactBodies) {
+  Database db = MustParseFacts("present(a).");
+  // Empty body: the seed frame flows straight to head emission.
+  ExpectBatchedMatchesPerTuple(MustParseRule("unit(a, 1)."), db);
+  // Comparison-only body over constants.
+  ExpectBatchedMatchesPerTuple(MustParseRule("one(1) :- 1 < 2"), db);
+  ExpectBatchedMatchesPerTuple(MustParseRule("none(1) :- 2 < 1"), db);
+  // Negation-only body (ground negated atom).
+  ExpectBatchedMatchesPerTuple(MustParseRule("q(a) :- not absent(a)"), db);
+  ExpectBatchedMatchesPerTuple(MustParseRule("q(a) :- not present(a)"), db);
+}
+
+/// Full relations from `full`, plus one explicit delta relation.
+class DeltaDbSource : public RelationSource {
+ public:
+  DeltaDbSource(const Database* full, const Relation* delta)
+      : full_(full), delta_(delta) {}
+  const Relation* Full(const PredicateId& pred) const override {
+    return full_->Find(pred);
+  }
+  const Relation* Delta(const PredicateId& pred) const override {
+    return pred == delta_->pred() ? delta_ : nullptr;
+  }
+
+ private:
+  const Database* full_;
+  const Relation* delta_;
+};
+
+TEST(BatchedExecutorTest, DeltaOnLastPlannedLiteral) {
+  // e is larger, so cardinality planning scans t first and probes e;
+  // reading the delta at e (the literal planned LAST) exercises the
+  // batched delta swap on a non-leading step.
+  Database db = MustParseFacts(R"(
+    t(a, b). t(b, c).
+    e(b, x). e(b, y). e(c, x). e(c, z). e(q, q).
+  )");
+  Relation delta(PredicateId{InternSymbol("e"), 2});
+  delta.Insert(Tuple{Term::Sym("b"), Term::Sym("y")});
+  delta.Insert(Tuple{Term::Sym("c"), Term::Sym("z")});
+  DeltaDbSource source(&db, &delta);
+  Rule rule = MustParseRule("p(X, Y) :- t(X, Z), e(Z, Y)");
+  ExpectBatchedMatchesPerTuple(rule, db, /*delta_literal=*/1, &source);
+  // And on the leading literal for contrast.
+  Relation tdelta(PredicateId{InternSymbol("t"), 2});
+  tdelta.Insert(Tuple{Term::Sym("b"), Term::Sym("c")});
+  DeltaDbSource tsource(&db, &tdelta);
+  ExpectBatchedMatchesPerTuple(rule, db, /*delta_literal=*/0, &tsource);
+}
+
+/// DescribePlan line for the literal whose text contains `needle`.
+std::string PlanLineFor(const std::string& describe, const std::string& needle) {
+  std::istringstream is(describe);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find(":-") != std::string::npos) continue;  // rule header
+    if (line.find(needle) != std::string::npos) return line;
+  }
+  ADD_FAILURE() << "no plan line containing '" << needle << "' in:\n"
+                << describe;
+  return "";
+}
+
+/// A database where `check` (and `nope`) outnumber `small`, so
+/// cardinality planning scans `small` first and the check literals
+/// land after it with every argument bound.
+Database FusionDb() {
+  Database db = MustParseFacts("small(a, b). small(b, c). small(c, a).");
+  for (int i = 0; i < 24; ++i) {
+    db.AddTuple("check", {Term::Sym("s" + std::to_string(i))});
+    db.AddTuple("nope", {Term::Sym("s" + std::to_string(i))});
+  }
+  db.AddTuple("check", {Term::Sym("a")});
+  db.AddTuple("check", {Term::Sym("b")});
+  db.AddTuple("nope", {Term::Sym("b")});
+  return db;
+}
+
+TEST(BatchFusionTest, TrailingSemiJoinFusesIntoHostStep) {
+  Database db = FusionDb();
+  DbSource source(&db);
+  Rule rule = MustParseRule("p(X, Y) :- small(X, Y), check(X)");
+  Result<RuleExecutor> exec = RuleExecutor::Create(rule);
+  ASSERT_TRUE(exec.ok());
+  Result<RuleExecutor::PreparedPlan> plan = exec->Prepare(source, -1);
+  ASSERT_TRUE(plan.ok());
+  const std::string text = exec->DescribePlan(*plan, -1);
+  EXPECT_NE(PlanLineFor(text, "check(").find("fused into prior step"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(PlanLineFor(text, "small(").find("fused"), std::string::npos)
+      << text;
+  // Identical multiset and logical counters at every block size.
+  ExpectBatchedMatchesPerTuple(rule, db);
+}
+
+TEST(BatchFusionTest, NegatedCheckFusesIntoHostStep) {
+  Database db = FusionDb();
+  DbSource source(&db);
+  Rule rule = MustParseRule("p(X, Y) :- small(X, Y), not nope(X)");
+  Result<RuleExecutor> exec = RuleExecutor::Create(rule);
+  ASSERT_TRUE(exec.ok());
+  Result<RuleExecutor::PreparedPlan> plan = exec->Prepare(source, -1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(PlanLineFor(exec->DescribePlan(*plan, -1), "nope(")
+                .find("fused into prior step"),
+            std::string::npos);
+  ExpectBatchedMatchesPerTuple(rule, db);
+  // A fused negation against a relation with no facts at all also
+  // matches per-tuple (absent relation == empty == negation passes).
+  ExpectBatchedMatchesPerTuple(
+      MustParseRule("p(X, Y) :- small(X, Y), not absent(X)"), db);
+}
+
+TEST(BatchFusionTest, ComparisonBreaksTheFusionRun) {
+  // The comparison between the scan and the check resets the fusion
+  // host (comparison counters must stay bit-identical to per-tuple
+  // execution), so the check survives as its own batch step.
+  Database db = FusionDb();
+  DbSource source(&db);
+  Rule rule = MustParseRule("p(X, Y) :- small(X, Y), X != Y, check(X)");
+  Result<RuleExecutor> exec = RuleExecutor::Create(rule);
+  ASSERT_TRUE(exec.ok());
+  Result<RuleExecutor::PreparedPlan> plan = exec->Prepare(source, -1);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(
+      PlanLineFor(exec->DescribePlan(*plan, -1), "check(").find("fused"),
+      std::string::npos)
+      << exec->DescribePlan(*plan, -1);
+  ExpectBatchedMatchesPerTuple(rule, db);
+}
+
+TEST(BatchFusionTest, DeltaOccurrenceIsNeverFused) {
+  // m(X, Y) is all-bound after the small scan — fusable in the full
+  // plan — but as the delta literal it must stay a real step (the
+  // delta swap happens per step, and semi-naive reads it from the
+  // delta relation, not the full one).
+  Database db = FusionDb();
+  db.AddTuple("m", {Term::Sym("a"), Term::Sym("b")});
+  db.AddTuple("m", {Term::Sym("c"), Term::Sym("a")});
+  DbSource source(&db);
+  Rule rule = MustParseRule("p(X, Y) :- small(X, Y), m(X, Y)");
+  Result<RuleExecutor> exec = RuleExecutor::Create(rule);
+  ASSERT_TRUE(exec.ok());
+  Result<RuleExecutor::PreparedPlan> plan = exec->Prepare(source, 1);
+  ASSERT_TRUE(plan.ok());
+  const std::string text = exec->DescribePlan(*plan, 1);
+  EXPECT_EQ(PlanLineFor(text, "m(").find("fused"), std::string::npos) << text;
+  EXPECT_NE(PlanLineFor(text, "m(").find("(delta)"), std::string::npos)
+      << text;
+
+  Relation delta(PredicateId{InternSymbol("m"), 2});
+  delta.Insert(Tuple{Term::Sym("c"), Term::Sym("a")});
+  DeltaDbSource delta_source(&db, &delta);
+  ExpectBatchedMatchesPerTuple(rule, db, /*delta_literal=*/1, &delta_source);
+}
+
+TEST(PlanApiTest, FirstPositiveStepAndProbeColumns) {
+  Database db = MustParseFacts("e(a, b). e(b, c). n(1).");
+  DbSource source(&db);
+
+  // Join: the second e occurrence probes on its bound first column.
+  Result<RuleExecutor> join =
+      RuleExecutor::Create(MustParseRule("p(X, Z) :- e(X, Y), e(Y, Z)"));
+  ASSERT_TRUE(join.ok());
+  Result<RuleExecutor::PreparedPlan> join_plan = join->Prepare(source, -1);
+  ASSERT_TRUE(join_plan.ok());
+  EXPECT_EQ(join->FirstPositiveStep(*join_plan), 0);
+  EXPECT_EQ(join->ProbeColumnsFor(*join_plan, 0),
+            (std::vector<uint32_t>{}));  // leading literal: full scan
+  EXPECT_EQ(join->ProbeColumnsFor(*join_plan, 1),
+            (std::vector<uint32_t>{0}));
+
+  // Comparison-only body: no positive step at all.
+  Result<RuleExecutor> cmp =
+      RuleExecutor::Create(MustParseRule("one(1) :- 1 < 2"));
+  ASSERT_TRUE(cmp.ok());
+  Result<RuleExecutor::PreparedPlan> cmp_plan = cmp->Prepare(source, -1);
+  ASSERT_TRUE(cmp_plan.ok());
+  EXPECT_EQ(cmp->FirstPositiveStep(*cmp_plan), -1);
+  EXPECT_EQ(cmp->ProbeColumnsFor(*cmp_plan, 0), (std::vector<uint32_t>{}));
+
+  // Negation-only body: negated steps are not positive steps.
+  Result<RuleExecutor> neg =
+      RuleExecutor::Create(MustParseRule("q(a) :- not bad(a)"));
+  ASSERT_TRUE(neg.ok());
+  Result<RuleExecutor::PreparedPlan> neg_plan = neg->Prepare(source, -1);
+  ASSERT_TRUE(neg_plan.ok());
+  EXPECT_EQ(neg->FirstPositiveStep(*neg_plan), -1);
+}
+
+TEST(PlanApiTest, DescribePlanShowsAccessPathsAndDelta) {
+  Database db = MustParseFacts("e(a, b). t(a, b).");
+  DbSource source(&db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("t(X, Y) :- t(X, Z), e(Z, Y)"));
+  ASSERT_TRUE(exec.ok());
+  Result<RuleExecutor::PreparedPlan> plan = exec->Prepare(source, 0);
+  ASSERT_TRUE(plan.ok());
+  std::string text = exec->DescribePlan(*plan, 0);
+  EXPECT_NE(text.find("probe cols"), std::string::npos) << text;
+  EXPECT_NE(text.find("(delta)"), std::string::npos) << text;
+  EXPECT_NE(text.find("[scan]"), std::string::npos) << text;
+}
+
+TEST(PlanCacheTest, MemoizesPerBandSignature) {
+  Database db;
+  for (int i = 0; i < 9; ++i) {  // size 9: log2 band 4 covers 8..15
+    db.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+  DbSource source(&db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("p(X, Z) :- e(X, Y), e(Y, Z)"));
+  ASSERT_TRUE(exec.ok());
+
+  PlanCache cache;
+  EvalStats stats;
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats).ok());
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Growing within the band keeps hitting.
+  for (int i = 9; i < 15; ++i) {
+    db.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats).ok());
+  EXPECT_EQ(cache.hits(), 2u);
+
+  // Crossing into band 5 (size 16) plans once for the new regime.
+  db.AddTuple("e", {Term::Int(15), Term::Int(16)});
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats).ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats).ok());
+  EXPECT_EQ(cache.hits(), 3u);
+
+  // A band signature seen before hits again: the band-4 entry was
+  // memoized, not evicted, so a source back in that regime (a repeated
+  // evaluation re-traversing its growth trajectory) skips the planner.
+  Database db_small;
+  for (int i = 0; i < 9; ++i) {
+    db_small.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+  DbSource source_small(&db_small);
+  ASSERT_TRUE(cache.Get(*exec, source_small, -1, &stats).ok());
+  EXPECT_EQ(cache.hits(), 4u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Distinct delta literals are distinct entries.
+  ASSERT_TRUE(cache.Get(*exec, source, 0, &stats).ok());
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 3u);  // band-4, band-5, and delta entries
+  EXPECT_EQ(stats.plan_cache_hits, cache.hits());
+  EXPECT_EQ(stats.plan_cache_misses, cache.misses());
+}
+
+TEST(PlanCacheTest, SessionCacheHitsEveryRoundOnRepeatedEvaluation) {
+  // A caller-owned cache passed through EvalOptions::plan_cache spans
+  // evaluations: the second run of the same program re-traverses the
+  // same band trajectory, so every round's Get hits and the planner
+  // never runs.
+  Program program = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+  )");
+  Database edb;
+  for (int i = 0; i < 40; ++i) {
+    edb.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+
+  PlanCache session;
+  EvalOptions options;
+  options.plan_cache = &session;
+  EvalStats first_stats, second_stats;
+  Result<Database> first = Evaluate(program, edb, options, &first_stats);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first_stats.plan_cache_misses, 0u);
+
+  Result<Database> second = Evaluate(program, edb, options, &second_stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second_stats.plan_cache_misses, 0u);
+  EXPECT_GT(second_stats.plan_cache_hits, 0u);
+  EXPECT_EQ(second_stats.derived_tuples, first_stats.derived_tuples);
+  EXPECT_TRUE(first->SameFactsAs(*second));
+}
+
+TEST(PlanCacheTest, HitRepairsMissingIndexesOnFreshRelations) {
+  // Simulates the delta double-buffer swap: the cached plan's probed
+  // relation is replaced by a fresh (index-less) object of the same
+  // band; the cache hit must rebuild the probe index before execution.
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("p(X, Z) :- e(X, Y), e(Y, Z)"));
+  ASSERT_TRUE(exec.ok());
+  auto make_db = [] {
+    Database db;
+    for (int i = 0; i < 4; ++i) {
+      db.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+    }
+    return db;
+  };
+  Database db1 = make_db();
+  PlanCache cache;
+  DbSource source1(&db1);
+  Result<RuleExecutor::PreparedPlan> plan =
+      cache.Get(*exec, source1, -1, nullptr);
+  ASSERT_TRUE(plan.ok());
+
+  Database db2 = make_db();
+  const Relation* fresh = db2.Find(PredicateId{InternSymbol("e"), 2});
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_FALSE(fresh->HasIndex({0}));
+  DbSource source2(&db2);
+  Result<RuleExecutor::PreparedPlan> hit =
+      cache.Get(*exec, source2, -1, nullptr);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_TRUE(fresh->HasIndex({0}));
+  // And the reused plan executes correctly against the fresh data.
+  std::vector<std::string> out;
+  exec->ExecutePlanBatched(
+      *hit, source2, -1,
+      [&](const TupleBuffer& block) {
+        for (size_t i = 0; i < block.size(); ++i) {
+          out.push_back(TupleToString(block.row(i)));
+        }
+      },
+      nullptr);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(BatchedFixpointTest, MatchesPerTupleOnRandomizedPrograms) {
+  // Randomized graphs through full fixpoints: the batched engine must
+  // produce set-equal IDBs with bit-identical logical totals at every
+  // block size, including sizes that force mid-round flushes.
+  std::mt19937 rng(20260806);
+  const char* programs[] = {
+      R"(t(X, Y) :- e(X, Y).
+         t(X, Y) :- t(X, Z), e(Z, Y).)",
+      R"(t(X, Y) :- e(X, Y).
+         t(X, Y) :- t(X, Z), e(Z, Y).
+         far(X, Y) :- t(X, Y), X != Y, not e(X, Y).)",
+      R"(n(X) :- e(X, Y).
+         n(Y) :- e(X, Y).
+         even(X) :- start(X).
+         even(Y) :- odd(X), e(X, Y).
+         odd(Y) :- even(X), e(X, Y).
+         unreached(X) :- n(X), not even(X), not odd(X).)",
+  };
+  for (int trial = 0; trial < 4; ++trial) {
+    const int nodes = 6 + trial * 5;
+    std::uniform_int_distribution<int> node(0, nodes - 1);
+    Database edb;
+    edb.AddTuple("start", {Term::Int(0)});
+    for (int i = 0; i < nodes * 2; ++i) {
+      edb.AddTuple("e", {Term::Int(node(rng)), Term::Int(node(rng))});
+    }
+    for (const char* source : programs) {
+      Program program = MustParse(source);
+      EvalOptions per_tuple;
+      per_tuple.batch_size = 1;
+      EvalStats reference_stats;
+      Result<Database> reference =
+          Evaluate(program, edb, per_tuple, &reference_stats);
+      ASSERT_TRUE(reference.ok()) << reference.status();
+      for (size_t batch_size : {size_t{2}, size_t{5}, size_t{1024}}) {
+        EvalOptions batched;
+        batched.batch_size = batch_size;
+        EvalStats stats;
+        Result<Database> result = Evaluate(program, edb, batched, &stats);
+        ASSERT_TRUE(result.ok()) << result.status();
+        EXPECT_TRUE(reference->SameFactsAs(*result))
+            << "trial=" << trial << " batch_size=" << batch_size;
+        EXPECT_EQ(stats.derived_tuples, reference_stats.derived_tuples);
+        EXPECT_EQ(stats.duplicate_tuples, reference_stats.duplicate_tuples);
+        EXPECT_EQ(stats.bindings_explored,
+                  reference_stats.bindings_explored);
+        EXPECT_EQ(stats.comparison_checks,
+                  reference_stats.comparison_checks);
+        EXPECT_GT(stats.batches, 0u);
+      }
+    }
+  }
+}
+
+TEST(BatchedFixpointTest, StatsFoldPlanCacheAndBatchCounters) {
+  EvalStats a, b;
+  a.plan_cache_hits = 3;
+  a.plan_cache_misses = 1;
+  a.batches = 7;
+  b.plan_cache_hits = 2;
+  b.batches = 1;
+  a.Add(b);
+  EXPECT_EQ(a.plan_cache_hits, 5u);
+  EXPECT_EQ(a.plan_cache_misses, 1u);
+  EXPECT_EQ(a.batches, 8u);
+  EXPECT_NE(a.Report().find("eval.plan_cache.hit=5"), std::string::npos);
 }
 
 TEST(FixpointTest, TransitiveClosure) {

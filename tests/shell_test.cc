@@ -262,6 +262,48 @@ TEST_F(ShellTest, MetricsCommand) {
             std::string::npos);
 }
 
+TEST_F(ShellTest, MetricsReportShowsPlanCacheCounters) {
+  shell_.Execute(":metrics on");
+  shell_.Execute("t(X, Y) :- e(X, Y).");
+  shell_.Execute("t(X, Z) :- t(X, Y), e(Y, Z).");
+  shell_.Execute("e(a, b). e(b, c). e(c, d). e(d, e1). e(e1, f).");
+  shell_.Execute("?- t(a, X).");
+  std::string report = shell_.Execute(":metrics");
+  EXPECT_NE(report.find("eval.plan_cache.hit="), std::string::npos) << report;
+  EXPECT_NE(report.find("eval.plan_cache.miss="), std::string::npos);
+  EXPECT_NE(report.find("eval.batches="), std::string::npos);
+}
+
+TEST_F(ShellTest, BatchCommand) {
+  EXPECT_EQ(shell_.Execute(":batch"), "batch 1024");
+  EXPECT_EQ(shell_.Execute(":batch 1"), "batch 1 (per-tuple)");
+  shell_.Execute("t(X, Y) :- e(X, Y).");
+  shell_.Execute("e(a, b).");
+  EXPECT_NE(shell_.Execute("?- t(a, X).").find("1 answer(s)"),
+            std::string::npos);
+  EXPECT_EQ(shell_.Execute(":batch 256"), "batch 256");
+  EXPECT_NE(shell_.Execute("?- t(a, X).").find("1 answer(s)"),
+            std::string::npos);
+  EXPECT_NE(shell_.Execute(":batch 0").find("usage:"), std::string::npos);
+  EXPECT_NE(shell_.Execute(":batch abc").find("usage:"), std::string::npos);
+}
+
+TEST_F(ShellTest, PlanCommandShowsJoinOrderAndProbeColumns) {
+  EXPECT_NE(shell_.Execute(":plan").find("usage:"), std::string::npos);
+  shell_.Execute("path(X, Y) :- edge(X, Y).");
+  shell_.Execute("path(X, Y) :- path(X, Z), edge(Z, Y).");
+  shell_.Execute("edge(a, b). edge(b, c).");
+  std::string plan = shell_.Execute(":plan path");
+  EXPECT_NE(plan.find("probe cols 0"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("[scan]"), std::string::npos);
+  EXPECT_NE(plan.find("(delta)"), std::string::npos);
+  EXPECT_NE(plan.find("path(X, Y) :- path(X, Z), edge(Z, Y)."),
+            std::string::npos);
+  EXPECT_EQ(shell_.Execute(":plan path/2"), plan);
+  EXPECT_EQ(shell_.Execute(":plan nothere"), "no rules with head nothere");
+  EXPECT_EQ(shell_.Execute(":plan path/7"), "no rules with head path/7");
+}
+
 TEST_F(ShellTest, LoadTsvFileCommand) {
   std::string path = ::testing::TempDir() + "/shell_load_test.tsv";
   {

@@ -287,6 +287,70 @@ TEST(RelationTest, ClearRetainsIndexesAndRefills) {
   for (RowId r : hits) EXPECT_EQ(rel.row(r)[0].int_value(), 3);
 }
 
+TEST(RelationTest, ProbeBatchMatchesProbePerKey) {
+  Relation rel(Pred("edge_pb", 2));
+  rel.EnsureIndex({0});
+  for (int i = 0; i < 200; ++i) {
+    rel.Insert({Term::Int(i % 17), Term::Int(i)});
+  }
+  // Keys covering hits of varying fan-out, misses, and repeats, laid
+  // out flat (key width 1).
+  std::vector<Value> keys;
+  for (int k : {0, 3, 99, 16, 3, -5, 7}) keys.push_back(Term::Int(k));
+  std::vector<size_t> hash_scratch;
+  std::vector<std::span<const RowId>> spans;
+  rel.ProbeBatch({0}, keys.data(), keys.size(), &hash_scratch, &spans);
+  ASSERT_EQ(spans.size(), keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    const std::vector<RowId>& expected = rel.Probe({0}, &keys[k]);
+    std::vector<RowId> got(spans[k].begin(), spans[k].end());
+    EXPECT_EQ(got, expected) << "key index " << k;
+  }
+  // count = 0 yields no spans and reuses the output capacity.
+  rel.ProbeBatch({0}, nullptr, 0, &hash_scratch, &spans);
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST(RelationTest, ProbeBatchOnEmptyIndexedRelation) {
+  Relation rel(Pred("edge_pbe", 2));
+  rel.EnsureIndex({0});
+  std::vector<Value> keys{Term::Int(1), Term::Int(2)};
+  std::vector<size_t> hash_scratch{7u};  // stale content is overwritten
+  std::vector<std::span<const RowId>> spans(1);
+  rel.ProbeBatch({0}, keys.data(), keys.size(), &hash_scratch, &spans);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_TRUE(spans[0].empty());
+  EXPECT_TRUE(spans[1].empty());
+}
+
+TEST(RelationTest, HasIndexTracksEnsureIndex) {
+  Relation rel(Pred("edge_hi", 2));
+  EXPECT_FALSE(rel.HasIndex({0}));
+  rel.EnsureIndex({0});
+  EXPECT_TRUE(rel.HasIndex({0}));
+  EXPECT_FALSE(rel.HasIndex({1}));
+  EXPECT_FALSE(rel.HasIndex({0, 1}));
+  rel.Clear();  // indexes stay registered across Clear
+  EXPECT_TRUE(rel.HasIndex({0}));
+}
+
+TEST(TupleBufferTest, AppendAllConcatenatesBlocks) {
+  TupleBuffer a(2), b(2);
+  a.Append(Tuple{Term::Int(1), Term::Int(2)});
+  b.Append(Tuple{Term::Int(3), Term::Int(4)});
+  b.Append(Tuple{Term::Int(5), Term::Int(6)});
+  a.AppendAll(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(TupleToString(a.row(0)), "(1, 2)");
+  EXPECT_EQ(TupleToString(a.row(2)), "(5, 6)");
+  // Arity-0 blocks count rows without storing values.
+  TupleBuffer z0(0), z1(0);
+  z0.Append(RowRef());
+  z1.AppendAll(z0);
+  z1.AppendAll(z0);
+  EXPECT_EQ(z1.size(), 2u);
+}
+
 // --- Model-based property test ------------------------------------------
 
 TEST(RelationPropertyTest, MatchesSetModelUnderRandomWorkload) {
