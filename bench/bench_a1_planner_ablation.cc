@@ -61,4 +61,4 @@ BENCHMARK(BM_A1_Optimized_SizeBlind)->Unit(::benchmark::kMillisecond);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

@@ -59,4 +59,4 @@ BENCHMARK(BM_A2_Unsliced)->Apply(A2Args);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

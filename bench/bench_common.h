@@ -2,8 +2,10 @@
 #define SEMOPT_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "benchmark/benchmark.h"
 
@@ -84,7 +86,65 @@ inline void PublishStats(::benchmark::State& state, const EvalStats& stats) {
   }
 }
 
+/// First line of `path`, or `fallback` when unreadable. Sysfs/procfs
+/// files are absent on non-Linux hosts and in some containers; the
+/// stamp records that explicitly rather than omitting the key.
+inline std::string ReadFirstLine(const char* path, const char* fallback) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line) || line.empty()) return fallback;
+  return line;
+}
+
+inline std::string CpuModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (in && std::getline(in, line)) {
+    const std::string key = "model name";
+    if (line.compare(0, key.size(), key) == 0) {
+      size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      size_t start = line.find_first_not_of(" \t", colon + 1);
+      if (start == std::string::npos) break;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+/// Stamps the benchmark context (embedded in --benchmark_out JSON and
+/// printed in the console header) with the hardware facts a scaling
+/// number is meaningless without: logical core count, the cpufreq
+/// governor (a "powersave" stamp explains an implausible speedup
+/// curve), and the CPU model. Parallel-scaling artifacts (BENCH_*.json,
+/// the CI quick-bench leg) are interpreted against these keys.
+inline void AddHardwareContext() {
+  ::benchmark::AddCustomContext(
+      "hw_cores", std::to_string(std::thread::hardware_concurrency()));
+  ::benchmark::AddCustomContext(
+      "hw_governor",
+      ReadFirstLine("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor",
+                    "unknown"));
+  ::benchmark::AddCustomContext("hw_cpu", CpuModelName());
+}
+
 }  // namespace bench
 }  // namespace semopt
+
+/// Drop-in replacement for BENCHMARK_MAIN() that stamps the hardware
+/// context before running, so every bench binary's JSON output carries
+/// the hw_* keys.
+#define SEMOPT_BENCH_MAIN()                                       \
+  int main(int argc, char** argv) {                               \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                   \
+    }                                                             \
+    ::semopt::bench::AddHardwareContext();                        \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }                                                               \
+  int main(int, char**)
 
 #endif  // SEMOPT_BENCH_BENCH_COMMON_H_

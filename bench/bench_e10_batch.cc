@@ -197,4 +197,4 @@ BENCHMARK(BM_E10_E8_Genealogy_Batch)->Apply(E8Args);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

@@ -64,4 +64,4 @@ BENCHMARK(BM_E1_Optimized)->Apply(E1Args);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

@@ -72,4 +72,4 @@ BENCHMARK(BM_E2_Introduced)->Apply(E2Args);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

@@ -99,4 +99,4 @@ BENCHMARK(BM_E3_IsolationOnly)->Apply(E3Args);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

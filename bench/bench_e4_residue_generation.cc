@@ -120,4 +120,4 @@ BENCHMARK(BM_E4_Exhaustive)->Apply(E4Args);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

@@ -110,4 +110,4 @@ BENCHMARK(BM_E5_CompileOnce)->Unit(::benchmark::kMicrosecond);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

@@ -106,4 +106,4 @@ BENCHMARK(BM_E6_MagicPlusSemantic)->Apply(E6Args);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

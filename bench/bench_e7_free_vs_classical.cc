@@ -95,4 +95,4 @@ BENCHMARK(BM_E7_EvaluateFreeBest)->Unit(::benchmark::kMillisecond);
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

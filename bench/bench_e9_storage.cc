@@ -18,6 +18,7 @@
 #include "benchmark/benchmark.h"
 
 #include "ast/atom.h"
+#include "bench_common.h"
 #include "storage/relation.h"
 #include "storage/tuple.h"
 #include "util/hash_util.h"
@@ -283,4 +284,4 @@ BENCHMARK(BM_LegacyScan)->Args({400000, 0})->Args({400000, 1})->Unit(benchmark::
 }  // namespace
 }  // namespace semopt
 
-BENCHMARK_MAIN();
+SEMOPT_BENCH_MAIN();

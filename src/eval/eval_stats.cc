@@ -27,6 +27,10 @@ std::string EvalStats::Report() const {
        << " eval.plan_cache.miss=" << plan_cache_misses
        << " eval.batches=" << batches << "\n";
   }
+  if (morsels > 0) {
+    os << "morsel engine: eval.morsels=" << morsels
+       << " eval.morsel_steals=" << morsel_steals << "\n";
+  }
   if (!per_rule.empty()) {
     os << "per-rule:\n";
     for (const auto& [label, rs] : per_rule) {
@@ -42,7 +46,13 @@ std::string EvalStats::Report() const {
       std::snprintf(mean, sizeof(mean), "%.1f", rb.MeanTuples());
       os << "  round " << rb.round << ": workers=" << rb.workers
          << " min=" << rb.min_tuples << " max=" << rb.max_tuples
-         << " mean=" << mean << "\n";
+         << " mean=" << mean;
+      if (rb.total_morsels > 0) {
+        os << " morsels=" << rb.total_morsels
+           << " (min=" << rb.min_morsels << " max=" << rb.max_morsels
+           << ")";
+      }
+      os << "\n";
     }
   }
   std::string out = os.str();
@@ -64,6 +74,8 @@ void EvalStats::PublishTo(obs::MetricsRegistry& registry,
   registry.GetCounter(p + ".plan_cache.hit").Add(plan_cache_hits);
   registry.GetCounter(p + ".plan_cache.miss").Add(plan_cache_misses);
   registry.GetCounter(p + ".batches").Add(batches);
+  registry.GetCounter(p + ".morsels").Add(morsels);
+  registry.GetCounter(p + ".morsel_steals").Add(morsel_steals);
   for (const auto& [label, rs] : per_rule) {
     std::string rule_prefix = StrCat(p, ".rule.", label);
     registry.GetCounter(rule_prefix + ".applications").Add(rs.applications);

@@ -33,10 +33,15 @@ struct RuleStats {
 /// count.
 struct RoundBalance {
   size_t round = 0;   ///< 1-based global round index within the evaluation
-  size_t workers = 0; ///< partition slots in the round (pool width)
+  size_t workers = 0; ///< worker lanes in the round (pool width)
   size_t min_tuples = 0;
   size_t max_tuples = 0;
   size_t total_tuples = 0;
+  /// Morsels claimed per lane (morsel engine; zero on other paths).
+  /// A round is balanced when max_morsels ≈ total_morsels / workers.
+  size_t min_morsels = 0;
+  size_t max_morsels = 0;
+  size_t total_morsels = 0;
 
   double MeanTuples() const {
     return workers == 0
@@ -79,6 +84,13 @@ struct EvalStats {
   size_t plan_cache_misses = 0;
   /// Head blocks flushed by the batched executor (ExecutePlanBatched).
   size_t batches = 0;
+  /// Morsels executed by the parallel engine (driving-relation row
+  /// ranges pulled off the shared round cursor).
+  size_t morsels = 0;
+  /// Morsels claimed by a lane other than the one a static contiguous
+  /// split would have assigned them to — the dynamic load balancing a
+  /// fixed partition scheme forgoes.
+  size_t morsel_steals = 0;
 
   /// Per-rule breakdown; empty unless EvalOptions::collect_metrics.
   std::map<std::string, RuleStats> per_rule;
@@ -97,6 +109,8 @@ struct EvalStats {
     plan_cache_hits += other.plan_cache_hits;
     plan_cache_misses += other.plan_cache_misses;
     batches += other.batches;
+    morsels += other.morsels;
+    morsel_steals += other.morsel_steals;
     for (const auto& [label, rs] : other.per_rule) per_rule[label].Add(rs);
     round_balance.insert(round_balance.end(), other.round_balance.begin(),
                          other.round_balance.end());

@@ -83,36 +83,6 @@ void ExecuteBuffered(const PlannedRule& pr, PlanCache& cache,
   }
 }
 
-/// Commits a buffered derivation block into `target` (and `delta_target`
-/// for the new tuples, when given). Rows are hashed in short runs ahead
-/// of their inserts — the hash pass streams the flat buffer while
-/// prefetching the dedup slot each row will probe, and every row's hash
-/// is computed once and reused across the full and delta inserts.
-RuleRunResult CommitBuffer(const TupleBuffer& buffer, Relation& target,
-                           Relation* delta_target) {
-  RuleRunResult result;
-  constexpr size_t kChunk = 128;
-  size_t hashes[kChunk];
-  const size_t n = buffer.size();
-  for (size_t start = 0; start < n; start += kChunk) {
-    const size_t m = std::min(kChunk, n - start);
-    for (size_t j = 0; j < m; ++j) {
-      hashes[j] = HashValues(buffer.row(start + j));
-      target.PrefetchInsert(hashes[j]);
-    }
-    for (size_t j = 0; j < m; ++j) {
-      RowRef t = buffer.row(start + j);
-      if (target.Insert(t, hashes[j])) {
-        ++result.derived;
-        if (delta_target != nullptr) delta_target->Insert(t, hashes[j]);
-      } else {
-        ++result.duplicates;
-      }
-    }
-  }
-  return result;
-}
-
 /// Span name for one rule execution: the rule label when set (spans of
 /// the same rule then aggregate by name in the trace viewer).
 std::string_view RuleSpanName(const PlannedRule& pr) {
@@ -139,7 +109,8 @@ RuleRunResult RunRule(const PlannedRule& pr, PlanCache& cache,
   buffer->Reset(
       static_cast<uint32_t>(pr.executor.rule().head().args().size()));
   ExecuteBuffered(pr, cache, source, delta_literal, options, stats, buffer);
-  RuleRunResult result = CommitBuffer(*buffer, target, delta_target);
+  Relation::CommitCounts counts = target.Commit(*buffer, delta_target);
+  RuleRunResult result{counts.inserted, counts.duplicates};
   span.AddArg("derived", static_cast<int64_t>(result.derived));
   span.AddArg("duplicates", static_cast<int64_t>(result.duplicates));
   if (stats != nullptr) {
@@ -310,14 +281,36 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
 
 }  // namespace
 
+Status ValidateEvalOptions(const EvalOptions& options) {
+  if (options.batch_size == 0) {
+    return Status::FailedPrecondition(
+        "batch_size must be >= 1 (1 = tuple-at-a-time)");
+  }
+  if (options.num_threads > 256) {
+    return Status::FailedPrecondition(
+        StrCat("num_threads must be <= 256 (0 = one per hardware "
+               "thread), got ",
+               options.num_threads));
+  }
+  if (options.morsel_size != 0 && options.morsel_size < 8) {
+    return Status::FailedPrecondition(
+        StrCat("morsel_size must be 0 (auto) or >= 8, got ",
+               options.morsel_size,
+               ": smaller morsels make the shared-cursor claim the "
+               "dominant per-morsel cost"));
+  }
+  return Status::Ok();
+}
+
 Result<Database> Evaluate(const Program& program, const Database& edb,
                           const EvalOptions& options, EvalStats* stats) {
+  SEMOPT_RETURN_IF_ERROR(ValidateEvalOptions(options));
   // Honors EvalOptions::trace_path for both engines; when a session is
   // already running (shell `:trace`) this is a no-op passthrough.
   obs::ScopedTraceFile trace_file(options.trace_path);
 
   // num_threads == 1 is the serial path; anything else (including
-  // 0 = auto-detect) goes through the partitioned parallel evaluator.
+  // 0 = auto-detect) goes through the morsel-driven parallel evaluator.
   if (options.num_threads != 1) {
     return EvaluateParallel(program, edb, options, stats);
   }

@@ -34,9 +34,18 @@ struct EvalOptions {
   /// contiguous frames. The derived relations are identical either way.
   size_t batch_size = 1024;
   /// Worker threads for evaluation. 1 (default) = the serial path;
-  /// 0 = one per hardware thread; N > 1 = partitioned parallel
+  /// 0 = one per hardware thread; N > 1 = morsel-driven parallel
   /// fixpoint (src/exec/), whose results are set-equal to serial.
   size_t num_threads = 1;
+  /// Rows per morsel for the parallel engine: each round the frozen
+  /// delta (or the driving literal's relation) is carved into
+  /// contiguous row ranges of this size, pulled by workers off a shared
+  /// cursor. 0 (default) = auto: max(batch_size, 64), so a morsel fills
+  /// at least one executor block and stays coarse enough that the
+  /// per-morsel claim (one atomic increment) never dominates. Explicit
+  /// values below 8 are rejected by ValidateEvalOptions. Ignored when
+  /// num_threads == 1.
+  size_t morsel_size = 0;
   /// When non-empty, this evaluation runs inside a trace session and
   /// writes a Chrome trace_event JSON file here on completion (open in
   /// chrome://tracing or Perfetto). If a session is already active
@@ -58,6 +67,15 @@ struct EvalOptions {
   /// from its coordinator thread.
   PlanCache* plan_cache = nullptr;
 };
+
+/// Validates an EvalOptions combination, returning the first problem as
+/// a FailedPrecondition Status instead of silently clamping: callers
+/// (the shell's `:batch`/`:threads`, embedders) surface the message and
+/// keep their previous settings. Checks: batch_size >= 1, num_threads
+/// <= 256 (0 = hardware auto-resolution is valid), morsel_size either 0
+/// (auto) or >= 8 (a smaller morsel makes the shared-cursor claim the
+/// dominant cost). Both Evaluate entry points call this first.
+Status ValidateEvalOptions(const EvalOptions& options);
 
 /// Computes the least fixpoint of `program` over `edb` bottom-up and
 /// returns the IDB relations. Components of the predicate dependency

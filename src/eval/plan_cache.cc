@@ -38,15 +38,14 @@ std::vector<uint8_t> PlanCache::Signature(const RuleExecutor& exec,
   return bands;
 }
 
-Result<RuleExecutor::PreparedPlan> PlanCache::Get(const RuleExecutor& exec,
-                                                  const RelationSource& source,
-                                                  int delta_literal,
-                                                  EvalStats* stats,
-                                                  bool size_aware,
-                                                  bool skip_delta_index) {
+Result<RuleExecutor::PreparedPlan> PlanCache::Get(
+    const RuleExecutor& exec, const RelationSource& source, int delta_literal,
+    EvalStats* stats, bool size_aware, bool skip_delta_index,
+    bool partitioned) {
   Key key{exec.rule().ToString(), delta_literal,
           static_cast<uint8_t>((size_aware ? 1 : 0) |
-                               (skip_delta_index ? 2 : 0)),
+                               (skip_delta_index ? 2 : 0) |
+                               (partitioned ? 4 : 0)),
           Signature(exec, source, delta_literal)};
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -64,7 +63,8 @@ Result<RuleExecutor::PreparedPlan> PlanCache::Get(const RuleExecutor& exec,
   if (stats != nullptr) ++stats->plan_cache_misses;
   SEMOPT_ASSIGN_OR_RETURN(
       RuleExecutor::PreparedPlan plan,
-      exec.Prepare(source, delta_literal, size_aware, skip_delta_index));
+      exec.Prepare(source, delta_literal, size_aware, skip_delta_index,
+                   partitioned));
   entries_.emplace(std::move(key), plan);
   return plan;
 }

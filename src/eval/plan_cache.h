@@ -45,11 +45,20 @@ class PlanCache {
   /// HasIndex sweep that repairs indexes lost to the delta double-buffer
   /// swap). Bumps `stats->plan_cache_{hits,misses}` when `stats` is
   /// non-null.
+  ///
+  /// `partitioned` selects the morsel-partitionable plan shape (see
+  /// RuleExecutor::Prepare) and is part of the cache key: partitioned
+  /// plans rotate the delta to the front AND deliberately lack the
+  /// driving step's probe index, so replaying one through the serial
+  /// engine — or vice versa — in a session that switches `:threads`
+  /// would execute the wrong shape. Keying on the regime keeps both
+  /// entries live so a serial→parallel→serial session still hits.
   Result<RuleExecutor::PreparedPlan> Get(const RuleExecutor& exec,
                                          const RelationSource& source,
                                          int delta_literal, EvalStats* stats,
                                          bool size_aware = true,
-                                         bool skip_delta_index = false);
+                                         bool skip_delta_index = false,
+                                         bool partitioned = false);
 
   /// Drops every cached plan.
   void Clear() { entries_.clear(); }
@@ -65,7 +74,7 @@ class PlanCache {
     std::string rule;
     int delta_literal;
     /// Planner inputs beyond cardinalities: bit 0 = size_aware,
-    /// bit 1 = skip_delta_index.
+    /// bit 1 = skip_delta_index, bit 2 = partitioned (morsel regime).
     uint8_t flags;
     /// ⌊log2⌋ band per body literal (relational literals delta-aware;
     /// non-relational hold a fixed sentinel).

@@ -59,7 +59,7 @@ uint32_t RuleExecutor::SlotFor(SymbolId v) const {
 }
 
 Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
-    const std::function<size_t(size_t)>* size_of) const {
+    const std::function<size_t(size_t)>* size_of, int force_first) const {
   Plan plan;
   const std::vector<Literal>& body = rule_.body();
 
@@ -178,6 +178,17 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
       bool b_bound =
           b.IsConstant() || bound.count(SlotFor(b.symbol())) > 0;
       if (a_bound != b_bound) pick = static_cast<int>(i);
+    }
+    // Forced rotation (partitioned Prepare): schedule `force_first`
+    // before any other relational literal. A positive literal needs no
+    // prior bindings, so scheduling it first can never violate safety;
+    // priorities 1–2 above still run first because they only schedule
+    // filters and binding `=` steps, never a positive relational step.
+    if (pick < 0 && force_first >= 0 &&
+        !scheduled[static_cast<size_t>(force_first)]) {
+      assert(body[static_cast<size_t>(force_first)].IsRelational() &&
+             !body[static_cast<size_t>(force_first)].negated());
+      pick = force_first;
     }
     // Priority 3: the positive relational literal with the most
     // statically-bound argument positions; ties go to the literal whose
@@ -325,12 +336,13 @@ void RuleExecutor::FuseBatchChecks(Plan* plan, int delta_literal) {
 
 Result<RuleExecutor::PreparedPlan> RuleExecutor::Prepare(
     const RelationSource& source, int delta_literal, bool size_aware,
-    bool skip_delta_index) const {
+    bool skip_delta_index, bool partition) const {
   // Separates plan/index time from join time in traces: "plan" spans
   // are coordinator work, rule-label spans are execution work.
   obs::TraceSpan span("plan");
   span.AddArg("body_literals", static_cast<int64_t>(rule_.body().size()));
   span.AddArg("delta_literal", delta_literal);
+  if (partition) span.AddArg("partition", static_cast<int64_t>(1));
   // Cardinality oracle: the current size of each body literal's input
   // relation (delta-aware).
   std::function<size_t(size_t)> size_of = [&](size_t i) -> size_t {
@@ -343,9 +355,32 @@ Result<RuleExecutor::PreparedPlan> RuleExecutor::Prepare(
     if (rel == nullptr) rel = source.Full(lit.atom().pred_id());
     return rel == nullptr ? 0 : rel->size();
   };
-  SEMOPT_ASSIGN_OR_RETURN(Plan plan,
-                          BuildPlan(size_aware ? &size_of : nullptr));
+  // Partitioned plans rotate the delta occurrence to the front of the
+  // join order so morsels carve the *outermost* scan: every other
+  // literal is then probed per driving row, never re-scanned per task
+  // (the E8 binding blowup).
+  const int force_first =
+      partition && delta_literal >= 0 ? delta_literal : -1;
+  SEMOPT_ASSIGN_OR_RETURN(
+      Plan plan, BuildPlan(size_aware ? &size_of : nullptr, force_first));
   FuseBatchChecks(&plan, delta_literal);
+  if (partition) {
+    // Mark the driving step: the first positive relational step — the
+    // rotated delta occurrence when there is one (the rotation makes
+    // the delta the first positive step by construction), else the
+    // plan's natural outermost scan. Bodies with no positive
+    // relational step leave driving_step at -1 (nothing to carve).
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const LiteralStep& s = plan.steps[i];
+      if (!s.is_comparison && !s.negated) {
+        plan.driving_step = static_cast<int>(i);
+        break;
+      }
+    }
+    assert(delta_literal < 0 || plan.driving_step < 0 ||
+           plan.steps[static_cast<size_t>(plan.driving_step)]
+                   .original_index == static_cast<size_t>(delta_literal));
+  }
   EnsureProbeIndexes(plan, source, delta_literal, skip_delta_index);
   PreparedPlan prepared;
   prepared.plan_ = std::make_shared<const Plan>(std::move(plan));
@@ -363,9 +398,15 @@ void RuleExecutor::EnsureProbeIndexes(const Plan& plan,
                                       const RelationSource& source,
                                       int delta_literal,
                                       bool skip_delta_index) const {
-  for (const LiteralStep& step : plan.steps) {
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const LiteralStep& step = plan.steps[i];
     if (step.is_comparison || step.negated) continue;
     if (step.probe_columns.empty()) continue;
+    // The driving step of a partitioned plan is executed as a range
+    // scan over its morsel, never probed — building its index would be
+    // pure waste (and on the frozen delta, a scan of a ~batch_size
+    // morsel beats a hash build it would amortize over one round).
+    if (plan.driving_step == static_cast<int>(i)) continue;
     bool is_delta_step =
         delta_literal >= 0 &&
         step.original_index == static_cast<size_t>(delta_literal);
@@ -380,6 +421,13 @@ void RuleExecutor::EnsureProbeIndexes(const Plan& plan,
     // confined to this single-threaded planning moment.
     const_cast<Relation*>(rel)->EnsureIndex(step.probe_columns);
   }
+}
+
+int RuleExecutor::DrivingLiteral(const PreparedPlan& plan) const {
+  const Plan& p = *plan.plan_;
+  if (p.driving_step < 0) return -1;
+  return static_cast<int>(
+      p.steps[static_cast<size_t>(p.driving_step)].original_index);
 }
 
 int RuleExecutor::FirstPositiveStep(const PreparedPlan& plan) const {
@@ -433,6 +481,7 @@ std::string RuleExecutor::DescribePlan(const PreparedPlan& plan,
         step.original_index == static_cast<size_t>(delta_literal)) {
       os << " (delta)";
     }
+    if (p.driving_step == static_cast<int>(i)) os << " (driving)";
     if (!in_batch[i]) os << " (batch: fused into prior step)";
     os << "\n";
   }
@@ -445,7 +494,8 @@ std::string RuleExecutor::DescribePlan(const PreparedPlan& plan,
 void RuleExecutor::ExecutePlan(const PreparedPlan& plan,
                                const RelationSource& source,
                                int delta_literal, const TupleSink& sink,
-                               EvalStats* stats) const {
+                               EvalStats* stats, size_t morsel_begin,
+                               size_t morsel_end) const {
   if (stats != nullptr) ++stats->rule_applications;
   const Plan& p = *plan.plan_;
   // All working state for the whole scan, allocated once: the inner
@@ -455,6 +505,8 @@ void RuleExecutor::ExecutePlan(const PreparedPlan& plan,
   ctx.bound.assign(slot_count_, 0);
   ctx.newly_bound.resize(p.scratch_size);
   ctx.scratch_row.reserve(p.max_row_width);
+  ctx.morsel_begin = morsel_begin;
+  ctx.morsel_end = morsel_end;
   ExecuteStep(p, source, delta_literal, 0, &ctx, sink, stats);
 }
 
@@ -573,7 +625,10 @@ void RuleExecutor::ExecuteStep(const Plan& plan,
     for (size_t k = 0; k < n_newly; ++k) ctx->bound[newly[k]] = 0;
   };
 
-  if (!step.probe_columns.empty()) {
+  // The driving step of a partitioned plan always scans (its probe
+  // index is never built) and honors the context's morsel row range.
+  const bool is_driving = plan.driving_step == static_cast<int>(step_index);
+  if (!is_driving && !step.probe_columns.empty()) {
     // Gather the probe key into the scratch row; Probe hashes it in
     // place (hash-first, no key tuple is ever materialized).
     ctx->scratch_row.clear();
@@ -587,37 +642,60 @@ void RuleExecutor::ExecuteStep(const Plan& plan,
     }
   } else {
     const size_t n = relation->size();
-    for (size_t i = 0; i < n; ++i) try_row(relation->row(i));
+    const size_t begin = is_driving ? std::min(ctx->morsel_begin, n) : 0;
+    const size_t end = is_driving ? std::min(ctx->morsel_end, n) : n;
+    for (size_t i = begin; i < end; ++i) try_row(relation->row(i));
   }
 }
 
-void RuleExecutor::ExecutePlanBatched(const PreparedPlan& plan,
-                                      const RelationSource& source,
-                                      int delta_literal,
-                                      const BatchSink& sink,
-                                      EvalStats* stats,
-                                      size_t batch_size) const {
+RuleExecutor::BatchScratch::BatchScratch() = default;
+RuleExecutor::BatchScratch::~BatchScratch() = default;
+RuleExecutor::BatchScratch::BatchScratch(BatchScratch&&) noexcept = default;
+RuleExecutor::BatchScratch& RuleExecutor::BatchScratch::operator=(
+    BatchScratch&&) noexcept = default;
+
+void RuleExecutor::ExecutePlanBatched(
+    const PreparedPlan& plan, const RelationSource& source, int delta_literal,
+    const BatchSink& sink, EvalStats* stats, size_t batch_size,
+    size_t morsel_begin, size_t morsel_end, BatchScratch* scratch) const {
   if (stats != nullptr) ++stats->rule_applications;
   const Plan& p = *plan.plan_;
-  BatchContext ctx;
-  ctx.batch_size = std::max<size_t>(1, batch_size);
-  ctx.steps.resize(p.batch_steps.size() + 1);
-  ctx.row_scratch.reserve(p.max_row_width);
-  ctx.heads = TupleBuffer(static_cast<uint32_t>(p.head_specs.size()));
+  // Work out of the caller's scratch when given (morsel workers run
+  // thousands of executions per round; the buffers below keep their
+  // steady-state capacity across them), else out of a local context.
+  BatchContext local;
+  BatchContext* ctx = &local;
+  if (scratch != nullptr) {
+    if (scratch->ctx_ == nullptr) {
+      scratch->ctx_ = std::make_unique<BatchContext>();
+    }
+    ctx = scratch->ctx_.get();
+  }
+  ctx->batch_size = std::max<size_t>(1, batch_size);
+  ctx->steps.resize(p.batch_steps.size() + 1);
+  for (StepScratch& s : ctx->steps) s.input.Clear();
+  ctx->row_scratch.clear();
+  ctx->row_scratch.reserve(p.max_row_width);
+  ctx->heads.Reset(static_cast<uint32_t>(p.head_specs.size()));
+  ctx->batches = 0;
+  ctx->morsel_begin = morsel_begin;
+  ctx->morsel_end = morsel_end;
+  ctx->bindings = 0;
+  ctx->comparisons = 0;
   // Seed the pipeline with a single all-unbound frame; the planner's
   // static bound set decides which slots each step may read.
-  StepScratch& seed = ctx.steps[0];
+  StepScratch& seed = ctx->steps[0];
   seed.input.data.assign(slot_count_, Term::Int(0));
   seed.input.rows = 1;
-  RunBatchFrom(p, source, delta_literal, 0, &ctx, sink);
-  if (ctx.heads.size() > 0) {
-    sink(ctx.heads);
-    ++ctx.batches;
+  RunBatchFrom(p, source, delta_literal, 0, ctx, sink);
+  if (ctx->heads.size() > 0) {
+    sink(ctx->heads);
+    ++ctx->batches;
   }
   if (stats != nullptr) {
-    stats->bindings_explored += ctx.bindings;
-    stats->comparison_checks += ctx.comparisons;
-    stats->batches += ctx.batches;
+    stats->bindings_explored += ctx->bindings;
+    stats->comparison_checks += ctx->comparisons;
+    stats->batches += ctx->batches;
   }
 }
 
@@ -831,7 +909,17 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
     if (++out->rows == ctx->batch_size) flush_out();
   };
 
-  if (!step.probe_columns.empty()) {
+  // The driving step of a partitioned plan always takes the scan path
+  // (its probe index is never built) restricted to the context's
+  // morsel row range; `scan_checks` re-validates what a probe would
+  // have guaranteed, so the match set — and the `bindings` counter —
+  // is identical to the serial probe execution, just split across
+  // morsels.
+  const bool is_driving =
+      plan.driving_step >= 0 &&
+      plan.batch_steps[step_index] == static_cast<size_t>(plan.driving_step);
+
+  if (!is_driving && !step.probe_columns.empty()) {
     // Phase 1: gather every frame's probe key into one flat buffer and
     // look them all up in a single ProbeBatch pass (contiguous hashing,
     // prefetched slot/bucket walks, one index resolution). Phase 2:
@@ -870,11 +958,16 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
       }
     }
   } else {
-    // Full scan: every check runs (no index guarantees).
+    // Full scan: every check runs (no index guarantees). The driving
+    // step clamps to its morsel; everything else scans whole.
     const size_t n_rows = relation->size();
+    const size_t row_begin =
+        is_driving ? std::min(ctx->morsel_begin, n_rows) : 0;
+    const size_t row_end = is_driving ? std::min(ctx->morsel_end, n_rows)
+                                      : n_rows;
     const Value* row = in_data;
     for (size_t f = 0; f < n_in; ++f, row += width) {
-      for (size_t i = 0; i < n_rows; ++i) {
+      for (size_t i = row_begin; i < row_end; ++i) {
         const Value* row_vals = relation->row(i).data();
         if (passes(row, row_vals, step.scan_checks)) {
           ++ctx->bindings;

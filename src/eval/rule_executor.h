@@ -55,13 +55,18 @@ using BatchSink = std::function<void(const TupleBuffer&)>;
 /// run in tight loops over contiguous data.
 class RuleExecutor {
  private:
-  struct Plan;  // defined privately below; PreparedPlan keeps it opaque
+  struct Plan;          // defined privately below; PreparedPlan keeps it opaque
+  struct BatchContext;  // ditto; BatchScratch keeps it opaque
 
  public:
   /// Default frame/head block size for the batched executor: large
   /// enough to amortize per-block dispatch, small enough that a block
   /// of widest frames stays cache-resident (see DESIGN.md §10).
   static constexpr size_t kDefaultBatchSize = 1024;
+
+  /// Sentinel `morsel_end`: no row-range restriction (the driving
+  /// step — when one is marked at all — reads its whole relation).
+  static constexpr size_t kNoMorsel = static_cast<size_t>(-1);
 
   /// A plan bound to the relation-cardinality snapshot it was built
   /// against, produced by `Prepare` and consumed by `ExecutePlan`.
@@ -74,6 +79,23 @@ class RuleExecutor {
    private:
     friend class RuleExecutor;
     std::shared_ptr<const Plan> plan_;
+  };
+
+  /// Caller-owned reusable working state for `ExecutePlanBatched`:
+  /// holding one per worker lane lets a morsel loop run thousands of
+  /// executions (possibly of different plans) while touching the
+  /// allocator only until every buffer has reached its steady-state
+  /// capacity. Not thread-safe; one scratch serves one lane.
+  class BatchScratch {
+   public:
+    BatchScratch();
+    ~BatchScratch();
+    BatchScratch(BatchScratch&&) noexcept;
+    BatchScratch& operator=(BatchScratch&&) noexcept;
+
+   private:
+    friend class RuleExecutor;
+    std::unique_ptr<BatchContext> ctx_;
   };
 
   /// Plans `rule`. Fails for unsafe rules.
@@ -99,11 +121,24 @@ class RuleExecutor {
   /// state, so it must not run concurrently with ExecutePlan on the
   /// same relations; call it from the coordinator between rounds.
   /// When `skip_delta_index` is true the `delta_literal` step's index
-  /// is left to the caller (the parallel evaluator indexes each
-  /// worker's private delta partition instead).
+  /// is left to the caller (legacy partitioned mode indexed each
+  /// worker's private delta slice).
+  ///
+  /// `partition` selects the morsel-partitionable plan shape for the
+  /// parallel engine: the delta occurrence (when there is one) is
+  /// forced to the front of the join order and marked as the plan's
+  /// *driving* step; with no delta the plan's first positive step is
+  /// marked instead. Morsels then carve the driving relation's row
+  /// range across workers, so no other literal is ever re-scanned per
+  /// task (the E8 binding-blowup). The driving step is executed as a
+  /// range scan, so its probe index is intentionally NOT built — a
+  /// partitioned plan must be executed with a morsel range, and must
+  /// never be replayed by the serial engine (the plan cache keys on
+  /// `partition` for exactly this reason).
   Result<PreparedPlan> Prepare(const RelationSource& source,
                                int delta_literal, bool size_aware = true,
-                               bool skip_delta_index = false) const;
+                               bool skip_delta_index = false,
+                               bool partition = false) const;
 
   /// Re-ensures every index `plan` probes still exists — a cheap no-op
   /// when they all do. The plan cache calls this on a hit: a cached
@@ -119,9 +154,18 @@ class RuleExecutor {
   /// the relations of `source` (all probed indexes exist by the Prepare
   /// contract), so concurrent calls with distinct sinks/stats are
   /// thread-safe.
+  ///
+  /// `[morsel_begin, morsel_end)` restricts the plan's driving step
+  /// (Prepare with `partition`) to that row range of its relation —
+  /// one morsel of the morsel-driven parallel engine. The union of the
+  /// executions over a partition of the driving relation's rows equals
+  /// the unrestricted execution (every derivation extends exactly one
+  /// driving row), with the logical counters splitting exactly. The
+  /// defaults leave unpartitioned plans untouched.
   void ExecutePlan(const PreparedPlan& plan, const RelationSource& source,
-                   int delta_literal, const TupleSink& sink,
-                   EvalStats* stats) const;
+                   int delta_literal, const TupleSink& sink, EvalStats* stats,
+                   size_t morsel_begin = 0,
+                   size_t morsel_end = kNoMorsel) const;
 
   /// Executes a prepared plan block-at-a-time: every LiteralStep
   /// consumes a flat block of up to `batch_size` frames and emits the
@@ -133,10 +177,24 @@ class RuleExecutor {
   /// when it was prepared with -1 — the plan's FirstPositiveStep (the
   /// parallel partitioner's split), which the batch lowering never
   /// fuses away.
+  ///
+  /// `[morsel_begin, morsel_end)` is the driving-step row range (see
+  /// ExecutePlan). `scratch`, when given, is reused working state —
+  /// pass one per worker lane so a stream of morsel executions stops
+  /// allocating once buffers reach steady-state capacity.
   void ExecutePlanBatched(const PreparedPlan& plan,
                           const RelationSource& source, int delta_literal,
                           const BatchSink& sink, EvalStats* stats,
-                          size_t batch_size = kDefaultBatchSize) const;
+                          size_t batch_size = kDefaultBatchSize,
+                          size_t morsel_begin = 0,
+                          size_t morsel_end = kNoMorsel,
+                          BatchScratch* scratch = nullptr) const;
+
+  /// The original-body index of the driving step a partitioned Prepare
+  /// marked (the literal whose relation morsels carve up), or -1 for
+  /// plans prepared without `partition` and for bodies with no
+  /// positive relational step.
+  int DrivingLiteral(const PreparedPlan& plan) const;
 
   /// The original-body index of the first positive relational step in
   /// `plan`'s order, or -1 if the body has none. The parallel evaluator
@@ -242,6 +300,12 @@ class RuleExecutor {
   };
   struct Plan {
     std::vector<LiteralStep> steps;
+    /// Index into `steps` of the morsel-driving step (Prepare with
+    /// `partition`), or -1. The driving step is always executed as a
+    /// range scan over `[morsel_begin, morsel_end)` of its relation —
+    /// its probe index is never built — so each morsel touches a
+    /// disjoint row range and no other literal is re-scanned per task.
+    int driving_step = -1;
     /// Steps the batched executor runs, as indices into `steps`: the
     /// per-tuple order minus the pure-check steps fused into earlier
     /// hosts by FuseBatchChecks. The per-tuple executor always walks
@@ -277,6 +341,9 @@ class RuleExecutor {
     std::vector<char> bound;           // slot bound flags
     std::vector<uint32_t> newly_bound; // per-step slices (scratch_offsets)
     std::vector<Value> scratch_row;    // probe keys, negation rows, heads
+    // Driving-step row range (morsel); kNoMorsel = unrestricted.
+    size_t morsel_begin = 0;
+    size_t morsel_end = kNoMorsel;
   };
 
   /// A flat row-major block of execution frames (`rows * slot_count_`
@@ -309,6 +376,9 @@ class RuleExecutor {
     std::vector<Value> row_scratch;  // negation rows, head rows
     TupleBuffer heads{0};
     size_t batches = 0;  // head blocks flushed to the sink
+    // Driving-step row range (morsel); kNoMorsel = unrestricted.
+    size_t morsel_begin = 0;
+    size_t morsel_end = kNoMorsel;
     // Logical counters, folded into EvalStats once at the end.
     size_t bindings = 0;
     size_t comparisons = 0;
@@ -323,8 +393,13 @@ class RuleExecutor {
 
   /// Greedy planner. `size_of` estimates a literal's input cardinality
   /// (SIZE_MAX when unknown); pass nullptr for the size-blind plan.
-  Result<Plan> BuildPlan(
-      const std::function<size_t(size_t)>* size_of) const;
+  /// `force_first`, when >= 0, is an original-body index whose literal
+  /// is scheduled as early as the safety/binding constraints allow —
+  /// in practice first among the relational steps, since a positive
+  /// literal needs no prior bindings. Partitioned Prepare uses it to
+  /// rotate the delta occurrence to the front of the join order.
+  Result<Plan> BuildPlan(const std::function<size_t(size_t)>* size_of,
+                         int force_first = -1) const;
 
   /// Materializes every index `plan` will probe on the relations it
   /// will read (delta-aware). The one mutation point of shared storage

@@ -25,12 +25,19 @@ size_t ResolveNumThreads(const EvalOptions& options) {
   return hw == 0 ? 1 : hw;
 }
 
+size_t ResolveMorselSize(const EvalOptions& options) {
+  if (options.morsel_size != 0) return options.morsel_size;
+  // Auto: a morsel fills at least one executor block (so the batched
+  // pipeline always runs full frames) and never drops below 64 rows
+  // (so the shared-cursor claim stays negligible per morsel).
+  return std::max<size_t>(options.batch_size, 64);
+}
+
 namespace {
 
 /// Read-only view over the frozen EDB + IDB with at most one delta
-/// binding: the partition (or full delta) a single execution reads at
-/// its delta literal. One instance per task; Full/Delta only read
-/// shared state.
+/// binding: the frozen delta relation an execution reads at its delta
+/// literal. One instance per morsel; Full/Delta only read shared state.
 class SnapshotSource : public RelationSource {
  public:
   SnapshotSource(const Database* edb, const Database* idb,
@@ -60,219 +67,232 @@ class SnapshotSource : public RelationSource {
   const Relation* delta_rel_ = nullptr;
 };
 
-/// One rule application of a round: the rule, the original-body literal
-/// whose relation is split across workers (-1 = run as a single task),
-/// and the relation being split.
+/// One rule application of a round. The plan is prepared in partitioned
+/// mode: its driving step (the rotated delta occurrence, or the first
+/// positive step when the execution has no delta) is executed as a
+/// range scan, and morsels carve that relation's row range across
+/// workers. Every worker executes the SAME plan against the SAME frozen
+/// relations — only the driving row range differs per morsel — so no
+/// literal is ever re-scanned per task and the logical counters split
+/// exactly across morsels.
 struct Execution {
   const PlannedRule* rule = nullptr;
+  /// Original-body index of the delta occurrence; -1 = read all Full.
   int delta_literal = -1;
-  const Relation* partition_src = nullptr;
-  RuleExecutor::PreparedPlan plan;
+  /// The frozen delta relation for `delta_literal` (null when -1).
+  const Relation* delta_rel = nullptr;
   PredicateId delta_pred{0, 0};
-  std::vector<uint32_t> partition_probe_cols;
-  /// Hash partitions of partition_src (possibly shared between
-  /// executions reading the same delta relation).
-  const std::vector<std::unique_ptr<Relation>>* partitions = nullptr;
+  RuleExecutor::PreparedPlan plan;
+  /// Original-body index of the plan's driving step; -1 when the body
+  /// has no positive relational literal (run as one unrestricted task).
+  int driving_literal = -1;
+  /// The relation morsels carve (the delta when the driving step IS the
+  /// delta occurrence, else that literal's full relation).
+  const Relation* driving_rel = nullptr;
 };
 
-/// Span name for one task: the rule's label when set, so per-rule
+/// One unit of parallel work: a contiguous row range of an execution's
+/// driving relation. `end == kNoMorsel` marks the single unrestricted
+/// task of a driverless execution.
+struct Morsel {
+  size_t exec_index = 0;
+  size_t begin = 0;
+  size_t end = RuleExecutor::kNoMorsel;
+};
+
+/// Derived rows plus their precomputed HashValues hashes: workers pay
+/// the hash cost in parallel, the owning merge task reuses it for the
+/// dedup probe and both inserts (full + next delta).
+struct HashedRows {
+  TupleBuffer rows{0};
+  std::vector<size_t> hashes;
+};
+
+/// Per-lane working state, cache-line aligned so two lanes bumping
+/// their counters never share a line. Lanes are the thread pool's
+/// stable ids, so nothing here needs synchronization.
+struct alignas(64) WorkerState {
+  /// One sink per execution (the merge groups by execution, and an
+  /// execution's head arity fixes the buffer shape).
+  std::vector<HashedRows> sinks;
+  RuleExecutor::BatchScratch scratch;
+  EvalStats stats;
+  size_t morsels = 0;
+  size_t steals = 0;
+};
+
+/// Span name for one morsel: the rule's label when set, so per-rule
 /// lanes aggregate by name in the trace viewer.
-std::string_view TaskSpanName(const Execution& exec) {
+std::string_view MorselSpanName(const Execution& exec) {
   const std::string& label = exec.rule->executor.rule().label();
-  return label.empty() ? std::string_view("task") : std::string_view(label);
+  return label.empty() ? std::string_view("morsel") : std::string_view(label);
 }
 
 /// Key for EvalStats::per_rule.
-std::string TaskRuleKey(const Execution& exec) {
+std::string ExecRuleKey(const Execution& exec) {
   const std::string& label = exec.rule->executor.rule().label();
   return label.empty() ? exec.rule->head.ToString() : label;
 }
 
-/// Hash-splits `rel`'s rows into `parts` relations, reusing the hash
-/// each row's store already cached at insert time.
-std::vector<std::unique_ptr<Relation>> PartitionRelation(const Relation& rel,
-                                                         size_t parts) {
-  std::vector<std::unique_ptr<Relation>> out;
-  out.reserve(parts);
-  for (size_t w = 0; w < parts; ++w) {
-    out.push_back(std::make_unique<Relation>(rel.pred()));
-  }
-  const size_t n = rel.size();
-  for (size_t i = 0; i < n; ++i) {
-    out[rel.row_hash(i) % parts]->Insert(rel.row(i));
-  }
-  return out;
-}
-
-struct Task {
-  size_t exec_index = 0;
-  /// The delta slice this task reads; null for unpartitioned tasks.
-  const Relation* partition = nullptr;
-  /// Partition slot ("worker lane") the slice came from; 0 for
-  /// unpartitioned tasks. Feeds the per-round balance stats.
-  size_t slot = 0;
-};
-
-/// Executes one round: plans every execution against the frozen state,
-/// partitions, fans the tasks out over `pool`, and merges the buffered
-/// derivations into `idb` (and `next_delta` if given) with one owner
-/// per head relation. Returns true when any new tuple was inserted.
-/// `round` is the 1-based global round index (trace/stats labeling).
+/// Executes one round, morsel-driven: plans every execution against the
+/// frozen state (partitioned plans; driving literal marked), carves
+/// each driving relation into ~morsel_size row ranges, lets worker
+/// lanes pull morsels off the pool's shared cursor and stream them
+/// through the batched executor into per-(lane, execution) hashed
+/// sinks, then merges the sinks into `idb` (and `next_delta` if given)
+/// with one owner per head relation reusing the worker hashes. Returns
+/// true when any new tuple was inserted. `round` is the 1-based global
+/// round index (trace/stats labeling).
 Result<bool> RunRound(
     ThreadPool& pool, PlanCache& plan_cache, const Database& edb,
     Database& idb, const std::set<PredicateId>& idb_preds,
     std::vector<Execution>& execs,
     std::map<PredicateId, std::unique_ptr<Relation>>* next_delta,
     const EvalOptions& options, EvalStats* stats, size_t round) {
-  const size_t parts = pool.num_threads();
+  const size_t lanes = pool.num_threads();
+  const size_t morsel_size = ResolveMorselSize(options);
   SnapshotSource planning_source(&edb, &idb, &idb_preds);
 
   obs::TraceSpan round_span("parallel.round");
   round_span.AddArg("round", static_cast<int64_t>(round));
-  round_span.AddArg("workers", static_cast<int64_t>(parts));
+  round_span.AddArg("workers", static_cast<int64_t>(lanes));
 
-  // Plan and pre-build indexes, single-threaded. Partitions of the same
-  // delta relation are shared between executions.
-  std::map<const Relation*, std::vector<std::unique_ptr<Relation>>>
-      partition_cache;
-  std::vector<Task> tasks;
+  // Plan and pre-build indexes, single-threaded, then carve morsels.
+  std::vector<Morsel> morsels;
   {
     obs::TraceSpan plan_span("parallel.plan");
     plan_span.AddArg("executions", static_cast<int64_t>(execs.size()));
     for (size_t e = 0; e < execs.size(); ++e) {
       Execution& exec = execs[e];
       const RuleExecutor& executor = exec.rule->executor;
-      bool partitioned = exec.partition_src != nullptr;
-      if (partitioned) {
-        exec.delta_pred = exec.partition_src->pred();
-        planning_source.SetDelta(exec.delta_pred, exec.partition_src);
+      if (exec.delta_rel != nullptr) {
+        exec.delta_pred = exec.delta_rel->pred();
+        planning_source.SetDelta(exec.delta_pred, exec.delta_rel);
       } else {
         planning_source.SetDelta(PredicateId{0, 0}, nullptr);
       }
-      // Plans are memoized per (rule, delta literal, cardinality-band
-      // signature): rounds in an already-seen regime reuse the plan
-      // (indexes re-verified). Partitioned executions skip the delta
-      // index; each fresh slice is indexed below.
+      // Plans are memoized per (rule, delta literal, partitioned
+      // regime, cardinality-band signature): rounds in an already-seen
+      // regime reuse the plan with indexes re-verified. Partitioned
+      // plans rotate the delta occurrence to the front and mark it
+      // driving; the driving step's index is never built (it runs as a
+      // morsel range scan).
       SEMOPT_ASSIGN_OR_RETURN(
           exec.plan,
           plan_cache.Get(executor, planning_source, exec.delta_literal,
                          stats, options.cardinality_planning,
-                         /*skip_delta_index=*/partitioned));
-      if (!partitioned) {
-        // No delta to split: split the plan's outermost positive literal
-        // so one-pass components and naive rounds scale too.
-        int split = executor.FirstPositiveStep(exec.plan);
-        if (split >= 0) {
-          const Literal& lit = exec.rule->executor.rule().body()[split];
-          const Relation* rel = planning_source.Full(lit.atom().pred_id());
-          if (rel != nullptr) {
-            exec.delta_literal = split;
-            exec.partition_src = rel;
-            exec.delta_pred = rel->pred();
-            partitioned = true;
-          }
-        }
-      }
-      if (!partitioned) {
-        tasks.push_back(Task{e, nullptr, 0});
+                         /*skip_delta_index=*/false, /*partitioned=*/true));
+      exec.driving_literal = executor.DrivingLiteral(exec.plan);
+      if (exec.driving_literal < 0) {
+        // No positive relational step (constant-only body): one
+        // unrestricted task.
+        morsels.push_back(Morsel{e, 0, RuleExecutor::kNoMorsel});
         continue;
       }
-      if (exec.partition_src->empty()) continue;  // derives nothing
-      exec.partition_probe_cols =
-          executor.ProbeColumnsFor(exec.plan, exec.delta_literal);
-      auto it = partition_cache.find(exec.partition_src);
-      if (it == partition_cache.end()) {
-        it = partition_cache
-                 .emplace(exec.partition_src,
-                          PartitionRelation(*exec.partition_src, parts))
-                 .first;
+      if (exec.driving_literal == exec.delta_literal &&
+          exec.delta_rel != nullptr) {
+        exec.driving_rel = exec.delta_rel;
+      } else {
+        const Literal& lit =
+            executor.rule().body()[static_cast<size_t>(exec.driving_literal)];
+        exec.driving_rel = planning_source.Full(lit.atom().pred_id());
       }
-      exec.partitions = &it->second;
-      // Index the slices now, while single-threaded: workers must never
-      // build indexes (Relation::Probe requires them pre-declared).
-      for (size_t w = 0; w < it->second.size(); ++w) {
-        const std::unique_ptr<Relation>& slice = it->second[w];
-        if (slice->empty()) continue;
-        if (!exec.partition_probe_cols.empty()) {
-          slice->EnsureIndex(exec.partition_probe_cols);
-        }
-        tasks.push_back(Task{e, slice.get(), w});
+      if (exec.driving_rel == nullptr || exec.driving_rel->empty()) {
+        continue;  // a positive literal over nothing derives nothing
+      }
+      const size_t n = exec.driving_rel->size();
+      for (size_t begin = 0; begin < n; begin += morsel_size) {
+        morsels.push_back(Morsel{e, begin, std::min(begin + morsel_size, n)});
       }
     }
-    plan_span.AddArg("tasks", static_cast<int64_t>(tasks.size()));
-    plan_span.AddArg("partitioned_relations",
-                     static_cast<int64_t>(partition_cache.size()));
+    plan_span.AddArg("morsels", static_cast<int64_t>(morsels.size()));
   }
-  round_span.AddArg("tasks", static_cast<int64_t>(tasks.size()));
-  if (tasks.empty()) return false;
+  round_span.AddArg("morsels", static_cast<int64_t>(morsels.size()));
+  if (morsels.empty()) return false;
+  const size_t total_morsels = morsels.size();
 
   if (options.collect_metrics) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
     registry.GetCounter("exec.rounds").Add(1);
-    registry.GetCounter("exec.tasks").Add(tasks.size());
+    registry.GetCounter("exec.morsels").Add(total_morsels);
     registry.GetGauge("exec.queue_depth")
-        .Set(static_cast<int64_t>(tasks.size()));
+        .Set(static_cast<int64_t>(total_morsels));
   }
 
-  // Fan out. Workers read the frozen EDB/IDB and their private delta
-  // slice, buffering derivations per task into flat arenas; no shared
-  // mutable state and no per-tuple heap allocation.
-  std::vector<TupleBuffer> buffers;
-  buffers.reserve(tasks.size());
-  for (const Task& task : tasks) {
-    buffers.emplace_back(execs[task.exec_index].rule->head.arity);
+  // Per-lane state: sinks per execution, one reusable batch scratch,
+  // private stats. Lanes are stable, so the worker phase touches no
+  // shared mutable state at all.
+  std::vector<WorkerState> workers(lanes);
+  for (WorkerState& ws : workers) {
+    ws.sinks.resize(execs.size());
+    for (size_t e = 0; e < execs.size(); ++e) {
+      ws.sinks[e].rows.Reset(execs[e].rule->head.arity);
+    }
   }
-  std::vector<EvalStats> task_stats(tasks.size());
+
   bool changed = false;
   {
     InternerFreezeGuard freeze;
-    SEMOPT_RETURN_IF_ERROR(pool.ParallelFor(
-        tasks.size(), [&](size_t i) -> Status {
-          const Task& task = tasks[i];
-          const Execution& exec = execs[task.exec_index];
-          obs::TraceSpan task_span(TaskSpanName(exec));
-          task_span.AddArg("slot", static_cast<int64_t>(task.slot));
+    SEMOPT_RETURN_IF_ERROR(pool.ParallelForWorkers(
+        total_morsels, [&](size_t lane, size_t i) -> Status {
+          const Morsel& m = morsels[i];
+          const Execution& exec = execs[m.exec_index];
+          WorkerState& ws = workers[lane];
+          ++ws.morsels;
+          // A steal is a morsel claimed by a lane other than the one a
+          // static contiguous split would have assigned it to — the
+          // load balancing a fixed partition scheme forgoes.
+          if (i * lanes / total_morsels != lane) ++ws.steals;
+          obs::TraceSpan span(MorselSpanName(exec));
+          span.AddArg("lane", static_cast<int64_t>(lane));
+          span.AddArg("rows", m.end == RuleExecutor::kNoMorsel
+                                  ? int64_t{-1}
+                                  : static_cast<int64_t>(m.end - m.begin));
           SnapshotSource source(&edb, &idb, &idb_preds);
-          if (task.partition != nullptr) {
-            source.SetDelta(exec.delta_pred, task.partition);
-            task_span.AddArg(
-                "partition_rows",
-                static_cast<int64_t>(task.partition->size()));
+          if (exec.delta_rel != nullptr) {
+            source.SetDelta(exec.delta_pred, exec.delta_rel);
           }
-          TupleBuffer& buffer = buffers[i];
+          HashedRows& sink = ws.sinks[m.exec_index];
           if (options.batch_size <= 1) {
             exec.rule->executor.ExecutePlan(
                 exec.plan, source, exec.delta_literal,
-                [&buffer](RowRef t) { buffer.Append(t); }, &task_stats[i]);
+                [&sink](RowRef t) {
+                  sink.rows.Append(t);
+                  sink.hashes.push_back(HashValues(t));
+                },
+                &ws.stats, m.begin, m.end);
           } else {
             exec.rule->executor.ExecutePlanBatched(
                 exec.plan, source, exec.delta_literal,
-                [&buffer](const TupleBuffer& block) {
-                  buffer.AppendAll(block);
+                [&sink](const TupleBuffer& block) {
+                  sink.rows.AppendAll(block);
+                  const size_t n = block.size();
+                  for (size_t r = 0; r < n; ++r) {
+                    sink.hashes.push_back(HashValues(block.row(r)));
+                  }
                 },
-                &task_stats[i], options.batch_size);
+                &ws.stats, options.batch_size, m.begin, m.end, &ws.scratch);
           }
-          task_span.AddArg("produced", static_cast<int64_t>(buffer.size()));
           return Status::Ok();
         }));
 
-    // Merge with a single owner per head relation: tasks are grouped by
-    // head predicate and replayed in task order, so the result (and the
-    // idb row order) is deterministic for a fixed thread count.
+    // Merge with a single owner per head relation: sinks are replayed
+    // in (execution, lane) order, so the result (and the idb row
+    // order) is deterministic for a fixed thread count. Worker hashes
+    // are reused for the dedup probe and both inserts.
     std::map<PredicateId, std::vector<size_t>> by_head;
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      by_head[execs[tasks[i].exec_index].rule->head].push_back(i);
+    for (size_t e = 0; e < execs.size(); ++e) {
+      by_head[execs[e].rule->head].push_back(e);
     }
     std::vector<std::pair<PredicateId, std::vector<size_t>*>> owners;
     owners.reserve(by_head.size());
-    for (auto& [pred, task_ids] : by_head) {
-      owners.emplace_back(pred, &task_ids);
+    for (auto& [pred, exec_ids] : by_head) {
+      owners.emplace_back(pred, &exec_ids);
     }
-    // Inserted/duplicate counts per task (filled by the owning merge
-    // worker), folded into totals and per-rule stats afterwards.
-    std::vector<size_t> task_inserted(tasks.size(), 0);
-    std::vector<size_t> task_duplicate(tasks.size(), 0);
-    std::vector<char> owner_changed(owners.size(), 0);
+    // Inserted/duplicate counts per execution (filled by the owning
+    // merge worker), folded into totals and per-rule stats afterwards.
+    std::vector<size_t> exec_inserted(execs.size(), 0);
+    std::vector<size_t> exec_duplicate(execs.size(), 0);
     obs::TraceSpan merge_span("parallel.merge");
     merge_span.AddArg("owners", static_cast<int64_t>(owners.size()));
     SEMOPT_RETURN_IF_ERROR(pool.ParallelFor(
@@ -285,74 +305,67 @@ Result<bool> RunRound(
           Relation* delta_target =
               next_delta != nullptr ? next_delta->at(pred).get() : nullptr;
           size_t inserted = 0;
-          for (size_t i : *owners[j].second) {
-            // Chunked commit: hash a short run of rows (prefetching the
-            // dedup slot each will probe), then insert reusing every
-            // row's hash for both the full and delta relations.
-            const TupleBuffer& buffer = buffers[i];
-            const size_t rows = buffer.size();
-            constexpr size_t kChunk = 128;
-            size_t hashes[kChunk];
-            for (size_t start = 0; start < rows; start += kChunk) {
-              const size_t m = std::min(kChunk, rows - start);
-              for (size_t k = 0; k < m; ++k) {
-                hashes[k] = HashValues(buffer.row(start + k));
-                target->PrefetchInsert(hashes[k]);
-              }
-              for (size_t k = 0; k < m; ++k) {
-                RowRef t = buffer.row(start + k);
-                if (target->Insert(t, hashes[k])) {
-                  owner_changed[j] = 1;
-                  if (delta_target != nullptr) {
-                    delta_target->Insert(t, hashes[k]);
-                  }
-                  ++task_inserted[i];
-                } else {
-                  ++task_duplicate[i];
-                }
-              }
+          for (size_t e : *owners[j].second) {
+            for (size_t w = 0; w < lanes; ++w) {
+              const HashedRows& sink = workers[w].sinks[e];
+              if (sink.rows.size() == 0) continue;
+              Relation::CommitCounts counts = target->CommitHashed(
+                  sink.rows, sink.hashes.data(), delta_target);
+              exec_inserted[e] += counts.inserted;
+              exec_duplicate[e] += counts.duplicates;
+              inserted += counts.inserted;
             }
-            inserted += task_inserted[i];
           }
-          owner_span.AddArg("tasks",
-                            static_cast<int64_t>(owners[j].second->size()));
           owner_span.AddArg("inserted", static_cast<int64_t>(inserted));
           return Status::Ok();
         }));
+    for (size_t e = 0; e < execs.size(); ++e) {
+      if (exec_inserted[e] > 0) changed = true;
+    }
+
     if (stats != nullptr) {
-      for (const EvalStats& s : task_stats) stats->Add(s);
-      for (size_t i = 0; i < tasks.size(); ++i) {
-        stats->derived_tuples += task_inserted[i];
-        stats->duplicate_tuples += task_duplicate[i];
+      for (const WorkerState& ws : workers) {
+        stats->Add(ws.stats);
+        stats->morsels += ws.morsels;
+        stats->morsel_steals += ws.steals;
+      }
+      for (size_t e = 0; e < execs.size(); ++e) {
+        stats->derived_tuples += exec_inserted[e];
+        stats->duplicate_tuples += exec_duplicate[e];
       }
       if (options.collect_metrics) {
-        // Per-rule attribution: every task belongs to exactly one rule.
-        for (size_t i = 0; i < tasks.size(); ++i) {
-          RuleStats& rs = stats->per_rule[TaskRuleKey(execs[tasks[i].exec_index])];
+        obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+        size_t steals = 0;
+        for (const WorkerState& ws : workers) steals += ws.steals;
+        registry.GetCounter("exec.morsel_steals").Add(steals);
+        // Per-rule attribution: every execution belongs to one rule.
+        for (size_t e = 0; e < execs.size(); ++e) {
+          RuleStats& rs = stats->per_rule[ExecRuleKey(execs[e])];
           ++rs.applications;
-          rs.derived += task_inserted[i];
-          rs.duplicates += task_duplicate[i];
+          rs.derived += exec_inserted[e];
+          rs.duplicates += exec_duplicate[e];
         }
-        // Tuples produced per partition slot: the balance the merged
-        // totals hide. Unpartitioned single tasks land in slot 0.
-        std::vector<size_t> slot_tuples(parts, 0);
-        for (size_t i = 0; i < tasks.size(); ++i) {
-          slot_tuples[tasks[i].slot] += buffers[i].size();
-        }
+        // Tuples produced and morsels claimed per lane: the balance
+        // the merged totals hide.
         RoundBalance balance;
         balance.round = round;
-        balance.workers = parts;
-        balance.min_tuples = slot_tuples[0];
-        for (size_t tuples : slot_tuples) {
-          balance.min_tuples = std::min(balance.min_tuples, tuples);
-          balance.max_tuples = std::max(balance.max_tuples, tuples);
-          balance.total_tuples += tuples;
+        balance.workers = lanes;
+        balance.min_tuples = SIZE_MAX;
+        balance.min_morsels = SIZE_MAX;
+        for (const WorkerState& ws : workers) {
+          size_t produced = 0;
+          for (const HashedRows& sink : ws.sinks) {
+            produced += sink.rows.size();
+          }
+          balance.min_tuples = std::min(balance.min_tuples, produced);
+          balance.max_tuples = std::max(balance.max_tuples, produced);
+          balance.total_tuples += produced;
+          balance.min_morsels = std::min(balance.min_morsels, ws.morsels);
+          balance.max_morsels = std::max(balance.max_morsels, ws.morsels);
+          balance.total_morsels += ws.morsels;
         }
         stats->round_balance.push_back(balance);
       }
-    }
-    for (char c : owner_changed) {
-      if (c) changed = true;
     }
   }
   round_span.AddArg("changed", changed ? 1 : 0);
@@ -373,6 +386,7 @@ Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
 Result<Database> EvaluateParallel(const Program& program, const Database& edb,
                                   const EvalOptions& options,
                                   EvalStats* stats) {
+  SEMOPT_RETURN_IF_ERROR(ValidateEvalOptions(options));
   // Direct callers (not routed through Evaluate) still honor
   // EvalOptions::trace_path; no-op when a session is already active.
   obs::ScopedTraceFile trace_file(options.trace_path);
@@ -380,6 +394,8 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
 
   ThreadPool pool(ResolveNumThreads(options));
   eval_span.AddArg("threads", static_cast<int64_t>(pool.num_threads()));
+  eval_span.AddArg("morsel_size",
+                   static_cast<int64_t>(ResolveMorselSize(options)));
   // Shared across every round of the evaluation (and, when the caller
   // supplied a session cache, across evaluations); only the coordinator
   // (RunRound's single-threaded planning block) touches it.
@@ -451,7 +467,7 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
     // Semi-naive with synchronous rounds: round 0 runs every rule on
     // the frozen state (recursive literals see empty component
     // relations; anything they miss is caught via the delta in later
-    // rounds), then each round partitions the delta across workers.
+    // rounds), then each round carves the frozen delta into morsels.
     std::map<PredicateId, std::unique_ptr<Relation>> delta;
     std::map<PredicateId, std::unique_ptr<Relation>> next_delta;
     for (const PredicateId& p : component.preds) {
@@ -492,7 +508,7 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
           Execution e;
           e.rule = &pr;
           e.delta_literal = lit_index;
-          e.partition_src = d;
+          e.delta_rel = d;
           execs.push_back(std::move(e));
         }
       }

@@ -15,14 +15,32 @@ namespace semopt {
 /// (at least 1).
 size_t ResolveNumThreads(const EvalOptions& options);
 
-/// Parallel bottom-up evaluation: components in topological order, each
-/// evaluated with rounds of rule executions fanned out over a fixed
-/// thread pool. Each round freezes the database state, hash-partitions
-/// the round's delta (semi-naive) or the outermost-scanned relation of
-/// each rule's plan (naive / one-pass components) across workers, runs
-/// the executions concurrently on read-only snapshots into per-worker
-/// sinks, and then merges the derived tuples into the IDB and next
-/// delta with a single-owner-per-relation dedup pass.
+/// Rows per morsel: `options.morsel_size`, with 0 (auto) resolved to
+/// max(batch_size, 64) — a morsel always fills at least one batched-
+/// executor block, and the per-morsel shared-cursor claim stays
+/// negligible.
+size_t ResolveMorselSize(const EvalOptions& options);
+
+/// Morsel-driven parallel bottom-up evaluation: components in
+/// topological order, each evaluated in synchronous rounds. Each round
+/// freezes the database state, prepares one partitioned plan per rule
+/// execution — the delta occurrence rotated to the front of the join
+/// order and marked as the *driving* step (the first positive literal
+/// drives when there is no delta) — and carves the driving relation
+/// into contiguous row ranges of ~morsel_size rows. Worker lanes pull
+/// morsels off the thread pool's shared atomic cursor (dynamic load
+/// balancing; uneven morsel costs even out automatically), run each
+/// through the batched executor with a per-lane reusable scratch, and
+/// buffer derived rows with precomputed hashes in per-(lane, execution)
+/// sinks. A sharded merge phase — one owner per head relation — then
+/// commits the sinks into the IDB and next delta, reusing the worker
+/// hashes for the dedup probes.
+///
+/// Because morsels partition the plan's actual outermost scan, no body
+/// literal is ever re-scanned per task: join-work counters (`bindings`)
+/// are invariant in the thread count, and the serial-vs-parallel work
+/// ratio stays 1 (the old hash-partitioned engine re-scanned leading
+/// literals per partition and paid a per-round partition/copy cycle).
 ///
 /// The result is set-equal to the serial `Evaluate` (rows may be
 /// derived in a different order and per-round visibility differs, but

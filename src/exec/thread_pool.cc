@@ -6,11 +6,27 @@
 
 namespace semopt {
 
+namespace {
+
+/// Runs one task, converting a thrown exception into a Status.
+Status RunOne(const std::function<Status(size_t, size_t)>& fn, size_t lane,
+              size_t index) {
+  try {
+    return fn(lane, index);
+  } catch (const std::exception& e) {
+    return Status::Internal(StrCat("task threw: ", e.what()));
+  } catch (...) {
+    return Status::Internal("task threw a non-std exception");
+  }
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t background = num_threads > 0 ? num_threads - 1 : 0;
   workers_.reserve(background);
   for (size_t i = 0; i < background; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(/*lane=*/i + 1); });
   }
 }
 
@@ -23,7 +39,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t lane) {
   uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
@@ -35,25 +51,18 @@ void ThreadPool::WorkerLoop() {
     Job* job = job_;
     ++active_workers_;
     lock.unlock();
-    RunTasks(job);
+    RunTasks(job, lane);
     lock.lock();
     --active_workers_;
     if (active_workers_ == 0) done_cv_.notify_all();
   }
 }
 
-void ThreadPool::RunTasks(Job* job) {
+void ThreadPool::RunTasks(Job* job, size_t lane) {
   while (true) {
     size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job->n) return;
-    Status status;
-    try {
-      status = (*job->fn)(i);
-    } catch (const std::exception& e) {
-      status = Status::Internal(StrCat("task threw: ", e.what()));
-    } catch (...) {
-      status = Status::Internal("task threw a non-std exception");
-    }
+    Status status = RunOne(*job->fn, lane, i);
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!job->failed || i < job->error_index) {
@@ -72,18 +81,17 @@ void ThreadPool::RunTasks(Job* job) {
 
 Status ThreadPool::ParallelFor(size_t n,
                                const std::function<Status(size_t)>& fn) {
+  return ParallelForWorkers(
+      n, [&fn](size_t /*lane*/, size_t index) { return fn(index); });
+}
+
+Status ThreadPool::ParallelForWorkers(
+    size_t n, const std::function<Status(size_t, size_t)>& fn) {
   if (n == 0) return Status::Ok();
   if (workers_.empty() || n == 1) {
-    // Inline fast path: no synchronization.
+    // Inline fast path: no synchronization; the caller is lane 0.
     for (size_t i = 0; i < n; ++i) {
-      Status status;
-      try {
-        status = fn(i);
-      } catch (const std::exception& e) {
-        status = Status::Internal(StrCat("task threw: ", e.what()));
-      } catch (...) {
-        status = Status::Internal("task threw a non-std exception");
-      }
+      Status status = RunOne(fn, /*lane=*/0, i);
       if (!status.ok()) return status;
     }
     return Status::Ok();
@@ -98,7 +106,7 @@ Status ThreadPool::ParallelFor(size_t n,
     ++generation_;
   }
   work_cv_.notify_all();
-  RunTasks(&job);  // the calling thread participates
+  RunTasks(&job, /*lane=*/0);  // the calling thread participates
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] {
     return active_workers_ == 0 &&

@@ -49,10 +49,21 @@ class ThreadPool {
   /// must not themselves call ParallelFor on this pool.
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
 
+  /// Like ParallelFor, but also passes the executing thread's stable
+  /// lane id in [0, num_threads()) as the first argument: the calling
+  /// thread is lane 0, background workers are lanes 1..num_threads()-1.
+  /// A lane runs at most one task at a time, so per-lane state (scratch
+  /// buffers, output sinks, counters) needs no synchronization — this
+  /// is how the morsel scheduler gives every worker thread-local
+  /// execution contexts and commit buffers without thread_local
+  /// globals. Same error/cancellation contract as ParallelFor.
+  Status ParallelForWorkers(
+      size_t n, const std::function<Status(size_t lane, size_t index)>& fn);
+
  private:
   struct Job {
     size_t n = 0;
-    const std::function<Status(size_t)>* fn = nullptr;
+    const std::function<Status(size_t, size_t)>* fn = nullptr;
     std::atomic<size_t> next{0};
     // Guarded by the pool mutex.
     bool failed = false;
@@ -60,9 +71,10 @@ class ThreadPool {
     Status error;
   };
 
-  void WorkerLoop();
-  /// Claims and runs tasks of `job` until none remain.
-  void RunTasks(Job* job);
+  void WorkerLoop(size_t lane);
+  /// Claims and runs tasks of `job` until none remain; `lane` is the
+  /// claiming thread's stable lane id.
+  void RunTasks(Job* job, size_t lane);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a new job or stop

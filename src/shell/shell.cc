@@ -304,21 +304,34 @@ std::string Shell::CmdExplain(std::string_view rest) {
 
 std::string Shell::CmdThreads(const std::vector<std::string>& args) {
   if (args.empty()) {
+    if (eval_options_.num_threads == 0) {
+      return StrCat("threads auto (", ResolveNumThreads(eval_options_),
+                    " detected, morsel-parallel)");
+    }
     return StrCat("threads ", eval_options_.num_threads,
-                  eval_options_.num_threads == 1 ? " (serial)" : "");
+                  eval_options_.num_threads == 1 ? " (serial)"
+                                                 : " (morsel-parallel)");
   }
   char* end = nullptr;
   long n = std::strtol(args[0].c_str(), &end, 10);
-  if (end == args[0].c_str() || *end != '\0' || n < 0 || n > 256) {
+  if (end == args[0].c_str() || *end != '\0' || n < 0) {
     return "usage: :threads N  (0 = auto-detect, 1 = serial, max 256)";
   }
-  eval_options_.num_threads = static_cast<size_t>(n);
+  // Validate the full combination centrally; on rejection surface the
+  // validator's message and keep the previous setting.
+  EvalOptions candidate = eval_options_;
+  candidate.num_threads = static_cast<size_t>(n);
+  if (Status s = ValidateEvalOptions(candidate); !s.ok()) {
+    return s.ToString();
+  }
+  eval_options_ = candidate;
   if (n == 0) {
-    EvalOptions resolved = eval_options_;
-    return StrCat("threads auto (", ResolveNumThreads(resolved), " detected)");
+    return StrCat("threads auto (", ResolveNumThreads(eval_options_),
+                  " detected, morsel-parallel)");
   }
   return StrCat("threads ", eval_options_.num_threads,
-                eval_options_.num_threads == 1 ? " (serial)" : "");
+                eval_options_.num_threads == 1 ? " (serial)"
+                                               : " (morsel-parallel)");
 }
 
 std::string Shell::CmdBatch(const std::vector<std::string>& args) {
@@ -328,10 +341,15 @@ std::string Shell::CmdBatch(const std::vector<std::string>& args) {
   }
   char* end = nullptr;
   long n = std::strtol(args[0].c_str(), &end, 10);
-  if (end == args[0].c_str() || *end != '\0' || n < 1 || n > 1048576) {
+  if (end == args[0].c_str() || *end != '\0' || n < 0 || n > 1048576) {
     return "usage: :batch N  (1 = per-tuple, default 1024, max 1048576)";
   }
-  eval_options_.batch_size = static_cast<size_t>(n);
+  EvalOptions candidate = eval_options_;
+  candidate.batch_size = static_cast<size_t>(n);
+  if (Status s = ValidateEvalOptions(candidate); !s.ok()) {
+    return s.ToString();
+  }
+  eval_options_ = candidate;
   return StrCat("batch ", eval_options_.batch_size,
                 eval_options_.batch_size <= 1 ? " (per-tuple)" : "");
 }

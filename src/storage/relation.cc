@@ -42,6 +42,62 @@ bool Relation::Insert(RowRef row, size_t hash) {
   return true;
 }
 
+Relation::CommitCounts Relation::Commit(const TupleBuffer& rows,
+                                        Relation* delta_target) {
+  CommitCounts counts;
+  // Hash in short runs ahead of the inserts: the hash pass streams the
+  // flat buffer while prefetching the dedup slot each row will probe,
+  // and every hash is computed once and reused across the full and
+  // delta inserts.
+  constexpr size_t kChunk = 128;
+  size_t hashes[kChunk];
+  const size_t n = rows.size();
+  for (size_t start = 0; start < n; start += kChunk) {
+    const size_t m = std::min(kChunk, n - start);
+    for (size_t j = 0; j < m; ++j) {
+      hashes[j] = HashValues(rows.row(start + j));
+      PrefetchInsert(hashes[j]);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      RowRef t = rows.row(start + j);
+      if (Insert(t, hashes[j])) {
+        ++counts.inserted;
+        if (delta_target != nullptr) delta_target->Insert(t, hashes[j]);
+      } else {
+        ++counts.duplicates;
+      }
+    }
+  }
+  return counts;
+}
+
+Relation::CommitCounts Relation::CommitHashed(const TupleBuffer& rows,
+                                              const size_t* hashes,
+                                              Relation* delta_target) {
+  CommitCounts counts;
+  // Hashes arrive precomputed (the morsel workers pay that cost in
+  // parallel); this pass only prefetches dedup slots ahead of the
+  // probes and inserts.
+  constexpr size_t kChunk = 128;
+  const size_t n = rows.size();
+  for (size_t start = 0; start < n; start += kChunk) {
+    const size_t m = std::min(kChunk, n - start);
+    for (size_t j = 0; j < m; ++j) PrefetchInsert(hashes[start + j]);
+    for (size_t j = 0; j < m; ++j) {
+      RowRef t = rows.row(start + j);
+      if (Insert(t, hashes[start + j])) {
+        ++counts.inserted;
+        if (delta_target != nullptr) {
+          delta_target->Insert(t, hashes[start + j]);
+        }
+      } else {
+        ++counts.duplicates;
+      }
+    }
+  }
+  return counts;
+}
+
 size_t Relation::ProjectionHash(RowId r,
                                 const std::vector<uint32_t>& columns) const {
   const Value* vals = store_.row_data(r);

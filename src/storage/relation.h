@@ -47,6 +47,28 @@ class Relation {
   /// Prefetch hint for the dedup slot a row with `hash` will probe.
   void PrefetchInsert(size_t hash) const { store_.PrefetchSlot(hash); }
 
+  /// Outcome of a bulk Commit: how many rows were new vs. already
+  /// present (set semantics dedup).
+  struct CommitCounts {
+    size_t inserted = 0;
+    size_t duplicates = 0;
+  };
+
+  /// Bulk-inserts a derivation block: each row is hashed once (in short
+  /// runs that prefetch the dedup slot it will probe) and the hash is
+  /// reused across the full insert and the `delta_target` insert for
+  /// rows that were new. This is the fixpoint engines' single commit
+  /// path — serial rounds call it directly, the parallel merge phase
+  /// calls CommitHashed with worker-precomputed hashes.
+  CommitCounts Commit(const TupleBuffer& rows, Relation* delta_target);
+
+  /// Commit with every row's HashValues hash precomputed by the caller
+  /// (`hashes[i]` for `rows.row(i)`). The morsel workers hash their
+  /// derived blocks off the critical merge path; the owning merge task
+  /// then only probes and inserts.
+  CommitCounts CommitHashed(const TupleBuffer& rows, const size_t* hashes,
+                            Relation* delta_target);
+
   bool Contains(RowRef row) const {
     assert(row.size() == arity());
     return store_.Contains(row.data());

@@ -508,6 +508,45 @@ TEST(PlanCacheTest, MemoizesPerBandSignature) {
   EXPECT_EQ(stats.plan_cache_misses, cache.misses());
 }
 
+TEST(PlanCacheTest, PartitionRegimeIsPartOfTheKey) {
+  // A session that switches between serial and morsel-parallel
+  // evaluation must never replay a partitioned plan serially (its
+  // driving step deliberately lacks a probe index) or vice versa: the
+  // two regimes are distinct cache entries that coexist.
+  Database db = MustParseFacts("e(a, b). e(b, c). t(a, b).");
+  DbSource source(&db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("t(X, Z) :- e(X, Y), t(Y, Z)"));
+  ASSERT_TRUE(exec.ok());
+
+  PlanCache cache;
+  EvalStats stats;
+  Result<RuleExecutor::PreparedPlan> serial =
+      cache.Get(*exec, source, 1, &stats);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(exec->DrivingLiteral(*serial), -1);
+
+  // Same rule, same delta, same bands — the partitioned regime still
+  // misses and produces the morsel shape (delta rotated to the front
+  // and marked driving).
+  Result<RuleExecutor::PreparedPlan> partitioned = cache.Get(
+      *exec, source, 1, &stats, /*size_aware=*/true,
+      /*skip_delta_index=*/false, /*partitioned=*/true);
+  ASSERT_TRUE(partitioned.ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(exec->DrivingLiteral(*partitioned), 1);
+
+  // Each regime keeps hitting its own entry.
+  ASSERT_TRUE(cache.Get(*exec, source, 1, &stats).ok());
+  ASSERT_TRUE(cache.Get(*exec, source, 1, &stats, true, false, true).ok());
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST(PlanCacheTest, SessionCacheHitsEveryRoundOnRepeatedEvaluation) {
   // A caller-owned cache passed through EvalOptions::plan_cache spans
   // evaluations: the second run of the same program re-traverses the

@@ -1,0 +1,408 @@
+// Differential and unit coverage for the morsel-driven parallel
+// fixpoint (src/exec/parallel_fixpoint.cc): set-equality against the
+// serial engines across the thread × batch grid, thread-count-invariant
+// join work on the optimized genealogy workload, partitioned plan
+// shape, EvalOptions validation, and serial↔parallel session plan-cache
+// coexistence. The randomized suite here is the one CI runs under TSan
+// and ASan/UBSan.
+
+#include <random>
+#include <vector>
+
+#include "eval/fixpoint.h"
+#include "eval/plan_cache.h"
+#include "eval/rule_executor.h"
+#include "exec/parallel_fixpoint.h"
+#include "semopt/optimizer.h"
+#include "workload/genealogy.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParse;
+using testing_util::MustParseFacts;
+using testing_util::MustParseRule;
+
+EvalOptions Opts(size_t threads, size_t batch, size_t morsel = 0) {
+  EvalOptions options;
+  options.num_threads = threads;
+  options.batch_size = batch;
+  options.morsel_size = morsel;
+  return options;
+}
+
+// A RelationSource over a single database, for plan-shape tests.
+class DbSource : public RelationSource {
+ public:
+  explicit DbSource(const Database* db) : db_(db) {}
+  const Relation* Full(const PredicateId& pred) const override {
+    return db_->Find(pred);
+  }
+  const Relation* Delta(const PredicateId&) const override { return nullptr; }
+
+ private:
+  const Database* db_;
+};
+
+// ------------------------------------------ randomized differential suite
+
+/// Adds `edges` random `name/2` tuples over `nodes` integer vertices.
+void AddRandomEdges(Database& db, const char* name, size_t nodes,
+                    size_t edges, std::mt19937& rng) {
+  std::uniform_int_distribution<int64_t> node(0, (int64_t)nodes - 1);
+  for (size_t i = 0; i < edges; ++i) {
+    db.AddTuple(name, {Term::Int(node(rng)), Term::Int(node(rng))});
+  }
+}
+
+/// Evaluates `program` over `edb` with the serial tuple-at-a-time
+/// engine, the serial batched engine, and the morsel engine across
+/// threads {1, 2, 4, 8} × batch sizes {1, 7, 1024}, asserting every run
+/// derives the same fact set and the same number of derived tuples as
+/// the serial tuple-at-a-time reference.
+void ExpectMorselEquivalence(const Program& program, const Database& edb) {
+  EvalStats ref_stats;
+  Result<Database> reference = Evaluate(program, edb, Opts(1, 1), &ref_stats);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  EvalStats batched_stats;
+  Result<Database> batched =
+      Evaluate(program, edb, Opts(1, 1024), &batched_stats);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  EXPECT_TRUE(reference->SameFactsAs(*batched));
+  EXPECT_EQ(batched_stats.derived_tuples, ref_stats.derived_tuples);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{1024}}) {
+      EvalStats stats;
+      Result<Database> result =
+          EvaluateParallel(program, edb, Opts(threads, batch), &stats);
+      ASSERT_TRUE(result.ok())
+          << result.status() << " threads=" << threads << " batch=" << batch;
+      EXPECT_TRUE(reference->SameFactsAs(*result))
+          << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(stats.derived_tuples, ref_stats.derived_tuples)
+          << "threads=" << threads << " batch=" << batch;
+    }
+  }
+
+  // The smallest legal morsel maximizes scheduling interleavings (every
+  // 8-row range is a separate claim) — the best shot at surfacing
+  // merge-order or cursor races under TSan.
+  EvalStats tiny_stats;
+  Result<Database> tiny =
+      EvaluateParallel(program, edb, Opts(8, 7, /*morsel=*/8), &tiny_stats);
+  ASSERT_TRUE(tiny.ok()) << tiny.status();
+  EXPECT_TRUE(reference->SameFactsAs(*tiny));
+  EXPECT_EQ(tiny_stats.derived_tuples, ref_stats.derived_tuples);
+}
+
+TEST(MorselDifferentialTest, LinearTransitiveClosure) {
+  Program program = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+  )");
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 3; ++trial) {
+    Database edb;
+    AddRandomEdges(edb, "e", 24, 60, rng);
+    ExpectMorselEquivalence(program, edb);
+  }
+}
+
+TEST(MorselDifferentialTest, NonlinearTransitiveClosure) {
+  // The recursive predicate appears twice in one body: the frozen-delta
+  // snapshot must keep both occurrences consistent within a round.
+  Program program = MustParse(R"(
+    p(X, Y) :- e(X, Y).
+    p(X, Z) :- p(X, Y), p(Y, Z).
+  )");
+  std::mt19937 rng(4242);
+  for (int trial = 0; trial < 3; ++trial) {
+    Database edb;
+    AddRandomEdges(edb, "e", 18, 40, rng);
+    ExpectMorselEquivalence(program, edb);
+  }
+}
+
+TEST(MorselDifferentialTest, SameGeneration) {
+  Program program = MustParse(R"(
+    n(X) :- up(X, Y).
+    n(Y) :- up(X, Y).
+    sg(X, X) :- n(X).
+    sg(X, Y) :- up(X, A), sg(A, B), dn(B, Y).
+  )");
+  std::mt19937 rng(777);
+  for (int trial = 0; trial < 3; ++trial) {
+    Database edb;
+    AddRandomEdges(edb, "up", 14, 30, rng);
+    AddRandomEdges(edb, "dn", 14, 30, rng);
+    ExpectMorselEquivalence(program, edb);
+  }
+}
+
+TEST(MorselDifferentialTest, StratifiedNegationAndComparison) {
+  // Exercises comparisons inside the recursion and a negated literal in
+  // a later stratum, both through every engine and grain.
+  Program program = MustParse(R"(
+    r(X, Y) :- e(X, Y), X != Y.
+    r(X, Z) :- r(X, Y), e(Y, Z), X != Z.
+    heavy(X) :- e(X, Y), Y >= 12.
+    quiet(X, Y) :- r(X, Y), not heavy(X).
+  )");
+  std::mt19937 rng(90125);
+  for (int trial = 0; trial < 3; ++trial) {
+    Database edb;
+    AddRandomEdges(edb, "e", 16, 45, rng);
+    ExpectMorselEquivalence(program, edb);
+  }
+}
+
+// ---------------------------------------------- join-work invariance (E8)
+
+TEST(MorselWorkInvarianceTest, BindingsInvariantOnOptimizedGenealogy) {
+  // The E8 regression: the old hash-partitioned engine re-scanned the
+  // leading body literals once per partition, so `bindings` grew with
+  // the thread count on the genealogy-optimized program. Morsels
+  // partition the plan's actual outermost scan, so the join work — and
+  // the derived totals — are bit-identical at every thread count.
+  Result<Program> base = GenealogyProgram();
+  ASSERT_TRUE(base.ok()) << base.status();
+  SemanticOptimizer optimizer;
+  Result<OptimizeResult> optimized = optimizer.Optimize(*base);
+  ASSERT_TRUE(optimized.ok()) << optimized.status();
+
+  GenealogyParams params;
+  params.num_families = 6;
+  params.generations = 5;
+  params.seed = 7;
+  Database edb = GenerateGenealogyDb(params);
+
+  Result<Database> reference =
+      Evaluate(optimized->program, edb, Opts(1, 1024));
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  std::vector<size_t> bindings;
+  std::vector<size_t> derived;
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    EvalStats stats;
+    Result<Database> result = EvaluateParallel(
+        optimized->program, edb, Opts(threads, 1024), &stats);
+    ASSERT_TRUE(result.ok()) << result.status() << " threads=" << threads;
+    EXPECT_TRUE(reference->SameFactsAs(*result)) << "threads=" << threads;
+    bindings.push_back(stats.bindings_explored);
+    derived.push_back(stats.derived_tuples);
+    EXPECT_GT(stats.morsels, 0u) << "threads=" << threads;
+  }
+  EXPECT_EQ(bindings[0], bindings[1]);
+  EXPECT_EQ(bindings[0], bindings[2]);
+  EXPECT_EQ(derived[0], derived[1]);
+  EXPECT_EQ(derived[0], derived[2]);
+}
+
+// ----------------------------------------------------- partitioned plans
+
+TEST(MorselPlanShapeTest, PartitionedPrepareMarksDeltaAsDriving) {
+  Database db = MustParseFacts("e(a, b). e(b, c). t(a, b).");
+  DbSource source(&db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("t(X, Z) :- e(X, Y), t(Y, Z)"));
+  ASSERT_TRUE(exec.ok());
+
+  // Serial plans have no driving step.
+  Result<RuleExecutor::PreparedPlan> serial = exec->Prepare(source, 1);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(exec->DrivingLiteral(*serial), -1);
+  EXPECT_EQ(exec->DescribePlan(*serial, 1).find("(driving)"),
+            std::string::npos);
+
+  // A partitioned plan rotates the delta occurrence (body literal 1) to
+  // the front and marks it driving; morsels clamp its scan.
+  Result<RuleExecutor::PreparedPlan> plan = exec->Prepare(
+      source, /*delta_literal=*/1, /*size_aware=*/true,
+      /*skip_delta_index=*/false, /*partition=*/true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(exec->DrivingLiteral(*plan), 1);
+  std::string text = exec->DescribePlan(*plan, 1);
+  EXPECT_NE(text.find("(driving)"), std::string::npos) << text;
+  // The driving step leads the join order: its marker appears before
+  // any probe step.
+  EXPECT_LT(text.find("(driving)"), text.find("probe cols")) << text;
+}
+
+TEST(MorselPlanShapeTest, NonDeltaPartitionedPlanDrivesFirstPositive) {
+  Database db = MustParseFacts("e(a, b). f(b, c).");
+  DbSource source(&db);
+  Result<RuleExecutor> exec = RuleExecutor::Create(
+      MustParseRule("p(X, Z) :- e(X, Y), f(Y, Z), X != Z"));
+  ASSERT_TRUE(exec.ok());
+  Result<RuleExecutor::PreparedPlan> plan =
+      exec->Prepare(source, -1, true, false, /*partition=*/true);
+  ASSERT_TRUE(plan.ok());
+  // No delta: the plan's first positive relational step drives, and its
+  // original body index is reported so the round can carve that
+  // relation into morsels.
+  int driving = exec->DrivingLiteral(*plan);
+  ASSERT_GE(driving, 0);
+  EXPECT_LT(driving, 2);  // one of the relational literals, never X != Z
+}
+
+TEST(MorselPlanShapeTest, MorselRangeRestrictsDrivingScan) {
+  Database db;
+  for (int i = 0; i < 10; ++i) {
+    db.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+  DbSource source(&db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("p(X, Y) :- e(X, Y)"));
+  ASSERT_TRUE(exec.ok());
+  Result<RuleExecutor::PreparedPlan> plan =
+      exec->Prepare(source, -1, true, false, /*partition=*/true);
+  ASSERT_TRUE(plan.ok());
+
+  size_t rows = 0;
+  auto count = [&](const TupleBuffer& block) { rows += block.size(); };
+  exec->ExecutePlanBatched(*plan, source, -1, count, nullptr,
+                           /*batch_size=*/4, /*morsel_begin=*/3,
+                           /*morsel_end=*/8);
+  EXPECT_EQ(rows, 5u);
+
+  // Disjoint morsels tile the scan: [0,3) ∪ [3,8) ∪ [8,∞) covers each
+  // row exactly once.
+  rows = 0;
+  exec->ExecutePlanBatched(*plan, source, -1, count, nullptr, 4, 0, 3);
+  exec->ExecutePlanBatched(*plan, source, -1, count, nullptr, 4, 3, 8);
+  exec->ExecutePlanBatched(*plan, source, -1, count, nullptr, 4, 8,
+                           RuleExecutor::kNoMorsel);
+  EXPECT_EQ(rows, 10u);
+}
+
+// ------------------------------------------------------ option validation
+
+TEST(ValidateEvalOptionsTest, AcceptsDefaultsAndAuto) {
+  EXPECT_TRUE(ValidateEvalOptions(EvalOptions()).ok());
+  EXPECT_TRUE(ValidateEvalOptions(Opts(0, 1024)).ok());  // auto threads
+  EXPECT_TRUE(ValidateEvalOptions(Opts(256, 1)).ok());
+  EXPECT_TRUE(ValidateEvalOptions(Opts(4, 7, 8)).ok());  // min legal morsel
+}
+
+TEST(ValidateEvalOptionsTest, RejectsZeroBatch) {
+  Status s = ValidateEvalOptions(Opts(1, 0));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("batch_size"), std::string::npos);
+}
+
+TEST(ValidateEvalOptionsTest, RejectsExcessiveThreads) {
+  Status s = ValidateEvalOptions(Opts(257, 1024));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("num_threads"), std::string::npos);
+}
+
+TEST(ValidateEvalOptionsTest, RejectsTinyMorsels) {
+  Status s = ValidateEvalOptions(Opts(4, 1024, 4));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("morsel_size"), std::string::npos);
+}
+
+TEST(ValidateEvalOptionsTest, EvaluateSurfacesTheViolation) {
+  Program program = MustParse("p(X) :- q(X).");
+  Database edb = MustParseFacts("q(a).");
+  Result<Database> bad = Evaluate(program, edb, Opts(1, 0));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+  Result<Database> bad_parallel =
+      EvaluateParallel(program, edb, Opts(4, 1024, 4), nullptr);
+  ASSERT_FALSE(bad_parallel.ok());
+  EXPECT_EQ(bad_parallel.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidateEvalOptionsTest, MorselSizeResolution) {
+  EXPECT_EQ(ResolveMorselSize(Opts(4, 1024)), 1024u);  // auto: one block
+  EXPECT_EQ(ResolveMorselSize(Opts(4, 1)), 64u);       // auto floor
+  EXPECT_EQ(ResolveMorselSize(Opts(4, 1024, 128)), 128u);  // explicit
+}
+
+// --------------------------------------------- session cache across regimes
+
+TEST(MorselSessionCacheTest, SerialAndParallelRegimesCoexistAndHit) {
+  Program program = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+  )");
+  Database edb;
+  for (int i = 0; i < 40; ++i) {
+    edb.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+
+  PlanCache session;
+  EvalOptions serial = Opts(1, 1024);
+  serial.plan_cache = &session;
+  EvalOptions parallel = Opts(4, 1024);
+  parallel.plan_cache = &session;
+
+  Result<Database> serial_run = Evaluate(program, edb, serial);
+  ASSERT_TRUE(serial_run.ok());
+  size_t serial_entries = session.size();
+  EXPECT_GT(serial_entries, 0u);
+
+  // The parallel engine needs the partitioned plan shape: its first run
+  // misses (new regime entries) without evicting the serial entries.
+  EvalStats first_stats;
+  Result<Database> parallel_run =
+      Evaluate(program, edb, parallel, &first_stats);
+  ASSERT_TRUE(parallel_run.ok());
+  EXPECT_TRUE(serial_run->SameFactsAs(*parallel_run));
+  EXPECT_GT(first_stats.plan_cache_misses, 0u);
+  EXPECT_GT(session.size(), serial_entries);
+
+  // Steady state: a repeated parallel evaluation re-traverses the same
+  // band trajectory in the partitioned regime and hits every round.
+  EvalStats second_stats;
+  Result<Database> again = Evaluate(program, edb, parallel, &second_stats);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(second_stats.plan_cache_misses, 0u);
+  EXPECT_GT(second_stats.plan_cache_hits, 0u);
+  EXPECT_TRUE(serial_run->SameFactsAs(*again));
+
+  // ... and switching back to serial still hits the serial entries.
+  EvalStats serial_again_stats;
+  Result<Database> serial_again =
+      Evaluate(program, edb, serial, &serial_again_stats);
+  ASSERT_TRUE(serial_again.ok());
+  EXPECT_EQ(serial_again_stats.plan_cache_misses, 0u);
+}
+
+// ------------------------------------------------------- morsel counters
+
+TEST(MorselStatsTest, CountersReportCarvedMorsels) {
+  Program program = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+  )");
+  Database edb;
+  for (int i = 0; i < 200; ++i) {
+    edb.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+  EvalStats stats;
+  EvalOptions options = Opts(4, 16, /*morsel=*/16);
+  options.collect_metrics = true;
+  Result<Database> result = EvaluateParallel(program, edb, options, &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 200 seed rows at 16-row morsels: the first recursive round alone
+  // carves 13, so the fixpoint total is comfortably above that.
+  EXPECT_GT(stats.morsels, 13u);
+  EXPECT_LE(stats.morsel_steals, stats.morsels);
+  ASSERT_FALSE(stats.round_balance.empty());
+  size_t balance_morsels = 0;
+  for (const auto& rb : stats.round_balance) {
+    balance_morsels += rb.total_morsels;
+  }
+  EXPECT_EQ(balance_morsels, stats.morsels);
+  EXPECT_NE(stats.Report().find("eval.morsels"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace semopt

@@ -194,7 +194,7 @@ TEST_F(ShellTest, LoadProgramFile) {
 
 TEST_F(ShellTest, ThreadsCommand) {
   EXPECT_EQ(shell_.Execute(":threads"), "threads 1 (serial)");
-  EXPECT_EQ(shell_.Execute(":threads 4"), "threads 4");
+  EXPECT_EQ(shell_.Execute(":threads 4"), "threads 4 (morsel-parallel)");
   // Queries still answer correctly with the parallel evaluator active.
   shell_.Execute("t(X, Y) :- e(X, Y).");
   shell_.Execute("t(X, Z) :- t(X, Y), e(Y, Z).");
@@ -206,7 +206,12 @@ TEST_F(ShellTest, ThreadsCommand) {
             std::string::npos);
   EXPECT_NE(shell_.Execute(":threads bogus").find("usage:"),
             std::string::npos);
-  EXPECT_NE(shell_.Execute(":threads 999").find("usage:"), std::string::npos);
+  // Out-of-range values parse but fail central validation: the message
+  // comes from ValidateEvalOptions and the setting is kept unchanged.
+  EXPECT_NE(shell_.Execute(":threads 999").find("num_threads"),
+            std::string::npos);
+  EXPECT_NE(shell_.Execute(":threads").find("threads auto"),
+            std::string::npos);
 }
 
 TEST_F(ShellTest, TraceCommand) {
@@ -274,6 +279,26 @@ TEST_F(ShellTest, MetricsReportShowsPlanCacheCounters) {
   EXPECT_NE(report.find("eval.batches="), std::string::npos);
 }
 
+TEST_F(ShellTest, ParallelSessionReachesSteadyStatePlanCacheHits) {
+  // A morsel-parallel session uses partitioned plan-cache entries;
+  // after one warm-up evaluation a repeated query must hit every
+  // round (miss=0): the partitioned regime is cached like the serial
+  // one, never re-planned.
+  shell_.Execute(":metrics on");
+  EXPECT_EQ(shell_.Execute(":threads 4"), "threads 4 (morsel-parallel)");
+  shell_.Execute("t(X, Y) :- e(X, Y).");
+  shell_.Execute("t(X, Z) :- t(X, Y), e(Y, Z).");
+  shell_.Execute("e(a, b). e(b, c). e(c, d). e(d, e1). e(e1, f).");
+  shell_.Execute("?- t(a, X).");
+  std::string first = shell_.Execute(":metrics");
+  EXPECT_EQ(first.find("eval.plan_cache.miss=0"), std::string::npos) << first;
+  shell_.Execute("?- t(a, X).");
+  std::string second = shell_.Execute(":metrics");
+  EXPECT_NE(second.find("eval.plan_cache.miss=0"), std::string::npos)
+      << second;
+  EXPECT_NE(second.find("eval.morsels="), std::string::npos) << second;
+}
+
 TEST_F(ShellTest, BatchCommand) {
   EXPECT_EQ(shell_.Execute(":batch"), "batch 1024");
   EXPECT_EQ(shell_.Execute(":batch 1"), "batch 1 (per-tuple)");
@@ -284,7 +309,12 @@ TEST_F(ShellTest, BatchCommand) {
   EXPECT_EQ(shell_.Execute(":batch 256"), "batch 256");
   EXPECT_NE(shell_.Execute("?- t(a, X).").find("1 answer(s)"),
             std::string::npos);
-  EXPECT_NE(shell_.Execute(":batch 0").find("usage:"), std::string::npos);
+  // 0 parses but fails central validation (batch_size must be >= 1);
+  // the message comes from ValidateEvalOptions and the previous value
+  // is kept.
+  EXPECT_NE(shell_.Execute(":batch 0").find("batch_size"),
+            std::string::npos);
+  EXPECT_EQ(shell_.Execute(":batch"), "batch 256");
   EXPECT_NE(shell_.Execute(":batch abc").find("usage:"), std::string::npos);
 }
 
