@@ -112,13 +112,27 @@ inline std::string CpuModelName() {
   return "unknown";
 }
 
+/// The CMake build type this bench binary was compiled as, stamped by
+/// bench/CMakeLists.txt. A timing from a Debug or sanitizer build is
+/// not comparable to Release; the stamp makes the mistake visible in
+/// the artifact instead of silently polluting comparisons (CI asserts
+/// the field on its quick-bench JSON).
+#ifndef SEMOPT_BUILD_TYPE
+#define SEMOPT_BUILD_TYPE ""
+#endif
+inline const char* BuildType() {
+  return SEMOPT_BUILD_TYPE[0] == '\0' ? "unspecified" : SEMOPT_BUILD_TYPE;
+}
+
 /// Stamps the benchmark context (embedded in --benchmark_out JSON and
-/// printed in the console header) with the hardware facts a scaling
-/// number is meaningless without: logical core count, the cpufreq
-/// governor (a "powersave" stamp explains an implausible speedup
-/// curve), and the CPU model. Parallel-scaling artifacts (BENCH_*.json,
-/// the CI quick-bench leg) are interpreted against these keys.
+/// printed in the console header) with the facts a number is
+/// meaningless without: the build type, logical core count, the
+/// cpufreq governor (a "powersave" stamp explains an implausible
+/// speedup curve), and the CPU model. Parallel-scaling artifacts
+/// (BENCH_*.json, the CI quick-bench leg) are interpreted against
+/// these keys.
 inline void AddHardwareContext() {
+  ::benchmark::AddCustomContext("build_type", BuildType());
   ::benchmark::AddCustomContext(
       "hw_cores", std::to_string(std::thread::hardware_concurrency()));
   ::benchmark::AddCustomContext(

@@ -1,0 +1,214 @@
+// E11: concurrent query serving. Drives the QueryServer over real
+// loopback sockets with 1/4/16/64 concurrent sessions, each issuing a
+// mixed stream of light point lookups and heavy recursive queries, and
+// reports end-to-end throughput plus client-observed latency
+// percentiles (p50/p99, microseconds). The questions this answers:
+//   - does snapshot pinning + the shared plan cache + two-class
+//     admission keep per-request latency flat as sessions multiply?
+//   - how far does aggregate throughput scale before the admission
+//     limits (not the clients) become the ceiling?
+// Light and heavy requests are timed separately: admission keeps the
+// light tail bounded even while heavy fixpoints saturate their class.
+//
+// Artifact: bench/BENCH_e11.json (see EXPERIMENTS.md).
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "storage/database.h"
+
+namespace semopt {
+namespace {
+
+constexpr int kChain = 96;  // e(0,1)..e(95,96); closure = 4656 tuples
+
+Database ChainDatabase() {
+  Database db;
+  for (int i = 0; i < kChain; ++i) {
+    Status st = db.AddFact(Atom("e", {Term::Int(i), Term::Int(i + 1)}));
+    if (!st.ok()) std::abort();
+  }
+  return db;
+}
+
+/// Blocking protocol client on one socket.
+class BenchClient {
+ public:
+  explicit BenchClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      std::abort();
+    }
+  }
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Sends one request, drains the dot-terminated response; returns
+  /// false on transport failure.
+  bool Request(const std::string& line) {
+    std::string wire = line + "\n";
+    size_t off = 0;
+    while (off < wire.size()) {
+      ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    char buf[4096];
+    while (true) {
+      std::optional<std::string> received = lines_.PopLine();
+      if (received.has_value()) {
+        if (*received == ".") return true;
+        continue;
+      }
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return false;
+      lines_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  LineBuffer lines_;
+};
+
+uint64_t Percentile(std::vector<uint64_t>& us, double p) {
+  if (us.empty()) return 0;
+  std::sort(us.begin(), us.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(us.size() - 1));
+  return us[idx];
+}
+
+/// One serving run: `sessions` client threads, each issuing
+/// `kRequestsPerSession` requests (every 5th heavy). Returns wall time
+/// and the per-class latency samples.
+struct RunResult {
+  double seconds = 0;
+  size_t requests = 0;
+  std::vector<uint64_t> light_us;
+  std::vector<uint64_t> heavy_us;
+  bool ok = true;
+};
+
+RunResult RunServingWorkload(uint16_t port, int sessions) {
+  constexpr int kRequestsPerSession = 40;
+  RunResult result;
+  std::vector<std::vector<uint64_t>> light(sessions), heavy(sessions);
+  std::atomic<bool> failed{false};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      BenchClient client(port);
+      // Session setup (untimed): the recursive program.
+      if (!client.Request("t(X, Y) :- e(X, Y).") ||
+          !client.Request("t(X, Z) :- t(X, Y), e(Y, Z).")) {
+        failed.store(true);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerSession; ++i) {
+        const bool is_heavy = i % 5 == 4;
+        const std::string request =
+            is_heavy ? "?- t(0, Y), Y > 90."
+                     : "?- e(" + std::to_string((s + i) % kChain) + ", Y).";
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!client.Request(request)) {
+          failed.store(true);
+          return;
+        }
+        const uint64_t us =
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+        (is_heavy ? heavy[s] : light[s]).push_back(us);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  result.ok = !failed.load();
+  for (int s = 0; s < sessions; ++s) {
+    result.requests += light[s].size() + heavy[s].size();
+    result.light_us.insert(result.light_us.end(), light[s].begin(),
+                           light[s].end());
+    result.heavy_us.insert(result.heavy_us.end(), heavy[s].begin(),
+                           heavy[s].end());
+  }
+  return result;
+}
+
+void BM_Serving(::benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  QueryServer::Options options;
+  options.threads_per_query = 1;
+  QueryServer server(ChainDatabase(), options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  std::vector<uint64_t> light_us, heavy_us;
+  size_t requests = 0;
+  for (auto _ : state) {
+    RunResult run = RunServingWorkload(server.port(), sessions);
+    if (!run.ok) {
+      state.SkipWithError("client transport failure");
+      break;
+    }
+    state.SetIterationTime(run.seconds);
+    requests += run.requests;
+    light_us.insert(light_us.end(), run.light_us.begin(), run.light_us.end());
+    heavy_us.insert(heavy_us.end(), run.heavy_us.begin(), run.heavy_us.end());
+  }
+  server.Stop();
+
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+  state.counters["sessions"] = sessions;
+  state.counters["light_p50_us"] =
+      static_cast<double>(Percentile(light_us, 0.50));
+  state.counters["light_p99_us"] =
+      static_cast<double>(Percentile(light_us, 0.99));
+  state.counters["heavy_p50_us"] =
+      static_cast<double>(Percentile(heavy_us, 0.50));
+  state.counters["heavy_p99_us"] =
+      static_cast<double>(Percentile(heavy_us, 0.99));
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(server.plan_cache().hits());
+}
+
+BENCHMARK(BM_Serving)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace semopt
+
+SEMOPT_BENCH_MAIN();

@@ -62,7 +62,7 @@ struct RuleRunResult {
 /// so rounds in an already-seen cardinality regime skip the planner;
 /// batch_size > 1 streams the join through the block-at-a-time
 /// executor, 1 is the legacy tuple-at-a-time path.
-void ExecuteBuffered(const PlannedRule& pr, PlanCache& cache,
+void ExecuteBuffered(const PlannedRule& pr, PlanCacheInterface& cache,
                      const RelationSource& source, int delta_literal,
                      const EvalOptions& options, EvalStats* stats,
                      TupleBuffer* buffer) {
@@ -100,7 +100,7 @@ std::string RuleKey(const PlannedRule& pr) {
 /// for new tuples, when given), updates stats, and records a per-rule
 /// span carrying derived/duplicate counts. `buffer` is reusable
 /// caller-owned scratch (reset to the rule's head arity here).
-RuleRunResult RunRule(const PlannedRule& pr, PlanCache& cache,
+RuleRunResult RunRule(const PlannedRule& pr, PlanCacheInterface& cache,
                       const RelationSource& source, int delta_literal,
                       const EvalOptions& options, EvalStats* stats,
                       Relation& target, Relation* delta_target,
@@ -153,7 +153,7 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
   // signature. A caller-owned session cache additionally persists them
   // across evaluations; otherwise the cache lives for this one.
   PlanCache local_plan_cache;
-  PlanCache& plan_cache =
+  PlanCacheInterface& plan_cache =
       options.plan_cache != nullptr ? *options.plan_cache : local_plan_cache;
   // One derivation buffer for the whole evaluation: each rule run
   // resets it, so steady-state rounds recycle its arena.

@@ -11,7 +11,7 @@
 
 namespace semopt {
 
-class PlanCache;
+class PlanCacheInterface;
 
 /// Evaluation strategy for the bottom-up fixpoint.
 enum class EvalStrategy {
@@ -63,9 +63,11 @@ struct EvalOptions {
   /// re-running a query — re-traverses an already-seen band trajectory
   /// and skips the planner every round. Entries are content-addressed
   /// by rule text: sharing one cache across different or extended
-  /// programs is safe. Not thread-safe; the evaluation uses it only
-  /// from its coordinator thread.
-  PlanCache* plan_cache = nullptr;
+  /// programs is safe. A plain PlanCache is coordinator-thread only
+  /// (each evaluation uses it from one thread); point this at a
+  /// SharedPlanCache (eval/shared_plan_cache.h) to share one memo
+  /// across concurrently-running evaluations/sessions.
+  PlanCacheInterface* plan_cache = nullptr;
 };
 
 /// Validates an EvalOptions combination, returning the first problem as

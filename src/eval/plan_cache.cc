@@ -3,6 +3,8 @@
 #include <bit>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace semopt {
 
 namespace {
@@ -38,6 +40,18 @@ std::vector<uint8_t> PlanCache::Signature(const RuleExecutor& exec,
   return bands;
 }
 
+void PlanCache::EvictToCap() {
+  while (entries_.size() > max_entries_) {
+    const Key* oldest = lru_.back();
+    lru_.pop_back();
+    entries_.erase(*oldest);
+    ++evictions_;
+    obs::MetricsRegistry::Global()
+        .GetCounter("eval.plan_cache.evicted")
+        .Add(1);
+  }
+}
+
 Result<RuleExecutor::PreparedPlan> PlanCache::Get(
     const RuleExecutor& exec, const RelationSource& source, int delta_literal,
     EvalStats* stats, bool size_aware, bool skip_delta_index,
@@ -51,13 +65,15 @@ Result<RuleExecutor::PreparedPlan> PlanCache::Get(
   if (it != entries_.end()) {
     ++hits_;
     if (stats != nullptr) ++stats->plan_cache_hits;
+    // Refresh recency: splice this entry's node to the front.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     // The plan itself stays valid, but the semi-naive delta
     // double-buffers swap relation objects between rounds (and a
     // repeated evaluation starts from fresh relations entirely):
     // repair any index the current source's relations are missing.
-    exec.EnsurePlanIndexes(it->second, source, delta_literal,
+    exec.EnsurePlanIndexes(it->second.plan, source, delta_literal,
                            skip_delta_index);
-    return it->second;
+    return it->second.plan;
   }
   ++misses_;
   if (stats != nullptr) ++stats->plan_cache_misses;
@@ -65,7 +81,10 @@ Result<RuleExecutor::PreparedPlan> PlanCache::Get(
       RuleExecutor::PreparedPlan plan,
       exec.Prepare(source, delta_literal, size_aware, skip_delta_index,
                    partitioned));
-  entries_.emplace(std::move(key), plan);
+  auto [inserted_it, _] = entries_.emplace(std::move(key), Entry{plan, {}});
+  lru_.push_front(&inserted_it->first);
+  inserted_it->second.lru_it = lru_.begin();
+  EvictToCap();
   return plan;
 }
 

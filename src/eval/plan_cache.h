@@ -2,6 +2,7 @@
 #define SEMOPT_EVAL_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <string>
 #include <vector>
@@ -11,6 +12,29 @@
 #include "util/result.h"
 
 namespace semopt {
+
+/// The plan-memo surface the fixpoint engines plan through: either the
+/// single-threaded session PlanCache below, or the sharded-mutex
+/// SharedPlanCache (eval/shared_plan_cache.h) that many concurrent
+/// sessions share. EvalOptions::plan_cache points at one of these.
+class PlanCacheInterface {
+ public:
+  virtual ~PlanCacheInterface() = default;
+
+  /// Returns the memoized plan for `exec` at the current cardinality-
+  /// band signature, else plans through `exec.Prepare(...)` and caches
+  /// the result. On a hit the plan's probe indexes are revalidated (a
+  /// cheap HasIndex sweep that repairs indexes lost to the delta
+  /// double-buffer swap). Bumps `stats->plan_cache_{hits,misses}` when
+  /// `stats` is non-null.
+  virtual Result<RuleExecutor::PreparedPlan> Get(
+      const RuleExecutor& exec, const RelationSource& source,
+      int delta_literal, EvalStats* stats, bool size_aware = true,
+      bool skip_delta_index = false, bool partitioned = false) = 0;
+
+  /// Drops every cached plan.
+  virtual void Clear() = 0;
+};
 
 /// Cross-round (and cross-evaluation) memo of prepared rule plans,
 /// keyed by (rule text, delta literal, planner flags, log2 cardinality
@@ -36,36 +60,46 @@ namespace semopt {
 /// rule-object lifetimes. Correctness is unconditional: every BuildPlan
 /// output derives the same tuples regardless of data, so a stale band
 /// costs performance only. Single-threaded coordinator use, like
-/// Prepare.
-class PlanCache {
+/// Prepare; for cross-session sharing wrap shards of these in a
+/// SharedPlanCache.
+///
+/// Size is bounded: at most `max_entries` plans are kept, with
+/// least-recently-used eviction beyond the cap (every hit refreshes
+/// recency). A long-lived session cycling through ad-hoc queries
+/// therefore reaches a steady working set instead of growing without
+/// limit; each eviction bumps the process-wide
+/// `eval.plan_cache.evicted` counter and `evictions()`. The default
+/// cap is far above any single workload's live plan count, so
+/// steady-state hit rates stay at 100% unless a session genuinely
+/// cycles through more distinct (rule, regime) pairs than the cap.
+class PlanCache : public PlanCacheInterface {
  public:
-  /// Returns the memoized plan for `exec` at the current band
-  /// signature, else plans through `exec.Prepare(...)` and caches the
-  /// result. On a hit the plan's probe indexes are revalidated (a cheap
-  /// HasIndex sweep that repairs indexes lost to the delta double-buffer
-  /// swap). Bumps `stats->plan_cache_{hits,misses}` when `stats` is
-  /// non-null.
-  ///
-  /// `partitioned` selects the morsel-partitionable plan shape (see
-  /// RuleExecutor::Prepare) and is part of the cache key: partitioned
-  /// plans rotate the delta to the front AND deliberately lack the
-  /// driving step's probe index, so replaying one through the serial
-  /// engine — or vice versa — in a session that switches `:threads`
-  /// would execute the wrong shape. Keying on the regime keeps both
-  /// entries live so a serial→parallel→serial session still hits.
+  /// Default `max_entries`. A plan is a few hundred bytes of step
+  /// specs; 1024 of them is ~1 MB — roomy enough that eviction only
+  /// triggers on genuinely unbounded ad-hoc query churn.
+  static constexpr size_t kDefaultMaxEntries = 1024;
+
+  explicit PlanCache(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
   Result<RuleExecutor::PreparedPlan> Get(const RuleExecutor& exec,
                                          const RelationSource& source,
                                          int delta_literal, EvalStats* stats,
                                          bool size_aware = true,
                                          bool skip_delta_index = false,
-                                         bool partitioned = false);
+                                         bool partitioned = false) override;
 
-  /// Drops every cached plan.
-  void Clear() { entries_.clear(); }
+  /// Drops every cached plan (the eviction counter keeps its total).
+  void Clear() override {
+    entries_.clear();
+    lru_.clear();
+  }
 
   size_t size() const { return entries_.size(); }
+  size_t max_entries() const { return max_entries_; }
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
+  size_t evictions() const { return evictions_; }
 
  private:
   struct Key {
@@ -82,15 +116,27 @@ class PlanCache {
 
     auto operator<=>(const Key&) const = default;
   };
+  struct Entry {
+    RuleExecutor::PreparedPlan plan;
+    /// This entry's position in `lru_` (front = most recent).
+    std::list<const Key*>::iterator lru_it;
+  };
 
   /// Band signature of `exec`'s body against the current `source`.
   static std::vector<uint8_t> Signature(const RuleExecutor& exec,
                                         const RelationSource& source,
                                         int delta_literal);
 
-  std::map<Key, RuleExecutor::PreparedPlan> entries_;
+  /// Evicts least-recently-used entries until under the cap.
+  void EvictToCap();
+
+  std::map<Key, Entry> entries_;
+  /// Recency list of map-key pointers (map nodes are address-stable).
+  std::list<const Key*> lru_;
+  size_t max_entries_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
 };
 
 }  // namespace semopt

@@ -144,7 +144,7 @@ std::string ExecRuleKey(const Execution& exec) {
 /// true when any new tuple was inserted. `round` is the 1-based global
 /// round index (trace/stats labeling).
 Result<bool> RunRound(
-    ThreadPool& pool, PlanCache& plan_cache, const Database& edb,
+    ThreadPool& pool, PlanCacheInterface& plan_cache, const Database& edb,
     Database& idb, const std::set<PredicateId>& idb_preds,
     std::vector<Execution>& execs,
     std::map<PredicateId, std::unique_ptr<Relation>>* next_delta,
@@ -400,7 +400,7 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
   // supplied a session cache, across evaluations); only the coordinator
   // (RunRound's single-threaded planning block) touches it.
   PlanCache local_plan_cache;
-  PlanCache& plan_cache =
+  PlanCacheInterface& plan_cache =
       options.plan_cache != nullptr ? *options.plan_cache : local_plan_cache;
   SEMOPT_ASSIGN_OR_RETURN(std::vector<EvalComponent> components,
                           PlanComponents(program));

@@ -1,0 +1,41 @@
+#include "server/protocol.h"
+
+namespace semopt {
+
+std::string EncodeResponse(std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 8);
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    std::string_view line = body.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    if (!line.empty() && line.front() == '.') out.push_back('.');
+    out.append(line);
+    out.push_back('\n');
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  out.append(".\n");
+  return out;
+}
+
+std::string DecodeBodyLine(std::string_view line) {
+  if (line.size() >= 2 && line[0] == '.' && line[1] == '.') {
+    line.remove_prefix(1);
+  }
+  return std::string(line);
+}
+
+std::optional<std::string> LineBuffer::PopLine() {
+  size_t eol = buffer_.find('\n');
+  if (eol == std::string::npos) return std::nullopt;
+  size_t end = eol;
+  if (end > 0 && buffer_[end - 1] == '\r') --end;
+  std::string line = buffer_.substr(0, end);
+  buffer_.erase(0, eol + 1);
+  return line;
+}
+
+}  // namespace semopt

@@ -1,0 +1,50 @@
+#ifndef SEMOPT_SERVER_PROTOCOL_H_
+#define SEMOPT_SERVER_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace semopt {
+
+/// Wire format of the query server, chosen for lossless transport of
+/// the shell's multi-line answers over a plain byte stream:
+///
+///   request:  one line, terminated by '\n' — exactly a shell input
+///             line (statement, query, or .command).
+///   response: zero or more body lines, then a terminator line holding
+///             a single '.'. Body lines that start with '.' are
+///             escaped by doubling the leading dot (SMTP-style), so
+///             any response text — including lines that are just "." —
+///             round-trips exactly.
+///
+/// An empty response (e.g. a comment line) is just the terminator.
+
+/// Frames `body` (the processor's response text) for the wire:
+/// dot-escapes each line, ensures every line is '\n'-terminated, and
+/// appends the ".\n" terminator.
+std::string EncodeResponse(std::string_view body);
+
+/// Reverses EncodeResponse given the body lines received so far
+/// (terminator excluded, escapes intact): strips one leading dot from
+/// dot-escaped lines and joins with '\n'.
+std::string DecodeBodyLine(std::string_view line);
+
+/// Incremental line splitter over received bytes: feed chunks, pop
+/// complete '\n'-terminated lines (the '\n' — and a preceding '\r', so
+/// `nc -C`/telnet clients work — is stripped). Bytes after the last
+/// newline stay buffered.
+class LineBuffer {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Next complete line, or nullopt when no full line is buffered.
+  std::optional<std::string> PopLine();
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SERVER_PROTOCOL_H_

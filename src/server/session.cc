@@ -1,17 +1,18 @@
-#include "shell/shell.h"
+#include "server/session.h"
 
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <vector>
 
+#include "ast/rename.h"
 #include "eval/component_plan.h"
 #include "eval/constraint_check.h"
 #include "eval/explain.h"
-#include "eval/fixpoint.h"
-#include "exec/parallel_fixpoint.h"
 #include "eval/query.h"
+#include "exec/parallel_fixpoint.h"
 #include "io/fact_io.h"
 #include "magic/magic_sets.h"
 #include "obs/metrics.h"
@@ -46,7 +47,22 @@ std::vector<std::string> SplitWords(std::string_view s) {
 
 }  // namespace
 
-std::string Shell::Execute(std::string_view raw) {
+SessionCommandProcessor::SessionCommandProcessor(DatabaseHost* host)
+    : host_(host) {
+  eval_options_.plan_cache = host_->plan_cache();
+}
+
+QueryClass SessionCommandProcessor::Classify(const std::vector<Literal>& body,
+                                             const Program& program) {
+  const std::set<PredicateId> idb = program.IdbPredicates();
+  for (const Literal& lit : body) {
+    if (!lit.IsRelational()) continue;
+    if (idb.count(lit.atom().pred_id()) > 0) return QueryClass::kHeavy;
+  }
+  return QueryClass::kLight;
+}
+
+std::string SessionCommandProcessor::Execute(std::string_view raw) {
   std::string_view line = Trim(raw);
   if (line.empty() || line.front() == '%') return "";
   if (line.front() == '.' || line.front() == ':') return HandleCommand(line);
@@ -54,26 +70,37 @@ std::string Shell::Execute(std::string_view raw) {
   return HandleStatements(line);
 }
 
-std::string Shell::HandleStatements(std::string_view text) {
+std::string SessionCommandProcessor::HandleStatements(std::string_view text) {
   std::string source{Trim(text)};
   if (!source.empty() && source.back() != '.') source += '.';
   Result<Program> parsed = ParseProgram(source);
   if (!parsed.ok()) return parsed.status().ToString();
 
-  size_t rules = 0, facts = 0, constraints = 0;
+  size_t rules = 0, constraints = 0;
+  // Ground facts become one database write (a server host publishes
+  // them as a single new generation — readers see all or none of this
+  // statement batch); rules and ICs stay session-private.
+  std::vector<Atom> facts;
   for (const Rule& rule : parsed->rules()) {
     bool ground_fact = rule.IsFact();
     for (const Term& t : rule.head().args()) {
       if (t.IsVariable()) ground_fact = false;
     }
     if (ground_fact) {
-      Status st = edb_.AddFact(rule.head());
-      if (!st.ok()) return st.ToString();
-      ++facts;
+      facts.push_back(rule.head());
     } else {
       program_.AddRule(rule);
       ++rules;
     }
+  }
+  if (!facts.empty()) {
+    Result<uint64_t> written = host_->ApplyWrite([&](Database* db) {
+      for (const Atom& fact : facts) {
+        SEMOPT_RETURN_IF_ERROR(db->AddFact(fact));
+      }
+      return Status::Ok();
+    });
+    if (!written.ok()) return written.status().ToString();
   }
   for (const Constraint& ic : parsed->constraints()) {
     program_.AddConstraint(ic);
@@ -84,16 +111,31 @@ std::string Shell::HandleStatements(std::string_view text) {
   os << "added";
   if (rules > 0) os << " " << rules << " rule(s)";
   if (constraints > 0) os << " " << constraints << " constraint(s)";
-  if (facts > 0) os << " " << facts << " fact(s)";
+  if (!facts.empty()) os << " " << facts.size() << " fact(s)";
   return os.str();
 }
 
-std::string Shell::HandleQuery(std::string_view body_text) {
+std::string SessionCommandProcessor::HandleQuery(std::string_view body_text) {
   std::string source{Trim(body_text)};
   if (!source.empty() && source.back() == '.') source.pop_back();
+  Result<std::vector<Literal>> body = ParseLiteralList(source);
+  if (!body.ok()) return body.status().ToString();
+  std::vector<Term> projection;
+  for (SymbolId v : CollectVariables(*body)) projection.push_back(Term::Var(v));
+
+  // Admission (when the host schedules) happens before the snapshot is
+  // pinned, so queued queries don't hold generations live while they
+  // wait — and each query reads the freshest head at its start of
+  // execution.
+  SessionScheduler::Ticket ticket;
+  if (host_->scheduler() != nullptr) {
+    ticket = host_->scheduler()->Admit(Classify(*body, program_));
+  }
+  DatabaseSnapshot snap = host_->Snapshot();
+
   EvalStats stats;
-  Result<QueryResult> result =
-      AnswerQuery(program_, edb_, source, eval_options_, &stats);
+  Result<QueryResult> result = AnswerQuery(program_, snap.db(), *body,
+                                           projection, eval_options_, &stats);
   if (!result.ok()) return result.status().ToString();
   last_stats_ = stats;
   have_last_stats_ = true;
@@ -107,7 +149,7 @@ std::string Shell::HandleQuery(std::string_view body_text) {
   return os.str();
 }
 
-std::string Shell::HandleCommand(std::string_view line) {
+std::string SessionCommandProcessor::HandleCommand(std::string_view line) {
   std::vector<std::string> words = SplitWords(line);
   const std::string& cmd = words[0];
   std::vector<std::string> args(words.begin() + 1, words.end());
@@ -149,13 +191,17 @@ std::string Shell::HandleCommand(std::string_view line) {
   }
   if (cmd == ".reset") {
     program_ = Program();
-    edb_ = Database();
+    Result<uint64_t> cleared = host_->ApplyWrite([](Database* db) {
+      *db = Database();
+      return Status::Ok();
+    });
+    if (!cleared.ok()) return cleared.status().ToString();
     return "reset";
   }
   return StrCat("unknown command ", cmd, " (try .help)");
 }
 
-std::string Shell::CmdHelp() const {
+std::string SessionCommandProcessor::CmdHelp() const {
   return R"(statements:
   head :- body.            add a rule
   body -> head.            add an integrity constraint ("-> ." = denial)
@@ -183,7 +229,7 @@ commands:
   .quit                    leave)";
 }
 
-std::string Shell::CmdProgram() const {
+std::string SessionCommandProcessor::CmdProgram() const {
   if (program_.rules().empty() && program_.constraints().empty()) {
     return "(empty program)";
   }
@@ -192,14 +238,17 @@ std::string Shell::CmdProgram() const {
   return out;
 }
 
-std::string Shell::CmdDb(const std::vector<std::string>& args) const {
+std::string SessionCommandProcessor::CmdDb(
+    const std::vector<std::string>& args) {
+  DatabaseSnapshot snap = host_->Snapshot();
+  const Database& edb = snap.db();
   std::ostringstream os;
   if (args.empty()) {
-    for (const PredicateId& pred : edb_.Predicates()) {
-      const Relation* rel = edb_.Find(pred);
+    for (const PredicateId& pred : edb.Predicates()) {
+      const Relation* rel = edb.Find(pred);
       os << pred.ToString() << ": " << rel->size() << " tuple(s)\n";
     }
-    os << edb_.TotalTuples() << " tuple(s) total";
+    os << edb.TotalTuples() << " tuple(s) total";
     return os.str();
   }
   // "pred/arity" or "pred".
@@ -210,10 +259,10 @@ std::string Shell::CmdDb(const std::vector<std::string>& args) const {
     arity = std::atoi(name.c_str() + slash + 1);
     name = name.substr(0, slash);
   }
-  for (const PredicateId& pred : edb_.Predicates()) {
+  for (const PredicateId& pred : edb.Predicates()) {
     if (SymbolName(pred.name) != name) continue;
     if (arity >= 0 && pred.arity != static_cast<uint32_t>(arity)) continue;
-    SaveFacts(os, *edb_.Find(pred));
+    SaveFacts(os, *edb.Find(pred));
   }
   std::string out = os.str();
   if (out.empty()) return StrCat("no relation ", args[0]);
@@ -221,7 +270,8 @@ std::string Shell::CmdDb(const std::vector<std::string>& args) const {
   return out;
 }
 
-std::string Shell::CmdOptimize(const std::vector<std::string>& args) {
+std::string SessionCommandProcessor::CmdOptimize(
+    const std::vector<std::string>& args) {
   OptimizerOptions options;
   for (const std::string& arg : args) {
     if (arg == "flat") options.factor_committed = false;
@@ -242,7 +292,7 @@ std::string Shell::CmdOptimize(const std::vector<std::string>& args) {
   return os.str();
 }
 
-std::string Shell::CmdResidues() const {
+std::string SessionCommandProcessor::CmdResidues() const {
   Result<std::vector<Residue>> residues = GenerateAllResidues(program_);
   if (!residues.ok()) return residues.status().ToString();
   if (residues->empty()) return "no residues";
@@ -256,9 +306,10 @@ std::string Shell::CmdResidues() const {
   return out;
 }
 
-std::string Shell::CmdCheck() const {
+std::string SessionCommandProcessor::CmdCheck() {
+  DatabaseSnapshot snap = host_->Snapshot();
   Result<std::vector<ConstraintViolation>> violations =
-      CheckConstraints(edb_, program_.constraints(), 10);
+      CheckConstraints(snap.db(), program_.constraints(), 10);
   if (!violations.ok()) return violations.status().ToString();
   if (violations->empty()) return "all constraints satisfied";
   std::ostringstream os;
@@ -270,14 +321,26 @@ std::string Shell::CmdCheck() const {
   return out;
 }
 
-std::string Shell::CmdMagic(std::string_view rest) {
+std::string SessionCommandProcessor::CmdMagic(std::string_view rest) {
   std::string source{Trim(rest)};
   if (!source.empty() && source.back() == '.') source.pop_back();
   Result<Atom> query = ParseAtom(source);
   if (!query.ok()) return query.status().ToString();
+
+  // Magic answering of an IDB goal runs a (rewritten) fixpoint: heavy.
+  // An EDB goal degenerates to a lookup: light.
+  SessionScheduler::Ticket ticket;
+  if (host_->scheduler() != nullptr) {
+    const QueryClass cls = program_.IdbPredicates().count(query->pred_id()) > 0
+                               ? QueryClass::kHeavy
+                               : QueryClass::kLight;
+    ticket = host_->scheduler()->Admit(cls);
+  }
+  DatabaseSnapshot snap = host_->Snapshot();
+
   EvalStats stats;
   Result<std::vector<Tuple>> answers = AnswerWithMagic(
-      program_, edb_, *query, &stats, MagicOptions(), eval_options_);
+      program_, snap.db(), *query, &stats, MagicOptions(), eval_options_);
   if (!answers.ok()) return answers.status().ToString();
   last_stats_ = stats;
   have_last_stats_ = true;
@@ -290,19 +353,21 @@ std::string Shell::CmdMagic(std::string_view rest) {
   return os.str();
 }
 
-std::string Shell::CmdExplain(std::string_view rest) {
+std::string SessionCommandProcessor::CmdExplain(std::string_view rest) {
   std::string source{Trim(rest)};
   if (!source.empty() && source.back() == '.') source.pop_back();
   Result<Atom> goal = ParseAtom(source);
   if (!goal.ok()) return goal.status().ToString();
-  Result<ProofNode> proof = ExplainFromScratch(program_, edb_, *goal);
+  DatabaseSnapshot snap = host_->Snapshot();
+  Result<ProofNode> proof = ExplainFromScratch(program_, snap.db(), *goal);
   if (!proof.ok()) return proof.status().ToString();
   std::string out = proof->ToString();
   if (!out.empty() && out.back() == '\n') out.pop_back();
   return out;
 }
 
-std::string Shell::CmdThreads(const std::vector<std::string>& args) {
+std::string SessionCommandProcessor::CmdThreads(
+    const std::vector<std::string>& args) {
   if (args.empty()) {
     if (eval_options_.num_threads == 0) {
       return StrCat("threads auto (", ResolveNumThreads(eval_options_),
@@ -334,7 +399,8 @@ std::string Shell::CmdThreads(const std::vector<std::string>& args) {
                                                : " (morsel-parallel)");
 }
 
-std::string Shell::CmdBatch(const std::vector<std::string>& args) {
+std::string SessionCommandProcessor::CmdBatch(
+    const std::vector<std::string>& args) {
   if (args.empty()) {
     return StrCat("batch ", eval_options_.batch_size,
                   eval_options_.batch_size <= 1 ? " (per-tuple)" : "");
@@ -354,7 +420,8 @@ std::string Shell::CmdBatch(const std::vector<std::string>& args) {
                 eval_options_.batch_size <= 1 ? " (per-tuple)" : "");
 }
 
-std::string Shell::CmdPlan(const std::vector<std::string>& args) {
+std::string SessionCommandProcessor::CmdPlan(
+    const std::vector<std::string>& args) {
   if (args.size() != 1) return "usage: :plan PRED[/ARITY]";
   std::string name = args[0];
   int arity = -1;
@@ -365,6 +432,9 @@ std::string Shell::CmdPlan(const std::vector<std::string>& args) {
   }
   Result<std::vector<EvalComponent>> components = PlanComponents(program_);
   if (!components.ok()) return components.status().ToString();
+
+  DatabaseSnapshot snap = host_->Snapshot();
+  const Database& edb = snap.db();
 
   // Plan against the current EDB cardinalities; IDB relations are not
   // materialized here, so they count as empty (the order shown for a
@@ -381,7 +451,7 @@ std::string Shell::CmdPlan(const std::vector<std::string>& args) {
 
    private:
     const Database* edb_;
-  } source(&edb_);
+  } source(&edb);
 
   std::ostringstream os;
   size_t shown = 0;
@@ -414,7 +484,8 @@ std::string Shell::CmdPlan(const std::vector<std::string>& args) {
   return out;
 }
 
-std::string Shell::CmdTrace(const std::vector<std::string>& args) {
+std::string SessionCommandProcessor::CmdTrace(
+    const std::vector<std::string>& args) {
   if (!obs::kTracingCompiledIn) {
     return "tracing was compiled out (-DSEMOPT_DISABLE_TRACING)";
   }
@@ -442,7 +513,8 @@ std::string Shell::CmdTrace(const std::vector<std::string>& args) {
                 "; stop with :trace off)");
 }
 
-std::string Shell::CmdMetrics(const std::vector<std::string>& args) {
+std::string SessionCommandProcessor::CmdMetrics(
+    const std::vector<std::string>& args) {
   if (!args.empty()) {
     if (args[0] == "on") {
       eval_options_.collect_metrics = true;
@@ -466,7 +538,8 @@ std::string Shell::CmdMetrics(const std::vector<std::string>& args) {
                 " rehashes=", storage_metrics::TotalRehashes());
 }
 
-std::string Shell::CmdLoad(const std::vector<std::string>& args) {
+std::string SessionCommandProcessor::CmdLoad(
+    const std::vector<std::string>& args) {
   if (args.size() != 1) return "usage: .load FILE";
   std::ifstream in(args[0]);
   if (!in) return StrCat("cannot open ", args[0]);
@@ -475,11 +548,16 @@ std::string Shell::CmdLoad(const std::vector<std::string>& args) {
   return HandleStatements(buffer.str());
 }
 
-std::string Shell::CmdLoadTsv(const std::vector<std::string>& args) {
+std::string SessionCommandProcessor::CmdLoadTsv(
+    const std::vector<std::string>& args) {
   if (args.size() != 2) return "usage: .loadtsv PRED FILE";
-  Result<size_t> added = LoadTsvFile(args[1], args[0], &edb_);
-  if (!added.ok()) return added.status().ToString();
-  return StrCat("loaded ", *added, " tuple(s) into ", args[0]);
+  size_t added = 0;
+  Result<uint64_t> written = host_->ApplyWrite([&](Database* db) {
+    SEMOPT_ASSIGN_OR_RETURN(added, LoadTsvFile(args[1], args[0], db));
+    return Status::Ok();
+  });
+  if (!written.ok()) return written.status().ToString();
+  return StrCat("loaded ", added, " tuple(s) into ", args[0]);
 }
 
 }  // namespace semopt

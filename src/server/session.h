@@ -1,0 +1,127 @@
+#ifndef SEMOPT_SERVER_SESSION_H_
+#define SEMOPT_SERVER_SESSION_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/fixpoint.h"
+#include "eval/plan_cache.h"
+#include "server/scheduler.h"
+#include "storage/snapshot.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// How a session reaches the database it runs against. Two
+/// implementations:
+///  - the interactive shell owns its Database outright and hands out
+///    Unmanaged snapshots (single-threaded, no isolation needed);
+///  - the query server fronts a SnapshotStore shared by every session,
+///    so Snapshot() pins a frozen generation and ApplyWrite() publishes
+///    the next one.
+/// The processor below is written against this interface only, which
+/// is what makes one command set serve both.
+class DatabaseHost {
+ public:
+  virtual ~DatabaseHost() = default;
+
+  /// A read view of the database as of now. Under a server host this
+  /// pins a generation: concurrent writers publish new generations
+  /// without disturbing it.
+  virtual DatabaseSnapshot Snapshot() = 0;
+
+  /// Applies `fn` to the database. Under a server host the mutation
+  /// runs on a private clone and is published atomically; readers
+  /// never observe it half-applied. Returns the resulting epoch (0
+  /// for a local host).
+  virtual Result<uint64_t> ApplyWrite(
+      const std::function<Status(Database*)>& fn) = 0;
+
+  /// The plan cache every evaluation of this session borrows. May be
+  /// shared across sessions (SharedPlanCache) or private (PlanCache);
+  /// never null.
+  virtual PlanCacheInterface* plan_cache() = 0;
+
+  /// Admission control for query execution; null = run immediately
+  /// (local shell).
+  virtual SessionScheduler* scheduler() { return nullptr; }
+};
+
+/// One session's command interpreter: the parse/dispatch/format logic
+/// behind both the interactive shell and every server connection.
+/// Holds the session-private state — the rule program, evaluation
+/// options, last stats — and reaches shared state (database, plan
+/// cache, scheduler) only through the DatabaseHost.
+///
+/// Input forms (one per Execute call):
+///   p(X) :- q(X).            add a rule (session-private)
+///   a(X), X > 3 -> b(X).     add an integrity constraint
+///   edge(a, b).              add a fact (a database write)
+///   ?- p(X), X != a.         run a query
+///   .command [args]          commands (see `.help`)
+class SessionCommandProcessor {
+ public:
+  explicit SessionCommandProcessor(DatabaseHost* host);
+
+  /// Executes one input line and returns the text to display.
+  std::string Execute(std::string_view line);
+
+  /// True once `.quit` has been executed.
+  bool done() const { return done_; }
+
+  const Program& program() const { return program_; }
+  const EvalOptions& eval_options() const { return eval_options_; }
+
+  /// Sets the session's default evaluation thread count (the server
+  /// applies its per-query budget here; `:threads` can change it
+  /// later).
+  void set_num_threads(size_t n) { eval_options_.num_threads = n; }
+
+  /// Admission class of a parsed query body: light iff no relational
+  /// literal resolves to an IDB predicate of `program` (such queries
+  /// are pure base-relation lookups; everything else runs a fixpoint).
+  static QueryClass Classify(const std::vector<Literal>& body,
+                             const Program& program);
+
+ private:
+  std::string HandleCommand(std::string_view line);
+  std::string HandleQuery(std::string_view body_text);
+  std::string HandleStatements(std::string_view text);
+
+  std::string CmdHelp() const;
+  std::string CmdProgram() const;
+  std::string CmdDb(const std::vector<std::string>& args);
+  std::string CmdOptimize(const std::vector<std::string>& args);
+  std::string CmdResidues() const;
+  std::string CmdCheck();
+  std::string CmdMagic(std::string_view rest);
+  std::string CmdExplain(std::string_view rest);
+  std::string CmdLoad(const std::vector<std::string>& args);
+  std::string CmdLoadTsv(const std::vector<std::string>& args);
+
+  std::string CmdThreads(const std::vector<std::string>& args);
+  std::string CmdBatch(const std::vector<std::string>& args);
+  std::string CmdTrace(const std::vector<std::string>& args);
+  std::string CmdMetrics(const std::vector<std::string>& args);
+  std::string CmdPlan(const std::vector<std::string>& args);
+
+  DatabaseHost* host_;
+  Program program_;
+  /// Options applied to every query evaluation (`:threads`, `:metrics`
+  /// edit it); plan_cache points at host_->plan_cache().
+  EvalOptions eval_options_;
+  /// Destination of the running `:trace` session ("" = no session).
+  std::string trace_path_;
+  /// Stats of the most recent evaluation, shown by `:metrics`.
+  EvalStats last_stats_;
+  bool have_last_stats_ = false;
+  bool show_stats_ = false;
+  bool done_ = false;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_SERVER_SESSION_H_

@@ -5,21 +5,28 @@
 #include <string_view>
 
 #include "ast/program.h"
-#include "eval/fixpoint.h"
 #include "eval/plan_cache.h"
+#include "server/session.h"
 #include "storage/database.h"
+#include "storage/snapshot.h"
 
 namespace semopt {
 
 /// An interactive session over the library: accumulate rules, ICs and
 /// facts, query, optimize, and inspect. The REPL binary
-/// (`tools/semopt_shell`) is a thin loop over this class, which keeps
-/// every behaviour unit-testable.
+/// (`tools/semopt_shell`) is a thin loop over this class.
+///
+/// The command set itself lives in SessionCommandProcessor
+/// (server/session.h) — the same interpreter every query-server
+/// connection runs. The shell is the single-owner embedding: it holds
+/// the Database and a session PlanCache directly and serves them
+/// through a trivial DatabaseHost (unmanaged snapshots, in-place
+/// writes, no scheduler).
 ///
 /// Input forms:
 ///   p(X) :- q(X).            add a rule
-///   a(X), X > 3 -> b(X).     add an integrity constraint
-///   edge(a, b).              add a fact (ground, empty body)
+///   a(X), X > 3 -> b(X).     add an integrity constraint ("-> ." = denial)
+///   edge(a, b).              add a fact
 ///   ?- p(X), X != a.         run a query
 ///   .command [args]          session commands (see `.help`)
 ///   :threads N               evaluate queries with N worker threads
@@ -29,57 +36,43 @@ namespace semopt {
 ///   :plan PRED               show each PRED rule's join plan
 class Shell {
  public:
-  Shell() { eval_options_.plan_cache = &plan_cache_; }
+  Shell() : host_(), processor_(&host_) {}
 
   /// Executes one input line and returns the text to display.
-  std::string Execute(std::string_view line);
+  std::string Execute(std::string_view line) {
+    return processor_.Execute(line);
+  }
 
   /// True once `.quit` has been executed.
-  bool done() const { return done_; }
+  bool done() const { return processor_.done(); }
 
-  const Program& program() const { return program_; }
-  const Database& database() const { return edb_; }
+  const Program& program() const { return processor_.program(); }
+  const Database& database() const { return host_.db; }
 
  private:
-  std::string HandleCommand(std::string_view line);
-  std::string HandleQuery(std::string_view body_text);
-  std::string HandleStatements(std::string_view text);
+  /// The single-owner host: the shell's Database and plan cache, no
+  /// isolation machinery (one thread, no concurrent readers).
+  struct LocalHost : DatabaseHost {
+    DatabaseSnapshot Snapshot() override {
+      return DatabaseSnapshot::Unmanaged(&db);
+    }
+    Result<uint64_t> ApplyWrite(
+        const std::function<Status(Database*)>& fn) override {
+      SEMOPT_RETURN_IF_ERROR(fn(&db));
+      return uint64_t{0};
+    }
+    PlanCacheInterface* plan_cache() override { return &cache; }
 
-  std::string CmdHelp() const;
-  std::string CmdProgram() const;
-  std::string CmdDb(const std::vector<std::string>& args) const;
-  std::string CmdOptimize(const std::vector<std::string>& args);
-  std::string CmdResidues() const;
-  std::string CmdCheck() const;
-  std::string CmdMagic(std::string_view rest);
-  std::string CmdExplain(std::string_view rest);
-  std::string CmdLoad(const std::vector<std::string>& args);
-  std::string CmdLoadTsv(const std::vector<std::string>& args);
+    Database db;
+    /// Session plan cache, borrowed by every evaluation: re-running a
+    /// query re-traverses an already-seen cardinality-band trajectory,
+    /// so steady-state runs hit every round (`:metrics` shows
+    /// eval.plan_cache.hit/miss).
+    PlanCache cache;
+  };
 
-  std::string CmdThreads(const std::vector<std::string>& args);
-  std::string CmdBatch(const std::vector<std::string>& args);
-  std::string CmdTrace(const std::vector<std::string>& args);
-  std::string CmdMetrics(const std::vector<std::string>& args);
-  std::string CmdPlan(const std::vector<std::string>& args);
-
-  Program program_;
-  Database edb_;
-  /// Options applied to every query evaluation (`:threads`, `:metrics`
-  /// edit it).
-  EvalOptions eval_options_;
-  /// Session plan cache, borrowed by every evaluation through
-  /// eval_options_: re-running a query re-traverses an already-seen
-  /// cardinality-band trajectory, so steady-state runs hit every round
-  /// (`:metrics` shows eval.plan_cache.hit/miss). Entries are keyed by
-  /// rule text, so program edits simply stop matching old entries.
-  PlanCache plan_cache_;
-  /// Destination of the running `:trace` session ("" = no session).
-  std::string trace_path_;
-  /// Stats of the most recent evaluation, shown by `:metrics`.
-  EvalStats last_stats_;
-  bool have_last_stats_ = false;
-  bool show_stats_ = false;
-  bool done_ = false;
+  LocalHost host_;
+  SessionCommandProcessor processor_;
 };
 
 }  // namespace semopt

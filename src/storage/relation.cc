@@ -30,6 +30,71 @@ std::string TupleToString(const Tuple& tuple) {
   return TupleToString(RowRef(tuple));
 }
 
+Relation::~Relation() { FreeIndexes(); }
+
+void Relation::FreeIndexes() {
+  IndexNode* node = index_head_.load(std::memory_order_acquire);
+  index_head_.store(nullptr, std::memory_order_relaxed);
+  while (node != nullptr) {
+    IndexNode* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+void Relation::CopyIndexesFrom(const Relation& other) {
+  // Rebuild the list in the same order (push-front reverses, so walk
+  // into a vector first). Exclusive access on both sides by contract.
+  std::vector<const IndexNode*> nodes;
+  for (const IndexNode* n = other.index_head_.load(std::memory_order_acquire);
+       n != nullptr; n = n->next) {
+    nodes.push_back(n);
+  }
+  IndexNode* head = nullptr;
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    IndexNode* copy = new IndexNode{(*it)->index, head};
+    head = copy;
+  }
+  index_head_.store(head, std::memory_order_release);
+}
+
+Relation::Relation(const Relation& other)
+    : pred_(other.pred_),
+      store_(other.store_),
+      index_mu_(std::make_unique<std::mutex>()) {
+  CopyIndexesFrom(other);
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  pred_ = other.pred_;
+  store_ = other.store_;
+  FreeIndexes();
+  CopyIndexesFrom(other);
+  if (index_mu_ == nullptr) index_mu_ = std::make_unique<std::mutex>();
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : pred_(other.pred_),
+      store_(std::move(other.store_)),
+      index_head_(other.index_head_.load(std::memory_order_acquire)),
+      index_mu_(std::move(other.index_mu_)) {
+  other.index_head_.store(nullptr, std::memory_order_relaxed);
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  pred_ = other.pred_;
+  store_ = std::move(other.store_);
+  FreeIndexes();
+  index_head_.store(other.index_head_.load(std::memory_order_acquire),
+                    std::memory_order_relaxed);
+  other.index_head_.store(nullptr, std::memory_order_relaxed);
+  index_mu_ = std::move(other.index_mu_);
+  return *this;
+}
+
 bool Relation::Insert(RowRef row) {
   return Insert(row, HashValues(row.data(), arity()));
 }
@@ -38,7 +103,10 @@ bool Relation::Insert(RowRef row, size_t hash) {
   assert(row.size() == arity());
   auto [id, inserted] = store_.InsertIfAbsent(row.data(), hash);
   if (!inserted) return false;
-  for (Index& index : indexes_) IndexInsert(index, id);
+  for (IndexNode* n = index_head_.load(std::memory_order_acquire);
+       n != nullptr; n = n->next) {
+    IndexInsert(n->index, id);
+  }
   return true;
 }
 
@@ -168,21 +236,37 @@ void Relation::IndexRehash(Index& index, size_t new_slots) {
 
 const Relation::Index* Relation::FindIndex(
     const std::vector<uint32_t>& columns) const {
-  for (const Index& index : indexes_) {
-    if (index.columns == columns) return &index;
+  for (const IndexNode* n = index_head_.load(std::memory_order_acquire);
+       n != nullptr; n = n->next) {
+    if (n->index.columns == columns) return &n->index;
   }
   return nullptr;
 }
 
 void Relation::EnsureIndex(const std::vector<uint32_t>& columns) {
   if (FindIndex(columns) != nullptr) return;
-  indexes_.emplace_back();
-  Index& index = indexes_.back();
-  index.columns = columns;
+  std::lock_guard<std::mutex> lock(*index_mu_);
+  // Another builder may have published this column set while we waited.
+  if (FindIndex(columns) != nullptr) return;
+  IndexNode* node = new IndexNode();
+  node->index.columns = columns;
   const size_t n = store_.size();
   for (size_t r = 0; r < n; ++r) {
-    IndexInsert(index, static_cast<RowId>(r));
+    IndexInsert(node->index, static_cast<RowId>(r));
   }
+  // Publish only once fully built: concurrent FindIndex either misses
+  // (and the caller serializes on the mutex) or sees a complete index.
+  node->next = index_head_.load(std::memory_order_relaxed);
+  index_head_.store(node, std::memory_order_release);
+}
+
+size_t Relation::index_count() const {
+  size_t count = 0;
+  for (const IndexNode* n = index_head_.load(std::memory_order_acquire);
+       n != nullptr; n = n->next) {
+    ++count;
+  }
+  return count;
 }
 
 const std::vector<RowId>& Relation::Probe(
@@ -323,9 +407,10 @@ std::vector<Tuple> Relation::CopyRows() const {
 
 void Relation::Clear() {
   store_.Clear();
-  for (Index& index : indexes_) {
-    std::fill(index.slots.begin(), index.slots.end(), kEmptySlot);
-    index.buckets.clear();
+  for (IndexNode* n = index_head_.load(std::memory_order_acquire);
+       n != nullptr; n = n->next) {
+    std::fill(n->index.slots.begin(), n->index.slots.end(), kEmptySlot);
+    n->index.buckets.clear();
   }
 }
 

@@ -1,8 +1,11 @@
 #ifndef SEMOPT_STORAGE_RELATION_H_
 #define SEMOPT_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,10 +26,29 @@ namespace semopt {
 /// the arena holds the single copy of each tuple, and index keys are
 /// hashed/compared by projecting stored rows in place (no materialized
 /// key tuples). Indexes are maintained incrementally on insert.
+///
+/// Concurrency contract: mutation (Insert/Commit/Clear/Reserve) is
+/// exclusive — no other access may overlap it. On a *non-mutating*
+/// relation, however, any mix of Probe/ProbeBatch/Contains/HasIndex and
+/// EnsureIndex calls from different threads is safe: indexes live in an
+/// atomic append-only list (readers traverse lock-free; builders
+/// serialize on a per-relation mutex and publish fully-built indexes
+/// with a release store). This is what lets N sessions run read-only
+/// evaluations over one shared, already-materialized database — each
+/// session lazily builds whatever probe indexes its plans need without
+/// racing the others.
 class Relation {
  public:
   Relation(PredicateId pred)  // NOLINT(runtime/explicit)
-      : pred_(pred), store_(pred.arity) {}
+      : pred_(pred),
+        store_(pred.arity),
+        index_mu_(std::make_unique<std::mutex>()) {}
+  ~Relation();
+
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   PredicateId pred() const { return pred_; }
   uint32_t arity() const { return pred_.arity; }
@@ -101,8 +123,10 @@ class Relation {
 
   /// Ensures a hash index exists over `columns` (sorted, distinct,
   /// in-range). Subsequent `Probe` calls with the same column set are
-  /// O(1) expected. Mutates index state: must not run concurrently with
-  /// any other access to this relation.
+  /// O(1) expected. Safe to call concurrently with other EnsureIndex,
+  /// HasIndex and Probe calls as long as the relation is not being
+  /// mutated (see class comment); concurrent builders of the same
+  /// column set serialize and the loser reuses the winner's index.
   void EnsureIndex(const std::vector<uint32_t>& columns);
 
   /// True when a hash index over exactly `columns` is materialized.
@@ -149,7 +173,7 @@ class Relation {
   void Clear();
 
   /// Number of secondary indexes currently materialized.
-  size_t index_count() const { return indexes_.size(); }
+  size_t index_count() const;
 
   std::string ToString() const;
 
@@ -174,6 +198,15 @@ class Relation {
     std::vector<Bucket> buckets;
     size_t slot_mask = 0;
   };
+  /// One node of the atomic index list. A node is fully built before
+  /// the release store that links it in, and `next` never changes after
+  /// publication, so lock-free readers always traverse complete,
+  /// immutable-shaped indexes. (Insert still updates bucket contents —
+  /// but Insert is exclusive by contract.)
+  struct IndexNode {
+    Index index;
+    IndexNode* next = nullptr;
+  };
   static constexpr uint32_t kEmptySlot = UINT32_MAX;
 
   size_t ProjectionHash(RowId r, const std::vector<uint32_t>& columns) const;
@@ -185,9 +218,18 @@ class Relation {
   void IndexRehash(Index& index, size_t new_slots);
   const Index* FindIndex(const std::vector<uint32_t>& columns) const;
 
+  void FreeIndexes();
+  /// Deep-copies `other`'s index list (same order), for copy
+  /// construction/assignment. Exclusive access to both relations.
+  void CopyIndexesFrom(const Relation& other);
+
   PredicateId pred_;
   TupleStore store_;
-  std::vector<Index> indexes_;
+  /// Head of the published index list (push-front). Lock-free readers
+  /// acquire-load it; builders publish under `index_mu_`.
+  std::atomic<IndexNode*> index_head_{nullptr};
+  /// Serializes index builders. unique_ptr keeps Relation movable.
+  std::unique_ptr<std::mutex> index_mu_;
 };
 
 }  // namespace semopt

@@ -1,0 +1,118 @@
+#include "storage/snapshot.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace semopt {
+
+void DatabaseSnapshot::Release() {
+  if (store_ != nullptr) {
+    store_->Unpin(epoch_);
+    store_ = nullptr;
+  }
+  db_.reset();
+  unmanaged_ = nullptr;
+}
+
+SnapshotStore::SnapshotStore(Database initial)
+    : head_(std::make_shared<const Database>(std::move(initial))) {
+  obs::MetricsRegistry::Global()
+      .GetGauge("storage.snapshot.live_generations")
+      .Set(1);
+}
+
+SnapshotStore::~SnapshotStore() = default;
+
+DatabaseSnapshot SnapshotStore::Pin() {
+  DatabaseSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.epoch_ = epoch_;
+    snap.db_ = head_;
+    ++pins_[epoch_];
+  }
+  snap.store_ = this;
+  obs::MetricsRegistry::Global().GetCounter("storage.snapshot.pins").Add(1);
+  return snap;
+}
+
+void SnapshotStore::Unpin(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(epoch);
+  if (it == pins_.end()) return;  // defensive; every pin registers
+  if (--it->second == 0) pins_.erase(it);
+  ReclaimLocked();
+}
+
+Result<uint64_t> SnapshotStore::Mutate(
+    const std::function<Status(Database*)>& fn) {
+  // Writers serialize here so two Mutate calls never interleave their
+  // clone-apply-publish sequences; readers keep pinning the head
+  // concurrently (they only touch mu_, held briefly below).
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+
+  std::shared_ptr<const Database> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = head_;
+  }
+  auto next = std::make_shared<Database>(base->Clone());
+  SEMOPT_RETURN_IF_ERROR(fn(next.get()));
+
+  uint64_t published_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+    published_epoch = epoch_;
+    retired_.push_back(Retired{published_epoch, std::move(head_)});
+    head_ = std::move(next);
+    ReclaimLocked();
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("storage.snapshot.publishes").Add(1);
+  registry.GetGauge("storage.snapshot.epoch")
+      .Set(static_cast<int64_t>(published_epoch));
+  return published_epoch;
+}
+
+void SnapshotStore::ReclaimLocked() {
+  // A generation retired at epoch E was the head for epochs < E: it is
+  // unreachable once no pin at an epoch < E remains.
+  const uint64_t min_pinned =
+      pins_.empty() ? UINT64_MAX : pins_.begin()->first;
+  size_t kept = 0;
+  for (Retired& r : retired_) {
+    if (min_pinned < r.retired_at_epoch) {
+      retired_[kept++] = std::move(r);
+    } else {
+      ++reclaimed_;
+    }
+  }
+  const size_t dropped = retired_.size() - kept;
+  retired_.resize(kept);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (dropped > 0) {
+    registry.GetCounter("storage.snapshot.reclaimed")
+        .Add(static_cast<uint64_t>(dropped));
+  }
+  registry.GetGauge("storage.snapshot.live_generations")
+      .Set(static_cast<int64_t>(1 + retired_.size()));
+}
+
+uint64_t SnapshotStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t SnapshotStore::live_generations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return 1 + retired_.size();
+}
+
+uint64_t SnapshotStore::reclaimed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reclaimed_;
+}
+
+}  // namespace semopt

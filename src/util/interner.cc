@@ -5,10 +5,11 @@
 namespace semopt {
 
 SymbolId Interner::Intern(std::string_view s) {
-  auto it = ids_.find(std::string(s));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(s);
   if (it != ids_.end()) return it->second;
-  // Mutating the table while frozen would race with concurrent readers
-  // (parallel evaluation only ever reads pre-interned symbols).
+  // Mutating the table while frozen would mean a parallel-evaluation
+  // worker reached an un-pre-interned symbol (see class comment).
   assert(!frozen() && "interning a new symbol while the interner is frozen");
   SymbolId id = static_cast<SymbolId>(strings_.size());
   strings_.emplace_back(s);
@@ -17,7 +18,10 @@ SymbolId Interner::Intern(std::string_view s) {
 }
 
 const std::string& Interner::Lookup(SymbolId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(id < strings_.size());
+  // The deque element's address is stable, so the reference stays valid
+  // after the lock is released.
   return strings_[id];
 }
 

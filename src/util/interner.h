@@ -3,10 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace semopt {
 
@@ -17,11 +18,15 @@ using SymbolId = uint32_t;
 /// Maps strings to dense integer ids and back. Used for predicate names
 /// and string constants so the engine compares symbols as integers.
 ///
-/// Mutation (interning a *new* symbol) is single-threaded; concurrent
-/// `Lookup` and re-`Intern` of existing symbols are safe as long as no
-/// thread mutates. The parallel evaluator relies on this: everything it
-/// touches is pre-interned at parse/plan time, and it freezes the
-/// interner (debug-checked) while worker threads run.
+/// Thread-safe: `Intern` and `Lookup` take an internal mutex, so
+/// concurrent sessions (the query server) may parse — and thereby
+/// intern new symbols — at the same time. Strings live in a deque, so
+/// the reference `Lookup` returns stays valid for the interner's
+/// lifetime even while other threads intern. The freeze machinery
+/// remains as a debug check that the *parallel evaluator's worker
+/// threads* never intern: everything they touch is pre-interned at
+/// parse/plan time, and a worker-thread intern would mean a plan leaked
+/// un-interned state.
 class Interner {
  public:
   Interner() = default;
@@ -34,11 +39,15 @@ class Interner {
   SymbolId Intern(std::string_view s);
 
   /// Returns the string for `id`. `id` must have been returned by
-  /// `Intern` on this instance.
+  /// `Intern` on this instance. The reference is stable for the
+  /// interner's lifetime.
   const std::string& Lookup(SymbolId id) const;
 
   /// Number of distinct interned strings.
-  size_t size() const { return strings_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return strings_.size();
+  }
 
   /// Freeze/unfreeze nesting: while frozen, `Intern` of a not-yet-known
   /// symbol debug-asserts instead of mutating the table. Used to keep
@@ -50,8 +59,11 @@ class Interner {
   }
 
  private:
-  std::unordered_map<std::string, SymbolId> ids_;
-  std::vector<std::string> strings_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string_view, SymbolId> ids_;
+  /// Deque: element references never move, so Lookup's returned
+  /// reference (and the string_view keys of `ids_`) survive growth.
+  std::deque<std::string> strings_;
   std::atomic<int> freeze_depth_{0};
 };
 

@@ -4,6 +4,7 @@
 #include "eval/constraint_check.h"
 #include "eval/fixpoint.h"
 #include "eval/plan_cache.h"
+#include "eval/shared_plan_cache.h"
 #include "eval/query.h"
 #include "eval/rule_executor.h"
 
@@ -575,6 +576,99 @@ TEST(PlanCacheTest, SessionCacheHitsEveryRoundOnRepeatedEvaluation) {
   EXPECT_GT(second_stats.plan_cache_hits, 0u);
   EXPECT_EQ(second_stats.derived_tuples, first_stats.derived_tuples);
   EXPECT_TRUE(first->SameFactsAs(*second));
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedBeyondTheCap) {
+  // Distinct rules are distinct entries; a cap of 2 keeps only the two
+  // most recently touched plans and counts each eviction.
+  Database db = MustParseFacts("e(a, b). w(a, b). v(a, b).");
+  DbSource source(&db);
+  auto make_exec = [&](const char* text) {
+    Result<RuleExecutor> exec = RuleExecutor::Create(MustParseRule(text));
+    EXPECT_TRUE(exec.ok());
+    return std::move(*exec);
+  };
+  RuleExecutor e1 = make_exec("p(X, Y) :- e(X, Y)");
+  RuleExecutor e2 = make_exec("p(X, Y) :- w(X, Y)");
+  RuleExecutor e3 = make_exec("p(X, Y) :- v(X, Y)");
+
+  PlanCache cache(/*max_entries=*/2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  ASSERT_TRUE(cache.Get(e1, source, -1, nullptr).ok());
+  ASSERT_TRUE(cache.Get(e2, source, -1, nullptr).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch e1 so e2 is the LRU entry, then insert e3: e2 is evicted.
+  ASSERT_TRUE(cache.Get(e1, source, -1, nullptr).ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  ASSERT_TRUE(cache.Get(e3, source, -1, nullptr).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // e1 and e3 survived (hits); e2 was evicted (a fresh miss).
+  ASSERT_TRUE(cache.Get(e1, source, -1, nullptr).ok());
+  ASSERT_TRUE(cache.Get(e3, source, -1, nullptr).ok());
+  EXPECT_EQ(cache.hits(), 3u);
+  ASSERT_TRUE(cache.Get(e2, source, -1, nullptr).ok());
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(PlanCacheTest, SteadyStateHitRateStays100PercentUnderDefaultCap) {
+  // The regression the cap must not introduce: a realistic session —
+  // one recursive program re-evaluated many times — has a live plan
+  // set far below kDefaultMaxEntries, so after the first evaluation
+  // warms the cache, NO later evaluation ever misses or evicts.
+  Program program = MustParse(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+    pairs(X, Z) :- t(X, Y), t(Y, Z).
+  )");
+  Database edb;
+  for (int i = 0; i < 32; ++i) {
+    edb.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+
+  PlanCache session;  // default cap
+  EvalOptions options;
+  options.plan_cache = &session;
+  ASSERT_TRUE(Evaluate(program, edb, options).ok());  // warm-up
+  ASSERT_LT(session.size(), PlanCache::kDefaultMaxEntries);
+
+  const size_t warm_misses = session.misses();
+  size_t steady_lookups = 0;
+  for (int run = 0; run < 5; ++run) {
+    EvalStats stats;
+    ASSERT_TRUE(Evaluate(program, edb, options, &stats).ok());
+    EXPECT_EQ(stats.plan_cache_misses, 0u) << "run " << run;
+    EXPECT_GT(stats.plan_cache_hits, 0u);
+    steady_lookups += stats.plan_cache_hits;
+  }
+  EXPECT_EQ(session.misses(), warm_misses);  // 100% steady-state hits
+  EXPECT_EQ(session.evictions(), 0u);
+  EXPECT_GT(steady_lookups, 0u);
+}
+
+TEST(PlanCacheTest, SharedCacheServesManyCallersAndAggregates) {
+  // The sharded wrapper behaves like one big cache: a plan prepared
+  // through one caller's Get is a hit for every other caller, and the
+  // aggregate counters fold the shards.
+  Database db = MustParseFacts("e(a, b). e(b, c).");
+  DbSource source(&db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("p(X, Z) :- e(X, Y), e(Y, Z)"));
+  ASSERT_TRUE(exec.ok());
+
+  SharedPlanCache shared(/*shards=*/4);
+  EXPECT_EQ(shared.shard_count(), 4u);
+  ASSERT_TRUE(shared.Get(*exec, source, -1, nullptr).ok());
+  EXPECT_EQ(shared.misses(), 1u);
+  ASSERT_TRUE(shared.Get(*exec, source, -1, nullptr).ok());
+  EXPECT_EQ(shared.hits(), 1u);
+  EXPECT_EQ(shared.size(), 1u);
+  shared.Clear();
+  EXPECT_EQ(shared.size(), 0u);
 }
 
 TEST(PlanCacheTest, HitRepairsMissingIndexesOnFreshRelations) {

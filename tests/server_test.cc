@@ -1,0 +1,228 @@
+// QueryServer end-to-end over real loopback sockets: protocol framing,
+// concurrent sessions golden-diffed against the serial Shell, shared
+// plan cache traffic, and cross-session write visibility through the
+// snapshot store.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/server.h"
+#include "shell/shell.h"
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+
+namespace semopt {
+namespace {
+
+using testing_util::MustParseFacts;
+
+// --- protocol unit tests ---
+
+TEST(ProtocolTest, EncodesTerminatorAndDotEscapes) {
+  EXPECT_EQ(EncodeResponse(""), ".\n");
+  EXPECT_EQ(EncodeResponse("hello"), "hello\n.\n");
+  EXPECT_EQ(EncodeResponse("a\nb"), "a\nb\n.\n");
+  // Lines starting with '.' double the dot; a body line of exactly "."
+  // therefore survives transport.
+  EXPECT_EQ(EncodeResponse(".load failed"), "..load failed\n.\n");
+  EXPECT_EQ(EncodeResponse("x\n.\ny"), "x\n..\ny\n.\n");
+}
+
+TEST(ProtocolTest, DecodeReversesTheEscape) {
+  EXPECT_EQ(DecodeBodyLine("plain"), "plain");
+  EXPECT_EQ(DecodeBodyLine("..load failed"), ".load failed");
+  EXPECT_EQ(DecodeBodyLine(".."), ".");
+}
+
+TEST(ProtocolTest, LineBufferSplitsAndStripsCrLf) {
+  LineBuffer buffer;
+  buffer.Feed("one\r\ntwo\nthr");
+  EXPECT_EQ(buffer.PopLine(), "one");
+  EXPECT_EQ(buffer.PopLine(), "two");
+  EXPECT_FALSE(buffer.PopLine().has_value());
+  buffer.Feed("ee\n");
+  EXPECT_EQ(buffer.PopLine(), "three");
+}
+
+// --- socket test client ---
+
+/// Minimal blocking client for tests: send one request line, read one
+/// dot-terminated response, return the decoded body.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::string Request(const std::string& line) {
+    std::string wire = line + "\n";
+    EXPECT_EQ(::send(fd_, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+    std::string body;
+    bool first = true;
+    char buf[4096];
+    while (true) {
+      while (true) {
+        std::optional<std::string> received = lines_.PopLine();
+        if (!received.has_value()) break;
+        if (*received == ".") return body;
+        if (!first) body += "\n";
+        body += DecodeBodyLine(*received);
+        first = false;
+      }
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "connection closed mid-response";
+        return body;
+      }
+      lines_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  LineBuffer lines_;
+};
+
+// --- server tests ---
+
+TEST(QueryServerTest, ServesTheShellCommandSetOverASocket) {
+  QueryServer server(MustParseFacts("e(a, b). e(b, c). e(c, d)."));
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  TestClient client(server.port());
+  EXPECT_EQ(client.Request("t(X, Y) :- e(X, Y)."), "added 1 rule(s)");
+  EXPECT_EQ(client.Request("t(X, Z) :- t(X, Y), e(Y, Z)."),
+            "added 1 rule(s)");
+  EXPECT_EQ(client.Request("?- t(a, Y)."), "Y=b\nY=c\nY=d\n3 answer(s)");
+  EXPECT_EQ(client.Request(".db"), "e/2: 3 tuple(s)\n3 tuple(s) total");
+  EXPECT_EQ(client.Request("% comment"), "");
+  EXPECT_EQ(client.Request(".quit"), "bye");
+  server.Stop();
+  EXPECT_EQ(server.sessions_served(), 1u);
+}
+
+TEST(QueryServerTest, EightConcurrentSessionsMatchTheSerialShell) {
+  // The acceptance bar of the serving subsystem: 8 sessions running
+  // the same script concurrently against one shared database must each
+  // produce byte-identical output to the serial Shell running that
+  // script alone. Scripts are read-only on the database (rules are
+  // session-private), so the serial reference is deterministic.
+  const std::vector<std::string> script = {
+      "t(X, Y) :- e(X, Y).",
+      "t(X, Z) :- t(X, Y), e(Y, Z).",
+      "?- t(0, Y), Y > 17.",
+      "?- e(X, Y), e(Y, Z), Z > 18.",
+      ".program",
+      "?- t(X, 20), X < 3.",
+  };
+
+  std::string fact_text;
+  for (int i = 0; i < 20; ++i) {
+    fact_text += "e(" + std::to_string(i) + ", " + std::to_string(i + 1) +
+                 "). ";
+  }
+
+  // Serial reference.
+  std::vector<std::string> expected;
+  {
+    Shell shell;
+    shell.Execute(fact_text);
+    for (const std::string& line : script) {
+      expected.push_back(shell.Execute(line));
+    }
+  }
+
+  QueryServer::Options options;
+  options.sched.max_heavy = 3;  // force heavy queries to queue
+  QueryServer server(MustParseFacts(fact_text), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int kSessions = 8;
+  std::vector<std::vector<std::string>> outputs(kSessions);
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      TestClient client(server.port());
+      for (const std::string& line : script) {
+        outputs[s].push_back(client.Request(line));
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  server.Stop();
+
+  for (int s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(outputs[s], expected) << "session " << s;
+  }
+  EXPECT_EQ(server.sessions_served(), static_cast<uint64_t>(kSessions));
+
+  // Those 8 sessions planned through one shared cache: the first
+  // session's misses became everyone else's hits.
+  EXPECT_GT(server.plan_cache().hits(), 0u);
+  EXPECT_GT(server.plan_cache().size(), 0u);
+}
+
+TEST(QueryServerTest, WritesPublishAcrossSessions) {
+  QueryServer server(MustParseFacts("e(a, b)."));
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient writer(server.port());
+  TestClient reader(server.port());
+  EXPECT_EQ(reader.Request(".db"), "e/2: 1 tuple(s)\n1 tuple(s) total");
+
+  const uint64_t epoch_before = server.store().epoch();
+  EXPECT_EQ(writer.Request("e(b, c). e(c, d)."), "added 2 fact(s)");
+  EXPECT_EQ(server.store().epoch(), epoch_before + 1);
+
+  // The write is one published generation: the other session's next
+  // read sees both facts.
+  EXPECT_EQ(reader.Request(".db"), "e/2: 3 tuple(s)\n3 tuple(s) total");
+  server.Stop();
+}
+
+TEST(QueryServerTest, SessionProgramsAreIsolated) {
+  QueryServer server(MustParseFacts("e(a, b)."));
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient one(server.port());
+  TestClient two(server.port());
+  EXPECT_EQ(one.Request("t(X, Y) :- e(X, Y)."), "added 1 rule(s)");
+  // Session one can query through its rule; session two never sees it.
+  EXPECT_EQ(one.Request("?- t(X, Y)."), "X=a, Y=b\n1 answer(s)");
+  EXPECT_EQ(two.Request(".program"), "(empty program)");
+  server.Stop();
+}
+
+TEST(QueryServerTest, StopDisconnectsIdleSessions) {
+  QueryServer server(Database{});
+  ASSERT_TRUE(server.Start().ok());
+  TestClient idle(server.port());
+  EXPECT_EQ(idle.Request(".db"), "0 tuple(s) total");
+  // Stop must not hang on the connected-but-quiet session.
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace semopt

@@ -1,0 +1,107 @@
+// Scripted client for semopt_server: reads request lines from stdin
+// (a shell script — statements, queries, .commands), sends each over
+// the socket, and prints every decoded response body to stdout. The
+// output for a given script is byte-identical to running the same
+// lines through the local shell (minus prompts), which is what the CI
+// serving smoke test diffs.
+//
+//   $ ./build/tools/semopt_client --port 7432 < script.dl
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " --port N\n"
+            << "  reads request lines from stdin, prints each response\n";
+  return 2;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Reads one dot-terminated response; prints decoded body lines.
+/// Returns false on EOF/error before the terminator.
+bool ReadResponse(int fd, semopt::LineBuffer* lines) {
+  char buf[4096];
+  while (true) {
+    while (true) {
+      std::optional<std::string> line = lines->PopLine();
+      if (!line.has_value()) break;
+      if (*line == ".") return true;
+      std::cout << semopt::DecodeBodyLine(*line) << "\n";
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    lines->Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port <= 0 || port > 65535) return Usage(argv[0]);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "semopt_client: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::cerr << "semopt_client: connect: " << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+
+  semopt::LineBuffer lines;
+  std::string request;
+  int status = 0;
+  while (std::getline(std::cin, request)) {
+    if (!SendAll(fd, request + "\n")) {
+      std::cerr << "semopt_client: send failed\n";
+      status = 1;
+      break;
+    }
+    if (!ReadResponse(fd, &lines)) {
+      std::cerr << "semopt_client: connection closed mid-response\n";
+      status = 1;
+      break;
+    }
+  }
+  ::close(fd);
+  return status;
+}

@@ -1,0 +1,148 @@
+// Query server over the semopt library: N concurrent client sessions
+// against one shared materialized database, with snapshot-isolated
+// reads, a shared cross-session plan cache, and two-class admission
+// scheduling (see src/server/).
+//
+//   $ ./build/tools/semopt_server --port 7432 --init facts.dl
+//   semopt_server listening on port 7432
+//
+// Connect with tools/semopt_client (or nc): one request line in, a
+// dot-terminated response out. The command set is exactly the shell's
+// (`.help`). --init loads a program/fact file into the initial
+// database before serving; rules from --init are NOT shared (each
+// session brings its own program) — only the facts are.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <semaphore>
+#include <sstream>
+#include <string>
+
+#include "parser/parser.h"
+#include "server/server.h"
+#include "storage/database.h"
+
+namespace {
+
+std::binary_semaphore g_stop(0);
+
+void HandleSignal(int) { g_stop.release(); }
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--port N] [--init FILE] [--threads N]"
+               " [--max-heavy N] [--max-light N]\n"
+               "  --port N       TCP port on 127.0.0.1 (default 0 ="
+               " ephemeral; the bound port is printed)\n"
+               "  --init FILE    load facts from FILE into the shared"
+               " database before serving\n"
+               "  --threads N    worker threads per query evaluation"
+               " (default 1)\n"
+               "  --max-heavy N  concurrent recursive queries (default 2)\n"
+               "  --max-light N  concurrent point lookups (default 8)\n";
+  return 2;
+}
+
+/// Loads the ground facts of a program/fact file into `db` (rules and
+/// constraints in the file are ignored with a warning: the server's
+/// sessions own their programs).
+bool LoadInitFile(const std::string& path, semopt::Database* db) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "semopt_server: cannot open " << path << "\n";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  semopt::Result<semopt::Program> parsed =
+      semopt::ParseProgram(buffer.str());
+  if (!parsed.ok()) {
+    std::cerr << "semopt_server: " << path << ": "
+              << parsed.status().ToString() << "\n";
+    return false;
+  }
+  size_t facts = 0, skipped = 0;
+  for (const semopt::Rule& rule : parsed->rules()) {
+    bool ground_fact = rule.IsFact();
+    for (const semopt::Term& t : rule.head().args()) {
+      if (t.IsVariable()) ground_fact = false;
+    }
+    if (!ground_fact) {
+      ++skipped;
+      continue;
+    }
+    semopt::Status st = db->AddFact(rule.head());
+    if (!st.ok()) {
+      std::cerr << "semopt_server: " << path << ": " << st.ToString() << "\n";
+      return false;
+    }
+    ++facts;
+  }
+  skipped += parsed->constraints().size();
+  std::cerr << "semopt_server: loaded " << facts << " fact(s) from " << path;
+  if (skipped > 0) {
+    std::cerr << " (ignored " << skipped
+              << " rule(s)/constraint(s): programs are per-session)";
+  }
+  std::cerr << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  semopt::QueryServer::Options options;
+  std::string init_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--init") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      init_path = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.threads_per_query = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--max-heavy") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.sched.max_heavy = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--max-light") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.sched.max_light = static_cast<size_t>(std::atol(v));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  semopt::Database initial;
+  if (!init_path.empty() && !LoadInitFile(init_path, &initial)) return 1;
+
+  semopt::QueryServer server(std::move(initial), options);
+  if (semopt::Status st = server.Start(); !st.ok()) {
+    std::cerr << "semopt_server: " << st.ToString() << "\n";
+    return 1;
+  }
+  // The scripted smoke test greps for this exact line.
+  std::cout << "semopt_server listening on port " << server.port() << "\n"
+            << std::flush;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  g_stop.acquire();
+  std::cerr << "semopt_server: shutting down\n";
+  server.Stop();
+  return 0;
+}
