@@ -10,6 +10,7 @@
 #include "benchmark/benchmark.h"
 
 #include "eval/fixpoint.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "semopt/optimizer.h"
 #include "storage/database.h"
@@ -85,6 +86,28 @@ inline void PublishStats(::benchmark::State& state, const EvalStats& stats) {
         static_cast<double>(stats.runtime_residue_checks);
   }
 }
+
+/// Latency sampler for benchmark client loops: an unregistered
+/// obs::Histogram plus its snapshot percentiles. Replaces the ad-hoc
+/// sort-the-vector estimators individual benches used to carry — one
+/// implementation (log-bucket interpolation, see
+/// HistogramSnapshot::Percentile) now serves benches, `:stats`, and the
+/// Prometheus exposition, so their numbers agree. Observe is lock-free,
+/// so one recorder may be shared across client threads.
+class LatencyRecorder {
+ public:
+  void Observe(uint64_t us) { hist_.Observe(us); }
+  uint64_t PercentileUs(double q) const {
+    return static_cast<uint64_t>(hist_.Snapshot().Percentile(q));
+  }
+  uint64_t MeanUs() const {
+    return static_cast<uint64_t>(hist_.Snapshot().Mean());
+  }
+  size_t count() const { return hist_.Snapshot().count; }
+
+ private:
+  obs::Histogram hist_;
+};
 
 /// First line of `path`, or `fallback` when unreadable. Sysfs/procfs
 /// files are absent on non-Linux hosts and in some containers; the

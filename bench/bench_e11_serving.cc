@@ -7,8 +7,14 @@
 //     admission keep per-request latency flat as sessions multiply?
 //   - how far does aggregate throughput scale before the admission
 //     limits (not the clients) become the ceiling?
+//   - what does always-on query logging cost? (BM_ServingLogged runs
+//     the identical workload with the structured query log enabled and
+//     a 100ms slow-query mirror; the acceptance bar is within 3% of
+//     BM_Serving at 64 sessions — see EXPERIMENTS.md E12.)
 // Light and heavy requests are timed separately: admission keeps the
 // light tail bounded even while heavy fixpoints saturate their class.
+// Percentiles come from bench::LatencyRecorder (the shared log-bucket
+// histogram), not an ad-hoc sort.
 //
 // Artifact: bench/BENCH_e11.json (see EXPERIMENTS.md).
 
@@ -16,7 +22,6 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -91,29 +96,22 @@ class BenchClient {
   LineBuffer lines_;
 };
 
-uint64_t Percentile(std::vector<uint64_t>& us, double p) {
-  if (us.empty()) return 0;
-  std::sort(us.begin(), us.end());
-  size_t idx = static_cast<size_t>(p * static_cast<double>(us.size() - 1));
-  return us[idx];
-}
-
 /// One serving run: `sessions` client threads, each issuing
-/// `kRequestsPerSession` requests (every 5th heavy). Returns wall time
-/// and the per-class latency samples.
+/// `kRequestsPerSession` requests (every 5th heavy). Latency samples
+/// land in the shared recorders (lock-free Observe).
 struct RunResult {
   double seconds = 0;
   size_t requests = 0;
-  std::vector<uint64_t> light_us;
-  std::vector<uint64_t> heavy_us;
   bool ok = true;
 };
 
-RunResult RunServingWorkload(uint16_t port, int sessions) {
+RunResult RunServingWorkload(uint16_t port, int sessions,
+                             bench::LatencyRecorder* light,
+                             bench::LatencyRecorder* heavy) {
   constexpr int kRequestsPerSession = 40;
   RunResult result;
-  std::vector<std::vector<uint64_t>> light(sessions), heavy(sessions);
   std::atomic<bool> failed{false};
+  std::atomic<size_t> requests{0};
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -141,7 +139,8 @@ RunResult RunServingWorkload(uint16_t port, int sessions) {
                 std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - t0)
                     .count());
-        (is_heavy ? heavy[s] : light[s]).push_back(us);
+        (is_heavy ? heavy : light)->Observe(us);
+        requests.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -150,58 +149,88 @@ RunResult RunServingWorkload(uint16_t port, int sessions) {
                        std::chrono::steady_clock::now() - start)
                        .count();
   result.ok = !failed.load();
-  for (int s = 0; s < sessions; ++s) {
-    result.requests += light[s].size() + heavy[s].size();
-    result.light_us.insert(result.light_us.end(), light[s].begin(),
-                           light[s].end());
-    result.heavy_us.insert(result.heavy_us.end(), heavy[s].begin(),
-                           heavy[s].end());
-  }
+  result.requests = requests.load();
   return result;
 }
 
-void BM_Serving(::benchmark::State& state) {
+/// Shared body of BM_Serving / BM_ServingLogged: `logged` turns on the
+/// structured query log (to a scratch file) with the slow-query mirror
+/// armed at 100ms. At low session counts the mirror stays cold (no
+/// request takes 100ms of work); at 64 sessions queue wait pushes a
+/// slice of total_us past the threshold, so the logged leg exercises
+/// both streams — the worst case the 3% overhead bar is meant to
+/// cover (EXPERIMENTS.md E12).
+void RunServingBench(::benchmark::State& state, bool logged) {
   const int sessions = static_cast<int>(state.range(0));
   QueryServer::Options options;
   options.threads_per_query = 1;
+  std::string log_path;
+  if (logged) {
+    log_path = "/tmp/semopt_bench_e11_qlog_" +
+               std::to_string(::getpid()) + ".jsonl";
+    options.query_log_path = log_path;
+    options.slow_log_path = log_path + ".slow";
+    options.slow_query_us = 100000;
+  }
   QueryServer server(ChainDatabase(), options);
   if (!server.Start().ok()) {
     state.SkipWithError("server failed to start");
     return;
   }
 
-  std::vector<uint64_t> light_us, heavy_us;
+  bench::LatencyRecorder light, heavy;
   size_t requests = 0;
   for (auto _ : state) {
-    RunResult run = RunServingWorkload(server.port(), sessions);
+    RunResult run =
+        RunServingWorkload(server.port(), sessions, &light, &heavy);
     if (!run.ok) {
       state.SkipWithError("client transport failure");
       break;
     }
     state.SetIterationTime(run.seconds);
     requests += run.requests;
-    light_us.insert(light_us.end(), run.light_us.begin(), run.light_us.end());
-    heavy_us.insert(heavy_us.end(), run.heavy_us.begin(), run.heavy_us.end());
   }
+  const uint64_t logged_records = server.query_log().records();
   server.Stop();
+  if (!log_path.empty()) {
+    ::unlink(log_path.c_str());
+    ::unlink((log_path + ".slow").c_str());
+  }
 
   state.SetItemsProcessed(static_cast<int64_t>(requests));
   state.counters["sessions"] = sessions;
   state.counters["light_p50_us"] =
-      static_cast<double>(Percentile(light_us, 0.50));
+      static_cast<double>(light.PercentileUs(0.50));
   state.counters["light_p99_us"] =
-      static_cast<double>(Percentile(light_us, 0.99));
+      static_cast<double>(light.PercentileUs(0.99));
   state.counters["heavy_p50_us"] =
-      static_cast<double>(Percentile(heavy_us, 0.50));
+      static_cast<double>(heavy.PercentileUs(0.50));
   state.counters["heavy_p99_us"] =
-      static_cast<double>(Percentile(heavy_us, 0.99));
+      static_cast<double>(heavy.PercentileUs(0.99));
   state.counters["plan_cache_hits"] =
       static_cast<double>(server.plan_cache().hits());
+  if (logged) {
+    state.counters["logged_records"] = static_cast<double>(logged_records);
+  }
+}
+
+void BM_Serving(::benchmark::State& state) { RunServingBench(state, false); }
+
+void BM_ServingLogged(::benchmark::State& state) {
+  RunServingBench(state, true);
 }
 
 BENCHMARK(BM_Serving)
     ->Arg(1)
     ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK(BM_ServingLogged)
+    ->Arg(1)
     ->Arg(16)
     ->Arg(64)
     ->UseManualTime()

@@ -31,12 +31,24 @@ std::string EvalStats::Report() const {
     os << "morsel engine: eval.morsels=" << morsels
        << " eval.morsel_steals=" << morsel_steals << "\n";
   }
+  if (eval_ns > 0 || peak_delta_tuples > 0) {
+    os << "timing: eval.eval_us=" << eval_ns / 1000
+       << " eval.peak_delta_tuples=" << peak_delta_tuples << "\n";
+  }
+  if (!rounds.empty()) {
+    os << "rounds (stratum/round: time, delta in -> out, derived):\n";
+    for (const RoundTiming& rt : rounds) {
+      os << "  s" << rt.stratum << "/r" << rt.round << ": " << rt.ns / 1000
+         << " us, " << rt.delta_in << " -> " << rt.delta_out << ", derived "
+         << rt.derived << "\n";
+    }
+  }
   if (!per_rule.empty()) {
     os << "per-rule:\n";
     for (const auto& [label, rs] : per_rule) {
       os << "  " << label << ": applications=" << rs.applications
          << " derived=" << rs.derived << " duplicates=" << rs.duplicates
-         << "\n";
+         << " exec_us=" << rs.exec_ns / 1000 << "\n";
     }
   }
   if (!round_balance.empty()) {
@@ -76,11 +88,21 @@ void EvalStats::PublishTo(obs::MetricsRegistry& registry,
   registry.GetCounter(p + ".batches").Add(batches);
   registry.GetCounter(p + ".morsels").Add(morsels);
   registry.GetCounter(p + ".morsel_steals").Add(morsel_steals);
+  registry.GetCounter(p + ".eval_us").Add(eval_ns / 1000);
+  if (!rounds.empty()) {
+    obs::Histogram& round_us = registry.GetHistogram(p + ".round_us");
+    obs::Histogram& round_delta = registry.GetHistogram(p + ".round_delta");
+    for (const RoundTiming& rt : rounds) {
+      round_us.Observe(rt.ns / 1000);
+      round_delta.Observe(rt.delta_out);
+    }
+  }
   for (const auto& [label, rs] : per_rule) {
     std::string rule_prefix = StrCat(p, ".rule.", label);
     registry.GetCounter(rule_prefix + ".applications").Add(rs.applications);
     registry.GetCounter(rule_prefix + ".derived").Add(rs.derived);
     registry.GetCounter(rule_prefix + ".duplicates").Add(rs.duplicates);
+    registry.GetCounter(rule_prefix + ".exec_us").Add(rs.exec_ns / 1000);
   }
   if (!round_balance.empty()) {
     obs::Histogram& min_hist =

@@ -19,12 +19,36 @@ struct RuleStats {
   size_t applications = 0;
   size_t derived = 0;
   size_t duplicates = 0;
+  /// Wall time spent executing this rule (join + commit), summed over
+  /// applications. Nanoseconds; serial engine measures per RunRule, the
+  /// parallel engine sums per-morsel worker time (so concurrent morsels
+  /// count their full individual durations — it is CPU time shape, not
+  /// elapsed round time).
+  uint64_t exec_ns = 0;
 
   void Add(const RuleStats& o) {
     applications += o.applications;
     derived += o.derived;
     duplicates += o.duplicates;
+    exec_ns += o.exec_ns;
   }
+};
+
+/// One fixpoint round as the engines executed it: which stratum, the
+/// 1-based global round index within the evaluation, its wall time and
+/// the delta it consumed/produced. Collected whenever the caller passed
+/// an EvalStats (two clock reads per round — cheap enough for the
+/// always-on query log), independent of `collect_metrics`.
+struct RoundTiming {
+  size_t stratum = 0;
+  size_t round = 0;
+  uint64_t ns = 0;
+  /// Tuples in the consumed delta (0 for round 1 / non-recursive).
+  size_t delta_in = 0;
+  /// Tuples in the produced delta (0 on naive/non-recursive rounds).
+  size_t delta_out = 0;
+  /// New tuples inserted this round.
+  size_t derived = 0;
 };
 
 /// Tuples produced per worker slot in one parallel round — the
@@ -91,7 +115,15 @@ struct EvalStats {
   /// split would have assigned them to — the dynamic load balancing a
   /// fixed partition scheme forgoes.
   size_t morsel_steals = 0;
+  /// Wall time of the whole Evaluate call (both engines), nanoseconds.
+  uint64_t eval_ns = 0;
+  /// Largest per-round delta (tuples across the component's predicates)
+  /// the semi-naive fixpoint carried — the working-set high-water mark.
+  size_t peak_delta_tuples = 0;
 
+  /// Per-round timeline (stratum, wall time, delta sizes); filled by
+  /// both engines whenever stats are collected at all.
+  std::vector<RoundTiming> rounds;
   /// Per-rule breakdown; empty unless EvalOptions::collect_metrics.
   std::map<std::string, RuleStats> per_rule;
   /// Per-round worker balance; filled by the parallel evaluator when
@@ -111,6 +143,11 @@ struct EvalStats {
     batches += other.batches;
     morsels += other.morsels;
     morsel_steals += other.morsel_steals;
+    eval_ns += other.eval_ns;
+    peak_delta_tuples = peak_delta_tuples > other.peak_delta_tuples
+                            ? peak_delta_tuples
+                            : other.peak_delta_tuples;
+    rounds.insert(rounds.end(), other.rounds.begin(), other.rounds.end());
     for (const auto& [label, rs] : other.per_rule) per_rule[label].Add(rs);
     round_balance.insert(round_balance.end(), other.round_balance.begin(),
                          other.round_balance.end());

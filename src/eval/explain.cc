@@ -1,11 +1,13 @@
 #include "eval/explain.h"
 
+#include <cstdio>
 #include <set>
 #include <sstream>
 
 #include "ast/rename.h"
 #include "ast/unify.h"
 #include "eval/builtins.h"
+#include "eval/component_plan.h"
 #include "eval/fixpoint.h"
 #include "util/string_util.h"
 
@@ -183,6 +185,94 @@ Result<ProofNode> ExplainFromScratch(const Program& program,
                                      const Database& edb, const Atom& goal) {
   SEMOPT_ASSIGN_OR_RETURN(Database idb, Evaluate(program, edb));
   return Explain(program, edb, idb, goal);
+}
+
+namespace {
+
+/// RelationSource over the EDB only: IDB relations count as empty, the
+/// regime a fresh evaluation's first rounds plan in. Mirrors the
+/// server's `:plan` view so `:profile` and `:plan` show the same plans.
+class EdbOnlySource : public RelationSource {
+ public:
+  explicit EdbOnlySource(const Database* edb) : edb_(edb) {}
+  const Relation* Full(const PredicateId& pred) const override {
+    return edb_->Find(pred);
+  }
+  const Relation* Delta(const PredicateId&) const override {
+    return nullptr;
+  }
+
+ private:
+  const Database* edb_;
+};
+
+/// EvalStats::per_rule key for a planned rule (same convention as both
+/// engines: the label when set, else the head predicate).
+std::string AnalyzeRuleKey(const PlannedRule& pr) {
+  const std::string& label = pr.executor.rule().label();
+  return label.empty() ? pr.head.ToString() : label;
+}
+
+}  // namespace
+
+std::string ExplainAnalyze(const Program& program, const Database& edb,
+                           const EvalStats& stats,
+                           const EvalOptions& options) {
+  std::ostringstream os;
+  Result<std::vector<EvalComponent>> components = PlanComponents(program);
+  if (!components.ok()) return components.status().ToString();
+  EdbOnlySource source(&edb);
+
+  int64_t stratum = -1;
+  for (const EvalComponent& component : *components) {
+    ++stratum;
+    if (component.rules.empty()) continue;  // EDB-only component
+    os << "stratum " << stratum << " ("
+       << (component.recursive ? "recursive" : "non-recursive") << ", "
+       << component.rules.size()
+       << (component.rules.size() == 1 ? " rule" : " rules") << "):\n";
+    for (const PlannedRule& pr : component.rules) {
+      Result<RuleExecutor::PreparedPlan> plan =
+          pr.executor.Prepare(source, -1, options.cardinality_planning);
+      if (plan.ok()) {
+        os << pr.executor.DescribePlan(*plan) << "\n";
+      } else {
+        os << pr.executor.rule().ToString() << "\n  "
+           << plan.status().ToString() << "\n";
+      }
+      auto it = stats.per_rule.find(AnalyzeRuleKey(pr));
+      if (it != stats.per_rule.end()) {
+        const RuleStats& rs = it->second;
+        const uint64_t us = rs.exec_ns / 1000;
+        const double share =
+            stats.eval_ns > 0 ? 100.0 * static_cast<double>(rs.exec_ns) /
+                                    static_cast<double>(stats.eval_ns)
+                              : 0.0;
+        char pct[16];
+        std::snprintf(pct, sizeof(pct), "%.1f", share);
+        os << "  actual: " << rs.applications << " application(s), "
+           << rs.derived << " derived, " << rs.duplicates << " duplicate(s), "
+           << us << " us (" << pct << "% of eval)\n";
+      } else {
+        os << "  actual: (not executed)\n";
+      }
+    }
+  }
+
+  if (!stats.rounds.empty()) {
+    os << "rounds (stratum/round: time, delta in -> out, derived):\n";
+    for (const RoundTiming& rt : stats.rounds) {
+      os << "  s" << rt.stratum << "/r" << rt.round << ": " << rt.ns / 1000
+         << " us, " << rt.delta_in << " -> " << rt.delta_out << ", derived "
+         << rt.derived << "\n";
+    }
+  }
+  os << "totals: " << stats.iterations << " round(s), " << stats.derived_tuples
+     << " derived, " << stats.duplicate_tuples << " duplicate(s), plan cache "
+     << stats.plan_cache_hits << " hit(s) / " << stats.plan_cache_misses
+     << " miss(es), peak delta " << stats.peak_delta_tuples << ", eval "
+     << stats.eval_ns / 1000 << " us";
+  return os.str();
 }
 
 }  // namespace semopt

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ast/program.h"
+#include "eval/fixpoint.h"
 #include "storage/database.h"
 #include "util/result.h"
 
@@ -43,6 +44,19 @@ Result<ProofNode> Explain(const Program& program, const Database& edb,
 /// Convenience: evaluates the program and explains in one step.
 Result<ProofNode> ExplainFromScratch(const Program& program,
                                      const Database& edb, const Atom& goal);
+
+/// EXPLAIN ANALYZE for a bottom-up evaluation: renders each rule's join
+/// plan (planned against the EDB cardinalities, the order a fresh
+/// evaluation's first rounds use) annotated with what actually happened
+/// — per-rule applications/derived/duplicates/time from
+/// `stats.per_rule` (present when the evaluation ran with
+/// EvalOptions::collect_metrics), the per-round timeline from
+/// `stats.rounds`, and a totals footer. `stats` must come from
+/// evaluating `program` over `edb` (the server's `:profile` re-runs the
+/// query with collect_metrics to produce it).
+std::string ExplainAnalyze(const Program& program, const Database& edb,
+                           const EvalStats& stats,
+                           const EvalOptions& options);
 
 }  // namespace semopt
 

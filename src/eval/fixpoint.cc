@@ -1,6 +1,7 @@
 #include "eval/fixpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -52,6 +53,13 @@ struct RuleRunResult {
   size_t derived = 0;
   size_t duplicates = 0;
 };
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Runs one rule execution with the derived tuples buffered into
 /// `buffer` (cleared first). Rules may scan the very relation they
@@ -106,6 +114,8 @@ RuleRunResult RunRule(const PlannedRule& pr, PlanCacheInterface& cache,
                       Relation& target, Relation* delta_target,
                       TupleBuffer* buffer) {
   obs::TraceSpan span(RuleSpanName(pr));
+  const bool time_rule = stats != nullptr && options.collect_metrics;
+  const uint64_t start_ns = time_rule ? NowNs() : 0;
   buffer->Reset(
       static_cast<uint32_t>(pr.executor.rule().head().args().size()));
   ExecuteBuffered(pr, cache, source, delta_literal, options, stats, buffer);
@@ -116,21 +126,34 @@ RuleRunResult RunRule(const PlannedRule& pr, PlanCacheInterface& cache,
   if (stats != nullptr) {
     stats->derived_tuples += result.derived;
     stats->duplicate_tuples += result.duplicates;
-    if (options.collect_metrics) {
+    if (time_rule) {
       RuleStats& rs = stats->per_rule[RuleKey(pr)];
       ++rs.applications;
       rs.derived += result.derived;
       rs.duplicates += result.duplicates;
+      rs.exec_ns += NowNs() - start_ns;
     }
   }
   return result;
 }
 
-Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
+/// Round-granularity safety valves: iteration cap and wall-clock
+/// budget. `eval_start_ns` is the Evaluate entry time, so the budget
+/// covers the whole evaluation, not the current stratum.
+Status CheckRoundBudgets(size_t iterations, uint64_t eval_start_ns,
+                         const EvalOptions& options) {
   if (options.max_iterations > 0 && iterations > options.max_iterations) {
     return Status::FailedPrecondition(
         StrCat("evaluation exceeded max_iterations=",
                options.max_iterations));
+  }
+  if (options.budget_us > 0) {
+    const uint64_t elapsed_us = (NowNs() - eval_start_ns) / 1000;
+    if (elapsed_us > options.budget_us) {
+      return Status::FailedPrecondition(
+          StrCat("evaluation exceeded budget_us=", options.budget_us,
+                 " (elapsed ", elapsed_us, " us)"));
+    }
   }
   return Status::Ok();
 }
@@ -138,6 +161,7 @@ Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
 Result<Database> EvaluateSerial(const Program& program, const Database& edb,
                                 const EvalOptions& options, EvalStats* stats) {
   obs::TraceSpan eval_span("eval.serial");
+  const uint64_t eval_start_ns = NowNs();
 
   SEMOPT_ASSIGN_OR_RETURN(std::vector<EvalComponent> components,
                           PlanComponents(program));
@@ -159,6 +183,25 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
   // resets it, so steady-state rounds recycle its arena.
   TupleBuffer rule_buffer(0);
 
+  // 1-based global round index across strata (RoundTiming labeling).
+  size_t global_round = 0;
+  // Appends the round just finished to the stats timeline.
+  auto record_round = [&](int64_t stratum, uint64_t round_start_ns,
+                          size_t delta_in, size_t delta_out, size_t derived) {
+    if (stats == nullptr) return;
+    RoundTiming rt;
+    rt.stratum = static_cast<size_t>(stratum);
+    rt.round = global_round;
+    rt.ns = NowNs() - round_start_ns;
+    rt.delta_in = delta_in;
+    rt.delta_out = delta_out;
+    rt.derived = derived;
+    stats->rounds.push_back(rt);
+    if (delta_out > stats->peak_delta_tuples) {
+      stats->peak_delta_tuples = delta_out;
+    }
+  };
+
   int64_t component_index = -1;
   for (const EvalComponent& component : components) {
     ++component_index;
@@ -173,13 +216,18 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
     if (!component.recursive) {
       // One pass suffices.
       if (stats != nullptr) ++stats->iterations;
+      ++global_round;
+      const uint64_t round_start_ns = NowNs();
       obs::TraceSpan round_span("round");
       round_span.AddArg("round", 1);
+      size_t pass_derived = 0;
       for (const PlannedRule& pr : planned) {
-        RunRule(pr, plan_cache, source, -1, options, stats,
-                idb.GetOrCreate(pr.head), /*delta_target=*/nullptr,
-                &rule_buffer);
+        pass_derived += RunRule(pr, plan_cache, source, -1, options, stats,
+                                idb.GetOrCreate(pr.head),
+                                /*delta_target=*/nullptr, &rule_buffer)
+                            .derived;
       }
+      record_round(component_index, round_start_ns, 0, 0, pass_derived);
       continue;
     }
 
@@ -191,8 +239,10 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
         changed = false;
         ++local_iterations;
         if (stats != nullptr) ++stats->iterations;
+        ++global_round;
         SEMOPT_RETURN_IF_ERROR(
-            CheckIterationBudget(local_iterations, options));
+            CheckRoundBudgets(local_iterations, eval_start_ns, options));
+        const uint64_t round_start_ns = NowNs();
         obs::TraceSpan round_span("round");
         round_span.AddArg("round", static_cast<int64_t>(local_iterations));
         size_t round_derived = 0;
@@ -205,6 +255,7 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
         }
         changed = round_derived > 0;
         round_span.AddArg("derived", static_cast<int64_t>(round_derived));
+        record_round(component_index, round_start_ns, 0, 0, round_derived);
       }
       continue;
     }
@@ -220,33 +271,42 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
     }
 
     if (stats != nullptr) ++stats->iterations;
-    {
-      obs::TraceSpan round_span("round");
-      round_span.AddArg("round", 1);
-      for (const PlannedRule& pr : planned) {
-        RunRule(pr, plan_cache, source, -1, options, stats,
-                idb.GetOrCreate(pr.head), delta[pr.head].get(),
-                &rule_buffer);
-      }
-    }
-
-    size_t local_iterations = 1;
+    ++global_round;
     auto delta_total = [&]() {
       size_t total = 0;
       for (const auto& [p, rel] : delta) total += rel->size();
       return total;
     };
+    {
+      const uint64_t round_start_ns = NowNs();
+      obs::TraceSpan round_span("round");
+      round_span.AddArg("round", 1);
+      size_t seed_derived = 0;
+      for (const PlannedRule& pr : planned) {
+        seed_derived += RunRule(pr, plan_cache, source, -1, options, stats,
+                                idb.GetOrCreate(pr.head),
+                                delta[pr.head].get(), &rule_buffer)
+                            .derived;
+      }
+      record_round(component_index, round_start_ns, 0, delta_total(),
+                   seed_derived);
+    }
 
+    size_t local_iterations = 1;
     size_t pending = delta_total();
     while (pending > 0) {
       ++local_iterations;
       if (stats != nullptr) ++stats->iterations;
-      SEMOPT_RETURN_IF_ERROR(CheckIterationBudget(local_iterations, options));
+      ++global_round;
+      SEMOPT_RETURN_IF_ERROR(
+          CheckRoundBudgets(local_iterations, eval_start_ns, options));
 
+      const uint64_t round_start_ns = NowNs();
       obs::TraceSpan round_span("round");
       round_span.AddArg("round", static_cast<int64_t>(local_iterations));
       round_span.AddArg("delta_in", static_cast<int64_t>(pending));
 
+      size_t round_derived = 0;
       for (const PlannedRule& pr : planned) {
         if (pr.recursive_literals.empty()) continue;  // exit rule: done
         Relation& target = idb.GetOrCreate(pr.head);
@@ -258,20 +318,25 @@ Result<Database> EvaluateSerial(const Program& program, const Database& edb,
           for (const PredicateId& p : component.preds) {
             source.SetDelta(p, delta[p].get());
           }
-          RunRule(pr, plan_cache, source, lit_index, options, stats, target,
-                  next_delta[pr.head].get(), &rule_buffer);
+          round_derived +=
+              RunRule(pr, plan_cache, source, lit_index, options, stats,
+                      target, next_delta[pr.head].get(), &rule_buffer)
+                  .derived;
         }
       }
       source.ClearDeltas();
       // Arena double-buffer: Clear retains the old delta's arena and
       // table capacity, and the swap moves pointers, so steady-state
       // rounds recycle storage instead of reallocating it.
+      const size_t delta_in = pending;
       for (const PredicateId& p : component.preds) {
         delta[p]->Clear();
         std::swap(delta[p], next_delta[p]);
       }
       pending = delta_total();
       round_span.AddArg("delta_out", static_cast<int64_t>(pending));
+      record_round(component_index, round_start_ns, delta_in, pending,
+                   round_derived);
     }
     source.ClearDeltas();
   }
@@ -308,13 +373,18 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
   // Honors EvalOptions::trace_path for both engines; when a session is
   // already running (shell `:trace`) this is a no-op passthrough.
   obs::ScopedTraceFile trace_file(options.trace_path);
+  // Coordinator-thread query attribution; the parallel engine re-opens
+  // the scope on each worker lane.
+  obs::QueryIdScope qid_scope(options.query_id);
+  const uint64_t start_ns = NowNs();
 
   // num_threads == 1 is the serial path; anything else (including
   // 0 = auto-detect) goes through the morsel-driven parallel evaluator.
-  if (options.num_threads != 1) {
-    return EvaluateParallel(program, edb, options, stats);
-  }
-  return EvaluateSerial(program, edb, options, stats);
+  Result<Database> result =
+      options.num_threads != 1 ? EvaluateParallel(program, edb, options, stats)
+                               : EvaluateSerial(program, edb, options, stats);
+  if (stats != nullptr) stats->eval_ns += NowNs() - start_ns;
+  return result;
 }
 
 }  // namespace semopt

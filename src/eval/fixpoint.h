@@ -52,10 +52,28 @@ struct EvalOptions {
   /// (shell `:trace`), the outer session keeps ownership and no file
   /// is written here. No-op when built with -DSEMOPT_DISABLE_TRACING.
   std::string trace_path;
-  /// Collect the structured extras in EvalStats (per-rule counters,
-  /// per-round worker balance). Off by default: the fast path only
-  /// bumps the scalar totals.
+  /// Collect the structured extras in EvalStats (per-rule counters and
+  /// timings, per-round worker balance). Off by default: the fast path
+  /// only bumps the scalar totals. Per-round timings (EvalStats::rounds)
+  /// are NOT gated on this — they cost two clock reads per round and
+  /// feed the always-on query log.
   bool collect_metrics = false;
+  /// Wall-clock budget for the whole evaluation, microseconds; checked
+  /// at round granularity (a round in flight finishes), so enforcement
+  /// lags by up to one round. Exceeding it aborts the evaluation with
+  /// FailedPrecondition. 0 = unlimited.
+  uint64_t budget_us = 0;
+  /// Slow-query threshold, microseconds: a query whose end-to-end time
+  /// reaches it is mirrored into the server's slow-query log. The
+  /// engines ignore this field — it rides on EvalOptions so the
+  /// session/shell `:set`-style plumbing configures it per session; 0 =
+  /// use the query log's default threshold.
+  uint64_t slow_query_us = 0;
+  /// Query id for observability attribution. The engines open an
+  /// obs::QueryIdScope with it, so every trace span recorded during the
+  /// evaluation — including on parallel worker lanes — carries a "qid"
+  /// arg. 0 = unattributed.
+  uint64_t query_id = 0;
   /// Caller-owned session plan cache (see eval/plan_cache.h), borrowed
   /// for the evaluation; null = a private per-evaluation cache. A cache
   /// held across Evaluate calls memoizes one plan per (rule, delta,

@@ -1,6 +1,7 @@
 #include "exec/parallel_fixpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -34,6 +35,13 @@ size_t ResolveMorselSize(const EvalOptions& options) {
 }
 
 namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Read-only view over the frozen EDB + IDB with at most one delta
 /// binding: the frozen delta relation an execution reads at its delta
@@ -119,6 +127,9 @@ struct alignas(64) WorkerState {
   EvalStats stats;
   size_t morsels = 0;
   size_t steals = 0;
+  /// Per-execution morsel wall time (collect_metrics only): summed into
+  /// RuleStats::exec_ns after the round.
+  std::vector<uint64_t> exec_ns;
 };
 
 /// Span name for one morsel: the rule's label when set, so per-rule
@@ -148,7 +159,25 @@ Result<bool> RunRound(
     Database& idb, const std::set<PredicateId>& idb_preds,
     std::vector<Execution>& execs,
     std::map<PredicateId, std::unique_ptr<Relation>>* next_delta,
-    const EvalOptions& options, EvalStats* stats, size_t round) {
+    const EvalOptions& options, EvalStats* stats, size_t round,
+    size_t stratum, size_t delta_in) {
+  const uint64_t round_start_ns = NowNs();
+  // Appends the finished round to the stats timeline (always when stats
+  // are collected; feeds the per-query log).
+  auto record_round = [&](size_t delta_out, size_t derived) {
+    if (stats == nullptr) return;
+    RoundTiming rt;
+    rt.stratum = stratum;
+    rt.round = round;
+    rt.ns = NowNs() - round_start_ns;
+    rt.delta_in = delta_in;
+    rt.delta_out = delta_out;
+    rt.derived = derived;
+    stats->rounds.push_back(rt);
+    if (delta_out > stats->peak_delta_tuples) {
+      stats->peak_delta_tuples = delta_out;
+    }
+  };
   const size_t lanes = pool.num_threads();
   const size_t morsel_size = ResolveMorselSize(options);
   SnapshotSource planning_source(&edb, &idb, &idb_preds);
@@ -208,7 +237,10 @@ Result<bool> RunRound(
     plan_span.AddArg("morsels", static_cast<int64_t>(morsels.size()));
   }
   round_span.AddArg("morsels", static_cast<int64_t>(morsels.size()));
-  if (morsels.empty()) return false;
+  if (morsels.empty()) {
+    record_round(0, 0);
+    return false;
+  }
   const size_t total_morsels = morsels.size();
 
   if (options.collect_metrics) {
@@ -225,12 +257,14 @@ Result<bool> RunRound(
   std::vector<WorkerState> workers(lanes);
   for (WorkerState& ws : workers) {
     ws.sinks.resize(execs.size());
+    if (options.collect_metrics) ws.exec_ns.assign(execs.size(), 0);
     for (size_t e = 0; e < execs.size(); ++e) {
       ws.sinks[e].rows.Reset(execs[e].rule->head.arity);
     }
   }
 
   bool changed = false;
+  size_t round_derived = 0;
   {
     InternerFreezeGuard freeze;
     SEMOPT_RETURN_IF_ERROR(pool.ParallelForWorkers(
@@ -238,6 +272,11 @@ Result<bool> RunRound(
           const Morsel& m = morsels[i];
           const Execution& exec = execs[m.exec_index];
           WorkerState& ws = workers[lane];
+          // Worker-lane query attribution: spans this morsel records
+          // carry the query id of the evaluation that scheduled it.
+          obs::QueryIdScope qid_scope(options.query_id);
+          const uint64_t morsel_start_ns =
+              options.collect_metrics ? NowNs() : 0;
           ++ws.morsels;
           // A steal is a morsel claimed by a lane other than the one a
           // static contiguous split would have assigned it to — the
@@ -272,6 +311,9 @@ Result<bool> RunRound(
                   }
                 },
                 &ws.stats, options.batch_size, m.begin, m.end, &ws.scratch);
+          }
+          if (options.collect_metrics) {
+            ws.exec_ns[m.exec_index] += NowNs() - morsel_start_ns;
           }
           return Status::Ok();
         }));
@@ -321,6 +363,7 @@ Result<bool> RunRound(
         }));
     for (size_t e = 0; e < execs.size(); ++e) {
       if (exec_inserted[e] > 0) changed = true;
+      round_derived += exec_inserted[e];
     }
 
     if (stats != nullptr) {
@@ -344,6 +387,9 @@ Result<bool> RunRound(
           ++rs.applications;
           rs.derived += exec_inserted[e];
           rs.duplicates += exec_duplicate[e];
+          for (const WorkerState& ws : workers) {
+            rs.exec_ns += ws.exec_ns[e];
+          }
         }
         // Tuples produced and morsels claimed per lane: the balance
         // the merged totals hide.
@@ -369,14 +415,32 @@ Result<bool> RunRound(
     }
   }
   round_span.AddArg("changed", changed ? 1 : 0);
+  size_t delta_out = 0;
+  if (next_delta != nullptr) {
+    // next_delta only holds this round's insertions (the caller clears
+    // and swaps per round), so its total IS the produced delta.
+    for (const auto& [p, rel] : *next_delta) delta_out += rel->size();
+  }
+  record_round(delta_out, round_derived);
   return changed;
 }
 
-Status CheckIterationBudget(size_t iterations, const EvalOptions& options) {
+/// Round-granularity safety valves: iteration cap and wall-clock
+/// budget (elapsed since `eval_start_ns`, the EvaluateParallel entry).
+Status CheckRoundBudgets(size_t iterations, uint64_t eval_start_ns,
+                         const EvalOptions& options) {
   if (options.max_iterations > 0 && iterations > options.max_iterations) {
     return Status::FailedPrecondition(
         StrCat("evaluation exceeded max_iterations=",
                options.max_iterations));
+  }
+  if (options.budget_us > 0) {
+    const uint64_t elapsed_us = (NowNs() - eval_start_ns) / 1000;
+    if (elapsed_us > options.budget_us) {
+      return Status::FailedPrecondition(
+          StrCat("evaluation exceeded budget_us=", options.budget_us,
+                 " (elapsed ", elapsed_us, " us)"));
+    }
   }
   return Status::Ok();
 }
@@ -390,7 +454,10 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
   // Direct callers (not routed through Evaluate) still honor
   // EvalOptions::trace_path; no-op when a session is already active.
   obs::ScopedTraceFile trace_file(options.trace_path);
+  // Coordinator attribution (workers re-open the scope per morsel).
+  obs::QueryIdScope qid_scope(options.query_id);
   obs::TraceSpan eval_span("eval.parallel");
+  const uint64_t eval_start_ns = NowNs();
 
   ThreadPool pool(ResolveNumThreads(options));
   eval_span.AddArg("threads", static_cast<int64_t>(pool.num_threads()));
@@ -437,9 +504,10 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
       if (stats != nullptr) ++stats->iterations;
       ++global_round;
       std::vector<Execution> execs = all_rules();
-      Result<bool> pass = RunRound(pool, plan_cache, edb, idb, idb_preds,
-                                   execs, /*next_delta=*/nullptr, options,
-                                   stats, global_round);
+      Result<bool> pass = RunRound(
+          pool, plan_cache, edb, idb, idb_preds, execs,
+          /*next_delta=*/nullptr, options, stats, global_round,
+          static_cast<size_t>(component_index), /*delta_in=*/0);
       if (!pass.ok()) return pass.status();
       continue;
     }
@@ -454,12 +522,13 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
         if (stats != nullptr) ++stats->iterations;
         ++global_round;
         SEMOPT_RETURN_IF_ERROR(
-            CheckIterationBudget(local_iterations, options));
+            CheckRoundBudgets(local_iterations, eval_start_ns, options));
         std::vector<Execution> execs = all_rules();
         SEMOPT_ASSIGN_OR_RETURN(
-            changed, RunRound(pool, plan_cache, edb, idb, idb_preds, execs,
-                              /*next_delta=*/nullptr, options, stats,
-                              global_round));
+            changed,
+            RunRound(pool, plan_cache, edb, idb, idb_preds, execs,
+                     /*next_delta=*/nullptr, options, stats, global_round,
+                     static_cast<size_t>(component_index), /*delta_in=*/0));
       }
       continue;
     }
@@ -479,25 +548,27 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
     ++global_round;
     {
       std::vector<Execution> execs = all_rules();
-      Result<bool> seeded =
-          RunRound(pool, plan_cache, edb, idb, idb_preds, execs, &delta,
-                   options, stats, global_round);
+      Result<bool> seeded = RunRound(
+          pool, plan_cache, edb, idb, idb_preds, execs, &delta, options,
+          stats, global_round, static_cast<size_t>(component_index),
+          /*delta_in=*/0);
       if (!seeded.ok()) return seeded.status();
     }
 
     size_t local_iterations = 1;
-    auto delta_nonempty = [&]() {
-      for (const auto& [p, rel] : delta) {
-        if (!rel->empty()) return true;
-      }
-      return false;
+    auto delta_total = [&]() {
+      size_t total = 0;
+      for (const auto& [p, rel] : delta) total += rel->size();
+      return total;
     };
 
-    while (delta_nonempty()) {
+    size_t pending = delta_total();
+    while (pending > 0) {
       ++local_iterations;
       if (stats != nullptr) ++stats->iterations;
       ++global_round;
-      SEMOPT_RETURN_IF_ERROR(CheckIterationBudget(local_iterations, options));
+      SEMOPT_RETURN_IF_ERROR(
+          CheckRoundBudgets(local_iterations, eval_start_ns, options));
 
       std::vector<Execution> execs;
       for (const PlannedRule& pr : component.rules) {
@@ -512,9 +583,9 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
           execs.push_back(std::move(e));
         }
       }
-      Result<bool> round = RunRound(pool, plan_cache, edb, idb, idb_preds,
-                                    execs, &next_delta, options, stats,
-                                    global_round);
+      Result<bool> round = RunRound(
+          pool, plan_cache, edb, idb, idb_preds, execs, &next_delta, options,
+          stats, global_round, static_cast<size_t>(component_index), pending);
       if (!round.ok()) return round.status();
       // Arena double-buffer: Clear keeps capacity, swap moves pointers;
       // steady-state rounds recycle delta storage without reallocating.
@@ -522,6 +593,7 @@ Result<Database> EvaluateParallel(const Program& program, const Database& edb,
         delta[p]->Clear();
         std::swap(delta[p], next_delta[p]);
       }
+      pending = delta_total();
     }
   }
 

@@ -1,0 +1,82 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace semopt {
+namespace obs {
+
+namespace {
+
+/// Formats a double without trailing noise: integers print as
+/// integers, everything else with up to 3 fractional digits (the
+/// quantile estimates are interpolations; more digits imply precision
+/// the log buckets do not have).
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view registry_name) {
+  std::string out = "semopt_";
+  out.reserve(out.size() + registry_name.size());
+  for (char c : registry_name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void PrometheusSink::OnCounter(std::string_view name, uint64_t value) {
+  const std::string n = PrometheusName(name);
+  text_ += "# TYPE " + n + " counter\n";
+  text_ += n + " ";
+  AppendNumber(&text_, static_cast<double>(value));
+  text_ += "\n";
+}
+
+void PrometheusSink::OnGauge(std::string_view name, int64_t value) {
+  const std::string n = PrometheusName(name);
+  text_ += "# TYPE " + n + " gauge\n";
+  text_ += n + " ";
+  AppendNumber(&text_, static_cast<double>(value));
+  text_ += "\n";
+}
+
+void PrometheusSink::OnHistogram(std::string_view name,
+                                 const HistogramSnapshot& snapshot) {
+  const std::string n = PrometheusName(name);
+  text_ += "# TYPE " + n + " summary\n";
+  static constexpr struct {
+    const char* label;
+    double q;
+  } kQuantiles[] = {{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}};
+  for (const auto& quantile : kQuantiles) {
+    text_ += n + "{quantile=\"" + quantile.label + "\"} ";
+    AppendNumber(&text_, snapshot.Percentile(quantile.q));
+    text_ += "\n";
+  }
+  text_ += n + "_sum ";
+  AppendNumber(&text_, static_cast<double>(snapshot.sum));
+  text_ += "\n";
+  text_ += n + "_count ";
+  AppendNumber(&text_, static_cast<double>(snapshot.count));
+  text_ += "\n";
+}
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  PrometheusSink sink;
+  registry.Emit(sink);
+  return sink.text();
+}
+
+}  // namespace obs
+}  // namespace semopt

@@ -1,0 +1,56 @@
+#ifndef SEMOPT_OBS_EXPORT_H_
+#define SEMOPT_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace semopt {
+namespace obs {
+
+/// Renders every metric of `registry` as Prometheus text exposition
+/// (text/plain; version 0.0.4), the format `curl`-style scrapers and
+/// the server's `:stats` command speak:
+///
+///   # TYPE semopt_server_requests counter
+///   semopt_server_requests 412
+///   # TYPE semopt_server_sched_heavy_wait_us summary
+///   semopt_server_sched_heavy_wait_us{quantile="0.5"} 118
+///   semopt_server_sched_heavy_wait_us{quantile="0.9"} 5820
+///   semopt_server_sched_heavy_wait_us{quantile="0.99"} 7912
+///   semopt_server_sched_heavy_wait_us_sum 98213
+///   semopt_server_sched_heavy_wait_us_count 64
+///
+/// Metric names are the registry names prefixed with "semopt_" and
+/// sanitized (every character outside [a-zA-Z0-9_] becomes '_').
+/// Counters map to counter, gauges to gauge, histograms to summary
+/// with p50/p90/p99 estimated by HistogramSnapshot::Percentile.
+/// tools/validate_stats.py round-trips this output in CI.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// The sanitized exposition name for a registry metric name
+/// ("server.sched.heavy.wait_us" -> "semopt_server_sched_heavy_wait_us").
+std::string PrometheusName(std::string_view registry_name);
+
+/// MetricsSink producing the exposition text incrementally; feed it to
+/// MetricsRegistry::Emit to scope the dump (ExportPrometheus is the
+/// whole-registry convenience wrapper).
+class PrometheusSink : public MetricsSink {
+ public:
+  void OnCounter(std::string_view name, uint64_t value) override;
+  void OnGauge(std::string_view name, int64_t value) override;
+  void OnHistogram(std::string_view name,
+                   const HistogramSnapshot& snapshot) override;
+
+  /// The exposition document accumulated so far.
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+}  // namespace obs
+}  // namespace semopt
+
+#endif  // SEMOPT_OBS_EXPORT_H_

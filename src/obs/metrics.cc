@@ -7,6 +7,42 @@
 namespace semopt {
 namespace obs {
 
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 1-based rank of the target sample under the nearest-rank method.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    double value;
+    if (i == 0) {
+      value = 0.0;  // bucket 0 holds exactly the value 0
+    } else {
+      // Interpolate within [2^(i-1), 2^i) by the rank's position among
+      // the bucket's samples.
+      const double lo = static_cast<double>(uint64_t{1} << (i - 1));
+      const double hi = lo * 2.0;
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[i]);
+      value = lo + frac * (hi - lo);
+    }
+    // Clamp to the observed range: a one-sample histogram reports the
+    // sample exactly, and the top bucket cannot overshoot max.
+    value = std::max(value, static_cast<double>(min));
+    value = std::min(value, static_cast<double>(max));
+    return value;
+  }
+  return static_cast<double>(max);
+}
+
 size_t Histogram::BucketFor(uint64_t v) {
   if (v == 0) return 0;
   size_t bucket = 1;

@@ -52,6 +52,15 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Estimated q-quantile (q in [0, 1]) by log-bucket interpolation:
+  /// find the bucket holding the q-th ranked sample and interpolate
+  /// linearly inside its [2^(i-1), 2^i) range. Exact for 0-valued
+  /// samples (bucket 0 is the point value 0); for the rest the estimate
+  /// is within one power-of-two band of the true sample, clamped to
+  /// [min, max] so single-sample histograms report exactly. Returns 0
+  /// when empty.
+  double Percentile(double q) const;
 };
 
 /// Power-of-two-bucketed distribution of non-negative samples

@@ -16,6 +16,8 @@ namespace internal {
 
 std::atomic<bool> g_tracing_enabled{false};
 
+thread_local uint64_t tl_query_id = 0;
+
 uint64_t MonotonicNowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -194,6 +196,12 @@ void RecordComplete(std::string_view name, uint64_t start_ns, uint64_t end_ns,
   event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   event.num_args = num_args < kMaxSpanArgs ? num_args : kMaxSpanArgs;
   for (size_t i = 0; i < event.num_args; ++i) event.args[i] = args[i];
+  // Query attribution (QueryIdScope): tagged centrally so every
+  // existing span site inherits it without touching the site.
+  if (tl_query_id != 0 && event.num_args < kMaxSpanArgs) {
+    event.args[event.num_args++] =
+        SpanArg{"qid", static_cast<int64_t>(tl_query_id)};
+  }
   Append(std::move(event));
 }
 
@@ -202,6 +210,10 @@ void RecordInstant(std::string_view name) {
   event.name.assign(name.data(), name.size());
   event.phase = 'i';
   event.ts_ns = MonotonicNowNs();
+  if (tl_query_id != 0) {
+    event.args[event.num_args++] =
+        SpanArg{"qid", static_cast<int64_t>(tl_query_id)};
+  }
   Append(std::move(event));
 }
 

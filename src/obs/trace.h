@@ -34,6 +34,10 @@ namespace internal {
 
 extern std::atomic<bool> g_tracing_enabled;
 
+/// Thread-local query id; every span/instant recorded while it is
+/// nonzero gets a "qid" arg appended. See QueryIdScope.
+extern thread_local uint64_t tl_query_id;
+
 /// Monotonic time in nanoseconds (steady_clock).
 uint64_t MonotonicNowNs();
 
@@ -118,6 +122,29 @@ inline void TraceInstant(std::string_view name) {
   if (TracingEnabled()) internal::RecordInstant(name);
 }
 
+/// RAII query-id attribution: while alive, every span this thread
+/// records carries a "qid" arg, which is what makes a Chrome trace of
+/// an N-session server run attributable query by query. Scopes nest
+/// (the previous id is restored on destruction); id 0 means
+/// "unattributed" and adds nothing. The parallel engine opens one per
+/// morsel on each worker lane from EvalOptions::query_id, so worker
+/// spans attribute to the query that scheduled them.
+class QueryIdScope {
+ public:
+  explicit QueryIdScope(uint64_t id) : prev_(internal::tl_query_id) {
+    internal::tl_query_id = id;
+  }
+  ~QueryIdScope() { internal::tl_query_id = prev_; }
+  QueryIdScope(const QueryIdScope&) = delete;
+  QueryIdScope& operator=(const QueryIdScope&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+/// The thread's current query id (0 = none).
+inline uint64_t CurrentTraceQueryId() { return internal::tl_query_id; }
+
 #else  // SEMOPT_DISABLE_TRACING: every entry point is an inline no-op.
 
 inline constexpr bool kTracingCompiledIn = false;
@@ -140,6 +167,15 @@ class TraceSpan {
 };
 
 inline void TraceInstant(std::string_view) {}
+
+class QueryIdScope {
+ public:
+  explicit QueryIdScope(uint64_t) {}
+  QueryIdScope(const QueryIdScope&) = delete;
+  QueryIdScope& operator=(const QueryIdScope&) = delete;
+};
+
+inline uint64_t CurrentTraceQueryId() { return 0; }
 
 #endif  // SEMOPT_DISABLE_TRACING
 

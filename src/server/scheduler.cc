@@ -40,7 +40,8 @@ void SessionScheduler::Ticket::Release() {
   scheduler_ = nullptr;
 }
 
-SessionScheduler::Ticket SessionScheduler::Admit(QueryClass cls) {
+SessionScheduler::Ticket SessionScheduler::Admit(QueryClass cls,
+                                                 uint64_t* waited_us) {
   obs::TraceSpan span("sched.wait");
   span.AddArg("heavy", cls == QueryClass::kHeavy ? 1 : 0);
   const auto start = std::chrono::steady_clock::now();
@@ -60,6 +61,9 @@ SessionScheduler::Ticket SessionScheduler::Admit(QueryClass cls) {
   registry.GetHistogram(MetricName(cls, "wait_us"))
       .Observe(static_cast<uint64_t>(waited.count()));
   registry.GetCounter(MetricName(cls, "admitted")).Add(1);
+  if (waited_us != nullptr) {
+    *waited_us = static_cast<uint64_t>(waited.count());
+  }
   return Ticket(this, cls);
 }
 

@@ -76,8 +76,10 @@ class SessionScheduler {
   };
 
   /// Blocks until a slot of `cls` is free, then claims it. Records the
-  /// wait in server.sched.<class>.wait_us and a "sched.wait" span.
-  Ticket Admit(QueryClass cls);
+  /// wait in server.sched.<class>.wait_us and a "sched.wait" span; when
+  /// `waited_us` is non-null it also receives the measured queue wait
+  /// (the session processor folds it into the query's profile).
+  Ticket Admit(QueryClass cls, uint64_t* waited_us = nullptr);
 
   /// Point-in-time counts (tests / introspection).
   size_t running(QueryClass cls) const;

@@ -47,6 +47,14 @@ QueryServer::~QueryServer() { Stop(); }
 Status QueryServer::Start() {
   if (running_.load()) return Status::FailedPrecondition("already running");
 
+  if (!options_.query_log_path.empty()) {
+    SEMOPT_RETURN_IF_ERROR(query_log_.OpenLog(options_.query_log_path));
+  }
+  if (!options_.slow_log_path.empty()) {
+    SEMOPT_RETURN_IF_ERROR(query_log_.OpenSlowLog(options_.slow_log_path));
+  }
+  query_log_.set_slow_threshold_us(options_.slow_query_us);
+
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(StrCat("socket: ", std::strerror(errno)));
@@ -105,6 +113,9 @@ void QueryServer::Stop() {
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
+  // All sessions have drained; buffered query-log records hit disk
+  // before Stop returns (the log stays open for inspection).
+  query_log_.Flush();
 }
 
 void QueryServer::AcceptLoop() {

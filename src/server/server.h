@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "eval/shared_plan_cache.h"
+#include "obs/query_log.h"
 #include "server/scheduler.h"
 #include "server/session.h"
 #include "storage/snapshot.h"
@@ -49,6 +50,15 @@ class QueryServer {
     /// Shared plan cache shape (see SharedPlanCache).
     size_t cache_shards = SharedPlanCache::kDefaultShards;
     size_t cache_entries_per_shard = PlanCache::kDefaultMaxEntries;
+    /// Structured query log: one JSON line per query across every
+    /// session. "" = off.
+    std::string query_log_path;
+    /// Slow-query mirror: full profiles of queries whose end-to-end
+    /// time reaches slow_query_us. "" = off.
+    std::string slow_log_path;
+    /// Default slow-query threshold in microseconds (sessions may
+    /// override per session with :slowlog). 0 = nothing is slow.
+    uint64_t slow_query_us = 0;
   };
 
   explicit QueryServer(Database initial);
@@ -81,6 +91,10 @@ class QueryServer {
     return sessions_served_.load(std::memory_order_relaxed);
   }
 
+  /// The server-wide query log (open only when Options named a path;
+  /// recording to a closed log is a no-op).
+  obs::QueryLog& query_log() { return query_log_; }
+
  private:
   /// The DatabaseHost all sessions share: routes reads to
   /// SnapshotStore::Pin, writes to SnapshotStore::Mutate.
@@ -96,6 +110,7 @@ class QueryServer {
       return &server_->plan_cache_;
     }
     SessionScheduler* scheduler() override { return &server_->scheduler_; }
+    obs::QueryLog* query_log() override { return &server_->query_log_; }
 
    private:
     QueryServer* server_;
@@ -108,6 +123,7 @@ class QueryServer {
   SnapshotStore store_;
   SharedPlanCache plan_cache_;
   SessionScheduler scheduler_;
+  obs::QueryLog query_log_;
   Host host_;
 
   std::atomic<bool> running_{false};

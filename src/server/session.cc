@@ -1,6 +1,7 @@
 #include "server/session.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <set>
@@ -15,7 +16,9 @@
 #include "exec/parallel_fixpoint.h"
 #include "io/fact_io.h"
 #include "magic/magic_sets.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
 #include "semopt/optimizer.h"
@@ -45,11 +48,58 @@ std::vector<std::string> SplitWords(std::string_view s) {
   return words;
 }
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Copies the engine counters of one evaluation into a query profile
+/// (EvalStats lives in the eval layer, QueryProfile in obs; the session
+/// is where both are in scope).
+void FillProfileFromStats(const EvalStats& stats, obs::QueryProfile* p) {
+  p->fixpoint_us = stats.eval_ns / 1000;
+  p->plan_cache_hits = stats.plan_cache_hits;
+  p->plan_cache_misses = stats.plan_cache_misses;
+  p->iterations = stats.iterations;
+  p->derived = stats.derived_tuples;
+  p->duplicates = stats.duplicate_tuples;
+  p->bindings = stats.bindings_explored;
+  p->batches = stats.batches;
+  p->morsels = stats.morsels;
+  p->peak_delta = stats.peak_delta_tuples;
+  for (const RoundTiming& rt : stats.rounds) {
+    obs::QueryProfile::Round round;
+    round.stratum = rt.stratum;
+    round.round = rt.round;
+    round.us = rt.ns / 1000;
+    round.delta_in = rt.delta_in;
+    round.delta_out = rt.delta_out;
+    round.derived = rt.derived;
+    p->rounds.push_back(round);
+  }
+  for (const auto& [label, rs] : stats.per_rule) {
+    obs::QueryProfile::Rule rule;
+    rule.label = label;
+    rule.applications = rs.applications;
+    rule.derived = rs.derived;
+    rule.duplicates = rs.duplicates;
+    rule.us = rs.exec_ns / 1000;
+    p->rules.push_back(rule);
+  }
+}
+
 }  // namespace
 
 SessionCommandProcessor::SessionCommandProcessor(DatabaseHost* host)
-    : host_(host) {
+    : host_(host), session_id_(obs::NextSessionId()) {
   eval_options_.plan_cache = host_->plan_cache();
+}
+
+obs::QueryLog* SessionCommandProcessor::EffectiveQueryLog() {
+  if (own_query_log_ != nullptr) return own_query_log_.get();
+  return host_->query_log();
 }
 
 QueryClass SessionCommandProcessor::Classify(const std::vector<Literal>& body,
@@ -116,10 +166,50 @@ std::string SessionCommandProcessor::HandleStatements(std::string_view text) {
 }
 
 std::string SessionCommandProcessor::HandleQuery(std::string_view body_text) {
+  return RunQueryProfiled(body_text, /*force_metrics=*/false);
+}
+
+std::string SessionCommandProcessor::RunQueryProfiled(
+    std::string_view body_text, bool force_metrics) {
+  const uint64_t t_start = NowNs();
+  obs::QueryProfile profile;
+  profile.ctx.query_id = obs::NextQueryId();
+  profile.ctx.session_id = session_id_;
+  profile.ctx.budget_us = eval_options_.budget_us;
+
   std::string source{Trim(body_text)};
   if (!source.empty() && source.back() == '.') source.pop_back();
+  profile.query = source;
+  last_query_ = source;
+
+  // Every span recorded on this thread during the query (including the
+  // admission wait) carries the query id; the parallel engine re-opens
+  // the scope on its worker lanes from EvalOptions::query_id.
+  obs::QueryIdScope qid_scope(profile.ctx.query_id);
+
+  // Records the profile (complete or failed) to the effective query
+  // log; the session-level slow_query_us overrides the log's default
+  // threshold when set.
+  auto finish = [&](std::string out) {
+    profile.total_us = (NowNs() - t_start) / 1000;
+    if (obs::QueryLog* log = EffectiveQueryLog()) {
+      const uint64_t threshold = eval_options_.slow_query_us != 0
+                                     ? eval_options_.slow_query_us
+                                     : log->slow_threshold_us();
+      log->Record(profile, threshold);
+    }
+    last_profile_ = std::move(profile);
+    have_last_profile_ = true;
+    return out;
+  };
+
   Result<std::vector<Literal>> body = ParseLiteralList(source);
-  if (!body.ok()) return body.status().ToString();
+  profile.parse_us = (NowNs() - t_start) / 1000;
+  if (!body.ok()) {
+    profile.ok = false;
+    profile.error = body.status().ToString();
+    return finish(body.status().ToString());
+  }
   std::vector<Term> projection;
   for (SymbolId v : CollectVariables(*body)) projection.push_back(Term::Var(v));
 
@@ -129,16 +219,38 @@ std::string SessionCommandProcessor::HandleQuery(std::string_view body_text) {
   // execution.
   SessionScheduler::Ticket ticket;
   if (host_->scheduler() != nullptr) {
-    ticket = host_->scheduler()->Admit(Classify(*body, program_));
+    const QueryClass cls = Classify(*body, program_);
+    profile.query_class = QueryClassName(cls);
+    ticket = host_->scheduler()->Admit(cls, &profile.queue_wait_us);
   }
+  const uint64_t t_pin = NowNs();
   DatabaseSnapshot snap = host_->Snapshot();
+  profile.pin_us = (NowNs() - t_pin) / 1000;
+  profile.pinned_epoch = snap.epoch();
 
+  EvalOptions query_options = eval_options_;
+  query_options.query_id = profile.ctx.query_id;
+  if (force_metrics) query_options.collect_metrics = true;
+
+  const uint64_t t_eval = NowNs();
   EvalStats stats;
   Result<QueryResult> result = AnswerQuery(program_, snap.db(), *body,
-                                           projection, eval_options_, &stats);
-  if (!result.ok()) return result.status().ToString();
+                                           projection, query_options, &stats);
+  profile.eval_us = (NowNs() - t_eval) / 1000;
+  FillProfileFromStats(stats, &profile);
+  // Fold into the process-wide registry so `:stats` aggregates across
+  // queries and sessions (per-query cost: a handful of atomic adds).
+  stats.PublishTo(obs::MetricsRegistry::Global());
   last_stats_ = stats;
   have_last_stats_ = true;
+  if (!result.ok()) {
+    profile.ok = false;
+    profile.error = result.status().ToString();
+    return finish(result.status().ToString());
+  }
+  profile.answers = result->size();
+
+  const uint64_t t_render = NowNs();
   std::ostringstream os;
   if (result->empty()) {
     os << "no answers";
@@ -146,7 +258,8 @@ std::string SessionCommandProcessor::HandleQuery(std::string_view body_text) {
     os << result->ToString() << result->size() << " answer(s)";
   }
   if (show_stats_) os << "\n[" << stats.ToString() << "]";
-  return os.str();
+  profile.render_us = (NowNs() - t_render) / 1000;
+  return finish(os.str());
 }
 
 std::string SessionCommandProcessor::HandleCommand(std::string_view line) {
@@ -183,6 +296,16 @@ std::string SessionCommandProcessor::HandleCommand(std::string_view line) {
   if (cmd == ".plan" || cmd == ":plan") return CmdPlan(args);
   if (cmd == ".trace" || cmd == ":trace") return CmdTrace(args);
   if (cmd == ".metrics" || cmd == ":metrics") return CmdMetrics(args);
+  if (cmd == ".profile" || cmd == ":profile") {
+    size_t offset = line.find(' ');
+    return CmdProfile(offset == std::string_view::npos
+                          ? std::string_view()
+                          : line.substr(offset + 1));
+  }
+  if (cmd == ".qstats" || cmd == ":stats") return CmdStats();
+  if (cmd == ".qlog" || cmd == ":qlog") return CmdQlog(args);
+  if (cmd == ".slowlog" || cmd == ":slowlog") return CmdSlowlog(args);
+  if (cmd == ".budget" || cmd == ":budget") return CmdBudget(args);
   if (cmd == ".load") return CmdLoad(args);
   if (cmd == ".loadtsv") return CmdLoadTsv(args);
   if (cmd == ".stats") {
@@ -225,6 +348,13 @@ commands:
                            (open in chrome://tracing or ui.perfetto.dev)
   :metrics [on|off]        collect per-rule/per-round metrics; no args:
                            print the report for the last evaluation
+  :profile [QUERY]         re-run the last (or given) query with full
+                           metrics; show the latency breakdown and the
+                           annotated per-rule plans (EXPLAIN ANALYZE)
+  :stats                   dump all metrics (Prometheus text format)
+  :qlog [FILE|off]         session-private structured query log (JSONL)
+  :slowlog [N|off]         mirror queries >= N us into the slow log
+  :budget [N|off]          per-query wall-clock budget in microseconds
   .reset                   clear everything
   .quit                    leave)";
 }
@@ -536,6 +666,119 @@ std::string SessionCommandProcessor::CmdMetrics(
   return StrCat(last_stats_.Report(),
                 "\nstorage: tuples_bytes=", storage_metrics::LiveTupleBytes(),
                 " rehashes=", storage_metrics::TotalRehashes());
+}
+
+std::string SessionCommandProcessor::CmdProfile(std::string_view rest) {
+  std::string query{Trim(rest)};
+  if (query.empty()) {
+    if (last_query_.empty()) {
+      return "no query to profile (run one first, or :profile QUERY)";
+    }
+    query = last_query_;
+  }
+  // Re-run the query with full metrics collection; the answers are
+  // recomputed against the current head but only the breakdown is
+  // shown.
+  std::string result_text = RunQueryProfiled(query, /*force_metrics=*/true);
+  if (!last_profile_.ok) return result_text;  // surface parse/eval errors
+
+  std::ostringstream os;
+  os << last_profile_.Render();
+  // Annotated plans: the query ran as the rule `query$(vars) :- body`,
+  // exactly as AnswerQuery builds it, so extending the program the same
+  // way makes the query rule's own join plan part of the output (keyed
+  // "query$" in the per-rule stats).
+  Result<std::vector<Literal>> body = ParseLiteralList(query);
+  if (body.ok()) {
+    std::vector<Term> projection;
+    for (SymbolId v : CollectVariables(*body)) {
+      projection.push_back(Term::Var(v));
+    }
+    Atom head("query$answer", projection);
+    Program extended = program_;
+    extended.AddRule(Rule("query$", std::move(head), *body));
+    DatabaseSnapshot snap = host_->Snapshot();
+    os << ExplainAnalyze(extended, snap.db(), last_stats_, eval_options_);
+  }
+  return os.str();
+}
+
+std::string SessionCommandProcessor::CmdStats() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  storage_metrics::PublishTo(registry);
+  if (obs::QueryLog* log = EffectiveQueryLog()) {
+    registry.GetGauge("server.query_log.records")
+        .Set(static_cast<int64_t>(log->records()));
+    registry.GetGauge("server.query_log.slow_records")
+        .Set(static_cast<int64_t>(log->slow_records()));
+  }
+  std::string out = obs::ExportPrometheus(registry);
+  if (out.empty()) return "(no metrics recorded yet)";
+  if (out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string SessionCommandProcessor::CmdQlog(
+    const std::vector<std::string>& args) {
+  if (args.empty()) {
+    if (own_query_log_ != nullptr) return "session query log on (:qlog off)";
+    if (host_->query_log() != nullptr && host_->query_log()->log_open()) {
+      return "logging to the host query log";
+    }
+    return "query logging off (:qlog FILE)";
+  }
+  if (args[0] == "off") {
+    if (own_query_log_ == nullptr) return "no session query log open";
+    own_query_log_.reset();
+    return "session query log closed";
+  }
+  auto log = std::make_unique<obs::QueryLog>();
+  if (Status s = log->OpenLog(args[0]); !s.ok()) return s.ToString();
+  own_query_log_ = std::move(log);
+  return StrCat("session query log -> ", args[0],
+                " (one JSON line per query)");
+}
+
+std::string SessionCommandProcessor::CmdSlowlog(
+    const std::vector<std::string>& args) {
+  if (args.empty()) {
+    if (eval_options_.slow_query_us == 0) {
+      return "slow-query threshold: host default (:slowlog N to override)";
+    }
+    return StrCat("slow-query threshold ", eval_options_.slow_query_us,
+                  " us");
+  }
+  if (args[0] == "off") {
+    eval_options_.slow_query_us = 0;
+    return "slow-query threshold: host default";
+  }
+  char* end = nullptr;
+  long long n = std::strtoll(args[0].c_str(), &end, 10);
+  if (end == args[0].c_str() || *end != '\0' || n <= 0) {
+    return "usage: :slowlog N  (microseconds; off = host default)";
+  }
+  eval_options_.slow_query_us = static_cast<uint64_t>(n);
+  return StrCat("slow-query threshold ", eval_options_.slow_query_us, " us");
+}
+
+std::string SessionCommandProcessor::CmdBudget(
+    const std::vector<std::string>& args) {
+  if (args.empty()) {
+    if (eval_options_.budget_us == 0) return "budget unlimited (:budget N)";
+    return StrCat("budget ", eval_options_.budget_us, " us per query");
+  }
+  if (args[0] == "off") {
+    eval_options_.budget_us = 0;
+    return "budget unlimited";
+  }
+  char* end = nullptr;
+  long long n = std::strtoll(args[0].c_str(), &end, 10);
+  if (end == args[0].c_str() || *end != '\0' || n <= 0) {
+    return "usage: :budget N  (microseconds of wall clock; off = unlimited)";
+  }
+  eval_options_.budget_us = static_cast<uint64_t>(n);
+  return StrCat("budget ", eval_options_.budget_us,
+                " us per query (checked per fixpoint round)");
 }
 
 std::string SessionCommandProcessor::CmdLoad(

@@ -2,6 +2,7 @@
 #define SEMOPT_SERVER_SESSION_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "ast/program.h"
 #include "eval/fixpoint.h"
 #include "eval/plan_cache.h"
+#include "obs/query_log.h"
 #include "server/scheduler.h"
 #include "storage/snapshot.h"
 #include "util/result.h"
@@ -48,6 +50,10 @@ class DatabaseHost {
   /// Admission control for query execution; null = run immediately
   /// (local shell).
   virtual SessionScheduler* scheduler() { return nullptr; }
+
+  /// The host's structured query log (one JSON line per query); null =
+  /// no logging. A session may shadow it with its own `:qlog` file.
+  virtual obs::QueryLog* query_log() { return nullptr; }
 };
 
 /// One session's command interpreter: the parse/dispatch/format logic
@@ -86,10 +92,28 @@ class SessionCommandProcessor {
   static QueryClass Classify(const std::vector<Literal>& body,
                              const Program& program);
 
+  /// This session's process-unique id (stamped into every profile).
+  uint64_t session_id() const { return session_id_; }
+
+  /// The profile of the most recent query (valid once a query ran).
+  const obs::QueryProfile& last_profile() const { return last_profile_; }
+  bool have_last_profile() const { return have_last_profile_; }
+
  private:
   std::string HandleCommand(std::string_view line);
   std::string HandleQuery(std::string_view body_text);
   std::string HandleStatements(std::string_view text);
+
+  /// The full query pipeline — parse, classify, admit, pin, evaluate,
+  /// render — accumulating a QueryProfile at every phase boundary and
+  /// recording it to the effective query log (even on error paths).
+  /// `force_metrics` turns on collect_metrics for this run (`:profile`).
+  std::string RunQueryProfiled(std::string_view body_text,
+                               bool force_metrics);
+
+  /// The query log this session records to: its private `:qlog` file
+  /// when open, else the host's.
+  obs::QueryLog* EffectiveQueryLog();
 
   std::string CmdHelp() const;
   std::string CmdProgram() const;
@@ -107,6 +131,11 @@ class SessionCommandProcessor {
   std::string CmdTrace(const std::vector<std::string>& args);
   std::string CmdMetrics(const std::vector<std::string>& args);
   std::string CmdPlan(const std::vector<std::string>& args);
+  std::string CmdProfile(std::string_view rest);
+  std::string CmdStats();
+  std::string CmdQlog(const std::vector<std::string>& args);
+  std::string CmdSlowlog(const std::vector<std::string>& args);
+  std::string CmdBudget(const std::vector<std::string>& args);
 
   DatabaseHost* host_;
   Program program_;
@@ -120,6 +149,18 @@ class SessionCommandProcessor {
   bool have_last_stats_ = false;
   bool show_stats_ = false;
   bool done_ = false;
+
+  /// Process-unique session id, stamped into every query's profile.
+  uint64_t session_id_ = 0;
+  /// Text of the most recent `?-` query (`:profile` with no argument
+  /// re-runs it).
+  std::string last_query_;
+  /// Breakdown of the most recent query.
+  obs::QueryProfile last_profile_;
+  bool have_last_profile_ = false;
+  /// Session-private query log opened with `:qlog FILE` (shadows the
+  /// host's); null = log to host_->query_log().
+  std::unique_ptr<obs::QueryLog> own_query_log_;
 };
 
 }  // namespace semopt

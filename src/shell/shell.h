@@ -49,6 +49,10 @@ class Shell {
   const Program& program() const { return processor_.program(); }
   const Database& database() const { return host_.db; }
 
+  /// The underlying command processor (tests inspect query profiles
+  /// and session state through it).
+  const SessionCommandProcessor& processor() const { return processor_; }
+
  private:
   /// The single-owner host: the shell's Database and plan cache, no
   /// isolation machinery (one thread, no concurrent readers).

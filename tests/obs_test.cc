@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "eval/fixpoint.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "test_helpers.h"
@@ -672,6 +673,117 @@ TEST(EvalObsTest, ParallelTraceHasTaskAndMergeSpans) {
 }
 
 #endif  // SEMOPT_DISABLE_TRACING
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot::Percentile — the one quantile estimator shared by
+// `:stats`, the Prometheus exposition, and bench::LatencyRecorder.
+
+TEST(PercentileTest, EmptyAndZeroOnly) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(0.5), 0.0);
+  for (int i = 0; i < 10; ++i) h.Observe(0);
+  // Bucket 0 is the point value 0: exact at every quantile.
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(0.01), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(0.99), 0.0);
+}
+
+TEST(PercentileTest, SingleSampleIsExact) {
+  obs::Histogram h;
+  h.Observe(777);
+  // Clamping to [min, max] makes one-sample histograms report the
+  // sample itself, not a bucket midpoint.
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(0.5), 777.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Percentile(0.99), 777.0);
+}
+
+TEST(PercentileTest, WithinOnePowerOfTwoBand) {
+  obs::Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  obs::HistogramSnapshot snap = h.Snapshot();
+  // Uniform 1..1000: true p50 = 500, p90 = 900, p99 = 990. The
+  // estimate interpolates inside a power-of-two bucket, so it can be
+  // off by at most that bucket's width.
+  struct {
+    double q;
+    double truth;
+  } cases[] = {{0.50, 500}, {0.90, 900}, {0.99, 990}};
+  for (const auto& c : cases) {
+    const double est = snap.Percentile(c.q);
+    EXPECT_GE(est, c.truth / 2) << "q=" << c.q;
+    EXPECT_LE(est, c.truth * 2) << "q=" << c.q;
+  }
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.Percentile(0.5), snap.Percentile(0.9));
+  EXPECT_LE(snap.Percentile(0.9), snap.Percentile(0.99));
+  // Extremes clamp to the observed range.
+  EXPECT_GE(snap.Percentile(0.0), 1.0);
+  EXPECT_LE(snap.Percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 1000.0);
+}
+
+TEST(PercentileTest, BimodalSeparatesModes) {
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(10);
+  for (int i = 0; i < 10; ++i) h.Observe(100000);
+  obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_LT(snap.Percentile(0.5), 100.0);       // in the fast mode
+  EXPECT_GT(snap.Percentile(0.95), 50000.0);    // in the slow mode
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+TEST(PrometheusExportTest, NameSanitization) {
+  EXPECT_EQ(obs::PrometheusName("eval.plan_cache.hit"),
+            "semopt_eval_plan_cache_hit");
+  EXPECT_EQ(obs::PrometheusName("a-b c"), "semopt_a_b_c");
+}
+
+TEST(PrometheusExportTest, CounterGaugeAndSummarySeries) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("eval.derived_tuples").Add(42);
+  registry.GetGauge("server.sched.heavy.queue_depth").Set(3);
+  obs::Histogram& h = registry.GetHistogram("server.sched.heavy.wait_us");
+  for (uint64_t v : {100, 200, 400, 800}) h.Observe(v);
+
+  const std::string text = obs::ExportPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE semopt_eval_derived_tuples counter\n"
+                      "semopt_eval_derived_tuples 42\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("# TYPE semopt_server_sched_heavy_queue_depth gauge\n"
+                "semopt_server_sched_heavy_queue_depth 3\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE semopt_server_sched_heavy_wait_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("semopt_server_sched_heavy_wait_us{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("semopt_server_sched_heavy_wait_us{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("semopt_server_sched_heavy_wait_us_sum 1500\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("semopt_server_sched_heavy_wait_us_count 4\n"),
+            std::string::npos);
+  // Every line is a comment or a sample; no blank or torn lines.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE semopt_", 0), 0u) << line;
+    } else {
+      EXPECT_EQ(line.rfind("semopt_", 0), 0u) << line;
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(PrometheusExportTest, EmptyRegistryExportsNothing) {
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(obs::ExportPrometheus(registry), "");
+}
 
 }  // namespace
 }  // namespace semopt

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Aggregate bench/BENCH_*.json artifacts into one trajectory report.
+
+Each BENCH_*.json is a Google Benchmark ``--benchmark_out`` file (a
+``context`` block plus a ``benchmarks`` array). This tool scans a
+directory for them and emits:
+
+  - a markdown table (one row per benchmark run) suitable for pasting
+    into EXPERIMENTS.md or reading as a CI artifact, and
+  - a machine-readable JSON summary ("trajectory table") with the same
+    rows, for downstream diffing across commits.
+
+Rows carry the timing, throughput, and whichever user counters the
+bench published (latency percentiles, plan-cache hits, ...), plus the
+context facts that make a number comparable at all: build type, core
+count, governor. Aggregate runs (``_mean``/``_median``/``_stddev``/
+``BigO``) are skipped; per-iteration rows are what the trajectory
+tracks.
+
+Usage:
+  tools/bench_report.py [--dir bench] [--out-md FILE] [--out-json FILE]
+
+With no --out-* flags the markdown goes to stdout.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Context keys worth carrying into every row (the rest of the context
+# block is noise for trajectory purposes).
+CONTEXT_KEYS = ("date", "build_type", "library_build_type", "hw_cores",
+                "hw_governor", "hw_cpu")
+
+# Google Benchmark's own bookkeeping fields; everything else numeric in
+# a benchmark record is a user counter.
+STANDARD_FIELDS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "big_o",
+    "rms", "label", "error_occurred", "error_message",
+}
+
+
+def load_artifact(path):
+    """Parses one BENCH_*.json into a list of row dicts."""
+    with open(path) as f:
+        data = json.load(f)
+    context = data.get("context", {})
+    ctx = {k: context.get(k, "") for k in CONTEXT_KEYS}
+    rows = []
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if bench.get("error_occurred"):
+            continue
+        counters = {
+            k: v
+            for k, v in bench.items()
+            if k not in STANDARD_FIELDS and isinstance(v, (int, float))
+        }
+        rows.append({
+            "artifact": os.path.basename(path),
+            "benchmark": bench.get("name", "?"),
+            "real_time": bench.get("real_time"),
+            "cpu_time": bench.get("cpu_time"),
+            "time_unit": bench.get("time_unit", "ns"),
+            "iterations": bench.get("iterations"),
+            "counters": counters,
+            "context": ctx,
+        })
+    return rows
+
+
+def fmt_num(v):
+    if v is None:
+        return ""
+    if isinstance(v, float):
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+        return f"{v:.3f}"
+    return str(v)
+
+
+def to_markdown(rows):
+    lines = ["# Benchmark trajectory", ""]
+    by_artifact = {}
+    for row in rows:
+        by_artifact.setdefault(row["artifact"], []).append(row)
+    for artifact in sorted(by_artifact):
+        group = by_artifact[artifact]
+        ctx = group[0]["context"]
+        lines.append(f"## {artifact}")
+        lines.append("")
+        lines.append(
+            f"context: date={ctx['date']} build={ctx['build_type']}"
+            f" cores={ctx['hw_cores']} governor={ctx['hw_governor']}")
+        lines.append("")
+        lines.append("| benchmark | time | cpu | iters | counters |")
+        lines.append("|---|---|---|---|---|")
+        for row in group:
+            unit = row["time_unit"]
+            counters = " ".join(
+                f"{k}={fmt_num(v)}" for k, v in sorted(row["counters"].items()))
+            lines.append(
+                f"| {row['benchmark']} | {fmt_num(row['real_time'])} {unit}"
+                f" | {fmt_num(row['cpu_time'])} {unit}"
+                f" | {fmt_num(row['iterations'])} | {counters} |")
+        lines.append("")
+    if len(lines) == 2:
+        lines.append("(no BENCH_*.json artifacts found)")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default="bench",
+                        help="directory to scan for BENCH_*.json")
+    parser.add_argument("--out-md", default="",
+                        help="write markdown here (default: stdout)")
+    parser.add_argument("--out-json", default="",
+                        help="write the JSON trajectory table here")
+    args = parser.parse_args(argv)
+
+    paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    rows = []
+    for path in paths:
+        try:
+            rows.extend(load_artifact(path))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
+    md = to_markdown(rows)
+    if args.out_md:
+        with open(args.out_md, "w") as f:
+            f.write(md)
+    else:
+        sys.stdout.write(md)
+    if args.out_json:
+        with open(args.out_json, "w") as f:
+            json.dump({"rows": rows}, f, indent=1, sort_keys=True)
+            f.write("\n")
+    print(f"bench_report: {len(paths)} artifact(s), {len(rows)} row(s)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

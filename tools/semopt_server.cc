@@ -34,7 +34,8 @@ void HandleSignal(int) { g_stop.release(); }
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--port N] [--init FILE] [--threads N]"
-               " [--max-heavy N] [--max-light N]\n"
+               " [--max-heavy N] [--max-light N]"
+               " [--query-log FILE] [--slow-log FILE] [--slow-query-us N]\n"
                "  --port N       TCP port on 127.0.0.1 (default 0 ="
                " ephemeral; the bound port is printed)\n"
                "  --init FILE    load facts from FILE into the shared"
@@ -42,7 +43,13 @@ int Usage(const char* argv0) {
                "  --threads N    worker threads per query evaluation"
                " (default 1)\n"
                "  --max-heavy N  concurrent recursive queries (default 2)\n"
-               "  --max-light N  concurrent point lookups (default 8)\n";
+               "  --max-light N  concurrent point lookups (default 8)\n"
+               "  --query-log FILE    structured query log: one JSON line"
+               " per query, every session\n"
+               "  --slow-log FILE     mirror queries >= --slow-query-us"
+               " into FILE\n"
+               "  --slow-query-us N   default slow-query threshold,"
+               " microseconds (0 = off)\n";
   return 2;
 }
 
@@ -122,6 +129,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.sched.max_light = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--query-log") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.query_log_path = v;
+    } else if (arg == "--slow-log") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.slow_log_path = v;
+    } else if (arg == "--slow-query-us") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.slow_query_us = static_cast<uint64_t>(std::atoll(v));
     } else {
       return Usage(argv[0]);
     }

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition as produced by `:stats`.
+
+Reads the exposition from stdin (or a file argument) and checks the
+invariants the server's exporter (src/obs/export.cc) guarantees:
+
+  - every non-comment line is ``name value`` or ``name{labels} value``
+    with a finite numeric value;
+  - every metric family is announced by a ``# TYPE name counter|gauge|
+    summary`` line before its first sample;
+  - metric names match ``semopt_[a-zA-Z0-9_]*``;
+  - summaries expose quantile samples with q in [0, 1] plus ``_sum``
+    and ``_count`` series, and their quantile values are monotonically
+    non-decreasing in q (a violated ordering means the percentile
+    interpolation regressed);
+  - counter and ``_count``/``_sum`` values are non-negative.
+
+Exit 0 and print a one-line summary when valid; exit 1 with the first
+offending line otherwise. Used by the CI server-smoke leg to round-trip
+`:stats` output.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^semopt_[A-Za-z0-9_]+$")
+SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'^\{quantile="([^"]+)"\}$')
+
+
+def fail(lineno, line, why):
+    print(f"validate_stats: line {lineno}: {why}: {line!r}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) > 1:
+        text = open(argv[1]).read()
+    else:
+        text = sys.stdin.read()
+
+    types = {}            # family name -> declared type
+    samples = 0
+    summaries = {}        # family -> {"quantiles": [(q, v)...], "sum": v,
+                          #            "count": v}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                name, mtype = parts[2], parts[3]
+                if not NAME_RE.match(name):
+                    return fail(lineno, line, "bad metric name in TYPE")
+                if mtype not in ("counter", "gauge", "summary"):
+                    return fail(lineno, line, f"unknown type {mtype}")
+                types[name] = mtype
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return fail(lineno, line, "not a valid sample line")
+        name, labels, value_text = m.group(1), m.group(2), m.group(3)
+        try:
+            value = float(value_text)
+        except ValueError:
+            return fail(lineno, line, "non-numeric value")
+        if value != value:  # NaN
+            return fail(lineno, line, "NaN value")
+
+        # Resolve the family: strip _sum/_count for summary series.
+        family = name
+        series = "plain"
+        if name.endswith("_sum") and name[:-4] in types:
+            family, series = name[:-4], "sum"
+        elif name.endswith("_count") and name[:-6] in types:
+            family, series = name[:-6], "count"
+        if family not in types:
+            return fail(lineno, line, "sample before its # TYPE line")
+        mtype = types[family]
+
+        if not NAME_RE.match(family):
+            return fail(lineno, line, "bad metric name")
+        if mtype in ("counter",) and value < 0:
+            return fail(lineno, line, "negative counter")
+        if mtype == "summary":
+            entry = summaries.setdefault(
+                family, {"quantiles": [], "sum": None, "count": None})
+            if series == "sum":
+                if value < 0:
+                    return fail(lineno, line, "negative summary sum")
+                entry["sum"] = value
+            elif series == "count":
+                if value < 0:
+                    return fail(lineno, line, "negative summary count")
+                entry["count"] = value
+            else:
+                if labels is None:
+                    return fail(lineno, line, "summary sample without quantile")
+                lm = LABEL_RE.match(labels)
+                if not lm:
+                    return fail(lineno, line, "bad summary labels")
+                q = float(lm.group(1))
+                if not 0.0 <= q <= 1.0:
+                    return fail(lineno, line, "quantile out of [0, 1]")
+                entry["quantiles"].append((q, value, lineno, line))
+        elif labels is not None:
+            return fail(lineno, line, f"unexpected labels on {mtype}")
+        samples += 1
+
+    for family, entry in summaries.items():
+        if entry["sum"] is None or entry["count"] is None:
+            print(f"validate_stats: summary {family} missing _sum or _count",
+                  file=sys.stderr)
+            return 1
+        if not entry["quantiles"]:
+            print(f"validate_stats: summary {family} has no quantile samples",
+                  file=sys.stderr)
+            return 1
+        ordered = sorted(entry["quantiles"])
+        values = [v for _, v, _, _ in ordered]
+        if values != sorted(values):
+            _, _, lineno, line = ordered[0]
+            return fail(lineno, line,
+                        f"summary {family} quantiles not monotone: {values}")
+
+    if samples == 0:
+        print("validate_stats: no samples found", file=sys.stderr)
+        return 1
+    print(f"validate_stats: OK ({len(types)} families, {samples} samples,"
+          f" {len(summaries)} summaries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
