@@ -11,7 +11,8 @@
 // Series: the E1 university workload (recursive eval with fan-out), the
 // E6 chain-shaped university full evaluation, and the E8 genealogy
 // workload (serial and 4 threads). Every config runs with
-// eval.batch_size=1 (Tuple) and =1024 (Batch); before timing, both
+// eval.batch_size=1 (Tuple), =1024 (Batch), and =1024 with simd=off
+// (BatchScalar — the vectorized-kernel ablation); before timing, all
 // modes are evaluated once and the benchmark aborts unless the derived
 // tuple counts are bit-identical and the fixpoints set-equal.
 
@@ -26,41 +27,48 @@
 namespace semopt {
 namespace {
 
-EvalOptions OptionsFor(size_t batch_size, size_t threads) {
+EvalOptions OptionsFor(size_t batch_size, size_t threads,
+                       SimdMode simd = SimdMode::kAuto) {
   EvalOptions options;
   options.batch_size = batch_size;
   options.num_threads = threads;
+  options.simd = simd;
   return options;
 }
 
 EvalStats EvaluateModeOrDie(::benchmark::State& state, const Program& program,
                             const Database& edb, size_t batch_size,
-                            size_t threads) {
+                            size_t threads, SimdMode simd = SimdMode::kAuto) {
   bench::MaybeEnableTracingFromEnv();
   EvalStats stats;
   Result<Database> idb =
-      Evaluate(program, edb, OptionsFor(batch_size, threads), &stats);
+      Evaluate(program, edb, OptionsFor(batch_size, threads, simd), &stats);
   if (!idb.ok()) {
     state.SkipWithError(idb.status().ToString().c_str());
   }
   return stats;
 }
 
-/// One-time per (tag, config): evaluates both modes and aborts the
-/// benchmark unless they derive bit-identical counts and set-equal
+/// One-time per (tag, config): evaluates tuple-at-a-time, batched
+/// vectorized, and batched scalar (simd=off) modes and aborts the
+/// benchmark unless all derive bit-identical counts and set-equal
 /// fixpoints. Runs outside the timed loop.
 void VerifyModesAgreeOnce(::benchmark::State& state, const std::string& tag,
                           const Program& program, const Database& edb,
                           size_t threads) {
   static std::set<std::string>* verified = new std::set<std::string>();
   if (!verified->insert(tag).second) return;
-  EvalStats tuple_stats, batch_stats;
+  EvalStats tuple_stats, batch_stats, scalar_stats;
   Result<Database> tuple_idb =
       Evaluate(program, edb, OptionsFor(1, threads), &tuple_stats);
   Result<Database> batch_idb = Evaluate(
       program, edb, OptionsFor(RuleExecutor::kDefaultBatchSize, threads),
       &batch_stats);
-  if (!tuple_idb.ok() || !batch_idb.ok()) {
+  Result<Database> scalar_idb = Evaluate(
+      program, edb,
+      OptionsFor(RuleExecutor::kDefaultBatchSize, threads, SimdMode::kOff),
+      &scalar_stats);
+  if (!tuple_idb.ok() || !batch_idb.ok() || !scalar_idb.ok()) {
     state.SkipWithError("verification evaluation failed");
     return;
   }
@@ -68,6 +76,13 @@ void VerifyModesAgreeOnce(::benchmark::State& state, const std::string& tag,
       tuple_stats.duplicate_tuples != batch_stats.duplicate_tuples ||
       !tuple_idb->SameFactsAs(*batch_idb)) {
     state.SkipWithError("tuple and batched modes disagree");
+    return;
+  }
+  if (batch_stats.derived_tuples != scalar_stats.derived_tuples ||
+      batch_stats.duplicate_tuples != scalar_stats.duplicate_tuples ||
+      batch_stats.bindings_explored != scalar_stats.bindings_explored ||
+      !batch_idb->SameFactsAs(*scalar_idb)) {
+    state.SkipWithError("vectorized and scalar batched modes disagree");
   }
 }
 
@@ -90,7 +105,8 @@ UniversityParams E1ParamsFor(const ::benchmark::State& state) {
   return params;
 }
 
-void RunE1(::benchmark::State& state, size_t batch_size) {
+void RunE1(::benchmark::State& state, size_t batch_size,
+           SimdMode simd = SimdMode::kAuto) {
   Result<Program> program = UniversityProgram();
   Database edb = GenerateUniversityDb(E1ParamsFor(state));
   VerifyModesAgreeOnce(state,
@@ -98,7 +114,7 @@ void RunE1(::benchmark::State& state, size_t batch_size) {
                        /*threads=*/1);
   EvalStats stats;
   for (auto _ : state) {
-    stats = EvaluateModeOrDie(state, *program, edb, batch_size, 1);
+    stats = EvaluateModeOrDie(state, *program, edb, batch_size, 1, simd);
   }
   PublishBatchStats(state, stats);
 }
@@ -108,6 +124,9 @@ void BM_E10_E1_University_Tuple(::benchmark::State& state) {
 }
 void BM_E10_E1_University_Batch(::benchmark::State& state) {
   RunE1(state, RuleExecutor::kDefaultBatchSize);
+}
+void BM_E10_E1_University_BatchScalar(::benchmark::State& state) {
+  RunE1(state, RuleExecutor::kDefaultBatchSize, SimdMode::kOff);
 }
 
 // ------------------------------------------------------------- E6 config
@@ -122,7 +141,8 @@ UniversityParams E6ParamsFor(const ::benchmark::State& state) {
   return params;
 }
 
-void RunE6(::benchmark::State& state, size_t batch_size) {
+void RunE6(::benchmark::State& state, size_t batch_size,
+           SimdMode simd = SimdMode::kAuto) {
   Result<Program> program = UniversityProgram();
   Database edb = GenerateUniversityDb(E6ParamsFor(state));
   VerifyModesAgreeOnce(state,
@@ -130,7 +150,7 @@ void RunE6(::benchmark::State& state, size_t batch_size) {
                        /*threads=*/1);
   EvalStats stats;
   for (auto _ : state) {
-    stats = EvaluateModeOrDie(state, *program, edb, batch_size, 1);
+    stats = EvaluateModeOrDie(state, *program, edb, batch_size, 1, simd);
   }
   PublishBatchStats(state, stats);
 }
@@ -140,6 +160,9 @@ void BM_E10_E6_UniversityChain_Tuple(::benchmark::State& state) {
 }
 void BM_E10_E6_UniversityChain_Batch(::benchmark::State& state) {
   RunE6(state, RuleExecutor::kDefaultBatchSize);
+}
+void BM_E10_E6_UniversityChain_BatchScalar(::benchmark::State& state) {
+  RunE6(state, RuleExecutor::kDefaultBatchSize, SimdMode::kOff);
 }
 
 // ------------------------------------------------------------- E8 config
@@ -153,7 +176,8 @@ GenealogyParams E8ParamsFor(const ::benchmark::State& state) {
   return params;
 }
 
-void RunE8(::benchmark::State& state, size_t batch_size) {
+void RunE8(::benchmark::State& state, size_t batch_size,
+           SimdMode simd = SimdMode::kAuto) {
   Result<Program> program = GenealogyProgram();
   Database edb = GenerateGenealogyDb(E8ParamsFor(state));
   size_t threads = static_cast<size_t>(state.range(1));
@@ -163,7 +187,7 @@ void RunE8(::benchmark::State& state, size_t batch_size) {
                        *program, edb, threads);
   EvalStats stats;
   for (auto _ : state) {
-    stats = EvaluateModeOrDie(state, *program, edb, batch_size, threads);
+    stats = EvaluateModeOrDie(state, *program, edb, batch_size, threads, simd);
   }
   PublishBatchStats(state, stats);
 }
@@ -173,6 +197,9 @@ void BM_E10_E8_Genealogy_Tuple(::benchmark::State& state) {
 }
 void BM_E10_E8_Genealogy_Batch(::benchmark::State& state) {
   RunE8(state, RuleExecutor::kDefaultBatchSize);
+}
+void BM_E10_E8_Genealogy_BatchScalar(::benchmark::State& state) {
+  RunE8(state, RuleExecutor::kDefaultBatchSize, SimdMode::kOff);
 }
 
 void E1E6Args(::benchmark::internal::Benchmark* b) {
@@ -189,10 +216,13 @@ void E8Args(::benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_E10_E1_University_Tuple)->Apply(E1E6Args);
 BENCHMARK(BM_E10_E1_University_Batch)->Apply(E1E6Args);
+BENCHMARK(BM_E10_E1_University_BatchScalar)->Apply(E1E6Args);
 BENCHMARK(BM_E10_E6_UniversityChain_Tuple)->Apply(E1E6Args);
 BENCHMARK(BM_E10_E6_UniversityChain_Batch)->Apply(E1E6Args);
+BENCHMARK(BM_E10_E6_UniversityChain_BatchScalar)->Apply(E1E6Args);
 BENCHMARK(BM_E10_E8_Genealogy_Tuple)->Apply(E8Args);
 BENCHMARK(BM_E10_E8_Genealogy_Batch)->Apply(E8Args);
+BENCHMARK(BM_E10_E8_Genealogy_BatchScalar)->Apply(E8Args);
 
 }  // namespace
 }  // namespace semopt

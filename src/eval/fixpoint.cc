@@ -13,6 +13,7 @@
 #include "eval/rule_executor.h"
 #include "exec/parallel_fixpoint.h"
 #include "obs/trace.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -87,7 +88,8 @@ void ExecuteBuffered(const PlannedRule& pr, PlanCacheInterface& cache,
     exec.ExecutePlanBatched(
         *plan, source, delta_literal,
         [buffer](const TupleBuffer& block) { buffer->AppendAll(block); },
-        stats, options.batch_size);
+        stats, options.batch_size, 0, RuleExecutor::kNoMorsel,
+        /*scratch=*/nullptr, ResolveSimdMode(options.simd));
   }
 }
 
@@ -364,7 +366,31 @@ Status ValidateEvalOptions(const EvalOptions& options) {
                ": smaller morsels make the shared-cursor claim the "
                "dominant per-morsel cost"));
   }
+  if (options.simd == SimdMode::kOn) {
+    if (!simd::kCompiledIn) {
+      return Status::FailedPrecondition(
+          "simd=on but this build compiled the SIMD kernels out "
+          "(SEMOPT_DISABLE_SIMD)");
+    }
+    if (simd::EnvDisabled()) {
+      return Status::FailedPrecondition(
+          "simd=on but the SEMOPT_DISABLE_SIMD environment variable "
+          "disables the SIMD kernels in this process");
+    }
+  }
   return Status::Ok();
+}
+
+bool ResolveSimdMode(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kOn:
+      return true;
+    case SimdMode::kOff:
+      return false;
+    case SimdMode::kAuto:
+      break;
+  }
+  return simd::KernelsEnabled();
 }
 
 Result<Database> Evaluate(const Program& program, const Database& edb,

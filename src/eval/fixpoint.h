@@ -19,6 +19,17 @@ enum class EvalStrategy {
   kNaive,      // re-derive everything each round (baseline)
 };
 
+/// Whether the batched executor may use the vectorized (selection-
+/// vector + SIMD kernel) paths. The derived relations, counters and
+/// fixpoints are bit-identical either way — the vector paths only
+/// reschedule the same per-row work — so kAuto is safe everywhere.
+enum class SimdMode {
+  kAuto,  // vectorize when compiled in and not env-disabled (default)
+  kOn,    // require vectorization; ValidateEvalOptions rejects this
+          // when the build or SEMOPT_DISABLE_SIMD disabled it
+  kOff,   // force the scalar paths (ablation baseline)
+};
+
 struct EvalOptions {
   EvalStrategy strategy = EvalStrategy::kSemiNaive;
   /// Safety valve for buggy workloads; 0 = unlimited.
@@ -46,6 +57,9 @@ struct EvalOptions {
   /// values below 8 are rejected by ValidateEvalOptions. Ignored when
   /// num_threads == 1.
   size_t morsel_size = 0;
+  /// Vectorized executor paths (see SimdMode). kAuto resolves against
+  /// the build flag and the SEMOPT_DISABLE_SIMD environment variable.
+  SimdMode simd = SimdMode::kAuto;
   /// When non-empty, this evaluation runs inside a trace session and
   /// writes a Chrome trace_event JSON file here on completion (open in
   /// chrome://tracing or Perfetto). If a session is already active
@@ -94,8 +108,14 @@ struct EvalOptions {
 /// keep their previous settings. Checks: batch_size >= 1, num_threads
 /// <= 256 (0 = hardware auto-resolution is valid), morsel_size either 0
 /// (auto) or >= 8 (a smaller morsel makes the shared-cursor claim the
-/// dominant cost). Both Evaluate entry points call this first.
+/// dominant cost), simd != kOn when the build or environment disabled
+/// the SIMD kernels. Both Evaluate entry points call this first.
 Status ValidateEvalOptions(const EvalOptions& options);
+
+/// Resolves `mode` to "use the vectorized paths?": kAuto defers to
+/// simd::KernelsEnabled(), kOn/kOff force it (kOn is only reachable
+/// after ValidateEvalOptions approved the configuration).
+bool ResolveSimdMode(SimdMode mode);
 
 /// Computes the least fixpoint of `program` over `edb` bottom-up and
 /// returns the IDB relations. Components of the predicate dependency

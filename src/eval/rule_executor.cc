@@ -8,6 +8,8 @@
 #include "ast/rename.h"
 #include "eval/builtins.h"
 #include "obs/trace.h"
+#include "storage/column_view.h"
+#include "storage/vector_kernels.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -657,7 +659,8 @@ RuleExecutor::BatchScratch& RuleExecutor::BatchScratch::operator=(
 void RuleExecutor::ExecutePlanBatched(
     const PreparedPlan& plan, const RelationSource& source, int delta_literal,
     const BatchSink& sink, EvalStats* stats, size_t batch_size,
-    size_t morsel_begin, size_t morsel_end, BatchScratch* scratch) const {
+    size_t morsel_begin, size_t morsel_end, BatchScratch* scratch,
+    bool vectorize) const {
   if (stats != nullptr) ++stats->rule_applications;
   const Plan& p = *plan.plan_;
   // Work out of the caller's scratch when given (morsel workers run
@@ -680,6 +683,7 @@ void RuleExecutor::ExecutePlanBatched(
   ctx->batches = 0;
   ctx->morsel_begin = morsel_begin;
   ctx->morsel_end = morsel_end;
+  ctx->vectorize = vectorize;
   ctx->bindings = 0;
   ctx->comparisons = 0;
   // Seed the pipeline with a single all-unbound frame; the planner's
@@ -764,6 +768,32 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
                                    : row[bound_side.slot];
         if (++out->rows == ctx->batch_size) flush_out();
       }
+    } else if (ctx->vectorize) {
+      // Selection-vector form: one branch-light pass evaluates the
+      // predicate into a survivor index list (unconditional store,
+      // conditional advance — flat cost regardless of selectivity),
+      // then a pure copy loop materializes survivors. Survivor order
+      // and the comparisons counter match the fused loop exactly.
+      std::vector<uint32_t>& sel = ctx->steps[step_index].sel;
+      sel.resize(n_in);
+      uint32_t* sel_data = sel.data();
+      size_t n_sel = 0;
+      const Value* row = in_data;
+      for (size_t f = 0; f < n_in; ++f, row += width) {
+        const Value& lhs =
+            step.lhs.is_constant ? step.lhs.constant : row[step.lhs.slot];
+        const Value& rhs =
+            step.rhs.is_constant ? step.rhs.constant : row[step.rhs.slot];
+        const bool holds =
+            EvalComparisonOp(lhs, step.op, rhs) != step.negated;
+        sel_data[n_sel] = static_cast<uint32_t>(f);
+        n_sel += holds ? 1 : 0;
+      }
+      ctx->comparisons += n_in;
+      for (size_t k = 0; k < n_sel; ++k) {
+        copy_frame(in_data + static_cast<size_t>(sel_data[k]) * width);
+        if (++out->rows == ctx->batch_size) flush_out();
+      }
     } else {
       const Value* row = in_data;
       for (size_t f = 0; f < n_in; ++f, row += width) {
@@ -796,6 +826,51 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
     // All arguments statically bound: per-frame membership test over
     // the gathered row (no recursion between gather and use).
     const bool can_match = relation != nullptr && !relation->empty();
+    if (ctx->vectorize && can_match) {
+      // Batched form: gather every frame's membership row column-wise
+      // into one flat block (per-column branch instead of per-value),
+      // hash the whole block with the batch kernel, then run the dedup
+      // probes with slot prefetch ahead of each lookup. Survivor set
+      // and order are identical to the per-frame loop — same rows,
+      // same hash recipe.
+      StepScratch& scratch = ctx->steps[step_index];
+      const size_t arity = step.args.size();
+      scratch.keys.resize(n_in * arity, Term::Int(0));
+      Value* keys = scratch.keys.data();
+      for (size_t c = 0; c < arity; ++c) {
+        const TermSpec& spec = step.args[c];
+        if (spec.is_constant) {
+          const Value v = spec.constant;
+          for (size_t f = 0; f < n_in; ++f) keys[f * arity + c] = v;
+        } else {
+          const Value* src = in_data + spec.slot;
+          for (size_t f = 0; f < n_in; ++f) {
+            keys[f * arity + c] = src[f * width];
+          }
+        }
+      }
+      scratch.key_hashes.resize(n_in);
+      size_t* hashes = scratch.key_hashes.data();
+      HashValuesBatch(keys, arity, n_in, hashes);
+      constexpr size_t kLookahead = 8;
+      const size_t prefetch_now = std::min(kLookahead, n_in);
+      for (size_t f = 0; f < prefetch_now; ++f) {
+        relation->PrefetchInsert(hashes[f]);
+      }
+      const Value* row = in_data;
+      for (size_t f = 0; f < n_in; ++f, row += width) {
+        if (f + kLookahead < n_in) {
+          relation->PrefetchInsert(hashes[f + kLookahead]);
+        }
+        if (!relation->Contains(RowRef(keys + f * arity, arity),
+                                hashes[f])) {
+          copy_frame(row);
+          if (++out->rows == ctx->batch_size) flush_out();
+        }
+      }
+      if (out->rows > 0) flush_out();
+      return;
+    }
     const Value* row = in_data;
     for (size_t f = 0; f < n_in; ++f, row += width) {
       bool present = false;
@@ -925,19 +1000,39 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
     // prefetched slot/bucket walks, one index resolution). Phase 2:
     // extend frames with their hits.
     const size_t key_width = step.probe_columns.size();
-    scratch.keys.clear();
-    scratch.keys.reserve(n_in * key_width);
-    const Value* row = in_data;
-    for (size_t f = 0; f < n_in; ++f, row += width) {
-      for (uint32_t col : step.probe_columns) {
-        const TermSpec& spec = step.args[col];
-        scratch.keys.push_back(spec.is_constant ? spec.constant
-                                                : row[spec.slot]);
+    if (ctx->vectorize) {
+      // Column-wise gather: one tight strided copy (or constant fill)
+      // per key column, hoisting the is_constant branch out of the
+      // per-frame loop. Same key block as the row-wise gather.
+      scratch.keys.resize(n_in * key_width, Term::Int(0));
+      Value* keys = scratch.keys.data();
+      for (size_t kc = 0; kc < key_width; ++kc) {
+        const TermSpec& spec = step.args[step.probe_columns[kc]];
+        if (spec.is_constant) {
+          const Value v = spec.constant;
+          for (size_t f = 0; f < n_in; ++f) keys[f * key_width + kc] = v;
+        } else {
+          const Value* src = in_data + spec.slot;
+          for (size_t f = 0; f < n_in; ++f) {
+            keys[f * key_width + kc] = src[f * width];
+          }
+        }
+      }
+    } else {
+      scratch.keys.clear();
+      scratch.keys.reserve(n_in * key_width);
+      const Value* frame = in_data;
+      for (size_t f = 0; f < n_in; ++f, frame += width) {
+        for (uint32_t col : step.probe_columns) {
+          const TermSpec& spec = step.args[col];
+          scratch.keys.push_back(spec.is_constant ? spec.constant
+                                                  : frame[spec.slot]);
+        }
       }
     }
     relation->ProbeBatch(step.probe_columns, scratch.keys.data(), n_in,
                          &scratch.key_hashes, &scratch.hit_spans);
-    row = in_data;
+    const Value* row = in_data;
     const bool no_checks = step.probe_checks.empty();
     for (size_t f = 0; f < n_in; ++f, row += width) {
       const std::span<const RowId> hits = scratch.hit_spans[f];
@@ -965,13 +1060,90 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
         is_driving ? std::min(ctx->morsel_begin, n_rows) : 0;
     const size_t row_end = is_driving ? std::min(ctx->morsel_end, n_rows)
                                       : n_rows;
-    const Value* row = in_data;
-    for (size_t f = 0; f < n_in; ++f, row += width) {
-      for (size_t i = row_begin; i < row_end; ++i) {
-        const Value* row_vals = relation->row(i).data();
-        if (passes(row, row_vals, step.scan_checks)) {
+    // Columnar threshold: below this many scanned rows the SoA
+    // snapshot's build/refresh cost outweighs the lane-compare win.
+    constexpr size_t kColumnarScanMinRows = 64;
+    if (ctx->vectorize && !step.scan_checks.empty() &&
+        row_end - row_begin >= kColumnarScanMinRows) {
+      // Column-at-a-time scan: run each check as a flat selection /
+      // refinement over the relation's columnar snapshot (SIMD lane
+      // compares), touching row data only for the final survivors.
+      // Frame-independent checks (constants, within-row repeats) are
+      // evaluated once into `base_sel`; the frame-dependent (slot)
+      // checks refine a per-frame copy. Selection vectors are
+      // ascending, so survivors emit in the same order as the
+      // row-at-a-time loop, and `bindings` counts the same rows.
+      StepScratch& scan_scratch = ctx->steps[step_index];
+      // Scratch outlives this plan (worker lanes reuse it across rules
+      // and rounds), so never trust a cached view here: EnsureColumns
+      // re-validates against the relation's own cache under its mutex
+      // — a no-op lock when the snapshot is current.
+      scan_scratch.columns = relation->EnsureColumns();
+      const ColumnView& cols = *scan_scratch.columns;
+      const uint32_t b = static_cast<uint32_t>(row_begin);
+      const uint32_t e = static_cast<uint32_t>(row_end);
+      std::vector<uint32_t>& base = scan_scratch.base_sel;
+      base.clear();
+      bool have_base = false;
+      bool any_frame_dep = false;
+      for (const ColumnAction& a : step.scan_checks) {
+        if (a.kind == ColumnAction::kCheckSlot) {
+          any_frame_dep = true;
+          continue;
+        }
+        if (!have_base) {
+          if (a.kind == ColumnAction::kCheckConst) {
+            cols.SelectEq(a.col, a.constant, b, e, &base);
+          } else {  // kCheckRepeat
+            cols.SelectEqColumns(a.col, a.other_col, b, e, &base);
+          }
+          have_base = true;
+        } else if (a.kind == ColumnAction::kCheckConst) {
+          cols.RefineEq(a.col, a.constant, &base);
+        } else {
+          cols.RefineEqColumns(a.col, a.other_col, &base);
+        }
+      }
+      std::vector<uint32_t>& sel = scan_scratch.sel;
+      const Value* row = in_data;
+      for (size_t f = 0; f < n_in; ++f, row += width) {
+        const std::vector<uint32_t>* active = &base;
+        if (any_frame_dep) {
+          bool started = have_base;
+          if (started) sel = base;
+          for (const ColumnAction& a : step.scan_checks) {
+            if (a.kind != ColumnAction::kCheckSlot) continue;
+            if (!started) {
+              sel.clear();
+              cols.SelectEq(a.col, row[a.slot], b, e, &sel);
+              started = true;
+            } else {
+              cols.RefineEq(a.col, row[a.slot], &sel);
+            }
+          }
+          active = &sel;
+        }
+        const uint32_t* hits = active->data();
+        const size_t n_hits = active->size();
+        for (size_t i = 0; i < n_hits; ++i) {
+          if (i + 4 < n_hits) {
+            __builtin_prefetch(relation->row(hits[i + 4]).data(),
+                               /*rw=*/0, /*locality=*/1);
+          }
+          const Value* row_vals = relation->row(hits[i]).data();
           ++ctx->bindings;
           if (!has_fused || fused_pass(row, row_vals)) emit(row, row_vals);
+        }
+      }
+    } else {
+      const Value* row = in_data;
+      for (size_t f = 0; f < n_in; ++f, row += width) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const Value* row_vals = relation->row(i).data();
+          if (passes(row, row_vals, step.scan_checks)) {
+            ++ctx->bindings;
+            if (!has_fused || fused_pass(row, row_vals)) emit(row, row_vals);
+          }
         }
       }
     }

@@ -11,6 +11,7 @@
 #include "eval/eval_stats.h"
 #include "storage/relation.h"
 #include "util/result.h"
+#include "util/simd.h"
 
 namespace semopt {
 
@@ -182,13 +183,22 @@ class RuleExecutor {
   /// ExecutePlan). `scratch`, when given, is reused working state —
   /// pass one per worker lane so a stream of morsel executions stops
   /// allocating once buffers reach steady-state capacity.
+  ///
+  /// `vectorize` enables the data-parallel step implementations:
+  /// selection-vector comparison filters, batch-hashed negation
+  /// membership, column-wise probe-key gathers, and columnar
+  /// (ColumnView + SIMD kernel) scan checks. The derived blocks and
+  /// logical counters are bit-identical either way — only the
+  /// evaluation schedule changes. The default follows the build/env
+  /// gate; the fixpoint engines pass ResolveSimdMode(options.simd).
   void ExecutePlanBatched(const PreparedPlan& plan,
                           const RelationSource& source, int delta_literal,
                           const BatchSink& sink, EvalStats* stats,
                           size_t batch_size = kDefaultBatchSize,
                           size_t morsel_begin = 0,
                           size_t morsel_end = kNoMorsel,
-                          BatchScratch* scratch = nullptr) const;
+                          BatchScratch* scratch = nullptr,
+                          bool vectorize = simd::KernelsEnabled()) const;
 
   /// The original-body index of the driving step a partitioned Prepare
   /// marked (the literal whose relation morsels carve up), or -1 for
@@ -369,6 +379,13 @@ class RuleExecutor {
     std::vector<size_t> key_hashes;     // ProbeBatch hash scratch
     std::vector<std::span<const RowId>> hit_spans;  // per-key matches
     std::vector<const Relation*> fused_rels;  // resolved per execution
+    // Vectorized paths only: the scanned relation's columnar snapshot
+    // plus the selection vectors of the column-at-a-time scan checks
+    // (`base_sel` holds the frame-independent residue, `sel` the
+    // per-frame refinement; comparisons/negation reuse `sel`).
+    std::shared_ptr<const ColumnView> columns;
+    std::vector<uint32_t> base_sel;
+    std::vector<uint32_t> sel;
   };
   struct BatchContext {
     size_t batch_size = kDefaultBatchSize;
@@ -379,6 +396,9 @@ class RuleExecutor {
     // Driving-step row range (morsel); kNoMorsel = unrestricted.
     size_t morsel_begin = 0;
     size_t morsel_end = kNoMorsel;
+    // Use the data-parallel step implementations (see
+    // ExecutePlanBatched's `vectorize`).
+    bool vectorize = true;
     // Logical counters, folded into EvalStats once at the end.
     size_t bindings = 0;
     size_t comparisons = 0;

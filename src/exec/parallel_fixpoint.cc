@@ -15,6 +15,7 @@
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/vector_kernels.h"
 #include "util/interner.h"
 #include "util/string_util.h"
 
@@ -305,12 +306,18 @@ Result<bool> RunRound(
                 exec.plan, source, exec.delta_literal,
                 [&sink](const TupleBuffer& block) {
                   sink.rows.AppendAll(block);
+                  // Hash the whole (flat) head block with the batch
+                  // kernel — this is the worker-side share of the
+                  // commit cost, off the serial merge path.
                   const size_t n = block.size();
-                  for (size_t r = 0; r < n; ++r) {
-                    sink.hashes.push_back(HashValues(block.row(r)));
-                  }
+                  if (n == 0) return;
+                  const size_t base = sink.hashes.size();
+                  sink.hashes.resize(base + n);
+                  HashValuesBatch(block.row(0).data(), block.arity(), n,
+                                  sink.hashes.data() + base);
                 },
-                &ws.stats, options.batch_size, m.begin, m.end, &ws.scratch);
+                &ws.stats, options.batch_size, m.begin, m.end, &ws.scratch,
+                ResolveSimdMode(options.simd));
           }
           if (options.collect_metrics) {
             ws.exec_ns[m.exec_index] += NowNs() - morsel_start_ns;

@@ -1,0 +1,409 @@
+#include "io/binary_io.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SEMOPT_BINARY_IO_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.h"
+#include "storage/vector_kernels.h"
+#include "util/interner.h"
+#include "util/string_util.h"
+
+namespace semopt {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'E', 'M', 'O', 'P', 'T', 'D', 'B'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kEndianMarker = 0x01020304u;
+constexpr size_t kHeaderBytes = 40;
+
+// Column kind modes. Uniform columns carry their kind here and omit the
+// per-row lane entirely (the common case: a column is all ints or all
+// symbols); mixed columns are followed by a row-count kind-byte lane.
+constexpr uint8_t kModeAllInts = 0;
+constexpr uint8_t kModeAllSyms = 1;
+constexpr uint8_t kModeMixed = 2;
+
+// Rows are re-rowed and hashed in blocks this size: big enough to
+// amortize the per-block setup, small enough that the transposed block
+// plus its hash lane stay cache-resident.
+constexpr size_t kLoadBlockRows = 4096;
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+/// Bounds-checked forward reader over the raw image. Every accessor
+/// fails closed: once `ok` drops, further reads return zero and the
+/// caller surfaces one truncation error.
+struct Reader {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Need(size_t n) {
+    if (!ok || size - pos < n || pos > size) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v;
+    std::memcpy(&v, data + pos, 4);
+    pos += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v;
+    std::memcpy(&v, data + pos, 8);
+    pos += 8;
+    return v;
+  }
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data[pos++]);
+  }
+  /// A raw span of `n` bytes, or nullptr past the end.
+  const char* Bytes(size_t n) {
+    if (!Need(n)) return nullptr;
+    const char* p = data + pos;
+    pos += n;
+    return p;
+  }
+};
+
+/// Maps process-global symbol ids to dense file-local ids, interning
+/// order = first-use order during the relation walk.
+struct SymbolTableBuilder {
+  std::unordered_map<SymbolId, uint32_t> remap;
+  std::vector<SymbolId> order;
+
+  uint32_t Local(SymbolId global) {
+    auto [it, inserted] =
+        remap.emplace(global, static_cast<uint32_t>(order.size()));
+    if (inserted) order.push_back(global);
+    return it->second;
+  }
+};
+
+void RecordLoadMetrics(const BulkLoadStats& stats) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("io.bulk_load.rows")
+      .Add(static_cast<uint64_t>(stats.rows));
+  registry.GetCounter("io.bulk_load.bytes")
+      .Add(static_cast<uint64_t>(stats.bytes));
+  registry.GetCounter("io.bulk_load.us")
+      .Add(static_cast<uint64_t>(stats.micros));
+}
+
+}  // namespace
+
+Result<size_t> SaveBinary(std::ostream& out, const Database& db) {
+  const std::vector<PredicateId> preds = db.Predicates();
+
+  // Pass 1: collect every symbol the file needs (predicate names and
+  // symbolic constants) so the table can precede the relation bodies.
+  SymbolTableBuilder symbols;
+  for (const PredicateId& pred : preds) {
+    symbols.Local(pred.name);
+    const Relation* rel = db.Find(pred);
+    for (RowRef row : rel->rows()) {
+      for (const Value& v : row) {
+        if (v.kind() == TermKind::kSymConst) {
+          symbols.Local(v.symbol());
+        } else if (v.kind() == TermKind::kVariable) {
+          return Status::InvalidArgument(
+              StrCat("relation ", pred.ToString(),
+                     " holds a variable; snapshots require ground facts"));
+        }
+      }
+    }
+  }
+
+  const std::ostream::pos_type start = out.tellp();
+  out.write(kMagic, sizeof(kMagic));
+  PutU32(out, kVersion);
+  PutU32(out, kEndianMarker);
+  PutU32(out, 0);  // flags
+  PutU32(out, 0);  // reserved
+  PutU64(out, preds.size());
+  PutU64(out, symbols.order.size());
+
+  for (SymbolId global : symbols.order) {
+    const std::string& s = SymbolName(global);
+    PutU32(out, static_cast<uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  std::vector<uint64_t> payloads;
+  std::vector<uint8_t> kind_lane;
+  for (const PredicateId& pred : preds) {
+    const Relation* rel = db.Find(pred);
+    const size_t rows = rel->size();
+    const uint32_t arity = pred.arity;
+    PutU32(out, symbols.Local(pred.name));
+    PutU32(out, arity);
+    PutU64(out, rows);
+    for (uint32_t c = 0; c < arity; ++c) {
+      // Project column c (column-major on disk). Symbol payloads are
+      // rewritten to file-local ids; int payloads are the raw bits.
+      payloads.clear();
+      payloads.reserve(rows);
+      kind_lane.clear();
+      bool any_int = false;
+      bool any_sym = false;
+      for (size_t r = 0; r < rows; ++r) {
+        const Value& v = rel->row(r)[c];
+        if (v.kind() == TermKind::kIntConst) {
+          any_int = true;
+          payloads.push_back(static_cast<uint64_t>(v.int_value()));
+          kind_lane.push_back(kModeAllInts);
+        } else {
+          any_sym = true;
+          payloads.push_back(symbols.Local(v.symbol()));
+          kind_lane.push_back(kModeAllSyms);
+        }
+      }
+      uint8_t mode;
+      if (any_int && any_sym) {
+        mode = kModeMixed;
+      } else if (any_sym) {
+        mode = kModeAllSyms;
+      } else {
+        mode = kModeAllInts;  // empty columns default to ints
+      }
+      out.put(static_cast<char>(mode));
+      if (mode == kModeMixed) {
+        out.write(reinterpret_cast<const char*>(kind_lane.data()),
+                  static_cast<std::streamsize>(kind_lane.size()));
+      }
+      out.write(reinterpret_cast<const char*>(payloads.data()),
+                static_cast<std::streamsize>(payloads.size() * 8));
+    }
+  }
+
+  if (!out) return Status::Internal("binary snapshot write failed");
+  return static_cast<size_t>(out.tellp() - start);
+}
+
+Result<size_t> SaveBinaryFile(const std::string& path, const Database& db) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound(StrCat("cannot open ", path));
+  SEMOPT_ASSIGN_OR_RETURN(size_t bytes, SaveBinary(out, db));
+  out.flush();
+  if (!out) return Status::Internal(StrCat("write to ", path, " failed"));
+  return bytes;
+}
+
+Result<BulkLoadStats> LoadBinary(const char* data, size_t size,
+                                 Database* db) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Reader in{data, size};
+
+  const char* magic = in.Bytes(sizeof(kMagic));
+  if (magic == nullptr || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "not a semopt binary snapshot (bad magic)");
+  }
+  const uint32_t version = in.U32();
+  if (in.ok && version != kVersion) {
+    return Status::InvalidArgument(
+        StrCat("unsupported snapshot version ", version, " (expected ",
+               kVersion, ")"));
+  }
+  const uint32_t endian = in.U32();
+  if (in.ok && endian != kEndianMarker) {
+    return Status::InvalidArgument(
+        "snapshot byte order does not match this machine");
+  }
+  in.U32();  // flags
+  in.U32();  // reserved
+  const uint64_t relation_count = in.U64();
+  const uint64_t symbol_count = in.U64();
+  if (!in.ok) {
+    return Status::InvalidArgument("truncated snapshot header");
+  }
+
+  // Re-intern the file-local symbol table; remap[file_id] is the
+  // process-global id. Each entry costs at least its 4-byte length
+  // prefix, so a count the remaining bytes cannot hold is corruption —
+  // reject it before reserving (no OOM on a hostile header).
+  if (symbol_count > (size - in.pos) / 4) {
+    return Status::InvalidArgument("truncated snapshot symbol table");
+  }
+  std::vector<SymbolId> remap;
+  remap.reserve(symbol_count);
+  for (uint64_t s = 0; s < symbol_count; ++s) {
+    const uint32_t len = in.U32();
+    const char* bytes = in.Bytes(len);
+    if (bytes == nullptr) {
+      return Status::InvalidArgument("truncated snapshot symbol table");
+    }
+    remap.push_back(InternSymbol(std::string_view(bytes, len)));
+  }
+
+  BulkLoadStats stats;
+  std::vector<Value> block;
+  std::vector<size_t> hashes;
+  for (uint64_t rel_i = 0; rel_i < relation_count; ++rel_i) {
+    const uint32_t name_local = in.U32();
+    const uint32_t arity = in.U32();
+    const uint64_t rows = in.U64();
+    if (!in.ok) return Status::InvalidArgument("truncated relation header");
+    if (name_local >= remap.size()) {
+      return Status::InvalidArgument(
+          StrCat("relation name symbol id ", name_local, " out of range"));
+    }
+    // Reject sizes the remaining bytes cannot possibly hold before
+    // reserving anything (a corrupt header must not OOM the loader).
+    if (arity > (1u << 16)) {
+      return Status::InvalidArgument(StrCat("implausible arity ", arity));
+    }
+    if (arity > 0 &&
+        rows > (size - in.pos) / (static_cast<uint64_t>(arity) * 8)) {
+      return Status::InvalidArgument("truncated relation payload");
+    }
+
+    Relation& rel =
+        db->GetOrCreate(PredicateId{remap[name_local], arity});
+    rel.Reserve(rel.size() + rows);
+
+    if (arity == 0) {
+      // Nullary facts: dedup collapses them to at most one row.
+      for (uint64_t r = 0; r < rows; ++r) {
+        Value none{Term::Int(0)};
+        rel.Insert(RowRef(&none, 0));
+      }
+      stats.rows += rows;
+      ++stats.relations;
+      continue;
+    }
+
+    // Column descriptors point straight into the image — columns are
+    // only walked block-wise below, never copied whole.
+    struct ColumnDesc {
+      uint8_t mode = kModeAllInts;
+      const uint8_t* kinds = nullptr;  // mixed only
+      const char* payloads = nullptr;  // unaligned u64s
+    };
+    std::vector<ColumnDesc> cols(arity);
+    for (uint32_t c = 0; c < arity; ++c) {
+      ColumnDesc& col = cols[c];
+      col.mode = in.U8();
+      if (in.ok && col.mode > kModeMixed) {
+        return Status::InvalidArgument(
+            StrCat("bad column kind mode ", col.mode));
+      }
+      if (col.mode == kModeMixed) {
+        col.kinds = reinterpret_cast<const uint8_t*>(in.Bytes(rows));
+      }
+      col.payloads = in.Bytes(rows * 8);
+      if (!in.ok) {
+        return Status::InvalidArgument("truncated relation payload");
+      }
+    }
+
+    // Re-row in blocks: transpose the column slices into a row-major
+    // block, batch-hash it, then insert with dedup-slot prefetch.
+    block.resize(kLoadBlockRows * arity, Term::Int(0));
+    hashes.resize(kLoadBlockRows);
+    for (uint64_t base = 0; base < rows; base += kLoadBlockRows) {
+      const size_t m =
+          static_cast<size_t>(std::min<uint64_t>(kLoadBlockRows, rows - base));
+      for (uint32_t c = 0; c < arity; ++c) {
+        const ColumnDesc& col = cols[c];
+        const char* src = col.payloads + base * 8;
+        for (size_t r = 0; r < m; ++r) {
+          uint64_t payload;
+          std::memcpy(&payload, src + r * 8, 8);
+          const bool is_sym =
+              col.mode == kModeAllSyms ||
+              (col.mode == kModeMixed && col.kinds[base + r] != kModeAllInts);
+          if (is_sym) {
+            if (payload >= remap.size()) {
+              return Status::InvalidArgument(
+                  StrCat("symbol id ", payload, " out of range"));
+            }
+            block[r * arity + c] = Term::Sym(remap[payload]);
+          } else {
+            block[r * arity + c] =
+                Term::Int(static_cast<int64_t>(payload));
+          }
+        }
+      }
+      HashValuesBatch(block.data(), arity, m, hashes.data());
+      for (size_t r = 0; r < m; ++r) rel.PrefetchInsert(hashes[r]);
+      for (size_t r = 0; r < m; ++r) {
+        rel.Insert(RowRef(block.data() + r * arity, arity), hashes[r]);
+      }
+    }
+    stats.rows += rows;
+    ++stats.relations;
+  }
+
+  stats.bytes = in.pos;
+  stats.micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  RecordLoadMetrics(stats);
+  return stats;
+}
+
+Result<BulkLoadStats> LoadBinaryFile(const std::string& path, Database* db) {
+#ifdef SEMOPT_BINARY_IO_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        // The loader streams the image front to back.
+        ::madvise(map, static_cast<size_t>(st.st_size), MADV_SEQUENTIAL);
+        Result<BulkLoadStats> result = LoadBinary(
+            static_cast<const char*>(map),
+            static_cast<size_t>(st.st_size), db);
+        ::munmap(map, static_cast<size_t>(st.st_size));
+        ::close(fd);
+        return result;
+      }
+    }
+    ::close(fd);
+    // Fall through to the buffered read (empty file, fstat or mmap
+    // failure — e.g. a special file).
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(StrCat("cannot open ", path));
+  std::vector<char> buffer((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  return LoadBinary(buffer.data(), buffer.size(), db);
+}
+
+}  // namespace semopt

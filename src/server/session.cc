@@ -14,6 +14,7 @@
 #include "eval/explain.h"
 #include "eval/query.h"
 #include "exec/parallel_fixpoint.h"
+#include "io/binary_io.h"
 #include "io/fact_io.h"
 #include "magic/magic_sets.h"
 #include "obs/export.h"
@@ -24,6 +25,7 @@
 #include "semopt/optimizer.h"
 #include "semopt/residue_generator.h"
 #include "storage/storage_metrics.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -308,6 +310,11 @@ std::string SessionCommandProcessor::HandleCommand(std::string_view line) {
   if (cmd == ".budget" || cmd == ":budget") return CmdBudget(args);
   if (cmd == ".load") return CmdLoad(args);
   if (cmd == ".loadtsv") return CmdLoadTsv(args);
+  if (cmd == ".dump" || cmd == ":dump") return CmdDump(args);
+  // `:load` (colon) is the binary-snapshot loader; `.load` (dot) keeps
+  // its historical meaning of sourcing a text program file.
+  if (cmd == ":load") return CmdLoadBinary(args);
+  if (cmd == ".simd" || cmd == ":simd") return CmdSimd(args);
   if (cmd == ".stats") {
     show_stats_ = args.empty() || args[0] != "off";
     return StrCat("stats ", show_stats_ ? "on" : "off");
@@ -340,9 +347,12 @@ commands:
   .explain pred(consts)    show a proof tree for a derived fact
   .load FILE               load a program/fact file
   .loadtsv PRED FILE       load tab-separated tuples into PRED
+  :dump FILE               save every relation as a binary snapshot
+  :load FILE               bulk-load a binary snapshot (made by :dump)
   .stats [on|off]          show evaluation statistics with query answers
   :threads [N]             evaluate with N threads (1 = serial, 0 = auto)
   :batch [N]               batched executor block size (1 = per-tuple)
+  :simd [on|off|auto]      vectorized executor kernels (auto = detect)
   :plan PRED[/ARITY]       show the join plan of every rule deriving PRED
   :trace FILE|on|off       record spans; on stop, write Chrome trace JSON
                            (open in chrome://tracing or ui.perfetto.dev)
@@ -662,10 +672,16 @@ std::string SessionCommandProcessor::CmdMetrics(
   if (!have_last_stats_) {
     return "no evaluation yet (run a query first)";
   }
-  storage_metrics::PublishTo(obs::MetricsRegistry::Global());
-  return StrCat(last_stats_.Report(),
-                "\nstorage: tuples_bytes=", storage_metrics::LiveTupleBytes(),
-                " rehashes=", storage_metrics::TotalRehashes());
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  storage_metrics::PublishTo(registry);
+  return StrCat(
+      last_stats_.Report(),
+      "\nstorage: tuples_bytes=", storage_metrics::LiveTupleBytes(),
+      " columns_bytes=", storage_metrics::LiveColumnsBytes(),
+      " rehashes=", storage_metrics::TotalRehashes(),
+      "\nio: bulk_load_rows=", registry.GetCounter("io.bulk_load.rows").value(),
+      " bulk_load_bytes=", registry.GetCounter("io.bulk_load.bytes").value(),
+      " bulk_load_us=", registry.GetCounter("io.bulk_load.us").value());
 }
 
 std::string SessionCommandProcessor::CmdProfile(std::string_view rest) {
@@ -789,6 +805,68 @@ std::string SessionCommandProcessor::CmdLoad(
   std::stringstream buffer;
   buffer << in.rdbuf();
   return HandleStatements(buffer.str());
+}
+
+std::string SessionCommandProcessor::CmdDump(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) return "usage: :dump FILE";
+  DatabaseSnapshot snap = host_->Snapshot();
+  Result<size_t> bytes = SaveBinaryFile(args[0], snap.db());
+  if (!bytes.ok()) return bytes.status().ToString();
+  return StrCat("dumped ", snap.db().Predicates().size(), " relation(s), ",
+                snap.db().TotalTuples(), " tuple(s), ", *bytes, " byte(s) -> ",
+                args[0]);
+}
+
+std::string SessionCommandProcessor::CmdLoadBinary(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return "usage: :load FILE  (binary snapshot; .load reads text programs)";
+  }
+  BulkLoadStats stats;
+  Result<uint64_t> written = host_->ApplyWrite([&](Database* db) {
+    SEMOPT_ASSIGN_OR_RETURN(stats, LoadBinaryFile(args[0], db));
+    return Status::Ok();
+  });
+  if (!written.ok()) return written.status().ToString();
+  return StrCat("loaded ", stats.rows, " row(s) into ", stats.relations,
+                " relation(s) (", stats.bytes, " byte(s), ", stats.micros,
+                " us)");
+}
+
+std::string SessionCommandProcessor::CmdSimd(
+    const std::vector<std::string>& args) {
+  // Renders the session's configured mode plus what it resolves to in
+  // this process (build options, the SEMOPT_DISABLE_SIMD environment
+  // variable and the CPU all factor in).
+  auto describe = [this]() {
+    const char* mode = eval_options_.simd == SimdMode::kOn    ? "on"
+                       : eval_options_.simd == SimdMode::kOff ? "off"
+                                                              : "auto";
+    if (!ResolveSimdMode(eval_options_.simd)) {
+      return StrCat("simd ", mode, " (scalar kernels)");
+    }
+    return StrCat("simd ", mode, " (vectorized, ",
+                  simd::LevelName(simd::ActiveLevel()), ")");
+  };
+  if (args.empty()) return describe();
+  EvalOptions candidate = eval_options_;
+  if (args[0] == "on") {
+    candidate.simd = SimdMode::kOn;
+  } else if (args[0] == "off") {
+    candidate.simd = SimdMode::kOff;
+  } else if (args[0] == "auto") {
+    candidate.simd = SimdMode::kAuto;
+  } else {
+    return "usage: :simd [on|off|auto]";
+  }
+  // Centralized validation; on rejection surface the validator's
+  // message and keep the previous setting (same contract as :threads).
+  if (Status s = ValidateEvalOptions(candidate); !s.ok()) {
+    return s.ToString();
+  }
+  eval_options_ = candidate;
+  return describe();
 }
 
 std::string SessionCommandProcessor::CmdLoadTsv(

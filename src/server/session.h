@@ -125,6 +125,9 @@ class SessionCommandProcessor {
   std::string CmdExplain(std::string_view rest);
   std::string CmdLoad(const std::vector<std::string>& args);
   std::string CmdLoadTsv(const std::vector<std::string>& args);
+  std::string CmdDump(const std::vector<std::string>& args);
+  std::string CmdLoadBinary(const std::vector<std::string>& args);
+  std::string CmdSimd(const std::vector<std::string>& args);
 
   std::string CmdThreads(const std::vector<std::string>& args);
   std::string CmdBatch(const std::vector<std::string>& args);

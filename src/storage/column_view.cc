@@ -1,0 +1,197 @@
+#include "storage/column_view.h"
+
+#include "storage/storage_metrics.h"
+#include "storage/vector_kernels.h"
+
+namespace semopt {
+
+namespace {
+
+int64_t ColumnBytes(const std::vector<uint64_t>& payloads,
+                    const std::vector<uint8_t>& kind_lane) {
+  return static_cast<int64_t>(payloads.capacity() * sizeof(uint64_t) +
+                              kind_lane.capacity() * sizeof(uint8_t));
+}
+
+/// Keeps sel entries whose kind bytes agree across two mixed lanes.
+void RefineKindsEqual(const uint8_t* a, const uint8_t* b,
+                      std::vector<uint32_t>* sel) {
+  uint32_t* data = sel->data();
+  const size_t n = sel->size();
+  size_t o = 0;
+  for (size_t k = 0; k < n; ++k) {
+    data[o] = data[k];
+    o += a[data[k]] == b[data[k]] ? 1 : 0;
+  }
+  sel->resize(o);
+}
+
+/// In-place compaction of sel's suffix [base, size): keeps entries
+/// whose kind byte equals `kind` — the mixed-column follow-up to a
+/// payload select, without a temporary vector.
+void RefineSuffixKindEq(const uint8_t* kinds, uint8_t kind, size_t base,
+                        std::vector<uint32_t>* sel) {
+  uint32_t* data = sel->data();
+  const size_t n = sel->size();
+  size_t o = base;
+  for (size_t k = base; k < n; ++k) {
+    data[o] = data[k];
+    o += kinds[data[k]] == kind ? 1 : 0;
+  }
+  sel->resize(o);
+}
+
+void RefineSuffixKindsEqual(const uint8_t* a, const uint8_t* b, size_t base,
+                            std::vector<uint32_t>* sel) {
+  uint32_t* data = sel->data();
+  const size_t n = sel->size();
+  size_t o = base;
+  for (size_t k = base; k < n; ++k) {
+    data[o] = data[k];
+    o += a[data[k]] == b[data[k]] ? 1 : 0;
+  }
+  sel->resize(o);
+}
+
+}  // namespace
+
+std::shared_ptr<const ColumnView> ColumnView::Build(const TupleStore& store) {
+  // shared_ptr<ColumnView> first (the constructor is private to this
+  // class, so no make_shared), exposed const to callers.
+  std::shared_ptr<ColumnView> view(new ColumnView());
+  const size_t rows = store.size();
+  const uint32_t arity = store.arity();
+  view->rows_ = rows;
+  view->columns_.resize(arity);
+  for (uint32_t c = 0; c < arity; ++c) {
+    Column& col = view->columns_[c];
+    col.payloads.resize(rows);
+    col.kind_lane.resize(rows);
+  }
+  // One streaming pass over the row-major arena, scattered into the
+  // per-column lanes (the lanes are the only write targets, so each
+  // stays write-hot in cache for small arities).
+  for (size_t r = 0; r < rows; ++r) {
+    const Value* vals = store.row_data(static_cast<RowId>(r));
+    for (uint32_t c = 0; c < arity; ++c) {
+      Column& col = view->columns_[c];
+      col.payloads[r] = PayloadBits(vals[c]);
+      col.kind_lane[r] = static_cast<uint8_t>(vals[c].kind());
+    }
+  }
+  for (uint32_t c = 0; c < arity; ++c) {
+    Column& col = view->columns_[c];
+    col.uniform = true;
+    if (rows > 0) {
+      const uint8_t first = col.kind_lane[0];
+      for (size_t r = 1; r < rows; ++r) {
+        if (col.kind_lane[r] != first) {
+          col.uniform = false;
+          break;
+        }
+      }
+      col.kind = static_cast<TermKind>(col.kind_lane[0]);
+    }
+    if (col.uniform) {
+      // Dictionary-implied kind: drop the side lane entirely.
+      col.kind_lane.clear();
+      col.kind_lane.shrink_to_fit();
+    }
+    view->bytes_ += ColumnBytes(col.payloads, col.kind_lane);
+  }
+  storage_metrics::AddColumnsBytes(view->bytes_);
+  return view;
+}
+
+ColumnView::~ColumnView() { storage_metrics::AddColumnsBytes(-bytes_); }
+
+Value ColumnView::value(size_t row, uint32_t col) const {
+  const Column& c = columns_[col];
+  const TermKind kind = c.uniform ? c.kind
+                                  : static_cast<TermKind>(c.kind_lane[row]);
+  const uint64_t payload = c.payloads[row];
+  switch (kind) {
+    case TermKind::kIntConst:
+      return Term::Int(static_cast<int64_t>(payload));
+    case TermKind::kSymConst:
+      return Term::Sym(static_cast<SymbolId>(payload));
+    case TermKind::kVariable:
+      break;
+  }
+  return Term::Var(static_cast<SymbolId>(payload));
+}
+
+void ColumnView::SelectEq(uint32_t col, const Value& v, uint32_t begin,
+                          uint32_t end, std::vector<uint32_t>* sel) const {
+  const Column& c = columns_[col];
+  const uint8_t vkind = static_cast<uint8_t>(v.kind());
+  if (c.uniform) {
+    // Dictionary-implied kind: a kind mismatch rules out the whole
+    // column without touching a single row.
+    if (end > begin && static_cast<uint8_t>(c.kind) != vkind) return;
+    SelectLaneEq(c.payloads.data(), begin, end, PayloadBits(v), sel);
+    return;
+  }
+  const size_t base = sel->size();
+  SelectLaneEq(c.payloads.data(), begin, end, PayloadBits(v), sel);
+  // Payload survivors still need the kind byte to agree; compact the
+  // freshly appended run in place.
+  RefineSuffixKindEq(c.kind_lane.data(), vkind, base, sel);
+}
+
+void ColumnView::RefineEq(uint32_t col, const Value& v,
+                          std::vector<uint32_t>* sel) const {
+  const Column& c = columns_[col];
+  const uint8_t vkind = static_cast<uint8_t>(v.kind());
+  if (c.uniform) {
+    if (!sel->empty() && static_cast<uint8_t>(c.kind) != vkind) {
+      sel->clear();
+      return;
+    }
+    RefineLaneEq(c.payloads.data(), PayloadBits(v), sel);
+    return;
+  }
+  RefineLaneEq(c.payloads.data(), PayloadBits(v), sel);
+  RefineKindEq(c.kind_lane.data(), vkind, sel);
+}
+
+void ColumnView::SelectEqColumns(uint32_t col_a, uint32_t col_b,
+                                 uint32_t begin, uint32_t end,
+                                 std::vector<uint32_t>* sel) const {
+  const Column& a = columns_[col_a];
+  const Column& b = columns_[col_b];
+  if (a.uniform && b.uniform && a.kind != b.kind && end > begin) return;
+  const size_t base = sel->size();
+  SelectLanesEq(a.payloads.data(), b.payloads.data(), begin, end, sel);
+  if (a.uniform && b.uniform) return;
+  if (a.uniform) {
+    RefineSuffixKindEq(b.kind_lane.data(), static_cast<uint8_t>(a.kind), base,
+                       sel);
+  } else if (b.uniform) {
+    RefineSuffixKindEq(a.kind_lane.data(), static_cast<uint8_t>(b.kind), base,
+                       sel);
+  } else {
+    RefineSuffixKindsEqual(a.kind_lane.data(), b.kind_lane.data(), base, sel);
+  }
+}
+
+void ColumnView::RefineEqColumns(uint32_t col_a, uint32_t col_b,
+                                 std::vector<uint32_t>* sel) const {
+  const Column& a = columns_[col_a];
+  const Column& b = columns_[col_b];
+  if (a.uniform && b.uniform && a.kind != b.kind) {
+    sel->clear();
+    return;
+  }
+  RefineLanesEq(a.payloads.data(), b.payloads.data(), sel);
+  if (a.uniform && b.uniform) return;
+  if (a.uniform) {
+    RefineKindEq(b.kind_lane.data(), static_cast<uint8_t>(a.kind), sel);
+  } else if (b.uniform) {
+    RefineKindEq(a.kind_lane.data(), static_cast<uint8_t>(b.kind), sel);
+  } else {
+    RefineKindsEqual(a.kind_lane.data(), b.kind_lane.data(), sel);
+  }
+}
+
+}  // namespace semopt

@@ -1,0 +1,106 @@
+#ifndef SEMOPT_STORAGE_COLUMN_VIEW_H_
+#define SEMOPT_STORAGE_COLUMN_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ast/term.h"
+#include "storage/tuple.h"
+#include "storage/tuple_store.h"
+
+namespace semopt {
+
+/// The raw 8-byte payload of a stored value: the int64 bits for integer
+/// constants, the (zero-extended) SymbolId for symbols/variables. Two
+/// values are equal iff their kinds and payload bits are — which is
+/// what lets a column filter run as flat u64 lane compares.
+inline uint64_t PayloadBits(const Value& v) {
+  return v.kind() == TermKind::kIntConst
+             ? static_cast<uint64_t>(v.int_value())
+             : static_cast<uint64_t>(v.symbol());
+}
+
+/// A structure-of-arrays snapshot of a TupleStore: one contiguous
+/// uint64_t payload lane per column, with the kind byte either
+/// dictionary-implied for the whole column (the overwhelmingly common
+/// case — a column holds all ints or all symbols) or carried in a
+/// per-row side lane when the column mixes kinds. Term is two machine
+/// words, so this halves the bytes a column filter streams and turns
+/// the batched scan checks into flat lane compares the SIMD kernels
+/// (vector_kernels.h) can chew through.
+///
+/// A view is an immutable snapshot of the rows present at Build time;
+/// Relation caches one per store and drops the cache on any mutation.
+/// Build/destruction maintain the process-wide storage.columns_bytes
+/// gauge (storage_metrics).
+class ColumnView {
+ public:
+  /// Materializes the view of `store`'s current rows.
+  static std::shared_ptr<const ColumnView> Build(const TupleStore& store);
+
+  ~ColumnView();
+  ColumnView(const ColumnView&) = delete;
+  ColumnView& operator=(const ColumnView&) = delete;
+
+  size_t rows() const { return rows_; }
+  uint32_t arity() const { return static_cast<uint32_t>(columns_.size()); }
+
+  /// The flat payload lane of column `col` (rows() entries).
+  const uint64_t* payloads(uint32_t col) const {
+    return columns_[col].payloads.data();
+  }
+
+  /// True when every row of column `col` has the same kind (then
+  /// column_kind is that kind and kinds() is null).
+  bool uniform_kind(uint32_t col) const { return columns_[col].uniform; }
+  TermKind column_kind(uint32_t col) const { return columns_[col].kind; }
+
+  /// Per-row kind lane of a mixed column; nullptr when uniform.
+  const uint8_t* kinds(uint32_t col) const {
+    return columns_[col].uniform ? nullptr : columns_[col].kind_lane.data();
+  }
+
+  /// Reconstructs the stored value at (row, col).
+  Value value(size_t row, uint32_t col) const;
+
+  /// Appends to *sel the row indices in [begin, end) whose column `col`
+  /// equals `v` (kind and payload), ascending. Selection-vector form of
+  /// the executor's kCheckConst / kCheckSlot scan checks.
+  void SelectEq(uint32_t col, const Value& v, uint32_t begin, uint32_t end,
+                std::vector<uint32_t>* sel) const;
+
+  /// Compacts *sel, keeping rows whose column `col` equals `v`.
+  void RefineEq(uint32_t col, const Value& v,
+                std::vector<uint32_t>* sel) const;
+
+  /// Appends to *sel the rows in [begin, end) where columns `col_a` and
+  /// `col_b` hold equal values (kCheckRepeat).
+  void SelectEqColumns(uint32_t col_a, uint32_t col_b, uint32_t begin,
+                       uint32_t end, std::vector<uint32_t>* sel) const;
+
+  /// Compacts *sel, keeping rows where `col_a` equals `col_b`.
+  void RefineEqColumns(uint32_t col_a, uint32_t col_b,
+                       std::vector<uint32_t>* sel) const;
+
+  /// Bytes this view holds live (lanes + bookkeeping).
+  int64_t ByteSize() const { return bytes_; }
+
+ private:
+  struct Column {
+    std::vector<uint64_t> payloads;
+    std::vector<uint8_t> kind_lane;  // empty when uniform
+    TermKind kind = TermKind::kIntConst;  // valid when uniform
+    bool uniform = true;
+  };
+
+  ColumnView() = default;
+
+  size_t rows_ = 0;
+  std::vector<Column> columns_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace semopt
+
+#endif  // SEMOPT_STORAGE_COLUMN_VIEW_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "storage/column_view.h"
 #include "storage/storage_metrics.h"
+#include "storage/vector_kernels.h"
 #include "util/string_util.h"
 
 namespace semopt {
@@ -72,6 +74,7 @@ Relation& Relation::operator=(const Relation& other) {
   FreeIndexes();
   CopyIndexesFrom(other);
   if (index_mu_ == nullptr) index_mu_ = std::make_unique<std::mutex>();
+  columns_.reset();
   return *this;
 }
 
@@ -79,7 +82,8 @@ Relation::Relation(Relation&& other) noexcept
     : pred_(other.pred_),
       store_(std::move(other.store_)),
       index_head_(other.index_head_.load(std::memory_order_acquire)),
-      index_mu_(std::move(other.index_mu_)) {
+      index_mu_(std::move(other.index_mu_)),
+      columns_(std::move(other.columns_)) {
   other.index_head_.store(nullptr, std::memory_order_relaxed);
 }
 
@@ -92,6 +96,7 @@ Relation& Relation::operator=(Relation&& other) noexcept {
                     std::memory_order_relaxed);
   other.index_head_.store(nullptr, std::memory_order_relaxed);
   index_mu_ = std::move(other.index_mu_);
+  columns_ = std::move(other.columns_);
   return *this;
 }
 
@@ -103,6 +108,10 @@ bool Relation::Insert(RowRef row, size_t hash) {
   assert(row.size() == arity());
   auto [id, inserted] = store_.InsertIfAbsent(row.data(), hash);
   if (!inserted) return false;
+  // Mutation is exclusive by contract, so the stale columnar snapshot
+  // can be dropped without the lock. The null check keeps the common
+  // bulk-insert case (cache already gone) a single branch.
+  if (columns_ != nullptr) columns_.reset();
   for (IndexNode* n = index_head_.load(std::memory_order_acquire);
        n != nullptr; n = n->next) {
     IndexInsert(n->index, id);
@@ -120,12 +129,13 @@ Relation::CommitCounts Relation::Commit(const TupleBuffer& rows,
   constexpr size_t kChunk = 128;
   size_t hashes[kChunk];
   const size_t n = rows.size();
+  const uint32_t width = rows.arity();
   for (size_t start = 0; start < n; start += kChunk) {
     const size_t m = std::min(kChunk, n - start);
-    for (size_t j = 0; j < m; ++j) {
-      hashes[j] = HashValues(rows.row(start + j));
-      PrefetchInsert(hashes[j]);
-    }
+    // The buffer is flat, so the chunk's rows are one contiguous
+    // value run — exactly HashValuesBatch's layout.
+    HashValuesBatch(rows.row(start).data(), width, m, hashes);
+    for (size_t j = 0; j < m; ++j) PrefetchInsert(hashes[j]);
     for (size_t j = 0; j < m; ++j) {
       RowRef t = rows.row(start + j);
       if (Insert(t, hashes[j])) {
@@ -260,6 +270,18 @@ void Relation::EnsureIndex(const std::vector<uint32_t>& columns) {
   index_head_.store(node, std::memory_order_release);
 }
 
+std::shared_ptr<const ColumnView> Relation::EnsureColumns() const {
+  // Readers of a non-mutating relation may race each other here; the
+  // shared_ptr itself is not atomic, so all access to the cache slot
+  // goes through the builder mutex. EnsureColumns runs once per
+  // executor step setup (not per row), so the lock is off any hot loop.
+  std::lock_guard<std::mutex> lock(*index_mu_);
+  if (columns_ == nullptr || columns_->rows() != store_.size()) {
+    columns_ = ColumnView::Build(store_);
+  }
+  return columns_;
+}
+
 size_t Relation::index_count() const {
   size_t count = 0;
   for (const IndexNode* n = index_head_.load(std::memory_order_acquire);
@@ -361,11 +383,12 @@ void Relation::ProbeBatch(const std::vector<uint32_t>& columns,
   // the cache, issuing a prefetch for the slot word each hash lands on.
   hash_scratch->resize(count);
   size_t* hashes = hash_scratch->data();
-  const Value* key = keys;
-  for (size_t k = 0; k < count; ++k, key += width) {
-    const size_t h = HashValues(key, width);
-    hashes[k] = h;
-    __builtin_prefetch(slots + (h & mask), /*rw=*/0, /*locality=*/1);
+  // The key block is contiguous and row-major: hash it with the batch
+  // kernel (8 interleaved chains), then issue the slot prefetches over
+  // the finished hash lane.
+  HashValuesBatch(keys, width, count, hashes);
+  for (size_t k = 0; k < count; ++k) {
+    __builtin_prefetch(slots + (hashes[k] & mask), /*rw=*/0, /*locality=*/1);
   }
 
   // Pass 2: walk the slots. A far lookahead prefetches the bucket
@@ -374,7 +397,7 @@ void Relation::ProbeBatch(const std::vector<uint32_t>& columns,
   // prefetches the row data the key comparison will touch.
   constexpr size_t kFarLookahead = 8;
   constexpr size_t kNearLookahead = 3;
-  key = keys;
+  const Value* key = keys;
   for (size_t k = 0; k < count; ++k, key += width) {
     if (k + kFarLookahead < count) {
       const uint32_t ahead = slots[hashes[k + kFarLookahead] & mask];
@@ -407,6 +430,10 @@ std::vector<Tuple> Relation::CopyRows() const {
 
 void Relation::Clear() {
   store_.Clear();
+  // Clear + refill to the same size must not resurrect a stale view,
+  // so the cache is dropped eagerly rather than trusting the row-count
+  // check in EnsureColumns.
+  columns_.reset();
   for (IndexNode* n = index_head_.load(std::memory_order_acquire);
        n != nullptr; n = n->next) {
     std::fill(n->index.slots.begin(), n->index.slots.end(), kEmptySlot);

@@ -16,6 +16,8 @@
 
 namespace semopt {
 
+class ColumnView;
+
 /// A set-semantics relation: a deduplicated collection of fixed-arity
 /// tuples in insertion order, with on-demand hash indexes over column
 /// subsets for join probing.
@@ -95,6 +97,13 @@ class Relation {
     assert(row.size() == arity());
     return store_.Contains(row.data());
   }
+  /// Membership with the row's HashValues hash precomputed — the
+  /// batched negation path hashes whole key blocks up front
+  /// (HashValuesBatch) and prefetches each dedup slot before probing.
+  bool Contains(RowRef row, size_t hash) const {
+    assert(row.size() == arity());
+    return store_.Contains(row.data(), hash);
+  }
   bool Contains(const Tuple& tuple) const {
     return Contains(RowRef(tuple));
   }
@@ -128,6 +137,14 @@ class Relation {
   /// mutated (see class comment); concurrent builders of the same
   /// column set serialize and the loser reuses the winner's index.
   void EnsureIndex(const std::vector<uint32_t>& columns);
+
+  /// Returns a columnar (SoA) snapshot of the current rows, building
+  /// and caching it on first use. The cache is dropped on any mutation
+  /// and rebuilt lazily, so the view always reflects the live rows.
+  /// Same concurrency contract as EnsureIndex: safe to call from many
+  /// readers of a non-mutating relation (builders serialize on the
+  /// per-relation mutex; the loser reuses the winner's view).
+  std::shared_ptr<const ColumnView> EnsureColumns() const;
 
   /// True when a hash index over exactly `columns` is materialized.
   /// The plan cache uses this on a hit to skip re-running EnsureIndex
@@ -230,6 +247,10 @@ class Relation {
   std::atomic<IndexNode*> index_head_{nullptr};
   /// Serializes index builders. unique_ptr keeps Relation movable.
   std::unique_ptr<std::mutex> index_mu_;
+  /// Cached columnar snapshot (EnsureColumns). Guarded by `index_mu_`
+  /// for concurrent readers; reset without the lock during (exclusive)
+  /// mutation. Never copied between relations — each rebuilds lazily.
+  mutable std::shared_ptr<const ColumnView> columns_;
 };
 
 }  // namespace semopt

@@ -9,6 +9,7 @@ namespace storage_metrics {
 
 namespace {
 std::atomic<int64_t> g_tuple_bytes{0};
+std::atomic<int64_t> g_columns_bytes{0};
 std::atomic<uint64_t> g_rehashes{0};
 // Rehash count already folded into a registry counter; PublishTo adds
 // only the delta so the registry counter stays monotonic.
@@ -19,6 +20,10 @@ void AddTupleBytes(int64_t delta) {
   g_tuple_bytes.fetch_add(delta, std::memory_order_relaxed);
 }
 
+void AddColumnsBytes(int64_t delta) {
+  g_columns_bytes.fetch_add(delta, std::memory_order_relaxed);
+}
+
 void AddRehash(uint64_t n) {
   g_rehashes.fetch_add(n, std::memory_order_relaxed);
 }
@@ -27,12 +32,17 @@ int64_t LiveTupleBytes() {
   return g_tuple_bytes.load(std::memory_order_relaxed);
 }
 
+int64_t LiveColumnsBytes() {
+  return g_columns_bytes.load(std::memory_order_relaxed);
+}
+
 uint64_t TotalRehashes() {
   return g_rehashes.load(std::memory_order_relaxed);
 }
 
 void PublishTo(obs::MetricsRegistry& registry) {
   registry.GetGauge("storage.tuples_bytes").Set(LiveTupleBytes());
+  registry.GetGauge("storage.columns_bytes").Set(LiveColumnsBytes());
   uint64_t total = TotalRehashes();
   uint64_t prev = g_rehashes_published.exchange(total,
                                                 std::memory_order_relaxed);

@@ -18,11 +18,19 @@ namespace storage_metrics {
 /// Adjusts the live tuple-arena byte total (may be negative).
 void AddTupleBytes(int64_t delta);
 
+/// Adjusts the live columnar-view byte total (may be negative);
+/// ColumnView build/destruction report here. Published as the
+/// `storage.columns_bytes` gauge.
+void AddColumnsBytes(int64_t delta);
+
 /// Records `n` hash-table rehashes (dedup table or index growth).
 void AddRehash(uint64_t n = 1);
 
 /// Current live arena bytes across all TupleStores.
 int64_t LiveTupleBytes();
+
+/// Current live bytes across all materialized ColumnViews.
+int64_t LiveColumnsBytes();
 
 /// Total rehashes since process start.
 uint64_t TotalRehashes();

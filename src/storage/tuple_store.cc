@@ -77,8 +77,13 @@ TupleStore& TupleStore::operator=(TupleStore&& other) noexcept {
 }
 
 RowId TupleStore::Find(const Value* vals) const {
+  return Find(vals, HashValues(vals, arity_));
+}
+
+RowId TupleStore::Find(const Value* vals, size_t hash) const {
+  assert(hash == HashValues(vals, arity_));
   if (slots_.empty()) return kInvalidRowId;
-  const size_t h = HashValues(vals, arity_);
+  const size_t h = hash;
   size_t idx = h & slot_mask_;
   while (true) {
     const RowId r = slots_[idx];

@@ -68,8 +68,15 @@ class TupleStore {
 
   /// RowId of the equal stored row, or kInvalidRowId.
   RowId Find(const Value* vals) const;
+  /// Same, with the row's HashValues hash precomputed — the batched
+  /// negation filter hashes a whole block of membership rows at once
+  /// (HashValuesBatch) and probes with the slots prefetched.
+  RowId Find(const Value* vals, size_t hash) const;
   bool Contains(const Value* vals) const {
     return Find(vals) != kInvalidRowId;
+  }
+  bool Contains(const Value* vals, size_t hash) const {
+    return Find(vals, hash) != kInvalidRowId;
   }
 
   /// Pre-sizes the arena and dedup table for `rows` rows.

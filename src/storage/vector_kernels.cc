@@ -1,0 +1,245 @@
+#include "storage/vector_kernels.h"
+
+#include "util/simd.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SEMOPT_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace semopt {
+
+namespace {
+
+/// Branch-light scalar select: unconditional index store, conditional
+/// advance. No data-dependent branches, so mispredict cost is flat
+/// regardless of selectivity.
+void SelectLaneEqScalar(const uint64_t* lane, uint32_t begin, uint32_t end,
+                        uint64_t value, std::vector<uint32_t>* sel) {
+  const size_t base = sel->size();
+  sel->resize(base + (end - begin));
+  uint32_t* out = sel->data() + base;
+  size_t o = 0;
+  for (uint32_t i = begin; i < end; ++i) {
+    out[o] = i;
+    o += lane[i] == value ? 1 : 0;
+  }
+  sel->resize(base + o);
+}
+
+void SelectLanesEqScalar(const uint64_t* a, const uint64_t* b, uint32_t begin,
+                         uint32_t end, std::vector<uint32_t>* sel) {
+  const size_t base = sel->size();
+  sel->resize(base + (end - begin));
+  uint32_t* out = sel->data() + base;
+  size_t o = 0;
+  for (uint32_t i = begin; i < end; ++i) {
+    out[o] = i;
+    o += a[i] == b[i] ? 1 : 0;
+  }
+  sel->resize(base + o);
+}
+
+#ifdef SEMOPT_SIMD_X86
+
+/// Appends the set bits of a 4-lane movemask as indices i+bit.
+inline void AppendMask(unsigned mask, uint32_t i, std::vector<uint32_t>* sel) {
+  while (mask != 0) {
+    sel->push_back(i + static_cast<uint32_t>(__builtin_ctz(mask)));
+    mask &= mask - 1;
+  }
+}
+
+__attribute__((target("avx2"))) void SelectLaneEqAvx2(
+    const uint64_t* lane, uint32_t begin, uint32_t end, uint64_t value,
+    std::vector<uint32_t>* sel) {
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+  uint32_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lane + i));
+    const __m256i eq = _mm256_cmpeq_epi64(x, v);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+    AppendMask(mask, i, sel);
+  }
+  for (; i < end; ++i) {
+    if (lane[i] == value) sel->push_back(i);
+  }
+}
+
+__attribute__((target("avx2"))) void SelectLanesEqAvx2(
+    const uint64_t* a, const uint64_t* b, uint32_t begin, uint32_t end,
+    std::vector<uint32_t>* sel) {
+  uint32_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256i xa =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i xb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i eq = _mm256_cmpeq_epi64(xa, xb);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+    AppendMask(mask, i, sel);
+  }
+  for (; i < end; ++i) {
+    if (a[i] == b[i]) sel->push_back(i);
+  }
+}
+
+/// SSE2 has no 64-bit compare: compare the 32-bit halves and AND each
+/// pair (a u64 is equal iff both halves are).
+inline __m128i CmpEq64Sse2(__m128i x, __m128i y) {
+  const __m128i eq32 = _mm_cmpeq_epi32(x, y);
+  const __m128i swapped = _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1));
+  return _mm_and_si128(eq32, swapped);
+}
+
+void SelectLaneEqSse2(const uint64_t* lane, uint32_t begin, uint32_t end,
+                      uint64_t value, std::vector<uint32_t>* sel) {
+  const __m128i v = _mm_set1_epi64x(static_cast<long long>(value));
+  uint32_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lane + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(CmpEq64Sse2(x, v))));
+    AppendMask(mask, i, sel);
+  }
+  for (; i < end; ++i) {
+    if (lane[i] == value) sel->push_back(i);
+  }
+}
+
+void SelectLanesEqSse2(const uint64_t* a, const uint64_t* b, uint32_t begin,
+                       uint32_t end, std::vector<uint32_t>* sel) {
+  uint32_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const __m128i xa =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i xb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(CmpEq64Sse2(xa, xb))));
+    AppendMask(mask, i, sel);
+  }
+  for (; i < end; ++i) {
+    if (a[i] == b[i]) sel->push_back(i);
+  }
+}
+
+#endif  // SEMOPT_SIMD_X86
+
+}  // namespace
+
+void HashValuesBatchScalar(const Value* rows, size_t arity, size_t count,
+                           size_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = HashValues(rows + i * arity, arity);
+  }
+}
+
+void HashValuesBatch(const Value* rows, size_t arity, size_t count,
+                     size_t* out) {
+  if (!simd::KernelsEnabled()) {
+    HashValuesBatchScalar(rows, arity, count, out);
+    return;
+  }
+  // Four independent HashCombine chains. Each row's chain is the exact
+  // scalar recipe (HashCombine over its values, then MixBits), so the
+  // results are bit-identical to HashValues — only the schedule is
+  // data-parallel: the column loop advances all four accumulators per
+  // trip, turning a serial dependency chain per row into four
+  // overlapping ones. (Wider interleaves lose to register pressure;
+  // the batch form's bigger win is feeding the callers' dedup-slot
+  // prefetch lookahead a block of hashes at a time.)
+  constexpr size_t kLanes = 4;
+  size_t i = 0;
+  for (; i + kLanes <= count; i += kLanes) {
+    size_t acc[kLanes] = {};
+    const Value* base = rows + i * arity;
+    for (size_t c = 0; c < arity; ++c) {
+      for (size_t l = 0; l < kLanes; ++l) {
+        HashCombine(&acc[l], base[l * arity + c]);
+      }
+    }
+    for (size_t l = 0; l < kLanes; ++l) {
+      out[i + l] = static_cast<size_t>(MixBits(acc[l]));
+    }
+  }
+  for (; i < count; ++i) {
+    out[i] = HashValues(rows + i * arity, arity);
+  }
+}
+
+void SelectLaneEq(const uint64_t* lane, uint32_t begin, uint32_t end,
+                  uint64_t value, std::vector<uint32_t>* sel) {
+#ifdef SEMOPT_SIMD_X86
+  switch (simd::ActiveLevel()) {
+    case simd::Level::kAVX2:
+      SelectLaneEqAvx2(lane, begin, end, value, sel);
+      return;
+    case simd::Level::kSSE2:
+      SelectLaneEqSse2(lane, begin, end, value, sel);
+      return;
+    case simd::Level::kScalar:
+      break;
+  }
+#endif
+  SelectLaneEqScalar(lane, begin, end, value, sel);
+}
+
+void SelectLanesEq(const uint64_t* a, const uint64_t* b, uint32_t begin,
+                   uint32_t end, std::vector<uint32_t>* sel) {
+#ifdef SEMOPT_SIMD_X86
+  switch (simd::ActiveLevel()) {
+    case simd::Level::kAVX2:
+      SelectLanesEqAvx2(a, b, begin, end, sel);
+      return;
+    case simd::Level::kSSE2:
+      SelectLanesEqSse2(a, b, begin, end, sel);
+      return;
+    case simd::Level::kScalar:
+      break;
+  }
+#endif
+  SelectLanesEqScalar(a, b, begin, end, sel);
+}
+
+void RefineLaneEq(const uint64_t* lane, uint64_t value,
+                  std::vector<uint32_t>* sel) {
+  uint32_t* data = sel->data();
+  const size_t n = sel->size();
+  size_t o = 0;
+  for (size_t k = 0; k < n; ++k) {
+    data[o] = data[k];
+    o += lane[data[k]] == value ? 1 : 0;
+  }
+  sel->resize(o);
+}
+
+void RefineLanesEq(const uint64_t* a, const uint64_t* b,
+                   std::vector<uint32_t>* sel) {
+  uint32_t* data = sel->data();
+  const size_t n = sel->size();
+  size_t o = 0;
+  for (size_t k = 0; k < n; ++k) {
+    data[o] = data[k];
+    o += a[data[k]] == b[data[k]] ? 1 : 0;
+  }
+  sel->resize(o);
+}
+
+void RefineKindEq(const uint8_t* kinds, uint8_t kind,
+                  std::vector<uint32_t>* sel) {
+  uint32_t* data = sel->data();
+  const size_t n = sel->size();
+  size_t o = 0;
+  for (size_t k = 0; k < n; ++k) {
+    data[o] = data[k];
+    o += kinds[data[k]] == kind ? 1 : 0;
+  }
+  sel->resize(o);
+}
+
+}  // namespace semopt

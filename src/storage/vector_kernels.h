@@ -1,0 +1,59 @@
+#ifndef SEMOPT_STORAGE_VECTOR_KERNELS_H_
+#define SEMOPT_STORAGE_VECTOR_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace semopt {
+
+/// Data-parallel kernels over flat value/payload lanes. Every kernel is
+/// bit-identical to its scalar reference: the vector forms only change
+/// the evaluation *schedule* (independent per-row accumulator chains,
+/// SIMD compares), never the per-row arithmetic, so hashes, selection
+/// vectors and counters match the scalar paths exactly. Explicit
+/// SSE2/AVX2 paths sit behind simd::ActiveLevel() runtime dispatch with
+/// a scalar fallback; SEMOPT_DISABLE_SIMD (CMake option or environment
+/// variable) pins everything to the fallbacks.
+
+/// Hashes `count` contiguous row-major rows (`arity` values each):
+/// out[i] == HashValues(rows + i*arity, arity) for every i. The batch
+/// form runs 4 independent HashCombine chains side by side — the scalar
+/// loop's chain is sequentially dependent within a row, so interleaving
+/// rows is where the instruction-level parallelism comes from.
+void HashValuesBatch(const Value* rows, size_t arity, size_t count,
+                     size_t* out);
+
+/// The plain per-row reference loop, exposed for differential tests and
+/// the scalar legs of the ablation benches.
+void HashValuesBatchScalar(const Value* rows, size_t arity, size_t count,
+                           size_t* out);
+
+/// Appends every index i in [begin, end) with lane[i] == value to *sel,
+/// in ascending order. AVX2/SSE2 compare+movemask behind dispatch.
+void SelectLaneEq(const uint64_t* lane, uint32_t begin, uint32_t end,
+                  uint64_t value, std::vector<uint32_t>* sel);
+
+/// Appends every index i in [begin, end) with a[i] == b[i] to *sel.
+void SelectLanesEq(const uint64_t* a, const uint64_t* b, uint32_t begin,
+                   uint32_t end, std::vector<uint32_t>* sel);
+
+/// Compacts *sel in place, keeping entries i with lane[i] == value
+/// (branch-light store-and-advance; order preserved).
+void RefineLaneEq(const uint64_t* lane, uint64_t value,
+                  std::vector<uint32_t>* sel);
+
+/// Compacts *sel in place, keeping entries i with a[i] == b[i].
+void RefineLanesEq(const uint64_t* a, const uint64_t* b,
+                   std::vector<uint32_t>* sel);
+
+/// Compacts *sel in place, keeping entries i with kinds[i] == kind
+/// (the mixed-kind column side lane).
+void RefineKindEq(const uint8_t* kinds, uint8_t kind,
+                  std::vector<uint32_t>* sel);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_STORAGE_VECTOR_KERNELS_H_

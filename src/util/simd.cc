@@ -1,0 +1,67 @@
+#include "util/simd.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace semopt {
+namespace simd {
+
+namespace {
+
+bool ReadEnvDisabled() {
+  const char* v = std::getenv("SEMOPT_DISABLE_SIMD");
+  if (v == nullptr) return false;
+  // Accept the usual falsy spellings so SEMOPT_DISABLE_SIMD=0 behaves;
+  // anything else set means "disable".
+  if (v[0] == '\0') return false;
+  auto matches = [v](const char* word) {
+    size_t i = 0;
+    for (; v[i] != '\0' && word[i] != '\0'; ++i) {
+      if (std::tolower(static_cast<unsigned char>(v[i])) != word[i]) {
+        return false;
+      }
+    }
+    return v[i] == '\0' && word[i] == '\0';
+  };
+  if (std::strcmp(v, "0") == 0 || matches("off") || matches("false")) {
+    return false;
+  }
+  return true;
+}
+
+Level DetectLevel() {
+  if (!kCompiledIn || ReadEnvDisabled()) return Level::kScalar;
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return Level::kAVX2;
+  if (__builtin_cpu_supports("sse2")) return Level::kSSE2;
+#endif
+  return Level::kScalar;
+}
+
+}  // namespace
+
+bool EnvDisabled() {
+  static const bool disabled = ReadEnvDisabled();
+  return disabled;
+}
+
+Level ActiveLevel() {
+  static const Level level = DetectLevel();
+  return level;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kSSE2:
+      return "sse2";
+    case Level::kAVX2:
+      return "avx2";
+    case Level::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace simd
+}  // namespace semopt

@@ -1,0 +1,53 @@
+#ifndef SEMOPT_UTIL_SIMD_H_
+#define SEMOPT_UTIL_SIMD_H_
+
+namespace semopt {
+namespace simd {
+
+/// SIMD capability level the batched kernels dispatch on, resolved once
+/// per process (see ActiveLevel). Levels are cumulative: kAVX2 implies
+/// the SSE2 kernels are also usable.
+enum class Level {
+  kScalar,  // explicit SIMD disabled (build/env) or not supported
+  kSSE2,    // baseline x86-64 vectors
+  kAVX2,    // 256-bit integer vectors
+};
+
+/// True when the explicit SIMD kernel paths were compiled in (the
+/// SEMOPT_DISABLE_SIMD CMake option compiles them out).
+constexpr bool kCompiledIn =
+#ifdef SEMOPT_DISABLE_SIMD
+    false;
+#else
+    true;
+#endif
+
+/// True when the SEMOPT_DISABLE_SIMD environment variable is set to a
+/// truthy value ("", "0", "off", "false" do not count). Read once and
+/// cached: flipping the variable mid-process has no effect.
+bool EnvDisabled();
+
+/// The dispatch level every explicit-SIMD kernel uses, resolved once:
+/// kScalar when compiled out, disabled via the environment, or the CPU
+/// lacks vector support; otherwise the best supported level.
+Level ActiveLevel();
+
+/// True when any explicit SIMD path is active (ActiveLevel != kScalar).
+inline bool Enabled() { return ActiveLevel() != Level::kScalar; }
+
+/// True when the data-parallel kernel *schedules* (interleaved hash
+/// chains, selection vectors) may be used at all: the escape hatch
+/// (build option or environment) pins every kernel to its plain scalar
+/// reference loop even where no explicit vector instruction is
+/// involved, so a disabled build/process is a faithful pre-SIMD
+/// baseline for differential runs.
+inline bool KernelsEnabled() { return kCompiledIn && !EnvDisabled(); }
+
+/// Human-readable level name ("scalar", "sse2", "avx2") for the shell's
+/// `:simd` feedback and bench context stamping.
+const char* LevelName(Level level);
+
+}  // namespace simd
+}  // namespace semopt
+
+#endif  // SEMOPT_UTIL_SIMD_H_

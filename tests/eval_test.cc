@@ -172,11 +172,14 @@ std::vector<std::string> RunRulePerTuple(const RuleExecutor& exec,
   return out;
 }
 
-/// Batched run at `batch_size`, same multiset convention.
+/// Batched run at `batch_size`, same multiset convention. `vectorize`
+/// selects the SIMD/selection-vector paths vs. the scalar loops — both
+/// must be bit-identical.
 std::vector<std::string> RunRuleBatched(const RuleExecutor& exec,
                                         const RelationSource& source,
                                         int delta_literal, size_t batch_size,
-                                        EvalStats* stats = nullptr) {
+                                        EvalStats* stats = nullptr,
+                                        bool vectorize = true) {
   Result<RuleExecutor::PreparedPlan> plan =
       exec.Prepare(source, delta_literal);
   EXPECT_TRUE(plan.ok()) << plan.status();
@@ -190,14 +193,17 @@ std::vector<std::string> RunRuleBatched(const RuleExecutor& exec,
           out.push_back(TupleToString(block.row(i)));
         }
       },
-      stats, batch_size);
+      stats, batch_size, /*morsel_begin=*/0, RuleExecutor::kNoMorsel,
+      /*scratch=*/nullptr, vectorize);
   std::sort(out.begin(), out.end());
   return out;
 }
 
 /// Asserts the batched executor derives the per-tuple multiset with
 /// identical logical counters, across block sizes that force mid-scan
-/// flushes (1, 2, 3) and one that never flushes early (1024).
+/// flushes (1, 2, 3) and one that never flushes early (1024) — and,
+/// orthogonally, with the vectorized paths on and off (the SIMD axis of
+/// the differential grid).
 void ExpectBatchedMatchesPerTuple(const Rule& rule, const Database& db,
                                   int delta_literal = -1,
                                   const RelationSource* custom = nullptr) {
@@ -209,14 +215,17 @@ void ExpectBatchedMatchesPerTuple(const Rule& rule, const Database& db,
   std::vector<std::string> reference =
       RunRulePerTuple(*exec, source, delta_literal, &reference_stats);
   for (size_t batch_size : {size_t{1}, size_t{2}, size_t{3}, size_t{1024}}) {
-    EvalStats stats;
-    EXPECT_EQ(RunRuleBatched(*exec, source, delta_literal, batch_size, &stats),
-              reference)
-        << rule << " batch_size=" << batch_size;
-    EXPECT_EQ(stats.bindings_explored, reference_stats.bindings_explored)
-        << rule << " batch_size=" << batch_size;
-    EXPECT_EQ(stats.comparison_checks, reference_stats.comparison_checks)
-        << rule << " batch_size=" << batch_size;
+    for (bool vectorize : {false, true}) {
+      EvalStats stats;
+      EXPECT_EQ(RunRuleBatched(*exec, source, delta_literal, batch_size,
+                               &stats, vectorize),
+                reference)
+          << rule << " batch_size=" << batch_size << " simd=" << vectorize;
+      EXPECT_EQ(stats.bindings_explored, reference_stats.bindings_explored)
+          << rule << " batch_size=" << batch_size << " simd=" << vectorize;
+      EXPECT_EQ(stats.comparison_checks, reference_stats.comparison_checks)
+          << rule << " batch_size=" << batch_size << " simd=" << vectorize;
+    }
   }
 }
 
@@ -235,6 +244,34 @@ TEST(BatchedExecutorTest, MatchesPerTupleAcrossLiteralShapes) {
            "p(X, Y) :- n(X), Y = X, Y < 3",
            "p(k, X) :- n(X), X != 2",
            "p(X, Z) :- e(X, Y), e(Y, Z), e(X, Z)",
+       }) {
+    ExpectBatchedMatchesPerTuple(MustParseRule(rule), db);
+  }
+}
+
+TEST(BatchedExecutorTest, ColumnarScanChecksMatchAtScale) {
+  // Relations past the columnar-scan row threshold, with constant,
+  // repeat-variable and bound-slot scan checks over int, symbol and
+  // mixed-kind columns — the shapes the ColumnView selection-vector
+  // path rewrites. Small relations take the scalar scan; these must
+  // agree with the per-tuple reference either way.
+  Database db;
+  for (int i = 0; i < 300; ++i) {
+    db.AddTuple("big", {Term::Int(i % 9), Term::Int(i % 11), Term::Int(i)});
+    db.AddTuple("mix", {i % 4 == 0 ? Value(Term::Sym("tag"))
+                                   : Value(Term::Int(i % 13)),
+                        Term::Int(i % 7)});
+    if (i % 5 == 0) db.AddTuple("probe", {Term::Int(i % 9)});
+    if (i % 6 == 0) db.AddTuple("veto", {Term::Int(i % 11)});
+  }
+  for (const char* rule : {
+           "p(Z) :- big(3, Y, Z)",           // kCheckConst (uniform ints)
+           "p(X, Z) :- big(X, X, Z)",        // kCheckRepeat
+           "p(X, Z) :- probe(X), big(X, 4, Z)",  // kCheckSlot + const
+           "p(Y) :- mix(tag, Y)",            // const against a mixed column
+           "p(Y) :- mix(3, Y)",              // int const, mixed column
+           "p(X, Z) :- probe(X), big(X, Y, Z), not veto(Y)",  // negation
+           "p(X, Z) :- big(X, Y, Z), Y < 3, Z > 50",  // comparison filters
        }) {
     ExpectBatchedMatchesPerTuple(MustParseRule(rule), db);
   }

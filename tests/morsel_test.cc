@@ -14,6 +14,7 @@
 #include "eval/rule_executor.h"
 #include "exec/parallel_fixpoint.h"
 #include "semopt/optimizer.h"
+#include "util/simd.h"
 #include "workload/genealogy.h"
 
 #include "gtest/gtest.h"
@@ -98,6 +99,28 @@ void ExpectMorselEquivalence(const Program& program, const Database& edb) {
   ASSERT_TRUE(tiny.ok()) << tiny.status();
   EXPECT_TRUE(reference->SameFactsAs(*tiny));
   EXPECT_EQ(tiny_stats.derived_tuples, ref_stats.derived_tuples);
+
+  // SIMD as one more grid axis: forcing the scalar kernels (simd off)
+  // must be bit-identical — same facts, same logical counters — to the
+  // vectorized default, serially and under the morsel engine.
+  EvalOptions scalar_serial = Opts(1, 1024);
+  scalar_serial.simd = SimdMode::kOff;
+  EvalStats scalar_stats;
+  Result<Database> scalar =
+      Evaluate(program, edb, scalar_serial, &scalar_stats);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+  EXPECT_TRUE(reference->SameFactsAs(*scalar));
+  EXPECT_EQ(scalar_stats.derived_tuples, batched_stats.derived_tuples);
+  EXPECT_EQ(scalar_stats.bindings_explored, batched_stats.bindings_explored);
+
+  EvalOptions scalar_parallel = Opts(4, 1024);
+  scalar_parallel.simd = SimdMode::kOff;
+  EvalStats scalar_par_stats;
+  Result<Database> scalar_par =
+      EvaluateParallel(program, edb, scalar_parallel, &scalar_par_stats);
+  ASSERT_TRUE(scalar_par.ok()) << scalar_par.status();
+  EXPECT_TRUE(reference->SameFactsAs(*scalar_par));
+  EXPECT_EQ(scalar_par_stats.derived_tuples, ref_stats.derived_tuples);
 }
 
 TEST(MorselDifferentialTest, LinearTransitiveClosure) {
@@ -317,6 +340,35 @@ TEST(ValidateEvalOptionsTest, EvaluateSurfacesTheViolation) {
       EvaluateParallel(program, edb, Opts(4, 1024, 4), nullptr);
   ASSERT_FALSE(bad_parallel.ok());
   EXPECT_EQ(bad_parallel.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidateEvalOptionsTest, SimdOffAndAutoAlwaysValidate) {
+  EvalOptions opts;
+  opts.simd = SimdMode::kOff;
+  EXPECT_TRUE(ValidateEvalOptions(opts).ok());
+  opts.simd = SimdMode::kAuto;
+  EXPECT_TRUE(ValidateEvalOptions(opts).ok());
+}
+
+TEST(ValidateEvalOptionsTest, SimdOnRequiresKernels) {
+  EvalOptions opts;
+  opts.simd = SimdMode::kOn;
+  Status s = ValidateEvalOptions(opts);
+  if (simd::kCompiledIn && !simd::EnvDisabled()) {
+    EXPECT_TRUE(s.ok()) << s;
+  } else {
+    // Build disabled (SEMOPT_DISABLE_SIMD=ON) or env-disabled process:
+    // an explicit simd=on is unsatisfiable and must be rejected.
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(s.message().find("simd"), std::string::npos);
+  }
+}
+
+TEST(ValidateEvalOptionsTest, SimdModeResolution) {
+  EXPECT_FALSE(ResolveSimdMode(SimdMode::kOff));
+  EXPECT_EQ(ResolveSimdMode(SimdMode::kAuto), simd::KernelsEnabled());
+  EXPECT_TRUE(ResolveSimdMode(SimdMode::kOn));
 }
 
 TEST(ValidateEvalOptionsTest, MorselSizeResolution) {

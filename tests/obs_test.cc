@@ -13,9 +13,13 @@
 #include <vector>
 
 #include "eval/fixpoint.h"
+#include "io/binary_io.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/column_view.h"
+#include "storage/relation.h"
+#include "storage/storage_metrics.h"
 #include "test_helpers.h"
 
 #include "gtest/gtest.h"
@@ -555,6 +559,52 @@ TEST(EvalStatsTest, PublishToRegistry) {
       registry.GetHistogram("eval.round_tuples_per_worker_max").Snapshot();
   EXPECT_EQ(max_hist.count, 1u);
   EXPECT_EQ(max_hist.max, 90u);
+}
+
+TEST(StorageObsTest, ColumnsBytesGaugeTracksLiveViews) {
+  obs::MetricsRegistry registry;
+  Relation rel(PredicateId{InternSymbol("obs_cols"), 2});
+  for (int i = 0; i < 512; ++i) {
+    rel.Insert({Term::Int(i), Term::Int(-i)});
+  }
+  std::shared_ptr<const ColumnView> view = rel.EnsureColumns();
+  storage_metrics::PublishTo(registry);
+  const int64_t published =
+      registry.GetGauge("storage.columns_bytes").value();
+  // The gauge mirrors the live total; with this view held it is at
+  // least this view's footprint.
+  EXPECT_EQ(published, storage_metrics::LiveColumnsBytes());
+  EXPECT_GE(published, view->ByteSize());
+  EXPECT_GE(view->ByteSize(),
+            static_cast<int64_t>(512 * 2 * sizeof(uint64_t)));
+  // And it shows up in the Prometheus dump alongside tuples_bytes.
+  std::string text = obs::ExportPrometheus(registry);
+  EXPECT_NE(text.find("storage_columns_bytes"), std::string::npos);
+}
+
+TEST(StorageObsTest, BulkLoadCountersAccumulateInGlobalRegistry) {
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  const uint64_t rows_before =
+      global.GetCounter("io.bulk_load.rows").value();
+  const uint64_t bytes_before =
+      global.GetCounter("io.bulk_load.bytes").value();
+  const uint64_t us_before = global.GetCounter("io.bulk_load.us").value();
+
+  Database db = MustParseFacts("obs_bulk(1, a). obs_bulk(2, b). obs_bulk(3, c).");
+  std::ostringstream os;
+  Result<size_t> saved = SaveBinary(os, db);
+  ASSERT_TRUE(saved.ok()) << saved.status();
+  std::string image = os.str();
+  Database loaded;
+  Result<BulkLoadStats> stats =
+      LoadBinary(image.data(), image.size(), &loaded);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  EXPECT_EQ(global.GetCounter("io.bulk_load.rows").value(),
+            rows_before + 3);
+  EXPECT_EQ(global.GetCounter("io.bulk_load.bytes").value(),
+            bytes_before + image.size());
+  EXPECT_GE(global.GetCounter("io.bulk_load.us").value(), us_before);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,12 +1,16 @@
+#include "storage/column_view.h"
 #include "storage/database.h"
 #include "storage/relation.h"
 #include "storage/storage_metrics.h"
 #include "storage/tuple.h"
 #include "storage/tuple_store.h"
+#include "storage/vector_kernels.h"
 #include "util/hash_util.h"
+#include "util/simd.h"
 
 #include <algorithm>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -420,6 +424,234 @@ TEST(StorageMetricsTest, RehashCounterIsMonotonic) {
   for (int i = 0; i < 10000; ++i) rel.Insert({Term::Int(i)});
   // Both the dedup table and the index grew several times.
   EXPECT_GE(storage_metrics::TotalRehashes(), before + 2);
+}
+
+// --- Vectorized kernels (vector_kernels.h) -------------------------------
+
+/// Random value mixing int and symbol kinds (symbols from a small pool
+/// so columns repeat payloads — the interesting case for compares).
+Value RandomValue(SplitMix64& rng) {
+  if (rng.Below(2) == 0) {
+    return Term::Int(static_cast<int64_t>(rng.Next()));
+  }
+  static const char* kPool[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  return Term::Sym(kPool[rng.Below(8)]);
+}
+
+TEST(VectorKernelsTest, HashValuesBatchMatchesScalarHash) {
+  SplitMix64 rng(0xbadc0deu);
+  // Sweep counts across the 8-lane boundary (0, partial, full, mixed
+  // tails) and several arities, including arity 0.
+  for (size_t arity : {0u, 1u, 2u, 3u, 5u}) {
+    for (size_t count : {0u, 1u, 7u, 8u, 9u, 16u, 21u, 64u}) {
+      std::vector<Value> rows;
+      for (size_t i = 0; i < count * arity; ++i) {
+        rows.push_back(RandomValue(rng));
+      }
+      std::vector<size_t> batch(count, 0), scalar(count, 1);
+      HashValuesBatch(rows.data(), arity, count, batch.data());
+      HashValuesBatchScalar(rows.data(), arity, count, scalar.data());
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(batch[i], HashValues(rows.data() + i * arity, arity))
+            << "arity " << arity << " count " << count << " row " << i;
+        EXPECT_EQ(scalar[i], batch[i]);
+      }
+    }
+  }
+}
+
+TEST(VectorKernelsTest, SelectAndRefineMatchScalarReference) {
+  SplitMix64 rng(0x5e1ec7u);
+  const uint32_t n = 1000;
+  std::vector<uint64_t> a(n), b(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    a[i] = rng.Below(8);  // small domain → plenty of matches
+    b[i] = rng.Below(8);
+  }
+  const uint64_t needle = 3;
+  // Unaligned begins/ends exercise the vector prologue/epilogue.
+  for (uint32_t begin : {0u, 1u, 5u, 17u}) {
+    for (uint32_t end : {n, n - 1, n - 9, begin}) {
+      std::vector<uint32_t> sel{123456u};  // preserved prefix
+      SelectLaneEq(a.data(), begin, end, needle, &sel);
+      ASSERT_GE(sel.size(), 1u);
+      EXPECT_EQ(sel[0], 123456u);
+      size_t got = 1;
+      for (uint32_t i = begin; i < end; ++i) {
+        if (a[i] != needle) continue;
+        ASSERT_LT(got, sel.size());
+        EXPECT_EQ(sel[got], i);
+        ++got;
+      }
+      EXPECT_EQ(got, sel.size());
+
+      std::vector<uint32_t> sel2;
+      SelectLanesEq(a.data(), b.data(), begin, end, &sel2);
+      std::vector<uint32_t> want2;
+      for (uint32_t i = begin; i < end; ++i) {
+        if (a[i] == b[i]) want2.push_back(i);
+      }
+      EXPECT_EQ(sel2, want2);
+    }
+  }
+  // Refine forms compact in place and preserve order.
+  std::vector<uint32_t> every;
+  for (uint32_t i = 0; i < n; i += 3) every.push_back(i);
+  std::vector<uint32_t> refined = every;
+  RefineLaneEq(a.data(), needle, &refined);
+  std::vector<uint32_t> want;
+  for (uint32_t i : every) {
+    if (a[i] == needle) want.push_back(i);
+  }
+  EXPECT_EQ(refined, want);
+
+  refined = every;
+  RefineLanesEq(a.data(), b.data(), &refined);
+  want.clear();
+  for (uint32_t i : every) {
+    if (a[i] == b[i]) want.push_back(i);
+  }
+  EXPECT_EQ(refined, want);
+
+  std::vector<uint8_t> kinds(n);
+  for (uint32_t i = 0; i < n; ++i) kinds[i] = static_cast<uint8_t>(i % 3);
+  refined = every;
+  RefineKindEq(kinds.data(), 1, &refined);
+  want.clear();
+  for (uint32_t i : every) {
+    if (kinds[i] == 1) want.push_back(i);
+  }
+  EXPECT_EQ(refined, want);
+}
+
+// --- ColumnView -----------------------------------------------------------
+
+TEST(ColumnViewTest, ReconstructsValuesAndDetectsUniformKinds) {
+  Relation rel(Pred("cv", 3));
+  for (int i = 0; i < 100; ++i) {
+    // col 0: all ints; col 1: all symbols; col 2: mixed.
+    rel.Insert({Term::Int(i % 7), Term::Sym(i % 2 == 0 ? "x" : "y"),
+                i % 3 == 0 ? Value(Term::Int(i)) : Value(Term::Sym("z"))});
+  }
+  std::shared_ptr<const ColumnView> view = rel.EnsureColumns();
+  ASSERT_EQ(view->rows(), rel.size());
+  ASSERT_EQ(view->arity(), 3u);
+  EXPECT_TRUE(view->uniform_kind(0));
+  EXPECT_EQ(view->column_kind(0), TermKind::kIntConst);
+  EXPECT_EQ(view->kinds(0), nullptr);
+  EXPECT_TRUE(view->uniform_kind(1));
+  EXPECT_EQ(view->column_kind(1), TermKind::kSymConst);
+  EXPECT_FALSE(view->uniform_kind(2));
+  ASSERT_NE(view->kinds(2), nullptr);
+  for (size_t r = 0; r < view->rows(); ++r) {
+    for (uint32_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(view->value(r, c), rel.row(r)[c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(ColumnViewTest, SelectAndRefineMatchBruteForce) {
+  SplitMix64 rng(0xc01u);
+  Relation rel(Pred("cvsel", 2));
+  for (int i = 0; i < 500; ++i) {
+    rel.Insert({RandomValue(rng), RandomValue(rng)});
+  }
+  std::shared_ptr<const ColumnView> view = rel.EnsureColumns();
+  const uint32_t n = static_cast<uint32_t>(view->rows());
+  // Probe with values that do and don't occur, of both kinds — also an
+  // int probe against the mixed column (kind mismatch must filter).
+  std::vector<Value> probes{Term::Sym("c"), Term::Int(42),
+                            rel.row(0)[0], rel.row(n / 2)[1]};
+  for (const Value& v : probes) {
+    for (uint32_t c = 0; c < 2; ++c) {
+      std::vector<uint32_t> sel;
+      view->SelectEq(c, v, 0, n, &sel);
+      std::vector<uint32_t> want;
+      for (uint32_t r = 0; r < n; ++r) {
+        if (rel.row(r)[c] == v) want.push_back(r);
+      }
+      EXPECT_EQ(sel, want);
+      // RefineEq over a stride-2 base must intersect.
+      std::vector<uint32_t> base;
+      for (uint32_t r = 0; r < n; r += 2) base.push_back(r);
+      view->RefineEq(c, v, &base);
+      want.clear();
+      for (uint32_t r = 0; r < n; r += 2) {
+        if (rel.row(r)[c] == v) want.push_back(r);
+      }
+      EXPECT_EQ(base, want);
+    }
+  }
+  std::vector<uint32_t> eq;
+  view->SelectEqColumns(0, 1, 0, n, &eq);
+  std::vector<uint32_t> want_eq;
+  for (uint32_t r = 0; r < n; ++r) {
+    if (rel.row(r)[0] == rel.row(r)[1]) want_eq.push_back(r);
+  }
+  EXPECT_EQ(eq, want_eq);
+  std::vector<uint32_t> base;
+  for (uint32_t r = 0; r < n; r += 3) base.push_back(r);
+  view->RefineEqColumns(0, 1, &base);
+  want_eq.clear();
+  for (uint32_t r = 0; r < n; r += 3) {
+    if (rel.row(r)[0] == rel.row(r)[1]) want_eq.push_back(r);
+  }
+  EXPECT_EQ(base, want_eq);
+}
+
+TEST(ColumnViewTest, EnsureColumnsCachesAndInvalidates) {
+  Relation rel(Pred("cvcache", 1));
+  for (int i = 0; i < 10; ++i) rel.Insert({Term::Int(i)});
+  std::shared_ptr<const ColumnView> first = rel.EnsureColumns();
+  EXPECT_EQ(rel.EnsureColumns().get(), first.get());  // cached
+  rel.Insert({Term::Int(99)});
+  std::shared_ptr<const ColumnView> second = rel.EnsureColumns();
+  EXPECT_NE(second.get(), first.get());  // invalidated by insert
+  EXPECT_EQ(second->rows(), 11u);
+  EXPECT_EQ(first->rows(), 10u);  // old snapshot stays valid for holders
+  // Clear + refill to the same size must still invalidate.
+  rel.Clear();
+  for (int i = 0; i < 11; ++i) rel.Insert({Term::Int(100 + i)});
+  std::shared_ptr<const ColumnView> third = rel.EnsureColumns();
+  EXPECT_EQ(third->value(0, 0), Value(Term::Int(100)));
+  // A duplicate (no-op) insert keeps the cache.
+  std::shared_ptr<const ColumnView> before_dup = rel.EnsureColumns();
+  rel.Insert({Term::Int(100)});
+  EXPECT_EQ(rel.EnsureColumns().get(), before_dup.get());
+}
+
+TEST(ColumnViewTest, ConcurrentEnsureColumnsYieldsOneView) {
+  Relation rel(Pred("cvconc", 2));
+  for (int i = 0; i < 2000; ++i) {
+    rel.Insert({Term::Int(i % 13), Term::Int(i)});
+  }
+  std::vector<std::shared_ptr<const ColumnView>> views(8);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < views.size(); ++t) {
+    threads.emplace_back([&rel, &views, t] { views[t] = rel.EnsureColumns(); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& v : views) {
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v.get(), views[0].get());
+    EXPECT_EQ(v->rows(), 2000u);
+  }
+}
+
+TEST(ColumnViewTest, ColumnsBytesTrackViewLifetime) {
+  const int64_t before = storage_metrics::LiveColumnsBytes();
+  {
+    Relation rel(Pred("cvbytes", 2));
+    for (int i = 0; i < 1024; ++i) {
+      rel.Insert({Term::Int(i), Term::Sym(i % 2 == 0 ? "p" : "q")});
+    }
+    std::shared_ptr<const ColumnView> view = rel.EnsureColumns();
+    EXPECT_GE(storage_metrics::LiveColumnsBytes(),
+              before + static_cast<int64_t>(1024 * 2 * sizeof(uint64_t)));
+    EXPECT_EQ(storage_metrics::LiveColumnsBytes() - before, view->ByteSize());
+  }
+  // Relation destroyed → cache dropped → accounting returns to baseline.
+  EXPECT_EQ(storage_metrics::LiveColumnsBytes(), before);
 }
 
 }  // namespace

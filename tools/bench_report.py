@@ -17,8 +17,17 @@ count, governor. Aggregate runs (``_mean``/``_median``/``_stddev``/
 ``BigO``) are skipped; per-iteration rows are what the trajectory
 tracks.
 
+Ablation legs are paired automatically: a benchmark whose name carries
+``simd:0`` (or an ``_BatchScalar`` variant of a ``_Batch`` family) is
+the scalar twin of the same name with ``simd:1`` (or ``_Batch``). The
+report adds a "SIMD ablation" section with the scalar/vectorized
+speedup per pair and flags any pair where the vectorized leg is more
+than 5% *slower* than scalar as a regression;
+``--fail-on-simd-regression`` turns that into a non-zero exit for CI.
+
 Usage:
   tools/bench_report.py [--dir bench] [--out-md FILE] [--out-json FILE]
+                        [--fail-on-simd-regression]
 
 With no --out-* flags the markdown goes to stdout.
 """
@@ -84,6 +93,57 @@ def fmt_num(v):
     return str(v)
 
 
+# Vectorized legs may be at most this much slower than their scalar
+# twins before the pair is flagged as a regression.
+SIMD_REGRESSION_TOLERANCE = 1.05
+
+
+def simd_pairs(rows):
+    """Pairs scalar/vectorized twins of the same benchmark config.
+
+    Two naming schemes are recognised: an explicit ``simd:0``/``simd:1``
+    argument axis, and the ``_BatchScalar``/``_Batch`` family suffix the
+    executor benches use. Returns ``(name, scalar_row, simd_row)``
+    tuples keyed by the vectorized leg's name.
+    """
+    scalar, vector = {}, {}
+    for row in rows:
+        name = row["benchmark"]
+        if "simd:0" in name:
+            scalar[(row["artifact"], name.replace("simd:0", "simd:1"))] = row
+        elif "simd:1" in name:
+            vector[(row["artifact"], name)] = row
+        elif "_BatchScalar" in name:
+            scalar[(row["artifact"], name.replace("_BatchScalar", "_Batch"))] \
+                = row
+        elif "_Batch" in name:
+            vector[(row["artifact"], name)] = row
+    pairs = []
+    for key in sorted(vector):
+        if key in scalar:
+            pairs.append((key[1], scalar[key], vector[key]))
+    return pairs
+
+
+def simd_ablation(rows):
+    """Computes the speedup table: one entry per scalar/simd pair."""
+    table = []
+    for name, srow, vrow in simd_pairs(rows):
+        if not srow["real_time"] or not vrow["real_time"]:
+            continue
+        speedup = srow["real_time"] / vrow["real_time"]
+        table.append({
+            "artifact": vrow["artifact"],
+            "benchmark": name,
+            "scalar_time": srow["real_time"],
+            "simd_time": vrow["real_time"],
+            "time_unit": vrow["time_unit"],
+            "speedup": speedup,
+            "regression": speedup < 1.0 / SIMD_REGRESSION_TOLERANCE,
+        })
+    return table
+
+
 def to_markdown(rows):
     lines = ["# Benchmark trajectory", ""]
     by_artifact = {}
@@ -111,6 +171,21 @@ def to_markdown(rows):
         lines.append("")
     if len(lines) == 2:
         lines.append("(no BENCH_*.json artifacts found)")
+    ablation = simd_ablation(rows)
+    if ablation:
+        lines.append("## SIMD ablation (scalar vs vectorized)")
+        lines.append("")
+        lines.append("| benchmark | scalar | simd | speedup | |")
+        lines.append("|---|---|---|---|---|")
+        for entry in ablation:
+            unit = entry["time_unit"]
+            flag = "**REGRESSION**" if entry["regression"] else ""
+            lines.append(
+                f"| {entry['benchmark']}"
+                f" | {fmt_num(entry['scalar_time'])} {unit}"
+                f" | {fmt_num(entry['simd_time'])} {unit}"
+                f" | {entry['speedup']:.2f}x | {flag} |")
+        lines.append("")
     return "\n".join(lines) + "\n"
 
 
@@ -122,6 +197,9 @@ def main(argv):
                         help="write markdown here (default: stdout)")
     parser.add_argument("--out-json", default="",
                         help="write the JSON trajectory table here")
+    parser.add_argument("--fail-on-simd-regression", action="store_true",
+                        help="exit non-zero if a vectorized leg is >5% "
+                        "slower than its scalar twin")
     args = parser.parse_args(argv)
 
     paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
@@ -137,12 +215,23 @@ def main(argv):
             f.write(md)
     else:
         sys.stdout.write(md)
+    ablation = simd_ablation(rows)
     if args.out_json:
         with open(args.out_json, "w") as f:
-            json.dump({"rows": rows}, f, indent=1, sort_keys=True)
+            json.dump({"rows": rows, "simd_ablation": ablation}, f,
+                      indent=1, sort_keys=True)
             f.write("\n")
-    print(f"bench_report: {len(paths)} artifact(s), {len(rows)} row(s)",
+    regressions = [e for e in ablation if e["regression"]]
+    for entry in regressions:
+        print(f"bench_report: SIMD regression: {entry['benchmark']} "
+              f"simd {entry['simd_time']:.3f} vs scalar "
+              f"{entry['scalar_time']:.3f} {entry['time_unit']} "
+              f"({entry['speedup']:.2f}x)", file=sys.stderr)
+    print(f"bench_report: {len(paths)} artifact(s), {len(rows)} row(s), "
+          f"{len(ablation)} simd pair(s), {len(regressions)} regression(s)",
           file=sys.stderr)
+    if regressions and args.fail_on_simd_regression:
+        return 1
     return 0
 
 
