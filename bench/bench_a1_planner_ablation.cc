@@ -1,12 +1,28 @@
-// Ablation A1 (DESIGN.md §2(7)): cardinality-aware join planning.
+// Ablation A1 (DESIGN.md §2(7), §15): cardinality-aware join planning,
+// and the cost-based enumerator on top of it.
 //
 // The engine re-plans every rule execution using the current sizes of
 // its input relations; without it, the auxiliary relations created by
 // the semantic transformation get probed in pathological orders. This
 // bench quantifies that on the university workload, for the original
 // and for the optimized program.
+//
+// The `_Greedy`/`_Cost` legs then ablate PlannerMode on top of
+// size-aware planning (tools/bench_report.py pairs them into the
+// planner-ablation table):
+//  - BM_A1_Fanout_*: a join where greedy's smallest-relation tie-break
+//    opens with a relation that fans out ~80x, while the enumerator's
+//    distinct sketches see through it — the cost planner's win case.
+//  - BM_A1_University_*: both planners pick equivalent orders, so the
+//    cost leg must stay within noise of greedy — the no-regression
+//    case the report's --fail-on-planner-regression gate enforces.
+// Before timing, each pair verifies bit-identical fixpoints between
+// the two planners, and each leg runs through a session PlanCache so
+// the timed steady state plans zero times per iteration.
 
 #include "bench_common.h"
+#include "eval/plan_cache.h"
+#include "parser/parser.h"
 #include "workload/university.h"
 
 namespace semopt {
@@ -57,6 +73,116 @@ BENCHMARK(BM_A1_Original_SizeAware)->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_A1_Original_SizeBlind)->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_A1_Optimized_SizeAware)->Unit(::benchmark::kMillisecond);
 BENCHMARK(BM_A1_Optimized_SizeBlind)->Unit(::benchmark::kMillisecond);
+
+// --- greedy vs cost planner legs ---
+
+/// src joins into hub on a 25-value skew column; filt pins A almost
+/// uniquely. hub is the smallest relation, so greedy's size tie-break
+/// schedules it right after nothing is bound and every hub row fans
+/// out into ~80 src probes; the cost planner's sketches order
+/// src -> filt -> hub instead and the intermediate never grows.
+Database FanoutDb() {
+  Database db;
+  for (int i = 0; i < 2000; ++i) {
+    Status st = db.AddFact(Atom("src", {Term::Int(i), Term::Int(i % 25)}));
+    if (st.ok()) {
+      st = db.AddFact(Atom("filt", {Term::Int(i), Term::Int(i % 76)}));
+    }
+    if (!st.ok()) std::abort();
+  }
+  for (int b = 0; b < 25; ++b) {
+    for (int c = 0; c < 76; ++c) {
+      if (!db.AddFact(Atom("hub", {Term::Int(b), Term::Int(c)})).ok()) {
+        std::abort();
+      }
+    }
+  }
+  return db;
+}
+
+Program FanoutProgram(::benchmark::State& state) {
+  Result<Program> program = ParseProgram(R"(
+    q(A, C) :- src(A, B), hub(B, C), filt(A, C).
+    r(A, C) :- q(A, C).
+    r(A, C) :- r(A, B), q(B, C).
+  )");
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return Program();
+  }
+  return *program;
+}
+
+/// One timed planner leg: verifies the two planners derive identical
+/// fixpoints before the clock starts, then times `planner` through a
+/// session PlanCache (steady state: the warmup iteration plans, timed
+/// iterations hit every round).
+void RunPlannerLeg(::benchmark::State& state, const Program& program,
+                   const Database& edb, PlannerMode planner) {
+  EvalOptions greedy_options;
+  EvalOptions cost_options;
+  cost_options.planner = PlannerMode::kCost;
+  Result<Database> greedy_idb = Evaluate(program, edb, greedy_options);
+  Result<Database> cost_idb = Evaluate(program, edb, cost_options);
+  if (!greedy_idb.ok() || !cost_idb.ok()) {
+    state.SkipWithError("pre-timing evaluation failed");
+    return;
+  }
+  if (!greedy_idb->SameFactsAs(*cost_idb)) {
+    state.SkipWithError("planner ablation: greedy and cost fixpoints differ");
+    return;
+  }
+
+  PlanCache cache;
+  EvalOptions options;
+  options.planner = planner;
+  options.plan_cache = &cache;
+  EvalStats stats;
+  for (auto _ : state) {
+    stats = EvalStats();
+    Result<Database> idb = Evaluate(program, edb, options, &stats);
+    if (!idb.ok()) {
+      state.SkipWithError(idb.status().ToString().c_str());
+      return;
+    }
+  }
+  bench::PublishStats(state, stats);
+  // 0 in steady state: every timed round replays a memoized plan.
+  state.counters["plan_misses"] =
+      static_cast<double>(stats.plan_cache_misses);
+}
+
+void BM_A1_Fanout_Greedy(::benchmark::State& state) {
+  Program program = FanoutProgram(state);
+  Database edb = FanoutDb();
+  RunPlannerLeg(state, program, edb, PlannerMode::kGreedy);
+}
+void BM_A1_Fanout_Cost(::benchmark::State& state) {
+  Program program = FanoutProgram(state);
+  Database edb = FanoutDb();
+  RunPlannerLeg(state, program, edb, PlannerMode::kCost);
+}
+
+/// The same-order case: on the university workload both planners pick
+/// equivalent join orders, so this pair gates the cost planner's
+/// overhead (enumeration is amortized away by the plan cache).
+void BM_A1_University_Greedy(::benchmark::State& state) {
+  Result<Program> program = UniversityProgram();
+  Program to_run = bench::OptimizeOrDie(state, *program);
+  Database edb = GenerateUniversityDb(Params());
+  RunPlannerLeg(state, to_run, edb, PlannerMode::kGreedy);
+}
+void BM_A1_University_Cost(::benchmark::State& state) {
+  Result<Program> program = UniversityProgram();
+  Program to_run = bench::OptimizeOrDie(state, *program);
+  Database edb = GenerateUniversityDb(Params());
+  RunPlannerLeg(state, to_run, edb, PlannerMode::kCost);
+}
+
+BENCHMARK(BM_A1_Fanout_Greedy)->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_A1_Fanout_Cost)->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_A1_University_Greedy)->Unit(::benchmark::kMillisecond);
+BENCHMARK(BM_A1_University_Cost)->Unit(::benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace semopt

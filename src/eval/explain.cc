@@ -223,6 +223,10 @@ std::string ExplainAnalyze(const Program& program, const Database& edb,
   if (!components.ok()) return components.status().ToString();
   EdbOnlySource source(&edb);
 
+  // Which planner produced the plans below (the per-plan trailer also
+  // says so, including a per-rule greedy fallback under kCost).
+  os << "planner: " << PlannerModeName(options.planner) << "\n";
+
   int64_t stratum = -1;
   for (const EvalComponent& component : *components) {
     ++stratum;
@@ -232,8 +236,9 @@ std::string ExplainAnalyze(const Program& program, const Database& edb,
        << component.rules.size()
        << (component.rules.size() == 1 ? " rule" : " rules") << "):\n";
     for (const PlannedRule& pr : component.rules) {
-      Result<RuleExecutor::PreparedPlan> plan =
-          pr.executor.Prepare(source, -1, options.cardinality_planning);
+      Result<RuleExecutor::PreparedPlan> plan = pr.executor.Prepare(
+          source, -1, options.cardinality_planning,
+          /*skip_delta_index=*/false, /*partition=*/false, options.planner);
       if (plan.ok()) {
         os << pr.executor.DescribePlan(*plan) << "\n";
       } else {

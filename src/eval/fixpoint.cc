@@ -79,7 +79,9 @@ void ExecuteBuffered(const PlannedRule& pr, PlanCacheInterface& cache,
   buffer->clear();
   Result<RuleExecutor::PreparedPlan> plan =
       cache.Get(exec, source, delta_literal, stats,
-                options.cardinality_planning);
+                options.cardinality_planning,
+                /*skip_delta_index=*/false, /*partitioned=*/false,
+                options.planner);
   if (!plan.ok()) return;  // Create() validated the rule; cannot fail
   if (options.batch_size <= 1) {
     exec.ExecutePlan(*plan, source, delta_literal,
@@ -377,6 +379,12 @@ Status ValidateEvalOptions(const EvalOptions& options) {
           "simd=on but the SEMOPT_DISABLE_SIMD environment variable "
           "disables the SIMD kernels in this process");
     }
+  }
+  if (options.planner != PlannerMode::kGreedy &&
+      options.planner != PlannerMode::kCost) {
+    return Status::FailedPrecondition(
+        StrCat("planner must be one of: greedy, cost; got value ",
+               static_cast<int>(options.planner)));
   }
   return Status::Ok();
 }

@@ -55,11 +55,12 @@ void PlanCache::EvictToCap() {
 Result<RuleExecutor::PreparedPlan> PlanCache::Get(
     const RuleExecutor& exec, const RelationSource& source, int delta_literal,
     EvalStats* stats, bool size_aware, bool skip_delta_index,
-    bool partitioned) {
+    bool partitioned, PlannerMode planner) {
   Key key{exec.rule().ToString(), delta_literal,
-          static_cast<uint8_t>((size_aware ? 1 : 0) |
-                               (skip_delta_index ? 2 : 0) |
-                               (partitioned ? 4 : 0)),
+          static_cast<uint8_t>(
+              (size_aware ? 1 : 0) | (skip_delta_index ? 2 : 0) |
+              (partitioned ? 4 : 0) |
+              (planner == PlannerMode::kCost ? 8 : 0)),
           Signature(exec, source, delta_literal)};
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -80,7 +81,7 @@ Result<RuleExecutor::PreparedPlan> PlanCache::Get(
   SEMOPT_ASSIGN_OR_RETURN(
       RuleExecutor::PreparedPlan plan,
       exec.Prepare(source, delta_literal, size_aware, skip_delta_index,
-                   partitioned));
+                   partitioned, planner));
   auto [inserted_it, _] = entries_.emplace(std::move(key), Entry{plan, {}});
   lru_.push_front(&inserted_it->first);
   inserted_it->second.lru_it = lru_.begin();

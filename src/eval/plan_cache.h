@@ -26,11 +26,14 @@ class PlanCacheInterface {
   /// the result. On a hit the plan's probe indexes are revalidated (a
   /// cheap HasIndex sweep that repairs indexes lost to the delta
   /// double-buffer swap). Bumps `stats->plan_cache_{hits,misses}` when
-  /// `stats` is non-null.
+  /// `stats` is non-null. `planner` is part of the memo key (a
+  /// dedicated flag bit), so greedy and cost sessions sharing one cache
+  /// never serve each other's orders.
   virtual Result<RuleExecutor::PreparedPlan> Get(
       const RuleExecutor& exec, const RelationSource& source,
       int delta_literal, EvalStats* stats, bool size_aware = true,
-      bool skip_delta_index = false, bool partitioned = false) = 0;
+      bool skip_delta_index = false, bool partitioned = false,
+      PlannerMode planner = PlannerMode::kGreedy) = 0;
 
   /// Drops every cached plan.
   virtual void Clear() = 0;
@@ -82,12 +85,11 @@ class PlanCache : public PlanCacheInterface {
   explicit PlanCache(size_t max_entries = kDefaultMaxEntries)
       : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
-  Result<RuleExecutor::PreparedPlan> Get(const RuleExecutor& exec,
-                                         const RelationSource& source,
-                                         int delta_literal, EvalStats* stats,
-                                         bool size_aware = true,
-                                         bool skip_delta_index = false,
-                                         bool partitioned = false) override;
+  Result<RuleExecutor::PreparedPlan> Get(
+      const RuleExecutor& exec, const RelationSource& source,
+      int delta_literal, EvalStats* stats, bool size_aware = true,
+      bool skip_delta_index = false, bool partitioned = false,
+      PlannerMode planner = PlannerMode::kGreedy) override;
 
   /// Drops every cached plan (the eviction counter keeps its total).
   void Clear() override {
@@ -108,7 +110,8 @@ class PlanCache : public PlanCacheInterface {
     std::string rule;
     int delta_literal;
     /// Planner inputs beyond cardinalities: bit 0 = size_aware,
-    /// bit 1 = skip_delta_index, bit 2 = partitioned (morsel regime).
+    /// bit 1 = skip_delta_index, bit 2 = partitioned (morsel regime),
+    /// bit 3 = cost planner (PlannerMode::kCost ordered the joins).
     uint8_t flags;
     /// ⌊log2⌋ band per body literal (relational literals delta-aware;
     /// non-relational hold a fixed sentinel).

@@ -1,6 +1,7 @@
 #include "eval/rule_executor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
@@ -61,9 +62,14 @@ uint32_t RuleExecutor::SlotFor(SymbolId v) const {
 }
 
 Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
-    const std::function<size_t(size_t)>* size_of, int force_first) const {
+    const std::function<size_t(size_t)>* size_of, int force_first,
+    const std::vector<size_t>* relational_order) const {
   Plan plan;
   const std::vector<Literal>& body = rule_.body();
+  // Cursor into `relational_order` (the cost enumerator's sequence of
+  // positive relational literals); advances past already-scheduled
+  // entries so the forced-rotation pick below composes with it.
+  size_t order_cursor = 0;
 
   auto make_spec = [&](const Term& t,
                        const std::set<uint32_t>& bound) -> TermSpec {
@@ -192,6 +198,22 @@ Result<RuleExecutor::Plan> RuleExecutor::BuildPlan(
              !body[static_cast<size_t>(force_first)].negated());
       pick = force_first;
     }
+    // Explicit order (cost planner): the next unscheduled entry of
+    // `relational_order` replaces the greedy pick. Positive relational
+    // literals need no prior bindings, so any order of them is safe;
+    // the priorities above still interleave filters and binding `=` at
+    // their earliest position, same as under the greedy pick.
+    if (pick < 0 && relational_order != nullptr) {
+      while (order_cursor < relational_order->size() &&
+             scheduled[(*relational_order)[order_cursor]]) {
+        ++order_cursor;
+      }
+      if (order_cursor < relational_order->size()) {
+        const size_t i = (*relational_order)[order_cursor++];
+        assert(!body[i].IsComparison() && !body[i].negated());
+        pick = static_cast<int>(i);
+      }
+    }
     // Priority 3: the positive relational literal with the most
     // statically-bound argument positions; ties go to the literal whose
     // relation is currently smallest (cardinality-aware planning), then
@@ -275,6 +297,7 @@ void RuleExecutor::FuseBatchChecks(Plan* plan, int delta_literal) {
       FusedCheck fc;
       fc.pred = step.pred;
       fc.negated = step.negated;
+      fc.original_index = step.original_index;
       fc.sources.reserve(step.args.size());
       for (const TermSpec& spec : step.args) {
         FusedCheck::Source src;
@@ -338,23 +361,30 @@ void RuleExecutor::FuseBatchChecks(Plan* plan, int delta_literal) {
 
 Result<RuleExecutor::PreparedPlan> RuleExecutor::Prepare(
     const RelationSource& source, int delta_literal, bool size_aware,
-    bool skip_delta_index, bool partition) const {
+    bool skip_delta_index, bool partition, PlannerMode planner) const {
   // Separates plan/index time from join time in traces: "plan" spans
   // are coordinator work, rule-label spans are execution work.
   obs::TraceSpan span("plan");
   span.AddArg("body_literals", static_cast<int64_t>(rule_.body().size()));
   span.AddArg("delta_literal", delta_literal);
   if (partition) span.AddArg("partition", static_cast<int64_t>(1));
-  // Cardinality oracle: the current size of each body literal's input
-  // relation (delta-aware).
-  std::function<size_t(size_t)> size_of = [&](size_t i) -> size_t {
+  // The relation a body literal reads, delta-aware: the delta
+  // occurrence reads source.Delta, everything else source.Full.
+  auto relation_of = [&](size_t i) -> const Relation* {
     const Literal& lit = rule_.body()[i];
-    if (!lit.IsRelational()) return SIZE_MAX;
+    if (!lit.IsRelational()) return nullptr;
     const Relation* rel = nullptr;
     if (delta_literal >= 0 && i == static_cast<size_t>(delta_literal)) {
       rel = source.Delta(lit.atom().pred_id());
     }
     if (rel == nullptr) rel = source.Full(lit.atom().pred_id());
+    return rel;
+  };
+  // Cardinality oracle: the current size of each body literal's input
+  // relation (delta-aware).
+  std::function<size_t(size_t)> size_of = [&](size_t i) -> size_t {
+    if (!rule_.body()[i].IsRelational()) return SIZE_MAX;
+    const Relation* rel = relation_of(i);
     return rel == nullptr ? 0 : rel->size();
   };
   // Partitioned plans rotate the delta occurrence to the front of the
@@ -363,8 +393,57 @@ Result<RuleExecutor::PreparedPlan> RuleExecutor::Prepare(
   // (the E8 binding blowup).
   const int force_first =
       partition && delta_literal >= 0 ? delta_literal : -1;
+
+  // Cost planner: enumerate join orders of the positive relational
+  // literals from current sizes, per-column distinct sketches and the
+  // accumulated runtime feedback. The chosen order replaces only the
+  // greedy relational pick inside BuildPlan — filters, binding `=`,
+  // the delta rotation, batch fusion and driving-step marking all
+  // happen exactly as under the greedy planner, so every structural
+  // invariant of the plan shape is preserved.
+  std::optional<CostPlanner::Result> cost;
+  std::string rule_key;
+  if (planner == PlannerMode::kCost && size_aware) {
+    rule_key = rule_.ToString();
+    std::vector<CostPlanner::LiteralInput> inputs;
+    const std::vector<Literal>& body = rule_.body();
+    for (size_t i = 0; i < body.size(); ++i) {
+      const Literal& lit = body[i];
+      if (lit.IsComparison() || lit.negated()) continue;
+      CostPlanner::LiteralInput in;
+      in.original_index = i;
+      const Relation* rel = relation_of(i);
+      if (rel != nullptr) {
+        in.size = rel->size();
+        // Refreshed lazily under the relation's index lock, same
+        // single-threaded planning moment as EnsureProbeIndexes below.
+        in.stats = rel->EnsureStats();
+      }
+      in.slots.reserve(lit.atom().args().size());
+      for (const Term& t : lit.atom().args()) {
+        in.slots.push_back(t.IsConstant() ? CostPlanner::kConstantSlot
+                                          : SlotFor(t.symbol()));
+      }
+      inputs.push_back(std::move(in));
+    }
+    cost = CostPlanner::Enumerate(rule_key, inputs, force_first);
+  }
   SEMOPT_ASSIGN_OR_RETURN(
-      Plan plan, BuildPlan(size_aware ? &size_of : nullptr, force_first));
+      Plan plan,
+      BuildPlan(size_aware ? &size_of : nullptr, force_first,
+                cost.has_value() ? &cost->order : nullptr));
+  plan.planner = planner;
+  if (cost.has_value()) {
+    plan.cost_ordered = true;
+    plan.est_rows.assign(rule_.body().size(), -1.0);
+    plan.feedback.assign(rule_.body().size(), nullptr);
+    CostFeedback& feedback = CostFeedback::Global();
+    for (size_t k = 0; k < cost->order.size(); ++k) {
+      const size_t lit = cost->order[k];
+      plan.est_rows[lit] = cost->est_rows[k];
+      plan.feedback[lit] = feedback.CellFor(rule_key, lit);
+    }
+  }
   FuseBatchChecks(&plan, delta_literal);
   if (partition) {
     // Mark the driving step: the first positive relational step — the
@@ -485,9 +564,41 @@ std::string RuleExecutor::DescribePlan(const PreparedPlan& plan,
     }
     if (p.driving_step == static_cast<int>(i)) os << " (driving)";
     if (!in_batch[i]) os << " (batch: fused into prior step)";
+    // Cost plans: the model's estimated bindings for the step, the
+    // per-execution actual observed so far (cumulative, process-wide
+    // via CostFeedback) and the error factor between the two — the
+    // at-a-glance misestimate view behind the shell's :plan/:profile.
+    if (p.cost_ordered && step.original_index < p.est_rows.size() &&
+        p.est_rows[step.original_index] >= 0.0) {
+      const double est = p.est_rows[step.original_index];
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " est~%.3g", est);
+      os << buf;
+      const CostFeedback::Cell* cell = p.feedback[step.original_index];
+      const uint64_t execs =
+          cell == nullptr
+              ? 0
+              : cell->executions.load(std::memory_order_relaxed);
+      if (execs > 0) {
+        const double actual =
+            static_cast<double>(
+                cell->actual_bindings.load(std::memory_order_relaxed)) /
+            static_cast<double>(execs);
+        const double err =
+            (actual + 1.0) / (est + 1.0);  // >1: underestimated
+        std::snprintf(buf, sizeof(buf), " actual~%.3g err x%.2f", actual,
+                      err);
+        os << buf;
+      }
+    }
     os << "\n";
   }
   if (p.steps.empty()) os << "  (empty body: emit head once)\n";
+  os << "  planner: " << PlannerModeName(p.planner);
+  if (p.planner == PlannerMode::kCost && !p.cost_ordered) {
+    os << " (greedy fallback)";
+  }
+  os << "\n";
   std::string out = os.str();
   out.pop_back();
   return out;
@@ -507,17 +618,61 @@ void RuleExecutor::ExecutePlan(const PreparedPlan& plan,
   ctx.bound.assign(slot_count_, 0);
   ctx.newly_bound.resize(p.scratch_size);
   ctx.scratch_row.reserve(p.max_row_width);
+  ctx.literal_bindings.assign(rule_.body().size(), 0);
   ctx.morsel_begin = morsel_begin;
   ctx.morsel_end = morsel_end;
   ExecuteStep(p, source, delta_literal, 0, &ctx, sink, stats);
+  RecordFeedback(p, source, delta_literal, ctx.literal_bindings,
+                 morsel_begin, morsel_end);
 }
 
 void RuleExecutor::Execute(const RelationSource& source, int delta_literal,
                            const TupleSink& sink, EvalStats* stats,
-                           bool size_aware) const {
-  Result<PreparedPlan> plan = Prepare(source, delta_literal, size_aware);
+                           bool size_aware, PlannerMode planner) const {
+  Result<PreparedPlan> plan =
+      Prepare(source, delta_literal, size_aware,
+              /*skip_delta_index=*/false, /*partition=*/false, planner);
   if (!plan.ok()) return;  // Create() validated; cannot fail here
   ExecutePlan(*plan, source, delta_literal, sink, stats);
+}
+
+void RuleExecutor::RecordFeedback(
+    const Plan& plan, const RelationSource& source, int delta_literal,
+    const std::vector<uint64_t>& literal_bindings, size_t morsel_begin,
+    size_t morsel_end) const {
+  if (plan.feedback.empty()) return;  // greedy plan: no cost model to feed
+  // A morsel execution covers only a slice of the driving relation, so
+  // it records the matching slice of the whole-execution estimates —
+  // the summed (actual, estimated) pairs over all morsels then compare
+  // one full execution against one full estimate.
+  double fraction = 1.0;
+  if (morsel_end != kNoMorsel && plan.driving_step >= 0) {
+    const LiteralStep& drv =
+        plan.steps[static_cast<size_t>(plan.driving_step)];
+    const Relation* rel = nullptr;
+    if (delta_literal >= 0 &&
+        drv.original_index == static_cast<size_t>(delta_literal)) {
+      rel = source.Delta(drv.pred);
+    }
+    if (rel == nullptr) rel = source.Full(drv.pred);
+    const size_t n = rel == nullptr ? 0 : rel->size();
+    if (n > 0) {
+      const size_t end = std::min(morsel_end, n);
+      const size_t begin = std::min(morsel_begin, end);
+      fraction = static_cast<double>(end - begin) / static_cast<double>(n);
+    }
+  }
+  for (size_t i = 0; i < plan.feedback.size(); ++i) {
+    CostFeedback::Cell* cell = plan.feedback[i];
+    if (cell == nullptr) continue;
+    const uint64_t est = static_cast<uint64_t>(
+        std::max(0.0, plan.est_rows[i]) * fraction + 0.5);
+    cell->executions.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t actual =
+        i < literal_bindings.size() ? literal_bindings[i] : 0;
+    cell->actual_bindings.fetch_add(actual, std::memory_order_relaxed);
+    cell->estimated_bindings.fetch_add(est, std::memory_order_relaxed);
+  }
 }
 
 void RuleExecutor::ExecuteStep(const Plan& plan,
@@ -621,6 +776,7 @@ void RuleExecutor::ExecuteStep(const Plan& plan,
     }
     if (match) {
       if (stats != nullptr) ++stats->bindings_explored;
+      ++ctx->literal_bindings[step.original_index];
       ExecuteStep(plan, source, delta_literal, step_index + 1, ctx, sink,
                   stats);
     }
@@ -686,6 +842,7 @@ void RuleExecutor::ExecutePlanBatched(
   ctx->vectorize = vectorize;
   ctx->bindings = 0;
   ctx->comparisons = 0;
+  ctx->literal_bindings.assign(rule_.body().size(), 0);
   // Seed the pipeline with a single all-unbound frame; the planner's
   // static bound set decides which slots each step may read.
   StepScratch& seed = ctx->steps[0];
@@ -701,6 +858,8 @@ void RuleExecutor::ExecutePlanBatched(
     stats->comparison_checks += ctx->comparisons;
     stats->batches += ctx->batches;
   }
+  RecordFeedback(p, source, delta_literal, ctx->literal_bindings,
+                 morsel_begin, morsel_end);
 }
 
 void RuleExecutor::RunBatchFrom(const Plan& plan,
@@ -927,6 +1086,7 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
         // contributes one explored binding when its (unique) match
         // exists.
         ++ctx->bindings;
+        ++ctx->literal_bindings[fc.original_index];
       }
     }
     return true;
@@ -1048,6 +1208,7 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
         const Value* row_vals = relation->row(hits[i]).data();
         if (no_checks || passes(row, row_vals, step.probe_checks)) {
           ++ctx->bindings;
+          ++ctx->literal_bindings[step.original_index];
           if (!has_fused || fused_pass(row, row_vals)) emit(row, row_vals);
         }
       }
@@ -1132,6 +1293,7 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
           }
           const Value* row_vals = relation->row(hits[i]).data();
           ++ctx->bindings;
+          ++ctx->literal_bindings[step.original_index];
           if (!has_fused || fused_pass(row, row_vals)) emit(row, row_vals);
         }
       }
@@ -1142,6 +1304,7 @@ void RuleExecutor::RunBatchFrom(const Plan& plan,
           const Value* row_vals = relation->row(i).data();
           if (passes(row, row_vals, step.scan_checks)) {
             ++ctx->bindings;
+            ++ctx->literal_bindings[step.original_index];
             if (!has_fused || fused_pass(row, row_vals)) emit(row, row_vals);
           }
         }

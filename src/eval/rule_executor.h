@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ast/rule.h"
+#include "eval/cost_planner.h"
 #include "eval/eval_stats.h"
 #include "storage/relation.h"
 #include "util/result.h"
@@ -114,7 +115,8 @@ class RuleExecutor {
   /// ExecutePlanBatched.
   void Execute(const RelationSource& source, int delta_literal,
                const TupleSink& sink, EvalStats* stats,
-               bool size_aware = true) const;
+               bool size_aware = true,
+               PlannerMode planner = PlannerMode::kGreedy) const;
 
   /// Plans against the current relation cardinalities of `source` and
   /// pre-builds (EnsureIndex) every hash index the plan will probe.
@@ -136,10 +138,21 @@ class RuleExecutor {
   /// partitioned plan must be executed with a morsel range, and must
   /// never be replayed by the serial engine (the plan cache keys on
   /// `partition` for exactly this reason).
+  /// `planner` selects the join-order planner: kGreedy keeps the
+  /// one-pass heuristic; kCost runs CostPlanner::Enumerate over the
+  /// positive relational literals (falling back to greedy outside its
+  /// envelope) and resolves CostFeedback cells so executions of the
+  /// plan feed actual binding counts back into the cost model. Both
+  /// regimes respect the same structural invariants: the delta rotates
+  /// to the front of partitioned plans, the driving step is marked
+  /// after ordering, and batch fusion/tail emission run on the chosen
+  /// order.
   Result<PreparedPlan> Prepare(const RelationSource& source,
                                int delta_literal, bool size_aware = true,
                                bool skip_delta_index = false,
-                               bool partition = false) const;
+                               bool partition = false,
+                               PlannerMode planner = PlannerMode::kGreedy)
+      const;
 
   /// Re-ensures every index `plan` probes still exists — a cheap no-op
   /// when they all do. The plan cache calls this on a hit: a cached
@@ -279,6 +292,7 @@ class RuleExecutor {
     };
     PredicateId pred{0, 0};
     bool negated = false;
+    size_t original_index = 0;  // body position of the fused literal
     std::vector<Source> sources;  // one per column of the fused literal
   };
   struct LiteralStep {
@@ -341,6 +355,21 @@ class RuleExecutor {
     /// Widest probe key / negated membership row / head tuple the plan
     /// ever materializes into the shared scratch row.
     size_t max_row_width = 0;
+    /// Planner regime the plan was built under, and whether the cost
+    /// enumerator's order was actually used (false under kCost means
+    /// the body fell outside the enumerable envelope and the greedy
+    /// order was kept; see CostPlanner::Enumerate).
+    PlannerMode planner = PlannerMode::kGreedy;
+    bool cost_ordered = false;
+    /// Cost-ordered plans: estimated bindings per ORIGINAL body literal
+    /// over a whole (unrestricted) execution; -1 for literals without
+    /// an estimate. Drives DescribePlan's est/actual columns and the
+    /// post-execution feedback fold.
+    std::vector<double> est_rows;
+    /// Cost-ordered plans: the CostFeedback cell per original body
+    /// literal (nullptr where no estimate exists). Empty for greedy
+    /// plans, so the greedy execution path never touches the store.
+    std::vector<CostFeedback::Cell*> feedback;
   };
 
   /// Per-execution working state, allocated once in ExecutePlan and
@@ -351,6 +380,10 @@ class RuleExecutor {
     std::vector<char> bound;           // slot bound flags
     std::vector<uint32_t> newly_bound; // per-step slices (scratch_offsets)
     std::vector<Value> scratch_row;    // probe keys, negation rows, heads
+    // Per original-body-literal positive-match counts for this
+    // execution (the per-literal split of bindings_explored; feeds the
+    // cost planner's feedback fold).
+    std::vector<uint64_t> literal_bindings;
     // Driving-step row range (morsel); kNoMorsel = unrestricted.
     size_t morsel_begin = 0;
     size_t morsel_end = kNoMorsel;
@@ -402,6 +435,9 @@ class RuleExecutor {
     // Logical counters, folded into EvalStats once at the end.
     size_t bindings = 0;
     size_t comparisons = 0;
+    // Per original-body-literal split of `bindings` (cost-planner
+    // feedback fold); zeroed per execution call.
+    std::vector<uint64_t> literal_bindings;
   };
 
   RuleExecutor() : rule_("", Atom(SymbolId(0), {}), {}) {}
@@ -418,8 +454,15 @@ class RuleExecutor {
   /// in practice first among the relational steps, since a positive
   /// literal needs no prior bindings. Partitioned Prepare uses it to
   /// rotate the delta occurrence to the front of the join order.
+  /// `relational_order`, when given, replaces the greedy pick among the
+  /// positive relational literals with that exact sequence of
+  /// original-body indices (the cost enumerator's output); filters,
+  /// negations and binding `=` still interleave at their earliest safe
+  /// position exactly as under the greedy planner.
   Result<Plan> BuildPlan(const std::function<size_t(size_t)>* size_of,
-                         int force_first = -1) const;
+                         int force_first = -1,
+                         const std::vector<size_t>* relational_order =
+                             nullptr) const;
 
   /// Materializes every index `plan` will probe on the relations it
   /// will read (delta-aware). The one mutation point of shared storage
@@ -434,6 +477,17 @@ class RuleExecutor {
   /// binding steps so the logical counters (bindings/comparisons) stay
   /// bit-identical to the per-tuple order.
   static void FuseBatchChecks(Plan* plan, int delta_literal);
+
+  /// Folds one execution call's per-original-literal match counts into
+  /// the plan's CostFeedback cells (no-op for plans without feedback
+  /// cells, i.e. every greedy plan). `[morsel_begin, morsel_end)`
+  /// scales the whole-execution estimates down to this call's share of
+  /// the driving relation, so a morsel execution records its slice of
+  /// the estimate against its slice of the actuals.
+  void RecordFeedback(const Plan& plan, const RelationSource& source,
+                      int delta_literal,
+                      const std::vector<uint64_t>& literal_bindings,
+                      size_t morsel_begin, size_t morsel_end) const;
 
   void ExecuteStep(const Plan& plan, const RelationSource& source,
                    int delta_literal, size_t step_index, ExecContext* ctx,

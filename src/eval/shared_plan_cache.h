@@ -35,12 +35,11 @@ class SharedPlanCache : public PlanCacheInterface {
       size_t shards = kDefaultShards,
       size_t max_entries_per_shard = PlanCache::kDefaultMaxEntries);
 
-  Result<RuleExecutor::PreparedPlan> Get(const RuleExecutor& exec,
-                                         const RelationSource& source,
-                                         int delta_literal, EvalStats* stats,
-                                         bool size_aware = true,
-                                         bool skip_delta_index = false,
-                                         bool partitioned = false) override;
+  Result<RuleExecutor::PreparedPlan> Get(
+      const RuleExecutor& exec, const RelationSource& source,
+      int delta_literal, EvalStats* stats, bool size_aware = true,
+      bool skip_delta_index = false, bool partitioned = false,
+      PlannerMode planner = PlannerMode::kGreedy) override;
 
   void Clear() override;
 

@@ -211,7 +211,8 @@ Result<bool> RunRound(
           exec.plan,
           plan_cache.Get(executor, planning_source, exec.delta_literal,
                          stats, options.cardinality_planning,
-                         /*skip_delta_index=*/false, /*partitioned=*/true));
+                         /*skip_delta_index=*/false, /*partitioned=*/true,
+                         options.planner));
       exec.driving_literal = executor.DrivingLiteral(exec.plan);
       if (exec.driving_literal < 0) {
         // No positive relational step (constant-only body): one

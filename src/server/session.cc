@@ -315,6 +315,7 @@ std::string SessionCommandProcessor::HandleCommand(std::string_view line) {
   // its historical meaning of sourcing a text program file.
   if (cmd == ":load") return CmdLoadBinary(args);
   if (cmd == ".simd" || cmd == ":simd") return CmdSimd(args);
+  if (cmd == ".planner" || cmd == ":planner") return CmdPlanner(args);
   if (cmd == ".stats") {
     show_stats_ = args.empty() || args[0] != "off";
     return StrCat("stats ", show_stats_ ? "on" : "off");
@@ -353,7 +354,10 @@ commands:
   :threads [N]             evaluate with N threads (1 = serial, 0 = auto)
   :batch [N]               batched executor block size (1 = per-tuple)
   :simd [on|off|auto]      vectorized executor kernels (auto = detect)
+  :planner [greedy|cost]   join-order planner (cost = enumerated from
+                           sizes/distincts + runtime feedback)
   :plan PRED[/ARITY]       show the join plan of every rule deriving PRED
+                           (cost planner: est/actual rows per step)
   :trace FILE|on|off       record spans; on stop, write Chrome trace JSON
                            (open in chrome://tracing or ui.perfetto.dev)
   :metrics [on|off]        collect per-rule/per-round metrics; no args:
@@ -603,7 +607,9 @@ std::string SessionCommandProcessor::CmdPlan(
       }
       ++shown;
       Result<RuleExecutor::PreparedPlan> plan = pr.executor.Prepare(
-          source, -1, eval_options_.cardinality_planning);
+          source, -1, eval_options_.cardinality_planning,
+          /*skip_delta_index=*/false, /*partition=*/false,
+          eval_options_.planner);
       if (!plan.ok()) {
         os << plan.status().ToString() << "\n";
         continue;
@@ -611,7 +617,9 @@ std::string SessionCommandProcessor::CmdPlan(
       os << pr.executor.DescribePlan(*plan) << "\n";
       for (int lit_index : pr.recursive_literals) {
         Result<RuleExecutor::PreparedPlan> delta_plan = pr.executor.Prepare(
-            source, lit_index, eval_options_.cardinality_planning);
+            source, lit_index, eval_options_.cardinality_planning,
+            /*skip_delta_index=*/false, /*partition=*/false,
+            eval_options_.planner);
         if (!delta_plan.ok()) continue;
         os << "with delta on body literal " << lit_index << ":\n"
            << pr.executor.DescribePlan(*delta_plan, lit_index) << "\n";
@@ -862,6 +870,36 @@ std::string SessionCommandProcessor::CmdSimd(
   }
   // Centralized validation; on rejection surface the validator's
   // message and keep the previous setting (same contract as :threads).
+  if (Status s = ValidateEvalOptions(candidate); !s.ok()) {
+    return s.ToString();
+  }
+  eval_options_ = candidate;
+  return describe();
+}
+
+std::string SessionCommandProcessor::CmdPlanner(
+    const std::vector<std::string>& args) {
+  auto describe = [this]() {
+    if (eval_options_.planner == PlannerMode::kCost) {
+      return StrCat("planner cost (enumerated join orders; est/actual in "
+                    ":plan)");
+    }
+    return StrCat("planner greedy (one-pass heuristic)");
+  };
+  if (args.empty()) return describe();
+  EvalOptions candidate = eval_options_;
+  if (args[0] == "greedy") {
+    candidate.planner = PlannerMode::kGreedy;
+  } else if (args[0] == "cost") {
+    candidate.planner = PlannerMode::kCost;
+  } else {
+    return "usage: :planner [greedy|cost]";
+  }
+  // Centralized validation; on rejection surface the validator's
+  // message and keep the previous setting (same contract as :simd).
+  // The choice is session-private: eval_options_ rides on this
+  // processor only, so other sessions keep their own planner (and the
+  // shared plan cache keys on the mode, so plans never cross regimes).
   if (Status s = ValidateEvalOptions(candidate); !s.ok()) {
     return s.ToString();
   }

@@ -128,6 +128,7 @@ class SessionCommandProcessor {
   std::string CmdDump(const std::vector<std::string>& args);
   std::string CmdLoadBinary(const std::vector<std::string>& args);
   std::string CmdSimd(const std::vector<std::string>& args);
+  std::string CmdPlanner(const std::vector<std::string>& args);
 
   std::string CmdThreads(const std::vector<std::string>& args);
   std::string CmdBatch(const std::vector<std::string>& args);

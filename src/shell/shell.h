@@ -33,6 +33,7 @@ namespace semopt {
 ///   :batch N                 batched executor block size (1 = per-tuple)
 ///   :trace FILE / :trace off start/stop a Chrome trace_event session
 ///   :metrics [on|off]        per-rule metrics collection + report
+///   :planner greedy|cost     join-order planner for query evaluation
 ///   :plan PRED               show each PRED rule's join plan
 class Shell {
  public:

@@ -2,26 +2,43 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace semopt {
 
+void Database::DetachIfShared(std::shared_ptr<Relation>* slot) {
+  // use_count == 1 means no other database holds this relation; the
+  // snapshot path guarantees no concurrent mutator (writers serialize)
+  // and readers of older generations keep their own shared_ptr, so the
+  // count cannot drop to 1 spuriously under us.
+  if (slot->use_count() == 1) return;
+  *slot = std::make_shared<Relation>(**slot);
+  obs::MetricsRegistry::Global()
+      .GetCounter("storage.snapshot.relations_cloned")
+      .Add(1);
+}
+
 Relation& Database::GetOrCreate(const PredicateId& pred) {
   auto it = relations_.find(pred);
   if (it == relations_.end()) {
-    it = relations_.emplace(pred, Relation(pred)).first;
+    it = relations_.emplace(pred, std::make_shared<Relation>(pred)).first;
+  } else {
+    DetachIfShared(&it->second);
   }
-  return it->second;
+  return *it->second;
 }
 
 const Relation* Database::Find(const PredicateId& pred) const {
   auto it = relations_.find(pred);
-  return it == relations_.end() ? nullptr : &it->second;
+  return it == relations_.end() ? nullptr : it->second.get();
 }
 
 Relation* Database::FindMutable(const PredicateId& pred) {
   auto it = relations_.find(pred);
-  return it == relations_.end() ? nullptr : &it->second;
+  if (it == relations_.end()) return nullptr;
+  DetachIfShared(&it->second);
+  return it->second.get();
 }
 
 Status Database::AddFact(const Atom& fact) {
@@ -53,7 +70,7 @@ std::vector<PredicateId> Database::Predicates() const {
 
 size_t Database::TotalTuples() const {
   size_t total = 0;
-  for (const auto& [pred, rel] : relations_) total += rel.size();
+  for (const auto& [pred, rel] : relations_) total += rel->size();
   return total;
 }
 
@@ -61,26 +78,35 @@ Database Database::Clone() const {
   // Relation's copy constructor copies the flat arena, dedup table and
   // indexes wholesale — no per-tuple rehash/re-insert.
   Database copy;
+  for (const auto& [pred, rel] : relations_) {
+    copy.relations_.emplace(pred, std::make_shared<Relation>(*rel));
+  }
+  return copy;
+}
+
+Database Database::CloneShared() const {
+  Database copy;
   copy.relations_ = relations_;
   return copy;
 }
 
 bool Database::SameFactsAs(const Database& other) const {
-  auto nonempty_count = [](const std::map<PredicateId, Relation>& rels) {
-    size_t n = 0;
-    for (const auto& [pred, rel] : rels) {
-      if (!rel.empty()) ++n;
-    }
-    return n;
-  };
+  auto nonempty_count =
+      [](const std::map<PredicateId, std::shared_ptr<Relation>>& rels) {
+        size_t n = 0;
+        for (const auto& [pred, rel] : rels) {
+          if (!rel->empty()) ++n;
+        }
+        return n;
+      };
   if (nonempty_count(relations_) != nonempty_count(other.relations_)) {
     return false;
   }
   for (const auto& [pred, rel] : relations_) {
-    if (rel.empty()) continue;
+    if (rel->empty()) continue;
     const Relation* other_rel = other.Find(pred);
-    if (other_rel == nullptr || other_rel->size() != rel.size()) return false;
-    for (RowRef t : rel.rows()) {
+    if (other_rel == nullptr || other_rel->size() != rel->size()) return false;
+    for (RowRef t : rel->rows()) {
       if (!other_rel->Contains(t)) return false;
     }
   }
@@ -90,7 +116,7 @@ bool Database::SameFactsAs(const Database& other) const {
 std::string Database::ToString() const {
   std::ostringstream os;
   for (const auto& [pred, rel] : relations_) {
-    os << rel.ToString() << "\n";
+    os << rel->ToString() << "\n";
   }
   return os.str();
 }

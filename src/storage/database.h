@@ -17,6 +17,16 @@ namespace semopt {
 /// A database instance: a set of named relations (typically the EDB; the
 /// evaluation engine materializes IDB relations into a separate Database).
 /// Relations are created on first reference.
+///
+/// Relations are held by shared_ptr so two databases can share unchanged
+/// relations copy-on-write: `CloneShared` is O(#relations) pointer
+/// copies, and a shared relation is deep-copied ("detached") only when a
+/// mutable accessor actually reaches for it. SnapshotStore::Mutate
+/// builds each new generation this way, so a write batch clones exactly
+/// the relations it touches (counted by the
+/// `storage.snapshot.relations_cloned` metric) while every other
+/// relation — and its already-built indexes — stays pointer-identical
+/// across generations.
 class Database {
  public:
   Database() = default;
@@ -25,10 +35,12 @@ class Database {
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
 
-  /// The relation for `pred`, creating an empty one if absent.
+  /// The relation for `pred`, creating an empty one if absent. Detaches
+  /// a relation shared with another database before returning it.
   Relation& GetOrCreate(const PredicateId& pred);
 
-  /// The relation for `pred`, or nullptr when absent.
+  /// The relation for `pred`, or nullptr when absent. The mutable form
+  /// detaches a shared relation before returning it.
   const Relation* Find(const PredicateId& pred) const;
   Relation* FindMutable(const PredicateId& pred);
 
@@ -48,6 +60,13 @@ class Database {
   /// same EDB without sharing index state).
   Database Clone() const;
 
+  /// Shallow copy-on-write copy: the new database shares every relation
+  /// with this one (pointer copies only); either side deep-copies a
+  /// relation the moment it mutates it. This is the snapshot-store
+  /// write path — cloning a multi-gigabyte generation costs one map of
+  /// pointers, not a tuple copy.
+  Database CloneShared() const;
+
   /// True if both databases contain exactly the same facts (index and
   /// insertion-order insensitive).
   bool SameFactsAs(const Database& other) const;
@@ -56,7 +75,12 @@ class Database {
   std::string ToString() const;
 
  private:
-  std::map<PredicateId, Relation> relations_;
+  /// Deep-copies `*slot` if it is shared with another database, so the
+  /// caller can hand out a mutable reference. Bumps the
+  /// `storage.snapshot.relations_cloned` metric when it copies.
+  static void DetachIfShared(std::shared_ptr<Relation>* slot);
+
+  std::map<PredicateId, std::shared_ptr<Relation>> relations_;
 };
 
 }  // namespace semopt

@@ -1,6 +1,7 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "storage/column_view.h"
@@ -75,6 +76,7 @@ Relation& Relation::operator=(const Relation& other) {
   CopyIndexesFrom(other);
   if (index_mu_ == nullptr) index_mu_ = std::make_unique<std::mutex>();
   columns_.reset();
+  stats_.reset();
   return *this;
 }
 
@@ -83,7 +85,8 @@ Relation::Relation(Relation&& other) noexcept
       store_(std::move(other.store_)),
       index_head_(other.index_head_.load(std::memory_order_acquire)),
       index_mu_(std::move(other.index_mu_)),
-      columns_(std::move(other.columns_)) {
+      columns_(std::move(other.columns_)),
+      stats_(std::move(other.stats_)) {
   other.index_head_.store(nullptr, std::memory_order_relaxed);
 }
 
@@ -97,6 +100,7 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   other.index_head_.store(nullptr, std::memory_order_relaxed);
   index_mu_ = std::move(other.index_mu_);
   columns_ = std::move(other.columns_);
+  stats_ = std::move(other.stats_);
   return *this;
 }
 
@@ -112,6 +116,7 @@ bool Relation::Insert(RowRef row, size_t hash) {
   // can be dropped without the lock. The null check keeps the common
   // bulk-insert case (cache already gone) a single branch.
   if (columns_ != nullptr) columns_.reset();
+  if (stats_ != nullptr) stats_.reset();
   for (IndexNode* n = index_head_.load(std::memory_order_acquire);
        n != nullptr; n = n->next) {
     IndexInsert(n->index, id);
@@ -282,6 +287,55 @@ std::shared_ptr<const ColumnView> Relation::EnsureColumns() const {
   return columns_;
 }
 
+std::shared_ptr<const RelationStats> Relation::EnsureStats() const {
+  std::lock_guard<std::mutex> lock(*index_mu_);
+  if (stats_ != nullptr && stats_->rows == store_.size()) return stats_;
+
+  // Linear-counting sketch: one bitmap of kSketchBits per column; a
+  // value sets the bit its hash lands on, and the distinct count is
+  // estimated from the fraction of bits still clear. Exact while
+  // distinct << kSketchBits; saturates to the row count beyond that
+  // (where "huge" is all the cost model needs to know).
+  constexpr size_t kSketchBits = 4096;
+  constexpr size_t kWords = kSketchBits / 64;
+  const uint32_t width = arity();
+  const size_t n = store_.size();
+  auto stats = std::make_shared<RelationStats>();
+  stats->rows = n;
+  stats->distinct.assign(width, 0);
+  if (n > 0 && width > 0) {
+    std::vector<uint64_t> bitmaps(static_cast<size_t>(width) * kWords, 0);
+    for (size_t r = 0; r < n; ++r) {
+      const Value* vals = store_.row_data(static_cast<RowId>(r));
+      for (uint32_t c = 0; c < width; ++c) {
+        const size_t h = HashValues(&vals[c], 1) % kSketchBits;
+        bitmaps[c * kWords + h / 64] |= uint64_t{1} << (h % 64);
+      }
+    }
+    for (uint32_t c = 0; c < width; ++c) {
+      size_t set_bits = 0;
+      for (size_t w = 0; w < kWords; ++w) {
+        set_bits += static_cast<size_t>(
+            __builtin_popcountll(bitmaps[c * kWords + w]));
+      }
+      const size_t zero = kSketchBits - set_bits;
+      double estimate;
+      if (zero == 0) {
+        estimate = static_cast<double>(n);
+      } else {
+        estimate = static_cast<double>(kSketchBits) *
+                   std::log(static_cast<double>(kSketchBits) /
+                            static_cast<double>(zero));
+      }
+      const double clamped =
+          std::min(static_cast<double>(n), std::max(1.0, estimate));
+      stats->distinct[c] = static_cast<size_t>(clamped + 0.5);
+    }
+  }
+  stats_ = std::move(stats);
+  return stats_;
+}
+
 size_t Relation::index_count() const {
   size_t count = 0;
   for (const IndexNode* n = index_head_.load(std::memory_order_acquire);
@@ -434,6 +488,7 @@ void Relation::Clear() {
   // so the cache is dropped eagerly rather than trusting the row-count
   // check in EnsureColumns.
   columns_.reset();
+  stats_.reset();
   for (IndexNode* n = index_head_.load(std::memory_order_acquire);
        n != nullptr; n = n->next) {
     std::fill(n->index.slots.begin(), n->index.slots.end(), kEmptySlot);

@@ -18,6 +18,19 @@ namespace semopt {
 
 class ColumnView;
 
+/// Cheap per-relation statistics for cost-based planning: the row count
+/// the figures were computed at and a per-column distinct-count
+/// estimate. Estimates come from a linear-counting bitmap sketch (one
+/// hash per value, fixed memory per column), so building them is one
+/// streaming pass over the rows — the same order of work as a columnar
+/// snapshot — and they are exact for small relations and within a few
+/// percent until the distinct count approaches the sketch capacity.
+struct RelationStats {
+  size_t rows = 0;
+  /// distinct[c] in [1, rows] for a non-empty relation (empty => 0).
+  std::vector<size_t> distinct;
+};
+
 /// A set-semantics relation: a deduplicated collection of fixed-arity
 /// tuples in insertion order, with on-demand hash indexes over column
 /// subsets for join probing.
@@ -146,6 +159,14 @@ class Relation {
   /// per-relation mutex; the loser reuses the winner's view).
   std::shared_ptr<const ColumnView> EnsureColumns() const;
 
+  /// Returns per-column distinct-count estimates for the current rows,
+  /// building and caching them on first use — the same lazy/invalidate
+  /// discipline as EnsureColumns (dropped on mutation, rebuilt when the
+  /// row count moved). The cost planner consults this at plan time
+  /// only, i.e. on plan-cache misses, so steady-state evaluation never
+  /// pays for it. Same concurrency contract as EnsureColumns.
+  std::shared_ptr<const RelationStats> EnsureStats() const;
+
   /// True when a hash index over exactly `columns` is materialized.
   /// The plan cache uses this on a hit to skip re-running EnsureIndex
   /// over every probed relation (and to rebuild only genuinely missing
@@ -251,6 +272,9 @@ class Relation {
   /// for concurrent readers; reset without the lock during (exclusive)
   /// mutation. Never copied between relations — each rebuilds lazily.
   mutable std::shared_ptr<const ColumnView> columns_;
+  /// Cached planning statistics (EnsureStats). Same guarding and
+  /// invalidation discipline as `columns_`.
+  mutable std::shared_ptr<const RelationStats> stats_;
 };
 
 }  // namespace semopt

@@ -57,7 +57,12 @@ Result<uint64_t> SnapshotStore::Mutate(
     std::lock_guard<std::mutex> lock(mu_);
     base = head_;
   }
-  auto next = std::make_shared<Database>(base->Clone());
+  // Copy-on-write at relation granularity: the new generation starts
+  // as pure pointer shares, and `fn` deep-copies (and counts, via
+  // storage.snapshot.relations_cloned) only the relations it actually
+  // writes. Untouched relations stay pointer-identical across
+  // generations, indexes included.
+  auto next = std::make_shared<Database>(base->CloneShared());
   SEMOPT_RETURN_IF_ERROR(fn(next.get()));
 
   uint64_t published_epoch = 0;

@@ -585,6 +585,39 @@ TEST(PlanCacheTest, PartitionRegimeIsPartOfTheKey) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(PlanCacheTest, PlannerRegimeIsPartOfTheKey) {
+  // A session that flips `:planner` (or two sessions with different
+  // planners sharing one cache) must never be served the other
+  // regime's join order: greedy and cost plans for the same
+  // (rule, delta, bands) are distinct entries that coexist.
+  Database db = MustParseFacts("e(a, b). e(b, c). t(a, b).");
+  DbSource source(&db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("t(X, Z) :- e(X, Y), t(Y, Z)"));
+  ASSERT_TRUE(exec.ok());
+
+  PlanCache cache;
+  EvalStats stats;
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Same rule, same delta, same bands — the cost regime still misses.
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats, /*size_aware=*/true,
+                        /*skip_delta_index=*/false, /*partitioned=*/false,
+                        PlannerMode::kCost).ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Each regime keeps hitting its own entry.
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats).ok());
+  ASSERT_TRUE(cache.Get(*exec, source, -1, &stats, true, false, false,
+                        PlannerMode::kCost).ok());
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST(PlanCacheTest, SessionCacheHitsEveryRoundOnRepeatedEvaluation) {
   // A caller-owned cache passed through EvalOptions::plan_cache spans
   // evaluations: the second run of the same program re-traverses the

@@ -394,17 +394,21 @@ TEST(ProfileGoldenTest, FixedQueryRendersStableShape) {
     s#/r#: # us, # -> #, derived #
     s#/r#: # us, # -> #, derived #
     s#/r#: # us, # -> #, derived #
+planner: greedy
 stratum # (recursive, # rules):
 r#: t(X, Y) :- e(X, Y).
   #. e(X, Y)  [scan]
+  planner: greedy
   actual: # application(s), # derived, # duplicate(s), # us (#.#% of eval)
 r#: t(X, Z) :- t(X, Y), e(Y, Z).
   #. t(X, Y)  [scan]
   #. e(Y, Z)  [probe cols #]
+  planner: greedy
   actual: # application(s), # derived, # duplicate(s), # us (#.#% of eval)
 stratum # (non-recursive, # rule):
 query$: query$answer(Y) :- t(#, Y).
   #. t(#, Y)  [probe cols #]
+  planner: greedy
   actual: # application(s), # derived, # duplicate(s), # us (#.#% of eval)
 rounds (stratum/round: time, delta in -> out, derived):
   s#/r#: # us, # -> #, derived #

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "eval/query.h"
+#include "obs/metrics.h"
 #include "storage/snapshot.h"
 
 #include "gtest/gtest.h"
@@ -138,6 +139,49 @@ TEST(SnapshotStoreTest, MoveTransfersThePin) {
   EXPECT_EQ(store.live_generations(), 2u);
   outer = DatabaseSnapshot();
   EXPECT_EQ(store.live_generations(), 1u);
+}
+
+TEST(SnapshotStoreTest, MutateClonesOnlyTouchedRelations) {
+  // Copy-on-write at relation granularity: publishing a new generation
+  // deep-copies only the relations the write touched; everything else
+  // is the same Relation object shared by pointer across generations.
+  SnapshotStore store(
+      MustParseFacts("e(a, b). big(x, y). big(y, z)."));
+  const PredicateId e_pred{InternSymbol("e"), 2};
+  const PredicateId big_pred{InternSymbol("big"), 2};
+  DatabaseSnapshot first = store.Pin();
+  const Relation* e_before = first.db().Find(e_pred);
+  const Relation* big_before = first.db().Find(big_pred);
+  ASSERT_NE(e_before, nullptr);
+  ASSERT_NE(big_before, nullptr);
+
+  obs::Counter& cloned = obs::MetricsRegistry::Global().GetCounter(
+      "storage.snapshot.relations_cloned");
+  const uint64_t cloned_before = cloned.value();
+  ASSERT_TRUE(store.Mutate([](Database* db) {
+    return AddFactTo(db, "e", 1, 2);
+  }).ok());
+
+  DatabaseSnapshot second = store.Pin();
+  // The touched relation was detached (one clone, counted) …
+  EXPECT_NE(second.db().Find(e_pred), e_before);
+  EXPECT_EQ(cloned.value(), cloned_before + 1);
+  // … the untouched one is pointer-identical across generations.
+  EXPECT_EQ(second.db().Find(big_pred), big_before);
+  // The pinned base generation is unaffected by the write.
+  EXPECT_EQ(RelationSize(first.db(), "e", 2), 1u);
+  EXPECT_EQ(RelationSize(second.db(), "e", 2), 2u);
+
+  // A later write that only creates a new relation clones nothing:
+  // both survivors stay shared into the third generation.
+  const Relation* e_second = second.db().Find(e_pred);
+  ASSERT_TRUE(store.Mutate([](Database* db) {
+    return AddFactTo(db, "fresh", 7, 7);
+  }).ok());
+  DatabaseSnapshot third = store.Pin();
+  EXPECT_EQ(third.db().Find(e_pred), e_second);
+  EXPECT_EQ(third.db().Find(big_pred), big_before);
+  EXPECT_EQ(cloned.value(), cloned_before + 1);
 }
 
 TEST(SnapshotStoreTest, UnmanagedSnapshotWrapsACallerDatabase) {
