@@ -1,0 +1,356 @@
+// E14: sustained update-stream maintenance. Streams mixed add/delete
+// batches into a materialized IDB from 1/4/16 concurrent sessions —
+// writes serialized exactly like the server's writer path, each batch
+// followed by an epoch-style snapshot publish and a point query against
+// the pinned snapshot — and reports fact-level updates/sec plus batch
+// and query latency percentiles. Two legs per configuration:
+//   - BM_Updates_Incremental: counting/DRed maintenance through
+//     IncrementalEvaluator::ApplyUpdates — cost O(|Δ| affected), the
+//     tentpole claim of DESIGN §16.
+//   - BM_Updates_Recompute: the pre-IVM behaviour — every batch mutates
+//     the EDB and re-runs the full fixpoint.
+// The acceptance bar (EXPERIMENTS.md E14): incremental ≥10× recompute
+// at the 1M-fact configuration, and `steady_plan_misses` = 0 — after
+// warm-up every maintenance join replays a memoized plan.
+//
+// The base EDB takes the columnar generator→loader path: the workload
+// generator emits a v1 binary snapshot through ColumnarSnapshotWriter
+// (never materializing a row-wise Database) and the bench bulk-loads
+// it, so the million-fact base costs one write + one mmap-free read.
+//
+// Churn model: each session appends fresh random edges and deletes the
+// edges it added two batches earlier, so after warm-up every deletion
+// hits a present tuple and the edge count stays in steady state —
+// deletions genuinely sever derivations instead of no-oping.
+//
+// Artifact: bench/BENCH_e14.json (see EXPERIMENTS.md).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/incremental.h"
+#include "io/binary_io.h"
+#include "server/materialized_view.h"
+#include "storage/database.h"
+#include "util/hash_util.h"
+#include "workload/update_stream.h"
+
+namespace semopt {
+namespace {
+
+constexpr int kAddsPerBatch = 32;
+constexpr int kDelsPerBatch = 32;
+// Warm-up primes the plan cache AND fills the churn pipeline: from the
+// third batch on, every deletion hits an edge added two batches ago,
+// so the last warm-up batches already have the steady-state shape.
+constexpr int kWarmupBatches = 16;
+
+/// `facts` is the total base EDB size. The graph is kept subcritical —
+/// twice as many nodes as edges (mean out-degree 0.5) — so reachable
+/// cones stay small and bounded: deleting an edge severs a handful of
+/// tuples instead of cascading through a giant component. That is the
+/// regime the O(|Δ|) claim is about; the supercritical regime where
+/// every deletion invalidates most of the recursion is measured by the
+/// differential tests, not this bench.
+UpdateStreamParams ParamsFor(int64_t facts) {
+  UpdateStreamParams params;
+  params.num_edges = static_cast<size_t>(facts) / 3;
+  params.num_nodes = 2 * params.num_edges;
+  params.num_sources = 4;
+  params.seed = 7;
+  return params;
+}
+
+/// Generator → binary snapshot → bulk loader (the columnar path).
+Database LoadBaseEdb(::benchmark::State& state,
+                     const UpdateStreamParams& params) {
+  const std::string path = "/tmp/semopt_bench_e14_" +
+                           std::to_string(::getpid()) + ".bin";
+  Database base;
+  Result<size_t> written = WriteUpdateStreamSnapshot(path, params);
+  if (!written.ok()) {
+    state.SkipWithError(written.status().ToString().c_str());
+    return base;
+  }
+  Result<BulkLoadStats> loaded = LoadBinaryFile(path, &base);
+  ::unlink(path.c_str());
+  if (!loaded.ok()) {
+    state.SkipWithError(loaded.status().ToString().c_str());
+  }
+  return base;
+}
+
+/// One session's update stream: fresh adds now, delete them two
+/// batches later. Deterministic per (seed, session).
+class SessionChurn {
+ public:
+  SessionChurn(const UpdateStreamParams& params, int session)
+      : params_(params), rng_(params.seed * 0x51ed2701ULL + session) {}
+
+  void NextBatch(std::vector<Atom>* adds, std::vector<Atom>* dels) {
+    adds->clear();
+    dels->clear();
+    std::vector<Atom> fresh;
+    for (int i = 0; i < kAddsPerBatch; ++i) {
+      fresh.push_back(UpdateStreamEdge(params_, rng_));
+    }
+    *adds = fresh;
+    if (pending_.size() >= 2) {
+      *dels = pending_.front();
+      pending_.pop_front();
+    } else {
+      for (int i = 0; i < kDelsPerBatch; ++i) {
+        dels->push_back(UpdateStreamEdge(params_, rng_));
+      }
+    }
+    pending_.push_back(std::move(fresh));
+  }
+
+ private:
+  UpdateStreamParams params_;
+  SplitMix64 rng_;
+  std::deque<std::vector<Atom>> pending_;
+};
+
+/// Shared write/publish state: one writer lock (the server's
+/// writer_mu_ discipline) and the latest published snapshot, whose
+/// relations are shared copy-on-write with the maintained IDB.
+struct Published {
+  std::mutex writer_mu;
+  std::mutex snap_mu;
+  std::shared_ptr<const Database> snapshot;
+
+  void Publish(const Database& idb) {
+    auto snap = std::make_shared<Database>();
+    snap->MergeSharedFrom(idb);
+    std::lock_guard<std::mutex> lock(snap_mu);
+    snapshot = std::move(snap);
+  }
+  std::shared_ptr<const Database> Pin() {
+    std::lock_guard<std::mutex> lock(snap_mu);
+    return snapshot;
+  }
+};
+
+/// The interleaved query: pin the current snapshot and probe the
+/// recursive predicate, like a reader session between two writes.
+uint64_t QueryOnce(Published& pub, const PredicateId& reach,
+                   bench::LatencyRecorder* lat) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const Database> snap = pub.Pin();
+  const Relation* rel = snap->Find(reach);
+  uint64_t rows = rel != nullptr ? rel->size() : 0;
+  lat->Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return rows;
+}
+
+void RunUpdateBench(::benchmark::State& state, bool incremental) {
+  const UpdateStreamParams params = ParamsFor(state.range(0));
+  const int sessions = static_cast<int>(state.range(1));
+  const int batches_per_session = incremental ? 20 : 5;
+
+  Result<Program> program = UpdateStreamProgram();
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  Database base = LoadBaseEdb(state, params);
+  if (base.TotalTuples() == 0) return;
+  const size_t base_facts = base.TotalTuples();
+
+  EvalOptions options;
+  const PredicateId reach{InternSymbol("reach"), 1};
+
+  // Initial materialization (untimed) — both legs start from the same
+  // fixpoint over the bulk-loaded base.
+  std::unique_ptr<IncrementalEvaluator> inc;
+  Database edb;  // recompute leg's mutable base
+  Database idb;
+  if (incremental) {
+    Result<IncrementalEvaluator> created =
+        IncrementalEvaluator::Create(*program, std::move(base), options);
+    if (!created.ok()) {
+      state.SkipWithError(created.status().ToString().c_str());
+      return;
+    }
+    inc = std::make_unique<IncrementalEvaluator>(std::move(*created));
+  } else {
+    edb = std::move(base);
+    Result<Database> full = Evaluate(*program, edb, options, nullptr);
+    if (!full.ok()) {
+      state.SkipWithError(full.status().ToString().c_str());
+      return;
+    }
+    idb = std::move(*full);
+  }
+
+  bench::LatencyRecorder batch_lat, query_lat;
+  EvalStats steady_stats;
+  IvmStats steady_ivm;
+  size_t fact_updates = 0;
+  std::atomic<uint64_t> query_rows{0};
+
+  // Churn generators persist across warm-up and measured phases so the
+  // delete-what-you-added pipeline (and the plan cache it shapes) is
+  // already in steady state when the clock starts.
+  std::vector<SessionChurn> churns;
+  for (int s = 0; s < sessions; ++s) churns.emplace_back(params, s);
+
+  for (auto _ : state) {
+    Published pub;
+    pub.Publish(incremental ? inc->idb() : idb);
+
+    // One session body; `measured` selects warm-up vs timed counters.
+    auto run_sessions = [&](int batches, bool measured) {
+      std::atomic<bool> failed{false};
+      std::vector<std::thread> threads;
+      for (int s = 0; s < sessions; ++s) {
+        threads.emplace_back([&, s] {
+          SessionChurn& churn = churns[s];
+          std::vector<Atom> adds, dels;
+          for (int b = 0; b < batches && !failed.load(); ++b) {
+            churn.NextBatch(&adds, &dels);
+            const auto t0 = std::chrono::steady_clock::now();
+            {
+              std::lock_guard<std::mutex> lock(pub.writer_mu);
+              if (incremental) {
+                Result<IvmStats> applied = inc->ApplyUpdates(
+                    adds, dels, measured ? &steady_stats : nullptr);
+                if (!applied.ok()) {
+                  failed.store(true);
+                  break;
+                }
+                if (measured) steady_ivm.Add(*applied);
+                pub.Publish(inc->idb());
+              } else {
+                if (!ApplyEdbBatch(&edb, adds, dels).ok()) {
+                  failed.store(true);
+                  break;
+                }
+                Result<Database> full =
+                    Evaluate(*program, edb, options, nullptr);
+                if (!full.ok()) {
+                  failed.store(true);
+                  break;
+                }
+                idb = std::move(*full);
+                pub.Publish(idb);
+              }
+            }
+            if (measured) {
+              batch_lat.Observe(static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count()));
+            }
+            query_rows.fetch_add(QueryOnce(pub, reach, &query_lat),
+                                 std::memory_order_relaxed);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      return !failed.load();
+    };
+
+    // Warm-up: prime plan caches and fill the churn pipeline so every
+    // measured deletion hits a present tuple.
+    if (!run_sessions(kWarmupBatches, /*measured=*/false)) {
+      state.SkipWithError("warm-up batch failed");
+      break;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    bool ok = run_sessions(batches_per_session, /*measured=*/true);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    if (!ok) {
+      state.SkipWithError("update batch failed");
+      break;
+    }
+    state.SetIterationTime(seconds);
+    fact_updates += static_cast<size_t>(sessions) * batches_per_session *
+                    (kAddsPerBatch + kDelsPerBatch);
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(fact_updates));
+  state.counters["sessions"] = sessions;
+  state.counters["base_facts"] = static_cast<double>(base_facts);
+  state.counters["batch_p50_us"] =
+      static_cast<double>(batch_lat.PercentileUs(0.50));
+  state.counters["batch_p99_us"] =
+      static_cast<double>(batch_lat.PercentileUs(0.99));
+  state.counters["query_p50_us"] =
+      static_cast<double>(query_lat.PercentileUs(0.50));
+  state.counters["query_p99_us"] =
+      static_cast<double>(query_lat.PercentileUs(0.99));
+  if (incremental) {
+    // The acceptance gate: after warm-up, maintenance joins replay
+    // memoized plans — zero planning in steady state.
+    state.counters["steady_plan_misses"] =
+        static_cast<double>(steady_stats.plan_cache_misses);
+    state.counters["maint_us_per_batch"] =
+        steady_ivm.batches == 0
+            ? 0.0
+            : static_cast<double>(steady_ivm.maintenance_us) /
+                  static_cast<double>(steady_ivm.batches);
+    state.counters["overdeleted"] =
+        static_cast<double>(steady_ivm.overdeleted);
+    state.counters["rederived"] = static_cast<double>(steady_ivm.rederived);
+    state.counters["recounted"] = static_cast<double>(steady_ivm.recounted);
+    state.counters["net_deleted"] =
+        static_cast<double>(steady_ivm.net_deleted);
+    state.counters["net_inserted"] =
+        static_cast<double>(steady_ivm.net_inserted);
+  }
+  (void)query_rows;
+}
+
+void BM_Updates_Incremental(::benchmark::State& state) {
+  RunUpdateBench(state, /*incremental=*/true);
+}
+
+void BM_Updates_Recompute(::benchmark::State& state) {
+  RunUpdateBench(state, /*incremental=*/false);
+}
+
+// Args: {total base facts, sessions}. The 1M-fact rows are the
+// acceptance configuration; the recompute leg runs fewer batches per
+// session (5 vs 20) because each batch pays a full fixpoint, and skips
+// the 1M multi-session rows — serialized full recomputes at that scale
+// measure nothing new.
+BENCHMARK(BM_Updates_Incremental)
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({100000, 16})
+    ->Args({1000000, 1})
+    ->Args({1000000, 4})
+    ->Args({1000000, 16})
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_Updates_Recompute)
+    ->Args({100000, 1})
+    ->Args({100000, 4})
+    ->Args({100000, 16})
+    ->Args({1000000, 1})
+    ->UseManualTime()
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace semopt
+
+SEMOPT_BENCH_MAIN();

@@ -12,15 +12,27 @@ namespace {
 // band value no relation size can produce.
 constexpr uint8_t kNoBand = 0xFF;
 
-uint8_t Log2Band(size_t size) {
+// With coarse banding, every size below this shares one band. Join
+// order only matters once a relation is big enough to dominate a
+// join's cost; distinguishing a 30-row input from a 700-row one
+// re-plans for regimes whose worst mis-ordering is microseconds.
+// Collapsing them keeps workloads whose small inputs jitter —
+// incremental-maintenance deltas above all — on one steady-state plan
+// key instead of minting a key per power-of-two the delta lands in.
+constexpr size_t kSmallBandCap = 1024;
+
+uint8_t Log2Band(size_t size, bool coarse) {
   // 0 → band 0, [2^k, 2^(k+1)) → band k+1; 64 bands cover any size_t.
+  // Coarse: [0, kSmallBandCap) collapses to band 0.
+  if (coarse && size < kSmallBandCap) return 0;
   return static_cast<uint8_t>(std::bit_width(size));
 }
 }  // namespace
 
 std::vector<uint8_t> PlanCache::Signature(const RuleExecutor& exec,
                                           const RelationSource& source,
-                                          int delta_literal) {
+                                          int delta_literal,
+                                          bool coarse_bands) {
   const std::vector<Literal>& body = exec.rule().body();
   std::vector<uint8_t> bands;
   bands.reserve(body.size());
@@ -35,7 +47,7 @@ std::vector<uint8_t> PlanCache::Signature(const RuleExecutor& exec,
       rel = source.Delta(lit.atom().pred_id());
     }
     if (rel == nullptr) rel = source.Full(lit.atom().pred_id());
-    bands.push_back(Log2Band(rel == nullptr ? 0 : rel->size()));
+    bands.push_back(Log2Band(rel == nullptr ? 0 : rel->size(), coarse_bands));
   }
   return bands;
 }
@@ -55,13 +67,14 @@ void PlanCache::EvictToCap() {
 Result<RuleExecutor::PreparedPlan> PlanCache::Get(
     const RuleExecutor& exec, const RelationSource& source, int delta_literal,
     EvalStats* stats, bool size_aware, bool skip_delta_index,
-    bool partitioned, PlannerMode planner) {
+    bool partitioned, PlannerMode planner, bool coarse_bands) {
   Key key{exec.rule().ToString(), delta_literal,
           static_cast<uint8_t>(
               (size_aware ? 1 : 0) | (skip_delta_index ? 2 : 0) |
               (partitioned ? 4 : 0) |
-              (planner == PlannerMode::kCost ? 8 : 0)),
-          Signature(exec, source, delta_literal)};
+              (planner == PlannerMode::kCost ? 8 : 0) |
+              (coarse_bands ? 16 : 0)),
+          Signature(exec, source, delta_literal, coarse_bands)};
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;

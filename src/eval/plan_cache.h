@@ -28,12 +28,17 @@ class PlanCacheInterface {
   /// double-buffer swap). Bumps `stats->plan_cache_{hits,misses}` when
   /// `stats` is non-null. `planner` is part of the memo key (a
   /// dedicated flag bit), so greedy and cost sessions sharing one cache
-  /// never serve each other's orders.
+  /// never serve each other's orders. `coarse_bands` collapses every
+  /// size below 1024 into one band (its own flag bit): incremental
+  /// maintenance opts in so its jittering small deltas reuse one
+  /// steady-state plan, while fixpoint evaluation keeps fine bands and
+  /// re-plans as its deltas grow.
   virtual Result<RuleExecutor::PreparedPlan> Get(
       const RuleExecutor& exec, const RelationSource& source,
       int delta_literal, EvalStats* stats, bool size_aware = true,
       bool skip_delta_index = false, bool partitioned = false,
-      PlannerMode planner = PlannerMode::kGreedy) = 0;
+      PlannerMode planner = PlannerMode::kGreedy,
+      bool coarse_bands = false) = 0;
 
   /// Drops every cached plan.
   virtual void Clear() = 0;
@@ -52,7 +57,12 @@ class PlanCacheInterface {
 /// rounds with stable sizes hit, a growth round that crosses a band
 /// plans once for the new regime, and a band signature seen before —
 /// later in the same fixpoint or in a *repeated evaluation* — hits
-/// without planning. A cache held across Evaluate calls (see
+/// without planning. With `coarse_bands` (incremental maintenance's
+/// regime) sizes below a small cap (1024) all share one band:
+/// mis-ordering joins of only-small inputs costs microseconds, and the
+/// coarse band keeps workloads whose small inputs jitter batch to
+/// batch at a 100% steady-state hit rate instead of minting a key per
+/// power of two the delta lands in. A cache held across Evaluate calls (see
 /// EvalOptions::plan_cache) therefore reaches steady state after one
 /// evaluation: re-running the same query re-traverses the same band
 /// trajectory and every round hits.
@@ -89,7 +99,8 @@ class PlanCache : public PlanCacheInterface {
       const RuleExecutor& exec, const RelationSource& source,
       int delta_literal, EvalStats* stats, bool size_aware = true,
       bool skip_delta_index = false, bool partitioned = false,
-      PlannerMode planner = PlannerMode::kGreedy) override;
+      PlannerMode planner = PlannerMode::kGreedy,
+      bool coarse_bands = false) override;
 
   /// Drops every cached plan (the eviction counter keeps its total).
   void Clear() override {
@@ -111,7 +122,8 @@ class PlanCache : public PlanCacheInterface {
     int delta_literal;
     /// Planner inputs beyond cardinalities: bit 0 = size_aware,
     /// bit 1 = skip_delta_index, bit 2 = partitioned (morsel regime),
-    /// bit 3 = cost planner (PlannerMode::kCost ordered the joins).
+    /// bit 3 = cost planner (PlannerMode::kCost ordered the joins),
+    /// bit 4 = coarse bands (sub-1024 sizes collapsed into one band).
     uint8_t flags;
     /// ⌊log2⌋ band per body literal (relational literals delta-aware;
     /// non-relational hold a fixed sentinel).
@@ -128,7 +140,8 @@ class PlanCache : public PlanCacheInterface {
   /// Band signature of `exec`'s body against the current `source`.
   static std::vector<uint8_t> Signature(const RuleExecutor& exec,
                                         const RelationSource& source,
-                                        int delta_literal);
+                                        int delta_literal,
+                                        bool coarse_bands);
 
   /// Evicts least-recently-used entries until under the cap.
   void EvictToCap();

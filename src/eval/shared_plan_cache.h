@@ -39,7 +39,8 @@ class SharedPlanCache : public PlanCacheInterface {
       const RuleExecutor& exec, const RelationSource& source,
       int delta_literal, EvalStats* stats, bool size_aware = true,
       bool skip_delta_index = false, bool partitioned = false,
-      PlannerMode planner = PlannerMode::kGreedy) override;
+      PlannerMode planner = PlannerMode::kGreedy,
+      bool coarse_bands = false) override;
 
   void Clear() override;
 

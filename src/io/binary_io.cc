@@ -1,6 +1,7 @@
 #include "io/binary_io.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -216,6 +217,134 @@ Result<size_t> SaveBinaryFile(const std::string& path, const Database& db) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::NotFound(StrCat("cannot open ", path));
   SEMOPT_ASSIGN_OR_RETURN(size_t bytes, SaveBinary(out, db));
+  out.flush();
+  if (!out) return Status::Internal(StrCat("write to ", path, " failed"));
+  return bytes;
+}
+
+void ColumnarSnapshotWriter::BeginRelation(std::string_view pred,
+                                           uint32_t arity) {
+  RelationBlock block;
+  block.name = InternSymbol(pred);
+  block.arity = arity;
+  block.columns.resize(arity);
+  blocks_.push_back(std::move(block));
+}
+
+void ColumnarSnapshotWriter::Append(const Term* vals) {
+  assert(!blocks_.empty() && "BeginRelation before Append");
+  RelationBlock& block = blocks_.back();
+  for (uint32_t c = 0; c < block.arity; ++c) {
+    const Term& v = vals[c];
+    assert(v.IsConstant() && "snapshot rows must be ground");
+    Column& col = block.columns[c];
+    col.kinds.push_back(static_cast<uint8_t>(v.kind()));
+    col.payload.push_back(v.kind() == TermKind::kIntConst
+                              ? static_cast<uint64_t>(v.int_value())
+                              : static_cast<uint64_t>(v.symbol()));
+  }
+  ++block.rows;
+}
+
+void ColumnarSnapshotWriter::Append(std::initializer_list<Term> vals) {
+  assert(!blocks_.empty() &&
+         vals.size() == blocks_.back().arity && "row arity mismatch");
+  Append(vals.begin());
+}
+
+size_t ColumnarSnapshotWriter::rows() const {
+  size_t total = 0;
+  for (const RelationBlock& block : blocks_) total += block.rows;
+  return total;
+}
+
+Result<size_t> ColumnarSnapshotWriter::Write(std::ostream& out) const {
+  // Pass 1: the file-local symbol table (predicate names first, then
+  // symbolic payloads in column order — the same first-use ordering
+  // SaveBinary derives from its relation walk).
+  SymbolTableBuilder symbols;
+  for (const RelationBlock& block : blocks_) {
+    symbols.Local(block.name);
+    for (const Column& col : block.columns) {
+      for (size_t r = 0; r < col.kinds.size(); ++r) {
+        if (col.kinds[r] == static_cast<uint8_t>(TermKind::kSymConst)) {
+          symbols.Local(static_cast<SymbolId>(col.payload[r]));
+        }
+      }
+    }
+  }
+
+  const std::ostream::pos_type start = out.tellp();
+  out.write(kMagic, sizeof(kMagic));
+  PutU32(out, kVersion);
+  PutU32(out, kEndianMarker);
+  PutU32(out, 0);  // flags
+  PutU32(out, 0);  // reserved
+  PutU64(out, blocks_.size());
+  PutU64(out, symbols.order.size());
+  for (SymbolId global : symbols.order) {
+    const std::string& s = SymbolName(global);
+    PutU32(out, static_cast<uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  std::vector<uint64_t> payloads;
+  for (const RelationBlock& block : blocks_) {
+    PutU32(out, symbols.Local(block.name));
+    PutU32(out, block.arity);
+    PutU64(out, block.rows);
+    for (const Column& col : block.columns) {
+      bool any_int = false;
+      bool any_sym = false;
+      for (uint8_t k : col.kinds) {
+        if (k == static_cast<uint8_t>(TermKind::kIntConst)) {
+          any_int = true;
+        } else {
+          any_sym = true;
+        }
+      }
+      uint8_t mode;
+      if (any_int && any_sym) {
+        mode = kModeMixed;
+      } else if (any_sym) {
+        mode = kModeAllSyms;
+      } else {
+        mode = kModeAllInts;  // empty columns default to ints
+      }
+      out.put(static_cast<char>(mode));
+      if (mode == kModeMixed) {
+        // The on-disk kind lane uses the mode encoding, not TermKind.
+        std::vector<uint8_t> lane(col.kinds.size());
+        for (size_t r = 0; r < col.kinds.size(); ++r) {
+          lane[r] = col.kinds[r] == static_cast<uint8_t>(TermKind::kIntConst)
+                        ? kModeAllInts
+                        : kModeAllSyms;
+        }
+        out.write(reinterpret_cast<const char*>(lane.data()),
+                  static_cast<std::streamsize>(lane.size()));
+      }
+      payloads.clear();
+      payloads.reserve(col.payload.size());
+      for (size_t r = 0; r < col.payload.size(); ++r) {
+        payloads.push_back(
+            col.kinds[r] == static_cast<uint8_t>(TermKind::kSymConst)
+                ? symbols.Local(static_cast<SymbolId>(col.payload[r]))
+                : col.payload[r]);
+      }
+      out.write(reinterpret_cast<const char*>(payloads.data()),
+                static_cast<std::streamsize>(payloads.size() * 8));
+    }
+  }
+
+  if (!out) return Status::Internal("binary snapshot write failed");
+  return static_cast<size_t>(out.tellp() - start);
+}
+
+Result<size_t> ColumnarSnapshotWriter::WriteFile(
+    const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound(StrCat("cannot open ", path));
+  SEMOPT_ASSIGN_OR_RETURN(size_t bytes, Write(out));
   out.flush();
   if (!out) return Status::Internal(StrCat("write to ", path, " failed"));
   return bytes;

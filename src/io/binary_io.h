@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "storage/database.h"
 #include "util/result.h"
@@ -56,6 +58,51 @@ struct BulkLoadStats {
 /// construction, so this indicates corruption) or on stream errors.
 Result<size_t> SaveBinary(std::ostream& out, const Database& db);
 Result<size_t> SaveBinaryFile(const std::string& path, const Database& db);
+
+/// Builds a v1 snapshot column block by column block, without ever
+/// materializing a Database: no tuple hashing, no dedup probing, no
+/// index construction — appended rows land directly in per-column
+/// payload/kind lanes, and Write emits the same byte format SaveBinary
+/// produces (LoadBinary cannot tell them apart). This is the
+/// generator→loader fast path: a workload generator streams its facts
+/// through this writer and the bulk loader's batched-hash ingest does
+/// the set-building once, at load time, instead of paying it twice.
+///
+/// Rows are taken as given — a generator emitting duplicates gets them
+/// deduped by the loader, not the writer.
+class ColumnarSnapshotWriter {
+ public:
+  /// Starts a new relation; subsequent Append calls add its rows.
+  /// Relations are written in Begin order. Beginning the same
+  /// predicate twice writes two blocks (the loader merges them).
+  void BeginRelation(std::string_view pred, uint32_t arity);
+
+  /// Appends one row — `arity` ground terms — to the current relation.
+  /// Requires a BeginRelation first and constant terms (asserted).
+  void Append(const Term* vals);
+  void Append(std::initializer_list<Term> vals);
+
+  /// Total rows appended across all relations.
+  size_t rows() const;
+
+  /// Emits the snapshot. The writer stays intact (Write is const) so a
+  /// snapshot can be written to several destinations.
+  Result<size_t> Write(std::ostream& out) const;
+  Result<size_t> WriteFile(const std::string& path) const;
+
+ private:
+  struct Column {
+    std::vector<uint64_t> payload;  // int64 bits or global SymbolId
+    std::vector<uint8_t> kinds;     // TermKind per row
+  };
+  struct RelationBlock {
+    SymbolId name;
+    uint32_t arity;
+    size_t rows = 0;
+    std::vector<Column> columns;
+  };
+  std::vector<RelationBlock> blocks_;
+};
 
 /// Loads a v1 snapshot from an in-memory image (the mmap fast path and
 /// the unit tests' entry point). Every read is bounds-checked: a

@@ -99,6 +99,66 @@ SessionCommandProcessor::SessionCommandProcessor(DatabaseHost* host)
   eval_options_.plan_cache = host_->plan_cache();
 }
 
+Result<IvmStats> DatabaseHost::ApplyUpdate(const std::vector<Atom>& adds,
+                                           const std::vector<Atom>& dels) {
+  IvmStats batch;
+  Result<uint64_t> written = ApplyWrite([&](Database* db) -> Status {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    if (view_ != nullptr) {
+      SEMOPT_ASSIGN_OR_RETURN(batch, view_->Apply(adds, dels, db));
+      return Status::Ok();
+    }
+    const size_t before = db->TotalTuples();
+    SEMOPT_RETURN_IF_ERROR(ApplyEdbBatch(db, adds, dels));
+    const size_t after = db->TotalTuples();
+    batch.batches = 1;
+    batch.edb_inserted = after > before ? after - before : 0;
+    batch.edb_deleted = before > after ? before - after : 0;
+    return Status::Ok();
+  });
+  SEMOPT_RETURN_IF_ERROR(written.status());
+  return batch;
+}
+
+Result<size_t> DatabaseHost::Materialize(const Program& program,
+                                         const EvalOptions& options,
+                                         MaterializedView::Mode mode) {
+  size_t tuples = 0;
+  // Build and publish inside one write: the initial fixpoint runs
+  // against the write clone, so no update batch can slip between the
+  // base snapshot and the published IDB.
+  Result<uint64_t> written = ApplyWrite([&](Database* db) -> Status {
+    SEMOPT_ASSIGN_OR_RETURN(std::unique_ptr<MaterializedView> view,
+                            MaterializedView::Create(program, *db, options,
+                                                     mode));
+    view->PublishInto(db);
+    tuples = view->idb_tuples();
+    std::lock_guard<std::mutex> lock(view_mu_);
+    view_ = std::move(view);
+    return Status::Ok();
+  });
+  SEMOPT_RETURN_IF_ERROR(written.status());
+  return tuples;
+}
+
+bool DatabaseHost::Dematerialize() {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  if (view_ == nullptr) return false;
+  view_.reset();
+  return true;
+}
+
+std::optional<MaterializedView::Mode> DatabaseHost::view_mode() {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  if (view_ == nullptr) return std::nullopt;
+  return view_->mode();
+}
+
+IvmStats DatabaseHost::view_totals() {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return view_ == nullptr ? IvmStats() : view_->totals();
+}
+
 obs::QueryLog* SessionCommandProcessor::EffectiveQueryLog() {
   if (own_query_log_ != nullptr) return own_query_log_.get();
   return host_->query_log();
@@ -119,7 +179,38 @@ std::string SessionCommandProcessor::Execute(std::string_view raw) {
   if (line.empty() || line.front() == '%') return "";
   if (line.front() == '.' || line.front() == ':') return HandleCommand(line);
   if (StartsWith(line, "?-")) return HandleQuery(line.substr(2));
+  if (line.front() == '~') return HandleRetraction(line.substr(1));
   return HandleStatements(line);
+}
+
+std::string SessionCommandProcessor::HandleRetraction(std::string_view text) {
+  std::string source{Trim(text)};
+  if (!source.empty() && source.back() != '.') source += '.';
+  Result<Program> parsed = ParseProgram(source);
+  if (!parsed.ok()) return parsed.status().ToString();
+  std::vector<Atom> facts;
+  for (const Rule& rule : parsed->rules()) {
+    if (!rule.IsFact()) {
+      return StrCat("cannot retract ", rule.ToString(),
+                    ": only ground facts can be retracted");
+    }
+    facts.push_back(rule.head());
+  }
+  if (!parsed->constraints().empty()) {
+    return "cannot retract a constraint";
+  }
+  if (facts.empty()) return "nothing to retract";
+  Result<IvmStats> batch = host_->ApplyUpdate({}, facts);
+  if (!batch.ok()) return batch.status().ToString();
+  std::ostringstream os;
+  os << "retracted " << batch->edb_deleted << " fact(s)";
+  if (batch->edb_deleted < facts.size()) {
+    os << " (" << facts.size() - batch->edb_deleted << " absent)";
+  }
+  if (host_->view_mode().has_value()) {
+    os << "; view: " << batch->ToString();
+  }
+  return os.str();
 }
 
 std::string SessionCommandProcessor::HandleStatements(std::string_view text) {
@@ -146,12 +237,9 @@ std::string SessionCommandProcessor::HandleStatements(std::string_view text) {
     }
   }
   if (!facts.empty()) {
-    Result<uint64_t> written = host_->ApplyWrite([&](Database* db) {
-      for (const Atom& fact : facts) {
-        SEMOPT_RETURN_IF_ERROR(db->AddFact(fact));
-      }
-      return Status::Ok();
-    });
+    // Through ApplyUpdate so an installed materialized view maintains
+    // its IDB in the same published generation as the new facts.
+    Result<IvmStats> written = host_->ApplyUpdate(facts, {});
     if (!written.ok()) return written.status().ToString();
   }
   for (const Constraint& ic : parsed->constraints()) {
@@ -293,6 +381,7 @@ std::string SessionCommandProcessor::HandleCommand(std::string_view line) {
     }
     return CmdMagic(line.substr(offset + 1));
   }
+  if (cmd == ".materialize") return CmdMaterialize(args);
   if (cmd == ".threads" || cmd == ":threads") return CmdThreads(args);
   if (cmd == ".batch" || cmd == ":batch") return CmdBatch(args);
   if (cmd == ".plan" || cmd == ":plan") return CmdPlan(args);
@@ -322,6 +411,7 @@ std::string SessionCommandProcessor::HandleCommand(std::string_view line) {
   }
   if (cmd == ".reset") {
     program_ = Program();
+    host_->Dematerialize();
     Result<uint64_t> cleared = host_->ApplyWrite([](Database* db) {
       *db = Database();
       return Status::Ok();
@@ -346,6 +436,12 @@ commands:
   .check                   check the facts against the constraints
   .magic pred(args)        answer a (possibly bound) query via magic sets
   .explain pred(consts)    show a proof tree for a derived fact
+  ~ pred(consts).          retract a fact (a maintained view updates its
+                           IDB incrementally in the same write)
+  .materialize [incremental|recompute|off]
+                           maintain the program's IDB as base relations,
+                           updated on every fact write (default:
+                           incremental counting/DRed maintenance)
   .load FILE               load a program/fact file
   .loadtsv PRED FILE       load tab-separated tuples into PRED
   :dump FILE               save every relation as a binary snapshot
@@ -371,6 +467,33 @@ commands:
   :budget [N|off]          per-query wall-clock budget in microseconds
   .reset                   clear everything
   .quit                    leave)";
+}
+
+std::string SessionCommandProcessor::CmdMaterialize(
+    const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "off") {
+    return host_->Dematerialize()
+               ? "view dropped (published IDB stays as plain facts)"
+               : "no materialized view installed";
+  }
+  MaterializedView::Mode mode = MaterializedView::Mode::kIncremental;
+  if (!args.empty()) {
+    if (args[0] == "recompute") {
+      mode = MaterializedView::Mode::kRecompute;
+    } else if (args[0] != "incremental") {
+      return "usage: .materialize [incremental|recompute|off]";
+    }
+  }
+  if (program_.rules().empty()) {
+    return "no rules to materialize (add rules first)";
+  }
+  Result<size_t> tuples = host_->Materialize(program_, eval_options_, mode);
+  if (!tuples.ok()) return tuples.status().ToString();
+  return StrCat("materialized ", *tuples, " idb tuple(s) (",
+                mode == MaterializedView::Mode::kIncremental
+                    ? "incremental counting/DRed maintenance"
+                    : "full recompute per write batch",
+                ")");
 }
 
 std::string SessionCommandProcessor::CmdProgram() const {
@@ -682,7 +805,7 @@ std::string SessionCommandProcessor::CmdMetrics(
   }
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   storage_metrics::PublishTo(registry);
-  return StrCat(
+  std::string out = StrCat(
       last_stats_.Report(),
       "\nstorage: tuples_bytes=", storage_metrics::LiveTupleBytes(),
       " columns_bytes=", storage_metrics::LiveColumnsBytes(),
@@ -690,6 +813,18 @@ std::string SessionCommandProcessor::CmdMetrics(
       "\nio: bulk_load_rows=", registry.GetCounter("io.bulk_load.rows").value(),
       " bulk_load_bytes=", registry.GetCounter("io.bulk_load.bytes").value(),
       " bulk_load_us=", registry.GetCounter("io.bulk_load.us").value());
+  if (registry.GetCounter("eval.ivm.batches").value() > 0) {
+    out = StrCat(
+        out, "\nivm: batches=", registry.GetCounter("eval.ivm.batches").value(),
+        " overdeleted=", registry.GetCounter("eval.ivm.overdeleted").value(),
+        " rederived=", registry.GetCounter("eval.ivm.rederived").value(),
+        " recounted=", registry.GetCounter("eval.ivm.recounted").value(),
+        " net_deleted=", registry.GetCounter("eval.ivm.net_deleted").value(),
+        " net_inserted=", registry.GetCounter("eval.ivm.net_inserted").value(),
+        " maintenance_us=",
+        registry.GetCounter("eval.ivm.maintenance_us").value());
+  }
+  return out;
 }
 
 std::string SessionCommandProcessor::CmdProfile(std::string_view rest) {

@@ -7,10 +7,14 @@
 #include <string_view>
 #include <vector>
 
+#include <mutex>
+#include <optional>
+
 #include "ast/program.h"
 #include "eval/fixpoint.h"
 #include "eval/plan_cache.h"
 #include "obs/query_log.h"
+#include "server/materialized_view.h"
 #include "server/scheduler.h"
 #include "storage/snapshot.h"
 #include "util/result.h"
@@ -54,6 +58,43 @@ class DatabaseHost {
   /// The host's structured query log (one JSON line per query); null =
   /// no logging. A session may shadow it with its own `:qlog` file.
   virtual obs::QueryLog* query_log() { return nullptr; }
+
+  /// Applies one mixed update batch — `dels` removed, then `adds`
+  /// inserted — through ApplyWrite, so under a server host the batch
+  /// publishes as one generation. When a materialized view is
+  /// installed, the same write also maintains and republishes the IDB:
+  /// a reader pinning the next snapshot sees base and derived facts
+  /// move together, with no full recomputation on the incremental
+  /// path. Returns the batch's maintenance stats (EDB-only counters
+  /// when no view is installed).
+  Result<IvmStats> ApplyUpdate(const std::vector<Atom>& adds,
+                               const std::vector<Atom>& dels);
+
+  /// Installs a materialized view of `program` over the current
+  /// database and publishes its IDB. Replaces any previous view.
+  /// Returns the number of IDB tuples materialized.
+  Result<size_t> Materialize(const Program& program,
+                             const EvalOptions& options,
+                             MaterializedView::Mode mode);
+
+  /// Drops the installed view. The already-published IDB relations
+  /// stay in the database as plain facts; they simply stop being
+  /// maintained. Returns false if no view was installed.
+  bool Dematerialize();
+
+  /// Mode of the installed view, or nullopt when none is installed.
+  std::optional<MaterializedView::Mode> view_mode();
+
+  /// Running maintenance totals of the installed view (zeroes when no
+  /// view is installed).
+  IvmStats view_totals();
+
+ private:
+  /// The installed view, guarded by `view_mu_` (hosts are shared by
+  /// every session; the write path itself serializes in ApplyWrite,
+  /// but Materialize/Dematerialize race with it from other sessions).
+  std::mutex view_mu_;
+  std::unique_ptr<MaterializedView> view_;
 };
 
 /// One session's command interpreter: the parse/dispatch/format logic
@@ -103,6 +144,7 @@ class SessionCommandProcessor {
   std::string HandleCommand(std::string_view line);
   std::string HandleQuery(std::string_view body_text);
   std::string HandleStatements(std::string_view text);
+  std::string HandleRetraction(std::string_view text);
 
   /// The full query pipeline — parse, classify, admit, pin, evaluate,
   /// render — accumulating a QueryProfile at every phase boundary and
@@ -129,6 +171,7 @@ class SessionCommandProcessor {
   std::string CmdLoadBinary(const std::vector<std::string>& args);
   std::string CmdSimd(const std::vector<std::string>& args);
   std::string CmdPlanner(const std::vector<std::string>& args);
+  std::string CmdMaterialize(const std::vector<std::string>& args);
 
   std::string CmdThreads(const std::vector<std::string>& args);
   std::string CmdBatch(const std::vector<std::string>& args);

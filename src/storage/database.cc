@@ -90,6 +90,12 @@ Database Database::CloneShared() const {
   return copy;
 }
 
+void Database::MergeSharedFrom(const Database& other) {
+  for (const auto& [pred, rel] : other.relations_) {
+    relations_[pred] = rel;
+  }
+}
+
 bool Database::SameFactsAs(const Database& other) const {
   auto nonempty_count =
       [](const std::map<PredicateId, std::shared_ptr<Relation>>& rels) {

@@ -67,6 +67,14 @@ class Database {
   /// pointers, not a tuple copy.
   Database CloneShared() const;
 
+  /// Shares every relation of `other` into this database (pointer
+  /// copies, replacing same-predicate entries). This is how a
+  /// materialized view's IDB is published into a write generation:
+  /// O(#relations), and the CoW discipline protects both sides — if the
+  /// view later maintains a shared relation, its mutable accessor
+  /// detaches first, leaving the published generation frozen.
+  void MergeSharedFrom(const Database& other);
+
   /// True if both databases contain exactly the same facts (index and
   /// insertion-order insensitive).
   bool SameFactsAs(const Database& other) const;

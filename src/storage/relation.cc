@@ -181,6 +181,71 @@ Relation::CommitCounts Relation::CommitHashed(const TupleBuffer& rows,
   return counts;
 }
 
+Relation::CommitCounts Relation::CommitCounted(const TupleBuffer& rows,
+                                               Relation* delta_target,
+                                               std::vector<RowId>* row_ids) {
+  CommitCounts counts;
+  const size_t n = rows.size();
+  row_ids->resize(n);
+  constexpr size_t kChunk = 128;
+  size_t hashes[kChunk];
+  const uint32_t width = rows.arity();
+  for (size_t start = 0; start < n; start += kChunk) {
+    const size_t m = std::min(kChunk, n - start);
+    HashValuesBatch(rows.row(start).data(), width, m, hashes);
+    for (size_t j = 0; j < m; ++j) PrefetchInsert(hashes[j]);
+    for (size_t j = 0; j < m; ++j) {
+      RowRef t = rows.row(start + j);
+      auto [id, inserted] = store_.InsertIfAbsent(t.data(), hashes[j]);
+      (*row_ids)[start + j] = id;
+      if (inserted) {
+        if (columns_ != nullptr) columns_.reset();
+        if (stats_ != nullptr) stats_.reset();
+        for (IndexNode* node = index_head_.load(std::memory_order_acquire);
+             node != nullptr; node = node->next) {
+          IndexInsert(node->index, id);
+        }
+        ++counts.inserted;
+        if (delta_target != nullptr) delta_target->Insert(t, hashes[j]);
+      } else {
+        ++counts.duplicates;
+      }
+    }
+  }
+  return counts;
+}
+
+size_t Relation::Erase(const TupleBuffer& victims,
+                       std::vector<std::pair<RowId, RowId>>* moves) {
+  if (moves != nullptr) moves->clear();
+  if (victims.empty() || store_.empty()) return 0;
+  assert(victims.arity() == arity());
+  size_t erased = 0;
+  for (size_t i = 0; i < victims.size(); ++i) {
+    // Find handles absent victims and in-batch repeats alike: once a
+    // row is swap-removed, an equal later victim simply misses.
+    const RowId id = store_.Find(victims.row(i).data());
+    if (id == kInvalidRowId) continue;
+    // Patch every index while both the victim's and the last row's
+    // data are still in the arena; the store swap happens after.
+    const RowId last = static_cast<RowId>(store_.size() - 1);
+    for (IndexNode* n = index_head_.load(std::memory_order_acquire);
+         n != nullptr; n = n->next) {
+      IndexErase(n->index, id, last);
+    }
+    const RowId from = store_.SwapRemove(id);
+    if (from != kInvalidRowId && moves != nullptr) {
+      moves->emplace_back(from, id);
+    }
+    ++erased;
+  }
+  if (erased > 0) {
+    columns_.reset();
+    stats_.reset();
+  }
+  return erased;
+}
+
 size_t Relation::ProjectionHash(RowId r,
                                 const std::vector<uint32_t>& columns) const {
   const Value* vals = store_.row_data(r);
@@ -220,7 +285,9 @@ void Relation::IndexInsert(Index& index, RowId r) {
     const uint32_t b = index.slots[idx];
     if (b == kEmptySlot) break;
     Bucket& bucket = index.buckets[b];
-    if (bucket.hash == h &&
+    // A dead bucket (emptied by IndexErase) still occupies its slot so
+    // probe runs stay contiguous; it can never match a key.
+    if (bucket.first != kInvalidRowId && bucket.hash == h &&
         ProjectionsEqual(bucket.first, r, index.columns)) {
       bucket.rows.push_back(r);
       return;
@@ -235,8 +302,75 @@ void Relation::IndexInsert(Index& index, RowId r) {
   index.buckets.push_back(std::move(bucket));
 }
 
+void Relation::IndexErase(Index& index, RowId victim, RowId last) {
+  if (index.slots.empty()) return;
+  const std::vector<uint32_t>& columns = index.columns;
+  // Drop the victim from its bucket. The slot keeps pointing at the
+  // bucket even when it empties ("dead bucket"): vacating the slot
+  // would break the probe runs of keys that collided past it, and
+  // backward-shifting bucket slots is not worth the code — IndexRehash
+  // garbage-collects dead buckets at the next growth.
+  {
+    const size_t h = ProjectionHash(victim, columns);
+    size_t idx = h & index.slot_mask;
+    while (true) {
+      const uint32_t b = index.slots[idx];
+      assert(b != kEmptySlot && "erased row missing from index");
+      if (b == kEmptySlot) break;  // fail-safe in release
+      Bucket& bucket = index.buckets[b];
+      if (bucket.first != kInvalidRowId && bucket.hash == h &&
+          ProjectionsEqual(bucket.first, victim, columns)) {
+        std::vector<RowId>& rows = bucket.rows;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          if (rows[i] == victim) {
+            rows[i] = rows.back();
+            rows.pop_back();
+            break;
+          }
+        }
+        if (rows.empty()) {
+          bucket.first = kInvalidRowId;
+        } else if (bucket.first == victim) {
+          bucket.first = rows[0];
+        }
+        break;
+      }
+      idx = (idx + 1) & index.slot_mask;
+    }
+  }
+  // The store is about to move row `last` into id `victim`; rename it
+  // in its bucket. If the two rows shared a projection the bucket above
+  // still holds `last` (it cannot have gone dead), so this finds it.
+  if (last == victim) return;
+  const size_t h = ProjectionHash(last, columns);
+  size_t idx = h & index.slot_mask;
+  while (true) {
+    const uint32_t b = index.slots[idx];
+    assert(b != kEmptySlot && "moved row missing from index");
+    if (b == kEmptySlot) return;  // fail-safe in release
+    Bucket& bucket = index.buckets[b];
+    if (bucket.first != kInvalidRowId && bucket.hash == h &&
+        ProjectionsEqual(bucket.first, last, columns)) {
+      for (RowId& r : bucket.rows) {
+        if (r == last) {
+          r = victim;
+          break;
+        }
+      }
+      if (bucket.first == last) bucket.first = victim;
+      return;
+    }
+    idx = (idx + 1) & index.slot_mask;
+  }
+}
+
 void Relation::IndexRehash(Index& index, size_t new_slots) {
   const bool initial = index.slots.empty();
+  // Every slot is reassigned anyway, so this is the free moment to
+  // garbage-collect buckets that IndexErase emptied — bucket ids only
+  // have meaning through the slot table.
+  std::erase_if(index.buckets,
+                [](const Bucket& b) { return b.first == kInvalidRowId; });
   index.slots.assign(new_slots, kEmptySlot);
   index.slot_mask = new_slots - 1;
   for (uint32_t b = 0; b < index.buckets.size(); ++b) {
@@ -362,7 +496,8 @@ const std::vector<RowId>& Relation::Probe(
     const uint32_t b = index->slots[idx];
     if (b == kEmptySlot) return kEmpty;
     const Bucket& bucket = index->buckets[b];
-    if (bucket.hash == h && ProjectionEquals(bucket.first, columns, key)) {
+    if (bucket.first != kInvalidRowId && bucket.hash == h &&
+        ProjectionEquals(bucket.first, columns, key)) {
       return bucket.rows;
     }
     idx = (idx + 1) & index->slot_mask;
@@ -407,7 +542,8 @@ void Relation::ProbeBatch(const std::vector<uint32_t>& columns,
       const uint32_t b = slots[idx];
       if (b == kEmptySlot) return {};
       const Bucket& bucket = buckets[b];
-      if (bucket.hash == h && proj_eq(bucket.first, key)) {
+      if (bucket.first != kInvalidRowId && bucket.hash == h &&
+          proj_eq(bucket.first, key)) {
         return std::span<const RowId>(bucket.rows);
       }
       idx = (idx + 1) & mask;

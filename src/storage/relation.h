@@ -8,6 +8,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ast/atom.h"
@@ -36,11 +37,13 @@ struct RelationStats {
 /// subsets for join probing.
 ///
 /// Rows live flat in an arena-backed TupleStore and are addressed by
-/// dense RowId (0..size-1); rows are never removed, so row ids stay
-/// stable across inserts. Dedup and every index store only RowIds —
-/// the arena holds the single copy of each tuple, and index keys are
+/// dense RowId (0..size-1); inserts never move rows, and Erase keeps
+/// ids dense by swap-removal (only the relation's last row changes id
+/// per victim). Dedup and every index store only RowIds — the arena
+/// holds the single copy of each tuple, and index keys are
 /// hashed/compared by projecting stored rows in place (no materialized
-/// key tuples). Indexes are maintained incrementally on insert.
+/// key tuples). Indexes are maintained incrementally on insert and
+/// patched in place on erase.
 ///
 /// Concurrency contract: mutation (Insert/Commit/Clear/Reserve) is
 /// exclusive — no other access may overlap it. On a *non-mutating*
@@ -105,6 +108,36 @@ class Relation {
   /// then only probes and inserts.
   CommitCounts CommitHashed(const TupleBuffer& rows, const size_t* hashes,
                             Relation* delta_target);
+
+  /// Commit variant that additionally reports the RowId every buffered
+  /// row resolved to — new rows get their freshly assigned id,
+  /// duplicates the id of the equal stored row. `(*row_ids)[i]`
+  /// corresponds to `rows.row(i)` (the vector is resized). This is the
+  /// counting-maintenance bookkeeping path: the incremental evaluator
+  /// keeps a RowId-parallel derivation-count column per relation and
+  /// tallies each derivation against the id its head tuple landed on.
+  /// Same batched hash/prefetch schedule as Commit.
+  CommitCounts CommitCounted(const TupleBuffer& rows, Relation* delta_target,
+                             std::vector<RowId>* row_ids);
+
+  /// Removes every stored row equal to a row of `victims` (set
+  /// semantics; victim rows not present are ignored, as are repeats
+  /// within `victims`). Returns the number of rows removed. Each
+  /// victim is swap-removed: the relation's current last row moves
+  /// into the vacated RowId, so ids stay dense, exactly one surviving
+  /// row is renamed per victim, and the whole call costs
+  /// O(|victims| · indexes) — never a pass over the relation.
+  /// Surviving rows do NOT keep their relative order (set semantics
+  /// make order meaningless). When `moves` is non-null it is cleared
+  /// and receives the (old_id, new_id) renames in the order they
+  /// happened, so a caller maintaining a RowId-parallel side column
+  /// replays them (`col[to] = col[from]`, then resize to size()).
+  /// Registered indexes are patched in place — a bucket emptied by
+  /// erasure goes dead (skipped by probes, garbage-collected at the
+  /// next index rehash) rather than breaking its probe run — and the
+  /// columnar/stats caches are dropped.
+  size_t Erase(const TupleBuffer& victims,
+               std::vector<std::pair<RowId, RowId>>* moves = nullptr);
 
   bool Contains(RowRef row) const {
     assert(row.size() == arity());
@@ -253,6 +286,11 @@ class Relation {
   bool ProjectionsEqual(RowId a, RowId b,
                         const std::vector<uint32_t>& columns) const;
   void IndexInsert(Index& index, RowId r);
+  /// Removes `victim` from its bucket and, when `last != victim`,
+  /// renames `last` to `victim`'s id (the swap-removal about to happen
+  /// in the store). Must run while both rows' data is still in the
+  /// arena — i.e. before TupleStore::SwapRemove.
+  void IndexErase(Index& index, RowId victim, RowId last);
   void IndexRehash(Index& index, size_t new_slots);
   const Index* FindIndex(const std::vector<uint32_t>& columns) const;
 

@@ -118,6 +118,47 @@ std::pair<RowId, bool> TupleStore::InsertIfAbsent(const Value* vals,
   return {id, true};
 }
 
+RowId TupleStore::SwapRemove(RowId id) {
+  assert(id < size_);
+  // Unlink `id` from the dedup table with backward-shift deletion:
+  // every entry in the probe run after the hole whose ideal slot lies
+  // at or before the hole shifts back into it, so no tombstone is left
+  // and every remaining probe sequence stays contiguous.
+  size_t hole = hashes_[id] & slot_mask_;
+  while (slots_[hole] != id) hole = (hole + 1) & slot_mask_;
+  size_t idx = hole;
+  while (true) {
+    idx = (idx + 1) & slot_mask_;
+    const RowId r = slots_[idx];
+    if (r == kInvalidRowId) break;
+    const size_t ideal = hashes_[r] & slot_mask_;
+    if (((idx - ideal) & slot_mask_) >= ((idx - hole) & slot_mask_)) {
+      slots_[hole] = r;
+      hole = idx;
+    }
+  }
+  slots_[hole] = kInvalidRowId;
+
+  const RowId last = static_cast<RowId>(size_ - 1);
+  RowId moved = kInvalidRowId;
+  if (id != last) {
+    // Move the last row into the vacated arena slot and point its
+    // (post-shift) table entry at the new id.
+    size_t li = hashes_[last] & slot_mask_;
+    while (slots_[li] != last) li = (li + 1) & slot_mask_;
+    slots_[li] = id;
+    std::copy(row_data(last), row_data(last) + arity_,
+              data_.begin() + static_cast<size_t>(id) * arity_);
+    hashes_[id] = hashes_[last];
+    moved = last;
+  }
+  --size_;
+  // erase, not resize: Value has no default constructor.
+  data_.erase(data_.begin() + size_ * arity_, data_.end());
+  hashes_.resize(size_);
+  return moved;
+}
+
 void TupleStore::Rehash(size_t new_slots) {
   const bool initial = slots_.empty();
   slots_.assign(new_slots, kInvalidRowId);

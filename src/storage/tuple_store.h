@@ -13,10 +13,13 @@ namespace semopt {
 /// Flat, arena-backed tuple set with fixed arity.
 ///
 /// Rows live contiguously in one row-major value arena and are
-/// addressed by dense RowId (0..size-1, insertion order). Rows are
-/// never removed, so RowIds — and the row data they point at between
-/// inserts — are stable for the store's lifetime. Deduplication is an
-/// open-addressing (linear probing) hash table that stores only
+/// addressed by dense RowId (0..size-1). Inserts never move existing
+/// rows, so RowIds — and the row data they point at between inserts —
+/// are stable across growth. Removal (`SwapRemove`) keeps the id space
+/// dense by moving the last row into the vacated id: exactly one
+/// surviving row changes id per removal and everything else stays put,
+/// so deleting k rows costs O(k), not a compaction pass. Deduplication
+/// is an open-addressing (linear probing) hash table that stores only
 /// RowIds: the arena holds the single copy of every tuple, and lookups
 /// compare candidate rows in place against a cached per-row hash.
 ///
@@ -78,6 +81,16 @@ class TupleStore {
   bool Contains(const Value* vals, size_t hash) const {
     return Find(vals, hash) != kInvalidRowId;
   }
+
+  /// Removes row `id` in O(probe run): the last row is moved into
+  /// `id`'s arena slot (keeping RowIds dense) and the dedup table is
+  /// patched with backward-shift deletion (no tombstones, so probe
+  /// sequences never degrade). Returns the *old* id of the row that
+  /// moved into `id` (always the former last row), or kInvalidRowId
+  /// when the removed row was itself the last — callers maintaining
+  /// RowId-parallel side columns apply the same move. Insertion order
+  /// is not preserved across removals.
+  RowId SwapRemove(RowId id);
 
   /// Pre-sizes the arena and dedup table for `rows` rows.
   void Reserve(size_t rows);

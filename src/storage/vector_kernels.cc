@@ -128,6 +128,90 @@ void SelectLanesEqSse2(const uint64_t* a, const uint64_t* b, uint32_t begin,
   }
 }
 
+/// The HashValues recipe, four rows wide over gathered lanes. Each
+/// 64-bit lane runs one row's exact scalar chain — seed from the kind
+/// byte, HashCombine of the payload per value, HashCombine of the
+/// value hashes into the row seed, SplitMix64 finalizer — so the
+/// results are bit-identical to HashValues. Gathers pull the payload
+/// (and kind) qwords of four rows' column c straight out of the
+/// row-major Value array (16-byte stride), which keeps the four
+/// dependency chains fed without the scalar interleave's register
+/// juggling. AVX2 has no 64-bit multiply, so the finalizer's two
+/// multiplies run as three 32x32 partial products each.
+
+__attribute__((target("avx2"))) inline __m256i Mul64Avx2(__m256i a,
+                                                         uint64_t m) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(m));
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);        // a_lo * b_lo
+  const __m256i cross1 = _mm256_mul_epu32(a_hi, b);  // a_hi * b_lo
+  const __m256i cross2 = _mm256_mul_epu32(a, b_hi);  // a_lo * b_hi
+  const __m256i cross = _mm256_add_epi64(cross1, cross2);
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// seed ^= h + C + (seed << 6) + (seed >> 2), lane-wise.
+__attribute__((target("avx2"))) inline __m256i HashCombineAvx2(__m256i seed,
+                                                               __m256i h) {
+  const __m256i c =
+      _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  __m256i t = _mm256_add_epi64(h, c);
+  t = _mm256_add_epi64(t, _mm256_slli_epi64(seed, 6));
+  t = _mm256_add_epi64(t, _mm256_srli_epi64(seed, 2));
+  return _mm256_xor_si256(seed, t);
+}
+
+__attribute__((target("avx2"))) void HashValuesBatchAvx2(const Value* rows,
+                                                         size_t arity,
+                                                         size_t count,
+                                                         size_t* out) {
+  static_assert(sizeof(Value) == 16,
+                "gather stride assumes two-word Terms (kind, payload)");
+  const long long* base = reinterpret_cast<const long long*>(rows);
+  const __m256i byte_mask = _mm256_set1_epi64x(0xFF);
+  // Lane l reads row i+l: value (i+l)*arity + c sits at qword index
+  // ((i+l)*arity + c) * 2, its payload one qword later.
+  const __m256i lane_step = _mm256_setr_epi64x(
+      0, static_cast<long long>(arity) * 2,
+      static_cast<long long>(arity) * 4, static_cast<long long>(arity) * 6);
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i acc = _mm256_setzero_si256();
+    const long long row_base = static_cast<long long>(i * arity) * 2;
+    for (size_t c = 0; c < arity; ++c) {
+      const __m256i kind_idx = _mm256_add_epi64(
+          lane_step,
+          _mm256_set1_epi64x(row_base + static_cast<long long>(c) * 2));
+      const __m256i payload_idx =
+          _mm256_add_epi64(kind_idx, _mm256_set1_epi64x(1));
+      // The kind qword's low byte is the TermKind; the upper seven
+      // bytes are struct padding, masked off below.
+      const __m256i kind = _mm256_and_si256(
+          _mm256_i64gather_epi64(base, kind_idx, 8), byte_mask);
+      const __m256i payload = _mm256_i64gather_epi64(base, payload_idx, 8);
+      // Term::Hash: seed = kind; HashCombine(&seed, payload).
+      const __m256i term_hash = HashCombineAvx2(kind, payload);
+      acc = HashCombineAvx2(acc, term_hash);
+    }
+    // MixBits finalizer.
+    acc = Mul64Avx2(_mm256_xor_si256(acc, _mm256_srli_epi64(acc, 30)),
+                    0xbf58476d1ce4e5b9ULL);
+    acc = Mul64Avx2(_mm256_xor_si256(acc, _mm256_srli_epi64(acc, 27)),
+                    0x94d049bb133111ebULL);
+    acc = _mm256_xor_si256(acc, _mm256_srli_epi64(acc, 31));
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    out[i] = static_cast<size_t>(lanes[0]);
+    out[i + 1] = static_cast<size_t>(lanes[1]);
+    out[i + 2] = static_cast<size_t>(lanes[2]);
+    out[i + 3] = static_cast<size_t>(lanes[3]);
+  }
+  for (; i < count; ++i) {
+    out[i] = HashValues(rows + i * arity, arity);
+  }
+}
+
 #endif  // SEMOPT_SIMD_X86
 
 }  // namespace
@@ -145,6 +229,15 @@ void HashValuesBatch(const Value* rows, size_t arity, size_t count,
     HashValuesBatchScalar(rows, arity, count, out);
     return;
   }
+#ifdef SEMOPT_SIMD_X86
+  // AVX2: gather the payload/kind lanes and run four rows' chains in
+  // one vector register (see HashValuesBatchAvx2). Arity 0 rows all
+  // hash to MixBits(0); the scalar loop handles that degenerate shape.
+  if (arity > 0 && simd::ActiveLevel() == simd::Level::kAVX2) {
+    HashValuesBatchAvx2(rows, arity, count, out);
+    return;
+  }
+#endif
   // Four independent HashCombine chains. Each row's chain is the exact
   // scalar recipe (HashCombine over its values, then MixBits), so the
   // results are bit-identical to HashValues — only the schedule is

@@ -22,7 +22,10 @@ namespace semopt {
 /// out[i] == HashValues(rows + i*arity, arity) for every i. The batch
 /// form runs 4 independent HashCombine chains side by side — the scalar
 /// loop's chain is sequentially dependent within a row, so interleaving
-/// rows is where the instruction-level parallelism comes from.
+/// rows is where the instruction-level parallelism comes from. On AVX2
+/// the four chains run in one vector register over gathered payload
+/// lanes (16-byte Value stride), including a 32x32-partial-product
+/// SplitMix64 finalizer; results stay bit-identical to HashValues.
 void HashValuesBatch(const Value* rows, size_t arity, size_t count,
                      size_t* out);
 

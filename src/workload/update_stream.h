@@ -1,0 +1,52 @@
+#ifndef SEMOPT_WORKLOAD_UPDATE_STREAM_H_
+#define SEMOPT_WORKLOAD_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ast/program.h"
+#include "util/hash_util.h"
+#include "util/result.h"
+
+namespace semopt {
+
+/// Parameters of the update-stream workload (bench E14): a random
+/// directed graph over integer nodes, a handful of source nodes, and a
+/// program whose IDB is maintained while edges churn.
+struct UpdateStreamParams {
+  size_t num_nodes = 1000;
+  size_t num_edges = 5000;
+  /// Number of reachability sources (nodes 0 .. num_sources-1).
+  size_t num_sources = 4;
+  uint64_t seed = 1;
+};
+
+/// The maintained program — one stratum of each maintenance regime:
+///   reach(Y)  :- src(X), e(X, Y).          (recursive seed)
+///   reach(Y)  :- reach(X), e(X, Y).        (DRed stratum)
+///   linked(X, Y) :- e(X, Y), src(X).       (counting stratum)
+///   dark(X)   :- node(X), not reach(X).    (negation above recursion)
+/// `reach` is bounded by num_nodes, so the IDB stays small relative to
+/// a large edge set — deletions actually sever paths instead of
+/// drowning in alternative derivations.
+Result<Program> UpdateStreamProgram();
+
+/// Writes the base EDB — e/2 (random edges), src/1, node/1 — straight
+/// to a v1 binary snapshot at `path` through the columnar writer: the
+/// generator never materializes a Database, so building a multi-million
+/// fact base costs column appends plus one write. Returns bytes
+/// written. Edges may repeat; the bulk loader dedups on ingest.
+Result<size_t> WriteUpdateStreamSnapshot(const std::string& path,
+                                         const UpdateStreamParams& params);
+
+/// One random update edge: one in four starts at a source (so updates
+/// keep touching the maintained reach cone), the rest are uniform.
+/// The E14 bench keeps the graph subcritical (num_edges well below
+/// num_nodes), so a source-adjacent deletion severs a small bounded
+/// cone — the O(|Δ|) regime incremental maintenance is built for —
+/// rather than cascading through a giant component.
+Atom UpdateStreamEdge(const UpdateStreamParams& params, SplitMix64& rng);
+
+}  // namespace semopt
+
+#endif  // SEMOPT_WORKLOAD_UPDATE_STREAM_H_

@@ -546,6 +546,56 @@ TEST(PlanCacheTest, MemoizesPerBandSignature) {
   EXPECT_EQ(stats.plan_cache_misses, cache.misses());
 }
 
+TEST(PlanCacheTest, CoarseBandsCollapseSmallSizesIntoOneKey) {
+  // Incremental maintenance's regime: delta sizes jitter batch to
+  // batch, so with fine bands every power of two the delta lands in
+  // would mint a fresh plan key. Coarse banding collapses every size
+  // below 1024 into one band — any join order over only-small inputs
+  // costs microseconds — so the second batch onward always hits.
+  Database db;
+  db.AddTuple("e", {Term::Int(0), Term::Int(1)});
+  DbSource source(&db);
+  Result<RuleExecutor> exec =
+      RuleExecutor::Create(MustParseRule("p(X, Z) :- e(X, Y), e(Y, Z)"));
+  ASSERT_TRUE(exec.ok());
+
+  PlanCache cache;
+  EvalStats stats;
+  auto get = [&](bool coarse) {
+    return cache.Get(*exec, source, -1, &stats, /*size_aware=*/true,
+                     /*skip_delta_index=*/false, /*partitioned=*/false,
+                     PlannerMode::kGreedy, coarse);
+  };
+  ASSERT_TRUE(get(true).ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  // Any growth trajectory below the cap stays on the one coarse key.
+  for (int size = 2; size < 1024; size *= 2) {
+    for (int i = size / 2; i < size; ++i) {
+      db.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+    }
+    ASSERT_TRUE(get(true).ok());
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 9u);
+  // Beyond the cap, coarse keys fall back to fine log2 bands.
+  for (int i = 512; i < 1024; ++i) {
+    db.AddTuple("e", {Term::Int(i), Term::Int(i + 1)});
+  }
+  ASSERT_TRUE(get(true).ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  // Coarse and fine entries never alias: the same sub-1024 source under
+  // fine banding is its own key (flag bit + band signature differ).
+  Database db2;
+  db2.AddTuple("e", {Term::Int(0), Term::Int(1)});
+  DbSource source2(&db2);
+  ASSERT_TRUE(cache
+                  .Get(*exec, source2, -1, &stats, /*size_aware=*/true,
+                       /*skip_delta_index=*/false, /*partitioned=*/false,
+                       PlannerMode::kGreedy, /*coarse_bands=*/false)
+                  .ok());
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
 TEST(PlanCacheTest, PartitionRegimeIsPartOfTheKey) {
   // A session that switches between serial and morsel-parallel
   // evaluation must never replay a partitioned plan serially (its

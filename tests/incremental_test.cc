@@ -73,22 +73,124 @@ TEST(IncrementalTest, MultiStrataPropagation) {
             (std::vector<std::string>{"(a)", "(b)", "(c)"}));
 }
 
-TEST(IncrementalTest, RejectsNegationAndIdbInsertions) {
+TEST(IncrementalTest, AcceptsStratifiedNegation) {
   Program negated = MustParse(R"(
     ok(X) :- n(X), not banned(X).
   )");
-  EXPECT_EQ(IncrementalEvaluator::Create(negated, Database())
-                .status()
-                .code(),
-            StatusCode::kUnimplemented);
+  Result<IncrementalEvaluator> inc = IncrementalEvaluator::Create(
+      negated, MustParseFacts("n(a). n(b). banned(b)."));
+  ASSERT_TRUE(inc.ok()) << inc.status();
+  EXPECT_EQ(RelationRows(inc->idb(), "ok", 1),
+            (std::vector<std::string>{"(a)"}));
+}
 
+TEST(IncrementalTest, RejectsUnstratifiableNegationWithStructuredError) {
+  // win depends negatively on itself through move: not stratifiable.
+  Program unstrat = MustParse(R"(
+    gt: win(X) :- move(X, Y), not win(Y).
+  )");
+  Status st = IncrementalEvaluator::Create(unstrat, Database()).status();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The error names the offending rule and negated literal so the user
+  // can find it without re-deriving the dependency SCCs by hand.
+  EXPECT_NE(st.message().find("gt"), std::string::npos) << st;
+  EXPECT_NE(st.message().find("win"), std::string::npos) << st;
+}
+
+TEST(IncrementalTest, RejectsIdbAndNonGroundFacts) {
   Result<IncrementalEvaluator> inc =
       IncrementalEvaluator::Create(TcProgram(), Database());
   ASSERT_TRUE(inc.ok());
-  EXPECT_FALSE(
-      inc->AddFacts({Atom("t", {Term::Sym("a"), Term::Sym("b")})}).ok());
+  Status idb_insert =
+      inc->AddFacts({Atom("t", {Term::Sym("a"), Term::Sym("b")})}).status();
+  EXPECT_EQ(idb_insert.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(idb_insert.message().find("t"), std::string::npos) << idb_insert;
   EXPECT_FALSE(inc->AddFacts({Atom("e", {Term::Var("X"), Term::Sym("b")})})
                    .ok());
+  Status idb_delete =
+      inc->ApplyUpdates({}, {Atom("t", {Term::Sym("a"), Term::Sym("b")})})
+          .status();
+  EXPECT_EQ(idb_delete.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IncrementalTest, ArityZeroFacts) {
+  Program p = MustParse(R"(
+    alarm() :- trigger().
+    quiet() :- idle(), not alarm().
+  )");
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(p, MustParseFacts("idle()."));
+  ASSERT_TRUE(inc.ok()) << inc.status();
+  EXPECT_EQ(RelationSize(inc->idb(), "quiet", 0), 1u);
+  EXPECT_EQ(RelationSize(inc->idb(), "alarm", 0), 0u);
+
+  ASSERT_TRUE(inc->AddFacts({Atom("trigger", {})}).ok());
+  EXPECT_EQ(RelationSize(inc->idb(), "alarm", 0), 1u);
+  EXPECT_EQ(RelationSize(inc->idb(), "quiet", 0), 0u);
+
+  Result<IvmStats> undone = inc->ApplyUpdates({}, {Atom("trigger", {})});
+  ASSERT_TRUE(undone.ok()) << undone.status();
+  EXPECT_EQ(RelationSize(inc->idb(), "alarm", 0), 0u);
+  EXPECT_EQ(RelationSize(inc->idb(), "quiet", 0), 1u);
+}
+
+TEST(IncrementalTest, DuplicateFactsWithinOneBatch) {
+  Result<IncrementalEvaluator> inc =
+      IncrementalEvaluator::Create(TcProgram(), MustParseFacts("e(a, b)."));
+  ASSERT_TRUE(inc.ok());
+  // The same fact repeated in a batch counts once (set semantics), and a
+  // tuple both deleted and re-added in one batch nets to no change.
+  Result<IvmStats> st = inc->ApplyUpdates(
+      {Edge("b", "c"), Edge("b", "c"), Edge("b", "c")}, {});
+  ASSERT_TRUE(st.ok()) << st.status();
+  EXPECT_EQ(st->edb_inserted, 1u);
+  Result<IvmStats> churn =
+      inc->ApplyUpdates({Edge("a", "b")}, {Edge("a", "b")});
+  ASSERT_TRUE(churn.ok()) << churn.status();
+  EXPECT_EQ(churn->edb_inserted, 0u);
+  EXPECT_EQ(churn->edb_deleted, 0u);
+  EXPECT_EQ(churn->net_inserted, 0u);
+  EXPECT_EQ(churn->net_deleted, 0u);
+  EXPECT_EQ(RelationRows(inc->idb(), "t", 2),
+            (std::vector<std::string>{"(a, b)", "(a, c)", "(b, c)"}));
+}
+
+TEST(IncrementalTest, DeletePropagatesThroughClosure) {
+  Result<IncrementalEvaluator> inc = IncrementalEvaluator::Create(
+      TcProgram(), MustParseFacts("e(a, b). e(b, c). e(c, d). e(a, c)."));
+  ASSERT_TRUE(inc.ok()) << inc.status();
+  EXPECT_EQ(RelationSize(inc->idb(), "t", 2), 6u);
+
+  // Deleting b->c severs (b,c)/(b,d) but (a,c)/(a,d) survive through the
+  // shortcut edge a->c; DRed must rederive them after overdeletion.
+  Result<IvmStats> st = inc->ApplyUpdates({}, {Edge("b", "c")});
+  ASSERT_TRUE(st.ok()) << st.status();
+  EXPECT_EQ(st->net_deleted, 2u);
+  EXPECT_GT(st->rederived, 0u);
+  EXPECT_EQ(RelationRows(inc->idb(), "t", 2),
+            (std::vector<std::string>{"(a, b)", "(a, c)", "(a, d)",
+                                      "(c, d)"}));
+}
+
+TEST(IncrementalTest, DerivationCountsTrackAlternatives) {
+  Program p = MustParse(R"(
+    reach(Y) :- src(X), e(X, Y).
+  )");
+  Result<IncrementalEvaluator> inc = IncrementalEvaluator::Create(
+      p, MustParseFacts("src(a). src(b). e(a, x). e(b, x)."));
+  ASSERT_TRUE(inc.ok()) << inc.status();
+  PredicateId reach{InternSymbol("reach"), 1};
+  Tuple x{Term::Sym("x")};
+  EXPECT_EQ(inc->DerivationCount(reach, x), 2);
+
+  // Dropping one derivation keeps the tuple alive at count 1; dropping
+  // the second removes it.
+  ASSERT_TRUE(inc->ApplyUpdates({}, {Atom("src", {Term::Sym("a")})}).ok());
+  EXPECT_EQ(inc->DerivationCount(reach, x), 1);
+  EXPECT_EQ(RelationSize(inc->idb(), "reach", 1), 1u);
+  ASSERT_TRUE(inc->ApplyUpdates({}, {Atom("src", {Term::Sym("b")})}).ok());
+  EXPECT_EQ(inc->DerivationCount(reach, x), 0);
+  EXPECT_EQ(RelationSize(inc->idb(), "reach", 1), 0u);
 }
 
 // Property: incremental maintenance matches recomputation from scratch

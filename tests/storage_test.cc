@@ -400,6 +400,128 @@ TEST(RelationPropertyTest, MatchesSetModelUnderRandomWorkload) {
   EXPECT_EQ(seen, model);
 }
 
+// --- Erase (swap-removal) ------------------------------------------------
+
+TEST(RelationEraseTest, SwapRemoveReportsMovesAndIgnoresAbsent) {
+  Relation rel(Pred("er", 1));
+  for (int i = 0; i < 5; ++i) rel.Insert({Term::Int(i)});
+  TupleBuffer victims(1);
+  victims.Append(RowRef(Tuple{Term::Int(1)}));
+  victims.Append(RowRef(Tuple{Term::Int(1)}));   // in-batch repeat: no-op
+  victims.Append(RowRef(Tuple{Term::Int(99)}));  // absent: no-op
+  std::vector<std::pair<RowId, RowId>> moves;
+  EXPECT_EQ(rel.Erase(victims, &moves), 1u);
+  EXPECT_EQ(rel.size(), 4u);
+  // Row 4 (the last) moved into the vacated id 1.
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0], (std::pair<RowId, RowId>{4, 1}));
+  EXPECT_FALSE(rel.Contains({Term::Int(1)}));
+  for (int i : {0, 2, 3, 4}) EXPECT_TRUE(rel.Contains({Term::Int(i)}));
+  // Erasing the current last row produces no move.
+  const Tuple last{rel.row(rel.size() - 1).begin(),
+                   rel.row(rel.size() - 1).end()};
+  TupleBuffer tail(1);
+  tail.Append(RowRef(last));
+  EXPECT_EQ(rel.Erase(tail, &moves), 1u);
+  EXPECT_TRUE(moves.empty());
+  EXPECT_EQ(rel.size(), 3u);
+}
+
+TEST(RelationEraseTest, IndexesStayConsistentThroughEraseAndReinsert) {
+  Relation rel(Pred("eidx", 2));
+  rel.EnsureIndex({0});
+  for (int i = 0; i < 32; ++i) {
+    rel.Insert({Term::Int(i % 4), Term::Int(i)});
+  }
+  // Erase every row of one key: its bucket goes dead but probes for
+  // other keys (whose runs may pass over it) keep working.
+  TupleBuffer victims(2);
+  for (int i = 0; i < 32; ++i) {
+    if (i % 4 == 2) victims.Append(RowRef(Tuple{Term::Int(2), Term::Int(i)}));
+  }
+  EXPECT_EQ(rel.Erase(victims), 8u);
+  EXPECT_TRUE(rel.Probe({0}, {Term::Int(2)}).empty());
+  for (int k : {0, 1, 3}) {
+    EXPECT_EQ(rel.Probe({0}, {Term::Int(k)}).size(), 8u) << "key " << k;
+  }
+  // Reinsert into the erased key; the index must pick the rows up again
+  // (a fresh bucket — the dead one is garbage, collected on rehash).
+  rel.Insert({Term::Int(2), Term::Int(100)});
+  rel.Insert({Term::Int(2), Term::Int(101)});
+  EXPECT_EQ(rel.Probe({0}, {Term::Int(2)}).size(), 2u);
+  // Probe results point at live, correct rows.
+  for (RowId r : rel.Probe({0}, {Term::Int(2)})) {
+    EXPECT_EQ(rel.row(r)[0].int_value(), 2);
+  }
+}
+
+TEST(RelationEraseTest, RandomChurnMatchesSetModel) {
+  SplitMix64 rng(20260808u);
+  Relation rel(Pred("churn", 2));
+  rel.EnsureIndex({0});
+  rel.EnsureIndex({0, 1});
+  std::set<Tuple> model;
+  for (int step = 0; step < 4000; ++step) {
+    Tuple t{Term::Int(static_cast<int64_t>(rng.Below(30))),
+            Term::Int(static_cast<int64_t>(rng.Below(30)))};
+    if (rng.Below(3) == 0) {
+      TupleBuffer victims(2);
+      victims.Append(RowRef(t));
+      EXPECT_EQ(rel.Erase(victims), model.erase(t));
+    } else {
+      EXPECT_EQ(rel.Insert(t), model.insert(t).second);
+    }
+    if (step % 97 != 0) continue;
+    Tuple key{Term::Int(static_cast<int64_t>(rng.Below(30)))};
+    std::vector<Tuple> expected;
+    for (const Tuple& m : model) {
+      if (m[0] == key[0]) expected.push_back(m);
+    }
+    std::vector<Tuple> actual;
+    for (RowId r : rel.Probe({0}, key)) {
+      RowRef row = rel.row(r);
+      actual.emplace_back(row.begin(), row.end());
+    }
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+  ASSERT_EQ(rel.size(), model.size());
+  std::set<Tuple> seen;
+  size_t i = 0;
+  for (RowRef row : rel.rows()) {
+    EXPECT_EQ(rel.row_hash(i), HashValues(row));
+    seen.emplace(row.begin(), row.end());
+    ++i;
+  }
+  EXPECT_EQ(seen, model);
+}
+
+TEST(TupleStoreTest, SwapRemoveKeepsDedupTableConsistent) {
+  TupleStore store(1);
+  for (int i = 0; i < 100; ++i) {
+    Tuple t{Term::Int(i)};
+    store.InsertIfAbsent(t.data());
+  }
+  // Remove every third row (by whatever id it currently has).
+  for (int i = 0; i < 100; i += 3) {
+    Tuple t{Term::Int(i)};
+    const RowId id = store.Find(t.data());
+    ASSERT_NE(id, kInvalidRowId);
+    store.SwapRemove(id);
+  }
+  EXPECT_EQ(store.size(), 66u);
+  for (int i = 0; i < 100; ++i) {
+    Tuple t{Term::Int(i)};
+    EXPECT_EQ(store.Find(t.data()) != kInvalidRowId, i % 3 != 0) << i;
+  }
+  // Reinsert the removed rows; dedup must not duplicate survivors.
+  for (int i = 0; i < 100; ++i) {
+    Tuple t{Term::Int(i)};
+    store.InsertIfAbsent(t.data());
+  }
+  EXPECT_EQ(store.size(), 100u);
+}
+
 // --- Storage metrics -----------------------------------------------------
 
 TEST(StorageMetricsTest, TupleBytesTrackRelationLifetime) {

@@ -32,10 +32,21 @@ greedy/cost speedup per pair and flags any pair where the cost leg is
 more than 5% slower than greedy; ``--fail-on-planner-regression``
 turns that into a non-zero exit for CI.
 
+Update-maintenance legs pair a third way: a benchmark named
+``..._Incremental`` (counting/DRed incremental view maintenance, see
+DESIGN.md §16) is the optimized twin of the same name with
+``_Recompute`` (full fixpoint per batch). The "IVM ablation" section
+reports the recompute/incremental speedup per pair — compared on the
+``batch_p50_us`` counter when both legs publish it, since the legs run
+different batch counts and real_time includes warm-up — and flags any
+pair where the incremental leg is more than 5% slower than recompute;
+``--fail-on-ivm-regression`` turns that into a non-zero exit for CI.
+
 Usage:
   tools/bench_report.py [--dir bench] [--out-md FILE] [--out-json FILE]
                         [--fail-on-simd-regression]
                         [--fail-on-planner-regression]
+                        [--fail-on-ivm-regression]
 
 With no --out-* flags the markdown goes to stdout.
 """
@@ -199,6 +210,65 @@ def planner_ablation(rows):
     return table
 
 
+# Incremental-maintenance legs may be at most this much slower than
+# their recompute twins before the pair is flagged. (The real criterion
+# — EXPERIMENTS.md E14 asks for >= 10x — is read off quiet-box
+# artifacts; CI machines are too noisy for a ratio gate that tight, so
+# the gate only catches incremental being outright *slower*.)
+IVM_REGRESSION_TOLERANCE = 1.05
+
+
+def ivm_pairs(rows):
+    """Pairs incremental/recompute twins of the same benchmark config.
+
+    A benchmark named ``..._Incremental`` is the optimized twin of the
+    same name with ``_Recompute``. Returns ``(name, recompute_row,
+    incremental_row)`` tuples keyed by the incremental leg's name.
+    """
+    recompute, incremental = {}, {}
+    for row in rows:
+        name = row["benchmark"]
+        if "_Recompute" in name:
+            key = (row["artifact"], name.replace("_Recompute",
+                                                 "_Incremental"))
+            recompute[key] = row
+        elif "_Incremental" in name:
+            incremental[(row["artifact"], name)] = row
+    pairs = []
+    for key in sorted(incremental):
+        if key in recompute:
+            pairs.append((key[1], recompute[key], incremental[key]))
+    return pairs
+
+
+def ivm_ablation(rows):
+    """Computes the speedup table: one entry per recompute/inc pair."""
+    table = []
+    for name, rrow, irow in ivm_pairs(rows):
+        # The two legs run different batch counts (incremental batches
+        # are cheap, so its leg runs more of them), which makes
+        # real_time incomparable; the per-batch p50 counter is the
+        # honest basis when both legs publish it.
+        rtime = rrow["counters"].get("batch_p50_us") or rrow["real_time"]
+        itime = irow["counters"].get("batch_p50_us") or irow["real_time"]
+        unit = ("us/batch" if "batch_p50_us" in rrow["counters"]
+                and "batch_p50_us" in irow["counters"]
+                else rrow["time_unit"])
+        if not rtime or not itime:
+            continue
+        speedup = rtime / itime
+        table.append({
+            "artifact": irow["artifact"],
+            "benchmark": name,
+            "recompute_time": rtime,
+            "incremental_time": itime,
+            "time_unit": unit,
+            "speedup": speedup,
+            "regression": speedup < 1.0 / IVM_REGRESSION_TOLERANCE,
+        })
+    return table
+
+
 def to_markdown(rows):
     lines = ["# Benchmark trajectory", ""]
     by_artifact = {}
@@ -256,6 +326,21 @@ def to_markdown(rows):
                 f" | {fmt_num(entry['cost_time'])} {unit}"
                 f" | {entry['speedup']:.2f}x | {flag} |")
         lines.append("")
+    ivm = ivm_ablation(rows)
+    if ivm:
+        lines.append("## IVM ablation (incremental vs recompute)")
+        lines.append("")
+        lines.append("| benchmark | recompute | incremental | speedup | |")
+        lines.append("|---|---|---|---|---|")
+        for entry in ivm:
+            unit = entry["time_unit"]
+            flag = "**REGRESSION**" if entry["regression"] else ""
+            lines.append(
+                f"| {entry['benchmark']}"
+                f" | {fmt_num(entry['recompute_time'])} {unit}"
+                f" | {fmt_num(entry['incremental_time'])} {unit}"
+                f" | {entry['speedup']:.2f}x | {flag} |")
+        lines.append("")
     return "\n".join(lines) + "\n"
 
 
@@ -273,6 +358,9 @@ def main(argv):
     parser.add_argument("--fail-on-planner-regression", action="store_true",
                         help="exit non-zero if a cost-planner leg is >5% "
                         "slower than its greedy twin")
+    parser.add_argument("--fail-on-ivm-regression", action="store_true",
+                        help="exit non-zero if an incremental-maintenance "
+                        "leg is >5% slower than its recompute twin")
     args = parser.parse_args(argv)
 
     paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
@@ -290,10 +378,12 @@ def main(argv):
         sys.stdout.write(md)
     ablation = simd_ablation(rows)
     planner = planner_ablation(rows)
+    ivm = ivm_ablation(rows)
     if args.out_json:
         with open(args.out_json, "w") as f:
             json.dump({"rows": rows, "simd_ablation": ablation,
-                       "planner_ablation": planner}, f,
+                       "planner_ablation": planner,
+                       "ivm_ablation": ivm}, f,
                       indent=1, sort_keys=True)
             f.write("\n")
     regressions = [e for e in ablation if e["regression"]]
@@ -308,14 +398,24 @@ def main(argv):
               f"cost {entry['cost_time']:.3f} vs greedy "
               f"{entry['greedy_time']:.3f} {entry['time_unit']} "
               f"({entry['speedup']:.2f}x)", file=sys.stderr)
+    ivm_regressions = [e for e in ivm if e["regression"]]
+    for entry in ivm_regressions:
+        print(f"bench_report: IVM regression: {entry['benchmark']} "
+              f"incremental {entry['incremental_time']:.3f} vs recompute "
+              f"{entry['recompute_time']:.3f} {entry['time_unit']} "
+              f"({entry['speedup']:.2f}x)", file=sys.stderr)
     print(f"bench_report: {len(paths)} artifact(s), {len(rows)} row(s), "
           f"{len(ablation)} simd pair(s), {len(regressions)} regression(s), "
           f"{len(planner)} planner pair(s), "
-          f"{len(planner_regressions)} planner regression(s)",
+          f"{len(planner_regressions)} planner regression(s), "
+          f"{len(ivm)} ivm pair(s), "
+          f"{len(ivm_regressions)} ivm regression(s)",
           file=sys.stderr)
     if regressions and args.fail_on_simd_regression:
         return 1
     if planner_regressions and args.fail_on_planner_regression:
+        return 1
+    if ivm_regressions and args.fail_on_ivm_regression:
         return 1
     return 0
 
